@@ -1,0 +1,45 @@
+//! Figure 13 — worst-case query time of QUAD vs CUTTING while varying the
+//! number of points (clustered dataset, d = 3).  On this workload every point
+//! is a skyline point and all dual hyperplanes crowd into the same region,
+//! which degrades the quadtree while the cutting tree's sampled median cuts
+//! stay balanced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eclipse_bench::workloads::{default_ratio_box, worst_case_dataset};
+use eclipse_core::index::{EclipseIndex, IndexConfig, IntersectionIndexKind};
+
+const SEED: u64 = 20210614;
+const N_VALUES: [usize; 3] = [1 << 7, 1 << 8, 1 << 9];
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13/worst-case-vary-n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for &n in &N_VALUES {
+        let points = worst_case_dataset(n, 3, SEED);
+        let ratio_box = default_ratio_box(3);
+        let quad = EclipseIndex::build(
+            &points,
+            IndexConfig::with_kind(IntersectionIndexKind::Quadtree),
+        )
+        .unwrap();
+        let cutting = EclipseIndex::build(
+            &points,
+            IndexConfig::with_kind(IntersectionIndexKind::CuttingTree),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("QUAD", n), &n, |b, _| {
+            b.iter(|| quad.query(black_box(&ratio_box)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("CUTTING", n), &n, |b, _| {
+            b.iter(|| cutting.query(black_box(&ratio_box)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

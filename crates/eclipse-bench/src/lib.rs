@@ -1,0 +1,6 @@
+//! Shared experiment-harness utilities for the eclipse benchmarks.
+
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod workloads;

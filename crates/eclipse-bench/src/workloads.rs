@@ -1,0 +1,145 @@
+//! Workload construction shared by the Criterion benches and the
+//! `experiments` binary: the parameter grid of Table IV plus helpers to
+//! materialize each dataset/ratio combination.
+
+use eclipse_core::point::Point;
+use eclipse_core::weights::WeightRatioBox;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+
+/// The point counts of Table IV: 2^7, 2^10, 2^13, 2^17, 2^20.
+pub const PAPER_N_VALUES: [usize; 5] = [1 << 7, 1 << 10, 1 << 13, 1 << 17, 1 << 20];
+
+/// The point counts used by default in this reproduction's harness.  The
+/// paper's largest settings take the quadratic baseline into the 10^4–10^5
+/// second range (its own Figure 10 y-axis); the default harness therefore
+/// stops at 2^13 and the `--full` flag restores the full grid.
+pub const DEFAULT_N_VALUES: [usize; 3] = [1 << 7, 1 << 10, 1 << 13];
+
+/// The dimensionalities of Table IV.
+pub const PAPER_D_VALUES: [usize; 4] = [2, 3, 4, 5];
+
+/// The ratio ranges of Table IV (all dimensions share the same range), from
+/// widest to narrowest; the third entry `[0.36, 2.75]` is the default.
+pub const PAPER_RATIO_RANGES: [(f64, f64); 4] =
+    [(0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19)];
+
+/// Default parameters (bold entries of Table IV): `n = 2^10`, `d = 3`,
+/// `r[j] ∈ [0.36, 2.75]`.
+pub const DEFAULT_N: usize = 1 << 10;
+/// Default dimensionality.
+pub const DEFAULT_D: usize = 3;
+/// Default ratio range.
+pub const DEFAULT_RATIO: (f64, f64) = (0.36, 2.75);
+/// Default NBA subset size used when varying `d` / `r` (the paper uses 1000).
+pub const DEFAULT_NBA_N: usize = 1000;
+/// Full NBA dataset size.
+pub const FULL_NBA_N: usize = 2384;
+
+/// A named dataset family of Figure 10/11/12: the three synthetic
+/// distributions plus the NBA stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetFamily {
+    /// Correlated synthetic data.
+    Corr,
+    /// Independent synthetic data.
+    Inde,
+    /// Anti-correlated synthetic data.
+    Anti,
+    /// Synthetic NBA-like data (see `eclipse_data::nba`).
+    Nba,
+}
+
+impl DatasetFamily {
+    /// All families in the paper's subplot order.
+    pub fn all() -> [DatasetFamily; 4] {
+        [
+            DatasetFamily::Corr,
+            DatasetFamily::Inde,
+            DatasetFamily::Anti,
+            DatasetFamily::Nba,
+        ]
+    }
+
+    /// Label used in output rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetFamily::Corr => "CORR",
+            DatasetFamily::Inde => "INDE",
+            DatasetFamily::Anti => "ANTI",
+            DatasetFamily::Nba => "NBA",
+        }
+    }
+
+    /// Materializes `n` points in `d` dimensions for this family.
+    pub fn generate(self, n: usize, d: usize, seed: u64) -> Vec<Point> {
+        match self {
+            DatasetFamily::Corr => {
+                SyntheticConfig::new(n, d, Distribution::Correlated, seed).generate()
+            }
+            DatasetFamily::Inde => {
+                SyntheticConfig::new(n, d, Distribution::Independent, seed).generate()
+            }
+            DatasetFamily::Anti => {
+                SyntheticConfig::new(n, d, Distribution::AntiCorrelated, seed).generate()
+            }
+            DatasetFamily::Nba => eclipse_data::nba::nba_dataset(n.min(FULL_NBA_N), d, seed),
+        }
+    }
+}
+
+/// The clustered worst-case dataset of Figs. 13–14.
+pub fn worst_case_dataset(n: usize, d: usize, seed: u64) -> Vec<Point> {
+    SyntheticConfig::new(n, d, Distribution::ClusteredWorstCase, seed).generate()
+}
+
+/// The uniform ratio box `r[j] ∈ [lo, hi]` for a `d`-dimensional dataset.
+pub fn ratio_box(d: usize, lo: f64, hi: f64) -> WeightRatioBox {
+    WeightRatioBox::uniform(d, lo, hi).expect("paper ratio ranges are always valid")
+}
+
+/// The default ratio box of Table IV for dimensionality `d`.
+pub fn default_ratio_box(d: usize) -> WeightRatioBox {
+    ratio_box(d, DEFAULT_RATIO.0, DEFAULT_RATIO.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_constants() {
+        assert_eq!(PAPER_N_VALUES[0], 128);
+        assert_eq!(PAPER_N_VALUES[4], 1_048_576);
+        assert_eq!(PAPER_D_VALUES, [2, 3, 4, 5]);
+        assert_eq!(PAPER_RATIO_RANGES.len(), 4);
+        assert_eq!(DEFAULT_N, 1024);
+        assert_eq!(DEFAULT_D, 3);
+    }
+
+    #[test]
+    fn families_generate_requested_shapes() {
+        for fam in DatasetFamily::all() {
+            let pts = fam.generate(256, 3, 1);
+            assert_eq!(pts.len(), 256, "{fam:?}");
+            assert!(pts.iter().all(|p| p.dim() == 3), "{fam:?}");
+        }
+        // NBA caps at the full league size.
+        let nba = DatasetFamily::Nba.generate(10_000, 3, 1);
+        assert_eq!(nba.len(), FULL_NBA_N);
+    }
+
+    #[test]
+    fn ratio_boxes_are_valid() {
+        for (lo, hi) in PAPER_RATIO_RANGES {
+            let b = ratio_box(3, lo, hi);
+            assert_eq!(b.dim(), 3);
+        }
+        assert_eq!(default_ratio_box(4).num_ratios(), 3);
+    }
+
+    #[test]
+    fn worst_case_is_generated() {
+        let pts = worst_case_dataset(128, 3, 5);
+        assert_eq!(pts.len(), 128);
+    }
+}

@@ -1,0 +1,182 @@
+//! BASE — the baseline eclipse algorithm (Algorithm 1).
+//!
+//! For every pair of points the scores at all `2^{d−1}` corner (domination)
+//! vectors are compared; a point survives when no other point eclipse-
+//! dominates it.  Time complexity O(n²·2^{d−1}) (Theorem 3).  Besides serving
+//! as the BASE competitor in the evaluation, this implementation doubles as
+//! the ground-truth oracle for every other algorithm's tests, so it is kept
+//! deliberately close to the definition (the only optimization over the
+//! pseudo-code is pre-computing each point's corner scores once instead of
+//! per pair, which does not change the asymptotics).
+
+use eclipse_geom::approx::EPS;
+use eclipse_geom::point::Point;
+
+use crate::error::{EclipseError, Result};
+use crate::weights::WeightRatioBox;
+
+/// Computes the eclipse points of `points` for the given ratio box with the
+/// baseline pairwise algorithm, returning indices in ascending order.
+///
+/// # Errors
+/// * [`EclipseError::DimensionMismatch`] when the box dimensionality does not
+///   match the points.
+/// * [`EclipseError::Unsupported`] when a ratio range is unbounded (use the
+///   skyline instantiation through [`crate::query::EclipseEngine`] instead,
+///   or a very large finite bound).
+pub fn eclipse_baseline(points: &[Point], ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+    if points.is_empty() {
+        return Ok(Vec::new());
+    }
+    let d = points[0].dim();
+    if ratio_box.dim() != d {
+        return Err(EclipseError::DimensionMismatch {
+            expected: d,
+            found: ratio_box.dim(),
+        });
+    }
+    for p in points {
+        if p.dim() != d {
+            return Err(EclipseError::DimensionMismatch {
+                expected: d,
+                found: p.dim(),
+            });
+        }
+    }
+    let corners = ratio_box.corner_ratios()?;
+
+    // Pre-compute the score of every point at every corner vector.
+    let scores: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            corners
+                .iter()
+                .map(|r| crate::score::score_with_ratios(p, r))
+                .collect()
+        })
+        .collect();
+
+    let mut result = Vec::new();
+    'outer: for i in 0..points.len() {
+        for j in 0..points.len() {
+            if i == j {
+                continue;
+            }
+            if dominates_by_scores(&scores[j], &scores[i]) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    Ok(result)
+}
+
+/// `true` when the point with corner scores `a` eclipse-dominates the point
+/// with corner scores `b`: `a ≤ b` at every corner and `a < b` at one.
+fn dominates_by_scores(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if *x > *y + EPS {
+            return false;
+        }
+        if *x + EPS < *y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::eclipse_naive;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn paper_running_example() {
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(eclipse_baseline(&paper_points(), &b).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nn_instantiation_returns_single_point() {
+        let b = WeightRatioBox::exact(&[2.0]).unwrap();
+        assert_eq!(eclipse_baseline(&paper_points(), &b).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(eclipse_baseline(&[], &b).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let b = WeightRatioBox::uniform(3, 0.25, 2.0).unwrap();
+        let err = eclipse_baseline(&paper_points(), &b).unwrap_err();
+        assert!(matches!(err, EclipseError::DimensionMismatch { expected: 2, found: 3 }));
+        // Mixed-dimensional datasets are also rejected.
+        let b2 = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let mixed = vec![p(&[1.0, 2.0]), p(&[1.0, 2.0, 3.0])];
+        assert!(eclipse_baseline(&mixed, &b2).is_err());
+    }
+
+    #[test]
+    fn unbounded_box_is_unsupported() {
+        let b = WeightRatioBox::skyline(2).unwrap();
+        assert!(matches!(
+            eclipse_baseline(&paper_points(), &b),
+            Err(EclipseError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_pairwise_oracle_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        for d in 2..=5usize {
+            let b = WeightRatioBox::uniform(d, 0.36, 2.75).unwrap();
+            let pts: Vec<Point> = (0..150)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                .collect();
+            assert_eq!(
+                eclipse_baseline(&pts, &b).unwrap(),
+                eclipse_naive(&pts, &b),
+                "d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let b = WeightRatioBox::uniform(2, 0.5, 1.5).unwrap();
+        let pts = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[5.0, 5.0])];
+        assert_eq!(eclipse_baseline(&pts, &b).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn narrower_boxes_return_fewer_points() {
+        // Monotonicity: enlarging the ratio range can only grow the result.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let narrow = WeightRatioBox::uniform(3, 0.84, 1.19).unwrap();
+        let wide = WeightRatioBox::uniform(3, 0.18, 5.67).unwrap();
+        let narrow_res = eclipse_baseline(&pts, &narrow).unwrap();
+        let wide_res = eclipse_baseline(&pts, &wide).unwrap();
+        assert!(narrow_res.len() <= wide_res.len());
+        // Every narrow-box eclipse point stays an eclipse point for the wider box.
+        let wide_set: std::collections::HashSet<usize> = wide_res.into_iter().collect();
+        for i in narrow_res {
+            assert!(wide_set.contains(&i));
+        }
+    }
+}

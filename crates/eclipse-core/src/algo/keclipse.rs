@@ -1,0 +1,330 @@
+//! Size-controlled eclipse queries ("k-eclipse").
+//!
+//! The paper motivates eclipse partly as a way to *"control the number of
+//! returned points"*: a user states a rough preference and a result budget,
+//! and the system picks how wide a preference band it can afford.  This
+//! module implements that contract on top of the core operator:
+//!
+//! * [`eclipse_top_k`] — given an exact ratio vector and a budget `k`, find
+//!   (by bisection on the relaxation margin) the widest symmetric relaxation
+//!   of the preference whose eclipse result still fits in `k` points, then
+//!   return that result together with the box that produced it.  Margin 0
+//!   degenerates to 1NN; an unbounded margin would approach the skyline, so
+//!   the returned box tells the user how much "preference slack" their budget
+//!   buys.
+//! * [`eclipse_with_budget`] — given an explicit ratio box and a budget,
+//!   either return the eclipse points unchanged (if they fit) or shrink the
+//!   box towards its geometric centre until they do.
+//!
+//! Both functions only ever *shrink* ranges, so every returned point is an
+//! eclipse point of the user's original specification (monotonicity of the
+//! operator in the box, verified by the property tests).
+
+use eclipse_geom::point::Point;
+
+use crate::algo::transform::{eclipse_transform, SkylineBackend};
+use crate::error::{EclipseError, Result};
+use crate::weights::WeightRatioBox;
+
+/// Result of a size-controlled eclipse query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KEclipseResult {
+    /// Indices of the returned points (ascending), at most `k` of them.
+    pub indices: Vec<usize>,
+    /// The ratio box that produced `indices`.
+    pub ratio_box: WeightRatioBox,
+    /// The relaxation margin that was achieved (only set by
+    /// [`eclipse_top_k`]; `None` for [`eclipse_with_budget`]).
+    pub margin: Option<f64>,
+}
+
+/// Maximum relaxation margin explored by [`eclipse_top_k`] (the box
+/// `[r·(1−m), r·(1+m)]` with `m` close to 1 already spans two orders of
+/// magnitude of weight ratios).
+const MAX_MARGIN: f64 = 0.995;
+/// Bisection iterations; 2^-40 of the margin interval is far below any
+/// meaningful preference resolution.
+const BISECTION_STEPS: usize = 40;
+
+/// Finds the widest symmetric relaxation of `center_ratios` whose eclipse
+/// result has at most `k` points.
+///
+/// # Errors
+/// * [`EclipseError::EmptyDataset`] when the dataset is empty.
+/// * [`EclipseError::Unsupported`] when `k == 0`.
+/// * Propagates dimension/range validation errors.
+pub fn eclipse_top_k(
+    points: &[Point],
+    center_ratios: &[f64],
+    k: usize,
+) -> Result<KEclipseResult> {
+    if points.is_empty() {
+        return Err(EclipseError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(EclipseError::Unsupported(
+            "the result budget k must be at least 1".to_string(),
+        ));
+    }
+
+    // Margin 0: the exact preference.  If even that exceeds k (mass ties), we
+    // keep the k best by center score (deterministic index tie-break).
+    let exact_box = WeightRatioBox::exact(center_ratios)?;
+    let exact = eclipse_transform(points, &exact_box, SkylineBackend::Auto)?;
+    if exact.len() > k {
+        let mut scored: Vec<(usize, f64)> = exact
+            .into_iter()
+            .map(|i| (i, crate::score::score_with_ratios(&points[i], center_ratios)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        let mut indices: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
+        indices.sort_unstable();
+        return Ok(KEclipseResult {
+            indices,
+            ratio_box: exact_box,
+            margin: Some(0.0),
+        });
+    }
+
+    // Bisection on the margin: result size is monotone non-decreasing in the
+    // margin, so we search for the largest margin still within budget.
+    let mut lo = 0.0_f64; // always feasible (checked above)
+    let mut lo_result = exact;
+    let mut lo_box = exact_box;
+    let mut hi = MAX_MARGIN;
+
+    // Fast path: if the widest margin fits, take it.
+    let widest_box = WeightRatioBox::relaxed(center_ratios, MAX_MARGIN)?;
+    let widest = eclipse_transform(points, &widest_box, SkylineBackend::Auto)?;
+    if widest.len() <= k {
+        return Ok(KEclipseResult {
+            indices: widest,
+            ratio_box: widest_box,
+            margin: Some(MAX_MARGIN),
+        });
+    }
+
+    for _ in 0..BISECTION_STEPS {
+        let mid = 0.5 * (lo + hi);
+        let candidate_box = WeightRatioBox::relaxed(center_ratios, mid)?;
+        let candidate = eclipse_transform(points, &candidate_box, SkylineBackend::Auto)?;
+        if candidate.len() <= k {
+            lo = mid;
+            lo_result = candidate;
+            lo_box = candidate_box;
+        } else {
+            hi = mid;
+        }
+    }
+
+    Ok(KEclipseResult {
+        indices: lo_result,
+        ratio_box: lo_box,
+        margin: Some(lo),
+    })
+}
+
+/// Returns the eclipse points of `ratio_box` if they fit the budget, or the
+/// result of the largest centred shrink of the box that does.
+///
+/// # Errors
+/// * [`EclipseError::EmptyDataset`] when the dataset is empty.
+/// * [`EclipseError::Unsupported`] when `k == 0` or the box has unbounded
+///   ranges.
+pub fn eclipse_with_budget(
+    points: &[Point],
+    ratio_box: &WeightRatioBox,
+    k: usize,
+) -> Result<KEclipseResult> {
+    if points.is_empty() {
+        return Err(EclipseError::EmptyDataset);
+    }
+    if k == 0 {
+        return Err(EclipseError::Unsupported(
+            "the result budget k must be at least 1".to_string(),
+        ));
+    }
+    if ratio_box.has_unbounded_range() {
+        return Err(EclipseError::Unsupported(
+            "eclipse_with_budget requires finite ratio ranges".to_string(),
+        ));
+    }
+
+    let full = eclipse_transform(points, ratio_box, SkylineBackend::Auto)?;
+    if full.len() <= k {
+        return Ok(KEclipseResult {
+            indices: full,
+            ratio_box: ratio_box.clone(),
+            margin: None,
+        });
+    }
+
+    // Shrink factor t ∈ [0, 1]: 1 keeps the box, 0 collapses it onto its
+    // centre.  Result size is monotone in t, so bisect.
+    let centers: Vec<f64> = ratio_box
+        .ranges()
+        .iter()
+        .map(|r| 0.5 * (r.lo() + r.hi()))
+        .collect();
+    let shrink = |t: f64| -> Result<WeightRatioBox> {
+        let bounds: Vec<(f64, f64)> = ratio_box
+            .ranges()
+            .iter()
+            .zip(centers.iter())
+            .map(|(r, c)| (c - t * (c - r.lo()), c + t * (r.hi() - c)))
+            .collect();
+        WeightRatioBox::from_bounds(&bounds)
+    };
+
+    // The fully collapsed box is the exact-centre preference; if even that
+    // exceeds the budget, truncate by centre score as in `eclipse_top_k`.
+    let collapsed = eclipse_transform(points, &shrink(0.0)?, SkylineBackend::Auto)?;
+    if collapsed.len() > k {
+        let mut scored: Vec<(usize, f64)> = collapsed
+            .into_iter()
+            .map(|i| (i, crate::score::score_with_ratios(&points[i], &centers)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        let mut indices: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
+        indices.sort_unstable();
+        return Ok(KEclipseResult {
+            indices,
+            ratio_box: shrink(0.0)?,
+            margin: None,
+        });
+    }
+
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut best = collapsed;
+    let mut best_box = shrink(0.0)?;
+    for _ in 0..BISECTION_STEPS {
+        let mid = 0.5 * (lo + hi);
+        let candidate_box = shrink(mid)?;
+        let candidate = eclipse_transform(points, &candidate_box, SkylineBackend::Auto)?;
+        if candidate.len() <= k {
+            lo = mid;
+            best = candidate;
+            best_box = candidate_box;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(KEclipseResult {
+        indices: best,
+        ratio_box: best_box,
+        margin: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn budget_of_one_returns_the_nearest_neighbour() {
+        let res = eclipse_top_k(&paper_points(), &[2.0], 1).unwrap();
+        assert_eq!(res.indices, vec![0]);
+        assert!(res.margin.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn growing_budgets_grow_the_result_and_margin() {
+        let pts = paper_points();
+        let mut prev_len = 0;
+        let mut prev_margin = -1.0;
+        for k in 1..=4 {
+            let res = eclipse_top_k(&pts, &[1.0], k).unwrap();
+            assert!(res.indices.len() <= k);
+            assert!(res.indices.len() >= prev_len);
+            let margin = res.margin.unwrap();
+            assert!(margin >= prev_margin);
+            prev_len = res.indices.len();
+            prev_margin = margin;
+        }
+    }
+
+    #[test]
+    fn results_are_always_eclipse_points_of_the_original_box() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(111);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let full_box = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        let full: std::collections::HashSet<usize> =
+            eclipse_transform(&pts, &full_box, SkylineBackend::Auto)
+                .unwrap()
+                .into_iter()
+                .collect();
+        for k in [1usize, 2, 4, 8] {
+            let res = eclipse_with_budget(&pts, &full_box, k).unwrap();
+            assert!(res.indices.len() <= k, "k = {k}");
+            assert!(
+                res.indices.iter().all(|i| full.contains(i)),
+                "budgeted result must stay inside the original eclipse set (k = {k})"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_larger_than_result_is_identity() {
+        let pts = paper_points();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let res = eclipse_with_budget(&pts, &b, 10).unwrap();
+        assert_eq!(res.indices, vec![0, 1, 2]);
+        assert_eq!(res.ratio_box, b);
+        assert_eq!(res.margin, None);
+    }
+
+    #[test]
+    fn mass_ties_are_truncated_deterministically() {
+        // Every point identical: any k of them must be returned (lowest indices).
+        let pts = vec![p(&[1.0, 1.0]); 6];
+        let res = eclipse_top_k(&pts, &[1.0], 3).unwrap();
+        assert_eq!(res.indices, vec![0, 1, 2]);
+        let res = eclipse_with_budget(&pts, &WeightRatioBox::uniform(2, 0.5, 2.0).unwrap(), 2).unwrap();
+        assert_eq!(res.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(matches!(
+            eclipse_top_k(&[], &[1.0], 3),
+            Err(EclipseError::EmptyDataset)
+        ));
+        assert!(eclipse_top_k(&paper_points(), &[1.0], 0).is_err());
+        let b = WeightRatioBox::uniform(2, 0.5, 2.0).unwrap();
+        assert!(eclipse_with_budget(&[], &b, 3).is_err());
+        assert!(eclipse_with_budget(&paper_points(), &b, 0).is_err());
+        let sky = WeightRatioBox::skyline(2).unwrap();
+        assert!(eclipse_with_budget(&paper_points(), &sky, 3).is_err());
+    }
+
+    #[test]
+    fn wide_open_data_still_respects_budget() {
+        // Anti-correlated data where the skyline is everything: the budget
+        // must still be respected and the margin ends up small.
+        let n = 60;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                p(&[x, 1.0 - x])
+            })
+            .collect();
+        let res = eclipse_top_k(&pts, &[1.0], 5).unwrap();
+        assert!(res.indices.len() <= 5);
+        assert!(!res.indices.is_empty());
+        assert!(res.margin.unwrap() < 0.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's eclipse query algorithms.
+//!
+//! * [`baseline`] — Algorithm 1, the O(n²·2^{d−1}) pairwise check used as the
+//!   correctness oracle and as the BASE competitor of the evaluation,
+//! * [`transform`] — Algorithms 2 and 3, the transformation-based algorithms
+//!   that reduce eclipse to a skyline computation over mapped points
+//!   (corrected for d ≥ 3; see the module documentation),
+//! * [`keclipse`] — size-controlled ("top-k") eclipse queries, the
+//!   result-budget usage the paper's introduction motivates.
+//!
+//! The index-based algorithms of §IV live in [`crate::index`].
+
+pub mod baseline;
+pub mod keclipse;
+pub mod transform;
+
+pub use baseline::eclipse_baseline;
+pub use keclipse::{eclipse_top_k, eclipse_with_budget, KEclipseResult};
+pub use transform::{eclipse_transform, transform_point, SkylineBackend};

@@ -1,0 +1,85 @@
+//! Error type shared by the eclipse-core public API.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, EclipseError>;
+
+/// Errors surfaced by the eclipse-core public API.
+///
+/// The crate follows the usual Rust database-library convention: *programmer*
+/// errors (mismatched dimensionalities inside internal algorithms) are
+/// `panic!`/`assert!`ed, while *user input* problems — malformed ratio ranges,
+/// empty datasets where a non-empty one is required, unsupported
+/// configurations — are reported through this error type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EclipseError {
+    /// A weight-ratio range was malformed (negative bound, `lo > hi`, NaN…).
+    InvalidRatioRange {
+        /// Index of the offending ratio (zero-based, i.e. the paper's `j − 1`).
+        index: usize,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The dimensionality of a query does not match the dataset.
+    DimensionMismatch {
+        /// Dimensionality expected by the dataset.
+        expected: usize,
+        /// Dimensionality supplied by the caller.
+        found: usize,
+    },
+    /// The requested operation needs a non-empty dataset.
+    EmptyDataset,
+    /// The requested operation does not support the supplied configuration
+    /// (e.g. an index-based query with unbounded ratio ranges).
+    Unsupported(String),
+}
+
+impl fmt::Display for EclipseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EclipseError::InvalidRatioRange { index, reason } => {
+                write!(f, "invalid ratio range for attribute {}: {}", index + 1, reason)
+            }
+            EclipseError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: dataset has {expected} dimensions but the query has {found}"
+            ),
+            EclipseError::EmptyDataset => write!(f, "the operation requires a non-empty dataset"),
+            EclipseError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EclipseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EclipseError::InvalidRatioRange {
+            index: 0,
+            reason: "lo > hi".to_string(),
+        };
+        assert!(e.to_string().contains("attribute 1"));
+        assert!(e.to_string().contains("lo > hi"));
+
+        let e = EclipseError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+
+        assert!(EclipseError::EmptyDataset.to_string().contains("non-empty"));
+        assert!(EclipseError::Unsupported("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&EclipseError::EmptyDataset);
+    }
+}

@@ -1,0 +1,260 @@
+//! Query explanation utilities.
+//!
+//! Eclipse answers are easier to trust when the system can say *why* a point
+//! is (or is not) part of the result:
+//!
+//! * [`dominators_of`] — for a non-result point, the eclipse points that
+//!   eclipse-dominate it (its "witnesses");
+//! * [`winner_intervals_2d`] — for two-dimensional data, the partition of the
+//!   query ratio range `[l, h]` into maximal sub-intervals together with the
+//!   1NN winner of each sub-interval.  Every winner is an eclipse point, and
+//!   every eclipse point that is strictly best somewhere shows up, so this is
+//!   a complete "which preference would pick which result" explanation — the
+//!   dual-space Order Vector machinery of §IV-A repurposed for provenance.
+
+use eclipse_geom::approx::EPS;
+use eclipse_geom::arrangement::intersection_events;
+use eclipse_geom::hyperplane::DualLine;
+use eclipse_geom::point::Point;
+
+use crate::dominance::eclipse_dominates;
+use crate::error::{EclipseError, Result};
+use crate::score::score_with_ratios;
+use crate::weights::WeightRatioBox;
+
+/// The eclipse points dominating `target` under the given ratio box
+/// (ascending indices).  Empty exactly when `target` is itself an eclipse
+/// point.
+///
+/// # Panics
+/// Panics if `target` is out of range.
+pub fn dominators_of(
+    points: &[Point],
+    target: usize,
+    ratio_box: &WeightRatioBox,
+) -> Vec<usize> {
+    assert!(target < points.len(), "target index out of range");
+    (0..points.len())
+        .filter(|&j| j != target && eclipse_dominates(&points[j], &points[target], ratio_box))
+        .collect()
+}
+
+/// One maximal sub-interval of the query ratio range with a constant 1NN
+/// winner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WinnerInterval {
+    /// Lower end of the ratio sub-interval.
+    pub from_ratio: f64,
+    /// Upper end of the ratio sub-interval.
+    pub to_ratio: f64,
+    /// Index (into the original dataset) of the 1NN winner throughout the
+    /// sub-interval.
+    pub winner: usize,
+}
+
+/// Partitions the 2-D query ratio range into maximal sub-intervals with a
+/// constant 1NN winner (ties broken towards the smaller dataset index).
+///
+/// # Errors
+/// * [`EclipseError::EmptyDataset`] for an empty dataset.
+/// * [`EclipseError::DimensionMismatch`] if the data or the box is not 2-D.
+/// * [`EclipseError::Unsupported`] for unbounded ranges.
+pub fn winner_intervals_2d(
+    points: &[Point],
+    ratio_box: &WeightRatioBox,
+) -> Result<Vec<WinnerInterval>> {
+    if points.is_empty() {
+        return Err(EclipseError::EmptyDataset);
+    }
+    if ratio_box.dim() != 2 {
+        return Err(EclipseError::DimensionMismatch {
+            expected: 2,
+            found: ratio_box.dim(),
+        });
+    }
+    for p in points {
+        if p.dim() != 2 {
+            return Err(EclipseError::DimensionMismatch {
+                expected: 2,
+                found: p.dim(),
+            });
+        }
+    }
+    if ratio_box.has_unbounded_range() {
+        return Err(EclipseError::Unsupported(
+            "winner intervals require finite ratio ranges".to_string(),
+        ));
+    }
+    let range = ratio_box.ranges()[0];
+    let (l, h) = (range.lo(), range.hi());
+
+    // Candidate winners are the eclipse points of the range; their dual-line
+    // intersections inside the range are the only places the winner can
+    // change.
+    let eclipse = crate::algo::transform::eclipse_transform(
+        points,
+        ratio_box,
+        crate::algo::transform::SkylineBackend::Auto,
+    )?;
+    let lines: Vec<DualLine> = eclipse
+        .iter()
+        .map(|&i| DualLine::from_point(&points[i]))
+        .collect();
+
+    // Breakpoints in ratio space: r = -x for every dual intersection whose
+    // abscissa x lies in [-h, -l].
+    let mut breakpoints: Vec<f64> = intersection_events(&lines)
+        .into_iter()
+        .filter(|ev| ev.x >= -h - EPS && ev.x <= -l + EPS)
+        .map(|ev| -ev.x)
+        .collect();
+    breakpoints.push(l);
+    breakpoints.push(h);
+    breakpoints.sort_by(|a, b| a.total_cmp(b));
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+
+    // The winner at a ratio is the smallest-index eclipse point achieving the
+    // minimum score there (ties broken deterministically).
+    let winner_at = |r: f64| -> usize {
+        let min = eclipse
+            .iter()
+            .map(|&i| score_with_ratios(&points[i], &[r]))
+            .fold(f64::INFINITY, f64::min);
+        eclipse
+            .iter()
+            .copied()
+            .find(|&i| score_with_ratios(&points[i], &[r]) <= min + EPS)
+            .expect("eclipse result is non-empty for a non-empty dataset")
+    };
+
+    let mut out: Vec<WinnerInterval> = Vec::new();
+    for w in breakpoints.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        if to - from <= EPS {
+            continue;
+        }
+        let winner = winner_at(0.5 * (from + to));
+        match out.last_mut() {
+            Some(last) if last.winner == winner && (last.to_ratio - from).abs() <= EPS => {
+                last.to_ratio = to;
+            }
+            _ => out.push(WinnerInterval {
+                from_ratio: from,
+                to_ratio: to,
+                winner,
+            }),
+        }
+    }
+    if out.is_empty() {
+        // Degenerate range [l, l]: a single winner.
+        out.push(WinnerInterval {
+            from_ratio: l,
+            to_ratio: h,
+            winner: winner_at(l),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn dominators_match_eclipse_membership() {
+        let pts = paper_points();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert!(dominators_of(&pts, 0, &b).is_empty());
+        assert!(dominators_of(&pts, 1, &b).is_empty());
+        assert!(dominators_of(&pts, 2, &b).is_empty());
+        let doms = dominators_of(&pts, 3, &b);
+        assert_eq!(doms, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn winner_intervals_cover_the_range_and_use_eclipse_points() {
+        let pts = paper_points();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let intervals = winner_intervals_2d(&pts, &b).unwrap();
+        assert!((intervals.first().unwrap().from_ratio - 0.25).abs() < 1e-9);
+        assert!((intervals.last().unwrap().to_ratio - 2.0).abs() < 1e-9);
+        // Contiguous cover.
+        for w in intervals.windows(2) {
+            assert!((w[0].to_ratio - w[1].from_ratio).abs() < 1e-9);
+        }
+        // Every winner is an eclipse point, and every interval's winner truly
+        // has the minimum score at the interval midpoint.
+        let eclipse = vec![0usize, 1, 2];
+        for iv in &intervals {
+            assert!(eclipse.contains(&iv.winner));
+            let mid = 0.5 * (iv.from_ratio + iv.to_ratio);
+            let wscore = score_with_ratios(&pts[iv.winner], &[mid]);
+            for &other in &eclipse {
+                assert!(wscore <= score_with_ratios(&pts[other], &[mid]) + 1e-9);
+            }
+        }
+        // The cheap hotel p3 wins for small ratios, the close hotel p1 for
+        // large ones.
+        assert_eq!(intervals.first().unwrap().winner, 2);
+        assert_eq!(intervals.last().unwrap().winner, 0);
+    }
+
+    #[test]
+    fn exact_range_has_a_single_interval() {
+        let pts = paper_points();
+        let b = WeightRatioBox::exact(&[2.0]).unwrap();
+        let intervals = winner_intervals_2d(&pts, &b).unwrap();
+        assert_eq!(intervals.len(), 1);
+        assert_eq!(intervals[0].winner, 0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let b2 = WeightRatioBox::uniform(2, 0.5, 1.0).unwrap();
+        assert!(matches!(
+            winner_intervals_2d(&[], &b2),
+            Err(EclipseError::EmptyDataset)
+        ));
+        let pts3 = vec![p(&[1.0, 2.0, 3.0])];
+        assert!(winner_intervals_2d(&pts3, &b2).is_err());
+        let b3 = WeightRatioBox::uniform(3, 0.5, 1.0).unwrap();
+        assert!(winner_intervals_2d(&paper_points(), &b3).is_err());
+        assert!(winner_intervals_2d(&paper_points(), &WeightRatioBox::skyline(2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn every_eclipse_point_that_wins_somewhere_appears() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(212);
+        let pts: Vec<Point> = (0..120)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let b = WeightRatioBox::uniform(2, 0.2, 4.0).unwrap();
+        let intervals = winner_intervals_2d(&pts, &b).unwrap();
+        let winners: std::collections::HashSet<usize> =
+            intervals.iter().map(|iv| iv.winner).collect();
+        // Each winner must be an eclipse point.
+        let eclipse: std::collections::HashSet<usize> = crate::algo::transform::eclipse_transform(
+            &pts,
+            &b,
+            crate::algo::transform::SkylineBackend::Auto,
+        )
+        .unwrap()
+        .into_iter()
+        .collect();
+        for w in &winners {
+            assert!(eclipse.contains(w));
+        }
+        // The intervals tile [0.2, 4.0].
+        assert!((intervals.first().unwrap().from_ratio - 0.2).abs() < 1e-9);
+        assert!((intervals.last().unwrap().to_ratio - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,350 @@
+//! The verbatim two-dimensional Order Vector / Intersection Index of
+//! §IV-A (Algorithms 4 and 5).
+//!
+//! Build (Algorithm 4): compute the skyline points, map each to its dual line
+//! `y = p[1]·x − p[2]`, compute the `C(u,2)` pairwise intersection abscissae,
+//! sort them into an interval partition of the x-axis, and store for every
+//! interval the *order vector* — for each line the number of lines closer to
+//! the x-axis inside that interval (Figure 7).
+//!
+//! Query (Algorithm 5): the query range `r ∈ [l, h]` maps to the dual range
+//! `[−h, −l]`; start from the order vector of the interval containing `−l`,
+//! replay every intersection whose abscissa lies inside the range by
+//! decrementing the dominated line's counter, and report the lines whose
+//! counter reaches zero.
+//!
+//! Two query entry points are provided:
+//!
+//! * [`OrderVectorIndex2d::query_general_position`] — the paper's Algorithm 5
+//!   as written, which assumes general position (no coincident
+//!   intersections, no score ties at the query boundary);
+//! * [`OrderVectorIndex2d::query`] — the exact variant that re-adjudicates
+//!   every replayed pair (same technique as [`super::ndim::EclipseIndex`]),
+//!   safe on degenerate inputs.  The two agree on general-position data.
+
+use eclipse_geom::approx::EPS;
+use eclipse_geom::arrangement::{intersection_events, order_vector_at, IntersectionEvent, IntervalPartition};
+use eclipse_geom::hyperplane::DualLine;
+use eclipse_geom::point::Point;
+
+use crate::error::{EclipseError, Result};
+use crate::weights::WeightRatioBox;
+
+/// Above this many skyline points the per-interval order vectors are not
+/// materialized (O(u³) memory) and the initial vector is computed on the fly;
+/// the structure stays exact either way.
+const MAX_MATERIALIZED_U: usize = 256;
+
+/// The 2-D Order Vector Index + Intersection Index of the paper.
+#[derive(Clone, Debug)]
+pub struct OrderVectorIndex2d {
+    /// Indices (into the original dataset) of the skyline points.
+    skyline_ids: Vec<usize>,
+    /// Dual lines of the skyline points (same order as `skyline_ids`).
+    lines: Vec<DualLine>,
+    /// All pairwise intersection events, sorted by abscissa.
+    events: Vec<IntersectionEvent>,
+    /// Interval partition of the x-axis induced by the events.
+    partition: IntervalPartition,
+    /// Per-interval order vectors (Figure 7), when materialized.
+    interval_ovs: Option<Vec<Vec<usize>>>,
+}
+
+impl OrderVectorIndex2d {
+    /// Builds the index over a two-dimensional dataset (Algorithm 4).
+    ///
+    /// # Errors
+    /// * [`EclipseError::EmptyDataset`] for an empty dataset.
+    /// * [`EclipseError::DimensionMismatch`] if any point is not 2-D.
+    pub fn build(points: &[Point]) -> Result<Self> {
+        if points.is_empty() {
+            return Err(EclipseError::EmptyDataset);
+        }
+        for p in points {
+            if p.dim() != 2 {
+                return Err(EclipseError::DimensionMismatch {
+                    expected: 2,
+                    found: p.dim(),
+                });
+            }
+        }
+        let skyline_ids = eclipse_skyline::sweep::skyline_2d(points);
+        let lines: Vec<DualLine> = skyline_ids
+            .iter()
+            .map(|&i| DualLine::from_point(&points[i]))
+            .collect();
+        let events = intersection_events(&lines);
+        let partition = IntervalPartition::new(events.iter().map(|e| e.x).collect());
+        let interval_ovs = if lines.len() <= MAX_MATERIALIZED_U {
+            Some(
+                (0..partition.num_intervals())
+                    .map(|i| order_vector_at(&lines, partition.representative(i)))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Ok(OrderVectorIndex2d {
+            skyline_ids,
+            lines,
+            events,
+            partition,
+            interval_ovs,
+        })
+    }
+
+    /// Number of skyline points (`u`).
+    pub fn skyline_len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Indices of the skyline points in the original dataset.
+    pub fn skyline_ids(&self) -> &[usize] {
+        &self.skyline_ids
+    }
+
+    /// Number of stored intersections (`C(u, 2)` minus parallel pairs).
+    pub fn num_intersections(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of intervals in the Order Vector Index.
+    pub fn num_intervals(&self) -> usize {
+        self.partition.num_intervals()
+    }
+
+    /// The order vector of the interval containing dual abscissa `x`
+    /// (exposed for inspection / the worked example of Figure 7).
+    pub fn order_vector_for(&self, x: f64) -> Vec<usize> {
+        let interval = self.partition.interval_containing(x);
+        match &self.interval_ovs {
+            Some(ovs) => ovs[interval].clone(),
+            None => order_vector_at(&self.lines, self.partition.representative(interval)),
+        }
+    }
+
+    /// The paper's Algorithm 5, assuming general position: start from the
+    /// order vector of the interval containing `−l` and decrement the loser
+    /// of every intersection lying inside `[−h, −l]`.
+    ///
+    /// # Errors
+    /// Same validation as [`OrderVectorIndex2d::query`].
+    pub fn query_general_position(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        let (l, h) = self.validate(ratio_box)?;
+        let initial: Vec<i64> = self
+            .order_vector_for(-l)
+            .into_iter()
+            .map(|c| c as i64)
+            .collect();
+        let mut ov = initial.clone();
+        for ev in &self.events {
+            if ev.x >= -h - EPS && ev.x <= -l + EPS {
+                // The pair swaps order inside the query range, so whichever
+                // line was dominated at −l loses one (would-be) dominator.
+                // The decision is made on the *initial* ranking at −l — the
+                // quantity Algorithm 5 reasons about — rather than on the
+                // partially decremented counters, which would depend on the
+                // replay order.
+                if initial[ev.a] < initial[ev.b] {
+                    ov[ev.b] -= 1;
+                } else {
+                    ov[ev.a] -= 1;
+                }
+            }
+        }
+        let mut out: Vec<usize> = ov
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c <= 0)
+            .map(|(k, _)| self.skyline_ids[k])
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Exact eclipse query (tie-aware variant of Algorithm 5).
+    ///
+    /// # Errors
+    /// * [`EclipseError::DimensionMismatch`] for a non-2-D box.
+    /// * [`EclipseError::Unsupported`] for unbounded ranges.
+    pub fn query(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        let (l, h) = self.validate(ratio_box)?;
+        let u = self.lines.len();
+        // Initial order vector computed exactly at r = l.
+        let scores_l: Vec<f64> = self.lines.iter().map(|ln| ln.score_at_ratio(l)).collect();
+        let mut sorted = scores_l.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut ov: Vec<i64> = scores_l
+            .iter()
+            .map(|&s| sorted.partition_point(|&v| v + EPS < s) as i64)
+            .collect();
+        debug_assert_eq!(ov.len(), u);
+
+        // Replay the intersections lying in the closed dual range [−h, −l],
+        // adjudicating each pair exactly over [l, h].
+        for ev in &self.events {
+            if ev.x < -h - EPS || ev.x > -l + EPS {
+                continue;
+            }
+            let (a, b) = (ev.a, ev.b);
+            let fa_l = self.lines[a].score_at_ratio(l) - self.lines[b].score_at_ratio(l);
+            let fa_h = self.lines[a].score_at_ratio(h) - self.lines[b].score_at_ratio(h);
+            let max_f = fa_l.max(fa_h);
+            let min_f = fa_l.min(fa_h);
+            let a_dominates_b = max_f <= EPS && min_f < -EPS;
+            let b_dominates_a = min_f >= -EPS && max_f > EPS;
+            let a_counted = fa_l + EPS < 0.0;
+            let b_counted = fa_l > EPS;
+            match (a_counted, a_dominates_b) {
+                (true, false) => ov[b] -= 1,
+                (false, true) => ov[b] += 1,
+                _ => {}
+            }
+            match (b_counted, b_dominates_a) {
+                (true, false) => ov[a] -= 1,
+                (false, true) => ov[a] += 1,
+                _ => {}
+            }
+        }
+
+        let mut out: Vec<usize> = ov
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(k, _)| self.skyline_ids[k])
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn validate(&self, ratio_box: &WeightRatioBox) -> Result<(f64, f64)> {
+        if ratio_box.dim() != 2 {
+            return Err(EclipseError::DimensionMismatch {
+                expected: 2,
+                found: ratio_box.dim(),
+            });
+        }
+        if ratio_box.has_unbounded_range() {
+            return Err(EclipseError::Unsupported(
+                "the 2-D order-vector index requires finite ratio ranges".to_string(),
+            ));
+        }
+        let r = ratio_box.ranges()[0];
+        Ok((r.lo(), r.hi()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::baseline::eclipse_baseline;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn build_matches_figure7_structure() {
+        let idx = OrderVectorIndex2d::build(&paper_points()).unwrap();
+        assert_eq!(idx.skyline_len(), 3);
+        assert_eq!(idx.num_intersections(), 3);
+        assert_eq!(idx.num_intervals(), 4);
+        // Figure 7's last interval (−2/3, 0] stores ⟨2, 1, 0⟩.
+        assert_eq!(idx.order_vector_for(-0.25), vec![2, 1, 0]);
+        assert_eq!(idx.order_vector_for(-2.0), vec![0, 1, 2]);
+        assert_eq!(idx.order_vector_for(-1.25), vec![0, 2, 1]);
+        assert_eq!(idx.order_vector_for(-0.8), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn example5_query_replay() {
+        // Example 5: r ∈ [1/4, 2] ends with ov = ⟨0,0,0⟩ — all of p1, p2, p3.
+        let idx = OrderVectorIndex2d::build(&paper_points()).unwrap();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(idx.query_general_position(&b).unwrap(), vec![0, 1, 2]);
+        assert_eq!(idx.query(&b).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_ratio_returns_1nn() {
+        let idx = OrderVectorIndex2d::build(&paper_points()).unwrap();
+        let b = WeightRatioBox::exact(&[2.0]).unwrap();
+        assert_eq!(idx.query(&b).unwrap(), vec![0]);
+        // r = 0.25 favours the cheap hotel p3… let us check against BASE.
+        let b2 = WeightRatioBox::exact(&[0.25]).unwrap();
+        assert_eq!(
+            idx.query(&b2).unwrap(),
+            eclipse_baseline(&paper_points(), &b2).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(matches!(
+            OrderVectorIndex2d::build(&[]),
+            Err(EclipseError::EmptyDataset)
+        ));
+        assert!(OrderVectorIndex2d::build(&[p(&[1.0, 2.0, 3.0])]).is_err());
+        let idx = OrderVectorIndex2d::build(&paper_points()).unwrap();
+        assert!(idx.query(&WeightRatioBox::uniform(3, 0.5, 1.0).unwrap()).is_err());
+        assert!(idx.query(&WeightRatioBox::skyline(2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn exact_query_matches_baseline_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        for _ in 0..10 {
+            let pts: Vec<Point> = (0..300)
+                .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+                .collect();
+            let idx = OrderVectorIndex2d::build(&pts).unwrap();
+            for _ in 0..5 {
+                let lo = rng.gen_range(0.05..1.5);
+                let hi = lo + rng.gen_range(0.05..3.0);
+                let b = WeightRatioBox::uniform(2, lo, hi).unwrap();
+                assert_eq!(
+                    idx.query(&b).unwrap(),
+                    eclipse_baseline(&pts, &b).unwrap(),
+                    "box {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_position_query_agrees_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(82);
+        for _ in 0..5 {
+            let pts: Vec<Point> = (0..200)
+                .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+                .collect();
+            let idx = OrderVectorIndex2d::build(&pts).unwrap();
+            let b = WeightRatioBox::uniform(2, 0.36, 2.75).unwrap();
+            assert_eq!(
+                idx.query_general_position(&b).unwrap(),
+                idx.query(&b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn large_skyline_skips_materialization_but_stays_exact() {
+        // Anti-correlated data: every point is a skyline point, u > MAX_MATERIALIZED_U.
+        let n = 300;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                p(&[x, 1.0 - x])
+            })
+            .collect();
+        let idx = OrderVectorIndex2d::build(&pts).unwrap();
+        assert_eq!(idx.skyline_len(), n);
+        let b = WeightRatioBox::uniform(2, 0.5, 2.0).unwrap();
+        assert_eq!(idx.query(&b).unwrap(), eclipse_baseline(&pts, &b).unwrap());
+    }
+}

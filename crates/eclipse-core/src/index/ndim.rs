@@ -1,0 +1,482 @@
+//! The general (any `d ≥ 2`) index-based eclipse query engine.
+//!
+//! Build phase (Algorithm 6):
+//! 1. compute the skyline of the dataset (only skyline points can be eclipse
+//!    points);
+//! 2. for every pair of skyline points build the *score-difference
+//!    hyperplane* in `(d−1)`-dimensional weight-ratio space
+//!    ([`eclipse_geom::dual::score_difference_hyperplane`]);
+//! 3. index those hyperplanes with a line quadtree (QUAD) or a cutting tree
+//!    (CUTTING) over a bounded region of ratio space.
+//!
+//! Query phase (Algorithms 5/7):
+//! 1. score all skyline points at the lower corner of the query box and rank
+//!    them (the initial Order Vector — the paper stores per-cell vectors; we
+//!    follow its own high-dimensional practical choice of computing the
+//!    vector at query time in O(u log u), which it notes "does not impact the
+//!    entire time complexity");
+//! 2. fetch from the Intersection Index the hyperplanes crossing the query
+//!    box — exactly the pairs whose relative order changes inside the box;
+//! 3. replay those pairs.  The paper's replay assumes general position; ours
+//!    adjudicates every fetched pair exactly (does `a` dominate `b` over the
+//!    whole box, or vice versa, or neither?), so ties, duplicate points and
+//!    boundary contacts are handled without any assumption.
+//! 4. points whose final dominator count is zero are the eclipse points.
+
+use serde::{Deserialize, Serialize};
+
+use eclipse_geom::approx::EPS;
+use eclipse_geom::cutting::{CuttingTree, CuttingTreeConfig};
+use eclipse_geom::dual::score_difference_hyperplane;
+use eclipse_geom::hyperplane::Hyperplane;
+use eclipse_geom::point::{BoundingBox, Point};
+use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig};
+
+use crate::error::{EclipseError, Result};
+use crate::score::score_with_ratios;
+use crate::weights::WeightRatioBox;
+
+/// Which Intersection Index backs the eclipse index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntersectionIndexKind {
+    /// Line quadtree / hyperplane octree (the paper's QUAD).
+    #[default]
+    Quadtree,
+    /// Randomized cutting tree (the paper's CUTTING).
+    CuttingTree,
+}
+
+/// Construction parameters for [`EclipseIndex`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Which spatial structure indexes the intersection hyperplanes.
+    pub kind: IntersectionIndexKind,
+    /// Upper bound of the indexed region of ratio space: the root cell is
+    /// `[0, max_ratio]^{d−1}`.  Queries that are not fully contained in the
+    /// root cell still return exact results via a linear fallback scan of the
+    /// pairs, so this is a performance knob, not a correctness one.
+    pub max_ratio: f64,
+    /// Quadtree parameters (used when `kind == Quadtree`).
+    pub quadtree: QuadtreeConfig,
+    /// Cutting-tree parameters (used when `kind == CuttingTree`).
+    pub cutting: CuttingTreeConfig,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            kind: IntersectionIndexKind::Quadtree,
+            max_ratio: 16.0,
+            quadtree: QuadtreeConfig::default(),
+            cutting: CuttingTreeConfig::default(),
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Convenience constructor selecting the backend kind with default
+    /// parameters otherwise.
+    pub fn with_kind(kind: IntersectionIndexKind) -> Self {
+        IndexConfig {
+            kind,
+            ..IndexConfig::default()
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Backend {
+    Quad(HyperplaneQuadtree),
+    Cutting(CuttingTree),
+}
+
+/// Index-based eclipse query engine over a fixed dataset.
+#[derive(Clone, Debug)]
+pub struct EclipseIndex {
+    dim: usize,
+    /// Indices (into the original dataset) of the skyline points, ascending.
+    skyline_ids: Vec<usize>,
+    /// The skyline points themselves, in the same order as `skyline_ids`.
+    skyline_points: Vec<Point>,
+    /// Pairs of *local* skyline indices, aligned with `hyperplanes`.
+    pairs: Vec<(u32, u32)>,
+    /// Score-difference hyperplanes in ratio space, aligned with `pairs`.
+    hyperplanes: Vec<Hyperplane>,
+    backend: Backend,
+    root_cell: BoundingBox,
+    config: IndexConfig,
+}
+
+impl EclipseIndex {
+    /// Builds the index over `points` with the given configuration.
+    ///
+    /// # Errors
+    /// * [`EclipseError::EmptyDataset`] for an empty dataset.
+    /// * [`EclipseError::DimensionMismatch`] for mixed dimensionalities.
+    /// * [`EclipseError::Unsupported`] for 1-dimensional points.
+    pub fn build(points: &[Point], config: IndexConfig) -> Result<Self> {
+        let Some(first) = points.first() else {
+            return Err(EclipseError::EmptyDataset);
+        };
+        let dim = first.dim();
+        if dim < 2 {
+            return Err(EclipseError::Unsupported(
+                "the eclipse index requires d ≥ 2".to_string(),
+            ));
+        }
+        for p in points {
+            if p.dim() != dim {
+                return Err(EclipseError::DimensionMismatch {
+                    expected: dim,
+                    found: p.dim(),
+                });
+            }
+        }
+
+        // 1. Skyline points.
+        let skyline_ids = eclipse_skyline::dc::skyline_dc(points);
+        let skyline_points: Vec<Point> =
+            skyline_ids.iter().map(|&i| points[i].clone()).collect();
+        let u = skyline_points.len();
+
+        // 2. Intersection hyperplanes for every pair.
+        let mut pairs = Vec::with_capacity(u * u.saturating_sub(1) / 2);
+        let mut hyperplanes = Vec::with_capacity(pairs.capacity());
+        for a in 0..u {
+            for b in a + 1..u {
+                pairs.push((a as u32, b as u32));
+                hyperplanes.push(score_difference_hyperplane(
+                    &skyline_points[a],
+                    &skyline_points[b],
+                ));
+            }
+        }
+
+        // 3. Spatial index over the hyperplanes.
+        let root_cell = BoundingBox::new(vec![0.0; dim - 1], vec![config.max_ratio; dim - 1]);
+        let backend = match config.kind {
+            IntersectionIndexKind::Quadtree => Backend::Quad(HyperplaneQuadtree::build(
+                &hyperplanes,
+                root_cell.clone(),
+                config.quadtree,
+            )),
+            IntersectionIndexKind::CuttingTree => Backend::Cutting(CuttingTree::build(
+                &hyperplanes,
+                root_cell.clone(),
+                config.cutting,
+            )),
+        };
+
+        Ok(EclipseIndex {
+            dim,
+            skyline_ids,
+            skyline_points,
+            pairs,
+            hyperplanes,
+            backend,
+            root_cell,
+            config,
+        })
+    }
+
+    /// Dataset dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of skyline points the index covers.
+    pub fn skyline_len(&self) -> usize {
+        self.skyline_points.len()
+    }
+
+    /// Indices (into the original dataset) of the skyline points.
+    pub fn skyline_ids(&self) -> &[usize] {
+        &self.skyline_ids
+    }
+
+    /// Number of indexed intersection hyperplanes (`C(u, 2)`).
+    pub fn num_intersections(&self) -> usize {
+        self.hyperplanes.len()
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Diagnostic: depth of the underlying spatial structure.
+    pub fn backend_depth(&self) -> usize {
+        match &self.backend {
+            Backend::Quad(t) => t.depth(),
+            Backend::Cutting(t) => t.depth(),
+        }
+    }
+
+    /// Diagnostic: node count of the underlying spatial structure.
+    pub fn backend_nodes(&self) -> usize {
+        match &self.backend {
+            Backend::Quad(t) => t.node_count(),
+            Backend::Cutting(t) => t.node_count(),
+        }
+    }
+
+    /// Answers an eclipse query, returning indices into the original dataset
+    /// in ascending order.
+    ///
+    /// # Errors
+    /// * [`EclipseError::DimensionMismatch`] when the box does not match the
+    ///   dataset dimensionality.
+    /// * [`EclipseError::Unsupported`] when a ratio range is unbounded (route
+    ///   the skyline instantiation through [`crate::query::EclipseEngine`]).
+    pub fn query(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        if ratio_box.dim() != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: ratio_box.dim(),
+            });
+        }
+        let qbox = ratio_box.as_bounding_box()?;
+        let candidates = self.candidate_pairs(&qbox);
+        let lower = ratio_box.lower_corner();
+        let ov = self.replay(&lower, &qbox, &candidates);
+        let mut out: Vec<usize> = ov
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count == 0)
+            .map(|(k, _)| self.skyline_ids[k])
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Returns the indices (into `self.pairs`) of the candidate intersection
+    /// hyperplanes for a query box: exactly those intersecting the closed box.
+    fn candidate_pairs(&self, qbox: &BoundingBox) -> Vec<usize> {
+        if self.root_cell.contains_box(qbox) {
+            match &self.backend {
+                Backend::Quad(t) => t.query(&self.hyperplanes, qbox),
+                Backend::Cutting(t) => t.query(&self.hyperplanes, qbox),
+            }
+        } else {
+            // Exact fallback for queries escaping the indexed region.
+            (0..self.hyperplanes.len())
+                .filter(|&i| self.hyperplanes[i].intersects_box(qbox))
+                .collect()
+        }
+    }
+
+    /// Computes the final dominator count of every skyline point: the initial
+    /// order vector at the lower corner, adjusted exactly for every candidate
+    /// pair.
+    fn replay(&self, lower: &[f64], qbox: &BoundingBox, candidates: &[usize]) -> Vec<i64> {
+        // Initial order vector: how many points score strictly lower at the
+        // lower corner.
+        let scores: Vec<f64> = self
+            .skyline_points
+            .iter()
+            .map(|p| score_with_ratios(p, lower))
+            .collect();
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut ov: Vec<i64> = scores
+            .iter()
+            .map(|&s| sorted.partition_point(|&v| v + EPS < s) as i64)
+            .collect();
+
+        // Exact adjustment for every pair whose order may change in the box.
+        for &ci in candidates {
+            let (a, b) = self.pairs[ci];
+            let (a, b) = (a as usize, b as usize);
+            let f = &self.hyperplanes[ci]; // f(r) = S_a(r) − S_b(r)
+            let max_f = f.max_over_box(qbox);
+            let min_f = f.min_over_box(qbox);
+            let a_dominates_b = max_f <= EPS && min_f < -EPS;
+            let b_dominates_a = min_f >= -EPS && max_f > EPS;
+            let fl = scores[a] - scores[b];
+            let a_counted = fl + EPS < 0.0;
+            let b_counted = fl > EPS;
+
+            match (a_counted, a_dominates_b) {
+                (true, false) => ov[b] -= 1,
+                (false, true) => ov[b] += 1,
+                _ => {}
+            }
+            match (b_counted, b_dominates_a) {
+                (true, false) => ov[a] -= 1,
+                (false, true) => ov[a] += 1,
+                _ => {}
+            }
+        }
+        ov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::baseline::eclipse_baseline;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    fn both_kinds() -> [IndexConfig; 2] {
+        [
+            IndexConfig::with_kind(IntersectionIndexKind::Quadtree),
+            IndexConfig::with_kind(IntersectionIndexKind::CuttingTree),
+        ]
+    }
+
+    #[test]
+    fn paper_running_example_both_backends() {
+        for cfg in both_kinds() {
+            let idx = EclipseIndex::build(&paper_points(), cfg).unwrap();
+            assert_eq!(idx.dim(), 2);
+            assert_eq!(idx.skyline_len(), 3);
+            assert_eq!(idx.num_intersections(), 3);
+            let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+            assert_eq!(idx.query(&b).unwrap(), vec![0, 1, 2]);
+            // Narrow 1NN-ish box.
+            let nn = WeightRatioBox::uniform(2, 2.0, 2.0).unwrap();
+            assert_eq!(idx.query(&nn).unwrap(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert!(matches!(
+            EclipseIndex::build(&[], IndexConfig::default()),
+            Err(EclipseError::EmptyDataset)
+        ));
+        assert!(EclipseIndex::build(&[p(&[1.0])], IndexConfig::default()).is_err());
+        let mixed = vec![p(&[1.0, 2.0]), p(&[1.0, 2.0, 3.0])];
+        assert!(EclipseIndex::build(&mixed, IndexConfig::default()).is_err());
+
+        let idx = EclipseIndex::build(&paper_points(), IndexConfig::default()).unwrap();
+        let wrong = WeightRatioBox::uniform(3, 0.5, 1.0).unwrap();
+        assert!(idx.query(&wrong).is_err());
+        let sky = WeightRatioBox::skyline(2).unwrap();
+        assert!(idx.query(&sky).is_err());
+    }
+
+    #[test]
+    fn agrees_with_baseline_2d_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        for cfg in both_kinds() {
+            for _ in 0..5 {
+                let pts: Vec<Point> = (0..300)
+                    .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+                    .collect();
+                let idx = EclipseIndex::build(&pts, cfg).unwrap();
+                for _ in 0..5 {
+                    let lo = rng.gen_range(0.05..1.5);
+                    let hi = lo + rng.gen_range(0.05..3.0);
+                    let b = WeightRatioBox::uniform(2, lo, hi).unwrap();
+                    assert_eq!(
+                        idx.query(&b).unwrap(),
+                        eclipse_baseline(&pts, &b).unwrap(),
+                        "kind {:?}, box {b}",
+                        cfg.kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_baseline_high_dim_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        for cfg in both_kinds() {
+            for d in 3..=5usize {
+                let pts: Vec<Point> = (0..200)
+                    .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                    .collect();
+                let idx = EclipseIndex::build(&pts, cfg).unwrap();
+                for _ in 0..5 {
+                    let lo = rng.gen_range(0.05..1.5);
+                    let hi = lo + rng.gen_range(0.05..3.0);
+                    let b = WeightRatioBox::uniform(d, lo, hi).unwrap();
+                    assert_eq!(
+                        idx.query(&b).unwrap(),
+                        eclipse_baseline(&pts, &b).unwrap(),
+                        "kind {:?}, d = {d}, box {b}",
+                        cfg.kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_ranges_agree_with_baseline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let pts: Vec<Point> = (0..250)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        for cfg in both_kinds() {
+            let idx = EclipseIndex::build(&pts, cfg).unwrap();
+            let b = WeightRatioBox::from_bounds(&[(0.2, 0.9), (1.1, 4.5)]).unwrap();
+            assert_eq!(idx.query(&b).unwrap(), eclipse_baseline(&pts, &b).unwrap());
+        }
+    }
+
+    #[test]
+    fn query_outside_indexed_region_falls_back_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let mut cfg = IndexConfig::default();
+        cfg.max_ratio = 2.0; // deliberately small root cell
+        let idx = EclipseIndex::build(&pts, cfg).unwrap();
+        let b = WeightRatioBox::uniform(2, 0.5, 8.0).unwrap(); // escapes the root cell
+        assert_eq!(idx.query(&b).unwrap(), eclipse_baseline(&pts, &b).unwrap());
+    }
+
+    #[test]
+    fn duplicates_and_grid_data_are_handled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(75);
+        for cfg in both_kinds() {
+            let pts: Vec<Point> = (0..150)
+                .map(|_| {
+                    Point::new(vec![
+                        rng.gen_range(0..6) as f64,
+                        rng.gen_range(0..6) as f64,
+                        rng.gen_range(0..6) as f64,
+                    ])
+                })
+                .collect();
+            let idx = EclipseIndex::build(&pts, cfg).unwrap();
+            for bounds in [[0.5, 1.5], [0.25, 2.0], [1.0, 1.0]] {
+                let b = WeightRatioBox::uniform(3, bounds[0], bounds[1]).unwrap();
+                assert_eq!(
+                    idx.query(&b).unwrap(),
+                    eclipse_baseline(&pts, &b).unwrap(),
+                    "kind {:?}, box {b}",
+                    cfg.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_reuse_across_many_queries() {
+        // The whole point of the index: one build, many queries; verify a
+        // sweep of query ranges against the baseline.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(76);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let idx = EclipseIndex::build(&pts, IndexConfig::default()).unwrap();
+        for (lo, hi) in [(0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19)] {
+            let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+            assert_eq!(idx.query(&b).unwrap(), eclipse_baseline(&pts, &b).unwrap());
+        }
+        assert!(idx.backend_nodes() >= 1);
+    }
+}

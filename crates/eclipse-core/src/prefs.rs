@@ -1,0 +1,237 @@
+//! User-facing preference specifications.
+//!
+//! The paper's introduction and user study (§V-B) envision three practical
+//! ways for a user to express preferences without hand-writing ratio ranges:
+//!
+//! * an **exact weight vector** relaxed by a margin ("roughly twice as
+//!   important, give or take 25 %") — [`PreferenceSpec::RelaxedWeights`],
+//! * an explicit **weight range** per attribute with the remaining weight on
+//!   the last attribute — [`PreferenceSpec::WeightRange`] (the
+//!   "eclipse-weight" system of Table V),
+//! * a **categorical importance level** per attribute (very important /
+//!   important / similar / unimportant / very unimportant) — the
+//!   "eclipse-category" system that won the paper's user study,
+//!   [`PreferenceSpec::Categorical`].
+//!
+//! Every specification lowers to a [`WeightRatioBox`], so the rest of the
+//! crate only ever deals with ratio boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EclipseError, Result};
+use crate::weights::WeightRatioBox;
+
+/// Categorical importance of an attribute relative to the reference (last)
+/// attribute.
+///
+/// The associated ratio ranges follow the paper's angle-based
+/// parameterization (Table IV): the default mapping is chosen so that
+/// "similar" covers the narrow range `[0.84, 1.19]` and each step outward
+/// roughly triples the band, ending in unbounded ranges at the extremes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImportanceLevel {
+    /// The attribute matters much more than the reference attribute.
+    VeryImportant,
+    /// The attribute matters more than the reference attribute.
+    Important,
+    /// The attribute matters about as much as the reference attribute.
+    Similar,
+    /// The attribute matters less than the reference attribute.
+    Unimportant,
+    /// The attribute matters much less than the reference attribute.
+    VeryUnimportant,
+}
+
+impl ImportanceLevel {
+    /// The ratio range `[l, h]` this level lowers to.
+    pub fn ratio_bounds(self) -> (f64, f64) {
+        match self {
+            ImportanceLevel::VeryImportant => (2.75, f64::INFINITY),
+            ImportanceLevel::Important => (1.19, 2.75),
+            ImportanceLevel::Similar => (0.84, 1.19),
+            ImportanceLevel::Unimportant => (0.36, 0.84),
+            ImportanceLevel::VeryUnimportant => (0.0, 0.36),
+        }
+    }
+
+    /// All levels, from most to least important.
+    pub fn all() -> [ImportanceLevel; 5] {
+        [
+            ImportanceLevel::VeryImportant,
+            ImportanceLevel::Important,
+            ImportanceLevel::Similar,
+            ImportanceLevel::Unimportant,
+            ImportanceLevel::VeryUnimportant,
+        ]
+    }
+}
+
+/// A user preference specification that lowers to a [`WeightRatioBox`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PreferenceSpec {
+    /// Explicit ratio ranges, passed through unchanged.
+    RatioRanges(Vec<(f64, f64)>),
+    /// An exact ratio vector relaxed by a multiplicative margin in `[0, 1)`.
+    RelaxedWeights {
+        /// The "best guess" ratio for each of the first `d − 1` attributes.
+        ratios: Vec<f64>,
+        /// Multiplicative slack applied on both sides of every ratio.
+        margin: f64,
+    },
+    /// Absolute weight ranges `w[j] ∈ [lo, hi]` for the first `d − 1`
+    /// attributes, with the last attribute's weight fixed at `1 − Σ w[j]`
+    /// evaluated at the range midpoints (the "eclipse-weight" UI of the user
+    /// study, which presents weights that sum to one).
+    WeightRange(Vec<(f64, f64)>),
+    /// One categorical importance level per non-reference attribute.
+    Categorical(Vec<ImportanceLevel>),
+}
+
+impl PreferenceSpec {
+    /// Lowers the specification to a ratio box for a `d`-dimensional dataset.
+    ///
+    /// # Errors
+    /// Propagates range-validation errors and reports dimension mismatches
+    /// when the specification does not provide exactly `d − 1` entries.
+    pub fn to_ratio_box(&self, dim: usize) -> Result<WeightRatioBox> {
+        let expected = dim.checked_sub(1).filter(|&k| k > 0).ok_or_else(|| {
+            EclipseError::Unsupported("preferences require a dataset with d ≥ 2".to_string())
+        })?;
+        match self {
+            PreferenceSpec::RatioRanges(bounds) => {
+                check_len(bounds.len(), expected)?;
+                WeightRatioBox::from_bounds(bounds)
+            }
+            PreferenceSpec::RelaxedWeights { ratios, margin } => {
+                check_len(ratios.len(), expected)?;
+                WeightRatioBox::relaxed(ratios, *margin)
+            }
+            PreferenceSpec::WeightRange(ranges) => {
+                check_len(ranges.len(), expected)?;
+                // Convert absolute weights to ratios against the implied last
+                // weight.  The last weight is 1 − Σ midpoints; each bound is
+                // divided by it, so wider bands stay wider.
+                let mid_sum: f64 = ranges.iter().map(|(lo, hi)| 0.5 * (lo + hi)).sum();
+                let last_weight = 1.0 - mid_sum;
+                if last_weight <= 0.0 {
+                    return Err(EclipseError::InvalidRatioRange {
+                        index: 0,
+                        reason: format!(
+                            "weight ranges leave no weight for the last attribute (Σ midpoints = {mid_sum})"
+                        ),
+                    });
+                }
+                let bounds: Vec<(f64, f64)> = ranges
+                    .iter()
+                    .map(|(lo, hi)| (lo / last_weight, hi / last_weight))
+                    .collect();
+                WeightRatioBox::from_bounds(&bounds)
+            }
+            PreferenceSpec::Categorical(levels) => {
+                check_len(levels.len(), expected)?;
+                let bounds: Vec<(f64, f64)> =
+                    levels.iter().map(|l| l.ratio_bounds()).collect();
+                // Unbounded tops (VeryImportant) are allowed here; callers that
+                // need finite boxes (indexes, TRAN) will surface Unsupported,
+                // while the engine's skyline/baseline fallbacks handle them.
+                let ranges = bounds
+                    .iter()
+                    .enumerate()
+                    .map(|(index, &(lo, hi))| {
+                        crate::weights::RatioRange::new(lo, hi).map_err(|e| match e {
+                            EclipseError::InvalidRatioRange { reason, .. } => {
+                                EclipseError::InvalidRatioRange { index, reason }
+                            }
+                            other => other,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                WeightRatioBox::new(ranges)
+            }
+        }
+    }
+}
+
+fn check_len(found: usize, expected: usize) -> Result<()> {
+    if found != expected {
+        return Err(EclipseError::DimensionMismatch {
+            expected: expected + 1,
+            found: found + 1,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn importance_levels_tile_the_positive_ray() {
+        // Consecutive levels must share boundaries and jointly cover (0, ∞).
+        let levels = ImportanceLevel::all();
+        for w in levels.windows(2) {
+            // The upper bound of the less-important level equals the lower
+            // bound of the more-important one.
+            assert_eq!(w[1].ratio_bounds().1, w[0].ratio_bounds().0, "levels must tile: {w:?}");
+        }
+        assert_eq!(levels[4].ratio_bounds().0, 0.0);
+        assert!(levels[0].ratio_bounds().1.is_infinite());
+    }
+
+    #[test]
+    fn ratio_ranges_pass_through() {
+        let spec = PreferenceSpec::RatioRanges(vec![(0.36, 2.75), (0.5, 1.5)]);
+        let b = spec.to_ratio_box(3).unwrap();
+        assert_eq!(b.ranges()[0].lo(), 0.36);
+        assert_eq!(b.ranges()[1].hi(), 1.5);
+        assert!(spec.to_ratio_box(2).is_err());
+        assert!(spec.to_ratio_box(1).is_err());
+    }
+
+    #[test]
+    fn relaxed_weights_spec() {
+        let spec = PreferenceSpec::RelaxedWeights {
+            ratios: vec![2.0],
+            margin: 0.25,
+        };
+        let b = spec.to_ratio_box(2).unwrap();
+        assert_eq!(b.ranges()[0].lo(), 1.5);
+        assert_eq!(b.ranges()[0].hi(), 2.5);
+    }
+
+    #[test]
+    fn weight_range_spec_converts_to_ratios() {
+        // w1 ∈ [0.3, 0.5] with w2 = 1 − 0.4 = 0.6 ⇒ r1 ∈ [0.5, 0.8333…].
+        let spec = PreferenceSpec::WeightRange(vec![(0.3, 0.5)]);
+        let b = spec.to_ratio_box(2).unwrap();
+        assert!((b.ranges()[0].lo() - 0.5).abs() < 1e-12);
+        assert!((b.ranges()[0].hi() - 0.8333333333333334).abs() < 1e-9);
+        // Overweighted ranges are rejected.
+        let bad = PreferenceSpec::WeightRange(vec![(0.7, 0.9), (0.4, 0.6)]);
+        assert!(bad.to_ratio_box(3).is_err());
+    }
+
+    #[test]
+    fn categorical_spec_produces_expected_bands() {
+        let spec = PreferenceSpec::Categorical(vec![
+            ImportanceLevel::Similar,
+            ImportanceLevel::VeryImportant,
+        ]);
+        let b = spec.to_ratio_box(3).unwrap();
+        assert_eq!(b.ranges()[0].lo(), 0.84);
+        assert_eq!(b.ranges()[0].hi(), 1.19);
+        assert_eq!(b.ranges()[1].lo(), 2.75);
+        assert!(b.ranges()[1].is_unbounded());
+        assert!(b.has_unbounded_range());
+    }
+
+    #[test]
+    fn categorical_narrow_levels_give_finite_boxes() {
+        let spec = PreferenceSpec::Categorical(vec![ImportanceLevel::Unimportant]);
+        let b = spec.to_ratio_box(2).unwrap();
+        assert!(!b.has_unbounded_range());
+        assert_eq!(b.ranges()[0].lo(), 0.36);
+        assert_eq!(b.ranges()[0].hi(), 0.84);
+    }
+}

@@ -1,0 +1,497 @@
+//! The high-level query facade.
+//!
+//! [`EclipseEngine`] owns a dataset and exposes every operator of the paper
+//! behind one object: eclipse queries (with automatic algorithm selection or
+//! an explicit choice), the classic 1NN / kNN and skyline operators, the
+//! convex-hull query, preference-specification lowering, and lazily built,
+//! thread-shareable index structures for repeated eclipse queries.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use eclipse_geom::point::Point;
+use eclipse_skyline::knn::{knn_linear_scan, ratio_to_weights, Neighbor};
+
+use crate::algo::baseline::eclipse_baseline;
+use crate::algo::transform::{eclipse_transform, SkylineBackend};
+use crate::dominance::eclipse_naive;
+use crate::error::{EclipseError, Result};
+use crate::index::{EclipseIndex, IndexConfig, IntersectionIndexKind};
+use crate::prefs::PreferenceSpec;
+use crate::relations::RelationReport;
+use crate::weights::WeightRatioBox;
+
+/// Which eclipse algorithm answers a query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Pick automatically: indexes if already built, otherwise the
+    /// transformation-based algorithm, with analytic fallbacks for unbounded
+    /// ranges.
+    #[default]
+    Auto,
+    /// BASE — the O(n²·2^{d−1}) pairwise algorithm.
+    Baseline,
+    /// TRAN — the transformation-based algorithm.
+    Transform,
+    /// QUAD — index-based with the line-quadtree Intersection Index.
+    IndexQuadtree,
+    /// CUTTING — index-based with the cutting-tree Intersection Index.
+    IndexCuttingTree,
+}
+
+/// A dataset plus cached index structures, answering all queries from the
+/// paper.  Cheap to share across threads (`&self` queries only).
+pub struct EclipseEngine {
+    points: Vec<Point>,
+    dim: usize,
+    quad_index: RwLock<Option<Arc<EclipseIndex>>>,
+    cutting_index: RwLock<Option<Arc<EclipseIndex>>>,
+    index_config: IndexConfig,
+}
+
+impl EclipseEngine {
+    /// Creates an engine over the dataset.
+    ///
+    /// # Errors
+    /// * [`EclipseError::EmptyDataset`] for an empty dataset.
+    /// * [`EclipseError::Unsupported`] for 1-dimensional data.
+    /// * [`EclipseError::DimensionMismatch`] for mixed dimensionalities.
+    pub fn new(points: Vec<Point>) -> Result<Self> {
+        Self::with_index_config(points, IndexConfig::default())
+    }
+
+    /// Creates an engine with explicit index-construction parameters.
+    ///
+    /// # Errors
+    /// Same as [`EclipseEngine::new`].
+    pub fn with_index_config(points: Vec<Point>, index_config: IndexConfig) -> Result<Self> {
+        let Some(first) = points.first() else {
+            return Err(EclipseError::EmptyDataset);
+        };
+        let dim = first.dim();
+        if dim < 2 {
+            return Err(EclipseError::Unsupported(
+                "eclipse queries require d ≥ 2".to_string(),
+            ));
+        }
+        for p in &points {
+            if p.dim() != dim {
+                return Err(EclipseError::DimensionMismatch {
+                    expected: dim,
+                    found: p.dim(),
+                });
+            }
+        }
+        Ok(EclipseEngine {
+            points,
+            dim,
+            quad_index: RwLock::new(None),
+            cutting_index: RwLock::new(None),
+            index_config,
+        })
+    }
+
+    /// Number of points in the dataset.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the dataset is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dataset dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Eagerly builds (and caches) the index of the given kind, returning a
+    /// shared handle.  Subsequent `Auto` queries will use it.
+    ///
+    /// # Errors
+    /// Propagates index-construction errors.
+    pub fn build_index(&self, kind: IntersectionIndexKind) -> Result<Arc<EclipseIndex>> {
+        let slot = match kind {
+            IntersectionIndexKind::Quadtree => &self.quad_index,
+            IntersectionIndexKind::CuttingTree => &self.cutting_index,
+        };
+        if let Some(existing) = slot.read().clone() {
+            return Ok(existing);
+        }
+        let mut config = self.index_config;
+        config.kind = kind;
+        let built = Arc::new(EclipseIndex::build(&self.points, config)?);
+        *slot.write() = Some(built.clone());
+        Ok(built)
+    }
+
+    /// Answers an eclipse query with automatic algorithm selection.
+    ///
+    /// # Errors
+    /// Propagates validation errors (dimension mismatch, malformed ranges).
+    pub fn eclipse(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        self.eclipse_with(ratio_box, Algorithm::Auto)
+    }
+
+    /// Answers an eclipse query with an explicit algorithm.
+    ///
+    /// # Errors
+    /// Propagates validation errors; explicitly chosen algorithms that cannot
+    /// handle unbounded ranges surface [`EclipseError::Unsupported`].
+    pub fn eclipse_with(&self, ratio_box: &WeightRatioBox, algorithm: Algorithm) -> Result<Vec<usize>> {
+        if ratio_box.dim() != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: ratio_box.dim(),
+            });
+        }
+        match algorithm {
+            Algorithm::Baseline => eclipse_baseline(&self.points, ratio_box),
+            Algorithm::Transform => {
+                eclipse_transform(&self.points, ratio_box, SkylineBackend::Auto)
+            }
+            Algorithm::IndexQuadtree => self
+                .build_index(IntersectionIndexKind::Quadtree)?
+                .query(ratio_box),
+            Algorithm::IndexCuttingTree => self
+                .build_index(IntersectionIndexKind::CuttingTree)?
+                .query(ratio_box),
+            Algorithm::Auto => self.eclipse_auto(ratio_box),
+        }
+    }
+
+    fn eclipse_auto(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        // Pure skyline instantiation: use the skyline substrate directly.
+        if ratio_box.is_skyline() {
+            return Ok(self.skyline());
+        }
+        // Other unbounded ranges: the analytic pairwise predicate is the only
+        // exact option (O(n²) but fully general).
+        if ratio_box.has_unbounded_range() {
+            return Ok(eclipse_naive(&self.points, ratio_box));
+        }
+        // Finite boxes: prefer an already-built index, else TRAN.
+        if let Some(idx) = self.quad_index.read().clone() {
+            return idx.query(ratio_box);
+        }
+        if let Some(idx) = self.cutting_index.read().clone() {
+            return idx.query(ratio_box);
+        }
+        eclipse_transform(&self.points, ratio_box, SkylineBackend::Auto)
+    }
+
+    /// Eclipse query returning the points themselves instead of indices.
+    ///
+    /// # Errors
+    /// Same as [`EclipseEngine::eclipse`].
+    pub fn eclipse_points(&self, ratio_box: &WeightRatioBox) -> Result<Vec<Point>> {
+        Ok(self
+            .eclipse(ratio_box)?
+            .into_iter()
+            .map(|i| self.points[i].clone())
+            .collect())
+    }
+
+    /// Answers an eclipse query from a user preference specification.
+    ///
+    /// # Errors
+    /// Propagates preference-lowering and query errors.
+    pub fn eclipse_with_preference(&self, pref: &PreferenceSpec) -> Result<Vec<usize>> {
+        let ratio_box = pref.to_ratio_box(self.dim)?;
+        self.eclipse(&ratio_box)
+    }
+
+    /// Size-controlled eclipse query around an exact preference: the widest
+    /// symmetric relaxation of `center_ratios` whose result fits in `k`
+    /// points (see [`crate::algo::keclipse`]).
+    ///
+    /// # Errors
+    /// Propagates validation errors from the underlying computation.
+    pub fn eclipse_top_k(
+        &self,
+        center_ratios: &[f64],
+        k: usize,
+    ) -> Result<crate::algo::keclipse::KEclipseResult> {
+        if center_ratios.len() + 1 != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: center_ratios.len() + 1,
+            });
+        }
+        crate::algo::keclipse::eclipse_top_k(&self.points, center_ratios, k)
+    }
+
+    /// Eclipse query with a result budget: returns the eclipse points of
+    /// `ratio_box` if they fit in `k`, otherwise the result of the largest
+    /// centred shrink of the box that does.
+    ///
+    /// # Errors
+    /// Propagates validation errors from the underlying computation.
+    pub fn eclipse_with_budget(
+        &self,
+        ratio_box: &WeightRatioBox,
+        k: usize,
+    ) -> Result<crate::algo::keclipse::KEclipseResult> {
+        if ratio_box.dim() != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: ratio_box.dim(),
+            });
+        }
+        crate::algo::keclipse::eclipse_with_budget(&self.points, ratio_box, k)
+    }
+
+    /// The skyline of the dataset (indices, ascending).
+    pub fn skyline(&self) -> Vec<usize> {
+        eclipse_skyline::dc::skyline_dc(&self.points)
+    }
+
+    /// The convex-hull-query points of the dataset (origin's view).
+    pub fn convex_hull(&self) -> Vec<usize> {
+        eclipse_skyline::hull::hull_query_lp(&self.points)
+    }
+
+    /// Top-k points under the linear scoring function induced by a ratio
+    /// vector (the paper's kNN).
+    ///
+    /// # Errors
+    /// [`EclipseError::DimensionMismatch`] when `ratios.len() + 1 != d`.
+    pub fn knn(&self, ratios: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        if ratios.len() + 1 != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: ratios.len() + 1,
+            });
+        }
+        Ok(knn_linear_scan(&self.points, &ratio_to_weights(ratios), k))
+    }
+
+    /// The single nearest neighbour under a ratio vector (1NN).
+    ///
+    /// # Errors
+    /// Same as [`EclipseEngine::knn`].
+    pub fn nn(&self, ratios: &[f64]) -> Result<Option<Neighbor>> {
+        Ok(self.knn(ratios, 1)?.into_iter().next())
+    }
+
+    /// Side-by-side relationship report (1NN / eclipse / hull / skyline).
+    ///
+    /// # Errors
+    /// Propagates eclipse-query errors.
+    pub fn relations(&self, ratio_box: &WeightRatioBox) -> Result<RelationReport> {
+        RelationReport::compute(&self.points, ratio_box)
+    }
+}
+
+impl std::fmt::Debug for EclipseEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EclipseEngine")
+            .field("points", &self.points.len())
+            .field("dim", &self.dim)
+            .field("quad_index_built", &self.quad_index.read().is_some())
+            .field("cutting_index_built", &self.cutting_index.read().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    fn paper_engine() -> EclipseEngine {
+        EclipseEngine::new(paper_points()).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            EclipseEngine::new(vec![]),
+            Err(EclipseError::EmptyDataset)
+        ));
+        assert!(EclipseEngine::new(vec![p(&[1.0])]).is_err());
+        assert!(EclipseEngine::new(vec![p(&[1.0, 2.0]), p(&[1.0, 2.0, 3.0])]).is_err());
+        let e = paper_engine();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.dim(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.points().len(), 4);
+        assert!(format!("{e:?}").contains("EclipseEngine"));
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_the_running_example() {
+        let e = paper_engine();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Baseline,
+            Algorithm::Transform,
+            Algorithm::IndexQuadtree,
+            Algorithm::IndexCuttingTree,
+        ] {
+            assert_eq!(e.eclipse_with(&b, alg).unwrap(), vec![0, 1, 2], "{alg:?}");
+        }
+        let pts = e.eclipse_points(&b).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], p(&[1.0, 6.0]));
+    }
+
+    #[test]
+    fn auto_uses_skyline_for_skyline_instantiation() {
+        let e = paper_engine();
+        let sky = WeightRatioBox::skyline(2).unwrap();
+        assert_eq!(e.eclipse(&sky).unwrap(), vec![0, 1, 2]);
+        assert_eq!(e.skyline(), vec![0, 1, 2]);
+        // Explicit algorithms that need finite ranges refuse it.
+        assert!(e.eclipse_with(&sky, Algorithm::Transform).is_err());
+        assert!(e.eclipse_with(&sky, Algorithm::Baseline).is_err());
+    }
+
+    #[test]
+    fn auto_handles_partially_unbounded_boxes() {
+        let e = paper_engine();
+        let b = WeightRatioBox::from_bounds(&[(1.0, f64::INFINITY)]).unwrap();
+        let got = e.eclipse(&b).unwrap();
+        // Exact answer: dominance needs S(p) ≤ S(q) at r = 1 and p[0] ≤ q[0];
+        // p1(1,6): no one has both smaller x and smaller r=1 score; p2(4,4)
+        // undominated (p1 has bigger sum at r=1? 7 vs 8 — p1 smaller sum but
+        // larger x? no, x=1 < 4 — p1 dominates p2? needs p1[0] ≤ p2[0] (1 ≤ 4)
+        // and score at r=1: 7 ≤ 8 — yes, with strictness ⇒ p2 is dominated).
+        assert!(got.contains(&0));
+        assert!(!got.contains(&3));
+        assert_eq!(got, crate::dominance::eclipse_naive(e.points(), &b));
+    }
+
+    #[test]
+    fn preference_specs_route_through_the_engine() {
+        let e = paper_engine();
+        let pref = PreferenceSpec::RelaxedWeights {
+            ratios: vec![1.0],
+            margin: 0.5,
+        };
+        let got = e.eclipse_with_preference(&pref).unwrap();
+        let b = WeightRatioBox::uniform(2, 0.5, 1.5).unwrap();
+        assert_eq!(got, e.eclipse(&b).unwrap());
+
+        // Categorical preference with an unbounded top level still answers.
+        let pref = PreferenceSpec::Categorical(vec![crate::prefs::ImportanceLevel::VeryImportant]);
+        let got = e.eclipse_with_preference(&pref).unwrap();
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn knn_and_hull_accessors() {
+        let e = paper_engine();
+        let nn = e.nn(&[2.0]).unwrap().unwrap();
+        assert_eq!(nn.index, 0);
+        let top2 = e.knn(&[2.0], 2).unwrap();
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[1].index, 1);
+        assert!(e.knn(&[2.0, 1.0], 1).is_err());
+        assert_eq!(e.convex_hull(), vec![0, 2]);
+        let rel = e.relations(&WeightRatioBox::uniform(2, 0.25, 2.0).unwrap()).unwrap();
+        assert_eq!(rel.eclipse, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn size_controlled_queries_through_the_engine() {
+        let e = paper_engine();
+        let top1 = e.eclipse_top_k(&[2.0], 1).unwrap();
+        assert_eq!(top1.indices, vec![0]);
+        let budget = e
+            .eclipse_with_budget(&WeightRatioBox::uniform(2, 0.25, 2.0).unwrap(), 2)
+            .unwrap();
+        assert!(budget.indices.len() <= 2);
+        assert!(!budget.indices.is_empty());
+        // Dimension mismatches are caught up front.
+        assert!(e.eclipse_top_k(&[2.0, 1.0], 1).is_err());
+        assert!(e
+            .eclipse_with_budget(&WeightRatioBox::uniform(3, 0.5, 1.0).unwrap(), 2)
+            .is_err());
+    }
+
+    #[test]
+    fn index_is_cached_and_reused() {
+        let e = paper_engine();
+        let a = e.build_index(IntersectionIndexKind::Quadtree).unwrap();
+        let b = e.build_index(IntersectionIndexKind::Quadtree).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Auto now routes through the cached index.
+        let bx = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(e.eclipse(&bx).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_up_front() {
+        let e = paper_engine();
+        let wrong = WeightRatioBox::uniform(3, 0.5, 1.0).unwrap();
+        assert!(matches!(
+            e.eclipse(&wrong),
+            Err(EclipseError::DimensionMismatch { expected: 2, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_3d_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let pts: Vec<Point> = (0..250)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let e = EclipseEngine::new(pts).unwrap();
+        let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        let baseline = e.eclipse_with(&b, Algorithm::Baseline).unwrap();
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Transform,
+            Algorithm::IndexQuadtree,
+            Algorithm::IndexCuttingTree,
+        ] {
+            assert_eq!(e.eclipse_with(&b, alg).unwrap(), baseline, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn engine_is_usable_from_multiple_threads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let e = Arc::new(EclipseEngine::new(pts).unwrap());
+        let expected = e
+            .eclipse(&WeightRatioBox::uniform(3, 0.36, 2.75).unwrap())
+            .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let e = Arc::clone(&e);
+            let expected = expected.clone();
+            handles.push(std::thread::spawn(move || {
+                let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+                let alg = if t % 2 == 0 {
+                    Algorithm::IndexQuadtree
+                } else {
+                    Algorithm::IndexCuttingTree
+                };
+                assert_eq!(e.eclipse_with(&b, alg).unwrap(), expected);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

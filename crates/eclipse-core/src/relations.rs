@@ -1,0 +1,207 @@
+//! Relationships between eclipse, 1NN, convex hull and skyline
+//! (Table I and Figure 4 of the paper).
+//!
+//! * 1NN returns the single best point for one exact linear scoring function;
+//! * the convex-hull query returns the points that are best for *some* linear
+//!   scoring function;
+//! * skyline returns the points that are best for *some monotone* scoring
+//!   function;
+//! * eclipse returns the points that are best for some linear scoring
+//!   function whose weight ratios lie in the user's box.
+//!
+//! Consequently `1NN ⊆ eclipse ⊆ skyline`, `1NN ⊆ hull ⊆ skyline`, and
+//! eclipse generally contains hull points *and* non-hull points (Figure 4).
+//! [`RelationReport`] materializes all four result sets over a dataset so the
+//! inclusions can be inspected (and are asserted by the integration tests).
+
+use eclipse_geom::point::Point;
+use eclipse_skyline::hull::hull_query_lp;
+use eclipse_skyline::knn::{nn_linear, ratio_to_weights};
+
+use crate::algo::transform::{eclipse_transform, SkylineBackend};
+use crate::error::Result;
+use crate::weights::WeightRatioBox;
+
+/// The four related result sets over one dataset (all as ascending index
+/// vectors into the dataset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationReport {
+    /// The 1NN winner for the ratio box's lower corner (representative exact
+    /// preference), if the dataset is non-empty.
+    pub nn: Option<usize>,
+    /// The eclipse points for the given ratio box.
+    pub eclipse: Vec<usize>,
+    /// The convex-hull-query points (origin's view).
+    pub convex_hull: Vec<usize>,
+    /// The skyline points.
+    pub skyline: Vec<usize>,
+}
+
+impl RelationReport {
+    /// Computes all four result sets.
+    ///
+    /// # Errors
+    /// Propagates errors from the eclipse computation (e.g. unbounded ranges).
+    pub fn compute(points: &[Point], ratio_box: &WeightRatioBox) -> Result<Self> {
+        let eclipse = eclipse_transform(points, ratio_box, SkylineBackend::Auto)?;
+        let skyline = eclipse_skyline::dc::skyline_dc(points);
+        let convex_hull = hull_query_lp(points);
+        let nn = nn_linear(points, &ratio_to_weights(&ratio_box.lower_corner())).map(|n| n.index);
+        Ok(RelationReport {
+            nn,
+            eclipse,
+            convex_hull,
+            skyline,
+        })
+    }
+
+    /// `true` when every eclipse point is a skyline point.
+    pub fn eclipse_subset_of_skyline(&self) -> bool {
+        is_subset(&self.eclipse, &self.skyline)
+    }
+
+    /// `true` when every convex-hull-query point is a skyline point.
+    pub fn hull_subset_of_skyline(&self) -> bool {
+        is_subset(&self.convex_hull, &self.skyline)
+    }
+
+    /// `true` when the 1NN winner (if any) is an eclipse point — holds
+    /// whenever the exact preference used for 1NN lies inside the ratio box.
+    pub fn nn_in_eclipse(&self) -> bool {
+        self.nn.is_none_or(|i| self.eclipse.contains(&i))
+    }
+
+    /// `true` when the 1NN winner (if any) is a convex-hull-query point.
+    pub fn nn_in_hull(&self) -> bool {
+        self.nn.is_none_or(|i| self.convex_hull.contains(&i))
+    }
+
+    /// Eclipse points that are *not* convex-hull points — the region of
+    /// Figure 4 where eclipse exceeds the hull.
+    pub fn eclipse_only(&self) -> Vec<usize> {
+        self.eclipse
+            .iter()
+            .copied()
+            .filter(|i| !self.convex_hull.contains(i))
+            .collect()
+    }
+}
+
+fn is_subset(a: &[usize], b: &[usize]) -> bool {
+    let set: std::collections::HashSet<usize> = b.iter().copied().collect();
+    a.iter().all(|i| set.contains(i))
+}
+
+/// Verifies the instantiation claims of §II-C on a dataset: eclipse with a
+/// degenerate box equals the 1NN winner set, and eclipse with a huge box
+/// approaches the skyline.  Returns `(nn_matches, skyline_matches)`.
+///
+/// # Errors
+/// Propagates errors from the eclipse computations.
+pub fn verify_instantiations(points: &[Point], exact_ratio: &[f64]) -> Result<(bool, bool)> {
+    if points.is_empty() {
+        return Ok((true, true));
+    }
+    let d = points[0].dim();
+
+    // 1NN instantiation: the eclipse result for [l, l] is the set of points
+    // with the minimal score, which contains the 1NN winner.
+    let nn_box = WeightRatioBox::exact(exact_ratio)?;
+    let nn_eclipse = eclipse_transform(points, &nn_box, SkylineBackend::Auto)?;
+    let winner = nn_linear(points, &ratio_to_weights(exact_ratio))
+        .expect("non-empty dataset has a 1NN winner");
+    let nn_matches = nn_eclipse.contains(&winner.index);
+
+    // Skyline instantiation: a box stretching from ~0 to a huge ratio returns
+    // exactly the skyline for datasets in general position.
+    let huge = WeightRatioBox::uniform(d, 1e-7, 1e7)?;
+    let skyline_like = eclipse_transform(points, &huge, SkylineBackend::Auto)?;
+    let skyline = eclipse_skyline::dc::skyline_dc(points);
+    let skyline_matches = skyline_like == skyline;
+
+    Ok((nn_matches, skyline_matches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn paper_example_relationships() {
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let r = RelationReport::compute(&paper_points(), &b).unwrap();
+        assert_eq!(r.eclipse, vec![0, 1, 2]);
+        assert_eq!(r.skyline, vec![0, 1, 2]);
+        assert_eq!(r.convex_hull, vec![0, 2]);
+        assert!(r.eclipse_subset_of_skyline());
+        assert!(r.hull_subset_of_skyline());
+        assert!(r.nn_in_eclipse());
+        assert!(r.nn_in_hull());
+        // p2 is an eclipse point that is not on the convex hull (Figure 4's
+        // "eclipse beyond hull" region).
+        assert_eq!(r.eclipse_only(), vec![1]);
+    }
+
+    #[test]
+    fn inclusions_hold_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        for d in 2..=4usize {
+            let pts: Vec<Point> = (0..120)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                .collect();
+            let b = WeightRatioBox::uniform(d, 0.36, 2.75).unwrap();
+            let r = RelationReport::compute(&pts, &b).unwrap();
+            assert!(r.eclipse_subset_of_skyline(), "d = {d}");
+            assert!(r.hull_subset_of_skyline(), "d = {d}");
+            assert!(r.nn_in_eclipse(), "d = {d}");
+            assert!(r.nn_in_hull(), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn instantiations_on_paper_example() {
+        let (nn_ok, sky_ok) = verify_instantiations(&paper_points(), &[2.0]).unwrap();
+        assert!(nn_ok);
+        assert!(sky_ok);
+        // Empty dataset trivially verifies.
+        assert_eq!(verify_instantiations(&[], &[2.0]).unwrap(), (true, true));
+    }
+
+    #[test]
+    fn instantiations_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        for d in 2..=4usize {
+            let pts: Vec<Point> = (0..150)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.1..1.0)).collect()))
+                .collect();
+            let ratio = vec![1.3; d - 1];
+            let (nn_ok, sky_ok) = verify_instantiations(&pts, &ratio).unwrap();
+            assert!(nn_ok, "d = {d}");
+            assert!(sky_ok, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn narrow_box_eclipse_is_between_nn_and_skyline_in_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(93);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let narrow = WeightRatioBox::uniform(3, 0.84, 1.19).unwrap();
+        let wide = WeightRatioBox::uniform(3, 0.18, 5.67).unwrap();
+        let r_narrow = RelationReport::compute(&pts, &narrow).unwrap();
+        let r_wide = RelationReport::compute(&pts, &wide).unwrap();
+        assert!(!r_narrow.eclipse.is_empty());
+        assert!(r_narrow.eclipse.len() <= r_wide.eclipse.len());
+        assert!(r_wide.eclipse.len() <= r_wide.skyline.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Scoring functions.
+//!
+//! The paper works with the L1 weighted sum `S(p) = Σ_i w[i]·p[i]` (footnote 2
+//! notes the extension to Lp norms: raise coordinates to the p-th power and
+//! keep the same machinery, since the 1/p root does not change rankings).
+//! This module provides both flavours plus the ratio-vector convenience used
+//! everywhere else in the crate.
+
+use eclipse_geom::point::Point;
+
+/// The weighted sum `S(p) = Σ_i w[i]·p[i]` for a full weight vector `w`
+/// (length `d`, typically with `w[d] = 1`).
+///
+/// # Panics
+/// Panics if `weights.len() != p.dim()`.
+pub fn score_with_weights(p: &Point, weights: &[f64]) -> f64 {
+    p.weighted_sum(weights)
+}
+
+/// The weighted sum for an attribute weight *ratio* vector
+/// `r = ⟨r[1], …, r[d−1]⟩` with the implicit `w[d] = 1`:
+/// `S(p)_r = Σ_j r[j]·p[j] + p[d]`.
+///
+/// # Panics
+/// Panics if `ratios.len() + 1 != p.dim()`.
+pub fn score_with_ratios(p: &Point, ratios: &[f64]) -> f64 {
+    eclipse_geom::dual::score(p, ratios)
+}
+
+/// The Lp-norm generalization of footnote 2:
+/// `S_p(x) = Σ_i w[i]·x[i]^p` (the 1/p root is omitted since it is monotone
+/// and does not affect any ranking or dominance decision).
+///
+/// # Panics
+/// Panics if `weights.len() != x.dim()`, or if `p_norm < 1.0`.
+pub fn score_lp(x: &Point, weights: &[f64], p_norm: f64) -> f64 {
+    assert_eq!(weights.len(), x.dim(), "weight vector must match dimensionality");
+    assert!(p_norm >= 1.0, "Lp scoring requires p ≥ 1");
+    x.coords()
+        .iter()
+        .zip(weights.iter())
+        .map(|(c, w)| w * c.abs().powf(p_norm))
+        .sum()
+}
+
+/// Scores every point of a dataset for a ratio vector, returning the scores
+/// in dataset order.  Convenience used by the algorithms and the benchmarks.
+pub fn score_all(points: &[Point], ratios: &[f64]) -> Vec<f64> {
+    points.iter().map(|p| score_with_ratios(p, ratios)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    #[test]
+    fn weighted_and_ratio_scores_agree() {
+        let x = p(&[4.0, 4.0]);
+        assert_eq!(score_with_weights(&x, &[2.0, 1.0]), 12.0);
+        assert_eq!(score_with_ratios(&x, &[2.0]), 12.0);
+        // Example 2 of the paper: S(p2)_{1/4} = 5, S(p4)_{1/4} = 7.
+        assert_eq!(score_with_ratios(&p(&[4.0, 4.0]), &[0.25]), 5.0);
+        assert_eq!(score_with_ratios(&p(&[8.0, 5.0]), &[0.25]), 7.0);
+        assert_eq!(score_with_ratios(&p(&[8.0, 5.0]), &[2.0]), 21.0);
+    }
+
+    #[test]
+    fn lp_scoring_reduces_to_l1_for_p1() {
+        let x = p(&[2.0, 3.0]);
+        assert_eq!(score_lp(&x, &[1.0, 2.0], 1.0), score_with_weights(&x, &[1.0, 2.0]));
+        // L2 (squared): 1*4 + 2*9 = 22.
+        assert_eq!(score_lp(&x, &[1.0, 2.0], 2.0), 22.0);
+    }
+
+    #[test]
+    fn lp_ranking_consistency() {
+        // Footnote 2: rankings under Lp are the rankings of the powered
+        // coordinates; verify that scaling weights preserves the argmin.
+        let a = p(&[1.0, 3.0]);
+        let b = p(&[2.0, 2.0]);
+        for p_norm in [1.0, 2.0, 3.0] {
+            let sa = score_lp(&a, &[1.0, 1.0], p_norm);
+            let sb = score_lp(&b, &[1.0, 1.0], p_norm);
+            let sa2 = score_lp(&a, &[10.0, 10.0], p_norm);
+            let sb2 = score_lp(&b, &[10.0, 10.0], p_norm);
+            assert_eq!(sa < sb, sa2 < sb2);
+        }
+    }
+
+    #[test]
+    fn score_all_matches_individual_scores() {
+        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0])];
+        assert_eq!(score_all(&pts, &[2.0]), vec![8.0, 12.0, 13.0]);
+        assert!(score_all(&[], &[2.0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "p ≥ 1")]
+    fn lp_rejects_sub_one_norms() {
+        let _ = score_lp(&p(&[1.0]), &[1.0], 0.5);
+    }
+}

@@ -1,0 +1,458 @@
+//! Attribute weight ratios and weight-ratio boxes.
+//!
+//! An eclipse query is parameterized by an attribute weight ratio vector
+//! `r = ⟨r[1], …, r[d−1]⟩` with `r[j] = w[j] / w[d]`, each component
+//! constrained to a user-specified range `[l_j, h_j]` (Definition 3).  A
+//! [`WeightRatioBox`] is the Cartesian product of those ranges; the classic
+//! operators fall out as special cases ([`WeightRatioBox::exact`] → 1NN,
+//! [`WeightRatioBox::skyline`] → skyline).
+
+use serde::{Deserialize, Serialize};
+
+use eclipse_geom::point::BoundingBox;
+
+use crate::error::{EclipseError, Result};
+
+/// A closed range `[lo, hi]` for a single attribute weight ratio.
+/// `hi` may be `f64::INFINITY` to express the skyline-style unbounded range.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RatioRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl RatioRange {
+    /// Creates a range after validating `0 ≤ lo ≤ hi` and that `lo` is finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || lo < 0.0 {
+            return Err(EclipseError::InvalidRatioRange {
+                index: 0,
+                reason: format!("lower bound {lo} must be finite and non-negative"),
+            });
+        }
+        if hi.is_nan() || hi < lo {
+            return Err(EclipseError::InvalidRatioRange {
+                index: 0,
+                reason: format!("upper bound {hi} must be ≥ lower bound {lo}"),
+            });
+        }
+        Ok(RatioRange { lo, hi })
+    }
+
+    /// The degenerate range `[v, v]` (1NN-style exact preference).
+    pub fn exact(v: f64) -> Result<Self> {
+        Self::new(v, v)
+    }
+
+    /// The unbounded range `[0, +∞)` (skyline-style indifference).
+    pub fn unbounded() -> Self {
+        RatioRange {
+            lo: 0.0,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// Lower bound `l_j`.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound `h_j` (possibly `+∞`).
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `true` when `lo == hi`.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` when the upper bound is infinite.
+    pub fn is_unbounded(&self) -> bool {
+        self.hi.is_infinite()
+    }
+
+    /// `true` when `v` lies in the closed range.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Width of the range (`+∞` for unbounded ranges).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// The Cartesian product of the `d−1` ratio ranges of an eclipse query over a
+/// `d`-dimensional dataset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightRatioBox {
+    ranges: Vec<RatioRange>,
+}
+
+impl WeightRatioBox {
+    /// Creates a box from explicit per-attribute ranges (`d − 1` of them for a
+    /// `d`-dimensional dataset).
+    pub fn new(ranges: Vec<RatioRange>) -> Result<Self> {
+        if ranges.is_empty() {
+            return Err(EclipseError::InvalidRatioRange {
+                index: 0,
+                reason: "a weight-ratio box needs at least one range (d ≥ 2)".to_string(),
+            });
+        }
+        Ok(WeightRatioBox { ranges })
+    }
+
+    /// Creates a box from raw `(lo, hi)` pairs.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Result<Self> {
+        let ranges = bounds
+            .iter()
+            .enumerate()
+            .map(|(index, &(lo, hi))| {
+                RatioRange::new(lo, hi).map_err(|e| match e {
+                    EclipseError::InvalidRatioRange { reason, .. } => {
+                        EclipseError::InvalidRatioRange { index, reason }
+                    }
+                    other => other,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(ranges)
+    }
+
+    /// The same range `[lo, hi]` on every one of the `d − 1` ratios — the
+    /// setting `r[1] = … = r[d−1]` used throughout the paper's evaluation.
+    pub fn uniform(dim: usize, lo: f64, hi: f64) -> Result<Self> {
+        if dim < 2 {
+            return Err(EclipseError::InvalidRatioRange {
+                index: 0,
+                reason: format!("dataset dimensionality must be ≥ 2, got {dim}"),
+            });
+        }
+        let r = RatioRange::new(lo, hi)?;
+        Ok(WeightRatioBox {
+            ranges: vec![r; dim - 1],
+        })
+    }
+
+    /// The 1NN instantiation `[l_j, l_j]` from an exact ratio vector.
+    pub fn exact(ratios: &[f64]) -> Result<Self> {
+        let ranges = ratios
+            .iter()
+            .enumerate()
+            .map(|(index, &v)| {
+                RatioRange::exact(v).map_err(|e| match e {
+                    EclipseError::InvalidRatioRange { reason, .. } => {
+                        EclipseError::InvalidRatioRange { index, reason }
+                    }
+                    other => other,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(ranges)
+    }
+
+    /// The skyline instantiation `[0, +∞)^{d−1}`.
+    pub fn skyline(dim: usize) -> Result<Self> {
+        if dim < 2 {
+            return Err(EclipseError::InvalidRatioRange {
+                index: 0,
+                reason: format!("dataset dimensionality must be ≥ 2, got {dim}"),
+            });
+        }
+        Ok(WeightRatioBox {
+            ranges: vec![RatioRange::unbounded(); dim - 1],
+        })
+    }
+
+    /// The per-ratio ranges.
+    pub fn ranges(&self) -> &[RatioRange] {
+        &self.ranges
+    }
+
+    /// Number of ratios (`d − 1`).
+    pub fn num_ratios(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Dataset dimensionality `d` this box applies to.
+    pub fn dim(&self) -> usize {
+        self.ranges.len() + 1
+    }
+
+    /// `true` when every range is degenerate (the 1NN instantiation).
+    pub fn is_exact(&self) -> bool {
+        self.ranges.iter().all(RatioRange::is_exact)
+    }
+
+    /// `true` when at least one range has an infinite upper bound.
+    pub fn has_unbounded_range(&self) -> bool {
+        self.ranges.iter().any(RatioRange::is_unbounded)
+    }
+
+    /// `true` when every range is `[0, +∞)` (the skyline instantiation).
+    pub fn is_skyline(&self) -> bool {
+        self.ranges.iter().all(|r| r.lo() == 0.0 && r.is_unbounded())
+    }
+
+    /// `true` when the ratio vector `r` lies inside the box.
+    pub fn contains(&self, r: &[f64]) -> bool {
+        r.len() == self.num_ratios()
+            && self.ranges.iter().zip(r.iter()).all(|(rg, v)| rg.contains(*v))
+    }
+
+    /// The lower corner `(l_1, …, l_{d−1})`.
+    pub fn lower_corner(&self) -> Vec<f64> {
+        self.ranges.iter().map(RatioRange::lo).collect()
+    }
+
+    /// The upper corner `(h_1, …, h_{d−1})`.  Contains `+∞` entries for
+    /// unbounded ranges.
+    pub fn upper_corner(&self) -> Vec<f64> {
+        self.ranges.iter().map(RatioRange::hi).collect()
+    }
+
+    /// All `2^{d−1}` corner ratio vectors of the box — the *domination
+    /// vectors* of Theorem 2 (without the trailing `w[d] = 1`).
+    ///
+    /// # Errors
+    /// Returns [`EclipseError::Unsupported`] when a range is unbounded (the
+    /// corner enumeration needs finite bounds; use
+    /// [`crate::dominance::eclipse_dominates`] which handles unbounded ranges
+    /// analytically, or instantiate skyline directly).
+    pub fn corner_ratios(&self) -> Result<Vec<Vec<f64>>> {
+        if self.has_unbounded_range() {
+            return Err(EclipseError::Unsupported(
+                "corner enumeration requires finite ratio ranges".to_string(),
+            ));
+        }
+        let k = self.num_ratios();
+        let mut out = Vec::with_capacity(1 << k);
+        for mask in 0u64..(1u64 << k) {
+            let corner: Vec<f64> = self
+                .ranges
+                .iter()
+                .enumerate()
+                .map(|(j, r)| if mask & (1 << j) != 0 { r.hi() } else { r.lo() })
+                .collect();
+            out.push(corner);
+        }
+        Ok(out)
+    }
+
+    /// The `d` carefully chosen domination ratio vectors of Theorem 6: the
+    /// all-lower corner plus, for every `j`, the corner with `r[j] = h_j` and
+    /// every other ratio at its lower bound.  These are the rows used by the
+    /// transformation-based algorithm's mapping.
+    ///
+    /// # Errors
+    /// Same finiteness requirement as [`WeightRatioBox::corner_ratios`].
+    pub fn canonical_ratios(&self) -> Result<Vec<Vec<f64>>> {
+        if self.has_unbounded_range() {
+            return Err(EclipseError::Unsupported(
+                "the transformation mapping requires finite ratio ranges".to_string(),
+            ));
+        }
+        let k = self.num_ratios();
+        let lower = self.lower_corner();
+        let mut out = Vec::with_capacity(k + 1);
+        out.push(lower.clone());
+        for j in 0..k {
+            let mut row = lower.clone();
+            row[j] = self.ranges[j].hi();
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// The corner ratio vectors as full weight vectors (with the trailing
+    /// `w[d] = 1`) — the paper's domination vectors.
+    pub fn domination_vectors(&self) -> Result<Vec<Vec<f64>>> {
+        Ok(self
+            .corner_ratios()?
+            .into_iter()
+            .map(|mut r| {
+                r.push(1.0);
+                r
+            })
+            .collect())
+    }
+
+    /// The box as an axis-aligned [`BoundingBox`] in ratio space.
+    ///
+    /// # Errors
+    /// Requires finite ranges.
+    pub fn as_bounding_box(&self) -> Result<BoundingBox> {
+        if self.has_unbounded_range() {
+            return Err(EclipseError::Unsupported(
+                "a BoundingBox in ratio space requires finite ratio ranges".to_string(),
+            ));
+        }
+        Ok(BoundingBox::new(self.lower_corner(), self.upper_corner()))
+    }
+
+    /// Widens every range by the multiplicative `margin` (e.g. `0.25` turns an
+    /// exact ratio `r` into `[r·0.75, r·1.25]`) — the "relaxed kNN weights"
+    /// usage suggested in the paper's introduction.
+    pub fn relaxed(ratios: &[f64], margin: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&margin) {
+            return Err(EclipseError::InvalidRatioRange {
+                index: 0,
+                reason: format!("margin {margin} must lie in [0, 1)"),
+            });
+        }
+        let bounds: Vec<(f64, f64)> = ratios
+            .iter()
+            .map(|&r| (r * (1.0 - margin), r * (1.0 + margin)))
+            .collect();
+        Self::from_bounds(&bounds)
+    }
+}
+
+impl std::fmt::Display for WeightRatioBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r ∈ ")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            if r.is_unbounded() {
+                write!(f, "[{}, +∞)", r.lo())?;
+            } else {
+                write!(f, "[{}, {}]", r.lo(), r.hi())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_range_validation() {
+        assert!(RatioRange::new(0.25, 2.0).is_ok());
+        assert!(RatioRange::new(2.0, 0.25).is_err());
+        assert!(RatioRange::new(-1.0, 2.0).is_err());
+        assert!(RatioRange::new(f64::NAN, 2.0).is_err());
+        assert!(RatioRange::new(1.0, f64::NAN).is_err());
+        assert!(RatioRange::new(f64::INFINITY, f64::INFINITY).is_err());
+        let r = RatioRange::new(0.25, 2.0).unwrap();
+        assert_eq!(r.lo(), 0.25);
+        assert_eq!(r.hi(), 2.0);
+        assert!(r.contains(1.0));
+        assert!(!r.contains(3.0));
+        assert!((r.width() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_and_unbounded_ranges() {
+        let e = RatioRange::exact(2.0).unwrap();
+        assert!(e.is_exact());
+        assert!(!e.is_unbounded());
+        let u = RatioRange::unbounded();
+        assert!(u.is_unbounded());
+        assert!(u.contains(1e12));
+        assert!(u.width().is_infinite());
+    }
+
+    #[test]
+    fn box_constructors_and_instantiations() {
+        let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        assert_eq!(b.dim(), 3);
+        assert_eq!(b.num_ratios(), 2);
+        assert!(!b.is_exact());
+        assert!(!b.is_skyline());
+
+        let nn = WeightRatioBox::exact(&[2.0]).unwrap();
+        assert!(nn.is_exact());
+        assert_eq!(nn.dim(), 2);
+
+        let sky = WeightRatioBox::skyline(4).unwrap();
+        assert!(sky.is_skyline());
+        assert!(sky.has_unbounded_range());
+        assert_eq!(sky.dim(), 4);
+
+        assert!(WeightRatioBox::uniform(1, 0.0, 1.0).is_err());
+        assert!(WeightRatioBox::skyline(1).is_err());
+        assert!(WeightRatioBox::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn corners_match_paper_example() {
+        // d = 2, r ∈ [1/4, 2] (Figure 3): corners are the two domination
+        // vectors <1/4, 1> and <2, 1>.
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let corners = b.corner_ratios().unwrap();
+        assert_eq!(corners, vec![vec![0.25], vec![2.0]]);
+        let dv = b.domination_vectors().unwrap();
+        assert_eq!(dv, vec![vec![0.25, 1.0], vec![2.0, 1.0]]);
+    }
+
+    #[test]
+    fn corner_count_is_two_to_the_d_minus_one() {
+        for d in 2..=6usize {
+            let b = WeightRatioBox::uniform(d, 0.5, 1.5).unwrap();
+            assert_eq!(b.corner_ratios().unwrap().len(), 1 << (d - 1));
+        }
+    }
+
+    #[test]
+    fn canonical_ratios_are_d_rows() {
+        let b = WeightRatioBox::from_bounds(&[(0.5, 2.0), (0.25, 4.0)]).unwrap();
+        let rows = b.canonical_ratios().unwrap();
+        // d = 3 rows: (l1, l2), (h1, l2), (l1, h2).
+        assert_eq!(rows, vec![vec![0.5, 0.25], vec![2.0, 0.25], vec![0.5, 4.0]]);
+    }
+
+    #[test]
+    fn unbounded_boxes_reject_corner_enumeration() {
+        let sky = WeightRatioBox::skyline(3).unwrap();
+        assert!(sky.corner_ratios().is_err());
+        assert!(sky.canonical_ratios().is_err());
+        assert!(sky.as_bounding_box().is_err());
+    }
+
+    #[test]
+    fn containment_and_corners() {
+        let b = WeightRatioBox::from_bounds(&[(0.5, 2.0), (0.25, 4.0)]).unwrap();
+        assert!(b.contains(&[1.0, 1.0]));
+        assert!(!b.contains(&[3.0, 1.0]));
+        assert!(!b.contains(&[1.0]));
+        assert_eq!(b.lower_corner(), vec![0.5, 0.25]);
+        assert_eq!(b.upper_corner(), vec![2.0, 4.0]);
+        let bb = b.as_bounding_box().unwrap();
+        assert_eq!(bb.lo(), &[0.5, 0.25]);
+        assert_eq!(bb.hi(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn relaxed_box_around_exact_weights() {
+        let b = WeightRatioBox::relaxed(&[2.0, 1.0], 0.25).unwrap();
+        assert_eq!(b.ranges()[0].lo(), 1.5);
+        assert_eq!(b.ranges()[0].hi(), 2.5);
+        assert_eq!(b.ranges()[1].lo(), 0.75);
+        assert_eq!(b.ranges()[1].hi(), 1.25);
+        assert!(WeightRatioBox::relaxed(&[2.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn display_formats_ranges() {
+        let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        assert_eq!(format!("{b}"), "r ∈ [0.36, 2.75] × [0.36, 2.75]");
+        let sky = WeightRatioBox::skyline(2).unwrap();
+        assert_eq!(format!("{sky}"), "r ∈ [0, +∞)");
+    }
+
+    #[test]
+    fn error_index_is_reported_for_offending_range() {
+        let err = WeightRatioBox::from_bounds(&[(0.5, 2.0), (3.0, 1.0)]).unwrap_err();
+        match err {
+            EclipseError::InvalidRatioRange { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

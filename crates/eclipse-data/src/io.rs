@@ -1,0 +1,247 @@
+//! Dataset and experiment-result I/O.
+//!
+//! A tiny, dependency-free CSV reader/writer for point datasets (one row per
+//! point, one numeric column per attribute, optional header), plus a generic
+//! row-oriented result writer the experiment harness uses to dump the tables
+//! and figure series it reproduces.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use eclipse_geom::point::Point;
+
+/// Writes a point dataset as CSV.  When `header` is provided its length must
+/// match the dimensionality.
+///
+/// # Errors
+/// Propagates I/O errors; returns `InvalidInput` when the header length does
+/// not match the data dimensionality.
+pub fn write_points_csv(
+    path: &Path,
+    points: &[Point],
+    header: Option<&[&str]>,
+) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    if let Some(names) = header {
+        if let Some(first) = points.first() {
+            if names.len() != first.dim() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "header length must match point dimensionality",
+                ));
+            }
+        }
+        writeln!(w, "{}", names.join(","))?;
+    }
+    for p in points {
+        let row: Vec<String> = p.coords().iter().map(|c| format!("{c}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Reads a point dataset from CSV.  Lines that fail to parse entirely as
+/// numbers (e.g. a header) are skipped; empty lines are ignored.
+///
+/// # Errors
+/// Propagates I/O errors; returns `InvalidData` when rows have inconsistent
+/// arity or no valid rows are found.
+pub fn read_points_csv(path: &Path) -> std::io::Result<Vec<Point>> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut out: Vec<Point> = Vec::new();
+    let mut dim: Option<usize> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let parsed: Option<Vec<f64>> = trimmed
+            .split(',')
+            .map(|cell| cell.trim().parse::<f64>().ok())
+            .collect();
+        let Some(values) = parsed else {
+            continue; // header or malformed row
+        };
+        if values.is_empty() {
+            continue;
+        }
+        match dim {
+            None => dim = Some(values.len()),
+            Some(d) if d != values.len() => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("inconsistent row arity: expected {d}, found {}", values.len()),
+                ))
+            }
+            _ => {}
+        }
+        out.push(Point::new(values));
+    }
+    if out.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no numeric rows found",
+        ));
+    }
+    Ok(out)
+}
+
+/// A generic table of experiment results: a header plus string rows, written
+/// as CSV.  Used by the `experiments` binary to persist every reproduced
+/// table/figure next to its console output.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResultTable {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (each must have `header.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        ResultTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(w, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(w, "{}", row.join(","))?;
+        }
+        w.flush()
+    }
+
+    /// Renders the table as an aligned, human-readable block (used for the
+    /// console output of the experiment harness).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("eclipse_data_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn points_round_trip_with_header() {
+        let path = tmp("roundtrip.csv");
+        let pts = vec![
+            Point::new(vec![1.0, 6.0]),
+            Point::new(vec![4.0, 4.0]),
+            Point::new(vec![6.0, 1.0]),
+        ];
+        write_points_csv(&path, &pts, Some(&["distance", "price"])).unwrap();
+        let back = read_points_csv(&path).unwrap();
+        assert_eq!(back, pts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn points_round_trip_without_header() {
+        let path = tmp("noheader.csv");
+        let pts = vec![Point::new(vec![0.5, 0.25, 0.125])];
+        write_points_csv(&path, &pts, None).unwrap();
+        assert_eq!(read_points_csv(&path).unwrap(), pts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_arity_is_validated() {
+        let path = tmp("badheader.csv");
+        let pts = vec![Point::new(vec![1.0, 2.0])];
+        let err = write_points_csv(&path, &pts, Some(&["only-one"])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_and_empty_files_are_rejected() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "1,2\n3,4,5\n").unwrap();
+        let err = read_points_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::write(&path, "just,a,header\n").unwrap();
+        let err = read_points_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_points_csv(Path::new("/nonexistent/eclipse.csv")).is_err());
+    }
+
+    #[test]
+    fn result_table_render_and_csv() {
+        let mut t = ResultTable::new(&["n", "time_ms"]);
+        t.push_row(vec!["128".into(), "0.5".into()]);
+        t.push_row(vec!["1024".into(), "3.25".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("time_ms"));
+        assert!(rendered.contains("1024"));
+        let path = tmp("table.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("n,time_ms"));
+        assert!(content.contains("1024,3.25"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn result_table_rejects_ragged_rows() {
+        let mut t = ResultTable::new(&["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Summary statistics used by the generators, the experiment harness and the
+//! tests.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length samples; 0 when either
+/// sample is constant or empty.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation requires equal-length samples");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) using nearest-rank interpolation;
+/// `None` for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 100.0);
+    let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Minimum and maximum of a slice; `None` for an empty slice.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut it = xs.iter();
+    let first = *it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &x in it {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+/// A compact textual summary (`mean ± std [min, max]`), used by the harness
+/// when printing experiment rows.
+pub fn summary(xs: &[f64]) -> String {
+    match min_max(xs) {
+        None => "n/a".to_string(),
+        Some((lo, hi)) => format!(
+            "{:.4} ± {:.4} [{:.4}, {:.4}]",
+            mean(xs),
+            std_dev(xs),
+            lo,
+            hi
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&xs, &ys_neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson_correlation(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(pearson_correlation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_and_median() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(median(&xs), Some(3.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        // Out-of-range quantiles are clamped.
+        assert_eq!(percentile(&xs, 150.0), Some(5.0));
+    }
+
+    #[test]
+    fn min_max_and_summary() {
+        assert_eq!(min_max(&[3.0, 1.0, 2.0]), Some((1.0, 3.0)));
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(summary(&[]), "n/a");
+        let s = summary(&[1.0, 3.0]);
+        assert!(s.contains("2.0000"));
+        assert!(s.contains("[1.0000, 3.0000]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn correlation_rejects_mismatched_lengths() {
+        let _ = pearson_correlation(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Synthetic workload generators.
+//!
+//! The paper's evaluation (§V-A) uses the three canonical synthetic
+//! distributions of Börzsönyi, Kossmann and Stocker ("The Skyline Operator",
+//! ICDE 2001):
+//!
+//! * **INDE** — independent: every attribute is uniform on `[0, 1)`,
+//!   independently of the others;
+//! * **CORR** — correlated: points that are good in one dimension tend to be
+//!   good in the others (tiny skylines);
+//! * **ANTI** — anti-correlated: points that are good in one dimension tend
+//!   to be bad in the others (huge skylines).
+//!
+//! In addition this module provides the **clustered worst-case** generator
+//! used for Figs. 13–14 (all skyline points crowd into the same region so
+//! their dual lines pile into one quadrant, degrading the line quadtree) and
+//! a small deterministic grid generator used by tests.
+//!
+//! All generators are deterministic given a seed.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use eclipse_geom::point::Point;
+
+/// Data distribution of a synthetic workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Independent uniform attributes.
+    Independent,
+    /// Correlated attributes (small skylines).
+    Correlated,
+    /// Anti-correlated attributes (large skylines).
+    AntiCorrelated,
+    /// Clustered worst-case for the line quadtree (Figs. 13–14).
+    ClusteredWorstCase,
+}
+
+impl Distribution {
+    /// Short name used by the experiment harness (matches the paper's plots).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Distribution::Independent => "INDE",
+            Distribution::Correlated => "CORR",
+            Distribution::AntiCorrelated => "ANTI",
+            Distribution::ClusteredWorstCase => "WORST",
+        }
+    }
+}
+
+/// Parameters of a synthetic dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of points `n`.
+    pub n: usize,
+    /// Dimensionality `d ≥ 2`.
+    pub d: usize,
+    /// Distribution family.
+    pub distribution: Distribution,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor.
+    pub fn new(n: usize, d: usize, distribution: Distribution, seed: u64) -> Self {
+        SyntheticConfig {
+            n,
+            d,
+            distribution,
+            seed,
+        }
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    /// Panics if `d < 2`.
+    pub fn generate(&self) -> Vec<Point> {
+        assert!(self.d >= 2, "synthetic datasets require d >= 2");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        match self.distribution {
+            Distribution::Independent => independent(self.n, self.d, &mut rng),
+            Distribution::Correlated => correlated(self.n, self.d, &mut rng),
+            Distribution::AntiCorrelated => anti_correlated(self.n, self.d, &mut rng),
+            Distribution::ClusteredWorstCase => clustered_worst_case(self.n, self.d, &mut rng),
+        }
+    }
+}
+
+/// Independent uniform attributes on `[0, 1)`.
+pub fn independent(n: usize, d: usize, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+/// Correlated attributes: a latent "overall quality" per point plus small
+/// independent jitter, following the standard construction (values clamped to
+/// `[0, 1]`).
+pub fn correlated(n: usize, d: usize, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            let base: f64 = sample_peaked(rng);
+            Point::new(
+                (0..d)
+                    .map(|_| {
+                        let jitter = rng.gen_range(-0.05..0.05);
+                        (base + jitter).clamp(0.0, 1.0)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Anti-correlated attributes: points live close to the hyperplane
+/// `Σ x_i = d/2`, so an improvement in one attribute is paid for in the
+/// others.
+pub fn anti_correlated(n: usize, d: usize, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            // Sample a point on the simplex-ish band around the constant-sum
+            // hyperplane, then add a little jitter.
+            let target_sum = d as f64 / 2.0 + rng.gen_range(-0.1..0.1) * d as f64 / 4.0;
+            let mut raw: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let sum: f64 = raw.iter().sum();
+            if sum > 0.0 {
+                let scale = target_sum / sum;
+                for v in raw.iter_mut() {
+                    *v = (*v * scale).clamp(0.0, 1.0);
+                }
+            }
+            Point::new(raw)
+        })
+        .collect()
+}
+
+/// Clustered worst case for the line quadtree: every point sits on (or very
+/// near) a common anti-correlated line segment confined to a tiny region of
+/// space, so all points are skyline points and all dual lines crowd together.
+pub fn clustered_worst_case(n: usize, d: usize, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            // Walk a tiny anti-correlated staircase near the origin corner.
+            let t = (i as f64 + rng.gen_range(0.0..0.5)) / n as f64;
+            let step = 1e-3;
+            let mut coords = Vec::with_capacity(d);
+            // First coordinate increases slowly, the rest decrease so that no
+            // point dominates another; everything stays within a small cell.
+            coords.push(0.5 + t * step * n as f64 / 16.0);
+            for j in 1..d {
+                let phase = (j as f64) * 0.01;
+                coords.push(0.5 + phase - t * step * n as f64 / 16.0 + rng.gen_range(0.0..step / 4.0));
+            }
+            Point::new(coords)
+        })
+        .collect()
+}
+
+/// A deterministic `side^d` grid on `[0, 1]^d`, handy for tie-heavy tests.
+pub fn grid(side: usize, d: usize) -> Vec<Point> {
+    assert!(d >= 1 && side >= 1);
+    let mut out = Vec::with_capacity(side.pow(d as u32));
+    let mut idx = vec![0usize; d];
+    loop {
+        out.push(Point::new(
+            idx.iter()
+                .map(|&i| i as f64 / (side.max(2) - 1).max(1) as f64)
+                .collect(),
+        ));
+        // Increment the mixed-radix counter.
+        let mut k = 0;
+        loop {
+            idx[k] += 1;
+            if idx[k] < side {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+            if k == d {
+                return out;
+            }
+        }
+    }
+}
+
+/// Samples a value in `[0, 1)` biased towards the middle (sum of two
+/// uniforms), used as the latent quality of correlated points.
+fn sample_peaked(rng: &mut impl Rng) -> f64 {
+    0.5 * (rng.gen_range(0.0..1.0) + rng.gen_range(0.0..1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_skyline::bnl::skyline_bnl;
+
+    fn config(dist: Distribution) -> SyntheticConfig {
+        SyntheticConfig::new(1 << 10, 3, dist, 42)
+    }
+
+    #[test]
+    fn generators_produce_requested_shape() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+            Distribution::ClusteredWorstCase,
+        ] {
+            let pts = config(dist).generate();
+            assert_eq!(pts.len(), 1 << 10, "{dist:?}");
+            assert!(pts.iter().all(|p| p.dim() == 3), "{dist:?}");
+            assert!(
+                pts.iter().all(|p| p.coords().iter().all(|c| c.is_finite())),
+                "{dist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = config(Distribution::Independent).generate();
+        let b = config(Distribution::Independent).generate();
+        assert_eq!(a, b);
+        let c = SyntheticConfig::new(1 << 10, 3, Distribution::Independent, 43).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skyline_sizes_follow_the_expected_ordering() {
+        // CORR has (much) smaller skylines than INDE, which has smaller
+        // skylines than ANTI — the property the paper's Figure 10 relies on.
+        let corr = skyline_bnl(&config(Distribution::Correlated).generate()).len();
+        let inde = skyline_bnl(&config(Distribution::Independent).generate()).len();
+        let anti = skyline_bnl(&config(Distribution::AntiCorrelated).generate()).len();
+        assert!(corr < inde, "corr = {corr}, inde = {inde}");
+        assert!(inde < anti, "inde = {inde}, anti = {anti}");
+    }
+
+    #[test]
+    fn worst_case_data_is_mostly_skyline_and_tightly_clustered() {
+        let pts = SyntheticConfig::new(256, 3, Distribution::ClusteredWorstCase, 7).generate();
+        let sky = skyline_bnl(&pts);
+        assert!(
+            sky.len() > pts.len() / 2,
+            "worst case should be skyline-heavy, got {}",
+            sky.len()
+        );
+        let bbox = eclipse_geom::point::BoundingBox::enclosing(&pts).unwrap();
+        for j in 0..3 {
+            assert!(bbox.extent(j) < 0.2, "axis {j} extent {}", bbox.extent(j));
+        }
+    }
+
+    #[test]
+    fn anti_correlated_points_have_near_constant_sum() {
+        let pts = config(Distribution::AntiCorrelated).generate();
+        let sums: Vec<f64> = pts.iter().map(|p| p.coords().iter().sum()).collect();
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        let var = sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sums.len() as f64;
+        // Independent 3-D data would have sum variance 3/12 = 0.25; the
+        // anti-correlated generator should be far tighter.
+        assert!(var < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn correlated_points_have_correlated_attributes() {
+        let pts = config(Distribution::Correlated).generate();
+        let xs: Vec<f64> = pts.iter().map(|p| p.coord(0)).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.coord(1)).collect();
+        let corr = crate::stats::pearson_correlation(&xs, &ys);
+        assert!(corr > 0.8, "correlation {corr}");
+    }
+
+    #[test]
+    fn grid_generator_counts() {
+        let g = grid(3, 2);
+        assert_eq!(g.len(), 9);
+        assert!(g.contains(&Point::new(vec![0.0, 0.0])));
+        assert!(g.contains(&Point::new(vec![1.0, 1.0])));
+        let g1 = grid(4, 1);
+        assert_eq!(g1.len(), 4);
+    }
+
+    #[test]
+    fn short_names_match_paper_labels() {
+        assert_eq!(Distribution::Independent.short_name(), "INDE");
+        assert_eq!(Distribution::Correlated.short_name(), "CORR");
+        assert_eq!(Distribution::AntiCorrelated.short_name(), "ANTI");
+        assert_eq!(Distribution::ClusteredWorstCase.short_name(), "WORST");
+    }
+}

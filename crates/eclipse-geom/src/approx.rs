@@ -1,0 +1,109 @@
+//! Epsilon policy and approximate comparisons.
+//!
+//! Every geometric predicate in the workspace goes through the helpers in
+//! this module so that the tolerance used for "equal scores", "point on a
+//! hyperplane" and "intersection on an interval boundary" is consistent and
+//! easy to audit.  The default tolerance [`EPS`] is appropriate for the value
+//! ranges used by the paper's workloads (coordinates in `[0, 1]` or small
+//! integer attribute totals); callers working at very different scales can use
+//! the `_with` variants that take an explicit tolerance.
+
+/// Default absolute tolerance for geometric comparisons.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are within [`EPS`] of each other.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_with(a, b, EPS)
+}
+
+/// Returns `true` if `a` and `b` are within `eps` of each other.
+#[inline]
+pub fn approx_eq_with(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Returns `true` if `a ≤ b` up to [`EPS`] (i.e. `a` is not significantly
+/// greater than `b`).
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// Returns `true` if `a ≥ b` up to [`EPS`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// Returns `true` if `a < b` by more than [`EPS`] (a *significant* strict
+/// inequality).
+#[inline]
+pub fn strictly_lt(a: f64, b: f64) -> bool {
+    a + EPS < b
+}
+
+/// Returns `true` if `a > b` by more than [`EPS`].
+#[inline]
+pub fn strictly_gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+/// A deterministic total order on `f64` suitable for sorting geometric keys.
+///
+/// NaNs sort last; `-0.0` and `+0.0` compare equal for our purposes (we never
+/// generate NaNs in the library itself, but user input is not trusted).
+#[inline]
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+/// Clamps a value into `[lo, hi]`, tolerating `lo > hi` by returning `lo`.
+#[inline]
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    if hi < lo {
+        lo
+    } else {
+        v.max(lo).min(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_eps() {
+        assert!(approx_eq(1.0, 1.0 + EPS / 2.0));
+        assert!(!approx_eq(1.0, 1.0 + EPS * 10.0));
+        assert!(approx_eq_with(1.0, 1.1, 0.2));
+    }
+
+    #[test]
+    fn approx_inequalities() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + EPS / 2.0, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+        assert!(approx_ge(1.0, 1.0 + EPS / 2.0));
+        assert!(strictly_lt(1.0, 1.1));
+        assert!(!strictly_lt(1.0, 1.0 + EPS / 2.0));
+        assert!(strictly_gt(1.1, 1.0));
+    }
+
+    #[test]
+    fn total_cmp_handles_nan() {
+        use std::cmp::Ordering;
+        assert_eq!(total_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(total_cmp(f64::NAN, 2.0), Ordering::Greater);
+        assert_eq!(total_cmp(2.0, 2.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        // Degenerate interval: lo wins.
+        assert_eq!(clamp(0.5, 2.0, 1.0), 2.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The one-dimensional arrangement induced on the x-axis by a set of dual
+//! lines (§IV-A of the paper).
+//!
+//! Given `u` dual lines, their `C(u,2)` pairwise intersection abscissae
+//! partition the x-axis into at most `C(u,2) + 1` maximal intervals inside
+//! which the vertical order of the lines — and therefore the primal score
+//! order of the corresponding points — does not change.  The paper's Order
+//! Vector Index stores one *order vector* per interval; the Intersection
+//! Index stores the sorted intersection abscissae together with the pair of
+//! lines forming each intersection.  This module provides the geometric
+//! machinery both are built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::approx::{total_cmp, EPS};
+use crate::hyperplane::DualLine;
+
+/// A single pairwise intersection event on the x-axis.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntersectionEvent {
+    /// Abscissa of the intersection.
+    pub x: f64,
+    /// Index of the first line (position in the input slice).
+    pub a: usize,
+    /// Index of the second line.
+    pub b: usize,
+}
+
+/// Computes all pairwise intersection events of the given dual lines, sorted
+/// by ascending abscissa.  Parallel lines (equal slopes) produce no event.
+pub fn intersection_events(lines: &[DualLine]) -> Vec<IntersectionEvent> {
+    let mut events = Vec::with_capacity(lines.len() * lines.len().saturating_sub(1) / 2);
+    for a in 0..lines.len() {
+        for b in a + 1..lines.len() {
+            if let Some(x) = lines[a].intersection_x(&lines[b]) {
+                events.push(IntersectionEvent { x, a, b });
+            }
+        }
+    }
+    events.sort_by(|e1, e2| total_cmp(e1.x, e2.x));
+    events
+}
+
+/// The order vector of the lines at abscissa `x`: `ov[k]` is the number of
+/// lines whose primal score is strictly smaller than line `k`'s at the
+/// weight-ratio `r = −x` — i.e. the number of lines that *dominate* line `k`
+/// at that abscissa, exactly the quantity maintained by Algorithms 4–5 and 7
+/// of the paper.
+///
+/// Ties (equal scores within [`EPS`]) do not count as domination, matching
+/// the strict-dominance convention used throughout the workspace.
+pub fn order_vector_at(lines: &[DualLine], x: f64) -> Vec<usize> {
+    let r = -x;
+    let scores: Vec<f64> = lines.iter().map(|l| l.score_at_ratio(r)).collect();
+    scores
+        .iter()
+        .map(|sk| scores.iter().filter(|s| **s + EPS < *sk).count())
+        .collect()
+}
+
+/// The interval partition of the x-axis induced by a sorted list of
+/// intersection abscissae.
+///
+/// Interval `i` is `(boundary[i-1], boundary[i]]` with the conventions
+/// `boundary[-1] = −∞` and `boundary[len] = +∞`; there are `len + 1`
+/// intervals for `len` distinct boundaries.  Duplicate abscissae (within
+/// [`EPS`]) are merged into a single boundary.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IntervalPartition {
+    boundaries: Vec<f64>,
+}
+
+impl IntervalPartition {
+    /// Builds the partition from (not necessarily sorted, possibly duplicate)
+    /// abscissae.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        xs.sort_by(|a, b| total_cmp(*a, *b));
+        let mut boundaries: Vec<f64> = Vec::with_capacity(xs.len());
+        for x in xs {
+            match boundaries.last() {
+                Some(last) if (x - last).abs() <= EPS => {}
+                _ => boundaries.push(x),
+            }
+        }
+        IntervalPartition { boundaries }
+    }
+
+    /// The number of intervals (`boundaries + 1`).
+    pub fn num_intervals(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The sorted, deduplicated interval boundaries.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// The index of the interval containing `x` (boundaries belong to the
+    /// interval on their left, matching the half-open convention
+    /// `(prev, boundary]` used in the paper's Figure 7).
+    pub fn interval_containing(&self, x: f64) -> usize {
+        // partition_point returns the number of boundaries strictly less than x
+        // (up to EPS): those are the boundaries we have fully passed.
+        self.boundaries.partition_point(|b| *b + EPS < x)
+    }
+
+    /// A representative abscissa strictly inside interval `i`, used to probe
+    /// the line order within the interval (the paper's `v_i + ε` trick, Line
+    /// 10 of Algorithm 4).
+    ///
+    /// # Panics
+    /// Panics if `i >= num_intervals()`.
+    pub fn representative(&self, i: usize) -> f64 {
+        assert!(i < self.num_intervals(), "interval index out of range");
+        let n = self.boundaries.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if i == 0 {
+            return self.boundaries[0] - 1.0;
+        }
+        if i == n {
+            return self.boundaries[n - 1] + 1.0;
+        }
+        0.5 * (self.boundaries[i - 1] + self.boundaries[i])
+    }
+
+    /// Indices (into the original abscissa order after sorting/deduplication)
+    /// of the boundaries lying strictly inside the open interval `(lo, hi)`.
+    pub fn boundaries_in_range(&self, lo: f64, hi: f64) -> std::ops::Range<usize> {
+        let start = self.boundaries.partition_point(|b| *b <= lo + EPS);
+        let end = self.boundaries.partition_point(|b| *b < hi - EPS);
+        start..end.max(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn paper_lines() -> Vec<DualLine> {
+        // Skyline points of the running example: p1(1,6), p2(4,4), p3(6,1).
+        vec![
+            DualLine::from_point(&Point::new(vec![1.0, 6.0])),
+            DualLine::from_point(&Point::new(vec![4.0, 4.0])),
+            DualLine::from_point(&Point::new(vec![6.0, 1.0])),
+        ]
+    }
+
+    #[test]
+    fn intersection_events_match_example4() {
+        let events = intersection_events(&paper_lines());
+        assert_eq!(events.len(), 3);
+        // Sorted ascending: -1.5 (p2,p3), -1 (p1,p3), -2/3 (p1,p2).
+        assert!((events[0].x - (-1.5)).abs() < 1e-12);
+        assert_eq!((events[0].a, events[0].b), (1, 2));
+        assert!((events[1].x - (-1.0)).abs() < 1e-12);
+        assert_eq!((events[1].a, events[1].b), (0, 2));
+        assert!((events[2].x - (-2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!((events[2].a, events[2].b), (0, 1));
+    }
+
+    #[test]
+    fn intersection_events_skip_parallel_lines() {
+        let lines = vec![
+            DualLine::from_point(&Point::new(vec![2.0, 1.0])),
+            DualLine::from_point(&Point::new(vec![2.0, 3.0])),
+            DualLine::from_point(&Point::new(vec![1.0, 1.0])),
+        ];
+        let events = intersection_events(&lines);
+        // Only the two non-parallel pairs intersect.
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn order_vector_matches_example4_last_interval() {
+        // In the interval (-2/3, 0] the order (closest to x-axis first) is p3, p2, p1,
+        // giving ov = <2, 1, 0>.
+        let lines = paper_lines();
+        let ov = order_vector_at(&lines, -0.25);
+        assert_eq!(ov, vec![2, 1, 0]);
+        // First interval (-inf, -1.5]: order p1, p2, p3 -> ov = <0, 1, 2>.
+        let ov0 = order_vector_at(&lines, -2.0);
+        assert_eq!(ov0, vec![0, 1, 2]);
+        // Interval (-1.5, -1]: <0, 2, 1> per Figure 7.
+        let ov1 = order_vector_at(&lines, -1.25);
+        assert_eq!(ov1, vec![0, 2, 1]);
+        // Interval (-1, -2/3]: <1, 2, 0>.
+        let ov2 = order_vector_at(&lines, -0.8);
+        assert_eq!(ov2, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn order_vector_handles_ties() {
+        // Two identical points: neither dominates the other, both ov entries are 0
+        // against each other; the third distinct point is dominated by both.
+        let lines = vec![
+            DualLine::from_point(&Point::new(vec![1.0, 1.0])),
+            DualLine::from_point(&Point::new(vec![1.0, 1.0])),
+            DualLine::from_point(&Point::new(vec![5.0, 5.0])),
+        ];
+        let ov = order_vector_at(&lines, -1.0);
+        assert_eq!(ov[0], 0);
+        assert_eq!(ov[1], 0);
+        assert_eq!(ov[2], 2);
+    }
+
+    #[test]
+    fn interval_partition_basics() {
+        let part = IntervalPartition::new(vec![-2.0 / 3.0, -1.5, -1.0]);
+        assert_eq!(part.num_intervals(), 4);
+        assert_eq!(part.boundaries().len(), 3);
+        // Figure 7: -1/4 lies in the last interval (-2/3, 0].
+        assert_eq!(part.interval_containing(-0.25), 3);
+        assert_eq!(part.interval_containing(-2.0), 0);
+        assert_eq!(part.interval_containing(-1.25), 1);
+        assert_eq!(part.interval_containing(-0.8), 2);
+        // A boundary belongs to the interval on its left.
+        assert_eq!(part.interval_containing(-1.5), 0);
+        assert_eq!(part.interval_containing(-1.0), 1);
+    }
+
+    #[test]
+    fn interval_partition_deduplicates() {
+        let part = IntervalPartition::new(vec![1.0, 1.0 + 1e-12, 2.0]);
+        assert_eq!(part.boundaries().len(), 2);
+        assert_eq!(part.num_intervals(), 3);
+    }
+
+    #[test]
+    fn interval_partition_representatives() {
+        let part = IntervalPartition::new(vec![-1.5, -1.0, -2.0 / 3.0]);
+        for i in 0..part.num_intervals() {
+            let x = part.representative(i);
+            assert_eq!(part.interval_containing(x), i, "representative of interval {i}");
+        }
+        let empty = IntervalPartition::new(vec![]);
+        assert_eq!(empty.num_intervals(), 1);
+        assert_eq!(empty.interval_containing(123.0), 0);
+        assert_eq!(empty.representative(0), 0.0);
+    }
+
+    #[test]
+    fn boundaries_in_range_is_strict() {
+        let part = IntervalPartition::new(vec![-1.5, -1.0, -2.0 / 3.0]);
+        // Query range [-2, -0.25] contains all three boundaries.
+        let r = part.boundaries_in_range(-2.0, -0.25);
+        assert_eq!(r, 0..3);
+        // Range (-1.5, -1.0): boundaries strictly inside -> none (both are endpoints).
+        let r2 = part.boundaries_in_range(-1.5, -1.0);
+        assert_eq!(r2.len(), 0);
+        // Range (-1.6, -0.9) contains -1.5 and -1.0.
+        let r3 = part.boundaries_in_range(-1.6, -0.9);
+        assert_eq!(r3, 0..2);
+    }
+}

@@ -1,0 +1,207 @@
+//! The primal ⇄ dual transform of §IV of the paper.
+//!
+//! For a point `p = (p[1], …, p[d])` the dual hyperplane is
+//! `x_d = p[1]·x_1 + … + p[d−1]·x_{d−1} − p[d]` (de Berg et al. [12]).  In the
+//! dual space the eclipse query with ratio box `r[j] ∈ [l_j, h_j]` becomes:
+//! *find the hyperplanes not dominated by any other hyperplane with respect to
+//! the hyperplane `x_d = 0` within the query range `x_j ∈ [−h_j, −l_j]`*.
+//!
+//! Two views are provided:
+//!
+//! * [`DualHyperplane`] — the dual of a point, evaluated in dual coordinates
+//!   `x` (the paper's presentation, used by the 2-D arrangement and the
+//!   worked examples), and
+//! * [`score_difference_hyperplane`] — the *intersection hyperplane* of two
+//!   points expressed directly in **ratio space** `r = −x` as the locus
+//!   `S(p_a)_r = S(p_b)_r`.  The high-dimensional Intersection Indexes (line
+//!   quadtree, cutting tree) store these, because the query box
+//!   `[l_1,h_1]×…×[l_{d−1},h_{d−1}]` is axis-aligned and positive there.
+
+use crate::hyperplane::Hyperplane;
+use crate::point::Point;
+
+/// The dual hyperplane `x_d = Σ_j p[j]·x_j − p[d]` of a d-dimensional point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DualHyperplane {
+    /// Coefficients `p[1], …, p[d−1]` of the dual hyperplane.
+    coeffs: Vec<f64>,
+    /// The subtracted constant `p[d]`.
+    last: f64,
+}
+
+impl DualHyperplane {
+    /// Builds the dual hyperplane of a point with `d ≥ 2` dimensions.
+    ///
+    /// # Panics
+    /// Panics if the point has fewer than two dimensions.
+    pub fn from_point(p: &Point) -> Self {
+        assert!(p.dim() >= 2, "dual transform requires d >= 2");
+        DualHyperplane {
+            coeffs: p.coords()[..p.dim() - 1].to_vec(),
+            last: p.coord(p.dim() - 1),
+        }
+    }
+
+    /// Dimensionality `d` of the primal space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len() + 1
+    }
+
+    /// Evaluates `x_d = Σ_j p[j]·x_j − p[d]` at dual coordinates
+    /// `x = (x_1, …, x_{d−1})`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != d − 1`.
+    pub fn value_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coeffs.len(), "dual coordinate dimensionality");
+        self.coeffs
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            - self.last
+    }
+
+    /// The primal score `S(p)_r = Σ_j r_j·p[j] + p[d]` for a weight-ratio
+    /// vector `r = (r_1, …, r_{d−1})`; equal to `−value_at(−r)`.
+    ///
+    /// # Panics
+    /// Panics if `r.len() != d − 1`.
+    pub fn score_at_ratio(&self, r: &[f64]) -> f64 {
+        assert_eq!(r.len(), self.coeffs.len(), "ratio vector dimensionality");
+        self.coeffs
+            .iter()
+            .zip(r.iter())
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            + self.last
+    }
+
+    /// Recovers the primal point.
+    pub fn to_point(&self) -> Point {
+        let mut coords = self.coeffs.clone();
+        coords.push(self.last);
+        Point::new(coords)
+    }
+}
+
+/// The dual point of a hyperplane `x_d = a_1·x_1 + … + a_{d−1}·x_{d−1} + a_d`:
+/// the point `(a_1, …, a_{d−1}, −a_d)`.
+///
+/// This is the inverse direction of the duality transform; it is exposed for
+/// completeness and used by the tests to check that the transform is an
+/// involution.
+pub fn dual_point_of_hyperplane(coeffs: &[f64], constant: f64) -> Point {
+    assert!(!coeffs.is_empty(), "hyperplane needs at least one coefficient");
+    let mut coords = coeffs.to_vec();
+    coords.push(-constant);
+    Point::new(coords)
+}
+
+/// The *intersection hyperplane* of two points `a` and `b` in **ratio space**:
+/// the affine functional `f(r) = S(a)_r − S(b)_r` over
+/// `r = (r_1, …, r_{d−1})`, whose zero set is where the two points swap order.
+///
+/// `f(r) = Σ_j (a[j] − b[j])·r_j + (a[d] − b[d])`.
+///
+/// # Panics
+/// Panics if the points have different dimensionality or `d < 2`.
+pub fn score_difference_hyperplane(a: &Point, b: &Point) -> Hyperplane {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    assert!(a.dim() >= 2, "score_difference_hyperplane requires d >= 2");
+    let d = a.dim();
+    let coeffs: Vec<f64> = (0..d - 1).map(|j| a.coord(j) - b.coord(j)).collect();
+    let offset = a.coord(d - 1) - b.coord(d - 1);
+    Hyperplane::new(coeffs, offset)
+}
+
+/// Score `S(p)_r` of a point for a full ratio vector `r` of length `d − 1`
+/// (with the implicit `w[d] = 1`), the quantity the whole paper revolves
+/// around.
+///
+/// # Panics
+/// Panics if `r.len() + 1 != p.dim()`.
+pub fn score(p: &Point, r: &[f64]) -> f64 {
+    assert_eq!(r.len() + 1, p.dim(), "ratio vector must have d-1 entries");
+    let d = p.dim();
+    r.iter()
+        .enumerate()
+        .map(|(j, rj)| rj * p.coord(j))
+        .sum::<f64>()
+        + p.coord(d - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_hyperplane_round_trip() {
+        let p = Point::new(vec![1.0, 6.0]);
+        let h = DualHyperplane::from_point(&p);
+        assert_eq!(h.dim(), 2);
+        assert_eq!(h.to_point(), p);
+        // y = x - 6 at x = -2 gives -8 = -S(p) for r = 2.
+        assert!((h.value_at(&[-2.0]) - (-8.0)).abs() < 1e-12);
+        assert!((h.score_at_ratio(&[2.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_transform_is_involution() {
+        // point -> dual hyperplane -> dual point of that hyperplane -> same point.
+        let p = Point::new(vec![2.0, 3.0, 5.0]);
+        let h = DualHyperplane::from_point(&p);
+        // h is x_3 = 2 x_1 + 3 x_2 - 5, i.e. coeffs (2,3), constant -5.
+        let q = dual_point_of_hyperplane(&[2.0, 3.0], -5.0);
+        assert_eq!(q, p);
+        assert_eq!(h.to_point(), p);
+    }
+
+    #[test]
+    fn score_matches_weighted_sum() {
+        let p = Point::new(vec![4.0, 4.0, 2.0]);
+        let r = [0.36, 2.75];
+        let expected = 0.36 * 4.0 + 2.75 * 4.0 + 2.0;
+        assert!((score(&p, &r) - expected).abs() < 1e-12);
+        let h = DualHyperplane::from_point(&p);
+        assert!((h.score_at_ratio(&r) - expected).abs() < 1e-12);
+        // Consistency with the dual evaluation.
+        assert!((-(h.value_at(&[-0.36, -2.75])) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_difference_hyperplane_zero_set_is_score_equality() {
+        let a = Point::new(vec![1.0, 6.0]);
+        let b = Point::new(vec![4.0, 4.0]);
+        let h = score_difference_hyperplane(&a, &b);
+        // f(r) = (1-4) r + (6-4) = -3r + 2, zero at r = 2/3: both scores equal there.
+        let r_star = 2.0 / 3.0;
+        assert!(h.eval(&[r_star]).abs() < 1e-12);
+        assert!((score(&a, &[r_star]) - score(&b, &[r_star])).abs() < 1e-12);
+        // Sign tells who wins: at r = 0, a has higher p[2] so f > 0 (a worse).
+        assert!(h.eval(&[0.0]) > 0.0);
+        assert!(score(&a, &[0.0]) > score(&b, &[0.0]));
+        // At r = 2, a wins (smaller score).
+        assert!(h.eval(&[2.0]) < 0.0);
+        assert!(score(&a, &[2.0]) < score(&b, &[2.0]));
+    }
+
+    #[test]
+    fn score_difference_hyperplane_high_dim() {
+        let a = Point::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Point::new(vec![2.0, 1.0, 4.0, 2.0]);
+        let h = score_difference_hyperplane(&a, &b);
+        assert_eq!(h.dim(), 3);
+        for r in [[0.5, 1.0, 2.0], [1.0, 1.0, 1.0], [0.2, 3.0, 0.7]] {
+            let expected = score(&a, &r) - score(&b, &r);
+            assert!((h.eval(&r) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn dual_rejects_one_dimensional_points() {
+        let _ = DualHyperplane::from_point(&Point::new(vec![1.0]));
+    }
+}

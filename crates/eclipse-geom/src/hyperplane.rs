@@ -1,0 +1,262 @@
+//! Hyperplanes and dual lines.
+//!
+//! Two families of objects are needed by the eclipse index structures of §IV
+//! of the paper:
+//!
+//! * [`DualLine`] — the dual of a two-dimensional point `p = (a, b)`, namely
+//!   the line `y = a·x − b` (de Berg et al.'s duality transform).  The paper's
+//!   Order Vector / Intersection indexes are built over these lines.
+//! * [`Hyperplane`] — a general affine functional `f(x) = Σ coeffs[i]·x[i] +
+//!   offset` over some k-dimensional space, interpreted as the hyperplane
+//!   `f(x) = 0`.  The *intersection hyperplanes* of the high-dimensional
+//!   index (the loci in weight-ratio space where two points have equal score)
+//!   are represented this way, as are the cells tests used by the line
+//!   quadtree and the cutting tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::approx::EPS;
+use crate::point::{BoundingBox, Point};
+
+/// The dual line `y = slope · x − intercept_sub` of a 2-D point
+/// `(slope, intercept_sub)`.
+///
+/// For a primal point `p = (p[1], p[2])` the paper uses the dual line
+/// `y = p[1]·x − p[2]`; evaluating it at `x = −r` gives `−S(p)` for the
+/// weight-ratio `r`, so "closer to the x-axis" in the dual corresponds to
+/// "smaller score" in the primal.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DualLine {
+    /// Slope of the dual line (= first primal coordinate `p[1]`).
+    pub slope: f64,
+    /// Subtracted intercept (= second primal coordinate `p[2]`); the line is
+    /// `y = slope·x − intercept_sub`.
+    pub intercept_sub: f64,
+}
+
+impl DualLine {
+    /// Builds the dual line of a 2-D point.
+    ///
+    /// # Panics
+    /// Panics if the point is not two-dimensional.
+    pub fn from_point(p: &Point) -> Self {
+        assert_eq!(p.dim(), 2, "DualLine requires a 2-D point");
+        DualLine {
+            slope: p.coord(0),
+            intercept_sub: p.coord(1),
+        }
+    }
+
+    /// Evaluates the line at abscissa `x`.
+    #[inline]
+    pub fn value_at(&self, x: f64) -> f64 {
+        self.slope * x - self.intercept_sub
+    }
+
+    /// The primal score `S(p)` of the underlying point for weight-ratio `r`
+    /// (i.e. weight vector `⟨r, 1⟩`): `S(p) = r·p[1] + p[2] = −value_at(−r)`.
+    #[inline]
+    pub fn score_at_ratio(&self, r: f64) -> f64 {
+        r * self.slope + self.intercept_sub
+    }
+
+    /// The x-coordinate of the intersection with another dual line, or
+    /// `None` if the lines are parallel (equal slopes).
+    pub fn intersection_x(&self, other: &DualLine) -> Option<f64> {
+        let ds = self.slope - other.slope;
+        if ds.abs() <= EPS {
+            return None;
+        }
+        Some((self.intercept_sub - other.intercept_sub) / ds)
+    }
+
+    /// Recovers the primal point.
+    pub fn to_point(&self) -> Point {
+        Point::new(vec![self.slope, self.intercept_sub])
+    }
+}
+
+/// An affine functional `f(x) = Σ coeffs[i]·x[i] + offset` over a
+/// k-dimensional space, interpreted as the hyperplane `f(x) = 0`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hyperplane {
+    coeffs: Box<[f64]>,
+    offset: f64,
+}
+
+impl Hyperplane {
+    /// Creates a hyperplane from its coefficients and offset.
+    ///
+    /// # Panics
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<f64>, offset: f64) -> Self {
+        assert!(!coeffs.is_empty(), "a Hyperplane needs at least 1 coefficient");
+        Hyperplane {
+            coeffs: coeffs.into_boxed_slice(),
+            offset,
+        }
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient vector.
+    #[inline]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The constant offset.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Evaluates the functional at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dim()`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch in Hyperplane::eval");
+        self.coeffs
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            + self.offset
+    }
+
+    /// Returns `true` if the hyperplane is degenerate (all coefficients are
+    /// numerically zero) — e.g. the "intersection hyperplane" of two points
+    /// with identical non-last coordinates.
+    pub fn is_degenerate(&self) -> bool {
+        self.coeffs.iter().all(|c| c.abs() <= EPS)
+    }
+
+    /// Minimum of the functional over an axis-aligned box.
+    pub fn min_over_box(&self, bbox: &BoundingBox) -> f64 {
+        assert_eq!(bbox.dim(), self.dim(), "dimension mismatch in min_over_box");
+        bbox.min_weighted_sum(&self.coeffs) + self.offset
+    }
+
+    /// Maximum of the functional over an axis-aligned box.
+    pub fn max_over_box(&self, bbox: &BoundingBox) -> f64 {
+        assert_eq!(bbox.dim(), self.dim(), "dimension mismatch in max_over_box");
+        bbox.max_weighted_sum(&self.coeffs) + self.offset
+    }
+
+    /// Returns `true` if the hyperplane `f(x) = 0` intersects the closed box,
+    /// i.e. the functional changes sign (or touches zero) over the box.
+    ///
+    /// Degenerate hyperplanes intersect a box only if their offset is zero
+    /// (within tolerance): the functional is constant, so it either vanishes
+    /// everywhere or nowhere.
+    pub fn intersects_box(&self, bbox: &BoundingBox) -> bool {
+        if self.is_degenerate() {
+            return self.offset.abs() <= EPS;
+        }
+        let lo = self.min_over_box(bbox);
+        let hi = self.max_over_box(bbox);
+        lo <= EPS && hi >= -EPS
+    }
+
+    /// Returns `true` if the hyperplane strictly crosses the *interior* of
+    /// the box (sign change with margin), excluding mere touches of the
+    /// boundary.  Used when replaying order-vector swaps where boundary
+    /// contacts must not count as order changes.
+    pub fn crosses_box_interior(&self, bbox: &BoundingBox) -> bool {
+        if self.is_degenerate() {
+            return false;
+        }
+        let lo = self.min_over_box(bbox);
+        let hi = self.max_over_box(bbox);
+        lo < -EPS && hi > EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_line_matches_paper_example4() {
+        // Example 4: p1(1,6) -> y = x - 6, p2(4,4) -> y = 4x - 4, p3(6,1) -> y = 6x - 1.
+        let p1 = DualLine::from_point(&Point::new(vec![1.0, 6.0]));
+        let p2 = DualLine::from_point(&Point::new(vec![4.0, 4.0]));
+        let p3 = DualLine::from_point(&Point::new(vec![6.0, 1.0]));
+        assert_eq!(p1.value_at(0.0), -6.0);
+        assert_eq!(p2.value_at(1.0), 0.0);
+        // Intersection abscissae from the paper: p1p2[x] = -2/3, p1p3[x] = -1, p2p3[x] = -1.5.
+        assert!((p1.intersection_x(&p2).unwrap() - (-2.0 / 3.0)).abs() < 1e-12);
+        assert!((p1.intersection_x(&p3).unwrap() - (-1.0)).abs() < 1e-12);
+        assert!((p2.intersection_x(&p3).unwrap() - (-1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_line_score_relation() {
+        // S(p) at ratio r equals -value_at(-r).
+        let p = Point::new(vec![4.0, 4.0]);
+        let line = DualLine::from_point(&p);
+        for r in [0.25, 1.0, 2.0] {
+            let s = p.weighted_sum(&[r, 1.0]);
+            assert!((line.score_at_ratio(r) - s).abs() < 1e-12);
+            assert!((-(line.value_at(-r)) - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dual_line_parallel_lines_have_no_intersection() {
+        let a = DualLine::from_point(&Point::new(vec![2.0, 1.0]));
+        let b = DualLine::from_point(&Point::new(vec![2.0, 5.0]));
+        assert!(a.intersection_x(&b).is_none());
+        assert_eq!(a.to_point(), Point::new(vec![2.0, 1.0]));
+    }
+
+    #[test]
+    fn hyperplane_eval_and_accessors() {
+        let h = Hyperplane::new(vec![1.0, -2.0], 3.0);
+        assert_eq!(h.dim(), 2);
+        assert_eq!(h.coeffs(), &[1.0, -2.0]);
+        assert_eq!(h.offset(), 3.0);
+        assert_eq!(h.eval(&[1.0, 2.0]), 0.0);
+        assert_eq!(h.eval(&[0.0, 0.0]), 3.0);
+        assert!(!h.is_degenerate());
+        assert!(Hyperplane::new(vec![0.0, 0.0], 1.0).is_degenerate());
+    }
+
+    #[test]
+    fn hyperplane_box_intersection() {
+        // x - y = 0 crosses the unit box, misses a box shifted above the diagonal.
+        let h = Hyperplane::new(vec![1.0, -1.0], 0.0);
+        let unit = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let above = BoundingBox::new(vec![0.0, 2.0], vec![1.0, 3.0]);
+        assert!(h.intersects_box(&unit));
+        assert!(!h.intersects_box(&above));
+        assert!(h.crosses_box_interior(&unit));
+        // Touching only a corner: intersects but does not cross the interior.
+        let corner = BoundingBox::new(vec![1.0, 0.0], vec![2.0, 1.0]);
+        assert!(h.intersects_box(&corner));
+        assert!(!h.crosses_box_interior(&corner));
+    }
+
+    #[test]
+    fn hyperplane_min_max_over_box() {
+        let h = Hyperplane::new(vec![2.0, -1.0], 1.0);
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert_eq!(h.min_over_box(&b), 2.0 * 0.0 - 1.0 * 1.0 + 1.0);
+        assert_eq!(h.max_over_box(&b), 2.0 * 1.0 - 1.0 * 0.0 + 1.0);
+    }
+
+    #[test]
+    fn degenerate_hyperplane_box_rules() {
+        let zero_everywhere = Hyperplane::new(vec![0.0], 0.0);
+        let never_zero = Hyperplane::new(vec![0.0], 2.0);
+        let b = BoundingBox::new(vec![0.0], vec![1.0]);
+        assert!(zero_everywhere.intersects_box(&b));
+        assert!(!never_zero.intersects_box(&b));
+        assert!(!zero_everywhere.crosses_box_interior(&b));
+    }
+}

@@ -1,0 +1,397 @@
+//! Small dense linear algebra: matrices, Gaussian elimination, rank and
+//! linear-system solving.
+//!
+//! Theorem 6 of the paper selects `d` domination vectors out of the `2^{d-1}`
+//! corner vectors such that the resulting `d × d` matrix has full rank; the
+//! [`Matrix::rank`] and [`Matrix::solve`] routines here are used by
+//! `eclipse-core` to validate that construction and by the tests to verify
+//! the transformation mapping.  The matrices involved are tiny (d ≤ 8), so a
+//! straightforward partial-pivoting elimination is more than sufficient.
+
+use crate::approx::EPS;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a vector of row vectors.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths or the input is empty.
+    pub fn from_row_vecs(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "ragged rows in matrix");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// The zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x.iter()).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix product `A · B`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.set(i, j, out.get(i, j) + a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Rank computed by Gaussian elimination with partial pivoting and the
+    /// workspace tolerance.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        let mut pivot_row = 0;
+        for col in 0..m.cols {
+            if pivot_row >= m.rows {
+                break;
+            }
+            // Find the largest pivot in this column.
+            let mut best = pivot_row;
+            for r in pivot_row + 1..m.rows {
+                if m.get(r, col).abs() > m.get(best, col).abs() {
+                    best = r;
+                }
+            }
+            if m.get(best, col).abs() <= EPS {
+                continue;
+            }
+            m.swap_rows(pivot_row, best);
+            let pivot = m.get(pivot_row, col);
+            for r in pivot_row + 1..m.rows {
+                let factor = m.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..m.cols {
+                    m.set(r, c, m.get(r, c) - factor * m.get(pivot_row, c));
+                }
+            }
+            pivot_row += 1;
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Solves the square linear system `A · x = b` by Gaussian elimination
+    /// with partial pivoting.  Returns `None` when the matrix is (numerically)
+    /// singular.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut rhs = b.to_vec();
+
+        for col in 0..n {
+            let mut best = col;
+            for r in col + 1..n {
+                if a.get(r, col).abs() > a.get(best, col).abs() {
+                    best = r;
+                }
+            }
+            if a.get(best, col).abs() <= EPS {
+                return None;
+            }
+            a.swap_rows(col, best);
+            rhs.swap(col, best);
+            let pivot = a.get(col, col);
+            for r in col + 1..n {
+                let factor = a.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a.set(r, c, a.get(r, c) - factor * a.get(col, c));
+                }
+                rhs[r] -= factor * rhs[col];
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for c in row + 1..n {
+                acc -= a.get(row, c) * x[c];
+            }
+            x[row] = acc / a.get(row, row);
+        }
+        Some(x)
+    }
+
+    /// Determinant via LU-style elimination.  Only meaningful for square
+    /// matrices.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn determinant(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "determinant requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = 1.0;
+        for col in 0..n {
+            let mut best = col;
+            for r in col + 1..n {
+                if a.get(r, col).abs() > a.get(best, col).abs() {
+                    best = r;
+                }
+            }
+            if a.get(best, col).abs() <= EPS {
+                return 0.0;
+            }
+            if best != col {
+                a.swap_rows(col, best);
+                det = -det;
+            }
+            let pivot = a.get(col, col);
+            det *= pivot;
+            for r in col + 1..n {
+                let factor = a.get(r, col) / pivot;
+                for c in col..n {
+                    a.set(r, c, a.get(r, c) - factor * a.get(col, c));
+                }
+            }
+        }
+        det
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_row_vecs(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        let same = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m, same);
+    }
+
+    #[test]
+    fn identity_and_multiplication() {
+        let m = Matrix::from_row_vecs(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        let t = m.transpose();
+        assert_eq!(t.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn rank_of_full_and_deficient_matrices() {
+        let full = Matrix::from_row_vecs(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(full.rank(), 2);
+        let deficient = Matrix::from_row_vecs(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(deficient.rank(), 1);
+        let zero = Matrix::zeros(3, 3);
+        assert_eq!(zero.rank(), 0);
+        // Rectangular matrix: rank bounded by min(rows, cols).
+        let rect = Matrix::from_row_vecs(vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        assert_eq!(rect.rank(), 2);
+    }
+
+    #[test]
+    fn rank_of_domination_vector_matrix() {
+        // The d = 3 matrix of Theorem 6: rows (l1, l2, 1), (h1, l2, 1), (l1, h2, 1)
+        // has rank 3 whenever l1 != h1 and l2 != h2.
+        let (l1, h1, l2, h2) = (0.36, 2.75, 0.36, 2.75);
+        let m = Matrix::from_row_vecs(vec![
+            vec![l1, l2, 1.0],
+            vec![h1, l2, 1.0],
+            vec![l1, h2, 1.0],
+        ]);
+        assert_eq!(m.rank(), 3);
+        // Degenerate range on one axis drops the rank.
+        let degenerate = Matrix::from_row_vecs(vec![
+            vec![l1, l2, 1.0],
+            vec![l1, l2, 1.0],
+            vec![l1, h2, 1.0],
+        ]);
+        assert_eq!(degenerate.rank(), 2);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        let a = Matrix::from_row_vecs(vec![vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        // Singular system has no unique solution.
+        let s = Matrix::from_row_vecs(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(s.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_row_vecs(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_values() {
+        let a = Matrix::from_row_vecs(vec![vec![2.0, 0.0], vec![0.0, 3.0]]);
+        assert!((a.determinant() - 6.0).abs() < 1e-12);
+        let b = Matrix::from_row_vecs(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(b.determinant(), 0.0);
+        let c = Matrix::from_row_vecs(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((c.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_point_from_intercept_mapping() {
+        // The TRAN mapping of Theorem 6 is an invertible linear map; verify on a
+        // random-ish 3-D instance that solving the system recovers the point.
+        let (l1, h1, l2, h2) = (0.5, 2.0, 0.25, 4.0);
+        // Rows: c[3] row, c[1] row (scaled by h1), c[2] row (scaled by h2).
+        let a = Matrix::from_row_vecs(vec![
+            vec![l1, l2, 1.0],
+            vec![h1, l2, 1.0],
+            vec![l1, h2, 1.0],
+        ]);
+        let p = [3.0, 1.0, 2.0];
+        let b = a.mul_vec(&p);
+        let x = a.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - p[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! A small, dense, two-phase simplex linear-programming solver.
+//!
+//! The convex-hull query of the paper ("the points that are the best under
+//! *some* linear scoring function") is a membership problem naturally solved
+//! by a tiny LP per point; rather than pulling in an external solver this
+//! module implements the classic two-phase tableau simplex for problems of
+//! the form
+//!
+//! ```text
+//!   maximize   c · x
+//!   subject to a_i · x  {≤, ≥, =}  b_i      (i = 1 … m)
+//!              x ≥ 0
+//! ```
+//!
+//! Problem sizes in this workspace are tiny (a handful of variables, up to a
+//! few thousand constraints), so no effort is spent on sparse representations
+//! or numerically sophisticated pivoting beyond Bland-style anti-cycling.
+
+use crate::approx::EPS;
+
+/// The sense of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintSense {
+    /// `a · x ≤ b`
+    LessEq,
+    /// `a · x ≥ b`
+    GreaterEq,
+    /// `a · x = b`
+    Equal,
+}
+
+/// A single linear constraint `coeffs · x (sense) rhs`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Coefficient vector (length = number of structural variables).
+    pub coeffs: Vec<f64>,
+    /// The constraint sense.
+    pub sense: ConstraintSense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor for `coeffs · x ≤ rhs`.
+    pub fn less_eq(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            sense: ConstraintSense::LessEq,
+            rhs,
+        }
+    }
+
+    /// Convenience constructor for `coeffs · x ≥ rhs`.
+    pub fn greater_eq(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            sense: ConstraintSense::GreaterEq,
+            rhs,
+        }
+    }
+
+    /// Convenience constructor for `coeffs · x = rhs`.
+    pub fn equal(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            sense: ConstraintSense::Equal,
+            rhs,
+        }
+    }
+}
+
+/// Outcome of solving a linear program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal objective value.
+        objective: f64,
+        /// The optimal assignment of the structural variables.
+        solution: Vec<f64>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// A linear program in the standard "maximize with non-negative variables"
+/// form described in the module documentation.
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a maximization problem over `objective.len()` non-negative
+    /// variables.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    /// Panics if the coefficient vector length does not match the number of
+    /// variables.
+    pub fn add_constraint(&mut self, c: Constraint) -> &mut Self {
+        assert_eq!(
+            c.coeffs.len(),
+            self.num_vars(),
+            "constraint arity must match the number of variables"
+        );
+        self.constraints.push(c);
+        self
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> LpOutcome {
+        Simplex::new(self).solve()
+    }
+}
+
+/// Dense tableau simplex working representation.
+struct Simplex {
+    /// Tableau rows: one per constraint; columns: structural variables,
+    /// slack/surplus variables, artificial variables, RHS.
+    rows: Vec<Vec<f64>>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    num_structural: usize,
+    num_slack: usize,
+    num_artificial: usize,
+    objective: Vec<f64>,
+}
+
+impl Simplex {
+    fn new(lp: &LinearProgram) -> Self {
+        let n = lp.num_vars();
+        let m = lp.constraints.len();
+
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        for c in &lp.constraints {
+            // After normalizing to rhs >= 0 the senses may flip, so decide on
+            // the normalized sense.
+            let sense = normalized_sense(c);
+            match sense {
+                ConstraintSense::LessEq => num_slack += 1,
+                ConstraintSense::GreaterEq => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                ConstraintSense::Equal => num_artificial += 1,
+            }
+        }
+
+        let total_cols = n + num_slack + num_artificial + 1; // +1 for RHS
+        let mut rows = vec![vec![0.0; total_cols]; m];
+        let mut basis = vec![0usize; m];
+
+        let mut slack_cursor = 0usize;
+        let mut artificial_cursor = 0usize;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for (j, &a) in c.coeffs.iter().enumerate() {
+                rows[i][j] = sign * a;
+            }
+            rows[i][total_cols - 1] = sign * c.rhs;
+            let sense = normalized_sense(c);
+            match sense {
+                ConstraintSense::LessEq => {
+                    let col = n + slack_cursor;
+                    rows[i][col] = 1.0;
+                    basis[i] = col;
+                    slack_cursor += 1;
+                }
+                ConstraintSense::GreaterEq => {
+                    let s_col = n + slack_cursor;
+                    rows[i][s_col] = -1.0;
+                    slack_cursor += 1;
+                    let a_col = n + num_slack + artificial_cursor;
+                    rows[i][a_col] = 1.0;
+                    basis[i] = a_col;
+                    artificial_cursor += 1;
+                }
+                ConstraintSense::Equal => {
+                    let a_col = n + num_slack + artificial_cursor;
+                    rows[i][a_col] = 1.0;
+                    basis[i] = a_col;
+                    artificial_cursor += 1;
+                }
+            }
+        }
+
+        Simplex {
+            rows,
+            basis,
+            num_structural: n,
+            num_slack,
+            num_artificial,
+            objective: lp.objective.clone(),
+        }
+    }
+
+    fn total_cols(&self) -> usize {
+        self.num_structural + self.num_slack + self.num_artificial + 1
+    }
+
+    fn rhs_col(&self) -> usize {
+        self.total_cols() - 1
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1: minimize the sum of artificial variables (maximize its
+        // negation).  Skip when there are no artificials.
+        if self.num_artificial > 0 {
+            let art_start = self.num_structural + self.num_slack;
+            let art_end = art_start + self.num_artificial;
+            let mut cost = vec![0.0; self.total_cols() - 1];
+            for col in art_start..art_end {
+                cost[col] = -1.0;
+            }
+            let (value, bounded) = self.optimize(&cost);
+            debug_assert!(bounded, "phase-1 objective is always bounded");
+            if value < -1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any artificial variable still in the basis out of it (it
+            // must have value ~0); if impossible the row is redundant.
+            for row in 0..self.rows.len() {
+                if self.basis[row] >= art_start && self.basis[row] < art_end {
+                    let pivot_col = (0..art_start)
+                        .find(|&c| self.rows[row][c].abs() > 1e-9);
+                    if let Some(col) = pivot_col {
+                        self.pivot(row, col);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: optimize the real objective over structural columns.
+        let mut cost = vec![0.0; self.total_cols() - 1];
+        cost[..self.num_structural].copy_from_slice(&self.objective);
+        // Artificial columns are forbidden in phase 2.
+        let art_start = self.num_structural + self.num_slack;
+        for c in cost.iter_mut().skip(art_start) {
+            *c = f64::NEG_INFINITY;
+        }
+        let (value, bounded) = self.optimize(&cost);
+        if !bounded {
+            return LpOutcome::Unbounded;
+        }
+        let mut solution = vec![0.0; self.num_structural];
+        for (row, &b) in self.basis.iter().enumerate() {
+            if b < self.num_structural {
+                solution[b] = self.rows[row][self.rhs_col()];
+            }
+        }
+        LpOutcome::Optimal {
+            objective: value,
+            solution,
+        }
+    }
+
+    /// Runs the primal simplex for the cost vector `cost` (maximization);
+    /// returns the objective value and whether the problem was bounded.
+    /// Columns with cost `-∞` are never entered.
+    fn optimize(&mut self, cost: &[f64]) -> (f64, bool) {
+        let rhs_col = self.rhs_col();
+        let max_iters = 50 * (self.rows.len() + cost.len()).max(100);
+        for _ in 0..max_iters {
+            // Reduced costs: c_j - c_B · B^{-1} A_j.  Since we keep the
+            // tableau in canonical form with respect to the basis, the
+            // reduced cost is c_j - Σ_rows c_{basis(row)} * a_{row,j}.
+            let basis_cost: Vec<f64> = self
+                .basis
+                .iter()
+                .map(|&b| if cost[b].is_finite() { cost[b] } else { 0.0 })
+                .collect();
+            let mut entering: Option<usize> = None;
+            let mut best_reduced = 1e-9;
+            for j in 0..cost.len() {
+                if !cost[j].is_finite() {
+                    continue;
+                }
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut reduced = cost[j];
+                for (row, bc) in basis_cost.iter().enumerate() {
+                    reduced -= bc * self.rows[row][j];
+                }
+                if reduced > best_reduced {
+                    best_reduced = reduced;
+                    entering = Some(j);
+                }
+            }
+            let Some(enter) = entering else {
+                // Optimal.
+                let mut value = 0.0;
+                for (row, &b) in self.basis.iter().enumerate() {
+                    if cost[b].is_finite() {
+                        value += cost[b] * self.rows[row][rhs_col];
+                    }
+                }
+                return (value, true);
+            };
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for row in 0..self.rows.len() {
+                let a = self.rows[row][enter];
+                if a > 1e-9 {
+                    let ratio = self.rows[row][rhs_col] / a;
+                    if ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leaving.is_some_and(|l| self.basis[row] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leaving = Some(row);
+                    }
+                }
+            }
+            let Some(leave) = leaving else {
+                return (f64::INFINITY, false);
+            };
+            self.pivot(leave, enter);
+        }
+        // Iteration limit reached — treat the current (feasible) point as the
+        // answer; in practice this is never hit for the tiny LPs we solve.
+        let mut value = 0.0;
+        for (row, &b) in self.basis.iter().enumerate() {
+            if cost[b].is_finite() {
+                value += cost[b] * self.rows[row][rhs_col];
+            }
+        }
+        (value, true)
+    }
+
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let cols = self.total_cols();
+        let pivot_val = self.rows[pivot_row][pivot_col];
+        debug_assert!(pivot_val.abs() > 1e-12, "pivot on a ~zero element");
+        for c in 0..cols {
+            self.rows[pivot_row][c] /= pivot_val;
+        }
+        for r in 0..self.rows.len() {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = self.rows[r][pivot_col];
+            if factor.abs() <= EPS * EPS {
+                continue;
+            }
+            for c in 0..cols {
+                self.rows[r][c] -= factor * self.rows[pivot_row][c];
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+}
+
+fn normalized_sense(c: &Constraint) -> ConstraintSense {
+    if c.rhs >= 0.0 {
+        c.sense
+    } else {
+        match c.sense {
+            ConstraintSense::LessEq => ConstraintSense::GreaterEq,
+            ConstraintSense::GreaterEq => ConstraintSense::LessEq,
+            ConstraintSense::Equal => ConstraintSense::Equal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(outcome: &LpOutcome, expected_obj: f64) -> Vec<f64> {
+        match outcome {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert!(
+                    (objective - expected_obj).abs() < 1e-6,
+                    "objective {objective} != expected {expected_obj}"
+                );
+                solution.clone()
+            }
+            other => panic!("expected Optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_two_variable_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> optimum 12 at (4, 0).
+        let mut lp = LinearProgram::maximize(vec![3.0, 2.0]);
+        lp.add_constraint(Constraint::less_eq(vec![1.0, 1.0], 4.0));
+        lp.add_constraint(Constraint::less_eq(vec![1.0, 3.0], 6.0));
+        let sol = assert_optimal(&lp.solve(), 12.0);
+        assert!((sol[0] - 4.0).abs() < 1e-6);
+        assert!(sol[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn problem_with_equality_constraint() {
+        // max x + y s.t. x + y = 1, x <= 0.3 -> optimum 1 with x <= 0.3.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(Constraint::equal(vec![1.0, 1.0], 1.0));
+        lp.add_constraint(Constraint::less_eq(vec![1.0, 0.0], 0.3));
+        let sol = assert_optimal(&lp.solve(), 1.0);
+        assert!(sol[0] <= 0.3 + 1e-6);
+        assert!((sol[0] + sol[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn problem_with_greater_eq_constraints() {
+        // min x + 2y  s.t. x + y >= 3, y >= 1  (as a maximization of -(x+2y)).
+        // Optimum: x = 2, y = 1, value -(4) = -4.
+        let mut lp = LinearProgram::maximize(vec![-1.0, -2.0]);
+        lp.add_constraint(Constraint::greater_eq(vec![1.0, 1.0], 3.0));
+        lp.add_constraint(Constraint::greater_eq(vec![0.0, 1.0], 1.0));
+        let sol = assert_optimal(&lp.solve(), -4.0);
+        assert!((sol[0] - 2.0).abs() < 1e-6);
+        assert!((sol[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_problem() {
+        // x >= 2 and x <= 1 cannot both hold.
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_constraint(Constraint::greater_eq(vec![1.0], 2.0));
+        lp.add_constraint(Constraint::less_eq(vec![1.0], 1.0));
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem() {
+        // max x with only x >= 1: unbounded above.
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_constraint(Constraint::greater_eq(vec![1.0], 1.0));
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x <= -2  <=>  x >= 2; max -x -> optimum -2 at x = 2.
+        let mut lp = LinearProgram::maximize(vec![-1.0]);
+        lp.add_constraint(Constraint::less_eq(vec![-1.0], -2.0));
+        let sol = assert_optimal(&lp.solve(), -2.0);
+        assert!((sol[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_constraints_terminate() {
+        // Redundant and degenerate constraints must not cycle.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(Constraint::less_eq(vec![1.0, 1.0], 1.0));
+        lp.add_constraint(Constraint::less_eq(vec![1.0, 1.0], 1.0));
+        lp.add_constraint(Constraint::less_eq(vec![2.0, 2.0], 2.0));
+        lp.add_constraint(Constraint::equal(vec![1.0, -1.0], 0.0));
+        let sol = assert_optimal(&lp.solve(), 1.0);
+        assert!((sol[0] - 0.5).abs() < 1e-6);
+        assert!((sol[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hull_membership_style_lp() {
+        // "Is p best for some convex weight vector?" formulated as
+        // max t s.t. w·(q - p) - t >= 0 for all q, Σw = 1, w >= 0, t = t+ - t-.
+        // Dataset from the paper's Figure 1: p1(1,6), p2(4,4), p3(6,1), p4(8,5).
+        // p1 and p3 are hull points (t* > 0 is achievable only weakly: for p1
+        // pick w = (1,0)… actually w·(q-p1) > 0 for all q means p1 strictly best).
+        let points = [
+            vec![1.0, 6.0],
+            vec![4.0, 4.0],
+            vec![6.0, 1.0],
+            vec![8.0, 5.0],
+        ];
+        let is_hull = |idx: usize| -> bool {
+            // Variables: w1, w2, t+, t-.
+            let mut lp = LinearProgram::maximize(vec![0.0, 0.0, 1.0, -1.0]);
+            for (q, coords) in points.iter().enumerate() {
+                if q == idx {
+                    continue;
+                }
+                let dx = coords[0] - points[idx][0];
+                let dy = coords[1] - points[idx][1];
+                lp.add_constraint(Constraint::greater_eq(vec![dx, dy, -1.0, 1.0], 0.0));
+            }
+            lp.add_constraint(Constraint::equal(vec![1.0, 1.0, 0.0, 0.0], 1.0));
+            match lp.solve() {
+                LpOutcome::Optimal { objective, .. } => objective > 1e-7,
+                LpOutcome::Unbounded => true,
+                LpOutcome::Infeasible => false,
+            }
+        };
+        assert!(is_hull(0), "p1 is on the origin-view hull");
+        assert!(is_hull(2), "p3 is on the origin-view hull");
+        assert!(!is_hull(3), "p4 is not on the origin-view hull");
+        // p2 = (4,4) lies above the segment p1–p3 (at x=4 the segment is at
+        // y = 6 - 5*(3/5) = 3), so it is NOT a hull-query point.
+        assert!(!is_hull(1), "p2 is dominated by a mixture of p1 and p3");
+    }
+}

@@ -1,0 +1,442 @@
+//! The line quadtree / hyperplane octree Intersection Index (§IV-B of the
+//! paper).
+//!
+//! The index stores a set of hyperplanes (in the workspace: the *score
+//! difference* hyperplanes of pairs of skyline points, living in the
+//! `(d−1)`-dimensional weight-ratio space) inside a recursively subdivided
+//! axis-aligned cell hierarchy.  Every internal node has `2^k` children (the
+//! quadrants / octants of its cell); a cell is subdivided when more than
+//! `max_capacity` hyperplanes cross it and the maximum depth has not been
+//! reached.  Queries report exactly the stored hyperplanes intersecting an
+//! axis-aligned query box (candidates are gathered from the leaves whose cells
+//! intersect the box and then filtered with an exact hyperplane-box test, so
+//! the result is never approximate).
+//!
+//! As the paper notes, the structure has very good average-case behaviour but
+//! can degenerate to linear depth when all hyperplanes concentrate in the same
+//! quadrant of every cell — exactly the worst case exercised by Figs. 13–14.
+//! The [`crate::cutting`] module provides the counterpart with a bounded
+//! worst case.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hyperplane::Hyperplane;
+use crate::point::BoundingBox;
+
+/// Construction parameters for [`HyperplaneQuadtree`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuadtreeConfig {
+    /// Maximum number of hyperplanes a cell may hold before it is subdivided
+    /// (the paper's example uses 3).
+    pub max_capacity: usize,
+    /// Hard limit on the subdivision depth, guarding against unbounded
+    /// recursion when many hyperplanes pass through a common region.
+    pub max_depth: usize,
+    /// Global budget on the number of tree nodes.  Unlike a point quadtree,
+    /// a *hyperplane* quadtree duplicates entries across every child their
+    /// hyperplane crosses, so in high dimensions an unbounded tree can grow
+    /// to `2^{k·depth}` nodes; once the budget is exhausted the remaining
+    /// cells simply stay leaves (queries remain exact, only pruning quality
+    /// degrades).
+    pub max_nodes: usize,
+}
+
+impl Default for QuadtreeConfig {
+    fn default() -> Self {
+        QuadtreeConfig {
+            max_capacity: 8,
+            max_depth: 16,
+            max_nodes: 1 << 15,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        cell: BoundingBox,
+        entries: Vec<usize>,
+    },
+    Internal {
+        cell: BoundingBox,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn cell(&self) -> &BoundingBox {
+        match self {
+            Node::Leaf { cell, .. } | Node::Internal { cell, .. } => cell,
+        }
+    }
+}
+
+/// A quadtree (2-D) / octree (k-D) over hyperplanes.
+///
+/// The tree stores *indices* into the hyperplane slice supplied at
+/// construction time; the caller keeps ownership of the hyperplanes and must
+/// pass the same slice to [`HyperplaneQuadtree::query`].  This keeps the
+/// index lean (the same hyperplane may be referenced from many leaves) and
+/// mirrors how `eclipse-core` stores its intersection hyperplanes once and
+/// indexes them twice (QUAD and CUTTING).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HyperplaneQuadtree {
+    root: Node,
+    config: QuadtreeConfig,
+    len: usize,
+    node_count: usize,
+    max_depth_reached: usize,
+}
+
+impl HyperplaneQuadtree {
+    /// Builds the index over `hyperplanes`, bounded by `cell` (hyperplanes
+    /// not intersecting the root cell are simply never reported).
+    pub fn build(hyperplanes: &[Hyperplane], cell: BoundingBox, config: QuadtreeConfig) -> Self {
+        let all: Vec<usize> = (0..hyperplanes.len())
+            .filter(|&i| hyperplanes[i].intersects_box(&cell))
+            .collect();
+        let mut node_count = 0usize;
+        let mut max_depth_reached = 0usize;
+        let root = Self::build_node(
+            hyperplanes,
+            cell,
+            all,
+            0,
+            &config,
+            &mut node_count,
+            &mut max_depth_reached,
+        );
+        HyperplaneQuadtree {
+            root,
+            config,
+            len: hyperplanes.len(),
+            node_count,
+            max_depth_reached,
+        }
+    }
+
+    fn build_node(
+        hyperplanes: &[Hyperplane],
+        cell: BoundingBox,
+        entries: Vec<usize>,
+        depth: usize,
+        config: &QuadtreeConfig,
+        node_count: &mut usize,
+        max_depth_reached: &mut usize,
+    ) -> Node {
+        *node_count += 1;
+        *max_depth_reached = (*max_depth_reached).max(depth);
+        if entries.len() <= config.max_capacity
+            || depth >= config.max_depth
+            || *node_count >= config.max_nodes
+        {
+            return Node::Leaf { cell, entries };
+        }
+        let children_cells = subdivide(&cell);
+        // If the cell has become degenerate (zero extent on every axis), stop.
+        if children_cells.is_empty() {
+            return Node::Leaf { cell, entries };
+        }
+        let child_entries: Vec<Vec<usize>> = children_cells
+            .iter()
+            .map(|child_cell| {
+                entries
+                    .iter()
+                    .copied()
+                    .filter(|&i| hyperplanes[i].intersects_box(child_cell))
+                    .collect()
+            })
+            .collect();
+        // No-progress guard: when every child still contains every entry
+        // (all hyperplanes cross all quadrants) further subdivision only
+        // multiplies memory without improving pruning.
+        if child_entries.iter().all(|c| c.len() == entries.len()) {
+            return Node::Leaf { cell, entries };
+        }
+        let mut children = Vec::with_capacity(children_cells.len());
+        for (child_cell, child_entry) in children_cells.into_iter().zip(child_entries) {
+            children.push(Self::build_node(
+                hyperplanes,
+                child_cell,
+                child_entry,
+                depth + 1,
+                config,
+                node_count,
+                max_depth_reached,
+            ));
+        }
+        Node::Internal { cell, children }
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> QuadtreeConfig {
+        self.config
+    }
+
+    /// Number of hyperplanes the tree was built over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree indexes no hyperplanes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of tree nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Deepest level created during construction (diagnostic; the worst-case
+    /// experiments of Fig. 13 drive this towards `max_depth`).
+    pub fn depth(&self) -> usize {
+        self.max_depth_reached
+    }
+
+    /// The root cell.
+    pub fn root_cell(&self) -> &BoundingBox {
+        self.root.cell()
+    }
+
+    /// Returns the indices of all hyperplanes intersecting `query`, in
+    /// ascending order and without duplicates.
+    ///
+    /// `hyperplanes` must be the same slice the tree was built from.
+    ///
+    /// # Panics
+    /// Panics if `hyperplanes.len()` differs from the construction-time count.
+    pub fn query(&self, hyperplanes: &[Hyperplane], query: &BoundingBox) -> Vec<usize> {
+        assert_eq!(
+            hyperplanes.len(),
+            self.len,
+            "query must use the hyperplane slice the index was built from"
+        );
+        let mut seen = vec![false; self.len];
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            if !node.cell().intersects(query) {
+                continue;
+            }
+            match node {
+                Node::Leaf { entries, .. } => {
+                    for &i in entries {
+                        if !seen[i] && hyperplanes[i].intersects_box(query) {
+                            seen[i] = true;
+                            out.push(i);
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    for c in children {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Splits a cell into its `2^k` children by halving every axis.  Axes with
+/// (numerically) zero extent are not split; if every axis is degenerate the
+/// function returns an empty vector to signal that subdivision is impossible.
+fn subdivide(cell: &BoundingBox) -> Vec<BoundingBox> {
+    let k = cell.dim();
+    let mut splittable = Vec::new();
+    for axis in 0..k {
+        if cell.extent(axis) > 0.0 {
+            splittable.push(axis);
+        }
+    }
+    if splittable.is_empty() {
+        return Vec::new();
+    }
+    let mut cells = vec![cell.clone()];
+    for &axis in &splittable {
+        let mid = 0.5 * (cell.lo()[axis] + cell.hi()[axis]);
+        let mut next = Vec::with_capacity(cells.len() * 2);
+        for c in cells {
+            let (a, b) = c.split_at(axis, mid);
+            next.push(a);
+            next.push(b);
+        }
+        cells = next;
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-D line `a·x + b·y + c = 0` as a hyperplane.
+    fn line(a: f64, b: f64, c: f64) -> Hyperplane {
+        Hyperplane::new(vec![a, b], c)
+    }
+
+    fn unit_box() -> BoundingBox {
+        BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    fn brute_force(hs: &[Hyperplane], q: &BoundingBox) -> Vec<usize> {
+        (0..hs.len()).filter(|&i| hs[i].intersects_box(q)).collect()
+    }
+
+    #[test]
+    fn subdivide_produces_2k_children() {
+        let cells = subdivide(&unit_box());
+        assert_eq!(cells.len(), 4);
+        let total_volume: f64 = cells.iter().map(|c| c.volume()).sum();
+        assert!((total_volume - 1.0).abs() < 1e-12);
+        // Degenerate cell cannot be subdivided.
+        let degenerate = BoundingBox::new(vec![0.5, 0.5], vec![0.5, 0.5]);
+        assert!(subdivide(&degenerate).is_empty());
+        // Cell flat on one axis splits only the other.
+        let flat = BoundingBox::new(vec![0.0, 0.5], vec![1.0, 0.5]);
+        assert_eq!(subdivide(&flat).len(), 2);
+    }
+
+    #[test]
+    fn build_and_query_small() {
+        // Diagonal and two horizontal-ish lines inside the unit box.
+        let hs = vec![
+            line(1.0, -1.0, 0.0),        // y = x
+            line(0.0, 1.0, -0.25),       // y = 0.25
+            line(0.0, 1.0, -0.75),       // y = 0.75
+            line(1.0, 1.0, -10.0),       // far away, never intersects the unit box
+        ];
+        let tree = HyperplaneQuadtree::build(&hs, unit_box(), QuadtreeConfig::default());
+        assert_eq!(tree.len(), 4);
+        assert!(!tree.is_empty());
+        let q = BoundingBox::new(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let got = tree.query(&hs, &q);
+        assert_eq!(got, brute_force(&hs, &q));
+        assert!(got.contains(&0));
+        assert!(got.contains(&1));
+        assert!(!got.contains(&3));
+    }
+
+    #[test]
+    fn query_whole_root_returns_everything_crossing_it() {
+        let hs: Vec<Hyperplane> = (0..50)
+            .map(|i| line(1.0, -1.0, -(i as f64) / 50.0))
+            .collect();
+        let tree = HyperplaneQuadtree::build(
+            &hs,
+            unit_box(),
+            QuadtreeConfig {
+                max_capacity: 4,
+                max_depth: 12,
+                ..QuadtreeConfig::default()
+            },
+        );
+        let got = tree.query(&hs, &unit_box());
+        assert_eq!(got, brute_force(&hs, &unit_box()));
+        assert!(tree.node_count() > 1, "tree should have subdivided");
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn query_agrees_with_brute_force_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let hs: Vec<Hyperplane> = (0..200)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let tree = HyperplaneQuadtree::build(
+            &hs,
+            root,
+            QuadtreeConfig {
+                max_capacity: 6,
+                max_depth: 10,
+                ..QuadtreeConfig::default()
+            },
+        );
+        for _ in 0..25 {
+            let x0 = rng.gen_range(-1.0..0.9);
+            let y0 = rng.gen_range(-1.0..0.9);
+            let q = BoundingBox::new(
+                vec![x0, y0],
+                vec![x0 + rng.gen_range(0.01..0.1), y0 + rng.gen_range(0.01..0.1)],
+            );
+            assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+        }
+    }
+
+    #[test]
+    fn three_dimensional_octree() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let hs: Vec<Hyperplane> = (0..100)
+            .map(|_| {
+                Hyperplane::new(
+                    vec![
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ],
+                    rng.gen_range(-0.5..0.5),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0, -1.0], vec![1.0, 1.0, 1.0]);
+        let tree = HyperplaneQuadtree::build(&hs, root, QuadtreeConfig::default());
+        for _ in 0..10 {
+            let lo: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..0.8)).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.05..0.2)).collect();
+            let q = BoundingBox::new(lo, hi);
+            assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries_cleanly() {
+        let hs: Vec<Hyperplane> = Vec::new();
+        let tree = HyperplaneQuadtree::build(&hs, unit_box(), QuadtreeConfig::default());
+        assert!(tree.is_empty());
+        assert_eq!(tree.query(&hs, &unit_box()), Vec::<usize>::new());
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn clustered_lines_drive_depth_up() {
+        // All lines pass very close to the same corner: the quadtree keeps
+        // subdividing towards that corner (the paper's worst case).
+        let hs: Vec<Hyperplane> = (0..64)
+            .map(|i| line(1.0, -1.0, -1e-4 * i as f64))
+            .collect();
+        let cfg = QuadtreeConfig {
+            max_capacity: 2,
+            max_depth: 20,
+            ..QuadtreeConfig::default()
+        };
+        let tree = HyperplaneQuadtree::build(&hs, unit_box(), cfg);
+        assert!(
+            tree.depth() >= 8,
+            "clustered input should create a deep tree, got {}",
+            tree.depth()
+        );
+        // Queries remain exact even in the degenerate case.
+        let q = BoundingBox::new(vec![0.4, 0.4], vec![0.6, 0.6]);
+        assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+    }
+
+    #[test]
+    #[should_panic(expected = "hyperplane slice")]
+    fn query_with_wrong_slice_panics() {
+        let hs = vec![line(1.0, -1.0, 0.0)];
+        let tree = HyperplaneQuadtree::build(&hs, unit_box(), QuadtreeConfig::default());
+        let wrong: Vec<Hyperplane> = Vec::new();
+        let _ = tree.query(&wrong, &unit_box());
+    }
+}

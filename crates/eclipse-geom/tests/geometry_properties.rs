@@ -1,0 +1,151 @@
+//! Property-based tests for the geometry substrate: bounding boxes,
+//! hyperplane/box predicates, the duality transform, the LP solver and the
+//! linear-algebra helpers.
+
+use proptest::prelude::*;
+
+use eclipse_geom::dual::{score, score_difference_hyperplane, DualHyperplane};
+use eclipse_geom::hyperplane::{DualLine, Hyperplane};
+use eclipse_geom::linalg::Matrix;
+use eclipse_geom::lp::{Constraint, LinearProgram, LpOutcome};
+use eclipse_geom::point::{BoundingBox, Point};
+
+fn point_strategy(d: usize) -> impl Strategy<Value = Point> {
+    proptest::collection::vec(-10.0f64..10.0, d).prop_map(Point::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The enclosing box contains every input point, and union is commutative
+    /// and monotone.
+    #[test]
+    fn bbox_enclosing_and_union(
+        pts in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 1..30),
+    ) {
+        let points: Vec<Point> = pts.into_iter().map(Point::new).collect();
+        let bbox = BoundingBox::enclosing(&points).unwrap();
+        for p in &points {
+            prop_assert!(bbox.contains_point(p));
+        }
+        let a = BoundingBox::from_point(&points[0]);
+        let u1 = bbox.union(&a);
+        let u2 = a.union(&bbox);
+        prop_assert_eq!(&u1, &u2);
+        prop_assert!(u1.contains_box(&bbox));
+        prop_assert!(u1.volume() + 1e-12 >= bbox.volume());
+    }
+
+    /// min/max weighted sums over a box bound the value at any contained point.
+    #[test]
+    fn bbox_weighted_sum_bounds_hold(
+        lo in proptest::collection::vec(-5.0f64..0.0, 2..5),
+        extent in proptest::collection::vec(0.0f64..5.0, 2..5),
+        weights in proptest::collection::vec(-3.0f64..3.0, 2..5),
+        t in proptest::collection::vec(0.0f64..1.0, 2..5),
+    ) {
+        let d = lo.len().min(extent.len()).min(weights.len()).min(t.len());
+        let lo = &lo[..d];
+        let hi: Vec<f64> = lo.iter().zip(&extent[..d]).map(|(l, e)| l + e).collect();
+        let bbox = BoundingBox::new(lo.to_vec(), hi.clone());
+        let inner: Vec<f64> = lo
+            .iter()
+            .zip(hi.iter())
+            .zip(&t[..d])
+            .map(|((l, h), t)| l + (h - l) * t)
+            .collect();
+        let w = &weights[..d];
+        let value: f64 = inner.iter().zip(w).map(|(x, w)| x * w).sum();
+        prop_assert!(bbox.min_weighted_sum(w) <= value + 1e-9);
+        prop_assert!(bbox.max_weighted_sum(w) + 1e-9 >= value);
+    }
+
+    /// A hyperplane intersects a box iff its value changes sign over the box
+    /// corners (the definition used by every index structure).
+    #[test]
+    fn hyperplane_box_intersection_matches_corner_signs(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 2..4),
+        offset in -2.0f64..2.0,
+        lo in proptest::collection::vec(-3.0f64..3.0, 2..4),
+        extent in proptest::collection::vec(0.0f64..2.0, 2..4),
+    ) {
+        let d = coeffs.len().min(lo.len()).min(extent.len());
+        let h = Hyperplane::new(coeffs[..d].to_vec(), offset);
+        let hi: Vec<f64> = lo[..d].iter().zip(&extent[..d]).map(|(l, e)| l + e).collect();
+        let bbox = BoundingBox::new(lo[..d].to_vec(), hi);
+        let corner_values: Vec<f64> = bbox.corners().iter().map(|c| h.eval(c.coords())).collect();
+        let min = corner_values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = corner_values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let expected = min <= 1e-9 && max >= -1e-9;
+        prop_assert_eq!(h.intersects_box(&bbox), expected);
+    }
+
+    /// Dual line evaluation is consistent with the primal score at every ratio.
+    #[test]
+    fn dual_line_score_consistency(p in point_strategy(2), r in 0.01f64..10.0) {
+        let line = DualLine::from_point(&p);
+        let s = p.weighted_sum(&[r, 1.0]);
+        prop_assert!((line.score_at_ratio(r) - s).abs() < 1e-9);
+        prop_assert!((-line.value_at(-r) - s).abs() < 1e-9);
+    }
+
+    /// The dual hyperplane of a point evaluates consistently with `score`, and
+    /// the score-difference hyperplane is the difference of scores.
+    #[test]
+    fn dual_hyperplane_consistency(
+        a in point_strategy(4),
+        b in point_strategy(4),
+        r in proptest::collection::vec(0.01f64..5.0, 3),
+    ) {
+        let ha = DualHyperplane::from_point(&a);
+        prop_assert!((ha.score_at_ratio(&r) - score(&a, &r)).abs() < 1e-9);
+        let diff = score_difference_hyperplane(&a, &b);
+        prop_assert!((diff.eval(&r) - (score(&a, &r) - score(&b, &r))).abs() < 1e-9);
+    }
+
+    /// Solving A·x = b and multiplying back recovers b (when solvable).
+    #[test]
+    fn linalg_solve_round_trip(
+        rows in proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, 3), 3),
+        x in proptest::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        let m = Matrix::from_row_vecs(rows);
+        let b = m.mul_vec(&x);
+        if let Some(solved) = m.solve(&b) {
+            let back = m.mul_vec(&solved);
+            for (u, v) in back.iter().zip(b.iter()) {
+                prop_assert!((u - v).abs() < 1e-6);
+            }
+        } else {
+            // Singular matrices must have deficient rank.
+            prop_assert!(m.rank() < 3);
+        }
+    }
+
+    /// LP solutions are feasible and no corner of a random box beats the optimum.
+    #[test]
+    fn lp_optimum_dominates_box_corners(
+        c in proptest::collection::vec(-2.0f64..2.0, 2),
+        cap in proptest::collection::vec(0.5f64..4.0, 2),
+    ) {
+        // maximize c·x subject to x_i <= cap_i, x >= 0.
+        let mut lp = LinearProgram::maximize(c.clone());
+        lp.add_constraint(Constraint::less_eq(vec![1.0, 0.0], cap[0]));
+        lp.add_constraint(Constraint::less_eq(vec![0.0, 1.0], cap[1]));
+        match lp.solve() {
+            LpOutcome::Optimal { objective, solution } => {
+                prop_assert!(solution[0] >= -1e-7 && solution[0] <= cap[0] + 1e-7);
+                prop_assert!(solution[1] >= -1e-7 && solution[1] <= cap[1] + 1e-7);
+                // The optimum of a linear function over a box is a corner value.
+                let mut best = f64::NEG_INFINITY;
+                for xc in [0.0, cap[0]] {
+                    for yc in [0.0, cap[1]] {
+                        best = best.max(c[0] * xc + c[1] * yc);
+                    }
+                }
+                prop_assert!((objective - best).abs() < 1e-6);
+            }
+            other => prop_assert!(false, "bounded LP must be optimal, got {other:?}"),
+        }
+    }
+}

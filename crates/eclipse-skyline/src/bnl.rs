@@ -1,0 +1,120 @@
+//! Block-nested-loop (BNL) skyline.
+//!
+//! The classic skyline algorithm of Börzsönyi, Kossmann and Stocker [4]:
+//! stream the points through an in-memory window of incomparable candidates,
+//! discarding points dominated by a window entry and evicting window entries
+//! dominated by the incoming point.  Worst case O(n²·d), but simple and very
+//! fast on correlated data where the window stays tiny.  Used in this
+//! workspace as one of the interchangeable skyline back-ends (and as a
+//! second, structurally different oracle for the divide-and-conquer
+//! implementation).
+
+use eclipse_geom::point::Point;
+
+use crate::dominance::dominates;
+
+/// Computes the skyline of `points` with the block-nested-loop algorithm and
+/// returns the indices of the skyline points in ascending index order.
+pub fn skyline_bnl(points: &[Point]) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        let mut w = 0;
+        while w < window.len() {
+            let q = &points[window[w]];
+            if dominates(q, p) {
+                continue 'outer;
+            }
+            if dominates(p, q) {
+                window.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Computes the skyline and additionally reports, for every non-skyline
+/// point, the index of one point dominating it (a "witness").  Useful for
+/// explaining query answers and exercised by the examples.
+pub fn skyline_bnl_with_witnesses(points: &[Point]) -> (Vec<usize>, Vec<Option<usize>>) {
+    let skyline = skyline_bnl(points);
+    let mut witness: Vec<Option<usize>> = vec![None; points.len()];
+    let in_skyline: std::collections::HashSet<usize> = skyline.iter().copied().collect();
+    for (i, p) in points.iter().enumerate() {
+        if in_skyline.contains(&i) {
+            continue;
+        }
+        witness[i] = skyline
+            .iter()
+            .copied()
+            .find(|&s| dominates(&points[s], p));
+    }
+    (skyline, witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::skyline_naive;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(skyline_bnl(&[]), Vec::<usize>::new());
+        assert_eq!(skyline_bnl(&[p(&[1.0, 2.0])]), vec![0]);
+    }
+
+    #[test]
+    fn paper_running_example() {
+        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        assert_eq!(skyline_bnl(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_both_kept() {
+        let pts = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[0.5, 3.0]), p(&[2.0, 2.0])];
+        assert_eq!(skyline_bnl(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn totally_ordered_chain_keeps_only_minimum() {
+        let pts: Vec<Point> = (0..20).map(|i| p(&[i as f64, i as f64])).collect();
+        assert_eq!(skyline_bnl(&pts), vec![0]);
+    }
+
+    #[test]
+    fn anti_chain_keeps_everything() {
+        let pts: Vec<Point> = (0..20).map(|i| p(&[i as f64, (19 - i) as f64])).collect();
+        assert_eq!(skyline_bnl(&pts).len(), 20);
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for d in 2..=5usize {
+            for _ in 0..5 {
+                let pts: Vec<Point> = (0..200)
+                    .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                    .collect();
+                assert_eq!(skyline_bnl(&pts), skyline_naive(&pts), "d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_point_at_dominators() {
+        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let (skyline, witnesses) = skyline_bnl_with_witnesses(&pts);
+        assert_eq!(skyline, vec![0, 1, 2]);
+        assert_eq!(witnesses[0], None);
+        let w = witnesses[3].expect("p4 must have a witness");
+        assert!(dominates(&pts[w], &pts[3]));
+    }
+}

@@ -1,0 +1,254 @@
+//! The convex-hull query from the origin's view.
+//!
+//! §II-C of the paper relates eclipse to the *convex hull query*: the points
+//! that are the best (smallest weighted sum) under **some** linear scoring
+//! function with non-negative weights.  Geometrically these are the vertices
+//! of the lower-left staircase of the convex hull facing the origin — e.g. in
+//! Figure 1 the convex hull query returns `{p1, p3}`, not the full hull
+//! `{p1, p3, p4}`.
+//!
+//! Two engines are provided:
+//!
+//! * [`hull_query_2d`] — an exact O(n log n) monotone-chain construction of
+//!   the lower-left hull for two dimensions;
+//! * [`hull_query_lp`] — a dimension-agnostic membership test that solves one
+//!   small linear program per point ("is there a convex weight vector making
+//!   this point strictly best?") using [`eclipse_geom::lp`].
+
+use eclipse_geom::lp::{Constraint, LinearProgram, LpOutcome};
+use eclipse_geom::point::Point;
+
+/// Returns the indices of the 2-D convex-hull-query points (origin's view),
+/// i.e. the vertices of the lower-left convex chain, in ascending index
+/// order.
+///
+/// # Panics
+/// Panics if any point is not two-dimensional.
+pub fn hull_query_2d(points: &[Point]) -> Vec<usize> {
+    for p in points {
+        assert_eq!(p.dim(), 2, "hull_query_2d requires two-dimensional points");
+    }
+    if points.is_empty() {
+        return Vec::new();
+    }
+    // Sort by (x, y); deduplicate exact duplicates for the chain construction
+    // but remember them: a duplicate of a hull vertex is also a best point
+    // for the same weight vector only in the weak sense, so we follow the 1NN
+    // semantics of the paper (strictly best) and keep just the vertex set —
+    // duplicates of a vertex are included since they achieve the same score.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .coord(0)
+            .total_cmp(&points[b].coord(0))
+            .then(points[a].coord(1).total_cmp(&points[b].coord(1)))
+    });
+
+    // Lower-left staircase: walk by increasing x keeping only points whose y
+    // strictly decreases (otherwise some earlier point is at least as good on
+    // both axes for every weight vector)…
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for &i in &order {
+        let y = points[i].coord(1);
+        if y < best_y {
+            candidates.push(i);
+            best_y = y;
+        }
+    }
+    // …then keep only the vertices of the lower convex chain of those
+    // candidates (monotone-chain with a right-turn test).
+    let mut chain: Vec<usize> = Vec::new();
+    for &i in &candidates {
+        while chain.len() >= 2 {
+            let a = &points[chain[chain.len() - 2]];
+            let b = &points[chain[chain.len() - 1]];
+            let c = &points[i];
+            // Cross product of (b - a) × (c - a); b is a vertex of the lower
+            // hull only if a→b→c makes a counter-clockwise (left) turn, i.e.
+            // b lies strictly below the segment a–c.  Clockwise or collinear
+            // turns (cross ≤ 0) mean b is on or above the segment and is
+            // never strictly best, so it is popped.
+            let cross = (b.coord(0) - a.coord(0)) * (c.coord(1) - a.coord(1))
+                - (b.coord(1) - a.coord(1)) * (c.coord(0) - a.coord(0));
+            if cross <= 0.0 {
+                chain.pop();
+            } else {
+                break;
+            }
+        }
+        chain.push(i);
+    }
+    // Re-attach exact duplicates of chain vertices (they achieve the same
+    // optimal score for the same weight vector).
+    let mut out: Vec<usize> = Vec::new();
+    for &v in &chain {
+        for (i, p) in points.iter().enumerate() {
+            if p.coords() == points[v].coords() {
+                out.push(i);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Dimension-agnostic convex-hull-query membership by linear programming.
+///
+/// A point `p` is reported iff there exists a weight vector `w ≥ 0`,
+/// `Σ w = 1`, such that `w·p ≤ w·q` for every other point `q`, with strict
+/// inequality against every point not identical to `p` achievable
+/// (`objective > 0`), or the point ties as a duplicate of such a point.
+///
+/// Implementation note: hull-query points are always skyline points, and a
+/// point that is strictly best against every *skyline* point is strictly best
+/// against every point (any non-skyline point is weakly worse than some
+/// skyline point for every non-negative weight vector).  The LPs are therefore
+/// restricted to the skyline, which keeps the cost at
+/// `O(u · simplex(u))` instead of `O(n · simplex(n))`.
+pub fn hull_query_lp(points: &[Point]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let d = points[0].dim();
+    assert!(
+        points.iter().all(|p| p.dim() == d),
+        "all points must share the same dimensionality"
+    );
+    let skyline = crate::dc::skyline_dc(points);
+    let sky_points: Vec<Point> = skyline.iter().map(|&i| points[i].clone()).collect();
+    skyline
+        .iter()
+        .enumerate()
+        .filter(|&(local, _)| is_hull_query_point(&sky_points, local))
+        .map(|(_, &original)| original)
+        .collect()
+}
+
+/// LP membership test for a single point (see [`hull_query_lp`]).
+pub fn is_hull_query_point(points: &[Point], idx: usize) -> bool {
+    let d = points[idx].dim();
+    // Variables: w_1 … w_d, t_plus, t_minus  (t = t_plus − t_minus is free).
+    // maximize t  s.t.  w·(q − p) − t ≥ 0 for all q ≠ p (skipping duplicates),
+    //                   Σ w = 1,  w ≥ 0.
+    let mut objective = vec![0.0; d];
+    objective.push(1.0);
+    objective.push(-1.0);
+    let mut lp = LinearProgram::maximize(objective);
+    let mut has_distinct = false;
+    for (q, other) in points.iter().enumerate() {
+        if q == idx || other.coords() == points[idx].coords() {
+            continue;
+        }
+        has_distinct = true;
+        let mut coeffs: Vec<f64> = (0..d)
+            .map(|j| other.coord(j) - points[idx].coord(j))
+            .collect();
+        coeffs.push(-1.0);
+        coeffs.push(1.0);
+        lp.add_constraint(Constraint::greater_eq(coeffs, 0.0));
+    }
+    if !has_distinct {
+        // Only duplicates of itself (or a singleton dataset): trivially best.
+        return true;
+    }
+    let mut sum_w = vec![1.0; d];
+    sum_w.push(0.0);
+    sum_w.push(0.0);
+    lp.add_constraint(Constraint::equal(sum_w, 1.0));
+    match lp.solve() {
+        LpOutcome::Optimal { objective, .. } => objective > 1e-7,
+        LpOutcome::Unbounded => true,
+        LpOutcome::Infeasible => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn paper_figure1_hull_query() {
+        // §II-C: "in Figure 1, the convex hull query returns p1, p3 rather
+        // than p1, p3, p4."
+        assert_eq!(hull_query_2d(&paper_points()), vec![0, 2]);
+        assert_eq!(hull_query_lp(&paper_points()), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(hull_query_2d(&[]), Vec::<usize>::new());
+        assert_eq!(hull_query_lp(&[]), Vec::<usize>::new());
+        assert_eq!(hull_query_2d(&[p(&[3.0, 3.0])]), vec![0]);
+        assert_eq!(hull_query_lp(&[p(&[3.0, 3.0])]), vec![0]);
+    }
+
+    #[test]
+    fn collinear_interior_points_are_excluded() {
+        // (2,2) lies on the segment (1,3)–(3,1): it is never *strictly* best.
+        let pts = vec![p(&[1.0, 3.0]), p(&[2.0, 2.0]), p(&[3.0, 1.0])];
+        assert_eq!(hull_query_2d(&pts), vec![0, 2]);
+        assert_eq!(hull_query_lp(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicates_of_a_vertex_are_included() {
+        let pts = vec![p(&[1.0, 3.0]), p(&[1.0, 3.0]), p(&[3.0, 1.0]), p(&[4.0, 4.0])];
+        let got2d = hull_query_2d(&pts);
+        assert_eq!(got2d, vec![0, 1, 2]);
+        assert_eq!(hull_query_lp(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lp_and_2d_hull_agree_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let pts: Vec<Point> = (0..60)
+                .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+                .collect();
+            assert_eq!(hull_query_2d(&pts), hull_query_lp(&pts));
+        }
+    }
+
+    #[test]
+    fn hull_query_is_subset_of_skyline() {
+        use crate::bnl::skyline_bnl;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        for d in [2usize, 3, 4] {
+            let pts: Vec<Point> = (0..80)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                .collect();
+            let hull = hull_query_lp(&pts);
+            let sky: std::collections::HashSet<usize> =
+                skyline_bnl(&pts).into_iter().collect();
+            for h in hull {
+                assert!(sky.contains(&h), "hull point {h} missing from skyline, d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_membership() {
+        // The all-round compromise point (2,2,2) is inside the simplex spanned
+        // by the three specialists, but strictly closer to the origin overall,
+        // so it IS a hull-query point; pushing it out to (4,4,4) makes it an
+        // interior (dominated-in-mixture) point.
+        let specialists = vec![p(&[1.0, 5.0, 5.0]), p(&[5.0, 1.0, 5.0]), p(&[5.0, 5.0, 1.0])];
+        let mut with_good_generalist = specialists.clone();
+        with_good_generalist.push(p(&[2.0, 2.0, 2.0]));
+        assert!(is_hull_query_point(&with_good_generalist, 3));
+        let mut with_bad_generalist = specialists;
+        with_bad_generalist.push(p(&[4.0, 4.0, 4.0]));
+        assert!(!is_hull_query_point(&with_bad_generalist, 3));
+    }
+}

@@ -1,0 +1,173 @@
+//! Generalized 1NN / kNN under a linear scoring function.
+//!
+//! Definition 1 of the paper phrases 1NN through the weighted sum
+//! `S(p) = Σ_i w[i]·p[i]` for a user-specified attribute weight vector (the
+//! query point being the origin); kNN returns the `k` points with the
+//! smallest scores.  Three interchangeable engines are provided:
+//!
+//! * [`knn_linear_scan`] — the obvious O(n log k) heap scan,
+//! * [`knn_rtree`] — best-first search over an STR-bulk-loaded R-tree
+//!   ([`eclipse_geom::rtree`]), pruning subtrees by their lower score bound,
+//! * [`knn_euclidean`] — classic distance-based kNN around an arbitrary query
+//!   point, used by the examples for comparison with the scoring flavour.
+
+use eclipse_geom::point::Point;
+use eclipse_geom::rtree::RTree;
+
+/// Result entry of a kNN query: the point index and its score (or distance).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point in the dataset.
+    pub index: usize,
+    /// Score (weighted sum) or distance, depending on the query flavour.
+    pub score: f64,
+}
+
+/// Returns the `k` points with the smallest weighted sum `Σ_i w[i]·p[i]`,
+/// in ascending score order, by a single heap-based scan.
+///
+/// Ties are broken by point index so results are deterministic.
+///
+/// # Panics
+/// Panics if `weights.len()` differs from the point dimensionality.
+pub fn knn_linear_scan(points: &[Point], weights: &[f64], k: usize) -> Vec<Neighbor> {
+    let mut scored: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Neighbor {
+            index: i,
+            score: p.weighted_sum(weights),
+        })
+        .collect();
+    scored.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.index.cmp(&b.index)));
+    scored.truncate(k);
+    scored
+}
+
+/// The single nearest neighbour under a linear scoring function, or `None`
+/// for an empty dataset — the paper's 1NN operator.
+pub fn nn_linear(points: &[Point], weights: &[f64]) -> Option<Neighbor> {
+    knn_linear_scan(points, weights, 1).into_iter().next()
+}
+
+/// R-tree accelerated top-k by weighted sum.  Produces exactly the same
+/// result as [`knn_linear_scan`] (up to tie order, which is then normalized
+/// by score/index sorting).
+pub fn knn_rtree(tree: &RTree, points: &[Point], weights: &[f64], k: usize) -> Vec<Neighbor> {
+    let mut result: Vec<Neighbor> = tree
+        .top_k_by_weighted_sum(points, weights, k)
+        .into_iter()
+        .map(|(index, score)| Neighbor { index, score })
+        .collect();
+    result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.index.cmp(&b.index)));
+    result
+}
+
+/// Classic Euclidean kNN around an explicit query point (linear scan).
+pub fn knn_euclidean(points: &[Point], query: &Point, k: usize) -> Vec<Neighbor> {
+    let mut scored: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Neighbor {
+            index: i,
+            score: p.l2_distance(query),
+        })
+        .collect();
+    scored.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.index.cmp(&b.index)));
+    scored.truncate(k);
+    scored
+}
+
+/// Converts an attribute weight *ratio* vector `r = ⟨r[1], …, r[d−1]⟩`
+/// (relative to the last attribute, whose weight is 1) into the full weight
+/// vector `⟨r[1], …, r[d−1], 1⟩` expected by the scoring functions above.
+pub fn ratio_to_weights(ratios: &[f64]) -> Vec<f64> {
+    let mut w = ratios.to_vec();
+    w.push(1.0);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    fn paper_points() -> Vec<Point> {
+        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+    }
+
+    #[test]
+    fn paper_figure1_nearest_neighbour() {
+        // Figure 1: w = <2, 1> makes p1 the 1NN with S(p1) = 8.
+        let nn = nn_linear(&paper_points(), &[2.0, 1.0]).unwrap();
+        assert_eq!(nn.index, 0);
+        assert!((nn.score - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_orders_by_score() {
+        let res = knn_linear_scan(&paper_points(), &[2.0, 1.0], 4);
+        // Scores: p1=8, p2=12, p3=13, p4=21.
+        let scores: Vec<f64> = res.iter().map(|n| n.score).collect();
+        assert_eq!(scores, vec![8.0, 12.0, 13.0, 21.0]);
+        let idx: Vec<usize> = res.iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+        // k larger than n just returns everything.
+        assert_eq!(knn_linear_scan(&paper_points(), &[2.0, 1.0], 10).len(), 4);
+        // k = 0 returns nothing.
+        assert!(knn_linear_scan(&paper_points(), &[2.0, 1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        assert!(nn_linear(&[], &[1.0, 1.0]).is_none());
+        assert!(knn_euclidean(&[], &p(&[0.0, 0.0]), 3).is_empty());
+    }
+
+    #[test]
+    fn ratio_to_weights_appends_unit() {
+        assert_eq!(ratio_to_weights(&[2.0]), vec![2.0, 1.0]);
+        assert_eq!(ratio_to_weights(&[0.5, 3.0]), vec![0.5, 3.0, 1.0]);
+        assert_eq!(ratio_to_weights(&[]), vec![1.0]);
+    }
+
+    #[test]
+    fn rtree_and_scan_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for d in [2usize, 3, 5] {
+            let pts: Vec<Point> = (0..500)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                .collect();
+            let tree = RTree::bulk_load(&pts);
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.1..3.0)).collect();
+            let a = knn_linear_scan(&pts, &weights, 15);
+            let b = knn_rtree(&tree, &pts, &weights, 15);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x.score - y.score).abs() < 1e-9, "d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_knn_sanity() {
+        let pts = paper_points();
+        let res = knn_euclidean(&pts, &p(&[6.0, 1.0]), 2);
+        assert_eq!(res[0].index, 2);
+        assert!(res[0].score.abs() < 1e-12);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn the_1nn_winner_is_scale_invariant_in_weights() {
+        // Scaling the whole weight vector never changes the argmin.
+        let pts = paper_points();
+        let a = nn_linear(&pts, &[2.0, 1.0]).unwrap();
+        let b = nn_linear(&pts, &[4.0, 2.0]).unwrap();
+        assert_eq!(a.index, b.index);
+    }
+}

@@ -1,0 +1,182 @@
+//! Skyline layers (onion peeling).
+//!
+//! Repeatedly removing the skyline of the remaining points partitions the
+//! dataset into *layers*: layer 0 is the skyline, layer 1 is the skyline of
+//! what is left, and so on.  Several of the result-size-control proposals the
+//! paper discusses in its related work (e.g. top-k representative skylines
+//! "based on skyline layers") build on this decomposition, and the examples
+//! use it to rank non-skyline records.  The implementation peels with the
+//! sort-filter skyline, which is the fastest of the substrate algorithms when
+//! each layer is small.
+
+use eclipse_geom::point::Point;
+
+use crate::sfs::skyline_sfs;
+
+/// The layer decomposition of a dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkylineLayers {
+    /// `layers[k]` holds the dataset indices of layer `k`, each ascending.
+    layers: Vec<Vec<usize>>,
+    /// For every point, the index of its layer.
+    assignment: Vec<usize>,
+}
+
+impl SkylineLayers {
+    /// Number of layers (0 for an empty dataset).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the dataset was empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The indices of layer `k`.
+    ///
+    /// # Panics
+    /// Panics if `k >= self.len()`.
+    pub fn layer(&self, k: usize) -> &[usize] {
+        &self.layers[k]
+    }
+
+    /// All layers, outermost (the skyline) first.
+    pub fn layers(&self) -> &[Vec<usize>] {
+        &self.layers
+    }
+
+    /// The layer index of point `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn layer_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// The indices of the first `k` points encountered when walking layers
+    /// outermost-first (a simple representative-selection heuristic; within a
+    /// layer lower indices win).
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(k);
+        for layer in &self.layers {
+            for &i in layer {
+                if out.len() == k {
+                    return out;
+                }
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+/// Computes the full skyline-layer decomposition.
+pub fn skyline_layers(points: &[Point]) -> SkylineLayers {
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![0usize; points.len()];
+    while !remaining.is_empty() {
+        let sub: Vec<Point> = remaining.iter().map(|&i| points[i].clone()).collect();
+        let local = skyline_sfs(&sub);
+        let layer: Vec<usize> = local.iter().map(|&k| remaining[k]).collect();
+        let in_layer: std::collections::HashSet<usize> = layer.iter().copied().collect();
+        for &i in &layer {
+            assignment[i] = layers.len();
+        }
+        remaining.retain(|i| !in_layer.contains(i));
+        layers.push(layer);
+    }
+    SkylineLayers { layers, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let l = skyline_layers(&[]);
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.top_k(3), Vec::<usize>::new());
+        let l = skyline_layers(&[p(&[1.0, 2.0])]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.layer(0), &[0]);
+        assert_eq!(l.layer_of(0), 0);
+    }
+
+    #[test]
+    fn paper_running_example_has_two_layers() {
+        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let l = skyline_layers(&pts);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.layer(0), &[0, 1, 2]);
+        assert_eq!(l.layer(1), &[3]);
+        assert_eq!(l.layer_of(3), 1);
+        assert_eq!(l.top_k(2), vec![0, 1]);
+        assert_eq!(l.top_k(4), vec![0, 1, 2, 3]);
+        assert_eq!(l.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn chain_produces_one_layer_per_point() {
+        let pts: Vec<Point> = (0..8).map(|i| p(&[i as f64, i as f64])).collect();
+        let l = skyline_layers(&pts);
+        assert_eq!(l.len(), 8);
+        for (k, layer) in l.layers().iter().enumerate() {
+            assert_eq!(layer, &vec![k]);
+        }
+    }
+
+    #[test]
+    fn layers_partition_the_dataset() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for d in 2..=4usize {
+            let pts: Vec<Point> = (0..300)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                .collect();
+            let l = skyline_layers(&pts);
+            let total: usize = l.layers().iter().map(Vec::len).sum();
+            assert_eq!(total, pts.len(), "d = {d}");
+            // Every point appears exactly once and its assignment matches.
+            let mut seen = vec![false; pts.len()];
+            for (k, layer) in l.layers().iter().enumerate() {
+                for &i in layer {
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                    assert_eq!(l.layer_of(i), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_point_is_dominated_within_its_layer_and_every_inner_point_is_dominated_by_an_outer_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let l = skyline_layers(&pts);
+        for (k, layer) in l.layers().iter().enumerate() {
+            for &i in layer {
+                for &j in layer {
+                    assert!(!dominates(&pts[j], &pts[i]) || i == j);
+                }
+                if k > 0 {
+                    let dominated_by_outer = l.layers()[..k]
+                        .iter()
+                        .flatten()
+                        .any(|&j| dominates(&pts[j], &pts[i]));
+                    assert!(dominated_by_outer, "point {i} in layer {k} has no outer dominator");
+                }
+            }
+        }
+    }
+}

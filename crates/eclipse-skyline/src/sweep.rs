@@ -1,0 +1,132 @@
+//! The O(n log n) two-dimensional skyline (sort + sweep).
+//!
+//! Sorting by the first coordinate (ties broken by the second) and sweeping
+//! while maintaining the minimum second coordinate seen so far yields the 2-D
+//! skyline in O(n log n) — the routine invoked by Line 4 of the paper's
+//! Algorithm 2 and by Line 1 of Algorithm 4.
+
+use eclipse_geom::point::Point;
+
+/// Computes the two-dimensional skyline, returning indices in ascending
+/// index order.
+///
+/// # Panics
+/// Panics if any point is not two-dimensional.
+pub fn skyline_2d(points: &[Point]) -> Vec<usize> {
+    for p in points {
+        assert_eq!(p.dim(), 2, "skyline_2d requires two-dimensional points");
+    }
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .coord(0)
+            .total_cmp(&points[b].coord(0))
+            .then(points[a].coord(1).total_cmp(&points[b].coord(1)))
+    });
+
+    let mut result = Vec::new();
+    let mut best_y = f64::INFINITY;
+    let mut prev_x = f64::NEG_INFINITY;
+    let mut prev_y_at_x = f64::INFINITY;
+    for &i in &order {
+        let x = points[i].coord(0);
+        let y = points[i].coord(1);
+        // A point survives iff no earlier point (smaller or equal x) has a
+        // smaller-or-equal y, except that *identical* points must all survive
+        // (they do not dominate each other) and points sharing the x of the
+        // current best but with larger y are dominated.
+        if y < best_y {
+            result.push(i);
+            best_y = y;
+            prev_x = x;
+            prev_y_at_x = y;
+        } else if y == best_y {
+            // Same y as the best so far: dominated unless it is an exact
+            // duplicate of the point that set the record.
+            if x == prev_x && y == prev_y_at_x {
+                result.push(i);
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::skyline_naive;
+    use rand::{Rng, SeedableRng};
+
+    fn p(c: &[f64]) -> Point {
+        Point::from_slice(c)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(skyline_2d(&[]), Vec::<usize>::new());
+        assert_eq!(skyline_2d(&[p(&[1.0, 2.0])]), vec![0]);
+    }
+
+    #[test]
+    fn paper_running_example() {
+        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        assert_eq!(skyline_2d(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equal_x_keeps_only_lower_y() {
+        let pts = vec![p(&[1.0, 5.0]), p(&[1.0, 3.0]), p(&[2.0, 6.0])];
+        assert_eq!(skyline_2d(&pts), vec![1]);
+    }
+
+    #[test]
+    fn equal_y_keeps_only_lower_x() {
+        let pts = vec![p(&[3.0, 2.0]), p(&[1.0, 2.0]), p(&[0.5, 4.0])];
+        assert_eq!(skyline_2d(&pts), skyline_naive(&pts));
+    }
+
+    #[test]
+    fn exact_duplicates_all_survive() {
+        let pts = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[2.0, 0.5]), p(&[1.0, 1.0])];
+        let got = skyline_2d(&pts);
+        assert_eq!(got, skyline_naive(&pts));
+        assert!(got.contains(&0) && got.contains(&1) && got.contains(&3));
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let pts: Vec<Point> = (0..500)
+                .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+                .collect();
+            assert_eq!(skyline_2d(&pts), skyline_naive(&pts));
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_gridded_data_with_many_ties() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for _ in 0..10 {
+            let pts: Vec<Point> = (0..300)
+                .map(|_| {
+                    Point::new(vec![
+                        rng.gen_range(0..8) as f64,
+                        rng.gen_range(0..8) as f64,
+                    ])
+                })
+                .collect();
+            assert_eq!(skyline_2d(&pts), skyline_naive(&pts));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two-dimensional")]
+    fn rejects_higher_dimensional_points() {
+        let _ = skyline_2d(&[p(&[1.0, 2.0, 3.0])]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hotel recommendation for a conference — the paper's motivating scenario at
+//! a realistic scale.
+//!
+//! A conference organizer has to shortlist hotels for hundreds of
+//! participants whose exact preferences are unknown, but who fall into rough
+//! groups (students: price matters more; speakers: distance matters more;
+//! everyone else: balanced).  The example generates a synthetic city of
+//! hotels, then answers one eclipse query per group and compares the
+//! shortlist sizes with plain skyline and plain top-k.
+//!
+//! ```text
+//! cargo run -p eclipse-examples --bin hotel_recommendation
+//! ```
+
+use rand::{Rng, SeedableRng};
+
+use eclipse_core::prefs::{ImportanceLevel, PreferenceSpec};
+use eclipse_core::{EclipseEngine, Point};
+
+struct Hotel {
+    name: String,
+    distance_miles: f64,
+    price_per_night: f64,
+    review_penalty: f64, // 5.0 - average rating, so smaller is better
+}
+
+fn synthesize_city(n: usize, seed: u64) -> Vec<Hotel> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Hotels closer to the venue tend to be pricier.
+            let distance: f64 = rng.gen_range(0.2..12.0);
+            let base_price: f64 = 260.0 - 14.0 * distance;
+            let price: f64 = (base_price + rng.gen_range(-40.0..60.0)).max(45.0);
+            let rating: f64 = rng.gen_range(2.8..5.0);
+            Hotel {
+                name: format!("Hotel #{i:03}"),
+                distance_miles: distance,
+                price_per_night: price,
+                review_penalty: 5.0 - rating,
+            }
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hotels = synthesize_city(400, 7);
+    let points: Vec<Point> = hotels
+        .iter()
+        .map(|h| Point::new(vec![h.distance_miles, h.price_per_night / 100.0, h.review_penalty]))
+        .collect();
+    let engine = EclipseEngine::new(points)?;
+
+    println!("{} candidate hotels, attributes = (distance, price/$100, review penalty)\n", hotels.len());
+
+    // Baseline operators for comparison.
+    let skyline = engine.skyline();
+    let top5 = engine.knn(&[1.0, 1.0], 5)?;
+    println!("skyline shortlist              : {} hotels", skyline.len());
+    println!("top-5 for one exact preference : 5 hotels (but only for w = <1,1,1>)\n");
+
+    // Group-specific eclipse queries expressed as categorical preferences
+    // relative to the review-penalty attribute.
+    let groups: [(&str, PreferenceSpec); 3] = [
+        (
+            "students (price matters most)",
+            PreferenceSpec::Categorical(vec![
+                ImportanceLevel::Unimportant, // distance vs reviews
+                ImportanceLevel::VeryImportant, // price vs reviews
+            ]),
+        ),
+        (
+            "speakers (distance matters most)",
+            PreferenceSpec::Categorical(vec![
+                ImportanceLevel::VeryImportant,
+                ImportanceLevel::Similar,
+            ]),
+        ),
+        (
+            "general attendees (balanced)",
+            PreferenceSpec::Categorical(vec![ImportanceLevel::Similar, ImportanceLevel::Similar]),
+        ),
+    ];
+
+    for (label, pref) in groups {
+        let shortlist = engine.eclipse_with_preference(&pref)?;
+        println!("eclipse shortlist for {label}: {} hotels", shortlist.len());
+        for idx in shortlist.iter().take(5) {
+            let h = &hotels[*idx];
+            println!(
+                "    {:<11} {:>4.1} mi  ${:>6.0}/night  rating {:.1}",
+                h.name,
+                h.distance_miles,
+                h.price_per_night,
+                5.0 - h.review_penalty
+            );
+        }
+        if shortlist.len() > 5 {
+            println!("    … and {} more", shortlist.len() - 5);
+        }
+        println!();
+    }
+
+    // Sanity: every eclipse shortlist is contained in the skyline shortlist.
+    let skyline_set: std::collections::HashSet<usize> = skyline.into_iter().collect();
+    let balanced = engine.eclipse_with_preference(&PreferenceSpec::Categorical(vec![
+        ImportanceLevel::Similar,
+        ImportanceLevel::Similar,
+    ]))?;
+    assert!(balanced.iter().all(|i| skyline_set.contains(i)));
+    println!(
+        "(check) the balanced eclipse shortlist is a subset of the skyline shortlist ✓"
+    );
+    println!(
+        "(check) the exact-preference top-1 hotel {} is in the balanced shortlist: {}",
+        hotels[top5[0].index].name,
+        balanced.contains(&top5[0].index)
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Helper library for the runnable examples (kept intentionally tiny —
+//! everything interesting lives in the example binaries themselves).
+
+/// Formats a slice of point indices as a compact `{p1, p2, …}` string using
+/// one-based ids, matching the notation of the paper's running example.
+pub fn format_ids(ids: &[usize]) -> String {
+    let inner: Vec<String> = ids.iter().map(|i| format!("p{}", i + 1)).collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn format_ids_is_one_based() {
+        assert_eq!(super::format_ids(&[0, 2]), "{p1, p3}");
+        assert_eq!(super::format_ids(&[]), "{}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Four hotels with (distance, price) attributes; we ask for 1NN, skyline and
+//! eclipse results and show how the eclipse ratio range interpolates between
+//! the two classic operators.
+//!
+//! ```text
+//! cargo run -p eclipse-examples --bin quickstart
+//! ```
+
+use eclipse_core::prefs::{ImportanceLevel, PreferenceSpec};
+use eclipse_core::{EclipseEngine, Point, WeightRatioBox};
+use eclipse_examples::format_ids;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The dataset of Figures 1–3: (distance in miles, price in $100).
+    let hotels = vec![
+        Point::new(vec![1.0, 6.0]), // p1
+        Point::new(vec![4.0, 4.0]), // p2
+        Point::new(vec![6.0, 1.0]), // p3
+        Point::new(vec![8.0, 5.0]), // p4
+    ];
+    let engine = EclipseEngine::new(hotels)?;
+
+    println!("Hotel dataset: p1=(1,6)  p2=(4,4)  p3=(6,1)  p4=(8,5)");
+    println!("(distance in miles, price in $100; smaller is better)\n");
+
+    // --- 1NN: distance is twice as important as price (Figure 1). ---------
+    let nn = engine.nn(&[2.0])?.expect("non-empty dataset");
+    println!(
+        "1NN  (w = <2,1>)          -> p{} with score {}",
+        nn.index + 1,
+        nn.score
+    );
+
+    // --- Skyline: no preference at all (Figure 2). -------------------------
+    let skyline = engine.skyline();
+    println!("Skyline                   -> {}", format_ids(&skyline));
+
+    // --- Eclipse: a *rough* preference, r ∈ [1/4, 2] (Figure 3). -----------
+    let ratio_box = WeightRatioBox::uniform(2, 0.25, 2.0)?;
+    let eclipse = engine.eclipse(&ratio_box)?;
+    println!("Eclipse (r ∈ [1/4, 2])    -> {}", format_ids(&eclipse));
+
+    // --- Eclipse instantiates both classic operators. ----------------------
+    let as_nn = engine.eclipse(&WeightRatioBox::exact(&[2.0])?)?;
+    let as_skyline = engine.eclipse(&WeightRatioBox::skyline(2)?)?;
+    println!("Eclipse (r ∈ [2, 2])      -> {}   (the 1NN winner)", format_ids(&as_nn));
+    println!(
+        "Eclipse (r ∈ [0, +inf))   -> {}   (exactly the skyline)",
+        format_ids(&as_skyline)
+    );
+
+    // --- Categorical preference: "price is more important than distance". --
+    let pref = PreferenceSpec::Categorical(vec![ImportanceLevel::Unimportant]);
+    let students = engine.eclipse_with_preference(&pref)?;
+    println!(
+        "Eclipse (distance 'unimportant' vs price) -> {}",
+        format_ids(&students)
+    );
+
+    // --- Relationship report (Table I / Figure 4). --------------------------
+    let report = engine.relations(&ratio_box)?;
+    println!("\nRelationships for r ∈ [1/4, 2]:");
+    println!("  convex hull query : {}", format_ids(&report.convex_hull));
+    println!("  eclipse \\ hull    : {}", format_ids(&report.eclipse_only()));
+    println!("  eclipse ⊆ skyline : {}", report.eclipse_subset_of_skyline());
+
+    // --- Explanation: which preference in [1/4, 2] picks which hotel? -------
+    let intervals = eclipse_core::explain::winner_intervals_2d(engine.points(), &ratio_box)?;
+    println!("\nWho wins where (1NN winner per ratio sub-interval):");
+    for iv in intervals {
+        println!(
+            "  r ∈ [{:.3}, {:.3}]  ->  p{}",
+            iv.from_ratio,
+            iv.to_ratio,
+            iv.winner + 1
+        );
+    }
+    Ok(())
+}

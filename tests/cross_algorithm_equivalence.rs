@@ -1,0 +1,131 @@
+//! Cross-crate, cross-algorithm equivalence: BASE ≡ TRAN ≡ QUAD ≡ CUTTING on
+//! every dataset family, dimensionality and ratio range of the paper's
+//! parameter grid — including property-based tests over random datasets and
+//! random boxes.
+
+use proptest::prelude::*;
+
+use eclipse_core::algo::baseline::eclipse_baseline;
+use eclipse_core::algo::transform::{eclipse_transform, SkylineBackend};
+use eclipse_core::index::{EclipseIndex, IndexConfig, IntersectionIndexKind};
+use eclipse_core::point::Point;
+use eclipse_core::weights::WeightRatioBox;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+
+fn all_four(points: &[Point], b: &WeightRatioBox) -> [Vec<usize>; 4] {
+    let base = eclipse_baseline(points, b).expect("baseline");
+    let tran = eclipse_transform(points, b, SkylineBackend::Auto).expect("transform");
+    let quad = EclipseIndex::build(points, IndexConfig::with_kind(IntersectionIndexKind::Quadtree))
+        .expect("quad build")
+        .query(b)
+        .expect("quad query");
+    let cutting = EclipseIndex::build(
+        points,
+        IndexConfig::with_kind(IntersectionIndexKind::CuttingTree),
+    )
+    .expect("cutting build")
+    .query(b)
+    .expect("cutting query");
+    [base, tran, quad, cutting]
+}
+
+#[test]
+fn equivalence_on_paper_parameter_grid() {
+    // A reduced version of Table IV's grid (kept quadratic-baseline friendly).
+    for dist in [
+        Distribution::Independent,
+        Distribution::Correlated,
+        Distribution::AntiCorrelated,
+    ] {
+        for d in [2usize, 3, 4] {
+            for (lo, hi) in [(0.18, 5.67), (0.36, 2.75), (0.84, 1.19)] {
+                let pts = SyntheticConfig::new(300, d, dist, 99).generate();
+                let b = WeightRatioBox::uniform(d, lo, hi).unwrap();
+                let [base, tran, quad, cutting] = all_four(&pts, &b);
+                assert_eq!(base, tran, "{dist:?} d={d} r=[{lo},{hi}] TRAN");
+                assert_eq!(base, quad, "{dist:?} d={d} r=[{lo},{hi}] QUAD");
+                assert_eq!(base, cutting, "{dist:?} d={d} r=[{lo},{hi}] CUTTING");
+                assert!(!base.is_empty(), "eclipse result must never be empty");
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_on_nba_dataset() {
+    let pts = eclipse_data::nba::nba_dataset(800, 3, 2015);
+    let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+    let [base, tran, quad, cutting] = all_four(&pts, &b);
+    assert_eq!(base, tran);
+    assert_eq!(base, quad);
+    assert_eq!(base, cutting);
+}
+
+#[test]
+fn equivalence_on_clustered_worst_case() {
+    let pts = SyntheticConfig::new(200, 3, Distribution::ClusteredWorstCase, 5).generate();
+    let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+    let [base, tran, quad, cutting] = all_four(&pts, &b);
+    assert_eq!(base, tran);
+    assert_eq!(base, quad);
+    assert_eq!(base, cutting);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random datasets, dimensionalities and uniform ratio boxes.
+    #[test]
+    fn prop_equivalence_uniform_boxes(
+        seed in 0u64..10_000,
+        n in 5usize..120,
+        d in 2usize..5,
+        lo in 0.05f64..2.0,
+        width in 0.0f64..4.0,
+    ) {
+        let pts = SyntheticConfig::new(n, d, Distribution::Independent, seed).generate();
+        let b = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        let [base, tran, quad, cutting] = all_four(&pts, &b);
+        prop_assert_eq!(&base, &tran);
+        prop_assert_eq!(&base, &quad);
+        prop_assert_eq!(&base, &cutting);
+    }
+
+    /// Random per-dimension (asymmetric) ratio ranges.
+    #[test]
+    fn prop_equivalence_asymmetric_boxes(
+        seed in 0u64..10_000,
+        n in 5usize..100,
+        bounds in proptest::collection::vec((0.05f64..2.0, 0.0f64..3.0), 2..4),
+    ) {
+        let d = bounds.len() + 1;
+        let pts = SyntheticConfig::new(n, d, Distribution::Independent, seed).generate();
+        let ranges: Vec<(f64, f64)> = bounds.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let b = WeightRatioBox::from_bounds(&ranges).unwrap();
+        let [base, tran, quad, cutting] = all_four(&pts, &b);
+        prop_assert_eq!(&base, &tran);
+        prop_assert_eq!(&base, &quad);
+        prop_assert_eq!(&base, &cutting);
+    }
+
+    /// Tie-heavy datasets (small integer grids) with duplicates.
+    #[test]
+    fn prop_equivalence_on_grid_data(
+        seed in 0u64..10_000,
+        n in 5usize..150,
+        d in 2usize..4,
+        lo in 0.1f64..1.5,
+        width in 0.0f64..2.0,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new((0..d).map(|_| rng.gen_range(0..4) as f64).collect()))
+            .collect();
+        let b = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        let [base, tran, quad, cutting] = all_four(&pts, &b);
+        prop_assert_eq!(&base, &tran);
+        prop_assert_eq!(&base, &quad);
+        prop_assert_eq!(&base, &cutting);
+    }
+}

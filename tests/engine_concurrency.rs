@@ -1,0 +1,94 @@
+//! Concurrency tests for the query facade: the engine is shared across
+//! threads, indexes are built lazily under contention, and every thread sees
+//! identical, baseline-consistent answers.
+
+use std::sync::Arc;
+
+use eclipse_core::algo::baseline::eclipse_baseline;
+use eclipse_core::index::IntersectionIndexKind;
+use eclipse_core::query::Algorithm;
+use eclipse_core::{EclipseEngine, WeightRatioBox};
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+
+#[test]
+fn concurrent_queries_agree_with_baseline() {
+    let pts = SyntheticConfig::new(600, 3, Distribution::Independent, 321).generate();
+    let expected: Vec<Vec<usize>> = [(0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19)]
+        .iter()
+        .map(|&(lo, hi)| {
+            eclipse_baseline(&pts, &WeightRatioBox::uniform(3, lo, hi).unwrap()).unwrap()
+        })
+        .collect();
+    let engine = Arc::new(EclipseEngine::new(pts).unwrap());
+
+    let mut handles = Vec::new();
+    for t in 0..8usize {
+        let engine = Arc::clone(&engine);
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            let ranges = [(0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19)];
+            for (i, &(lo, hi)) in ranges.iter().enumerate() {
+                let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+                let alg = match t % 3 {
+                    0 => Algorithm::IndexQuadtree,
+                    1 => Algorithm::IndexCuttingTree,
+                    _ => Algorithm::Transform,
+                };
+                assert_eq!(engine.eclipse_with(&b, alg).unwrap(), expected[i], "thread {t}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_index_builds_yield_one_shared_index() {
+    let pts = SyntheticConfig::new(400, 3, Distribution::Correlated, 11).generate();
+    let engine = Arc::new(EclipseEngine::new(pts).unwrap());
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            engine.build_index(IntersectionIndexKind::Quadtree).unwrap()
+        }));
+    }
+    let indexes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // All threads end up with a handle to an equivalent index (same skyline
+    // coverage and intersection count), and the engine caches one of them.
+    let reference = engine.build_index(IntersectionIndexKind::Quadtree).unwrap();
+    for idx in indexes {
+        assert_eq!(idx.skyline_len(), reference.skyline_len());
+        assert_eq!(idx.num_intersections(), reference.num_intersections());
+    }
+}
+
+#[test]
+fn parallel_experiment_fanout_with_crossbeam_style_threads() {
+    // Mimics how the benchmark harness fans out dataset families across
+    // threads: each thread owns its dataset and engine, no shared state.
+    let families: Vec<(Distribution, u64)> = vec![
+        (Distribution::Correlated, 1),
+        (Distribution::Independent, 2),
+        (Distribution::AntiCorrelated, 3),
+    ];
+    let handles: Vec<_> = families
+        .into_iter()
+        .map(|(dist, seed)| {
+            std::thread::spawn(move || {
+                let pts = SyntheticConfig::new(300, 3, dist, seed).generate();
+                let engine = EclipseEngine::new(pts).unwrap();
+                let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+                let auto = engine.eclipse(&b).unwrap();
+                let base = engine.eclipse_with(&b, Algorithm::Baseline).unwrap();
+                assert_eq!(auto, base, "{dist:?}");
+                auto.len()
+            })
+        })
+        .collect();
+    let sizes: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Anti-correlated data yields at least as many eclipse points as
+    // correlated data (same ordering the paper's Figure 10 shows for time).
+    assert!(sizes[2] >= sizes[0]);
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the eclipse operator's *semantic* claims
+//! (§II of the paper): its relationship to 1NN, skyline and the convex hull
+//! query, monotonicity in the ratio box, and the dominance properties.
+
+use proptest::prelude::*;
+
+use eclipse_core::algo::transform::{eclipse_transform, SkylineBackend};
+use eclipse_core::dominance::{eclipse_dominates, skyline_dominates};
+use eclipse_core::point::Point;
+use eclipse_core::weights::WeightRatioBox;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_skyline::hull::hull_query_lp;
+use eclipse_skyline::knn::{nn_linear, ratio_to_weights};
+
+fn eclipse(points: &[Point], b: &WeightRatioBox) -> Vec<usize> {
+    eclipse_transform(points, b, SkylineBackend::Auto).expect("finite box")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Eclipse is always a subset of the skyline, and never empty.
+    #[test]
+    fn prop_eclipse_subset_of_skyline(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+        d in 2usize..5,
+        lo in 0.05f64..2.0,
+        width in 0.0f64..4.0,
+    ) {
+        let pts = SyntheticConfig::new(n, d, Distribution::Independent, seed).generate();
+        let b = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        let e = eclipse(&pts, &b);
+        let s: std::collections::HashSet<usize> =
+            eclipse_skyline::dc::skyline_dc(&pts).into_iter().collect();
+        prop_assert!(!e.is_empty());
+        prop_assert!(e.iter().all(|i| s.contains(i)));
+    }
+
+    /// The 1NN winner for any ratio vector inside the box is an eclipse point.
+    #[test]
+    fn prop_nn_winner_is_an_eclipse_point(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+        d in 2usize..5,
+        lo in 0.05f64..2.0,
+        width in 0.01f64..3.0,
+        t in 0.0f64..1.0,
+    ) {
+        let pts = SyntheticConfig::new(n, d, Distribution::Independent, seed).generate();
+        let b = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        let e = eclipse(&pts, &b);
+        // A ratio vector inside the box (same value on every dimension).
+        let r = vec![lo + t * width; d - 1];
+        let winner = nn_linear(&pts, &ratio_to_weights(&r)).unwrap();
+        prop_assert!(
+            e.contains(&winner.index),
+            "winner {} for r = {:?} missing from eclipse {:?}",
+            winner.index, r, e
+        );
+    }
+
+    /// Widening the ratio box never removes eclipse points (monotonicity).
+    #[test]
+    fn prop_wider_boxes_grow_the_result(
+        seed in 0u64..10_000,
+        n in 1usize..150,
+        d in 2usize..4,
+        lo in 0.2f64..1.5,
+        width in 0.0f64..1.0,
+        extra in 0.01f64..2.0,
+    ) {
+        let pts = SyntheticConfig::new(n, d, Distribution::Independent, seed).generate();
+        let narrow = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        let wide = WeightRatioBox::uniform(d, (lo - extra).max(0.01), lo + width + extra).unwrap();
+        let narrow_res: std::collections::HashSet<usize> = eclipse(&pts, &narrow).into_iter().collect();
+        let wide_res: std::collections::HashSet<usize> = eclipse(&pts, &wide).into_iter().collect();
+        prop_assert!(narrow_res.is_subset(&wide_res));
+    }
+
+    /// Dominance is asymmetric and implied by skyline dominance (Properties 1 & 3).
+    #[test]
+    fn prop_dominance_properties(
+        seed in 0u64..10_000,
+        d in 2usize..5,
+        lo in 0.05f64..2.0,
+        width in 0.0f64..3.0,
+    ) {
+        let pts = SyntheticConfig::new(40, d, Distribution::Independent, seed).generate();
+        let b = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                if i == j { continue; }
+                if eclipse_dominates(&pts[i], &pts[j], &b) {
+                    prop_assert!(!eclipse_dominates(&pts[j], &pts[i], &b));
+                }
+                if skyline_dominates(&pts[i], &pts[j]) {
+                    prop_assert!(eclipse_dominates(&pts[i], &pts[j], &b));
+                }
+            }
+        }
+    }
+
+    /// A degenerate box `[l, l]` returns exactly the minimum-score points.
+    #[test]
+    fn prop_exact_box_is_argmin(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+        d in 2usize..5,
+        r in 0.05f64..3.0,
+    ) {
+        let pts = SyntheticConfig::new(n, d, Distribution::Independent, seed).generate();
+        let b = WeightRatioBox::uniform(d, r, r).unwrap();
+        let e = eclipse(&pts, &b);
+        let ratios = vec![r; d - 1];
+        let scores: Vec<f64> = pts
+            .iter()
+            .map(|p| eclipse_core::score::score_with_ratios(p, &ratios))
+            .collect();
+        let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        // The result is exactly the set of minimum-score points; to stay
+        // robust against last-bit rounding differences between the mapped
+        // coordinates and the direct scores, assert set membership with a
+        // small tolerance rather than bit-exact equality.
+        prop_assert!(!e.is_empty());
+        prop_assert!(
+            e.iter().all(|&i| scores[i] <= min + 1e-9),
+            "non-minimal point in exact-box eclipse result"
+        );
+        let strict_argmin_count = scores.iter().filter(|s| **s <= min + 1e-12).count();
+        prop_assert!(e.len() <= strict_argmin_count.max(1) + 1);
+    }
+}
+
+#[test]
+fn hull_is_subset_of_eclipse_for_wide_boxes() {
+    // With a very wide finite box the eclipse result contains every
+    // convex-hull-query point whose optimal weight ratio falls inside the box.
+    for seed in [1u64, 2, 3] {
+        let pts = SyntheticConfig::new(150, 3, Distribution::Independent, seed).generate();
+        let b = WeightRatioBox::uniform(3, 1e-4, 1e4).unwrap();
+        let e: std::collections::HashSet<usize> = eclipse(&pts, &b).into_iter().collect();
+        let skyline: std::collections::HashSet<usize> =
+            eclipse_skyline::dc::skyline_dc(&pts).into_iter().collect();
+        for h in hull_query_lp(&pts) {
+            assert!(skyline.contains(&h), "hull ⊆ skyline violated (seed {seed})");
+            assert!(e.contains(&h), "hull point {h} missing from wide eclipse (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn paper_table1_summary_holds_on_running_example() {
+    let pts = vec![
+        Point::new(vec![1.0, 6.0]),
+        Point::new(vec![4.0, 4.0]),
+        Point::new(vec![6.0, 1.0]),
+        Point::new(vec![8.0, 5.0]),
+    ];
+    // 1NN: flat angle (exact ratio); skyline: right angle (unbounded range);
+    // eclipse: obtuse angle (finite range) — Table I.
+    let nn = eclipse(&pts, &WeightRatioBox::exact(&[2.0]).unwrap());
+    let ecl = eclipse(&pts, &WeightRatioBox::uniform(2, 0.25, 2.0).unwrap());
+    let sky = eclipse_skyline::dc::skyline_dc(&pts);
+    assert_eq!(nn, vec![0]);
+    assert_eq!(ecl, vec![0, 1, 2]);
+    assert_eq!(sky, vec![0, 1, 2]);
+    assert!(nn.len() <= ecl.len() && ecl.len() <= sky.len());
+}

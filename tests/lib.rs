@@ -1,0 +1,2 @@
+//! Shared helpers for the cross-crate integration tests. The real test
+//! content lives in the sibling `*.rs` integration-test targets.

@@ -1,0 +1,115 @@
+//! End-to-end pipeline tests: generate a workload → persist it → reload it →
+//! build the engine and indexes → query with preferences → verify against the
+//! baseline — the full path a downstream user of the library would take.
+
+use eclipse_core::algo::baseline::eclipse_baseline;
+use eclipse_core::index::IntersectionIndexKind;
+use eclipse_core::prefs::{ImportanceLevel, PreferenceSpec};
+use eclipse_core::query::Algorithm;
+use eclipse_core::{EclipseEngine, WeightRatioBox};
+use eclipse_data::io::{read_points_csv, write_points_csv};
+use eclipse_data::survey::{run_survey, SurveyConfig};
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("eclipse_e2e_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_persist_reload_query() {
+    let pts = SyntheticConfig::new(500, 3, Distribution::Independent, 1234).generate();
+    let path = tmp("inde.csv");
+    write_points_csv(&path, &pts, Some(&["a", "b", "c"])).unwrap();
+    let reloaded = read_points_csv(&path).unwrap();
+    assert_eq!(reloaded, pts);
+    std::fs::remove_file(&path).ok();
+
+    let engine = EclipseEngine::new(reloaded).unwrap();
+    let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+    let via_engine = engine.eclipse(&b).unwrap();
+    let via_baseline = eclipse_baseline(engine.points(), &b).unwrap();
+    assert_eq!(via_engine, via_baseline);
+}
+
+#[test]
+fn engine_full_query_surface() {
+    let pts = eclipse_data::nba::nba_dataset(700, 3, 99);
+    let engine = EclipseEngine::new(pts).unwrap();
+
+    // Index both ways and check agreement with the baseline on several boxes.
+    engine.build_index(IntersectionIndexKind::Quadtree).unwrap();
+    engine.build_index(IntersectionIndexKind::CuttingTree).unwrap();
+    for (lo, hi) in [(0.18, 5.67), (0.36, 2.75), (0.84, 1.19)] {
+        let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+        let expected = engine.eclipse_with(&b, Algorithm::Baseline).unwrap();
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Transform,
+            Algorithm::IndexQuadtree,
+            Algorithm::IndexCuttingTree,
+        ] {
+            assert_eq!(engine.eclipse_with(&b, alg).unwrap(), expected, "{alg:?} [{lo},{hi}]");
+        }
+    }
+
+    // Preference specifications route to the same results as their lowered
+    // boxes.
+    let pref = PreferenceSpec::RelaxedWeights {
+        ratios: vec![1.0, 1.0],
+        margin: 0.4,
+    };
+    let lowered = pref.to_ratio_box(3).unwrap();
+    assert_eq!(
+        engine.eclipse_with_preference(&pref).unwrap(),
+        engine.eclipse(&lowered).unwrap()
+    );
+
+    // Categorical preferences with an unbounded band still work through Auto.
+    let cat = PreferenceSpec::Categorical(vec![
+        ImportanceLevel::VeryImportant,
+        ImportanceLevel::Similar,
+    ]);
+    let got = engine.eclipse_with_preference(&cat).unwrap();
+    assert!(!got.is_empty());
+    let sky: std::collections::HashSet<usize> = engine.skyline().into_iter().collect();
+    assert!(got.iter().all(|i| sky.contains(i)));
+
+    // kNN / 1NN / relations round out the surface.
+    let top10 = engine.knn(&[1.0, 1.0], 10).unwrap();
+    assert_eq!(top10.len(), 10);
+    assert!(top10.windows(2).all(|w| w[0].score <= w[1].score));
+    let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+    let report = engine.relations(&b).unwrap();
+    assert!(report.eclipse_subset_of_skyline());
+    assert!(report.nn_in_eclipse());
+}
+
+#[test]
+fn eclipse_point_materialization_matches_indices() {
+    let pts = SyntheticConfig::new(300, 2, Distribution::AntiCorrelated, 5).generate();
+    let engine = EclipseEngine::new(pts.clone()).unwrap();
+    let b = WeightRatioBox::uniform(2, 0.5, 2.0).unwrap();
+    let idx = engine.eclipse(&b).unwrap();
+    let mat = engine.eclipse_points(&b).unwrap();
+    assert_eq!(idx.len(), mat.len());
+    for (i, p) in idx.iter().zip(mat.iter()) {
+        assert_eq!(&pts[*i], p);
+    }
+}
+
+#[test]
+fn survey_and_experiment_style_workload_complete_quickly() {
+    // Smoke-test the Table V simulator and a miniature Figure 10 row through
+    // the public APIs, as the experiments binary does.
+    let outcome = run_survey(SurveyConfig::default());
+    assert_eq!(outcome.total(), 61);
+
+    let pts = SyntheticConfig::new(256, 3, Distribution::Correlated, 8).generate();
+    let engine = EclipseEngine::new(pts).unwrap();
+    let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+    let base = engine.eclipse_with(&b, Algorithm::Baseline).unwrap();
+    let quad = engine.eclipse_with(&b, Algorithm::IndexQuadtree).unwrap();
+    assert_eq!(base, quad);
+}
