@@ -1,6 +1,7 @@
 //! Shared experiment-harness utilities for the eclipse benchmarks.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod harness;
 pub mod workloads;

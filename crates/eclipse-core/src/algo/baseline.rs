@@ -97,13 +97,21 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]
     fn paper_running_example() {
         let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
-        assert_eq!(eclipse_baseline(&paper_points(), &b).unwrap(), vec![0, 1, 2]);
+        assert_eq!(
+            eclipse_baseline(&paper_points(), &b).unwrap(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -122,7 +130,13 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let b = WeightRatioBox::uniform(3, 0.25, 2.0).unwrap();
         let err = eclipse_baseline(&paper_points(), &b).unwrap_err();
-        assert!(matches!(err, EclipseError::DimensionMismatch { expected: 2, found: 3 }));
+        assert!(matches!(
+            err,
+            EclipseError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            }
+        ));
         // Mixed-dimensional datasets are also rejected.
         let b2 = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
         let mixed = vec![p(&[1.0, 2.0]), p(&[1.0, 2.0, 3.0])];
@@ -166,7 +180,13 @@ mod tests {
         // Monotonicity: enlarging the ratio range can only grow the result.
         let mut rng = rand::rngs::StdRng::seed_from_u64(52);
         let pts: Vec<Point> = (0..200)
-            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .map(|_| {
+                Point::new(vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ])
+            })
             .collect();
         let narrow = WeightRatioBox::uniform(3, 0.84, 1.19).unwrap();
         let wide = WeightRatioBox::uniform(3, 0.18, 5.67).unwrap();

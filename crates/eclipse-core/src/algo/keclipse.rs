@@ -53,11 +53,7 @@ const BISECTION_STEPS: usize = 40;
 /// * [`EclipseError::EmptyDataset`] when the dataset is empty.
 /// * [`EclipseError::Unsupported`] when `k == 0`.
 /// * Propagates dimension/range validation errors.
-pub fn eclipse_top_k(
-    points: &[Point],
-    center_ratios: &[f64],
-    k: usize,
-) -> Result<KEclipseResult> {
+pub fn eclipse_top_k(points: &[Point], center_ratios: &[f64], k: usize) -> Result<KEclipseResult> {
     if points.is_empty() {
         return Err(EclipseError::EmptyDataset);
     }
@@ -74,7 +70,12 @@ pub fn eclipse_top_k(
     if exact.len() > k {
         let mut scored: Vec<(usize, f64)> = exact
             .into_iter()
-            .map(|i| (i, crate::score::score_with_ratios(&points[i], center_ratios)))
+            .map(|i| {
+                (
+                    i,
+                    crate::score::score_with_ratios(&points[i], center_ratios),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
@@ -229,7 +230,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]
@@ -293,7 +299,8 @@ mod tests {
         let pts = vec![p(&[1.0, 1.0]); 6];
         let res = eclipse_top_k(&pts, &[1.0], 3).unwrap();
         assert_eq!(res.indices, vec![0, 1, 2]);
-        let res = eclipse_with_budget(&pts, &WeightRatioBox::uniform(2, 0.5, 2.0).unwrap(), 2).unwrap();
+        let res =
+            eclipse_with_budget(&pts, &WeightRatioBox::uniform(2, 0.5, 2.0).unwrap(), 2).unwrap();
         assert_eq!(res.indices, vec![0, 1]);
     }
 

@@ -98,27 +98,29 @@ pub fn transform_point(p: &Point, ratio_box: &WeightRatioBox) -> Point {
 /// Same contract as [`transform_point`].
 pub fn transform_point_paper(p: &Point, ratio_box: &WeightRatioBox) -> Point {
     let d = p.dim();
-    assert_eq!(ratio_box.dim(), d, "ratio box must match point dimensionality");
+    assert_eq!(
+        ratio_box.dim(),
+        d,
+        "ratio box must match point dimensionality"
+    );
     assert!(
         !ratio_box.has_unbounded_range(),
         "transform_point_paper requires finite ratio ranges"
     );
     let ranges = ratio_box.ranges();
-    let lower_corner_score: f64 = (0..d - 1)
-        .map(|j| ranges[j].lo() * p.coord(j))
-        .sum::<f64>()
-        + p.coord(d - 1);
+    let lower_corner_score: f64 =
+        (0..d - 1).map(|j| ranges[j].lo() * p.coord(j)).sum::<f64>() + p.coord(d - 1);
 
     let mut coords = Vec::with_capacity(d);
-    for j in 0..d - 1 {
-        let h_j = ranges[j].hi();
+    for (j, range) in ranges.iter().enumerate().take(d - 1) {
+        let h_j = range.hi();
         if h_j == 0.0 {
             // The j-th weight is identically zero: the coordinate carries no
             // information.
             coords.push(0.0);
             continue;
         }
-        let score_j = lower_corner_score - ranges[j].lo() * p.coord(j) + h_j * p.coord(j);
+        let score_j = lower_corner_score - range.lo() * p.coord(j) + h_j * p.coord(j);
         coords.push(score_j / h_j);
     }
     coords.push(lower_corner_score);
@@ -143,7 +145,14 @@ pub fn eclipse_transform(
     }
     let mapped: Vec<Point> = points
         .iter()
-        .map(|p| Point::new(corners.iter().map(|r| score_with_ratios(p, r)).collect::<Vec<f64>>()))
+        .map(|p| {
+            Point::new(
+                corners
+                    .iter()
+                    .map(|r| score_with_ratios(p, r))
+                    .collect::<Vec<f64>>(),
+            )
+        })
         .collect();
     Ok(run_skyline(&mapped, backend))
 }
@@ -222,7 +231,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]
@@ -281,7 +295,10 @@ mod tests {
             let hi = lo + rng.gen_range(0.1..4.0);
             let b = WeightRatioBox::uniform(2, lo, hi).unwrap();
             let base = eclipse_baseline(&pts, &b).unwrap();
-            assert_eq!(eclipse_transform(&pts, &b, SkylineBackend::Auto).unwrap(), base);
+            assert_eq!(
+                eclipse_transform(&pts, &b, SkylineBackend::Auto).unwrap(),
+                base
+            );
             // In two dimensions the paper's mapping is exact as well.
             assert_eq!(
                 eclipse_transform_paper(&pts, &b, SkylineBackend::Auto).unwrap(),
@@ -336,7 +353,11 @@ mod tests {
             SkylineBackend::SortFilter,
             SkylineBackend::DivideConquer,
         ] {
-            assert_eq!(eclipse_transform(&pts, &b, backend).unwrap(), auto, "{backend:?}");
+            assert_eq!(
+                eclipse_transform(&pts, &b, backend).unwrap(),
+                auto,
+                "{backend:?}"
+            );
         }
     }
 

@@ -39,7 +39,12 @@ impl fmt::Display for EclipseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EclipseError::InvalidRatioRange { index, reason } => {
-                write!(f, "invalid ratio range for attribute {}: {}", index + 1, reason)
+                write!(
+                    f,
+                    "invalid ratio range for attribute {}: {}",
+                    index + 1,
+                    reason
+                )
             }
             EclipseError::DimensionMismatch { expected, found } => write!(
                 f,
@@ -74,7 +79,9 @@ mod tests {
         assert!(e.to_string().contains('2'));
 
         assert!(EclipseError::EmptyDataset.to_string().contains("non-empty"));
-        assert!(EclipseError::Unsupported("x".into()).to_string().contains('x'));
+        assert!(EclipseError::Unsupported("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -28,11 +28,7 @@ use crate::weights::WeightRatioBox;
 ///
 /// # Panics
 /// Panics if `target` is out of range.
-pub fn dominators_of(
-    points: &[Point],
-    target: usize,
-    ratio_box: &WeightRatioBox,
-) -> Vec<usize> {
+pub fn dominators_of(points: &[Point], target: usize, ratio_box: &WeightRatioBox) -> Vec<usize> {
     assert!(target < points.len(), "target index out of range");
     (0..points.len())
         .filter(|&j| j != target && eclipse_dominates(&points[j], &points[target], ratio_box))
@@ -165,7 +161,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]
@@ -227,7 +228,9 @@ mod tests {
         assert!(winner_intervals_2d(&pts3, &b2).is_err());
         let b3 = WeightRatioBox::uniform(3, 0.5, 1.0).unwrap();
         assert!(winner_intervals_2d(&paper_points(), &b3).is_err());
-        assert!(winner_intervals_2d(&paper_points(), &WeightRatioBox::skyline(2).unwrap()).is_err());
+        assert!(
+            winner_intervals_2d(&paper_points(), &WeightRatioBox::skyline(2).unwrap()).is_err()
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   safe on degenerate inputs.  The two agree on general-position data.
 
 use eclipse_geom::approx::EPS;
-use eclipse_geom::arrangement::{intersection_events, order_vector_at, IntersectionEvent, IntervalPartition};
+use eclipse_geom::arrangement::{
+    intersection_events, order_vector_at, IntersectionEvent, IntervalPartition,
+};
 use eclipse_geom::hyperplane::DualLine;
 use eclipse_geom::point::Point;
 
@@ -245,7 +247,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]
@@ -291,7 +298,9 @@ mod tests {
         ));
         assert!(OrderVectorIndex2d::build(&[p(&[1.0, 2.0, 3.0])]).is_err());
         let idx = OrderVectorIndex2d::build(&paper_points()).unwrap();
-        assert!(idx.query(&WeightRatioBox::uniform(3, 0.5, 1.0).unwrap()).is_err());
+        assert!(idx
+            .query(&WeightRatioBox::uniform(3, 0.5, 1.0).unwrap())
+            .is_err());
         assert!(idx.query(&WeightRatioBox::skyline(2).unwrap()).is_err());
     }
 

@@ -135,8 +135,7 @@ impl EclipseIndex {
 
         // 1. Skyline points.
         let skyline_ids = eclipse_skyline::dc::skyline_dc(points);
-        let skyline_points: Vec<Point> =
-            skyline_ids.iter().map(|&i| points[i].clone()).collect();
+        let skyline_points: Vec<Point> = skyline_ids.iter().map(|&i| points[i].clone()).collect();
         let u = skyline_points.len();
 
         // 2. Intersection hyperplanes for every pair.
@@ -322,7 +321,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     fn both_kinds() -> [IndexConfig; 2] {
@@ -431,8 +435,10 @@ mod tests {
         let pts: Vec<Point> = (0..200)
             .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
             .collect();
-        let mut cfg = IndexConfig::default();
-        cfg.max_ratio = 2.0; // deliberately small root cell
+        let cfg = IndexConfig {
+            max_ratio: 2.0, // deliberately small root cell
+            ..Default::default()
+        };
         let idx = EclipseIndex::build(&pts, cfg).unwrap();
         let b = WeightRatioBox::uniform(2, 0.5, 8.0).unwrap(); // escapes the root cell
         assert_eq!(idx.query(&b).unwrap(), eclipse_baseline(&pts, &b).unwrap());

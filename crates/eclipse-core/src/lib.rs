@@ -13,9 +13,11 @@
 //! * [`dominance`] — 1NN-, skyline- and eclipse-dominance predicates,
 //! * [`algo`] — the paper's query algorithms: [`algo::baseline`] (Alg. 1),
 //!   [`algo::transform`] (Algs. 2–3),
-//! * [`index`] — the index-based algorithms of §IV: dual-space Order Vector
-//!   Index + Intersection Index with [`index::quad`] (line quadtree) and
-//!   [`index::cutting`] (cutting tree) backends,
+//! * [`index`] — the index-based algorithms of §IV: the 2-D dual-space Order
+//!   Vector Index ([`index::dual2d`]) and the d-dimensional Intersection
+//!   Index ([`index::ndim`]) with line-quadtree
+//!   ([`eclipse_geom::quadtree`]) and cutting-tree
+//!   ([`eclipse_geom::cutting`]) backends,
 //! * [`prefs`] — user-facing preference specifications (exact weights,
 //!   ratio ranges, weight ranges, categorical importance levels),
 //! * [`relations`] — relationships between eclipse, 1NN, convex hull and
@@ -50,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod algo;
 pub mod dominance;

@@ -129,8 +129,7 @@ impl PreferenceSpec {
             }
             PreferenceSpec::Categorical(levels) => {
                 check_len(levels.len(), expected)?;
-                let bounds: Vec<(f64, f64)> =
-                    levels.iter().map(|l| l.ratio_bounds()).collect();
+                let bounds: Vec<(f64, f64)> = levels.iter().map(|l| l.ratio_bounds()).collect();
                 // Unbounded tops (VeryImportant) are allowed here; callers that
                 // need finite boxes (indexes, TRAN) will surface Unsupported,
                 // while the engine's skyline/baseline fallbacks handle them.
@@ -173,7 +172,11 @@ mod tests {
         for w in levels.windows(2) {
             // The upper bound of the less-important level equals the lower
             // bound of the more-important one.
-            assert_eq!(w[1].ratio_bounds().1, w[0].ratio_bounds().0, "levels must tile: {w:?}");
+            assert_eq!(
+                w[1].ratio_bounds().1,
+                w[0].ratio_bounds().0,
+                "levels must tile: {w:?}"
+            );
         }
         assert_eq!(levels[4].ratio_bounds().0, 0.0);
         assert!(levels[0].ratio_bounds().1.is_infinite());

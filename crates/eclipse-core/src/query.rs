@@ -6,9 +6,7 @@
 //! convex-hull query, preference-specification lowering, and lazily built,
 //! thread-shareable index structures for repeated eclipse queries.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use eclipse_geom::point::Point;
 use eclipse_skyline::knn::{knn_linear_scan, ratio_to_weights, Neighbor};
@@ -122,13 +120,13 @@ impl EclipseEngine {
             IntersectionIndexKind::Quadtree => &self.quad_index,
             IntersectionIndexKind::CuttingTree => &self.cutting_index,
         };
-        if let Some(existing) = slot.read().clone() {
+        if let Some(existing) = slot.read().expect("index lock poisoned").clone() {
             return Ok(existing);
         }
         let mut config = self.index_config;
         config.kind = kind;
         let built = Arc::new(EclipseIndex::build(&self.points, config)?);
-        *slot.write() = Some(built.clone());
+        *slot.write().expect("index lock poisoned") = Some(built.clone());
         Ok(built)
     }
 
@@ -145,7 +143,11 @@ impl EclipseEngine {
     /// # Errors
     /// Propagates validation errors; explicitly chosen algorithms that cannot
     /// handle unbounded ranges surface [`EclipseError::Unsupported`].
-    pub fn eclipse_with(&self, ratio_box: &WeightRatioBox, algorithm: Algorithm) -> Result<Vec<usize>> {
+    pub fn eclipse_with(
+        &self,
+        ratio_box: &WeightRatioBox,
+        algorithm: Algorithm,
+    ) -> Result<Vec<usize>> {
         if ratio_box.dim() != self.dim {
             return Err(EclipseError::DimensionMismatch {
                 expected: self.dim,
@@ -178,10 +180,15 @@ impl EclipseEngine {
             return Ok(eclipse_naive(&self.points, ratio_box));
         }
         // Finite boxes: prefer an already-built index, else TRAN.
-        if let Some(idx) = self.quad_index.read().clone() {
+        if let Some(idx) = self.quad_index.read().expect("index lock poisoned").clone() {
             return idx.query(ratio_box);
         }
-        if let Some(idx) = self.cutting_index.read().clone() {
+        if let Some(idx) = self
+            .cutting_index
+            .read()
+            .expect("index lock poisoned")
+            .clone()
+        {
             return idx.query(ratio_box);
         }
         eclipse_transform(&self.points, ratio_box, SkylineBackend::Auto)
@@ -295,8 +302,22 @@ impl std::fmt::Debug for EclipseEngine {
         f.debug_struct("EclipseEngine")
             .field("points", &self.points.len())
             .field("dim", &self.dim)
-            .field("quad_index_built", &self.quad_index.read().is_some())
-            .field("cutting_index_built", &self.cutting_index.read().is_some())
+            .field(
+                "quad_index_built",
+                &self
+                    .quad_index
+                    .read()
+                    .expect("index lock poisoned")
+                    .is_some(),
+            )
+            .field(
+                "cutting_index_built",
+                &self
+                    .cutting_index
+                    .read()
+                    .expect("index lock poisoned")
+                    .is_some(),
+            )
             .finish()
     }
 }
@@ -311,7 +332,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     fn paper_engine() -> EclipseEngine {
@@ -405,7 +431,9 @@ mod tests {
         assert_eq!(top2[1].index, 1);
         assert!(e.knn(&[2.0, 1.0], 1).is_err());
         assert_eq!(e.convex_hull(), vec![0, 2]);
-        let rel = e.relations(&WeightRatioBox::uniform(2, 0.25, 2.0).unwrap()).unwrap();
+        let rel = e
+            .relations(&WeightRatioBox::uniform(2, 0.25, 2.0).unwrap())
+            .unwrap();
         assert_eq!(rel.eclipse, vec![0, 1, 2]);
     }
 
@@ -443,7 +471,10 @@ mod tests {
         let wrong = WeightRatioBox::uniform(3, 0.5, 1.0).unwrap();
         assert!(matches!(
             e.eclipse(&wrong),
-            Err(EclipseError::DimensionMismatch { expected: 2, found: 3 })
+            Err(EclipseError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
         ));
     }
 

@@ -34,7 +34,11 @@ pub fn score_with_ratios(p: &Point, ratios: &[f64]) -> f64 {
 /// # Panics
 /// Panics if `weights.len() != x.dim()`, or if `p_norm < 1.0`.
 pub fn score_lp(x: &Point, weights: &[f64], p_norm: f64) -> f64 {
-    assert_eq!(weights.len(), x.dim(), "weight vector must match dimensionality");
+    assert_eq!(
+        weights.len(),
+        x.dim(),
+        "weight vector must match dimensionality"
+    );
     assert!(p_norm >= 1.0, "Lp scoring requires p ≥ 1");
     x.coords()
         .iter()
@@ -46,7 +50,10 @@ pub fn score_lp(x: &Point, weights: &[f64], p_norm: f64) -> f64 {
 /// Scores every point of a dataset for a ratio vector, returning the scores
 /// in dataset order.  Convenience used by the algorithms and the benchmarks.
 pub fn score_all(points: &[Point], ratios: &[f64]) -> Vec<f64> {
-    points.iter().map(|p| score_with_ratios(p, ratios)).collect()
+    points
+        .iter()
+        .map(|p| score_with_ratios(p, ratios))
+        .collect()
 }
 
 #[cfg(test)]
@@ -71,7 +78,10 @@ mod tests {
     #[test]
     fn lp_scoring_reduces_to_l1_for_p1() {
         let x = p(&[2.0, 3.0]);
-        assert_eq!(score_lp(&x, &[1.0, 2.0], 1.0), score_with_weights(&x, &[1.0, 2.0]));
+        assert_eq!(
+            score_lp(&x, &[1.0, 2.0], 1.0),
+            score_with_weights(&x, &[1.0, 2.0])
+        );
         // L2 (squared): 1*4 + 2*9 = 22.
         assert_eq!(score_lp(&x, &[1.0, 2.0], 2.0), 22.0);
     }

@@ -194,13 +194,19 @@ impl WeightRatioBox {
 
     /// `true` when every range is `[0, +∞)` (the skyline instantiation).
     pub fn is_skyline(&self) -> bool {
-        self.ranges.iter().all(|r| r.lo() == 0.0 && r.is_unbounded())
+        self.ranges
+            .iter()
+            .all(|r| r.lo() == 0.0 && r.is_unbounded())
     }
 
     /// `true` when the ratio vector `r` lies inside the box.
     pub fn contains(&self, r: &[f64]) -> bool {
         r.len() == self.num_ratios()
-            && self.ranges.iter().zip(r.iter()).all(|(rg, v)| rg.contains(*v))
+            && self
+                .ranges
+                .iter()
+                .zip(r.iter())
+                .all(|(rg, v)| rg.contains(*v))
     }
 
     /// The lower corner `(l_1, …, l_{d−1})`.

@@ -74,7 +74,10 @@ pub fn read_points_csv(path: &Path) -> std::io::Result<Vec<Point>> {
             Some(d) if d != values.len() => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("inconsistent row arity: expected {d}, found {}", values.len()),
+                    format!(
+                        "inconsistent row arity: expected {d}, found {}",
+                        values.len()
+                    ),
                 ))
             }
             _ => {}
@@ -169,7 +172,10 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("eclipse_data_io_test_{}_{name}", std::process::id()));
+        p.push(format!(
+            "eclipse_data_io_test_{}_{name}",
+            std::process::id()
+        ));
         p
     }
 

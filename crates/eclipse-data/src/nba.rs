@@ -140,7 +140,10 @@ pub fn generate_players_with_count(count: usize, seed: u64) -> Vec<NbaPlayer> {
 /// # Panics
 /// Panics if `d` is outside `2..=5` or `count == 0`.
 pub fn nba_dataset(count: usize, d: usize, seed: u64) -> Vec<Point> {
-    assert!((2..=5).contains(&d), "the NBA dataset has 5 attributes; d must be in 2..=5");
+    assert!(
+        (2..=5).contains(&d),
+        "the NBA dataset has 5 attributes; d must be in 2..=5"
+    );
     assert!(count > 0, "count must be positive");
     let players = generate_players_with_count(count, seed);
     points_from_players(&players, d)

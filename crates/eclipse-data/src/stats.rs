@@ -29,7 +29,11 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "correlation requires equal-length samples");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "correlation requires equal-length samples"
+    );
     if xs.len() < 2 {
         return 0.0;
     }

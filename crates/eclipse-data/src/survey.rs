@@ -153,10 +153,7 @@ pub fn run_survey(config: SurveyConfig) -> SurveyOutcome {
         counts[chosen] += 1;
     }
     SurveyOutcome {
-        counts: SurveySystem::all()
-            .into_iter()
-            .zip(counts)
-            .collect(),
+        counts: SurveySystem::all().into_iter().zip(counts).collect(),
     }
 }
 
@@ -207,7 +204,10 @@ mod tests {
             "expected a spread of preferences, got {:?}",
             outcome.counts
         );
-        assert!(category < outcome.total(), "category must not sweep the entire study");
+        assert!(
+            category < outcome.total(),
+            "category must not sweep the entire study"
+        );
     }
 
     #[test]

@@ -152,7 +152,9 @@ pub fn clustered_worst_case(n: usize, d: usize, rng: &mut impl Rng) -> Vec<Point
             coords.push(0.5 + t * step * n as f64 / 16.0);
             for j in 1..d {
                 let phase = (j as f64) * 0.01;
-                coords.push(0.5 + phase - t * step * n as f64 / 16.0 + rng.gen_range(0.0..step / 4.0));
+                coords.push(
+                    0.5 + phase - t * step * n as f64 / 16.0 + rng.gen_range(0.0..step / 4.0),
+                );
             }
             Point::new(coords)
         })

@@ -233,7 +233,11 @@ mod tests {
         let part = IntervalPartition::new(vec![-1.5, -1.0, -2.0 / 3.0]);
         for i in 0..part.num_intervals() {
             let x = part.representative(i);
-            assert_eq!(part.interval_containing(x), i, "representative of interval {i}");
+            assert_eq!(
+                part.interval_containing(x),
+                i,
+                "representative of interval {i}"
+            );
         }
         let empty = IntervalPartition::new(vec![]);
         assert_eq!(empty.num_intervals(), 1);

@@ -254,9 +254,23 @@ impl CuttingTree {
                         }
                     }
                 }
-                Node::Internal { low, high, .. } => {
-                    stack.push(low);
-                    stack.push(high);
+                Node::Internal {
+                    axis,
+                    at,
+                    low,
+                    high,
+                    ..
+                } => {
+                    // Descend through the cut plane: a child strictly on the
+                    // far side of the cut cannot intersect the query box
+                    // (EPS slack keeps the test conservative; the per-node
+                    // cell check above prunes any survivors exactly).
+                    if query.lo()[*axis] <= *at + EPS {
+                        stack.push(low);
+                    }
+                    if query.hi()[*axis] >= *at - EPS {
+                        stack.push(high);
+                    }
                 }
             }
         }
@@ -444,9 +458,7 @@ mod tests {
 
     #[test]
     fn construction_is_deterministic_for_a_seed() {
-        let hs: Vec<Hyperplane> = (0..50)
-            .map(|i| line(1.0, -0.5, -0.01 * i as f64))
-            .collect();
+        let hs: Vec<Hyperplane> = (0..50).map(|i| line(1.0, -0.5, -0.01 * i as f64)).collect();
         let a = CuttingTree::build(&hs, unit_box(), CuttingTreeConfig::default());
         let b = CuttingTree::build(&hs, unit_box(), CuttingTreeConfig::default());
         assert_eq!(a.node_count(), b.node_count());

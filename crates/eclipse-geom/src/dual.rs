@@ -1,7 +1,7 @@
 //! The primal ⇄ dual transform of §IV of the paper.
 //!
 //! For a point `p = (p[1], …, p[d])` the dual hyperplane is
-//! `x_d = p[1]·x_1 + … + p[d−1]·x_{d−1} − p[d]` (de Berg et al. [12]).  In the
+//! `x_d = p[1]·x_1 + … + p[d−1]·x_{d−1} − p[d]` (de Berg et al. \[12\]).  In the
 //! dual space the eclipse query with ratio box `r[j] ∈ [l_j, h_j]` becomes:
 //! *find the hyperplanes not dominated by any other hyperplane with respect to
 //! the hyperplane `x_d = 0` within the query range `x_j ∈ [−h_j, −l_j]`*.
@@ -93,7 +93,10 @@ impl DualHyperplane {
 /// completeness and used by the tests to check that the transform is an
 /// involution.
 pub fn dual_point_of_hyperplane(coeffs: &[f64], constant: f64) -> Point {
-    assert!(!coeffs.is_empty(), "hyperplane needs at least one coefficient");
+    assert!(
+        !coeffs.is_empty(),
+        "hyperplane needs at least one coefficient"
+    );
     let mut coords = coeffs.to_vec();
     coords.push(-constant);
     Point::new(coords)

@@ -90,7 +90,10 @@ impl Hyperplane {
     /// # Panics
     /// Panics if `coeffs` is empty.
     pub fn new(coeffs: Vec<f64>, offset: f64) -> Self {
-        assert!(!coeffs.is_empty(), "a Hyperplane needs at least 1 coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "a Hyperplane needs at least 1 coefficient"
+        );
         Hyperplane {
             coeffs: coeffs.into_boxed_slice(),
             offset,
@@ -120,7 +123,11 @@ impl Hyperplane {
     /// # Panics
     /// Panics if `x.len() != self.dim()`.
     pub fn eval(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.dim(), "dimension mismatch in Hyperplane::eval");
+        assert_eq!(
+            x.len(),
+            self.dim(),
+            "dimension mismatch in Hyperplane::eval"
+        );
         self.coeffs
             .iter()
             .zip(x.iter())

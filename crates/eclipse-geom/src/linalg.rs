@@ -218,8 +218,8 @@ impl Matrix {
         let mut x = vec![0.0; n];
         for row in (0..n).rev() {
             let mut acc = rhs[row];
-            for c in row + 1..n {
-                acc -= a.get(row, c) * x[c];
+            for (c, xc) in x.iter().enumerate().take(n).skip(row + 1) {
+                acc -= a.get(row, c) * xc;
             }
             x[row] = acc / a.get(row, row);
         }

@@ -233,8 +233,8 @@ impl Simplex {
             let art_start = self.num_structural + self.num_slack;
             let art_end = art_start + self.num_artificial;
             let mut cost = vec![0.0; self.total_cols() - 1];
-            for col in art_start..art_end {
-                cost[col] = -1.0;
+            for slot in &mut cost[art_start..art_end] {
+                *slot = -1.0;
             }
             let (value, bounded) = self.optimize(&cost);
             debug_assert!(bounded, "phase-1 objective is always bounded");
@@ -245,8 +245,7 @@ impl Simplex {
             // must have value ~0); if impossible the row is redundant.
             for row in 0..self.rows.len() {
                 if self.basis[row] >= art_start && self.basis[row] < art_end {
-                    let pivot_col = (0..art_start)
-                        .find(|&c| self.rows[row][c].abs() > 1e-9);
+                    let pivot_col = (0..art_start).find(|&c| self.rows[row][c].abs() > 1e-9);
                     if let Some(col) = pivot_col {
                         self.pivot(row, col);
                     }
@@ -295,14 +294,14 @@ impl Simplex {
                 .collect();
             let mut entering: Option<usize> = None;
             let mut best_reduced = 1e-9;
-            for j in 0..cost.len() {
-                if !cost[j].is_finite() {
+            for (j, &cost_j) in cost.iter().enumerate() {
+                if !cost_j.is_finite() {
                     continue;
                 }
                 if self.basis.contains(&j) {
                     continue;
                 }
-                let mut reduced = cost[j];
+                let mut reduced = cost_j;
                 for (row, bc) in basis_cost.iter().enumerate() {
                     reduced -= bc * self.rows[row][j];
                 }

@@ -204,7 +204,10 @@ impl BoundingBox {
     /// any `lo[i] > hi[i]`.
     pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
         assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
-        assert!(!lo.is_empty(), "a BoundingBox must have at least 1 dimension");
+        assert!(
+            !lo.is_empty(),
+            "a BoundingBox must have at least 1 dimension"
+        );
         for (l, h) in lo.iter().zip(hi.iter()) {
             assert!(l <= h, "BoundingBox requires lo <= hi on every axis");
         }
@@ -291,7 +294,11 @@ impl BoundingBox {
 
     /// Returns `true` if `other` is entirely contained in `self`.
     pub fn contains_box(&self, other: &BoundingBox) -> bool {
-        assert_eq!(other.dim(), self.dim(), "dimension mismatch in contains_box");
+        assert_eq!(
+            other.dim(),
+            self.dim(),
+            "dimension mismatch in contains_box"
+        );
         (0..self.dim()).all(|i| self.lo[i] <= other.lo[i] && self.hi[i] >= other.hi[i])
     }
 
@@ -350,7 +357,13 @@ impl BoundingBox {
         weights
             .iter()
             .enumerate()
-            .map(|(i, w)| if *w >= 0.0 { w * self.lo[i] } else { w * self.hi[i] })
+            .map(|(i, w)| {
+                if *w >= 0.0 {
+                    w * self.lo[i]
+                } else {
+                    w * self.hi[i]
+                }
+            })
             .sum()
     }
 
@@ -361,7 +374,13 @@ impl BoundingBox {
         weights
             .iter()
             .enumerate()
-            .map(|(i, w)| if *w >= 0.0 { w * self.hi[i] } else { w * self.lo[i] })
+            .map(|(i, w)| {
+                if *w >= 0.0 {
+                    w * self.hi[i]
+                } else {
+                    w * self.lo[i]
+                }
+            })
             .sum()
     }
 

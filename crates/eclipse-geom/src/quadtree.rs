@@ -303,10 +303,10 @@ mod tests {
     fn build_and_query_small() {
         // Diagonal and two horizontal-ish lines inside the unit box.
         let hs = vec![
-            line(1.0, -1.0, 0.0),        // y = x
-            line(0.0, 1.0, -0.25),       // y = 0.25
-            line(0.0, 1.0, -0.75),       // y = 0.75
-            line(1.0, 1.0, -10.0),       // far away, never intersects the unit box
+            line(1.0, -1.0, 0.0),  // y = x
+            line(0.0, 1.0, -0.25), // y = 0.25
+            line(0.0, 1.0, -0.75), // y = 0.75
+            line(1.0, 1.0, -10.0), // far away, never intersects the unit box
         ];
         let tree = HyperplaneQuadtree::build(&hs, unit_box(), QuadtreeConfig::default());
         assert_eq!(tree.len(), 4);
@@ -412,9 +412,7 @@ mod tests {
     fn clustered_lines_drive_depth_up() {
         // All lines pass very close to the same corner: the quadtree keeps
         // subdividing towards that corner (the paper's worst case).
-        let hs: Vec<Hyperplane> = (0..64)
-            .map(|i| line(1.0, -1.0, -1e-4 * i as f64))
-            .collect();
+        let hs: Vec<Hyperplane> = (0..64).map(|i| line(1.0, -1.0, -1e-4 * i as f64)).collect();
         let cfg = QuadtreeConfig {
             max_capacity: 2,
             max_depth: 20,

@@ -472,7 +472,11 @@ mod tests {
         let pts = random_points(2000, 2, 5);
         let tree = RTree::bulk_load_with_capacity(&pts, 8);
         // 2000 points at fanout 8: expect height around log_8(2000/8) + 1 ≈ 4.
-        assert!(tree.height() >= 3 && tree.height() <= 6, "height {}", tree.height());
+        assert!(
+            tree.height() >= 3 && tree.height() <= 6,
+            "height {}",
+            tree.height()
+        );
         assert_eq!(tree.node_capacity(), 8);
     }
 

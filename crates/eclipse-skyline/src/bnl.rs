@@ -1,6 +1,6 @@
 //! Block-nested-loop (BNL) skyline.
 //!
-//! The classic skyline algorithm of Börzsönyi, Kossmann and Stocker [4]:
+//! The classic skyline algorithm of Börzsönyi, Kossmann and Stocker \[4\]:
 //! stream the points through an in-memory window of incomparable candidates,
 //! discarding points dominated by a window entry and evicting window entries
 //! dominated by the incoming point.  Worst case O(n²·d), but simple and very
@@ -47,10 +47,7 @@ pub fn skyline_bnl_with_witnesses(points: &[Point]) -> (Vec<usize>, Vec<Option<u
         if in_skyline.contains(&i) {
             continue;
         }
-        witness[i] = skyline
-            .iter()
-            .copied()
-            .find(|&s| dominates(&points[s], p));
+        witness[i] = skyline.iter().copied().find(|&s| dominates(&points[s], p));
     }
     (skyline, witness)
 }
@@ -73,13 +70,23 @@ mod tests {
 
     #[test]
     fn paper_running_example() {
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         assert_eq!(skyline_bnl(&pts), vec![0, 1, 2]);
     }
 
     #[test]
     fn duplicates_are_both_kept() {
-        let pts = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[0.5, 3.0]), p(&[2.0, 2.0])];
+        let pts = vec![
+            p(&[1.0, 1.0]),
+            p(&[1.0, 1.0]),
+            p(&[0.5, 3.0]),
+            p(&[2.0, 2.0]),
+        ];
         assert_eq!(skyline_bnl(&pts), vec![0, 1, 2]);
     }
 
@@ -110,7 +117,12 @@ mod tests {
 
     #[test]
     fn witnesses_point_at_dominators() {
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         let (skyline, witnesses) = skyline_bnl_with_witnesses(&pts);
         assert_eq!(skyline, vec![0, 1, 2]);
         assert_eq!(witnesses[0], None);

@@ -1,5 +1,5 @@
 //! Multidimensional divide-and-conquer skyline (the ECDF-style algorithm of
-//! Bentley [3] cited by the paper for its O(n log^{d−1} n) bound).
+//! Bentley \[3\] cited by the paper for its O(n log^{d−1} n) bound).
 //!
 //! Structure:
 //!
@@ -61,7 +61,11 @@ pub fn skyline_dc(points: &[Point]) -> Vec<usize> {
     let mut out = Vec::new();
     for local in surviving {
         let original = reps[local];
-        let key: Vec<u64> = points[original].coords().iter().map(|c| c.to_bits()).collect();
+        let key: Vec<u64> = points[original]
+            .coords()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect();
         out.extend_from_slice(&groups[&key]);
     }
     out.sort_unstable();
@@ -261,7 +265,12 @@ mod tests {
 
     #[test]
     fn paper_running_example() {
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         assert_eq!(skyline_dc(&pts), vec![0, 1, 2]);
     }
 
@@ -315,9 +324,7 @@ mod tests {
         for d in 2..=4usize {
             for _ in 0..10 {
                 let pts: Vec<Point> = (0..400)
-                    .map(|_| {
-                        Point::new((0..d).map(|_| rng.gen_range(0..5) as f64).collect())
-                    })
+                    .map(|_| Point::new((0..d).map(|_| rng.gen_range(0..5) as f64).collect()))
                     .collect();
                 assert_eq!(skyline_dc(&pts), skyline_naive(&pts), "d = {d}");
             }

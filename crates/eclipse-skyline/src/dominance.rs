@@ -135,9 +135,12 @@ pub fn same_point_set(points: &[Point], a: &[usize], b: &[usize]) -> bool {
     let mut right: Vec<&Point> = b.iter().map(|&i| &points[i]).collect();
     left.sort_by(|x, y| x.lex_cmp(y));
     right.sort_by(|x, y| x.lex_cmp(y));
-    left.iter()
-        .zip(right.iter())
-        .all(|(x, y)| x.coords().iter().zip(y.coords()).all(|(a, b)| (a - b).abs() <= EPS))
+    left.iter().zip(right.iter()).all(|(x, y)| {
+        x.coords()
+            .iter()
+            .zip(y.coords())
+            .all(|(a, b)| (a - b).abs() <= EPS)
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +166,12 @@ mod tests {
     fn paper_running_example_dominance() {
         // Figure 2: p1(1,6), p2(4,4), p3(6,1), p4(8,5); p2 dominates p4, the
         // skyline is {p1, p2, p3}.
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         assert!(dominates(&pts[1], &pts[3]));
         assert!(!dominates(&pts[0], &pts[3])); // p1 cannot skyline-dominate p4
         assert_eq!(skyline_naive(&pts), vec![0, 1, 2]);

@@ -174,7 +174,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]
@@ -203,7 +208,12 @@ mod tests {
 
     #[test]
     fn duplicates_of_a_vertex_are_included() {
-        let pts = vec![p(&[1.0, 3.0]), p(&[1.0, 3.0]), p(&[3.0, 1.0]), p(&[4.0, 4.0])];
+        let pts = vec![
+            p(&[1.0, 3.0]),
+            p(&[1.0, 3.0]),
+            p(&[3.0, 1.0]),
+            p(&[4.0, 4.0]),
+        ];
         let got2d = hull_query_2d(&pts);
         assert_eq!(got2d, vec![0, 1, 2]);
         assert_eq!(hull_query_lp(&pts), vec![0, 1, 2]);
@@ -229,10 +239,12 @@ mod tests {
                 .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
                 .collect();
             let hull = hull_query_lp(&pts);
-            let sky: std::collections::HashSet<usize> =
-                skyline_bnl(&pts).into_iter().collect();
+            let sky: std::collections::HashSet<usize> = skyline_bnl(&pts).into_iter().collect();
             for h in hull {
-                assert!(sky.contains(&h), "hull point {h} missing from skyline, d = {d}");
+                assert!(
+                    sky.contains(&h),
+                    "hull point {h} missing from skyline, d = {d}"
+                );
             }
         }
     }
@@ -243,7 +255,11 @@ mod tests {
         // by the three specialists, but strictly closer to the origin overall,
         // so it IS a hull-query point; pushing it out to (4,4,4) makes it an
         // interior (dominated-in-mixture) point.
-        let specialists = vec![p(&[1.0, 5.0, 5.0]), p(&[5.0, 1.0, 5.0]), p(&[5.0, 5.0, 1.0])];
+        let specialists = vec![
+            p(&[1.0, 5.0, 5.0]),
+            p(&[5.0, 1.0, 5.0]),
+            p(&[5.0, 5.0, 1.0]),
+        ];
         let mut with_good_generalist = specialists.clone();
         with_good_generalist.push(p(&[2.0, 2.0, 2.0]));
         assert!(is_hull_query_point(&with_good_generalist, 3));

@@ -97,7 +97,12 @@ mod tests {
     }
 
     fn paper_points() -> Vec<Point> {
-        vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])]
+        vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ]
     }
 
     #[test]

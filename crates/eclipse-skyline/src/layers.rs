@@ -114,7 +114,12 @@ mod tests {
 
     #[test]
     fn paper_running_example_has_two_layers() {
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         let l = skyline_layers(&pts);
         assert_eq!(l.len(), 2);
         assert_eq!(l.layer(0), &[0, 1, 2]);
@@ -161,7 +166,13 @@ mod tests {
     fn no_point_is_dominated_within_its_layer_and_every_inner_point_is_dominated_by_an_outer_one() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(56);
         let pts: Vec<Point> = (0..200)
-            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .map(|_| {
+                Point::new(vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ])
+            })
             .collect();
         let l = skyline_layers(&pts);
         for (k, layer) in l.layers().iter().enumerate() {
@@ -174,7 +185,10 @@ mod tests {
                         .iter()
                         .flatten()
                         .any(|&j| dominates(&pts[j], &pts[i]));
-                    assert!(dominated_by_outer, "point {i} in layer {k} has no outer dominator");
+                    assert!(
+                        dominated_by_outer,
+                        "point {i} in layer {k} has no outer dominator"
+                    );
                 }
             }
         }

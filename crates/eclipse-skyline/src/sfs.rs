@@ -22,7 +22,8 @@ pub fn skyline_sfs(points: &[Point]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let sa: f64 = points[a].coords().iter().sum();
         let sb: f64 = points[b].coords().iter().sum();
-        sa.total_cmp(&sb).then_with(|| points[a].lex_cmp(&points[b]))
+        sa.total_cmp(&sb)
+            .then_with(|| points[a].lex_cmp(&points[b]))
     });
 
     let mut skyline: Vec<usize> = Vec::new();
@@ -57,7 +58,12 @@ mod tests {
 
     #[test]
     fn paper_running_example() {
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         assert_eq!(skyline_sfs(&pts), vec![0, 1, 2]);
     }
 
@@ -66,7 +72,12 @@ mod tests {
         // A dominated point whose coordinate sum is smaller than one of its
         // dominators cannot exist (dominance implies smaller-or-equal sum), so
         // SFS is correct; spot-check a case with ties in the sum.
-        let pts = vec![p(&[2.0, 2.0]), p(&[1.0, 3.0]), p(&[3.0, 1.0]), p(&[2.0, 3.0])];
+        let pts = vec![
+            p(&[2.0, 2.0]),
+            p(&[1.0, 3.0]),
+            p(&[3.0, 1.0]),
+            p(&[2.0, 3.0]),
+        ];
         assert_eq!(skyline_sfs(&pts), skyline_naive(&pts));
     }
 

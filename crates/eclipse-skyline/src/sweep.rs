@@ -73,7 +73,12 @@ mod tests {
 
     #[test]
     fn paper_running_example() {
-        let pts = vec![p(&[1.0, 6.0]), p(&[4.0, 4.0]), p(&[6.0, 1.0]), p(&[8.0, 5.0])];
+        let pts = vec![
+            p(&[1.0, 6.0]),
+            p(&[4.0, 4.0]),
+            p(&[6.0, 1.0]),
+            p(&[8.0, 5.0]),
+        ];
         assert_eq!(skyline_2d(&pts), vec![0, 1, 2]);
     }
 
@@ -91,7 +96,12 @@ mod tests {
 
     #[test]
     fn exact_duplicates_all_survive() {
-        let pts = vec![p(&[1.0, 1.0]), p(&[1.0, 1.0]), p(&[2.0, 0.5]), p(&[1.0, 1.0])];
+        let pts = vec![
+            p(&[1.0, 1.0]),
+            p(&[1.0, 1.0]),
+            p(&[2.0, 0.5]),
+            p(&[1.0, 1.0]),
+        ];
         let got = skyline_2d(&pts);
         assert_eq!(got, skyline_naive(&pts));
         assert!(got.contains(&0) && got.contains(&1) && got.contains(&3));
@@ -113,12 +123,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(29);
         for _ in 0..10 {
             let pts: Vec<Point> = (0..300)
-                .map(|_| {
-                    Point::new(vec![
-                        rng.gen_range(0..8) as f64,
-                        rng.gen_range(0..8) as f64,
-                    ])
-                })
+                .map(|_| Point::new(vec![rng.gen_range(0..8) as f64, rng.gen_range(0..8) as f64]))
                 .collect();
             assert_eq!(skyline_2d(&pts), skyline_naive(&pts));
         }

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(expected) => assert_eq!(&result, expected, "{label} disagrees with BASE"),
         }
     }
-    println!("\nall four algorithms returned the same {} eclipse points ✓", reference.unwrap().len());
+    println!(
+        "\nall four algorithms returned the same {} eclipse points ✓",
+        reference.unwrap().len()
+    );
 
     // Index reuse: the second query on a built index is much cheaper than the
     // first call that had to build it.

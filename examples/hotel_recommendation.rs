@@ -47,11 +47,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hotels = synthesize_city(400, 7);
     let points: Vec<Point> = hotels
         .iter()
-        .map(|h| Point::new(vec![h.distance_miles, h.price_per_night / 100.0, h.review_penalty]))
+        .map(|h| {
+            Point::new(vec![
+                h.distance_miles,
+                h.price_per_night / 100.0,
+                h.review_penalty,
+            ])
+        })
         .collect();
     let engine = EclipseEngine::new(points)?;
 
-    println!("{} candidate hotels, attributes = (distance, price/$100, review penalty)\n", hotels.len());
+    println!(
+        "{} candidate hotels, attributes = (distance, price/$100, review penalty)\n",
+        hotels.len()
+    );
 
     // Baseline operators for comparison.
     let skyline = engine.skyline();
@@ -65,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "students (price matters most)",
             PreferenceSpec::Categorical(vec![
-                ImportanceLevel::Unimportant, // distance vs reviews
+                ImportanceLevel::Unimportant,   // distance vs reviews
                 ImportanceLevel::VeryImportant, // price vs reviews
             ]),
         ),
@@ -108,9 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ImportanceLevel::Similar,
     ]))?;
     assert!(balanced.iter().all(|i| skyline_set.contains(i)));
-    println!(
-        "(check) the balanced eclipse shortlist is a subset of the skyline shortlist ✓"
-    );
+    println!("(check) the balanced eclipse shortlist is a subset of the skyline shortlist ✓");
     println!(
         "(check) the exact-preference top-1 hotel {} is in the balanced shortlist: {}",
         hotels[top5[0].index].name,

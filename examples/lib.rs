@@ -1,6 +1,8 @@
 //! Helper library for the runnable examples (kept intentionally tiny —
 //! everything interesting lives in the example binaries themselves).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 /// Formats a slice of point indices as a compact `{p1, p2, …}` string using
 /// one-based ids, matching the notation of the paper's running example.
 pub fn format_ids(ids: &[usize]) -> String {

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let skyline = engine.skyline();
-    println!("skyline (all possible favourites under any monotone scoring): {} players", skyline.len());
+    println!(
+        "skyline (all possible favourites under any monotone scoring): {} players",
+        skyline.len()
+    );
 
     // Progressively narrower preference bands (Table IV's ratio ranges).
     for (label, lo, hi) in [
@@ -53,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .take(6)
             .map(|&i| players[i].name.as_str())
             .collect();
-        println!("{label}: {:>3} players  e.g. {}", shortlist.len(), names.join(", "));
+        println!(
+            "{label}: {:>3} players  e.g. {}",
+            shortlist.len(),
+            names.join(", ")
+        );
     }
 
     // Result-budget mode: "give me at most 8 candidates and tell me how much

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Eclipse instantiates both classic operators. ----------------------
     let as_nn = engine.eclipse(&WeightRatioBox::exact(&[2.0])?)?;
     let as_skyline = engine.eclipse(&WeightRatioBox::skyline(2)?)?;
-    println!("Eclipse (r ∈ [2, 2])      -> {}   (the 1NN winner)", format_ids(&as_nn));
+    println!(
+        "Eclipse (r ∈ [2, 2])      -> {}   (the 1NN winner)",
+        format_ids(&as_nn)
+    );
     println!(
         "Eclipse (r ∈ [0, +inf))   -> {}   (exactly the skyline)",
         format_ids(&as_skyline)
@@ -63,8 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = engine.relations(&ratio_box)?;
     println!("\nRelationships for r ∈ [1/4, 2]:");
     println!("  convex hull query : {}", format_ids(&report.convex_hull));
-    println!("  eclipse \\ hull    : {}", format_ids(&report.eclipse_only()));
-    println!("  eclipse ⊆ skyline : {}", report.eclipse_subset_of_skyline());
+    println!(
+        "  eclipse \\ hull    : {}",
+        format_ids(&report.eclipse_only())
+    );
+    println!(
+        "  eclipse ⊆ skyline : {}",
+        report.eclipse_subset_of_skyline()
+    );
 
     // --- Explanation: which preference in [1/4, 2] picks which hotel? -------
     let intervals = eclipse_core::explain::winner_intervals_2d(engine.points(), &ratio_box)?;

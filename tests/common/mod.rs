@@ -1,0 +1,50 @@
+//! Helpers shared by the integration-test suites.
+//!
+//! Lives in `tests/common/` (not `tests/*.rs`) so Cargo treats it as a
+//! module to include from each suite rather than compiling it as its own
+//! empty integration-test crate.
+
+// Each suite compiles its own copy of this module and uses a subset of it.
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+
+use eclipse_core::Point;
+
+/// The four-hotel dataset of the paper's running example (Figures 1–3):
+/// (distance in miles, price in $100), smaller is better.
+pub fn paper_hotels() -> Vec<Point> {
+    vec![
+        Point::new(vec![1.0, 6.0]), // p1
+        Point::new(vec![4.0, 4.0]), // p2
+        Point::new(vec![6.0, 1.0]), // p3
+        Point::new(vec![8.0, 5.0]), // p4
+    ]
+}
+
+/// A path in the system temp dir that is unique to this process (so
+/// concurrent test runs cannot collide on fixture files) and is removed
+/// when the value is dropped, even if the owning test panics.
+pub struct TempPath {
+    path: PathBuf,
+}
+
+impl TempPath {
+    /// A fresh temp path for fixture `name`, suffixed with the process id.
+    pub fn new(name: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("eclipse_e2e_{}_{name}", std::process::id()));
+        TempPath { path }
+    }
+
+    /// The underlying filesystem path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}

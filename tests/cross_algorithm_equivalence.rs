@@ -15,10 +15,13 @@ use eclipse_data::synthetic::{Distribution, SyntheticConfig};
 fn all_four(points: &[Point], b: &WeightRatioBox) -> [Vec<usize>; 4] {
     let base = eclipse_baseline(points, b).expect("baseline");
     let tran = eclipse_transform(points, b, SkylineBackend::Auto).expect("transform");
-    let quad = EclipseIndex::build(points, IndexConfig::with_kind(IntersectionIndexKind::Quadtree))
-        .expect("quad build")
-        .query(b)
-        .expect("quad query");
+    let quad = EclipseIndex::build(
+        points,
+        IndexConfig::with_kind(IntersectionIndexKind::Quadtree),
+    )
+    .expect("quad build")
+    .query(b)
+    .expect("quad query");
     let cutting = EclipseIndex::build(
         points,
         IndexConfig::with_kind(IntersectionIndexKind::CuttingTree),

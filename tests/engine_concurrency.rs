@@ -34,7 +34,11 @@ fn concurrent_queries_agree_with_baseline() {
                     1 => Algorithm::IndexCuttingTree,
                     _ => Algorithm::Transform,
                 };
-                assert_eq!(engine.eclipse_with(&b, alg).unwrap(), expected[i], "thread {t}");
+                assert_eq!(
+                    engine.eclipse_with(&b, alg).unwrap(),
+                    expected[i],
+                    "thread {t}"
+                );
             }
         }));
     }

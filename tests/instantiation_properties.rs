@@ -143,8 +143,14 @@ fn hull_is_subset_of_eclipse_for_wide_boxes() {
         let skyline: std::collections::HashSet<usize> =
             eclipse_skyline::dc::skyline_dc(&pts).into_iter().collect();
         for h in hull_query_lp(&pts) {
-            assert!(skyline.contains(&h), "hull ⊆ skyline violated (seed {seed})");
-            assert!(e.contains(&h), "hull point {h} missing from wide eclipse (seed {seed})");
+            assert!(
+                skyline.contains(&h),
+                "hull ⊆ skyline violated (seed {seed})"
+            );
+            assert!(
+                e.contains(&h),
+                "hull point {h} missing from wide eclipse (seed {seed})"
+            );
         }
     }
 }

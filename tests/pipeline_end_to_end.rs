@@ -2,6 +2,8 @@
 //! build the engine and indexes → query with preferences → verify against the
 //! baseline — the full path a downstream user of the library would take.
 
+mod common;
+
 use eclipse_core::algo::baseline::eclipse_baseline;
 use eclipse_core::index::IntersectionIndexKind;
 use eclipse_core::prefs::{ImportanceLevel, PreferenceSpec};
@@ -11,20 +13,14 @@ use eclipse_data::io::{read_points_csv, write_points_csv};
 use eclipse_data::survey::{run_survey, SurveyConfig};
 use eclipse_data::synthetic::{Distribution, SyntheticConfig};
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("eclipse_e2e_{}_{name}", std::process::id()));
-    p
-}
-
 #[test]
 fn generate_persist_reload_query() {
     let pts = SyntheticConfig::new(500, 3, Distribution::Independent, 1234).generate();
-    let path = tmp("inde.csv");
-    write_points_csv(&path, &pts, Some(&["a", "b", "c"])).unwrap();
-    let reloaded = read_points_csv(&path).unwrap();
+    let path = common::TempPath::new("inde.csv");
+    write_points_csv(path.path(), &pts, Some(&["a", "b", "c"])).unwrap();
+    let reloaded = read_points_csv(path.path()).unwrap();
     assert_eq!(reloaded, pts);
-    std::fs::remove_file(&path).ok();
+    drop(path);
 
     let engine = EclipseEngine::new(reloaded).unwrap();
     let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
@@ -40,7 +36,9 @@ fn engine_full_query_surface() {
 
     // Index both ways and check agreement with the baseline on several boxes.
     engine.build_index(IntersectionIndexKind::Quadtree).unwrap();
-    engine.build_index(IntersectionIndexKind::CuttingTree).unwrap();
+    engine
+        .build_index(IntersectionIndexKind::CuttingTree)
+        .unwrap();
     for (lo, hi) in [(0.18, 5.67), (0.36, 2.75), (0.84, 1.19)] {
         let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
         let expected = engine.eclipse_with(&b, Algorithm::Baseline).unwrap();
@@ -50,7 +48,11 @@ fn engine_full_query_surface() {
             Algorithm::IndexQuadtree,
             Algorithm::IndexCuttingTree,
         ] {
-            assert_eq!(engine.eclipse_with(&b, alg).unwrap(), expected, "{alg:?} [{lo},{hi}]");
+            assert_eq!(
+                engine.eclipse_with(&b, alg).unwrap(),
+                expected,
+                "{alg:?} [{lo},{hi}]"
+            );
         }
     }
 

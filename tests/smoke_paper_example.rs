@@ -1,0 +1,62 @@
+//! Compiled-test twin of the crate-root doctests: the paper's running hotel
+//! example (Figures 1–3) through the public engine API, including the 1NN
+//! and skyline instantiations of the eclipse operator.
+
+mod common;
+
+use eclipse_core::query::Algorithm;
+use eclipse_core::{EclipseEngine, WeightRatioBox};
+
+#[test]
+fn figure3_eclipse_result_on_the_hotel_example() {
+    let engine = EclipseEngine::new(common::paper_hotels()).unwrap();
+
+    // "Distance is between 1/4x and 2x as important as price" (Figure 3).
+    let prefs = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+    assert_eq!(engine.eclipse(&prefs).unwrap(), vec![0, 1, 2]);
+}
+
+#[test]
+fn eclipse_instantiates_1nn_and_skyline() {
+    let engine = EclipseEngine::new(common::paper_hotels()).unwrap();
+
+    // A degenerate ratio box [2, 2] is the 1NN query with w = <2, 1>
+    // (Figure 1): p1 wins.
+    assert_eq!(
+        engine
+            .eclipse(&WeightRatioBox::exact(&[2.0]).unwrap())
+            .unwrap(),
+        vec![0]
+    );
+    let nn = engine.nn(&[2.0]).unwrap().expect("non-empty dataset");
+    assert_eq!(nn.index, 0);
+
+    // An unbounded ratio box [0, +inf) is the skyline query (Figure 2):
+    // every hotel but the dominated p4.
+    assert_eq!(
+        engine
+            .eclipse(&WeightRatioBox::skyline(2).unwrap())
+            .unwrap(),
+        vec![0, 1, 2]
+    );
+    assert_eq!(engine.skyline(), vec![0, 1, 2]);
+}
+
+#[test]
+fn every_algorithm_agrees_on_the_hotel_example() {
+    let engine = EclipseEngine::new(common::paper_hotels()).unwrap();
+    let prefs = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+    for alg in [
+        Algorithm::Auto,
+        Algorithm::Baseline,
+        Algorithm::Transform,
+        Algorithm::IndexQuadtree,
+        Algorithm::IndexCuttingTree,
+    ] {
+        assert_eq!(
+            engine.eclipse_with(&prefs, alg).unwrap(),
+            vec![0, 1, 2],
+            "{alg:?}"
+        );
+    }
+}

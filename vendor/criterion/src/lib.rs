@@ -1,0 +1,291 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a plain
+//! wall-clock runner instead of criterion's statistical machinery.  Each
+//! benchmark warms up once, then runs until the configured measurement time
+//! (or sample count) is exhausted, and prints `name … mean-per-iter` lines.
+//!
+//! `CRITERION_STUB_SAMPLES` (env) caps iterations per benchmark, which CI
+//! can use to smoke-run the benches quickly.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering (`"QUAD/1024"`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Top-level benchmark driver (criterion's entry type).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[bench group] {name}");
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let report = run_bench(
+            self.default_sample_size,
+            self.default_measurement_time,
+            |b| f(b),
+        );
+        eprintln!("  {:<40} {}", id.id, report);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub has no separate warm-up
+    /// phase beyond its single priming iteration.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock budget for the timed iterations.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let report = run_bench(self.sample_size, self.measurement_time, |b| f(b, input));
+        eprintln!("  {}/{:<40} {}", self.name, id.id, report);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let report = run_bench(self.sample_size, self.measurement_time, |b| f(b));
+        eprintln!("  {}/{:<40} {}", self.name, id.id, report);
+        self
+    }
+
+    /// Ends the group (criterion renders summaries here; the stub prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+/// Throughput hint (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One priming run (warm caches, fault pages) outside the timing.
+        black_box(routine());
+        let cap = sample_cap(self.sample_size);
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < cap as u64 {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let mean = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+        self.report = Some(format!("{} /iter ({iters} iters)", format_secs(mean)));
+    }
+}
+
+fn sample_cap(configured: usize) -> usize {
+    std::env::var("CRITERION_STUB_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+        .max(1)
+}
+
+fn run_bench(
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> String {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        report: None,
+    };
+    f(&mut bencher);
+    bencher
+        .report
+        .unwrap_or_else(|| "no measurement (Bencher::iter never called)".to_string())
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups (bench targets set
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &7u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("QUAD", 128).id, "QUAD/128");
+        assert_eq!(BenchmarkId::from(String::from("x")).id, "x");
+    }
+}

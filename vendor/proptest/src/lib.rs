@@ -1,0 +1,233 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements the subset of the proptest API the workspace's
+//! property-based tests use: the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, range and tuple strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * inputs are drawn from a **deterministic** per-case RNG (no persisted
+//!   failure seeds, no environment-dependent entropy), so CI runs are
+//!   perfectly reproducible;
+//! * there is **no shrinking** — a failing case panics with the generated
+//!   inputs left to the assertion message;
+//! * `prop_assert*` panic immediately instead of returning `Err`.
+//!
+//! The strategy combinators keep proptest's names and shapes so the real
+//! crate can be swapped back in from the manifest alone.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::ops::Range;
+
+pub mod collection;
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is executed with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_uniform(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Constant strategy: a cloneable value generates itself.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The macros, traits and types most tests want in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property-based tests.
+///
+/// Supports the form used throughout this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0.0f64..1.0, 1..10)) {
+///         prop_assert!(v.len() < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()); $(#[$meta])* fn $($rest)*);
+    };
+    (@munch ($cfg:expr);) => {};
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges respect their bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(
+            x in 0u64..100,
+            (lo, width) in (0.5f64..1.0, 0.0f64..2.0),
+            v in crate::collection::vec(-1.0f64..1.0, 2..6),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((0.5..1.0).contains(&lo) && (0.0..2.0).contains(&width));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|c| (-1.0..1.0).contains(c)));
+        }
+
+        /// `prop_map` applies the mapping function.
+        #[test]
+        fn map_applies(n in 1usize..10) {
+            let doubled = crate::collection::vec(Just(1u64), n).prop_map(|v| v.len() * 2);
+            let mut rng = crate::test_runner::TestRng::for_case("map_applies_inner", 0);
+            prop_assert_eq!(doubled.generate(&mut rng), n * 2);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        let r = 0.0f64..1.0;
+        assert_eq!(r.clone().generate(&mut a), r.generate(&mut b));
+    }
+}

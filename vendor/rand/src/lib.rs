@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of `rand` APIs the codebase uses are reimplemented here on a
+//! xoshiro256++ generator with SplitMix64 seeding.  The subset is
+//! deliberately small — `Rng::gen_range`, `Rng::gen`, `SeedableRng`,
+//! [`rngs::StdRng`] and [`seq::SliceRandom`] — and is API-compatible with
+//! rand 0.8 for those items, so swapping the real crate back in is a
+//! one-line manifest change.
+//!
+//! The streams are deterministic for a given seed (the property every test
+//! and dataset generator in this workspace relies on) but are **not** the
+//! same streams the real `rand` crate would produce.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::Range;
+
+/// The core of a random number generator: a source of `u64` values.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, integers over their full range, fair bools).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Samples `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Converts 53 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a uniform sampler over half-open ranges.
+///
+/// The single blanket `SampleRange` impl below mirrors the real crate's
+/// shape: unifying `Range<T>: SampleRange<U>` pins `U = T`, which is what
+/// lets float-literal ranges (`rng.gen_range(-0.05..0.05)`) infer `f64`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform sample from `[low, high)`.
+    fn sample_in<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range {low}..{high}");
+        let v = low + (high - low) * unit_f64(rng);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range {low}..{high}");
+        let v = low + (high - low) * unit_f64(rng) as f32;
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as i128) - (low as i128);
+                assert!(span > 0, "cannot sample empty integer range");
+                let v = (rng.next_u64() as i128) % span;
+                (low as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Types that can be drawn from the standard distribution via [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draws one standard-distribution sample.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The traits and types most callers want in scope.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.5..4.0);
+            assert!((-2.5..4.0).contains(&f));
+            let i = rng.gen_range(0..4);
+            assert!((0..4).contains(&i));
+            let u = rng.gen_range(3usize..150);
+            assert!((3..150).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_samples_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn choose_multiple_returns_distinct_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs: Vec<usize> = (0..50).collect();
+        let picked: Vec<usize> = xs.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

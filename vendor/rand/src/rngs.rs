@@ -1,0 +1,61 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// Expands a 64-bit seed into a well-mixed state stream (SplitMix64).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+///
+/// Fast, passes the usual statistical batteries, and — like the real
+/// `rand::rngs::StdRng` — makes no reproducibility promise beyond "the same
+/// seed yields the same stream within the same crate version".
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    pub(crate) fn from_u64_with_stream(seed: u64, stream: u64) -> Self {
+        let mut sm = seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_u64_with_stream(state, 0)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}

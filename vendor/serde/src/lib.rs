@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (as no-ops, see
+//! `serde_derive`) and marker traits of the same names so that both
+//! `#[derive(Serialize, Deserialize)]` and trait bounds compile.  No actual
+//! serialization framework is included; the workspace's on-disk formats are
+//! hand-rolled in `eclipse-data::io`.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of serde's `Serialize` trait (no methods in this stand-in).
+pub trait Serialize {}
+
+/// Marker form of serde's `Deserialize` trait (no methods in this stand-in).
+pub trait Deserialize<'de>: Sized {}

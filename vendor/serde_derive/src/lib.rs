@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! downstream users with the real serde can persist them, but nothing in the
+//! workspace itself serializes through serde (CSV I/O is hand-rolled in
+//! `eclipse-data::io`).  These derives therefore expand to nothing: the
+//! attribute is accepted and type-checked away.  Swapping in the real
+//! `serde`/`serde_derive` restores full impls without touching any source.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
