@@ -1,0 +1,59 @@
+//! Serial vs parallel skyline executors (the `eclipse-exec` substrate) at
+//! n ∈ {10k, 100k} and threads ∈ {1, 2, 4, 8} on the 4-dimensional INDE
+//! workload.  The acceptance benchmark of the parallel-substrate PR: on a
+//! multi-core host, `DC/threads=4` at n = 100k must beat `DC/serial`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use eclipse_bench::workloads::DatasetFamily;
+use eclipse_exec::ThreadPool;
+use eclipse_skyline::exec::{
+    ParallelBnl, ParallelDc, ParallelSfs, SerialBnl, SerialDc, SerialSfs, SkylineExecutor,
+};
+
+const SEED: u64 = 20210614;
+const D: usize = 4;
+const SIZES: [usize; 2] = [10_000, 100_000];
+const THREADS: [usize; 3] = [2, 4, 8];
+
+fn bench_parallel_skyline(c: &mut Criterion) {
+    for n in SIZES {
+        let points = DatasetFamily::Inde.generate(n, D, SEED);
+        let mut group = c.benchmark_group(format!("parallel/skyline/n={n}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+
+        let serial: [(&str, Box<dyn SkylineExecutor>); 3] = [
+            ("BNL", Box::new(SerialBnl)),
+            ("SFS", Box::new(SerialSfs)),
+            ("DC", Box::new(SerialDc)),
+        ];
+        for (label, exec) in &serial {
+            group.bench_function(BenchmarkId::new(*label, "serial"), |b| {
+                b.iter(|| exec.skyline(black_box(&points)))
+            });
+        }
+
+        for threads in THREADS {
+            let pool = Arc::new(ThreadPool::with_threads(threads));
+            let parallel: [(&str, Box<dyn SkylineExecutor>); 3] = [
+                ("BNL", Box::new(ParallelBnl::new(pool.clone()))),
+                ("SFS", Box::new(ParallelSfs::new(pool.clone()))),
+                ("DC", Box::new(ParallelDc::new(pool.clone()))),
+            ];
+            for (label, exec) in &parallel {
+                group.bench_function(
+                    BenchmarkId::new(*label, format!("threads={threads}")),
+                    |b| b.iter(|| exec.skyline(black_box(&points))),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel_skyline);
+criterion_main!(benches);

@@ -16,7 +16,10 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use eclipse_bench::harness::{format_secs, run_competitor_repeated, Competitor};
+use eclipse_bench::harness::{
+    format_secs, run_competitor_repeated, run_skyline_executor, run_tran_at_threads,
+    skyline_executors, Competitor,
+};
 use eclipse_bench::workloads::{
     default_ratio_box, ratio_box, worst_case_dataset, DatasetFamily, DEFAULT_D, DEFAULT_N,
     DEFAULT_NBA_N, DEFAULT_N_VALUES, PAPER_D_VALUES, PAPER_N_VALUES, PAPER_RATIO_RANGES,
@@ -77,6 +80,9 @@ fn main() {
     if want("relations") {
         emit(&opts, "relations", relations());
     }
+    if want("threads") {
+        emit(&opts, "threads", threads_sweep(&opts));
+    }
 }
 
 fn parse_args() -> Options {
@@ -93,7 +99,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--full] [--out DIR] \
-                     [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations]..."
+                     [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
+                     threads]..."
                 );
                 std::process::exit(0);
             }
@@ -361,6 +368,32 @@ fn fig14() -> (String, ResultTable) {
     }
     (
         "Fig. 14 — worst case, query time vs d (clustered data, n = 2^7)".to_string(),
+        t,
+    )
+}
+
+/// Thread sweep over the parallel execution substrate: serial vs parallel
+/// BNL/SFS/DC skyline executors plus end-to-end TRAN, on a 4-dimensional
+/// INDE workload (not a figure of the paper — it backs the eclipse-exec
+/// crate and the ROADMAP's heavy-traffic north star).
+fn threads_sweep(opts: &Options) -> (String, ResultTable) {
+    let n = if opts.full { 1 << 17 } else { 1 << 13 };
+    let d = 4;
+    let pts = DatasetFamily::Inde.generate(n, d, SEED);
+    let b = default_ratio_box(d);
+    let mut t = ResultTable::new(&["threads", "BNL", "SFS", "DC", "TRAN"]);
+    for threads in [1usize, 2, 4, 8] {
+        let mut row = vec![threads.to_string()];
+        for exec in skyline_executors(threads) {
+            let m = run_skyline_executor(exec.as_ref(), &pts, 3);
+            row.push(format_secs(m.query_secs));
+        }
+        let m = run_tran_at_threads(&pts, &b, threads, 3);
+        row.push(format_secs(m.query_secs));
+        t.push_row(row);
+    }
+    (
+        format!("Thread sweep — skyline executors and TRAN (INDE, n = {n}, d = {d})"),
         t,
     )
 }

@@ -6,13 +6,19 @@
 //! paper as one aligned text block (and optionally CSV), which is what
 //! EXPERIMENTS.md records.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use eclipse_core::algo::baseline::eclipse_baseline;
-use eclipse_core::algo::transform::{eclipse_transform, SkylineBackend};
-use eclipse_core::index::{EclipseIndex, IndexConfig, IntersectionIndexKind};
+use eclipse_core::algo::transform::{eclipse_transform, eclipse_transform_with, SkylineBackend};
+use eclipse_core::exec::ExecutionContext;
+use eclipse_core::index::{EclipseIndex, IndexConfig, IntersectionIndexKind, ProbeScratch};
 use eclipse_core::point::Point;
 use eclipse_core::weights::WeightRatioBox;
+use eclipse_exec::ThreadPool;
+use eclipse_skyline::exec::{
+    ParallelBnl, ParallelDc, ParallelSfs, SerialBnl, SerialDc, SerialSfs, SkylineExecutor,
+};
 
 /// The four algorithms of the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,11 +157,15 @@ pub fn run_competitor_repeated(
             let index =
                 EclipseIndex::build(points, IndexConfig::with_kind(kind)).expect("valid workload");
             let build_secs = build_start.elapsed().as_secs_f64();
+            // Repeated probes share one scratch, like a serving loop would.
+            let mut scratch = ProbeScratch::new();
             let mut total = 0.0;
             let mut size = 0;
             for _ in 0..repetitions {
                 let start = Instant::now();
-                let result = index.query(ratio_box).expect("valid workload");
+                let result = index
+                    .query_with_scratch(ratio_box, &mut scratch)
+                    .expect("valid workload");
                 total += start.elapsed().as_secs_f64();
                 size = result.len();
             }
@@ -165,6 +175,75 @@ pub fn run_competitor_repeated(
                 result_size: size,
             }
         }
+    }
+}
+
+/// The skyline executor line-up for a thread count: the serial BNL/SFS/DC
+/// trio for `threads <= 1`, their parallel counterparts over one shared pool
+/// otherwise.  Used by the thread-sweep experiment and the Criterion bench.
+pub fn skyline_executors(threads: usize) -> Vec<Box<dyn SkylineExecutor>> {
+    if threads <= 1 {
+        return vec![Box::new(SerialBnl), Box::new(SerialSfs), Box::new(SerialDc)];
+    }
+    let pool = Arc::new(ThreadPool::with_threads(threads));
+    vec![
+        Box::new(ParallelBnl::new(pool.clone())),
+        Box::new(ParallelSfs::new(pool.clone())),
+        Box::new(ParallelDc::new(pool)),
+    ]
+}
+
+/// Times one skyline executor: mean wall-clock of `repetitions` runs plus
+/// the result size (for cross-checking between executors).
+pub fn run_skyline_executor(
+    executor: &dyn SkylineExecutor,
+    points: &[Point],
+    repetitions: usize,
+) -> Measurement {
+    assert!(repetitions > 0, "repetitions must be positive");
+    let mut total = 0.0;
+    let mut size = 0;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let result = executor.skyline(points);
+        total += start.elapsed().as_secs_f64();
+        size = result.len();
+    }
+    Measurement {
+        query_secs: total / repetitions as f64,
+        build_secs: 0.0,
+        result_size: size,
+    }
+}
+
+/// Times TRAN at a given thread count: serial divide-and-conquer backend for
+/// one thread, the parallel one (mapping + skyline fan out) otherwise.
+pub fn run_tran_at_threads(
+    points: &[Point],
+    ratio_box: &WeightRatioBox,
+    threads: usize,
+    repetitions: usize,
+) -> Measurement {
+    assert!(repetitions > 0, "repetitions must be positive");
+    let ctx = ExecutionContext::with_threads(threads);
+    let backend = if threads <= 1 {
+        SkylineBackend::DivideConquer
+    } else {
+        SkylineBackend::ParallelDivideConquer
+    };
+    let mut total = 0.0;
+    let mut size = 0;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let result =
+            eclipse_transform_with(points, ratio_box, backend, &ctx).expect("valid workload");
+        total += start.elapsed().as_secs_f64();
+        size = result.len();
+    }
+    Measurement {
+        query_secs: total / repetitions as f64,
+        build_secs: 0.0,
+        result_size: size,
     }
 }
 
@@ -206,6 +285,26 @@ mod tests {
         let t = run_competitor_repeated(Competitor::Tran, &pts, &b, 2);
         assert_eq!(t.build_secs, 0.0);
         assert_eq!(t.result_size, m.result_size);
+    }
+
+    #[test]
+    fn executor_sweep_agrees_across_thread_counts() {
+        let pts = DatasetFamily::Inde.generate(400, 3, 7);
+        let serial_sizes: Vec<usize> = skyline_executors(1)
+            .iter()
+            .map(|e| run_skyline_executor(e.as_ref(), &pts, 1).result_size)
+            .collect();
+        for threads in [2usize, 4] {
+            let sizes: Vec<usize> = skyline_executors(threads)
+                .iter()
+                .map(|e| run_skyline_executor(e.as_ref(), &pts, 1).result_size)
+                .collect();
+            assert_eq!(sizes, serial_sizes, "threads = {threads}");
+        }
+        let b = default_ratio_box(3);
+        let t1 = run_tran_at_threads(&pts, &b, 1, 1);
+        let t4 = run_tran_at_threads(&pts, &b, 4, 1);
+        assert_eq!(t1.result_size, t4.result_size);
     }
 
     #[test]

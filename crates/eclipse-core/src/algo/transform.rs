@@ -35,10 +35,17 @@
 //!   Algorithm 3 mapping, kept as a faithful rendition of the paper.  Its
 //!   result is always a *subset* of the true eclipse points (it may
 //!   under-report for d ≥ 3), which the tests document.
+//! * [`eclipse_transform_with`] / [`CornerTable`] — the execution-aware
+//!   entry point: an [`ExecutionContext`] supplies the thread pool for the
+//!   parallel [`SkylineBackend`] variants (both the corner-score mapping and
+//!   the skyline phase fan out), and the precomputed corner table removes
+//!   the per-point corner recomputation from the hot path.
 
 use eclipse_geom::point::Point;
+use eclipse_skyline::exec::{ParallelBnl, ParallelDc, ParallelSfs, SkylineExecutor};
 
 use crate::error::{EclipseError, Result};
+use crate::exec::ExecutionContext;
 use crate::score::score_with_ratios;
 use crate::weights::WeightRatioBox;
 
@@ -57,6 +64,74 @@ pub enum SkylineBackend {
     SortFilter,
     /// Multidimensional divide-and-conquer (ECDF) skyline.
     DivideConquer,
+    /// Parallel block-nested-loop: partition → local BNL → merge-filter over
+    /// the execution context's thread pool.
+    ParallelBlockNestedLoop,
+    /// Parallel sort-filter: global presort → partitioned filter passes →
+    /// merge-filter over the pool.
+    ParallelSortFilter,
+    /// Parallel divide-and-conquer: the divide step forks on the pool.
+    ParallelDivideConquer,
+}
+
+impl SkylineBackend {
+    /// `true` for the backends that draw on the execution context's thread
+    /// pool.  Parallel backends (and the TRAN mapping feeding them) return
+    /// results identical to their serial counterparts at every thread count.
+    pub fn is_parallel(self) -> bool {
+        matches!(
+            self,
+            SkylineBackend::ParallelBlockNestedLoop
+                | SkylineBackend::ParallelSortFilter
+                | SkylineBackend::ParallelDivideConquer
+        )
+    }
+}
+
+/// Precomputed corner ratio vectors of a box: the reusable part of the TRAN
+/// mapping.  [`transform_point`] recomputes the `2^{d−1}` corners on every
+/// call; on query hot paths build the table once and map every point through
+/// it (this is what [`eclipse_transform`] does internally).
+#[derive(Clone, Debug)]
+pub struct CornerTable {
+    corners: Vec<Vec<f64>>,
+}
+
+impl CornerTable {
+    /// Precomputes the corner ratios of `ratio_box`.
+    ///
+    /// # Errors
+    /// [`EclipseError::Unsupported`] when a ratio range is unbounded.
+    pub fn new(ratio_box: &WeightRatioBox) -> Result<Self> {
+        Ok(CornerTable {
+            corners: ratio_box.corner_ratios()?,
+        })
+    }
+
+    /// Number of corners (`2^{d−1}`) — the mapped dimensionality.
+    pub fn num_corners(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Maps one point to its corner-score vector.
+    pub fn map_point(&self, p: &Point) -> Point {
+        let mut coords = Vec::with_capacity(self.corners.len());
+        for corner in &self.corners {
+            coords.push(score_with_ratios(p, corner));
+        }
+        Point::new(coords)
+    }
+
+    /// Writes the corner scores of `p` into `out` (cleared first), reusing
+    /// the buffer's capacity — the allocation-free flavour of
+    /// [`CornerTable::map_point`] for callers that score in a loop.
+    pub fn map_coords_into(&self, p: &Point, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.corners.len());
+        for corner in &self.corners {
+            out.push(score_with_ratios(p, corner));
+        }
+    }
 }
 
 /// Maps a point to its corner-score vector: the scores `S(p)_r` at every one
@@ -130,6 +205,9 @@ pub fn transform_point_paper(p: &Point, ratio_box: &WeightRatioBox) -> Point {
 /// Computes the eclipse points with the (corrected) transformation-based
 /// algorithm, returning indices in ascending order.
 ///
+/// Parallel backends draw on the process-wide default pool; use
+/// [`eclipse_transform_with`] to supply an explicit [`ExecutionContext`].
+///
 /// # Errors
 /// * [`EclipseError::DimensionMismatch`] when the box does not match the
 ///   dataset dimensionality.
@@ -139,22 +217,36 @@ pub fn eclipse_transform(
     ratio_box: &WeightRatioBox,
     backend: SkylineBackend,
 ) -> Result<Vec<usize>> {
-    let corners = validate(points, ratio_box)?;
+    eclipse_transform_with(points, ratio_box, backend, &ExecutionContext::default())
+}
+
+/// Datasets below this size are mapped serially even for parallel backends.
+const PARALLEL_MAP_CUTOFF: usize = 1024;
+
+/// [`eclipse_transform`] with an explicit execution context: for a parallel
+/// backend both the corner-score mapping and the skyline phase run on the
+/// context's pool.  The result is identical to the serial computation for
+/// every backend and thread count (the property suites enforce this).
+///
+/// # Errors
+/// Same as [`eclipse_transform`].
+pub fn eclipse_transform_with(
+    points: &[Point],
+    ratio_box: &WeightRatioBox,
+    backend: SkylineBackend,
+    ctx: &ExecutionContext,
+) -> Result<Vec<usize>> {
+    let table = validate(points, ratio_box)?;
     if points.is_empty() {
         return Ok(Vec::new());
     }
-    let mapped: Vec<Point> = points
-        .iter()
-        .map(|p| {
-            Point::new(
-                corners
-                    .iter()
-                    .map(|r| score_with_ratios(p, r))
-                    .collect::<Vec<f64>>(),
-            )
-        })
-        .collect();
-    Ok(run_skyline(&mapped, backend))
+    let mapped: Vec<Point> =
+        if backend.is_parallel() && ctx.threads() > 1 && points.len() >= PARALLEL_MAP_CUTOFF {
+            ctx.pool().par_map(points, |p| table.map_point(p))
+        } else {
+            points.iter().map(|p| table.map_point(p)).collect()
+        };
+    Ok(run_skyline(&mapped, backend, ctx))
 }
 
 /// Computes the paper's literal Algorithm 2/3: exact for d = 2, a subset of
@@ -175,10 +267,10 @@ pub fn eclipse_transform_paper(
         .iter()
         .map(|p| transform_point_paper(p, ratio_box))
         .collect();
-    Ok(run_skyline(&mapped, backend))
+    Ok(run_skyline(&mapped, backend, &ExecutionContext::default()))
 }
 
-fn validate(points: &[Point], ratio_box: &WeightRatioBox) -> Result<Vec<Vec<f64>>> {
+fn validate(points: &[Point], ratio_box: &WeightRatioBox) -> Result<CornerTable> {
     if let Some(first) = points.first() {
         let d = first.dim();
         if ratio_box.dim() != d {
@@ -201,10 +293,17 @@ fn validate(points: &[Point], ratio_box: &WeightRatioBox) -> Result<Vec<Vec<f64>
             "the transformation-based algorithm requires finite ratio ranges".to_string(),
         ));
     }
-    ratio_box.corner_ratios()
+    CornerTable::new(ratio_box)
 }
 
-fn run_skyline(mapped: &[Point], backend: SkylineBackend) -> Vec<usize> {
+/// Runs the selected skyline backend over an already mapped (or raw) point
+/// set.  Shared with the engine's `skyline_with` so backend dispatch has one
+/// definition.
+pub(crate) fn run_skyline(
+    mapped: &[Point],
+    backend: SkylineBackend,
+    ctx: &ExecutionContext,
+) -> Vec<usize> {
     let mapped_dim = mapped.first().map_or(0, Point::dim);
     match backend {
         SkylineBackend::Auto => {
@@ -217,6 +316,13 @@ fn run_skyline(mapped: &[Point], backend: SkylineBackend) -> Vec<usize> {
         SkylineBackend::BlockNestedLoop => eclipse_skyline::bnl::skyline_bnl(mapped),
         SkylineBackend::SortFilter => eclipse_skyline::sfs::skyline_sfs(mapped),
         SkylineBackend::DivideConquer => eclipse_skyline::dc::skyline_dc(mapped),
+        SkylineBackend::ParallelBlockNestedLoop => {
+            ParallelBnl::new(ctx.pool().clone()).skyline(mapped)
+        }
+        SkylineBackend::ParallelSortFilter => ParallelSfs::new(ctx.pool().clone()).skyline(mapped),
+        SkylineBackend::ParallelDivideConquer => {
+            ParallelDc::new(ctx.pool().clone()).skyline(mapped)
+        }
     }
 }
 
@@ -352,6 +458,9 @@ mod tests {
             SkylineBackend::BlockNestedLoop,
             SkylineBackend::SortFilter,
             SkylineBackend::DivideConquer,
+            SkylineBackend::ParallelBlockNestedLoop,
+            SkylineBackend::ParallelSortFilter,
+            SkylineBackend::ParallelDivideConquer,
         ] {
             assert_eq!(
                 eclipse_transform(&pts, &b, backend).unwrap(),
@@ -359,6 +468,47 @@ mod tests {
                 "{backend:?}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_backends_agree_above_the_map_cutoff() {
+        // Large enough that the parallel corner mapping and the parallel
+        // skyline phase both actually engage.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(66);
+        let pts: Vec<Point> = (0..4000)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        let serial = eclipse_transform(&pts, &b, SkylineBackend::SortFilter).unwrap();
+        for threads in [1usize, 2, 4] {
+            let ctx = ExecutionContext::with_threads(threads);
+            for backend in [
+                SkylineBackend::ParallelBlockNestedLoop,
+                SkylineBackend::ParallelSortFilter,
+                SkylineBackend::ParallelDivideConquer,
+            ] {
+                assert_eq!(
+                    eclipse_transform_with(&pts, &b, backend, &ctx).unwrap(),
+                    serial,
+                    "{backend:?} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corner_table_matches_transform_point() {
+        let b = WeightRatioBox::uniform(3, 0.25, 2.0).unwrap();
+        let table = CornerTable::new(&b).unwrap();
+        assert_eq!(table.num_corners(), 4);
+        let mut scratch = Vec::new();
+        for pt in [p(&[1.0, 2.0, 3.0]), p(&[0.5, 0.5, 0.5])] {
+            assert_eq!(table.map_point(&pt), transform_point(&pt, &b));
+            table.map_coords_into(&pt, &mut scratch);
+            assert_eq!(scratch.as_slice(), table.map_point(&pt).coords());
+        }
+        // Unbounded boxes are rejected like the transform itself.
+        assert!(CornerTable::new(&WeightRatioBox::skyline(2).unwrap()).is_err());
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub fn nn_dominates(p: &Point, q: &Point, ratios: &[f64]) -> bool {
 /// so that callers of this crate need only one import path.
 pub use eclipse_skyline::dominance::dominates as skyline_dominates;
 
+// The skyline crate owns the single definition of every coordinate-wise
+// dominance predicate; this module adds only the eclipse-specific (ratio-box)
+// predicates and re-exports the rest so no caller is tempted to re-implement
+// them here.
+pub use eclipse_skyline::dominance::{
+    compare as skyline_compare, same_point_set, skyline_naive,
+    strictly_dominates as skyline_strictly_dominates, weakly_dominates as skyline_weakly_dominates,
+    DominanceOrdering,
+};
+
 /// Returns `true` if `p` eclipse-dominates `q` over the ratio box (strict
 /// convention: `≤` everywhere, `<` somewhere).
 ///
@@ -109,6 +119,20 @@ mod tests {
             p(&[6.0, 1.0]),
             p(&[8.0, 5.0]),
         ]
+    }
+
+    #[test]
+    fn skyline_predicates_are_reexported_from_the_substrate() {
+        // One definition lives in eclipse-skyline; this module only adds the
+        // eclipse-specific predicates on top.
+        let a = p(&[1.0, 2.0]);
+        let b = p(&[2.0, 3.0]);
+        assert!(skyline_dominates(&a, &b));
+        assert!(skyline_strictly_dominates(&a, &b));
+        assert!(skyline_weakly_dominates(&a, &a));
+        assert_eq!(skyline_compare(&a, &b), DominanceOrdering::LeftDominates);
+        assert_eq!(skyline_naive(&[a.clone(), b.clone()]), vec![0]);
+        assert!(same_point_set(&[a, b], &[0], &[0]));
     }
 
     #[test]

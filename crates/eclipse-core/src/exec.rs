@@ -1,0 +1,128 @@
+//! Execution context and per-query options: how wide a query runs and which
+//! algorithm/backend answers it.
+//!
+//! [`ExecutionContext`] owns (a shared handle to) the
+//! [`eclipse_exec::ThreadPool`] every parallel code path in this crate draws
+//! from — the TRAN corner mapping, the parallel skyline backends, index
+//! construction and the explanation utilities.  One context can be shared by
+//! many engines (the pool is behind an [`Arc`]), and the default context
+//! uses the process-wide pool sized by `ECLIPSE_THREADS` / the hardware.
+//!
+//! [`QueryOptions`] is the per-call companion: algorithm selection plus
+//! skyline-backend selection for the transformation-based path, consumed by
+//! [`crate::query::EclipseEngine::eclipse_query`].
+
+use std::sync::Arc;
+
+use eclipse_exec::ThreadPool;
+
+use crate::algo::transform::SkylineBackend;
+use crate::query::Algorithm;
+
+/// Shared execution resources for query evaluation.
+#[derive(Clone, Debug)]
+pub struct ExecutionContext {
+    pool: Arc<ThreadPool>,
+}
+
+impl ExecutionContext {
+    /// A context over an explicit (possibly shared) pool.
+    pub fn new(pool: Arc<ThreadPool>) -> Self {
+        ExecutionContext { pool }
+    }
+
+    /// A context over a fresh private pool of exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutionContext::new(Arc::new(ThreadPool::with_threads(threads)))
+    }
+
+    /// A context that never parallelises (one-thread pool); useful to pin
+    /// down serial behaviour regardless of `ECLIPSE_THREADS`.
+    pub fn serial() -> Self {
+        ExecutionContext::with_threads(1)
+    }
+
+    /// The thread pool backing this context.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Number of execution lanes.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl Default for ExecutionContext {
+    /// The process-wide shared pool (`ECLIPSE_THREADS` / hardware sized).
+    fn default() -> Self {
+        ExecutionContext::new(ThreadPool::global())
+    }
+}
+
+/// Per-query knobs consumed by
+/// [`EclipseEngine::eclipse_query`](crate::query::EclipseEngine::eclipse_query).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Which eclipse algorithm answers the query.
+    pub algorithm: Algorithm,
+    /// Which skyline backend finishes the transformation-based algorithm
+    /// (ignored by the baseline and index algorithms).
+    pub backend: SkylineBackend,
+}
+
+impl QueryOptions {
+    /// Options selecting an explicit algorithm, default backend.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        QueryOptions {
+            algorithm,
+            ..QueryOptions::default()
+        }
+    }
+
+    /// Options selecting the transformation-based algorithm with an explicit
+    /// skyline backend.
+    pub fn transform(backend: SkylineBackend) -> Self {
+        QueryOptions {
+            algorithm: Algorithm::Transform,
+            backend,
+        }
+    }
+
+    /// Options routing TRAN through the parallel divide-and-conquer backend
+    /// — the widest configuration for large datasets.
+    pub fn parallel() -> Self {
+        QueryOptions::transform(SkylineBackend::ParallelDivideConquer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_constructors() {
+        assert_eq!(ExecutionContext::serial().threads(), 1);
+        assert_eq!(ExecutionContext::with_threads(3).threads(), 3);
+        assert!(ExecutionContext::default().threads() >= 1);
+        let pool = Arc::new(ThreadPool::with_threads(2));
+        let ctx = ExecutionContext::new(pool.clone());
+        assert!(Arc::ptr_eq(ctx.pool(), &pool));
+        let cloned = ctx.clone();
+        assert!(Arc::ptr_eq(cloned.pool(), &pool), "{cloned:?}");
+    }
+
+    #[test]
+    fn query_options_shortcuts() {
+        let defaults = QueryOptions::default();
+        assert_eq!(defaults.algorithm, Algorithm::Auto);
+        assert_eq!(defaults.backend, SkylineBackend::Auto);
+        let explicit = QueryOptions::with_algorithm(Algorithm::Baseline);
+        assert_eq!(explicit.algorithm, Algorithm::Baseline);
+        assert_eq!(explicit.backend, SkylineBackend::Auto);
+        let par = QueryOptions::parallel();
+        assert_eq!(par.algorithm, Algorithm::Transform);
+        assert_eq!(par.backend, SkylineBackend::ParallelDivideConquer);
+        assert!(par.backend.is_parallel());
+    }
+}

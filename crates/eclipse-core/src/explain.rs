@@ -19,6 +19,7 @@ use eclipse_geom::point::Point;
 
 use crate::dominance::eclipse_dominates;
 use crate::error::{EclipseError, Result};
+use crate::exec::ExecutionContext;
 use crate::score::score_with_ratios;
 use crate::weights::WeightRatioBox;
 
@@ -33,6 +34,40 @@ pub fn dominators_of(points: &[Point], target: usize, ratio_box: &WeightRatioBox
     (0..points.len())
         .filter(|&j| j != target && eclipse_dominates(&points[j], &points[target], ratio_box))
         .collect()
+}
+
+/// Datasets below this size are scanned serially even with a wide context.
+const PARALLEL_SCAN_CUTOFF: usize = 4096;
+
+/// [`dominators_of`] with the dominance scan fanned out over the execution
+/// context's pool (chunked, order preserving — the result is identical to
+/// the serial scan).
+///
+/// # Panics
+/// Panics if `target` is out of range.
+pub fn dominators_of_with(
+    points: &[Point],
+    target: usize,
+    ratio_box: &WeightRatioBox,
+    ctx: &ExecutionContext,
+) -> Vec<usize> {
+    assert!(target < points.len(), "target index out of range");
+    if ctx.threads() <= 1 || points.len() < PARALLEL_SCAN_CUTOFF {
+        return dominators_of(points, target, ratio_box);
+    }
+    let chunk = points.len().div_ceil(ctx.threads() * 4).max(1);
+    ctx.pool()
+        .par_chunks(points, chunk, |offset, block| {
+            block
+                .iter()
+                .enumerate()
+                .filter(|&(k, q)| {
+                    offset + k != target && eclipse_dominates(q, &points[target], ratio_box)
+                })
+                .map(|(k, _)| offset + k)
+                .collect::<Vec<usize>>()
+        })
+        .concat()
 }
 
 /// One maximal sub-interval of the query ratio range with a constant 1NN
@@ -58,6 +93,19 @@ pub struct WinnerInterval {
 pub fn winner_intervals_2d(
     points: &[Point],
     ratio_box: &WeightRatioBox,
+) -> Result<Vec<WinnerInterval>> {
+    winner_intervals_2d_with(points, ratio_box, &ExecutionContext::default())
+}
+
+/// [`winner_intervals_2d`] with an explicit execution context for the
+/// underlying eclipse computation.
+///
+/// # Errors
+/// Same as [`winner_intervals_2d`].
+pub fn winner_intervals_2d_with(
+    points: &[Point],
+    ratio_box: &WeightRatioBox,
+    ctx: &ExecutionContext,
 ) -> Result<Vec<WinnerInterval>> {
     if points.is_empty() {
         return Err(EclipseError::EmptyDataset);
@@ -87,10 +135,11 @@ pub fn winner_intervals_2d(
     // Candidate winners are the eclipse points of the range; their dual-line
     // intersections inside the range are the only places the winner can
     // change.
-    let eclipse = crate::algo::transform::eclipse_transform(
+    let eclipse = crate::algo::transform::eclipse_transform_with(
         points,
         ratio_box,
         crate::algo::transform::SkylineBackend::Auto,
+        ctx,
     )?;
     let lines: Vec<DualLine> = eclipse
         .iter()
@@ -206,6 +255,25 @@ mod tests {
         // large ones.
         assert_eq!(intervals.first().unwrap().winner, 2);
         assert_eq!(intervals.last().unwrap().winner, 0);
+    }
+
+    #[test]
+    fn parallel_dominator_scan_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(213);
+        // Above the parallel cutoff so the chunked scan actually engages.
+        let pts: Vec<Point> = (0..5000)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let ctx = ExecutionContext::with_threads(4);
+        for target in [0usize, 17, 4999] {
+            assert_eq!(
+                dominators_of_with(&pts, target, &b, &ctx),
+                dominators_of(&pts, target, &b),
+                "target {target}"
+            );
+        }
     }
 
     #[test]

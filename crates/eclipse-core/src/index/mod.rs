@@ -31,4 +31,4 @@ pub mod dual2d;
 pub mod ndim;
 
 pub use dual2d::OrderVectorIndex2d;
-pub use ndim::{EclipseIndex, IndexConfig, IntersectionIndexKind};
+pub use ndim::{EclipseIndex, IndexConfig, IntersectionIndexKind, ProbeScratch};

@@ -33,6 +33,7 @@ use eclipse_geom::point::{BoundingBox, Point};
 use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig};
 
 use crate::error::{EclipseError, Result};
+use crate::exec::ExecutionContext;
 use crate::score::score_with_ratios;
 use crate::weights::WeightRatioBox;
 
@@ -90,6 +91,32 @@ enum Backend {
     Cutting(CuttingTree),
 }
 
+/// Reusable buffers for the query (probe) path.
+///
+/// One eclipse query scores all `u` skyline points, ranks them and replays
+/// the candidate pairs; with a fresh scratch every probe that is four
+/// allocations per query.  Callers answering many queries (servers, the
+/// bench harness) keep one `ProbeScratch` per thread and pass it to
+/// [`EclipseIndex::query_with_scratch`] so the buffers are allocated once
+/// and reused at their high-water capacity.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeScratch {
+    /// Scores of the skyline points at the query's lower corner.
+    scores: Vec<f64>,
+    /// The same scores, sorted, for rank computation.
+    sorted: Vec<f64>,
+    /// Dominator counts (the Order Vector).
+    ov: Vec<i64>,
+}
+
+impl ProbeScratch {
+    /// A scratch with empty buffers (they grow to the index size on first
+    /// use).
+    pub fn new() -> Self {
+        ProbeScratch::default()
+    }
+}
+
 /// Index-based eclipse query engine over a fixed dataset.
 #[derive(Clone, Debug)]
 pub struct EclipseIndex {
@@ -108,13 +135,30 @@ pub struct EclipseIndex {
 }
 
 impl EclipseIndex {
-    /// Builds the index over `points` with the given configuration.
+    /// Builds the index over `points` with the given configuration, using
+    /// the process-wide default execution context for the parallel phases.
     ///
     /// # Errors
     /// * [`EclipseError::EmptyDataset`] for an empty dataset.
     /// * [`EclipseError::DimensionMismatch`] for mixed dimensionalities.
     /// * [`EclipseError::Unsupported`] for 1-dimensional points.
     pub fn build(points: &[Point], config: IndexConfig) -> Result<Self> {
+        Self::build_with(points, config, &ExecutionContext::default())
+    }
+
+    /// [`EclipseIndex::build`] with an explicit execution context: the
+    /// skyline pass runs on the parallel divide-and-conquer executor and the
+    /// `C(u, 2)` score-difference hyperplanes are constructed row-parallel.
+    /// Both phases are deterministic, so the built index is identical to the
+    /// serial one.
+    ///
+    /// # Errors
+    /// Same as [`EclipseIndex::build`].
+    pub fn build_with(
+        points: &[Point],
+        config: IndexConfig,
+        ctx: &ExecutionContext,
+    ) -> Result<Self> {
         let Some(first) = points.first() else {
             return Err(EclipseError::EmptyDataset);
         };
@@ -133,21 +177,43 @@ impl EclipseIndex {
             }
         }
 
-        // 1. Skyline points.
-        let skyline_ids = eclipse_skyline::dc::skyline_dc(points);
+        // 1. Skyline points (forked divide step when the context has lanes).
+        let skyline_ids = eclipse_skyline::dc::skyline_dc_parallel(points, ctx.pool());
         let skyline_points: Vec<Point> = skyline_ids.iter().map(|&i| points[i].clone()).collect();
         let u = skyline_points.len();
 
-        // 2. Intersection hyperplanes for every pair.
+        // 2. Intersection hyperplanes for every pair, row-parallel over `a`
+        // (results are concatenated in row order, so the pair layout is
+        // byte-identical to the serial double loop).
         let mut pairs = Vec::with_capacity(u * u.saturating_sub(1) / 2);
         let mut hyperplanes = Vec::with_capacity(pairs.capacity());
-        for a in 0..u {
-            for b in a + 1..u {
-                pairs.push((a as u32, b as u32));
-                hyperplanes.push(score_difference_hyperplane(
-                    &skyline_points[a],
-                    &skyline_points[b],
-                ));
+        if ctx.threads() > 1 && u >= 128 {
+            let rows: Vec<usize> = (0..u).collect();
+            let built = ctx.pool().par_map(&rows, |&a| {
+                let mut row_pairs = Vec::with_capacity(u - a - 1);
+                let mut row_planes = Vec::with_capacity(u - a - 1);
+                for b in a + 1..u {
+                    row_pairs.push((a as u32, b as u32));
+                    row_planes.push(score_difference_hyperplane(
+                        &skyline_points[a],
+                        &skyline_points[b],
+                    ));
+                }
+                (row_pairs, row_planes)
+            });
+            for (row_pairs, row_planes) in built {
+                pairs.extend(row_pairs);
+                hyperplanes.extend(row_planes);
+            }
+        } else {
+            for a in 0..u {
+                for b in a + 1..u {
+                    pairs.push((a as u32, b as u32));
+                    hyperplanes.push(score_difference_hyperplane(
+                        &skyline_points[a],
+                        &skyline_points[b],
+                    ));
+                }
             }
         }
 
@@ -228,6 +294,20 @@ impl EclipseIndex {
     /// * [`EclipseError::Unsupported`] when a ratio range is unbounded (route
     ///   the skyline instantiation through [`crate::query::EclipseEngine`]).
     pub fn query(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        self.query_with_scratch(ratio_box, &mut ProbeScratch::new())
+    }
+
+    /// [`EclipseIndex::query`] with caller-provided scratch buffers, the
+    /// allocation-free flavour for repeated probing (the buffers are reused
+    /// at their high-water capacity across queries).
+    ///
+    /// # Errors
+    /// Same as [`EclipseIndex::query`].
+    pub fn query_with_scratch(
+        &self,
+        ratio_box: &WeightRatioBox,
+        scratch: &mut ProbeScratch,
+    ) -> Result<Vec<usize>> {
         if ratio_box.dim() != self.dim {
             return Err(EclipseError::DimensionMismatch {
                 expected: self.dim,
@@ -237,8 +317,9 @@ impl EclipseIndex {
         let qbox = ratio_box.as_bounding_box()?;
         let candidates = self.candidate_pairs(&qbox);
         let lower = ratio_box.lower_corner();
-        let ov = self.replay(&lower, &qbox, &candidates);
-        let mut out: Vec<usize> = ov
+        self.replay(&lower, &qbox, &candidates, scratch);
+        let mut out: Vec<usize> = scratch
+            .ov
             .iter()
             .enumerate()
             .filter(|(_, &count)| count == 0)
@@ -264,23 +345,35 @@ impl EclipseIndex {
         }
     }
 
-    /// Computes the final dominator count of every skyline point: the initial
-    /// order vector at the lower corner, adjusted exactly for every candidate
-    /// pair.
-    fn replay(&self, lower: &[f64], qbox: &BoundingBox, candidates: &[usize]) -> Vec<i64> {
+    /// Computes the final dominator count of every skyline point into
+    /// `scratch.ov`: the initial order vector at the lower corner, adjusted
+    /// exactly for every candidate pair.
+    fn replay(
+        &self,
+        lower: &[f64],
+        qbox: &BoundingBox,
+        candidates: &[usize],
+        scratch: &mut ProbeScratch,
+    ) {
         // Initial order vector: how many points score strictly lower at the
-        // lower corner.
-        let scores: Vec<f64> = self
-            .skyline_points
-            .iter()
-            .map(|p| score_with_ratios(p, lower))
-            .collect();
-        let mut sorted = scores.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let mut ov: Vec<i64> = scores
-            .iter()
-            .map(|&s| sorted.partition_point(|&v| v + EPS < s) as i64)
-            .collect();
+        // lower corner.  All three buffers are reused across probes.
+        scratch.scores.clear();
+        scratch.scores.extend(
+            self.skyline_points
+                .iter()
+                .map(|p| score_with_ratios(p, lower)),
+        );
+        scratch.sorted.clear();
+        scratch.sorted.extend_from_slice(&scratch.scores);
+        scratch.sorted.sort_by(|a, b| a.total_cmp(b));
+        let (scores, sorted) = (&scratch.scores, &scratch.sorted);
+        scratch.ov.clear();
+        scratch.ov.extend(
+            scores
+                .iter()
+                .map(|&s| sorted.partition_point(|&v| v + EPS < s) as i64),
+        );
+        let ov = &mut scratch.ov;
 
         // Exact adjustment for every pair whose order may change in the box.
         for &ci in candidates {
@@ -306,7 +399,6 @@ impl EclipseIndex {
                 _ => {}
             }
         }
-        ov
     }
 }
 
@@ -467,6 +559,36 @@ mod tests {
                     cfg.kind
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_and_parallel_build_match_plain_query() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let serial = EclipseIndex::build_with(
+            &pts,
+            IndexConfig::default(),
+            &crate::exec::ExecutionContext::serial(),
+        )
+        .unwrap();
+        let parallel = EclipseIndex::build_with(
+            &pts,
+            IndexConfig::default(),
+            &crate::exec::ExecutionContext::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(serial.skyline_ids(), parallel.skyline_ids());
+        assert_eq!(serial.num_intersections(), parallel.num_intersections());
+        let mut scratch = ProbeScratch::new();
+        for (lo, hi) in [(0.2, 0.8), (0.36, 2.75), (0.9, 1.1)] {
+            let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+            let plain = serial.query(&b).unwrap();
+            assert_eq!(serial.query_with_scratch(&b, &mut scratch).unwrap(), plain);
+            assert_eq!(parallel.query(&b).unwrap(), plain);
+            assert_eq!(plain, eclipse_baseline(&pts, &b).unwrap());
         }
     }
 

@@ -22,6 +22,10 @@
 //!   ratio ranges, weight ranges, categorical importance levels),
 //! * [`relations`] — relationships between eclipse, 1NN, convex hull and
 //!   skyline (Table I / Fig. 4),
+//! * [`exec`] — the execution layer: [`exec::ExecutionContext`] (a shared
+//!   [`eclipse_exec::ThreadPool`] behind an `Arc`) and per-query
+//!   [`exec::QueryOptions`]; parallel skyline backends, the TRAN mapping,
+//!   index construction and explanations all fan out over it,
 //! * [`query`] — a high-level [`query::EclipseEngine`] facade that owns a
 //!   dataset, builds indexes lazily and dispatches to the best algorithm.
 //!
@@ -57,6 +61,7 @@
 pub mod algo;
 pub mod dominance;
 pub mod error;
+pub mod exec;
 pub mod explain;
 pub mod index;
 pub mod prefs;
@@ -66,6 +71,7 @@ pub mod score;
 pub mod weights;
 
 pub use error::{EclipseError, Result};
+pub use exec::{ExecutionContext, QueryOptions};
 pub use query::EclipseEngine;
 pub use weights::{RatioRange, WeightRatioBox};
 

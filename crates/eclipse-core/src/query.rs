@@ -12,9 +12,11 @@ use eclipse_geom::point::Point;
 use eclipse_skyline::knn::{knn_linear_scan, ratio_to_weights, Neighbor};
 
 use crate::algo::baseline::eclipse_baseline;
-use crate::algo::transform::{eclipse_transform, SkylineBackend};
+use crate::algo::transform::{eclipse_transform_with, run_skyline, SkylineBackend};
 use crate::dominance::eclipse_naive;
 use crate::error::{EclipseError, Result};
+use crate::exec::{ExecutionContext, QueryOptions};
+use crate::explain::{dominators_of_with, winner_intervals_2d_with, WinnerInterval};
 use crate::index::{EclipseIndex, IndexConfig, IntersectionIndexKind};
 use crate::prefs::PreferenceSpec;
 use crate::relations::RelationReport;
@@ -46,6 +48,7 @@ pub struct EclipseEngine {
     quad_index: RwLock<Option<Arc<EclipseIndex>>>,
     cutting_index: RwLock<Option<Arc<EclipseIndex>>>,
     index_config: IndexConfig,
+    exec: ExecutionContext,
 }
 
 impl EclipseEngine {
@@ -87,7 +90,22 @@ impl EclipseEngine {
             quad_index: RwLock::new(None),
             cutting_index: RwLock::new(None),
             index_config,
+            exec: ExecutionContext::default(),
         })
+    }
+
+    /// Replaces the engine's execution context (builder style): the thread
+    /// pool used by parallel skyline backends, index construction and
+    /// explanations.  Contexts are `Arc`-backed, so many engines can share
+    /// one pool.
+    pub fn with_execution_context(mut self, exec: ExecutionContext) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The engine's execution context.
+    pub fn execution_context(&self) -> &ExecutionContext {
+        &self.exec
     }
 
     /// Number of points in the dataset.
@@ -125,7 +143,7 @@ impl EclipseEngine {
         }
         let mut config = self.index_config;
         config.kind = kind;
-        let built = Arc::new(EclipseIndex::build(&self.points, config)?);
+        let built = Arc::new(EclipseIndex::build_with(&self.points, config, &self.exec)?);
         *slot.write().expect("index lock poisoned") = Some(built.clone());
         Ok(built)
     }
@@ -138,7 +156,8 @@ impl EclipseEngine {
         self.eclipse_with(ratio_box, Algorithm::Auto)
     }
 
-    /// Answers an eclipse query with an explicit algorithm.
+    /// Answers an eclipse query with an explicit algorithm (and the default
+    /// skyline backend).
     ///
     /// # Errors
     /// Propagates validation errors; explicitly chosen algorithms that cannot
@@ -148,16 +167,31 @@ impl EclipseEngine {
         ratio_box: &WeightRatioBox,
         algorithm: Algorithm,
     ) -> Result<Vec<usize>> {
+        self.eclipse_query(ratio_box, &QueryOptions::with_algorithm(algorithm))
+    }
+
+    /// Answers an eclipse query with full per-query control: algorithm and
+    /// skyline-backend selection from `options`, parallelism from the
+    /// engine's [`ExecutionContext`].
+    ///
+    /// # Errors
+    /// Propagates validation errors; explicitly chosen algorithms that cannot
+    /// handle unbounded ranges surface [`EclipseError::Unsupported`].
+    pub fn eclipse_query(
+        &self,
+        ratio_box: &WeightRatioBox,
+        options: &QueryOptions,
+    ) -> Result<Vec<usize>> {
         if ratio_box.dim() != self.dim {
             return Err(EclipseError::DimensionMismatch {
                 expected: self.dim,
                 found: ratio_box.dim(),
             });
         }
-        match algorithm {
+        match options.algorithm {
             Algorithm::Baseline => eclipse_baseline(&self.points, ratio_box),
             Algorithm::Transform => {
-                eclipse_transform(&self.points, ratio_box, SkylineBackend::Auto)
+                eclipse_transform_with(&self.points, ratio_box, options.backend, &self.exec)
             }
             Algorithm::IndexQuadtree => self
                 .build_index(IntersectionIndexKind::Quadtree)?
@@ -165,11 +199,15 @@ impl EclipseEngine {
             Algorithm::IndexCuttingTree => self
                 .build_index(IntersectionIndexKind::CuttingTree)?
                 .query(ratio_box),
-            Algorithm::Auto => self.eclipse_auto(ratio_box),
+            Algorithm::Auto => self.eclipse_auto(ratio_box, options.backend),
         }
     }
 
-    fn eclipse_auto(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+    fn eclipse_auto(
+        &self,
+        ratio_box: &WeightRatioBox,
+        backend: SkylineBackend,
+    ) -> Result<Vec<usize>> {
         // Pure skyline instantiation: use the skyline substrate directly.
         if ratio_box.is_skyline() {
             return Ok(self.skyline());
@@ -191,7 +229,7 @@ impl EclipseEngine {
         {
             return idx.query(ratio_box);
         }
-        eclipse_transform(&self.points, ratio_box, SkylineBackend::Auto)
+        eclipse_transform_with(&self.points, ratio_box, backend, &self.exec)
     }
 
     /// Eclipse query returning the points themselves instead of indices.
@@ -255,9 +293,58 @@ impl EclipseEngine {
         crate::algo::keclipse::eclipse_with_budget(&self.points, ratio_box, k)
     }
 
-    /// The skyline of the dataset (indices, ascending).
+    /// The skyline of the dataset (indices, ascending), computed with the
+    /// divide-and-conquer algorithm; the divide step forks on the engine's
+    /// execution context when it has more than one lane (results are
+    /// identical at every thread count).
     pub fn skyline(&self) -> Vec<usize> {
-        eclipse_skyline::dc::skyline_dc(&self.points)
+        eclipse_skyline::dc::skyline_dc_parallel(&self.points, self.exec.pool())
+    }
+
+    /// The skyline of the dataset computed with an explicit backend, running
+    /// on the engine's execution context.  [`SkylineBackend::Auto`] picks the
+    /// 2-D sweep for planar data and sort-filter otherwise.
+    pub fn skyline_with(&self, backend: SkylineBackend) -> Vec<usize> {
+        run_skyline(&self.points, backend, &self.exec)
+    }
+
+    /// Explains why `target` is (or is not) in the eclipse result: the
+    /// indices of the points eclipse-dominating it (empty exactly when
+    /// `target` is an eclipse point).  The dominance scan fans out over the
+    /// engine's execution context on large datasets.
+    ///
+    /// # Errors
+    /// [`EclipseError::DimensionMismatch`] for a mismatched box,
+    /// [`EclipseError::Unsupported`] for an out-of-range `target`.
+    pub fn explain(&self, target: usize, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
+        if ratio_box.dim() != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: ratio_box.dim(),
+            });
+        }
+        if target >= self.points.len() {
+            return Err(EclipseError::Unsupported(format!(
+                "explain target {target} out of range for {} points",
+                self.points.len()
+            )));
+        }
+        Ok(dominators_of_with(
+            &self.points,
+            target,
+            ratio_box,
+            &self.exec,
+        ))
+    }
+
+    /// For 2-D data: the partition of the query ratio range into maximal
+    /// sub-intervals with a constant 1NN winner (see
+    /// [`crate::explain::winner_intervals_2d`]).
+    ///
+    /// # Errors
+    /// Propagates the validation errors of the underlying computation.
+    pub fn winner_intervals(&self, ratio_box: &WeightRatioBox) -> Result<Vec<WinnerInterval>> {
+        winner_intervals_2d_with(&self.points, ratio_box, &self.exec)
     }
 
     /// The convex-hull-query points of the dataset (origin's view).
@@ -495,6 +582,65 @@ mod tests {
         ] {
             assert_eq!(e.eclipse_with(&b, alg).unwrap(), baseline, "{alg:?}");
         }
+    }
+
+    #[test]
+    fn eclipse_query_options_and_contexts_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+        let pts: Vec<Point> = (0..2000)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        let serial = EclipseEngine::new(pts.clone())
+            .unwrap()
+            .with_execution_context(ExecutionContext::serial());
+        let wide = EclipseEngine::new(pts)
+            .unwrap()
+            .with_execution_context(ExecutionContext::with_threads(4));
+        assert_eq!(serial.execution_context().threads(), 1);
+        assert_eq!(wide.execution_context().threads(), 4);
+        let expected = serial.eclipse(&b).unwrap();
+        for backend in [
+            SkylineBackend::Auto,
+            SkylineBackend::SortFilter,
+            SkylineBackend::ParallelBlockNestedLoop,
+            SkylineBackend::ParallelSortFilter,
+            SkylineBackend::ParallelDivideConquer,
+        ] {
+            let opts = QueryOptions::transform(backend);
+            assert_eq!(serial.eclipse_query(&b, &opts).unwrap(), expected);
+            assert_eq!(wide.eclipse_query(&b, &opts).unwrap(), expected);
+        }
+        assert_eq!(
+            wide.eclipse_query(&b, &QueryOptions::parallel()).unwrap(),
+            expected
+        );
+        // The skyline itself is context-invariant too, for every backend.
+        let sky = serial.skyline();
+        assert_eq!(wide.skyline(), sky);
+        for backend in [
+            SkylineBackend::BlockNestedLoop,
+            SkylineBackend::DivideConquer,
+            SkylineBackend::ParallelDivideConquer,
+            SkylineBackend::ParallelSortFilter,
+        ] {
+            assert_eq!(wide.skyline_with(backend), sky, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn explain_and_winner_intervals_through_the_engine() {
+        let e = paper_engine();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(e.explain(0, &b).unwrap(), Vec::<usize>::new());
+        assert_eq!(e.explain(3, &b).unwrap(), vec![0, 1, 2]);
+        assert!(e.explain(7, &b).is_err());
+        assert!(e
+            .explain(0, &WeightRatioBox::uniform(3, 0.5, 1.0).unwrap())
+            .is_err());
+        let intervals = e.winner_intervals(&b).unwrap();
+        assert_eq!(intervals.first().unwrap().winner, 2);
+        assert_eq!(intervals.last().unwrap().winner, 0);
     }
 
     #[test]

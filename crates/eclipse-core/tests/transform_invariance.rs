@@ -1,0 +1,92 @@
+//! Property suite: `eclipse_transform` is invariant under skyline-backend
+//! and thread-count choice — every (backend, threads) pair returns exactly
+//! the indices the default serial configuration returns, which in turn match
+//! the brute-force eclipse oracle.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use eclipse_core::algo::transform::{eclipse_transform, eclipse_transform_with, SkylineBackend};
+use eclipse_core::dominance::eclipse_naive;
+use eclipse_core::exec::ExecutionContext;
+use eclipse_core::{Point, WeightRatioBox};
+
+const ALL_BACKENDS: [SkylineBackend; 7] = [
+    SkylineBackend::Auto,
+    SkylineBackend::BlockNestedLoop,
+    SkylineBackend::SortFilter,
+    SkylineBackend::DivideConquer,
+    SkylineBackend::ParallelBlockNestedLoop,
+    SkylineBackend::ParallelSortFilter,
+    SkylineBackend::ParallelDivideConquer,
+];
+
+fn random_points(seed: u64, n: usize, d: usize, grid: bool) -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                (0..d)
+                    .map(|_| {
+                        if grid {
+                            rng.gen_range(0..5) as f64
+                        } else {
+                            rng.gen_range(0.0..1.0)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Backend and thread count are invisible in the result, and the result
+    /// is the true eclipse set.
+    #[test]
+    fn transform_is_invariant_under_backend_and_threads(
+        seed in 0u64..100_000,
+        n in 0usize..150,
+        d in 2usize..5,
+        lo in 0.05f64..1.0,
+        width in 0.1f64..3.0,
+        grid in 0u8..2,
+    ) {
+        let pts = random_points(seed, n, d, grid == 1);
+        let b = WeightRatioBox::uniform(d, lo, lo + width).unwrap();
+        let reference = eclipse_transform(&pts, &b, SkylineBackend::Auto).unwrap();
+        prop_assert_eq!(&reference, &eclipse_naive(&pts, &b), "oracle mismatch");
+        for threads in [1usize, 2, 4] {
+            let ctx = ExecutionContext::with_threads(threads);
+            for backend in ALL_BACKENDS {
+                prop_assert_eq!(
+                    eclipse_transform_with(&pts, &b, backend, &ctx).unwrap(),
+                    reference.clone(),
+                    "{:?} at {} threads (seed={}, n={}, d={})",
+                    backend, threads, seed, n, d
+                );
+            }
+        }
+    }
+}
+
+/// Above the parallel mapping cutoff, so the fanned-out corner mapping and
+/// the parallel skyline phase are both genuinely exercised.
+#[test]
+fn transform_invariance_on_a_large_dataset() {
+    let pts = random_points(11, 5000, 4, false);
+    let b = WeightRatioBox::uniform(4, 0.36, 2.75).unwrap();
+    let reference = eclipse_transform(&pts, &b, SkylineBackend::SortFilter).unwrap();
+    for threads in [2usize, 4, 8] {
+        let ctx = ExecutionContext::with_threads(threads);
+        for backend in ALL_BACKENDS {
+            assert_eq!(
+                eclipse_transform_with(&pts, &b, backend, &ctx).unwrap(),
+                reference,
+                "{backend:?} at {threads} threads"
+            );
+        }
+    }
+}

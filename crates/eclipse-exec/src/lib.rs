@@ -1,0 +1,210 @@
+//! `eclipse-exec` — the parallel execution substrate of the eclipse
+//! workspace: a std-only scoped work-stealing thread pool.
+//!
+//! The TRAN algorithm of the paper reduces an eclipse query to a skyline
+//! computation whose backends (BNL / SFS / divide-and-conquer) are
+//! embarrassingly parallel.  This crate supplies the runtime those parallel
+//! backends share — with **no crates.io dependencies and no `unsafe`**:
+//!
+//! * [`ThreadPool`] — the pool: a sizing policy (builder, `ECLIPSE_THREADS`,
+//!   hardware count) plus a fork budget, shared via `Arc`;
+//! * [`ThreadPool::scope`] — scoped task execution over per-worker
+//!   work-stealing deques; tasks may borrow from the caller's stack;
+//! * [`ThreadPool::par_map`] / [`ThreadPool::par_chunks`] — chunked
+//!   order-preserving data parallelism;
+//! * [`ThreadPool::join`] — budgeted fork-join for recursive
+//!   divide-and-conquer;
+//! * panic propagation everywhere: a panic inside a task or branch is
+//!   re-raised on the calling thread, exactly like serial code.
+//!
+//! Sizing: [`ThreadPool::new`] honours the `ECLIPSE_THREADS` environment
+//! variable (a positive integer) and otherwise uses the hardware parallelism;
+//! [`ThreadPoolBuilder::num_threads`] pins the count programmatically.  A
+//! 1-thread pool runs everything inline, so callers need no serial special
+//! case.
+//!
+//! # Example
+//!
+//! ```
+//! use eclipse_exec::ThreadPool;
+//!
+//! let pool = ThreadPool::with_threads(4);
+//!
+//! // Chunked data parallelism, order preserving.
+//! let squares = pool.par_map(&[1, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//!
+//! // Budgeted fork-join for divide-and-conquer.
+//! fn sum(pool: &ThreadPool, xs: &[u64]) -> u64 {
+//!     if xs.len() <= 2 {
+//!         return xs.iter().sum();
+//!     }
+//!     let (lo, hi) = xs.split_at(xs.len() / 2);
+//!     let (a, b) = pool.join(|| sum(pool, lo), || sum(pool, hi));
+//!     a + b
+//! }
+//! assert_eq!(sum(&pool, &[1, 2, 3, 4, 5, 6]), 21);
+//!
+//! // Scoped tasks may borrow from the stack.
+//! let data = vec![10, 20, 30];
+//! let total = std::sync::atomic::AtomicU64::new(0);
+//! pool.scope(|s| {
+//!     for &x in &data {
+//!         let total = &total;
+//!         s.spawn(move || {
+//!             total.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+//!         });
+//!     }
+//! });
+//! assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod pool;
+mod scope;
+
+pub use pool::{default_threads, ThreadPool, ThreadPoolBuilder, THREADS_ENV};
+pub use scope::Scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn builder_and_env_sizing() {
+        assert_eq!(ThreadPool::with_threads(0).threads(), 1);
+        assert_eq!(ThreadPool::with_threads(3).threads(), 3);
+        assert_eq!(ThreadPoolBuilder::new().num_threads(2).build().threads(), 2);
+        assert!(ThreadPool::new().threads() >= 1);
+        assert!(Arc::ptr_eq(&ThreadPool::global(), &ThreadPool::global()));
+        // The env parser: positive integers only, everything else falls back.
+        assert_eq!(pool::parse_threads(Some("4")), Some(4));
+        assert_eq!(pool::parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(pool::parse_threads(Some("0")), None);
+        assert_eq!(pool::parse_threads(Some("-2")), None);
+        assert_eq!(pool::parse_threads(Some("many")), None);
+        assert_eq!(pool::parse_threads(Some("")), None);
+        assert_eq!(pool::parse_threads(None), None);
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(pool.par_map(&items, |&x| x * 3 + 1), expected, "{threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        let pool = ThreadPool::with_threads(4);
+        assert_eq!(pool.par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(pool.par_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_reports_offsets_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::with_threads(threads);
+            let chunks = pool.par_chunks(&items, 10, |offset, chunk| (offset, chunk.len()));
+            assert_eq!(chunks.len(), 11);
+            for (i, &(offset, len)) in chunks.iter().enumerate() {
+                assert_eq!(offset, i * 10);
+                assert_eq!(len, if i == 10 { 3 } else { 10 });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length must be positive")]
+    fn par_chunks_rejects_zero_chunks() {
+        let _ = ThreadPool::with_threads(2).par_chunks(&[1], 0, |_, c| c.len());
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        let pool = ThreadPool::with_threads(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..500 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn join_computes_both_sides_recursively() {
+        fn fib(pool: &ThreadPool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(fib(&pool, 16), 987, "{threads}");
+        }
+        // The fork budget is fully released afterwards.
+        let pool = ThreadPool::with_threads(4);
+        let _ = fib(&pool, 12);
+        assert!(format!("{pool:?}").contains("forks_in_flight: 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "task boom")]
+    fn scope_propagates_task_panics() {
+        let pool = ThreadPool::with_threads(4);
+        pool.scope(|s| {
+            s.spawn(|| panic!("task boom"));
+            for _ in 0..50 {
+                s.spawn(|| {
+                    std::hint::black_box(1 + 1);
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "branch boom")]
+    fn join_propagates_branch_panics() {
+        let pool = ThreadPool::with_threads(2);
+        let _ = pool.join(|| panic!("branch boom"), || 42);
+    }
+
+    #[test]
+    fn join_releases_lease_after_panic() {
+        let pool = ThreadPool::with_threads(2);
+        for _ in 0..3 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.join(|| panic!("boom"), || 1)
+            }));
+            assert!(caught.is_err());
+        }
+        // All leases returned: the next join can still fork.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert!(format!("{pool:?}").contains("forks_in_flight: 0"));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::with_threads(1);
+        let main_thread = std::thread::current().id();
+        let ids = pool.par_map(&[1, 2, 3], |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == main_thread));
+    }
+}

@@ -1,0 +1,263 @@
+//! [`ThreadPool`], its builder, and the data-parallel primitives.
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::scope::{Scope, Shared};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "ECLIPSE_THREADS";
+
+/// Parses a thread-count override; `None` for absent, empty, zero or
+/// unparsable values (the caller then falls back to the hardware count).
+pub(crate) fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Number of threads the environment / hardware suggests: `ECLIPSE_THREADS`
+/// when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 when unknown).
+pub fn default_threads() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Configures and builds a [`ThreadPool`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with every knob at its default.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fixes the worker count (clamped to at least 1), overriding both the
+    /// `ECLIPSE_THREADS` environment variable and the hardware count.
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> ThreadPool {
+        ThreadPool {
+            threads: self.num_threads.unwrap_or_else(default_threads),
+            forks: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A scoped work-stealing thread pool.
+///
+/// The pool is a sizing policy plus a fork budget; the actual workers are
+/// scoped threads spawned per operation (see the `scope` module source for
+/// why that is the safe std-only design).  A pool of 1 thread runs
+/// everything inline, so serial and parallel callers share one code path.
+///
+/// Cheap to share: wrap it in an [`Arc`] and clone the handle.
+pub struct ThreadPool {
+    threads: usize,
+    /// Fork-join branches currently parked on extra threads; bounded by
+    /// `threads - 1` so [`ThreadPool::join`] never oversubscribes.
+    forks: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// A pool sized by `ECLIPSE_THREADS` / the hardware (see
+    /// [`default_threads`]).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::new().build()
+    }
+
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ThreadPoolBuilder::new().num_threads(threads).build()
+    }
+
+    /// The process-wide shared pool, built once from the environment; this is
+    /// what execution contexts use unless told otherwise.
+    pub fn global() -> Arc<ThreadPool> {
+        static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(ThreadPool::new())).clone()
+    }
+
+    /// Number of concurrent execution lanes (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Opens a scope: `f` may spawn tasks borrowing from the caller's stack,
+    /// and the call returns once `f` and every spawned task have finished.
+    ///
+    /// Tasks are distributed over per-executor deques and work-stolen; the
+    /// calling thread helps drain them after `f` returns.  The first panic
+    /// raised by `f` or a task is re-raised here.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let shared: Shared<'env> = Shared::new(self.threads);
+        let result = std::thread::scope(|ts| {
+            for worker in 1..self.threads {
+                let shared = &shared;
+                ts.spawn(move || shared.run_worker(worker));
+            }
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&Scope::new(&shared))));
+            shared.drain(0);
+            shared.close();
+            result
+        });
+        shared.propagate_panic();
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Runs `a` and `b`, in parallel when a fork lease is available, and
+    /// returns both results.  Panics in either closure propagate.
+    ///
+    /// Designed for recursive divide-and-conquer: nested `join`s draw from
+    /// one shared budget of `threads - 1` leases, so recursion depth never
+    /// oversubscribes the machine and exhausted budgets degrade to plain
+    /// serial calls.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let Some(lease) = ForkLease::acquire(self) else {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        };
+        let out = std::thread::scope(|ts| {
+            let handle = ts.spawn(a);
+            let rb = b();
+            match handle.join() {
+                Ok(ra) => (ra, rb),
+                Err(payload) => resume_unwind(payload),
+            }
+        });
+        drop(lease);
+        out
+    }
+
+    /// Applies `f` to every element, in chunks distributed over the pool,
+    /// and returns the results in input order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let chunk_len = self.default_chunk_len(items.len());
+        let mut chunks = self.par_chunks(items, chunk_len, |_, chunk| {
+            chunk.iter().map(&f).collect::<Vec<U>>()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in &mut chunks {
+            out.append(chunk);
+        }
+        out
+    }
+
+    /// Applies `f` to consecutive chunks of `chunk_len` elements (the last
+    /// chunk may be shorter); `f` receives each chunk's offset into `items`.
+    /// Returns one result per chunk, in chunk order.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len` is zero.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], chunk_len: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        let num_chunks = items.len().div_ceil(chunk_len);
+        if self.threads == 1 || num_chunks <= 1 {
+            return items
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(i, chunk)| f(i * chunk_len, chunk))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<U>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (index, chunk) in items.chunks(chunk_len).enumerate() {
+                let f = &f;
+                let slot = &slots[index];
+                s.spawn(move || {
+                    let value = f(index * chunk_len, chunk);
+                    *slot.lock().expect("result slot poisoned") = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every chunk task completes before the scope ends")
+            })
+            .collect()
+    }
+
+    /// Chunk length targeting a few chunks per worker so stealing can
+    /// balance uneven work.
+    fn default_chunk_len(&self, len: usize) -> usize {
+        len.div_ceil(self.threads * 4).max(1)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new()
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("forks_in_flight", &self.forks.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// RAII lease on one fork-join branch; released even when a branch panics.
+struct ForkLease<'a> {
+    pool: &'a ThreadPool,
+}
+
+impl<'a> ForkLease<'a> {
+    fn acquire(pool: &'a ThreadPool) -> Option<Self> {
+        if pool.threads <= 1 {
+            return None;
+        }
+        pool.forks
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |forks| {
+                (forks < pool.threads - 1).then_some(forks + 1)
+            })
+            .ok()
+            .map(|_| ForkLease { pool })
+    }
+}
+
+impl Drop for ForkLease<'_> {
+    fn drop(&mut self) {
+        self.pool.forks.fetch_sub(1, Ordering::AcqRel);
+    }
+}

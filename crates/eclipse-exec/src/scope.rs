@@ -1,0 +1,221 @@
+//! The scoped work-stealing runtime behind [`ThreadPool::scope`].
+//!
+//! Every scope owns its shared state: one task deque per executor (the
+//! workers plus the thread that opened the scope), a pending-task counter and
+//! two condition variables.  Workers pop their own deque LIFO and steal from
+//! the other deques FIFO — the classic work-stealing discipline that keeps
+//! related tasks hot in cache while balancing load.  The scope owner runs the
+//! scope closure, then *helps*: it drains tasks alongside the workers until
+//! everything spawned has finished, so a pool of `t` threads really executes
+//! on `t` lanes.
+//!
+//! Workers are spawned with [`std::thread::scope`], which is what lets tasks
+//! borrow from the caller's stack frame without any `unsafe` (the whole
+//! workspace forbids it).  Spawning is therefore per-scope rather than
+//! per-pool; at the data sizes the skyline executors hand this runtime
+//! (tens of thousands of points and up) the microseconds of thread start-up
+//! are noise, and in exchange every borrow is checked by the compiler.
+//!
+//! Panic protocol: a panicking task is caught, its payload stored, and the
+//! first payload is re-raised on the scope-opening thread once the scope has
+//! fully drained — so a dimension-mismatch assert inside a parallel skyline
+//! surfaces exactly like its serial counterpart.
+//!
+//! [`ThreadPool::scope`]: crate::ThreadPool::scope
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A unit of work queued inside a scope.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// First panic payload raised by a task.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Coordination fields guarded by one mutex.
+struct Coord {
+    /// Bumped on every event a sleeping executor may care about (task push,
+    /// last completion, close); lets executors detect missed wake-ups
+    /// without spinning.
+    epoch: u64,
+    /// Set once the scope closure has returned and the owner has drained:
+    /// no further tasks can arrive, workers may exit.
+    closed: bool,
+}
+
+/// Shared state of one scope.
+pub(crate) struct Shared<'env> {
+    /// One deque per executor; executor `i` pushes and pops `queues[i]` from
+    /// the back and steals from every other queue's front.
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    /// Tasks spawned and not yet finished (queued or running).
+    pending: AtomicUsize,
+    /// Round-robin cursor distributing freshly spawned tasks over the deques.
+    cursor: AtomicUsize,
+    coord: Mutex<Coord>,
+    /// Workers sleep here when all deques are empty.
+    work: Condvar,
+    /// The scope owner sleeps here while it waits for in-flight tasks.
+    done: Condvar,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl<'env> Shared<'env> {
+    pub(crate) fn new(executors: usize) -> Self {
+        Shared {
+            queues: (0..executors.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            coord: Mutex::new(Coord {
+                epoch: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.coord
+            .lock()
+            .expect("scope coordination poisoned")
+            .epoch
+    }
+
+    /// Queues a task; callable only while the scope closure runs.
+    pub(crate) fn push(&self, task: Task<'env>) {
+        self.pending.fetch_add(1, Ordering::Release);
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot]
+            .lock()
+            .expect("scope queue poisoned")
+            .push_back(task);
+        let mut coord = self.coord.lock().expect("scope coordination poisoned");
+        coord.epoch += 1;
+        self.work.notify_one();
+    }
+
+    /// Takes one task: own deque from the back, every other from the front.
+    fn take(&self, me: usize) -> Option<Task<'env>> {
+        if let Some(task) = self.queues[me]
+            .lock()
+            .expect("scope queue poisoned")
+            .pop_back()
+        {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(task) = self.queues[victim]
+                .lock()
+                .expect("scope queue poisoned")
+                .pop_front()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Runs one task if any is queued; returns whether it did.
+    fn run_one(&self, me: usize) -> bool {
+        let Some(task) = self.take(me) else {
+            return false;
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+            slot.get_or_insert(payload);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut coord = self.coord.lock().expect("scope coordination poisoned");
+            coord.epoch += 1;
+            self.work.notify_all();
+            self.done.notify_all();
+        }
+        true
+    }
+
+    /// Worker loop: run tasks until the scope is closed and fully drained.
+    pub(crate) fn run_worker(&self, me: usize) {
+        loop {
+            let seen = self.epoch();
+            if self.run_one(me) {
+                continue;
+            }
+            let mut coord = self.coord.lock().expect("scope coordination poisoned");
+            if coord.closed && self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if coord.epoch == seen {
+                coord = self.work.wait(coord).expect("scope coordination poisoned");
+                drop(coord);
+            }
+        }
+    }
+
+    /// Owner loop: help run tasks until every spawned task has finished.
+    pub(crate) fn drain(&self, me: usize) {
+        loop {
+            let seen = self.epoch();
+            if self.run_one(me) {
+                continue;
+            }
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let coord = self.coord.lock().expect("scope coordination poisoned");
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if coord.epoch == seen {
+                drop(self.done.wait(coord).expect("scope coordination poisoned"));
+            }
+        }
+    }
+
+    /// Marks the scope closed so idle workers exit.
+    pub(crate) fn close(&self) {
+        let mut coord = self.coord.lock().expect("scope coordination poisoned");
+        coord.closed = true;
+        coord.epoch += 1;
+        self.work.notify_all();
+    }
+
+    /// Re-raises the first task panic, if any task panicked.
+    pub(crate) fn propagate_panic(&self) {
+        let payload = self.panic.lock().expect("scope panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Handle passed to the closure of [`ThreadPool::scope`]; spawns tasks that
+/// may borrow anything outliving the scope call.
+///
+/// [`ThreadPool::scope`]: crate::ThreadPool::scope
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: &'scope Shared<'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub(crate) fn new(shared: &'scope Shared<'env>) -> Self {
+        Scope { shared }
+    }
+
+    /// Queues `task` for execution on the scope's work-stealing deques.
+    ///
+    /// Tasks run in no particular order, possibly on the scope-opening
+    /// thread itself.  The scope call returns only after every spawned task
+    /// has finished; a panicking task is re-raised there.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.shared.push(Box::new(task));
+    }
+}

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use eclipse_exec::ThreadPool;
 use eclipse_geom::point::Point;
 
 use crate::dominance::skyline_naive;
@@ -32,10 +33,29 @@ use crate::sweep::skyline_2d;
 const SMALL_INPUT: usize = 48;
 /// Filter subproblems at or below this many pairs are handled brute-force.
 const SMALL_FILTER: usize = 512;
+/// Divide steps on subproblems above this size fork via the pool by default.
+pub(crate) const DEFAULT_FORK_CUTOFF: usize = 2048;
 
 /// Computes the skyline with the divide-and-conquer (ECDF) algorithm and
 /// returns the indices of the skyline points in ascending index order.
 pub fn skyline_dc(points: &[Point]) -> Vec<usize> {
+    skyline_dc_impl(points, None)
+}
+
+/// [`skyline_dc`] with the divide step forked onto `pool` (the two recursive
+/// halves run as fork-join branches while the pool has leases and the
+/// subproblem is large enough to amortise a fork).
+///
+/// The recursion is deterministic, so the result is *identical* to
+/// [`skyline_dc`] — same indices, same order — at every thread count.
+pub fn skyline_dc_parallel(points: &[Point], pool: &ThreadPool) -> Vec<usize> {
+    skyline_dc_impl(points, Some((pool, DEFAULT_FORK_CUTOFF)))
+}
+
+/// Shared entry: `par` carries the pool plus the minimum subproblem size
+/// worth forking (exposed crate-internally so the executor layer can lower
+/// the cutoff in tests).
+pub(crate) fn skyline_dc_impl(points: &[Point], par: Option<(&ThreadPool, usize)>) -> Vec<usize> {
     if points.is_empty() {
         return Vec::new();
     }
@@ -56,7 +76,13 @@ pub fn skyline_dc(points: &[Point]) -> Vec<usize> {
     reps.sort_unstable();
     let rep_points: Vec<Point> = reps.iter().map(|&i| points[i].clone()).collect();
 
-    let surviving = dc_recursive(&rep_points, &(0..rep_points.len()).collect::<Vec<_>>(), d);
+    let par = par.filter(|&(pool, _)| pool.threads() > 1);
+    let surviving = dc_recursive(
+        &rep_points,
+        &(0..rep_points.len()).collect::<Vec<_>>(),
+        d,
+        par,
+    );
 
     let mut out = Vec::new();
     for local in surviving {
@@ -74,8 +100,15 @@ pub fn skyline_dc(points: &[Point]) -> Vec<usize> {
 
 /// Recursively computes the skyline of the subset `ids` (indices into
 /// `points`, all unique coordinate vectors) considering the first `d`
-/// dimensions.  Returns surviving ids.
-fn dc_recursive(points: &[Point], ids: &[usize], d: usize) -> Vec<usize> {
+/// dimensions.  Returns surviving ids.  With `par` set, divide steps on
+/// subproblems above the fork cutoff run as fork-join branches on the pool;
+/// the recursion itself is pure, so forking cannot change the result.
+fn dc_recursive(
+    points: &[Point],
+    ids: &[usize],
+    d: usize,
+    par: Option<(&ThreadPool, usize)>,
+) -> Vec<usize> {
     if ids.len() <= 1 {
         return ids.to_vec();
     }
@@ -112,8 +145,16 @@ fn dc_recursive(points: &[Point], ids: &[usize], d: usize) -> Vec<usize> {
     let mid = order.len() / 2;
     let (low, high) = order.split_at(mid);
 
-    let sl = dc_recursive(points, low, d);
-    let sh = dc_recursive(points, high, d);
+    let (sl, sh) = match par {
+        Some((pool, cutoff)) if ids.len() > cutoff => pool.join(
+            || dc_recursive(points, low, d, par),
+            || dc_recursive(points, high, d, par),
+        ),
+        _ => (
+            dc_recursive(points, low, d, par),
+            dc_recursive(points, high, d, par),
+        ),
+    };
     // Every point of `low` has coord(d-1) <= every point of `high`; after
     // deduplication a point of `sh` is dominated (in d dims) by a point of
     // `sl` exactly when it is weakly dominated on the first d-1 dimensions.
@@ -355,5 +396,26 @@ mod tests {
     #[should_panic(expected = "same dimensionality")]
     fn rejects_mixed_dimensionality() {
         let _ = skyline_dc(&[p(&[1.0, 2.0]), p(&[1.0, 2.0, 3.0])]);
+    }
+
+    #[test]
+    fn forked_recursion_is_identical_to_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for d in [3usize, 4, 5] {
+            let pts: Vec<Point> = (0..4000)
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+                .collect();
+            let serial = skyline_dc(&pts);
+            for threads in [1usize, 2, 4] {
+                let pool = eclipse_exec::ThreadPool::with_threads(threads);
+                // Low cutoff so the fork path is exercised at this input size.
+                assert_eq!(
+                    skyline_dc_impl(&pts, Some((&pool, 64))),
+                    serial,
+                    "d = {d}, threads = {threads}"
+                );
+                assert_eq!(skyline_dc_parallel(&pts, &pool), serial);
+            }
+        }
     }
 }

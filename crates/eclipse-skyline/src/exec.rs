@@ -1,0 +1,341 @@
+//! Pluggable skyline executors — the primary skyline API of this crate.
+//!
+//! A [`SkylineExecutor`] bundles one skyline algorithm with one execution
+//! strategy behind a uniform object-safe call, so upper layers (the TRAN
+//! transformation, the `EclipseEngine`, the benchmarks) select *what* runs
+//! and *how wide* it runs with one value:
+//!
+//! * [`SerialBnl`] / [`SerialSfs`] / [`SerialDc`] — the single-threaded
+//!   algorithms, equivalent to the long-standing free functions
+//!   [`skyline_bnl`](crate::skyline_bnl), [`skyline_sfs`](crate::skyline_sfs)
+//!   and [`skyline_dc`](crate::skyline_dc) (which remain as thin
+//!   backwards-compatible wrappers);
+//! * [`ParallelBnl`] / [`ParallelSfs`] — partition the input over an
+//!   [`eclipse_exec::ThreadPool`], compute per-block local skylines, then
+//!   merge-filter the union of the local candidates (a point survives a
+//!   block exactly when nothing in that block dominates it, so the true
+//!   skyline is always a subset of the candidate union — the merge filter
+//!   makes the result exact);
+//! * [`ParallelDc`] — forks the divide step of the multidimensional
+//!   divide-and-conquer as budgeted fork-join branches.
+//!
+//! Every executor returns the **identical** ascending index set on the same
+//! input — duplicates, degenerate ties and all — at every thread count; the
+//! property suites in `tests/executor_properties.rs` enforce this against
+//! the brute-force oracle.  Small inputs fall back to the serial algorithm
+//! below a configurable cutoff, so a parallel executor is always safe to use
+//! unconditionally.
+
+use std::sync::Arc;
+
+use eclipse_exec::ThreadPool;
+use eclipse_geom::point::Point;
+
+use crate::{bnl, dc, sfs};
+
+/// A skyline computation strategy: algorithm plus execution width.
+///
+/// Implementations return the indices of the skyline points in ascending
+/// order and must agree exactly with
+/// [`skyline_naive`](crate::dominance::skyline_naive) on every input.
+pub trait SkylineExecutor: Send + Sync {
+    /// Short label for diagnostics, benchmarks and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes the skyline of `points`, indices ascending.
+    ///
+    /// # Panics
+    /// Panics if the points do not share one dimensionality (parallel
+    /// executors propagate the panic from their workers).
+    fn skyline(&self, points: &[Point]) -> Vec<usize>;
+}
+
+/// Serial block-nested-loop executor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialBnl;
+
+impl SkylineExecutor for SerialBnl {
+    fn name(&self) -> &'static str {
+        "bnl"
+    }
+
+    fn skyline(&self, points: &[Point]) -> Vec<usize> {
+        bnl::skyline_bnl(points)
+    }
+}
+
+/// Serial sort-filter executor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialSfs;
+
+impl SkylineExecutor for SerialSfs {
+    fn name(&self) -> &'static str {
+        "sfs"
+    }
+
+    fn skyline(&self, points: &[Point]) -> Vec<usize> {
+        sfs::skyline_sfs(points)
+    }
+}
+
+/// Serial divide-and-conquer executor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialDc;
+
+impl SkylineExecutor for SerialDc {
+    fn name(&self) -> &'static str {
+        "dc"
+    }
+
+    fn skyline(&self, points: &[Point]) -> Vec<usize> {
+        dc::skyline_dc(points)
+    }
+}
+
+/// Inputs at or below this size are not worth parallelising.
+const DEFAULT_SEQUENTIAL_CUTOFF: usize = 2048;
+
+/// Partition length: a couple of blocks per pool thread so work stealing can
+/// even out skew without shrinking the per-block windows too much.
+fn block_len(n: usize, pool: &ThreadPool) -> usize {
+    n.div_ceil(pool.threads() * 2).max(1)
+}
+
+/// Exact merge step shared by the partition-based executors: the candidates
+/// are a superset of the skyline (each survived its own block), so the
+/// skyline of the candidate set *is* the skyline of the input.  Duplicates
+/// are preserved: identical points never dominate each other.
+///
+/// The candidates are filtered in the SFS sum order — every dominator
+/// precedes its victims — so one pass comparing each candidate against the
+/// accepted skyline suffices: O(C·S) for C candidates and S skyline points,
+/// rather than the quadratic all-pairs filter.
+fn merge_filter(points: &[Point], candidates: Vec<usize>) -> Vec<usize> {
+    let ordered = sfs::sort_by_sum(points, candidates);
+    let mut out = sfs::filter_pass(points, &ordered);
+    out.sort_unstable();
+    out
+}
+
+/// Parallel block-nested-loop executor: partition → per-block BNL →
+/// merge-filter.
+#[derive(Clone, Debug)]
+pub struct ParallelBnl {
+    pool: Arc<ThreadPool>,
+    sequential_cutoff: usize,
+}
+
+impl ParallelBnl {
+    /// A parallel BNL executor over `pool` with the default serial cutoff.
+    pub fn new(pool: Arc<ThreadPool>) -> Self {
+        Self::with_cutoff(pool, DEFAULT_SEQUENTIAL_CUTOFF)
+    }
+
+    /// Overrides the input size below which the serial algorithm runs.
+    pub fn with_cutoff(pool: Arc<ThreadPool>, sequential_cutoff: usize) -> Self {
+        ParallelBnl {
+            pool,
+            sequential_cutoff,
+        }
+    }
+}
+
+impl SkylineExecutor for ParallelBnl {
+    fn name(&self) -> &'static str {
+        "bnl-par"
+    }
+
+    fn skyline(&self, points: &[Point]) -> Vec<usize> {
+        if points.len() <= self.sequential_cutoff || self.pool.threads() <= 1 {
+            return bnl::skyline_bnl(points);
+        }
+        let locals = self.pool.par_chunks(
+            points,
+            block_len(points.len(), &self.pool),
+            |offset, block| {
+                bnl::skyline_bnl(block)
+                    .into_iter()
+                    .map(|i| i + offset)
+                    .collect::<Vec<usize>>()
+            },
+        );
+        merge_filter(points, locals.concat())
+    }
+}
+
+/// Parallel sort-filter executor: one global presort by coordinate sum, then
+/// partition the visit order → per-block filter pass → merge-filter.
+#[derive(Clone, Debug)]
+pub struct ParallelSfs {
+    pool: Arc<ThreadPool>,
+    sequential_cutoff: usize,
+}
+
+impl ParallelSfs {
+    /// A parallel SFS executor over `pool` with the default serial cutoff.
+    pub fn new(pool: Arc<ThreadPool>) -> Self {
+        Self::with_cutoff(pool, DEFAULT_SEQUENTIAL_CUTOFF)
+    }
+
+    /// Overrides the input size below which the serial algorithm runs.
+    pub fn with_cutoff(pool: Arc<ThreadPool>, sequential_cutoff: usize) -> Self {
+        ParallelSfs {
+            pool,
+            sequential_cutoff,
+        }
+    }
+}
+
+impl SkylineExecutor for ParallelSfs {
+    fn name(&self) -> &'static str {
+        "sfs-par"
+    }
+
+    fn skyline(&self, points: &[Point]) -> Vec<usize> {
+        if points.len() <= self.sequential_cutoff || self.pool.threads() <= 1 {
+            return sfs::skyline_sfs(points);
+        }
+        let order = sfs::sum_order(points);
+        // Deal the presorted order round-robin across the blocks: every
+        // block is then a sum-sorted *sample of the whole dataset*, so its
+        // local filter pass prunes as aggressively as global SFS would.
+        // (Contiguous slices of the sum order would make the tail blocks
+        // internally anti-correlated — equal-sum points rarely dominate each
+        // other — and their local passes quadratic.)  Within a block the
+        // pass is exact; cross-block dominators are handled by the merge
+        // filter, since a dominator chain always ends at a block-local
+        // survivor.
+        let num_blocks = (self.pool.threads() * 2).min(order.len().max(1));
+        // (`vec![Vec::with_capacity(..); n]` would clone away the capacity.)
+        let mut blocks: Vec<Vec<usize>> = (0..num_blocks)
+            .map(|_| Vec::with_capacity(order.len() / num_blocks + 1))
+            .collect();
+        for (k, &i) in order.iter().enumerate() {
+            blocks[k % num_blocks].push(i);
+        }
+        let locals = self
+            .pool
+            .par_map(&blocks, |block| sfs::filter_pass(points, block));
+        merge_filter(points, locals.concat())
+    }
+}
+
+/// Parallel divide-and-conquer executor: the divide step runs as budgeted
+/// fork-join branches (see [`dc::skyline_dc_parallel`]).
+#[derive(Clone, Debug)]
+pub struct ParallelDc {
+    pool: Arc<ThreadPool>,
+    fork_cutoff: usize,
+}
+
+impl ParallelDc {
+    /// A parallel DC executor over `pool` with the default fork cutoff.
+    pub fn new(pool: Arc<ThreadPool>) -> Self {
+        Self::with_cutoff(pool, dc::DEFAULT_FORK_CUTOFF)
+    }
+
+    /// Overrides the subproblem size below which divide steps stop forking.
+    pub fn with_cutoff(pool: Arc<ThreadPool>, fork_cutoff: usize) -> Self {
+        ParallelDc { pool, fork_cutoff }
+    }
+}
+
+impl SkylineExecutor for ParallelDc {
+    fn name(&self) -> &'static str {
+        "dc-par"
+    }
+
+    fn skyline(&self, points: &[Point]) -> Vec<usize> {
+        dc::skyline_dc_impl(points, Some((&self.pool, self.fork_cutoff)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::skyline_naive;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect()
+    }
+
+    fn parallel_executors(pool: &Arc<ThreadPool>, cutoff: usize) -> Vec<Box<dyn SkylineExecutor>> {
+        vec![
+            Box::new(ParallelBnl::with_cutoff(pool.clone(), cutoff)),
+            Box::new(ParallelSfs::with_cutoff(pool.clone(), cutoff)),
+            Box::new(ParallelDc::with_cutoff(pool.clone(), cutoff)),
+        ]
+    }
+
+    #[test]
+    fn serial_executors_match_free_functions() {
+        let pts = random_points(300, 3, 9);
+        assert_eq!(SerialBnl.skyline(&pts), bnl::skyline_bnl(&pts));
+        assert_eq!(SerialSfs.skyline(&pts), sfs::skyline_sfs(&pts));
+        assert_eq!(SerialDc.skyline(&pts), dc::skyline_dc(&pts));
+        assert_eq!(SerialBnl.name(), "bnl");
+        assert_eq!(SerialSfs.name(), "sfs");
+        assert_eq!(SerialDc.name(), "dc");
+    }
+
+    #[test]
+    fn parallel_executors_match_naive_above_the_cutoff() {
+        let pool = Arc::new(ThreadPool::with_threads(4));
+        for d in [2usize, 3, 4] {
+            let pts = random_points(700, d, 31 + d as u64);
+            let expected = skyline_naive(&pts);
+            for exec in parallel_executors(&pool, 16) {
+                assert_eq!(exec.skyline(&pts), expected, "{} d={d}", exec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_executors_handle_empty_singleton_and_duplicates() {
+        let pool = Arc::new(ThreadPool::with_threads(2));
+        let dup = vec![Point::from_slice(&[1.0, 1.0]); 40];
+        for exec in parallel_executors(&pool, 4) {
+            assert_eq!(exec.skyline(&[]), Vec::<usize>::new(), "{}", exec.name());
+            assert_eq!(
+                exec.skyline(&[Point::from_slice(&[3.0, 7.0])]),
+                vec![0],
+                "{}",
+                exec.name()
+            );
+            // Identical points never dominate each other: all stay.
+            assert_eq!(
+                exec.skyline(&dup),
+                (0..dup.len()).collect::<Vec<_>>(),
+                "{}",
+                exec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_falls_back_to_serial() {
+        let pool = Arc::new(ThreadPool::with_threads(1));
+        let pts = random_points(200, 3, 12);
+        let expected = skyline_naive(&pts);
+        for exec in parallel_executors(&pool, 4) {
+            assert_eq!(exec.skyline(&pts), expected, "{}", exec.name());
+        }
+    }
+
+    #[test]
+    fn parallel_executors_propagate_dimension_mismatch_panics() {
+        let pool = Arc::new(ThreadPool::with_threads(2));
+        let mut pts = random_points(100, 3, 5);
+        pts.push(Point::from_slice(&[1.0, 2.0]));
+        for exec in parallel_executors(&pool, 4) {
+            let name = exec.name();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.skyline(&pts)));
+            assert!(outcome.is_err(), "{name} must panic on mixed dims");
+        }
+    }
+}

@@ -16,7 +16,13 @@
 //!   chain and d-dimensional LP-feasibility membership), used for the
 //!   relationship experiments around Fig. 4 of the paper,
 //! * [`layers`] — skyline layers (onion peeling), the decomposition several
-//!   result-size-control schemes in the paper's related work build on.
+//!   result-size-control schemes in the paper's related work build on,
+//! * [`exec`] — pluggable [`exec::SkylineExecutor`] strategies: the primary
+//!   API since the parallel substrate landed.  Serial executors wrap the
+//!   free functions below; parallel executors run the same algorithms over
+//!   an [`eclipse_exec::ThreadPool`] (partition → local skyline →
+//!   merge-filter for BNL/SFS, forked divide step for DC) and return
+//!   bit-identical results at every thread count.
 //!
 //! # Example
 //!
@@ -41,6 +47,7 @@
 pub mod bnl;
 pub mod dc;
 pub mod dominance;
+pub mod exec;
 pub mod hull;
 pub mod knn;
 pub mod layers;
@@ -48,8 +55,11 @@ pub mod sfs;
 pub mod sweep;
 
 pub use bnl::skyline_bnl;
-pub use dc::skyline_dc;
+pub use dc::{skyline_dc, skyline_dc_parallel};
 pub use dominance::{dominates, strictly_dominates, DominanceOrdering};
+pub use exec::{
+    ParallelBnl, ParallelDc, ParallelSfs, SerialBnl, SerialDc, SerialSfs, SkylineExecutor,
+};
 pub use layers::{skyline_layers, SkylineLayers};
 pub use sfs::skyline_sfs;
 pub use sweep::skyline_2d;

@@ -12,22 +12,35 @@ use eclipse_geom::point::Point;
 
 use crate::dominance::dominates;
 
-/// Computes the skyline with the sort-filter algorithm, returning indices in
-/// ascending index order.
-pub fn skyline_sfs(points: &[Point]) -> Vec<usize> {
-    if points.is_empty() {
-        return Vec::new();
-    }
-    let mut order: Vec<usize> = (0..points.len()).collect();
-    order.sort_by(|&a, &b| {
-        let sa: f64 = points[a].coords().iter().sum();
-        let sb: f64 = points[b].coords().iter().sum();
-        sa.total_cmp(&sb)
-            .then_with(|| points[a].lex_cmp(&points[b]))
+/// Sorts `ids` into the SFS presort order: coordinate sum (the monotone
+/// score) ascending with a lexicographic tie-break.  Dominance implies a
+/// strictly smaller sum, so the sorted sequence sees every dominator before
+/// its victims — the invariant both [`skyline_sfs`] and the parallel
+/// executors' merge step rely on.  Sums are computed once per id
+/// (decorate–sort–undecorate), not once per comparison.
+pub(crate) fn sort_by_sum(points: &[Point], ids: Vec<usize>) -> Vec<usize> {
+    let mut keyed: Vec<(f64, usize)> = ids
+        .into_iter()
+        .map(|i| (points[i].coords().iter().sum(), i))
+        .collect();
+    keyed.sort_by(|(sa, a), (sb, b)| {
+        sa.total_cmp(sb)
+            .then_with(|| points[*a].lex_cmp(&points[*b]))
     });
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
 
+/// The SFS visit order over the whole dataset.  Shared with the parallel
+/// sort-filter executor, which deals this order into blocks.
+pub(crate) fn sum_order(points: &[Point]) -> Vec<usize> {
+    sort_by_sum(points, (0..points.len()).collect())
+}
+
+/// One filtering pass over a slice of the presorted visit order: keeps every
+/// index not dominated by an earlier kept index of the same slice.
+pub(crate) fn filter_pass(points: &[Point], order: &[usize]) -> Vec<usize> {
     let mut skyline: Vec<usize> = Vec::new();
-    'outer: for &i in &order {
+    'outer: for &i in order {
         for &s in &skyline {
             if dominates(&points[s], &points[i]) {
                 continue 'outer;
@@ -35,6 +48,16 @@ pub fn skyline_sfs(points: &[Point]) -> Vec<usize> {
         }
         skyline.push(i);
     }
+    skyline
+}
+
+/// Computes the skyline with the sort-filter algorithm, returning indices in
+/// ascending index order.
+pub fn skyline_sfs(points: &[Point]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut skyline = filter_pass(points, &sum_order(points));
     skyline.sort_unstable();
     skyline
 }
