@@ -17,14 +17,16 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use eclipse_bench::harness::{
-    format_secs, run_competitor_repeated, run_skyline_executor, run_tran_at_threads,
-    skyline_executors, Competitor,
+    format_secs, run_competitor_repeated, run_index_probes, run_index_probes_batched,
+    run_skyline_executor, run_tran_at_threads, run_tree_probes, skyline_executors, Competitor,
 };
 use eclipse_bench::workloads::{
-    default_ratio_box, ratio_box, worst_case_dataset, DatasetFamily, DEFAULT_D, DEFAULT_N,
+    default_ratio_box, hyperplane_workload, probe_boxes, probe_ratio_boxes, probe_root_cell,
+    ratio_box, worst_case_dataset, DatasetFamily, HyperplaneFamily, DEFAULT_D, DEFAULT_N,
     DEFAULT_NBA_N, DEFAULT_N_VALUES, PAPER_D_VALUES, PAPER_N_VALUES, PAPER_RATIO_RANGES,
 };
 use eclipse_core::algo::transform::{eclipse_transform, SkylineBackend};
+use eclipse_core::exec::ExecutionContext;
 use eclipse_core::index::{EclipseIndex, IndexConfig, IntersectionIndexKind};
 use eclipse_core::relations::RelationReport;
 use eclipse_data::io::ResultTable;
@@ -35,6 +37,7 @@ const SEED: u64 = 20210614;
 
 struct Options {
     full: bool,
+    quick: bool,
     out_dir: Option<PathBuf>,
     experiments: BTreeSet<String>,
 }
@@ -83,24 +86,31 @@ fn main() {
     if want("threads") {
         emit(&opts, "threads", threads_sweep(&opts));
     }
+    if want("probes") {
+        for (name, table) in probes_sweep(&opts) {
+            emit(&opts, &name, table);
+        }
+    }
 }
 
 fn parse_args() -> Options {
     let mut full = false;
+    let mut quick = false;
     let mut out_dir = None;
     let mut experiments = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--quick" => quick = true,
             "--out" => {
                 out_dir = args.next().map(PathBuf::from);
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--full] [--out DIR] \
+                    "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads]..."
+                     threads|probes]..."
                 );
                 std::process::exit(0);
             }
@@ -111,6 +121,7 @@ fn parse_args() -> Options {
     }
     Options {
         full,
+        quick,
         out_dir,
         experiments,
     }
@@ -396,6 +407,237 @@ fn threads_sweep(opts: &Options) -> (String, ResultTable) {
         format!("Thread sweep — skyline executors and TRAN (INDE, n = {n}, d = {d})"),
         t,
     )
+}
+
+/// Frozen single-probe latencies of the pre-arena (boxed-node, per-query
+/// allocating) intersection indexes, measured at the PR-3 cut (commit
+/// ed11cde) on the development container with the exact workloads below (200
+/// tree probes / 100 ratio probes, same seeds, minimum over 8 passes).
+/// BENCH_pr3.json records the speedup of the current hot path over this
+/// baseline so the perf trajectory stays visible across PRs.
+const PRE_ARENA_TREE_PROBE_SECS: [(&str, &str, usize, f64); 12] = [
+    ("uniform", "QUAD", 10_000, 1.266_31e-4),
+    ("uniform", "QUAD", 100_000, 1.436_506e-3),
+    ("uniform", "CUTTING", 10_000, 1.810_75e-4),
+    ("uniform", "CUTTING", 100_000, 1.663_942e-3),
+    ("clustered", "QUAD", 10_000, 1.290_81e-4),
+    ("clustered", "QUAD", 100_000, 1.356_305e-3),
+    ("clustered", "CUTTING", 10_000, 1.862_82e-4),
+    ("clustered", "CUTTING", 100_000, 1.970_606e-3),
+    ("anti", "QUAD", 10_000, 1.015_47e-4),
+    ("anti", "QUAD", 100_000, 1.181_820e-3),
+    ("anti", "CUTTING", 10_000, 1.373_31e-4),
+    ("anti", "CUTTING", 100_000, 1.410_911e-3),
+];
+
+/// Pre-arena end-to-end `EclipseIndex` single-probe latencies (INDE, d = 3).
+const PRE_ARENA_INDEX_PROBE_SECS: [(&str, usize, f64); 4] = [
+    ("QUAD", 1 << 13, 1.321_3e-5),
+    ("QUAD", 1 << 17, 7.420_1e-5),
+    ("CUTTING", 1 << 13, 1.403_9e-5),
+    ("CUTTING", 1 << 17, 8.137_6e-5),
+];
+
+fn kind_label(kind: IntersectionIndexKind) -> &'static str {
+    match kind {
+        IntersectionIndexKind::Quadtree => "QUAD",
+        IntersectionIndexKind::CuttingTree => "CUTTING",
+    }
+}
+
+/// Intersection-index probe sweep: tree-level single probes (the arena hot
+/// path) and end-to-end single vs batched `EclipseIndex` probes.  Writes the
+/// machine-readable BENCH_pr3.json next to the CSVs (or into the current
+/// directory without `--out`), including the frozen pre-arena baseline and
+/// the measured speedups.
+fn probes_sweep(opts: &Options) -> Vec<(String, (String, ResultTable))> {
+    let sizes: &[usize] = if opts.quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    let reps = if opts.quick { 2 } else { 8 };
+    let mut json = String::from("{\n  \"pr\": 3,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+
+    // Tree level: the same probe set the pre-arena baseline was measured on.
+    let tree_probes = probe_boxes(200, 2, 0.05, SEED + 1);
+    let mut tree_table = ResultTable::new(&[
+        "family",
+        "n",
+        "tree",
+        "build_s",
+        "probe_s",
+        "pre_probe_s",
+        "speedup",
+        "hits",
+        "nodes",
+        "depth",
+    ]);
+    json.push_str("  \"tree_probes\": [\n");
+    let mut first = true;
+    for family in HyperplaneFamily::all() {
+        for &n in sizes {
+            let planes = hyperplane_workload(family, n, 2, SEED);
+            for kind in [
+                IntersectionIndexKind::Quadtree,
+                IntersectionIndexKind::CuttingTree,
+            ] {
+                let m = run_tree_probes(kind, &planes, probe_root_cell(2), &tree_probes, reps);
+                let pre = PRE_ARENA_TREE_PROBE_SECS
+                    .iter()
+                    .find(|(f, t, pn, _)| {
+                        *f == family.label() && *t == kind_label(kind) && *pn == n
+                    })
+                    .map(|(_, _, _, secs)| *secs);
+                let speedup = pre.map(|p| p / m.probe_secs);
+                tree_table.push_row(vec![
+                    family.label().to_string(),
+                    n.to_string(),
+                    kind_label(kind).to_string(),
+                    format_secs(m.build_secs),
+                    format_secs(m.probe_secs),
+                    pre.map_or("-".to_string(), format_secs),
+                    speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+                    format!("{:.1}", m.mean_hits),
+                    m.nodes.to_string(),
+                    m.depth.to_string(),
+                ]);
+                if !first {
+                    json.push_str(",\n");
+                }
+                first = false;
+                json.push_str(&format!(
+                    "    {{\"family\": \"{}\", \"n\": {}, \"tree\": \"{}\", \
+                     \"build_secs\": {:.6}, \"probe_secs\": {:.9}, \
+                     \"pre_arena_probe_secs\": {}, \"speedup\": {}, \"mean_hits\": {:.1}, \
+                     \"nodes\": {}, \"depth\": {}}}",
+                    family.label(),
+                    n,
+                    kind_label(kind),
+                    m.build_secs,
+                    m.probe_secs,
+                    pre.map_or("null".to_string(), |p| format!("{p:.9}")),
+                    speedup.map_or("null".to_string(), |s| format!("{s:.3}")),
+                    m.mean_hits,
+                    m.nodes,
+                    m.depth,
+                ));
+            }
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // End-to-end index probes on INDE (bounded skyline): single vs batched.
+    let index_ns: &[usize] = if opts.quick {
+        &[1 << 13]
+    } else {
+        &[1 << 13, 1 << 17]
+    };
+    let ratio_probes = probe_ratio_boxes(100, 3, SEED + 2);
+    let mut index_table = ResultTable::new(&[
+        "n",
+        "index",
+        "u",
+        "pairs",
+        "build_s",
+        "probe_s",
+        "batch1_s",
+        "batch4_s",
+        "pre_probe_s",
+        "speedup",
+    ]);
+    json.push_str("  \"index_probes\": [\n");
+    first = true;
+    for &n in index_ns {
+        let pts = DatasetFamily::Inde.generate(n, 3, SEED);
+        for kind in [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ] {
+            let build_start = std::time::Instant::now();
+            let index =
+                EclipseIndex::build(&pts, IndexConfig::with_kind(kind)).expect("valid workload");
+            let build_secs = build_start.elapsed().as_secs_f64();
+            let single = run_index_probes(&index, &ratio_probes, reps);
+            let batch1 = run_index_probes_batched(
+                &index,
+                &ratio_probes,
+                &ExecutionContext::with_threads(1),
+                reps,
+            );
+            let batch4 = run_index_probes_batched(
+                &index,
+                &ratio_probes,
+                &ExecutionContext::with_threads(4),
+                reps,
+            );
+            let pre = PRE_ARENA_INDEX_PROBE_SECS
+                .iter()
+                .find(|(t, pn, _)| *t == kind_label(kind) && *pn == n)
+                .map(|(_, _, secs)| *secs);
+            let speedup = pre.map(|p| p / single.query_secs);
+            index_table.push_row(vec![
+                n.to_string(),
+                kind_label(kind).to_string(),
+                index.skyline_len().to_string(),
+                index.num_intersections().to_string(),
+                format_secs(build_secs),
+                format_secs(single.query_secs),
+                format_secs(batch1.query_secs),
+                format_secs(batch4.query_secs),
+                pre.map_or("-".to_string(), format_secs),
+                speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            ]);
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"dataset\": \"INDE\", \"n\": {}, \"index\": \"{}\", \"u\": {}, \
+                 \"pairs\": {}, \"build_secs\": {:.6}, \"probe_secs\": {:.9}, \
+                 \"batch_probe_secs_t1\": {:.9}, \"batch_probe_secs_t4\": {:.9}, \
+                 \"pre_arena_probe_secs\": {}, \"speedup\": {}}}",
+                n,
+                kind_label(kind),
+                index.skyline_len(),
+                index.num_intersections(),
+                build_secs,
+                single.query_secs,
+                batch1.query_secs,
+                batch4.query_secs,
+                pre.map_or("null".to_string(), |p| format!("{p:.9}")),
+                speedup.map_or("null".to_string(), |s| format!("{s:.3}")),
+            ));
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_pr3.json");
+    std::fs::write(&path, json).expect("write BENCH_pr3.json");
+    println!("[probe sweep written to {}]", path.display());
+
+    vec![
+        (
+            "probes_tree".to_string(),
+            (
+                "Intersection-index tree probes (200 boxes, side 5%, vs pre-arena baseline)"
+                    .to_string(),
+                tree_table,
+            ),
+        ),
+        (
+            "probes_index".to_string(),
+            (
+                "EclipseIndex probes — single vs batched (INDE, d = 3, 100 boxes)".to_string(),
+                index_table,
+            ),
+        ),
+    ]
 }
 
 /// Table I / Figure 4 — relationship between eclipse and the other operators,

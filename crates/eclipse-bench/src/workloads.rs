@@ -1,10 +1,15 @@
 //! Workload construction shared by the Criterion benches and the
 //! `experiments` binary: the parameter grid of Table IV plus helpers to
-//! materialize each dataset/ratio combination.
+//! materialize each dataset/ratio combination, and the synthetic hyperplane
+//! workloads probing the Intersection Index hot path directly.
 
-use eclipse_core::point::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eclipse_core::point::{BoundingBox, Point};
 use eclipse_core::weights::WeightRatioBox;
 use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_geom::hyperplane::Hyperplane;
 
 /// The point counts of Table IV: 2^7, 2^10, 2^13, 2^17, 2^20.
 pub const PAPER_N_VALUES: [usize; 5] = [1 << 7, 1 << 10, 1 << 13, 1 << 17, 1 << 20];
@@ -102,6 +107,128 @@ pub fn default_ratio_box(d: usize) -> WeightRatioBox {
     ratio_box(d, DEFAULT_RATIO.0, DEFAULT_RATIO.1)
 }
 
+/// Upper bound of the synthetic ratio-space cell the hyperplane probe
+/// workloads live in (the indexed region is `[0, PROBE_CELL_HI]^k`).
+pub const PROBE_CELL_HI: f64 = 4.0;
+
+/// The root cell of the hyperplane probe workloads.
+pub fn probe_root_cell(k: usize) -> BoundingBox {
+    BoundingBox::new(vec![0.0; k], vec![PROBE_CELL_HI; k])
+}
+
+/// Shapes of synthetic hyperplane sets exercising the Intersection Index
+/// directly (without going through a dataset): the tree-level counterpart of
+/// [`DatasetFamily`], used by the `index_query` bench and the
+/// `experiments -- probes` sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HyperplaneFamily {
+    /// Random orientations anchored uniformly in the cell.
+    Uniform,
+    /// All hyperplanes pass within a tiny ball around one interior point —
+    /// the quadtree's worst case (Figs. 13–14): every subdivision near the
+    /// cluster keeps every entry.
+    Clustered,
+    /// Near-anti-correlated orientations (coefficients summing to ≈ 0),
+    /// mimicking the intersection hyperplanes of anti-correlated data.
+    Anti,
+}
+
+impl HyperplaneFamily {
+    /// All families in display order.
+    pub fn all() -> [HyperplaneFamily; 3] {
+        [
+            HyperplaneFamily::Uniform,
+            HyperplaneFamily::Clustered,
+            HyperplaneFamily::Anti,
+        ]
+    }
+
+    /// Label used in output rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            HyperplaneFamily::Uniform => "uniform",
+            HyperplaneFamily::Clustered => "clustered",
+            HyperplaneFamily::Anti => "anti",
+        }
+    }
+}
+
+/// Materializes `n` hyperplanes of a family in `k`-dimensional ratio space,
+/// all intersecting [`probe_root_cell`].
+pub fn hyperplane_workload(
+    family: HyperplaneFamily,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Hyperplane> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cluster_center = vec![0.4 * PROBE_CELL_HI; k];
+    (0..n)
+        .map(|_| {
+            let coeffs: Vec<f64> = match family {
+                HyperplaneFamily::Uniform | HyperplaneFamily::Clustered => {
+                    (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                }
+                HyperplaneFamily::Anti => {
+                    let raw: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let mean = raw.iter().sum::<f64>() / k as f64;
+                    raw.iter().map(|c| c - mean + 1e-3).collect()
+                }
+            };
+            let anchor: Vec<f64> = match family {
+                HyperplaneFamily::Uniform | HyperplaneFamily::Anti => {
+                    (0..k).map(|_| rng.gen_range(0.0..PROBE_CELL_HI)).collect()
+                }
+                HyperplaneFamily::Clustered => cluster_center
+                    .iter()
+                    .map(|c| c + rng.gen_range(-1e-3..1e-3))
+                    .collect(),
+            };
+            let offset: f64 = -coeffs
+                .iter()
+                .zip(anchor.iter())
+                .map(|(c, a)| c * a)
+                .sum::<f64>();
+            Hyperplane::new(coeffs, offset)
+        })
+        .collect()
+}
+
+/// `m` small axis-aligned probe boxes with side `side_frac * PROBE_CELL_HI`,
+/// placed uniformly inside [`probe_root_cell`].
+pub fn probe_boxes(m: usize, k: usize, side_frac: f64, seed: u64) -> Vec<BoundingBox> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = side_frac * PROBE_CELL_HI;
+    (0..m)
+        .map(|_| {
+            let lo: Vec<f64> = (0..k)
+                .map(|_| rng.gen_range(0.0..(PROBE_CELL_HI - side)))
+                .collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + side).collect();
+            BoundingBox::new(lo, hi)
+        })
+        .collect()
+}
+
+/// `m` bounded weight-ratio probe boxes for end-to-end [`EclipseIndex`]
+/// probing: lower corners in `[0.2, 2.0)`, widths in `[0.05, 1.5)` per axis.
+///
+/// [`EclipseIndex`]: eclipse_core::index::EclipseIndex
+pub fn probe_ratio_boxes(m: usize, d: usize, seed: u64) -> Vec<WeightRatioBox> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let bounds: Vec<(f64, f64)> = (0..d - 1)
+                .map(|_| {
+                    let lo = rng.gen_range(0.2..2.0);
+                    (lo, lo + rng.gen_range(0.05..1.5))
+                })
+                .collect();
+            WeightRatioBox::from_bounds(&bounds).expect("generated bounds are valid")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +268,33 @@ mod tests {
     fn worst_case_is_generated() {
         let pts = worst_case_dataset(128, 3, 5);
         assert_eq!(pts.len(), 128);
+    }
+
+    #[test]
+    fn hyperplane_workloads_cross_the_root_cell() {
+        let cell = probe_root_cell(2);
+        for family in HyperplaneFamily::all() {
+            let planes = hyperplane_workload(family, 200, 2, 9);
+            assert_eq!(planes.len(), 200, "{family:?}");
+            // Every plane passes through an interior anchor, so it must
+            // intersect the root cell.
+            assert!(planes.iter().all(|h| h.intersects_box(&cell)), "{family:?}");
+        }
+        // Clustered planes all cross a tiny box around the cluster centre.
+        let clustered = hyperplane_workload(HyperplaneFamily::Clustered, 100, 2, 9);
+        let around = BoundingBox::new(vec![1.58, 1.58], vec![1.62, 1.62]);
+        assert!(clustered.iter().all(|h| h.intersects_box(&around)));
+    }
+
+    #[test]
+    fn probe_boxes_stay_inside_the_cell() {
+        let cell = probe_root_cell(3);
+        for b in probe_boxes(50, 3, 0.05, 4) {
+            assert!(cell.contains_box(&b));
+        }
+        for rb in probe_ratio_boxes(20, 3, 4) {
+            assert_eq!(rb.dim(), 3);
+            assert!(!rb.has_unbounded_range());
+        }
     }
 }

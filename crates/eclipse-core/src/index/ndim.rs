@@ -5,7 +5,9 @@
 //!    points);
 //! 2. for every pair of skyline points build the *score-difference
 //!    hyperplane* in `(d−1)`-dimensional weight-ratio space
-//!    ([`eclipse_geom::dual::score_difference_hyperplane`]);
+//!    (`f(r) = Σ_j (a[j] − b[j])·r_j + (a[d] − b[d])`, see
+//!    [`eclipse_geom::dual::score_difference_hyperplane`]) — assembled
+//!    directly into a [`HyperplaneSlab`] of dense coefficient rows;
 //! 3. index those hyperplanes with a line quadtree (QUAD) or a cutting tree
 //!    (CUTTING) over a bounded region of ratio space.
 //!
@@ -22,19 +24,27 @@
 //!    whole box, or vice versa, or neither?), so ties, duplicate points and
 //!    boundary contacts are handled without any assumption.
 //! 4. points whose final dominator count is zero are the eclipse points.
+//!
+//! The query phase is engineered for steady-state serving: every buffer a
+//! probe touches lives in a caller-provided [`ProbeScratch`], so
+//! [`EclipseIndex::query_with_scratch`] performs **zero heap allocations**
+//! once the buffers have grown to their high-water capacity — including the
+//! tree traversal (explicit stack + visited bitmap), the candidate list, the
+//! initial order vector (an incrementally reused sort buffer) and the result
+//! itself.  [`EclipseIndex::query_batch`] fans locality-sorted probes out
+//! over an [`ExecutionContext`] with one scratch per worker.
 
 use serde::{Deserialize, Serialize};
 
 use eclipse_geom::approx::EPS;
 use eclipse_geom::cutting::{CuttingTree, CuttingTreeConfig};
-use eclipse_geom::dual::score_difference_hyperplane;
-use eclipse_geom::hyperplane::Hyperplane;
+use eclipse_geom::hyperplane::HyperplaneSlab;
 use eclipse_geom::point::{BoundingBox, Point};
 use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig};
+use eclipse_geom::traverse::TraversalScratch;
 
 use crate::error::{EclipseError, Result};
 use crate::exec::ExecutionContext;
-use crate::score::score_with_ratios;
 use crate::weights::WeightRatioBox;
 
 /// Which Intersection Index backs the eclipse index.
@@ -93,20 +103,33 @@ enum Backend {
 
 /// Reusable buffers for the query (probe) path.
 ///
-/// One eclipse query scores all `u` skyline points, ranks them and replays
-/// the candidate pairs; with a fresh scratch every probe that is four
-/// allocations per query.  Callers answering many queries (servers, the
-/// bench harness) keep one `ProbeScratch` per thread and pass it to
-/// [`EclipseIndex::query_with_scratch`] so the buffers are allocated once
-/// and reused at their high-water capacity.
+/// One eclipse query scores all `u` skyline points, ranks them, gathers the
+/// candidate pairs from the intersection index and replays them; with fresh
+/// buffers that is half a dozen allocations per probe.  Callers answering
+/// many queries (servers, the bench harness, [`EclipseIndex::query_batch`])
+/// keep one `ProbeScratch` per thread and pass it to
+/// [`EclipseIndex::query_with_scratch`]: every buffer — scores, the reused
+/// sort buffer, the order vector, the query corners, the candidate list, the
+/// tree-traversal stack and visited bitmap, and the result itself — is then
+/// reused at its high-water capacity, so a steady-state probe allocates
+/// nothing.
 #[derive(Clone, Debug, Default)]
 pub struct ProbeScratch {
     /// Scores of the skyline points at the query's lower corner.
     scores: Vec<f64>,
-    /// The same scores, sorted, for rank computation.
+    /// The same scores, sorted, for rank computation (incrementally reused).
     sorted: Vec<f64>,
     /// Dominator counts (the Order Vector).
     ov: Vec<i64>,
+    /// Lower / upper query corner in ratio space.
+    qlo: Vec<f64>,
+    qhi: Vec<f64>,
+    /// Candidate pair ids fetched from the intersection index.
+    candidates: Vec<usize>,
+    /// Tree-traversal state (explicit stack + visited bitmap).
+    traversal: TraversalScratch,
+    /// The most recent query result (dataset indices, ascending).
+    out: Vec<usize>,
 }
 
 impl ProbeScratch {
@@ -123,12 +146,13 @@ pub struct EclipseIndex {
     dim: usize,
     /// Indices (into the original dataset) of the skyline points, ascending.
     skyline_ids: Vec<usize>,
-    /// The skyline points themselves, in the same order as `skyline_ids`.
-    skyline_points: Vec<Point>,
-    /// Pairs of *local* skyline indices, aligned with `hyperplanes`.
+    /// Skyline coordinates in one flat row-major buffer (`u` rows × `dim`) —
+    /// the single owned copy of the skyline, shared by corner scoring and
+    /// hyperplane construction (the dataset points are never cloned).
+    skyline_coords: Box<[f64]>,
+    /// Pairs of *local* skyline indices, aligned with the hyperplane slab
+    /// owned by the backend tree.
     pairs: Vec<(u32, u32)>,
-    /// Score-difference hyperplanes in ratio space, aligned with `pairs`.
-    hyperplanes: Vec<Hyperplane>,
     backend: Backend,
     root_cell: BoundingBox,
     config: IndexConfig,
@@ -178,66 +202,75 @@ impl EclipseIndex {
         }
 
         // 1. Skyline points (forked divide step when the context has lanes).
+        // Only the ids and one flat coordinate buffer are kept: no `Point`
+        // clones.
         let skyline_ids = eclipse_skyline::dc::skyline_dc_parallel(points, ctx.pool());
-        let skyline_points: Vec<Point> = skyline_ids.iter().map(|&i| points[i].clone()).collect();
-        let u = skyline_points.len();
+        let u = skyline_ids.len();
+        let mut coords = Vec::with_capacity(u * dim);
+        for &i in &skyline_ids {
+            coords.extend_from_slice(points[i].coords());
+        }
+        let skyline_coords: Box<[f64]> = coords.into_boxed_slice();
 
-        // 2. Intersection hyperplanes for every pair, row-parallel over `a`
-        // (results are concatenated in row order, so the pair layout is
-        // byte-identical to the serial double loop).
-        let mut pairs = Vec::with_capacity(u * u.saturating_sub(1) / 2);
-        let mut hyperplanes = Vec::with_capacity(pairs.capacity());
+        // 2. Intersection hyperplanes for every pair, assembled directly into
+        // a structure-of-arrays slab; row-parallel over `a` (results are
+        // concatenated in row order, so the layout is identical to the serial
+        // double loop).
+        let k = dim - 1;
+        let num_pairs = u * u.saturating_sub(1) / 2;
+        let mut pairs = Vec::with_capacity(num_pairs);
+        let mut slab = HyperplaneSlab::with_capacity(k, num_pairs);
+        let pair_row = |a: usize, row: &mut Vec<f64>, row_slab: &mut HyperplaneSlab| {
+            let pa = &skyline_coords[a * dim..(a + 1) * dim];
+            for b in a + 1..u {
+                let pb = &skyline_coords[b * dim..(b + 1) * dim];
+                row.clear();
+                row.extend((0..k).map(|j| pa[j] - pb[j]));
+                row_slab.push(row, pa[k] - pb[k]);
+            }
+        };
         if ctx.threads() > 1 && u >= 128 {
             let rows: Vec<usize> = (0..u).collect();
             let built = ctx.pool().par_map(&rows, |&a| {
-                let mut row_pairs = Vec::with_capacity(u - a - 1);
-                let mut row_planes = Vec::with_capacity(u - a - 1);
-                for b in a + 1..u {
-                    row_pairs.push((a as u32, b as u32));
-                    row_planes.push(score_difference_hyperplane(
-                        &skyline_points[a],
-                        &skyline_points[b],
-                    ));
-                }
-                (row_pairs, row_planes)
+                let mut row = Vec::with_capacity(k);
+                let mut row_slab = HyperplaneSlab::with_capacity(k, u - a - 1);
+                pair_row(a, &mut row, &mut row_slab);
+                row_slab
             });
-            for (row_pairs, row_planes) in built {
-                pairs.extend(row_pairs);
-                hyperplanes.extend(row_planes);
+            for (a, row_slab) in built.iter().enumerate() {
+                for b in a + 1..u {
+                    pairs.push((a as u32, b as u32));
+                }
+                slab.extend_from(row_slab);
             }
         } else {
+            let mut row = Vec::with_capacity(k);
             for a in 0..u {
                 for b in a + 1..u {
                     pairs.push((a as u32, b as u32));
-                    hyperplanes.push(score_difference_hyperplane(
-                        &skyline_points[a],
-                        &skyline_points[b],
-                    ));
                 }
+                pair_row(a, &mut row, &mut slab);
             }
         }
 
-        // 3. Spatial index over the hyperplanes.
-        let root_cell = BoundingBox::new(vec![0.0; dim - 1], vec![config.max_ratio; dim - 1]);
-        let backend = match config.kind {
-            IntersectionIndexKind::Quadtree => Backend::Quad(HyperplaneQuadtree::build(
-                &hyperplanes,
-                root_cell.clone(),
-                config.quadtree,
-            )),
-            IntersectionIndexKind::CuttingTree => Backend::Cutting(CuttingTree::build(
-                &hyperplanes,
-                root_cell.clone(),
-                config.cutting,
-            )),
-        };
+        // 3. Spatial index over the hyperplanes (the tree takes ownership of
+        // the slab; the replay phase reads it back through the backend).
+        let root_cell = BoundingBox::new(vec![0.0; k], vec![config.max_ratio; k]);
+        let backend =
+            match config.kind {
+                IntersectionIndexKind::Quadtree => Backend::Quad(
+                    HyperplaneQuadtree::build_from_slab(slab, root_cell.clone(), config.quadtree),
+                ),
+                IntersectionIndexKind::CuttingTree => Backend::Cutting(
+                    CuttingTree::build_from_slab(slab, root_cell.clone(), config.cutting),
+                ),
+            };
 
         Ok(EclipseIndex {
             dim,
             skyline_ids,
-            skyline_points,
+            skyline_coords,
             pairs,
-            hyperplanes,
             backend,
             root_cell,
             config,
@@ -251,7 +284,7 @@ impl EclipseIndex {
 
     /// Number of skyline points the index covers.
     pub fn skyline_len(&self) -> usize {
-        self.skyline_points.len()
+        self.skyline_ids.len()
     }
 
     /// Indices (into the original dataset) of the skyline points.
@@ -261,7 +294,7 @@ impl EclipseIndex {
 
     /// Number of indexed intersection hyperplanes (`C(u, 2)`).
     pub fn num_intersections(&self) -> usize {
-        self.hyperplanes.len()
+        self.pairs.len()
     }
 
     /// The configuration used to build the index.
@@ -285,6 +318,14 @@ impl EclipseIndex {
         }
     }
 
+    /// The intersection-hyperplane rows, owned by the backend tree.
+    fn slab(&self) -> &HyperplaneSlab {
+        match &self.backend {
+            Backend::Quad(t) => t.slab(),
+            Backend::Cutting(t) => t.slab(),
+        }
+    }
+
     /// Answers an eclipse query, returning indices into the original dataset
     /// in ascending order.
     ///
@@ -294,94 +335,196 @@ impl EclipseIndex {
     /// * [`EclipseError::Unsupported`] when a ratio range is unbounded (route
     ///   the skyline instantiation through [`crate::query::EclipseEngine`]).
     pub fn query(&self, ratio_box: &WeightRatioBox) -> Result<Vec<usize>> {
-        self.query_with_scratch(ratio_box, &mut ProbeScratch::new())
+        let mut scratch = ProbeScratch::new();
+        self.query_with_scratch(ratio_box, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.out))
     }
 
-    /// [`EclipseIndex::query`] with caller-provided scratch buffers, the
-    /// allocation-free flavour for repeated probing (the buffers are reused
-    /// at their high-water capacity across queries).
+    /// [`EclipseIndex::query`] with caller-provided scratch buffers: the
+    /// steady-state serving flavour.  Returns a slice borrowed from the
+    /// scratch (valid until the next probe); once the buffers have reached
+    /// their high-water capacity a probe performs **no heap allocations** —
+    /// on the indexed path and on the exact linear fallback alike.
     ///
     /// # Errors
     /// Same as [`EclipseIndex::query`].
-    pub fn query_with_scratch(
+    pub fn query_with_scratch<'s>(
         &self,
         ratio_box: &WeightRatioBox,
-        scratch: &mut ProbeScratch,
-    ) -> Result<Vec<usize>> {
+        scratch: &'s mut ProbeScratch,
+    ) -> Result<&'s [usize]> {
         if ratio_box.dim() != self.dim {
             return Err(EclipseError::DimensionMismatch {
                 expected: self.dim,
                 found: ratio_box.dim(),
             });
         }
-        let qbox = ratio_box.as_bounding_box()?;
-        let candidates = self.candidate_pairs(&qbox);
-        let lower = ratio_box.lower_corner();
-        self.replay(&lower, &qbox, &candidates, scratch);
-        let mut out: Vec<usize> = scratch
-            .ov
-            .iter()
-            .enumerate()
-            .filter(|(_, &count)| count == 0)
-            .map(|(k, _)| self.skyline_ids[k])
-            .collect();
-        out.sort_unstable();
+        if ratio_box.has_unbounded_range() {
+            return Err(EclipseError::Unsupported(
+                "a BoundingBox in ratio space requires finite ratio ranges".to_string(),
+            ));
+        }
+        scratch.qlo.clear();
+        scratch.qhi.clear();
+        for r in ratio_box.ranges() {
+            scratch.qlo.push(r.lo());
+            scratch.qhi.push(r.hi());
+        }
+        self.candidate_pairs(scratch);
+        self.replay(scratch);
+        let ProbeScratch { ov, out, .. } = scratch;
+        out.clear();
+        // `skyline_ids` is ascending, so the result needs no sort.
+        out.extend(
+            ov.iter()
+                .enumerate()
+                .filter(|&(_, &count)| count == 0)
+                .map(|(k, _)| self.skyline_ids[k]),
+        );
         Ok(out)
     }
 
-    /// Returns the indices (into `self.pairs`) of the candidate intersection
-    /// hyperplanes for a query box: exactly those intersecting the closed box.
-    fn candidate_pairs(&self, qbox: &BoundingBox) -> Vec<usize> {
-        if self.root_cell.contains_box(qbox) {
+    /// Answers a batch of eclipse queries, fanning the probes out over `ctx`
+    /// with one [`ProbeScratch`] per worker chunk.  Probes are locality-sorted
+    /// (lexicographically by lower corner) before chunking so neighbouring
+    /// probes walk the same tree regions; results are returned in input
+    /// order.
+    ///
+    /// # Errors
+    /// Validates every box up front ([`EclipseError::DimensionMismatch`] /
+    /// [`EclipseError::Unsupported`] for unbounded ranges); no partial
+    /// results are returned.
+    pub fn query_batch(
+        &self,
+        boxes: &[WeightRatioBox],
+        ctx: &ExecutionContext,
+    ) -> Result<Vec<Vec<usize>>> {
+        for b in boxes {
+            if b.dim() != self.dim {
+                return Err(EclipseError::DimensionMismatch {
+                    expected: self.dim,
+                    found: b.dim(),
+                });
+            }
+            if b.has_unbounded_range() {
+                return Err(EclipseError::Unsupported(
+                    "a BoundingBox in ratio space requires finite ratio ranges".to_string(),
+                ));
+            }
+        }
+        if boxes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut order: Vec<usize> = (0..boxes.len()).collect();
+        order.sort_unstable_by(|&x, &y| {
+            boxes[x]
+                .ranges()
+                .iter()
+                .zip(boxes[y].ranges())
+                .map(|(ra, rb)| ra.lo().total_cmp(&rb.lo()))
+                .find(|c| *c != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let chunk_len = order.len().div_ceil(ctx.threads() * 4).max(1);
+        let chunks = ctx.pool().par_chunks(&order, chunk_len, |_, chunk| {
+            let mut scratch = ProbeScratch::new();
+            chunk
+                .iter()
+                .map(|&bi| {
+                    self.query_with_scratch(&boxes[bi], &mut scratch)
+                        .map(<[usize]>::to_vec)
+                        .expect("query_batch boxes are validated before dispatch")
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut results: Vec<Vec<usize>> = vec![Vec::new(); boxes.len()];
+        for (chunk_results, chunk_ids) in chunks.into_iter().zip(order.chunks(chunk_len)) {
+            for (res, &bi) in chunk_results.into_iter().zip(chunk_ids) {
+                results[bi] = res;
+            }
+        }
+        Ok(results)
+    }
+
+    /// Fills `scratch.candidates` with the indices (into `self.pairs`) of the
+    /// candidate intersection hyperplanes for the query box in
+    /// `scratch.qlo/qhi`: exactly those intersecting the closed box.
+    fn candidate_pairs(&self, scratch: &mut ProbeScratch) {
+        let ProbeScratch {
+            qlo,
+            qhi,
+            candidates,
+            traversal,
+            ..
+        } = scratch;
+        let contained = self
+            .root_cell
+            .lo()
+            .iter()
+            .zip(self.root_cell.hi())
+            .zip(qlo.iter().zip(qhi.iter()))
+            .all(|((rl, rh), (ql, qh))| rl <= ql && rh >= qh);
+        if contained {
             match &self.backend {
-                Backend::Quad(t) => t.query(&self.hyperplanes, qbox),
-                Backend::Cutting(t) => t.query(&self.hyperplanes, qbox),
+                Backend::Quad(t) => t.query_into(qlo, qhi, traversal, candidates),
+                Backend::Cutting(t) => t.query_into(qlo, qhi, traversal, candidates),
             }
         } else {
-            // Exact fallback for queries escaping the indexed region.
-            (0..self.hyperplanes.len())
-                .filter(|&i| self.hyperplanes[i].intersects_box(qbox))
-                .collect()
+            // Exact fallback for queries escaping the indexed region — a
+            // linear scan over the slab rows, reusing the candidate buffer.
+            candidates.clear();
+            let slab = self.slab();
+            candidates.extend((0..slab.len()).filter(|&i| slab.intersects_box(i, qlo, qhi)));
         }
     }
 
     /// Computes the final dominator count of every skyline point into
     /// `scratch.ov`: the initial order vector at the lower corner, adjusted
     /// exactly for every candidate pair.
-    fn replay(
-        &self,
-        lower: &[f64],
-        qbox: &BoundingBox,
-        candidates: &[usize],
-        scratch: &mut ProbeScratch,
-    ) {
+    fn replay(&self, scratch: &mut ProbeScratch) {
+        let ProbeScratch {
+            scores,
+            sorted,
+            ov,
+            qlo,
+            qhi,
+            candidates,
+            ..
+        } = scratch;
+        let d = self.dim;
+        let k = d - 1;
+        let coords = &self.skyline_coords;
         // Initial order vector: how many points score strictly lower at the
-        // lower corner.  All three buffers are reused across probes.
-        scratch.scores.clear();
-        scratch.scores.extend(
-            self.skyline_points
+        // lower corner.  All buffers are reused across probes.
+        scores.clear();
+        scores.extend((0..self.skyline_ids.len()).map(|i| {
+            let row = &coords[i * d..(i + 1) * d];
+            row[..k]
                 .iter()
-                .map(|p| score_with_ratios(p, lower)),
-        );
-        scratch.sorted.clear();
-        scratch.sorted.extend_from_slice(&scratch.scores);
-        scratch.sorted.sort_by(|a, b| a.total_cmp(b));
-        let (scores, sorted) = (&scratch.scores, &scratch.sorted);
-        scratch.ov.clear();
-        scratch.ov.extend(
+                .zip(qlo.iter())
+                .map(|(p, r)| r * p)
+                .sum::<f64>()
+                + row[k]
+        }));
+        sorted.clear();
+        sorted.extend_from_slice(scores);
+        // Unstable sort: equal scores are interchangeable for ranking, and
+        // the stable sort would allocate a merge buffer on every probe.
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        ov.clear();
+        ov.extend(
             scores
                 .iter()
                 .map(|&s| sorted.partition_point(|&v| v + EPS < s) as i64),
         );
-        let ov = &mut scratch.ov;
 
         // Exact adjustment for every pair whose order may change in the box.
-        for &ci in candidates {
+        let slab = self.slab();
+        for &ci in candidates.iter() {
             let (a, b) = self.pairs[ci];
             let (a, b) = (a as usize, b as usize);
-            let f = &self.hyperplanes[ci]; // f(r) = S_a(r) − S_b(r)
-            let max_f = f.max_over_box(qbox);
-            let min_f = f.min_over_box(qbox);
+            // f(r) = S_a(r) − S_b(r), read from the slab row.
+            let (min_f, max_f) = slab.min_max_over_box(ci, qlo, qhi);
             let a_dominates_b = max_f <= EPS && min_f < -EPS;
             let b_dominates_a = min_f >= -EPS && max_f > EPS;
             let fl = scores[a] - scores[b];
@@ -458,6 +601,12 @@ mod tests {
         assert!(idx.query(&wrong).is_err());
         let sky = WeightRatioBox::skyline(2).unwrap();
         assert!(idx.query(&sky).is_err());
+        // The batch API validates the same way, before any work is done.
+        let ctx = ExecutionContext::serial();
+        let ok = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert!(idx.query_batch(&[ok.clone(), wrong], &ctx).is_err());
+        assert!(idx.query_batch(&[ok, sky], &ctx).is_err());
+        assert!(idx.query_batch(&[], &ctx).unwrap().is_empty());
     }
 
     #[test]
@@ -534,6 +683,21 @@ mod tests {
         let idx = EclipseIndex::build(&pts, cfg).unwrap();
         let b = WeightRatioBox::uniform(2, 0.5, 8.0).unwrap(); // escapes the root cell
         assert_eq!(idx.query(&b).unwrap(), eclipse_baseline(&pts, &b).unwrap());
+        // The fallback path shares the scratch too: alternate in/out probes.
+        let mut scratch = ProbeScratch::new();
+        let inside = WeightRatioBox::uniform(2, 0.5, 1.5).unwrap();
+        for b in [
+            WeightRatioBox::uniform(2, 0.5, 8.0).unwrap(),
+            inside.clone(),
+            WeightRatioBox::uniform(2, 0.25, 4.0).unwrap(),
+            inside,
+        ] {
+            assert_eq!(
+                idx.query_with_scratch(&b, &mut scratch).unwrap(),
+                &eclipse_baseline(&pts, &b).unwrap()[..],
+                "box {b}"
+            );
+        }
     }
 
     #[test]
@@ -586,9 +750,39 @@ mod tests {
         for (lo, hi) in [(0.2, 0.8), (0.36, 2.75), (0.9, 1.1)] {
             let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
             let plain = serial.query(&b).unwrap();
-            assert_eq!(serial.query_with_scratch(&b, &mut scratch).unwrap(), plain);
+            assert_eq!(
+                serial.query_with_scratch(&b, &mut scratch).unwrap(),
+                &plain[..]
+            );
             assert_eq!(parallel.query(&b).unwrap(), plain);
             assert_eq!(plain, eclipse_baseline(&pts, &b).unwrap());
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_probes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let boxes: Vec<WeightRatioBox> = (0..25)
+            .map(|_| {
+                let lo = rng.gen_range(0.05..1.5);
+                WeightRatioBox::uniform(3, lo, lo + rng.gen_range(0.05..2.0)).unwrap()
+            })
+            .collect();
+        for cfg in both_kinds() {
+            let idx = EclipseIndex::build(&pts, cfg).unwrap();
+            let expected: Vec<Vec<usize>> = boxes.iter().map(|b| idx.query(b).unwrap()).collect();
+            for threads in [1usize, 4] {
+                let ctx = ExecutionContext::with_threads(threads);
+                assert_eq!(
+                    idx.query_batch(&boxes, &ctx).unwrap(),
+                    expected,
+                    "kind {:?}, threads {threads}",
+                    cfg.kind
+                );
+            }
         }
     }
 

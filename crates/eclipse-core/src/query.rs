@@ -203,6 +203,74 @@ impl EclipseEngine {
         }
     }
 
+    /// Answers a batch of eclipse queries, fanning the probes out over the
+    /// engine's execution context — the serving-layer entry point.
+    ///
+    /// Index algorithms (and `Auto` over bounded boxes) route through
+    /// [`EclipseIndex::query_batch`]: probes are locality-sorted, chunked
+    /// over the shared `eclipse-exec` pool and answered with one reusable
+    /// [`crate::index::ProbeScratch`] per worker, so the steady-state cost
+    /// per probe is allocation-free tree traversal plus replay.  `Auto`
+    /// prefers an already-built index and otherwise builds the engine's
+    /// configured default kind once for the whole batch; batches containing
+    /// unbounded boxes fall back to per-box [`Algorithm::Auto`] answering.
+    /// `Baseline` / `Transform` have no batch-level structure to exploit and
+    /// simply answer per box.  Results are returned in input order.
+    ///
+    /// # Errors
+    /// Validates every box up front; no partial results are returned.
+    pub fn eclipse_query_batch(
+        &self,
+        boxes: &[WeightRatioBox],
+        options: &QueryOptions,
+    ) -> Result<Vec<Vec<usize>>> {
+        for b in boxes {
+            if b.dim() != self.dim {
+                return Err(EclipseError::DimensionMismatch {
+                    expected: self.dim,
+                    found: b.dim(),
+                });
+            }
+        }
+        if boxes.is_empty() {
+            // Nothing to answer — in particular, do not build an index.
+            return Ok(Vec::new());
+        }
+        match options.algorithm {
+            Algorithm::IndexQuadtree => self
+                .build_index(IntersectionIndexKind::Quadtree)?
+                .query_batch(boxes, &self.exec),
+            Algorithm::IndexCuttingTree => self
+                .build_index(IntersectionIndexKind::CuttingTree)?
+                .query_batch(boxes, &self.exec),
+            Algorithm::Auto if boxes.iter().all(|b| !b.has_unbounded_range()) => {
+                self.auto_index()?.query_batch(boxes, &self.exec)
+            }
+            _ => boxes
+                .iter()
+                .map(|b| self.eclipse_query(b, options))
+                .collect(),
+        }
+    }
+
+    /// The index `Auto` batches route through: an already-built one of either
+    /// kind if available, otherwise the engine's configured default kind
+    /// (built and cached).
+    fn auto_index(&self) -> Result<Arc<EclipseIndex>> {
+        if let Some(idx) = self.quad_index.read().expect("index lock poisoned").clone() {
+            return Ok(idx);
+        }
+        if let Some(idx) = self
+            .cutting_index
+            .read()
+            .expect("index lock poisoned")
+            .clone()
+        {
+            return Ok(idx);
+        }
+        self.build_index(self.index_config.kind)
+    }
+
     fn eclipse_auto(
         &self,
         ratio_box: &WeightRatioBox,
@@ -626,6 +694,64 @@ mod tests {
         ] {
             assert_eq!(wide.skyline_with(backend), sky, "{backend:?}");
         }
+    }
+
+    #[test]
+    fn batched_queries_agree_with_per_probe_answers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let boxes: Vec<WeightRatioBox> = (0..20)
+            .map(|_| {
+                let lo = rng.gen_range(0.05..1.5);
+                WeightRatioBox::uniform(3, lo, lo + rng.gen_range(0.05..2.0)).unwrap()
+            })
+            .collect();
+        let e = EclipseEngine::new(pts).unwrap();
+        let expected: Vec<Vec<usize>> = boxes.iter().map(|b| e.eclipse(b).unwrap()).collect();
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Baseline,
+            Algorithm::Transform,
+            Algorithm::IndexQuadtree,
+            Algorithm::IndexCuttingTree,
+        ] {
+            let opts = QueryOptions::with_algorithm(alg);
+            assert_eq!(
+                e.eclipse_query_batch(&boxes, &opts).unwrap(),
+                expected,
+                "{alg:?}"
+            );
+        }
+        // Empty batches and mixed dimensionalities are handled up front.
+        assert!(e
+            .eclipse_query_batch(&[], &QueryOptions::default())
+            .unwrap()
+            .is_empty());
+        let wrong = WeightRatioBox::uniform(4, 0.5, 1.0).unwrap();
+        assert!(e
+            .eclipse_query_batch(&[wrong], &QueryOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn auto_batches_with_unbounded_boxes_fall_back_per_probe() {
+        let e = paper_engine();
+        let sky = WeightRatioBox::skyline(2).unwrap();
+        let bounded = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        let got = e
+            .eclipse_query_batch(&[sky.clone(), bounded.clone()], &QueryOptions::default())
+            .unwrap();
+        assert_eq!(got[0], e.eclipse(&sky).unwrap());
+        assert_eq!(got[1], e.eclipse(&bounded).unwrap());
+        // Explicit index algorithms refuse unbounded boxes, batched too.
+        assert!(e
+            .eclipse_query_batch(
+                &[sky],
+                &QueryOptions::with_algorithm(Algorithm::IndexQuadtree)
+            )
+            .is_err());
     }
 
     #[test]

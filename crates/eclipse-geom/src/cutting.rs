@@ -18,6 +18,14 @@
 //!   candidates from the leaves intersecting the query box and filter them
 //!   with an exact hyperplane-box test.
 //!
+//! Like [`crate::quadtree`], the tree is stored as a flat arena: fixed-size
+//! node records in one `Vec` (the two children of a cut allocated as an
+//! adjacent pair), leaf entries in one shared slab, cell corners in one flat
+//! buffer, and the hyperplanes in a [`HyperplaneSlab`] so the
+//! candidate-filter loop runs branchless over dense coefficient rows.
+//! Steady-state probes through [`CuttingTree::query_into`] perform no heap
+//! allocations.
+//!
 //! Unlike the quadtree, the depth of this tree is bounded by `max_depth`
 //! *and* the data-adaptive median splits keep it balanced even when all
 //! hyperplanes crowd into one corner of the root cell — which is exactly the
@@ -30,8 +38,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::approx::EPS;
-use crate::hyperplane::Hyperplane;
+use crate::hyperplane::{Hyperplane, HyperplaneSlab};
 use crate::point::BoundingBox;
+use crate::traverse::{classify_cell, CellRelation, TraversalScratch};
 
 /// Construction parameters for [`CuttingTree`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -47,6 +56,10 @@ pub struct CuttingTreeConfig {
     /// Global budget on the number of tree nodes; once exhausted the
     /// remaining cells stay leaves (queries remain exact).
     pub max_nodes: usize,
+    /// Global budget on the shared entry slab (every node stores the ids of
+    /// the hyperplanes crossing its cell); see
+    /// [`crate::quadtree::QuadtreeConfig::max_entries`].
+    pub max_entries: usize,
     /// Seed for the sampling RNG so index construction is reproducible.
     pub seed: u64,
 }
@@ -58,141 +71,179 @@ impl Default for CuttingTreeConfig {
             max_depth: 24,
             sample_size: 16,
             max_nodes: 1 << 16,
+            max_entries: 1 << 22,
             seed: 0x5eed_cafe,
         }
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
-enum Node {
-    Leaf {
-        cell: BoundingBox,
-        entries: Vec<usize>,
-    },
-    Internal {
-        cell: BoundingBox,
-        axis: usize,
-        at: f64,
-        low: Box<Node>,
-        high: Box<Node>,
-    },
+/// Sentinel marking a leaf node (no children).
+const NO_CHILD: u32 = u32::MAX;
+
+/// One arena node: an axis-aligned cut with its two children allocated as an
+/// adjacent pair (`low == high − 1`), or a leaf.
+///
+/// Every node — internal or leaf — records the ids of the hyperplanes
+/// crossing its cell in the shared entry slab.  Leaves use the range for
+/// exact candidate filtering; internal nodes use it to report their whole
+/// (deduplicated) subtree in one pass when their cell is fully contained in
+/// the query box.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct Node {
+    /// Cut axis (meaningful for internal nodes only).
+    axis: u32,
+    /// Cut coordinate along `axis`.
+    at: f64,
+    /// Arena index of the low-side child; [`NO_CHILD`] for leaves.
+    low: u32,
+    /// Arena index of the high-side child.
+    high: u32,
+    /// This node's entry range in the shared slab.
+    entries_start: u32,
+    entries_end: u32,
 }
 
-impl Node {
-    fn cell(&self) -> &BoundingBox {
-        match self {
-            Node::Leaf { cell, .. } | Node::Internal { cell, .. } => cell,
-        }
-    }
-}
-
-/// A randomized cutting tree over hyperplanes in k-dimensional space.
+/// A randomized cutting tree over hyperplanes in k-dimensional space, stored
+/// as a flat arena.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CuttingTree {
-    root: Node,
+    slab: HyperplaneSlab,
+    nodes: Vec<Node>,
+    /// Node cells, `2k` values per node: `k` lower corner coordinates, then
+    /// `k` upper.
+    cells: Vec<f64>,
+    /// Shared entry slab: every leaf's hyperplane ids, concatenated.
+    entries: Vec<u32>,
+    root_cell: BoundingBox,
     config: CuttingTreeConfig,
-    len: usize,
-    node_count: usize,
     max_depth_reached: usize,
 }
 
 impl CuttingTree {
     /// Builds the index over `hyperplanes`, bounded by `cell`.
     pub fn build(hyperplanes: &[Hyperplane], cell: BoundingBox, config: CuttingTreeConfig) -> Self {
-        let all: Vec<usize> = (0..hyperplanes.len())
-            .filter(|&i| hyperplanes[i].intersects_box(&cell))
-            .collect();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut node_count = 0usize;
-        let mut max_depth_reached = 0usize;
-        let root = Self::build_node(
-            hyperplanes,
-            cell,
-            all,
-            0,
-            &config,
-            &mut rng,
-            &mut node_count,
-            &mut max_depth_reached,
-        );
-        CuttingTree {
-            root,
-            config,
-            len: hyperplanes.len(),
-            node_count,
-            max_depth_reached,
-        }
+        Self::build_from_slab(HyperplaneSlab::from_hyperplanes(hyperplanes), cell, config)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn build_node(
-        hyperplanes: &[Hyperplane],
+    /// Builds the index over an already-constructed hyperplane slab, taking
+    /// ownership of it.
+    pub fn build_from_slab(
+        slab: HyperplaneSlab,
         cell: BoundingBox,
-        entries: Vec<usize>,
-        depth: usize,
-        config: &CuttingTreeConfig,
-        rng: &mut StdRng,
-        node_count: &mut usize,
-        max_depth_reached: &mut usize,
-    ) -> Node {
-        *node_count += 1;
-        *max_depth_reached = (*max_depth_reached).max(depth);
-        if entries.len() <= config.max_capacity
-            || depth >= config.max_depth
-            || *node_count >= config.max_nodes
-        {
-            return Node::Leaf { cell, entries };
-        }
-        let Some((axis, at)) = choose_cut(hyperplanes, &cell, &entries, config, rng) else {
-            return Node::Leaf { cell, entries };
+        config: CuttingTreeConfig,
+    ) -> Self {
+        let all: Vec<u32> = (0..slab.len())
+            .filter(|&i| slab.intersects_box(i, cell.lo(), cell.hi()))
+            .map(|i| i as u32)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tree = CuttingTree {
+            slab,
+            nodes: Vec::new(),
+            cells: Vec::new(),
+            entries: Vec::new(),
+            root_cell: cell.clone(),
+            config,
+            max_depth_reached: 0,
         };
-        let (low_cell, high_cell) = cell.split_at(axis, at);
-        // Guard against non-progress cuts (degenerate halves).
-        if low_cell.extent(axis) <= EPS || high_cell.extent(axis) <= EPS {
-            return Node::Leaf { cell, entries };
+        tree.alloc_node(&cell);
+        // Iterative breadth-first construction (cuts chosen level by level,
+        // which is also the order the sampling RNG is consumed in).  Level
+        // order matters for the node budget: when `max_nodes` runs out, a BFS
+        // fills every region of the root cell to the same depth, so the
+        // partially built tree prunes uniformly instead of spending the whole
+        // budget on the first child's subtree.
+        let mut work: std::collections::VecDeque<(u32, usize, Vec<u32>)> =
+            std::collections::VecDeque::from([(0, 0, all)]);
+        while let Some((idx, depth, node_entries)) = work.pop_front() {
+            tree.max_depth_reached = tree.max_depth_reached.max(depth);
+            // Every node records its (deduplicated) entry list, so queries
+            // can report a fully contained subtree straight from its root.
+            tree.record_entries(idx, &node_entries);
+            if node_entries.len() <= tree.config.max_capacity
+                || depth >= tree.config.max_depth
+                || tree.nodes.len() >= tree.config.max_nodes
+                || tree.entries.len() >= tree.config.max_entries
+            {
+                continue;
+            }
+            let cell = tree.node_cell(idx);
+            let Some((axis, at)) =
+                choose_cut(&tree.slab, &cell, &node_entries, &tree.config, &mut rng)
+            else {
+                continue;
+            };
+            let (low_cell, high_cell) = cell.split_at(axis, at);
+            // Guard against non-progress cuts (degenerate halves).
+            if low_cell.extent(axis) <= EPS || high_cell.extent(axis) <= EPS {
+                continue;
+            }
+            let low_entries: Vec<u32> = node_entries
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    tree.slab
+                        .intersects_box(i as usize, low_cell.lo(), low_cell.hi())
+                })
+                .collect();
+            let high_entries: Vec<u32> = node_entries
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    tree.slab
+                        .intersects_box(i as usize, high_cell.lo(), high_cell.hi())
+                })
+                .collect();
+            // If the cut failed to separate anything, stop to avoid infinite
+            // recursion (every hyperplane crosses both halves).
+            if low_entries.len() == node_entries.len() && high_entries.len() == node_entries.len() {
+                continue;
+            }
+            let low = tree.nodes.len() as u32;
+            tree.alloc_node(&low_cell);
+            tree.alloc_node(&high_cell);
+            let node = &mut tree.nodes[idx as usize];
+            node.axis = axis as u32;
+            node.at = at;
+            node.low = low;
+            node.high = low + 1;
+            work.push_back((low, depth + 1, low_entries));
+            work.push_back((low + 1, depth + 1, high_entries));
         }
-        let low_entries: Vec<usize> = entries
-            .iter()
-            .copied()
-            .filter(|&i| hyperplanes[i].intersects_box(&low_cell))
-            .collect();
-        let high_entries: Vec<usize> = entries
-            .iter()
-            .copied()
-            .filter(|&i| hyperplanes[i].intersects_box(&high_cell))
-            .collect();
-        // If the cut failed to separate anything, stop to avoid infinite
-        // recursion (every hyperplane crosses both halves).
-        if low_entries.len() == entries.len() && high_entries.len() == entries.len() {
-            return Node::Leaf { cell, entries };
-        }
-        let low = Self::build_node(
-            hyperplanes,
-            low_cell,
-            low_entries,
-            depth + 1,
-            config,
-            rng,
-            node_count,
-            max_depth_reached,
-        );
-        let high = Self::build_node(
-            hyperplanes,
-            high_cell,
-            high_entries,
-            depth + 1,
-            config,
-            rng,
-            node_count,
-            max_depth_reached,
-        );
-        Node::Internal {
-            cell,
-            axis,
-            at,
-            low: Box::new(low),
-            high: Box::new(high),
-        }
+        tree
+    }
+
+    /// Appends a leaf placeholder for `cell` to the arena.
+    fn alloc_node(&mut self, cell: &BoundingBox) {
+        self.nodes.push(Node {
+            axis: 0,
+            at: 0.0,
+            low: NO_CHILD,
+            high: NO_CHILD,
+            entries_start: 0,
+            entries_end: 0,
+        });
+        self.cells.extend_from_slice(cell.lo());
+        self.cells.extend_from_slice(cell.hi());
+    }
+
+    /// Stores a node's entries into the shared slab and records the range.
+    fn record_entries(&mut self, idx: u32, node_entries: &[u32]) {
+        let start = self.entries.len() as u32;
+        self.entries.extend_from_slice(node_entries);
+        let node = &mut self.nodes[idx as usize];
+        node.entries_start = start;
+        node.entries_end = self.entries.len() as u32;
+    }
+
+    /// Reconstructs a node's cell as an owned box (build/diagnostics only).
+    fn node_cell(&self, idx: u32) -> BoundingBox {
+        let k = self.root_cell.dim();
+        let base = idx as usize * 2 * k;
+        BoundingBox::new(
+            self.cells[base..base + k].to_vec(),
+            self.cells[base + k..base + 2 * k].to_vec(),
+        )
     }
 
     /// The configuration the tree was built with.
@@ -202,17 +253,23 @@ impl CuttingTree {
 
     /// Number of hyperplanes the tree was built over.
     pub fn len(&self) -> usize {
-        self.len
+        self.slab.len()
     }
 
     /// `true` when the tree indexes no hyperplanes.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.slab.is_empty()
     }
 
     /// Total number of tree nodes (diagnostic).
     pub fn node_count(&self) -> usize {
-        self.node_count
+        self.nodes.len()
+    }
+
+    /// Total number of entry-slab slots (diagnostic: the arena's dominant
+    /// memory cost; every node stores the ids crossing its cell).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
     }
 
     /// Deepest level created during construction (diagnostic).
@@ -222,60 +279,103 @@ impl CuttingTree {
 
     /// The root cell.
     pub fn root_cell(&self) -> &BoundingBox {
-        self.root.cell()
+        &self.root_cell
+    }
+
+    /// The hyperplane rows the tree indexes.
+    pub fn slab(&self) -> &HyperplaneSlab {
+        &self.slab
     }
 
     /// Returns the indices of all hyperplanes intersecting `query`, in
     /// ascending order and without duplicates.
     ///
-    /// `hyperplanes` must be the same slice the tree was built from.
+    /// `hyperplanes` must be the same slice the tree was built from (the tree
+    /// owns a slab copy of the rows; the slice is only length-checked).
+    /// Allocates fresh scratch per call — repeated probing should use
+    /// [`CuttingTree::query_into`].
     ///
     /// # Panics
     /// Panics if `hyperplanes.len()` differs from the construction-time count.
     pub fn query(&self, hyperplanes: &[Hyperplane], query: &BoundingBox) -> Vec<usize> {
         assert_eq!(
             hyperplanes.len(),
-            self.len,
+            self.slab.len(),
             "query must use the hyperplane slice the index was built from"
         );
-        let mut seen = vec![false; self.len];
+        let mut scratch = TraversalScratch::new();
         let mut out = Vec::new();
-        let mut stack = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            if !node.cell().intersects(query) {
-                continue;
-            }
-            match node {
-                Node::Leaf { entries, .. } => {
-                    for &i in entries {
-                        if !seen[i] && hyperplanes[i].intersects_box(query) {
-                            seen[i] = true;
-                            out.push(i);
+        self.query_into(query.lo(), query.hi(), &mut scratch, &mut out);
+        out
+    }
+
+    /// The allocation-free query: appends the indices of all hyperplanes
+    /// intersecting the box `[qlo, qhi]` to `out` (cleared first), in
+    /// ascending order and without duplicates.  `scratch` is reused at its
+    /// high-water capacity across probes.
+    ///
+    /// # Panics
+    /// Panics if the corner slices do not match the root cell dimensionality.
+    pub fn query_into(
+        &self,
+        qlo: &[f64],
+        qhi: &[f64],
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            qlo.len(),
+            self.root_cell.dim(),
+            "query dimensionality mismatch"
+        );
+        assert_eq!(
+            qhi.len(),
+            self.root_cell.dim(),
+            "query dimensionality mismatch"
+        );
+        out.clear();
+        scratch.begin(self.slab.len());
+        scratch.stack.push(0);
+        while let Some(idx) = scratch.stack.pop() {
+            let idx = idx as usize;
+            let node = self.nodes[idx];
+            match classify_cell(&self.cells, idx, qlo, qhi) {
+                CellRelation::Disjoint => {}
+                CellRelation::Contained => {
+                    // The cell lies inside the query box, so every hyperplane
+                    // crossing the cell crosses the box: report this node's
+                    // deduplicated entry list without descending or running a
+                    // single sign test.
+                    for &e in &self.entries[node.entries_start as usize..node.entries_end as usize]
+                    {
+                        scratch.mark(e as usize);
+                    }
+                }
+                CellRelation::Overlaps if node.low == NO_CHILD => {
+                    for &e in &self.entries[node.entries_start as usize..node.entries_end as usize]
+                    {
+                        let e = e as usize;
+                        if !scratch.is_marked(e) && self.slab.intersects_box(e, qlo, qhi) {
+                            scratch.mark(e);
                         }
                     }
                 }
-                Node::Internal {
-                    axis,
-                    at,
-                    low,
-                    high,
-                    ..
-                } => {
+                CellRelation::Overlaps => {
                     // Descend through the cut plane: a child strictly on the
-                    // far side of the cut cannot intersect the query box
-                    // (EPS slack keeps the test conservative; the per-node
-                    // cell check above prunes any survivors exactly).
-                    if query.lo()[*axis] <= *at + EPS {
-                        stack.push(low);
+                    // far side of the cut cannot intersect the query box (EPS
+                    // slack keeps the test conservative; the per-node cell
+                    // check prunes any survivors exactly).
+                    let axis = node.axis as usize;
+                    if qlo[axis] <= node.at + EPS {
+                        scratch.stack.push(node.low);
                     }
-                    if query.hi()[*axis] >= *at - EPS {
-                        stack.push(high);
+                    if qhi[axis] >= node.at - EPS {
+                        scratch.stack.push(node.high);
                     }
                 }
             }
         }
-        out.sort_unstable();
-        out
+        scratch.drain_into(out);
     }
 }
 
@@ -286,9 +386,9 @@ impl CuttingTree {
 /// sample of the hyperplanes crossing the cell.  Falls back to the cell
 /// midpoint when no sampled hyperplane yields a usable crossing.
 fn choose_cut(
-    hyperplanes: &[Hyperplane],
+    slab: &HyperplaneSlab,
     cell: &BoundingBox,
-    entries: &[usize],
+    entries: &[u32],
     config: &CuttingTreeConfig,
     rng: &mut StdRng,
 ) -> Option<(usize, f64)> {
@@ -300,7 +400,7 @@ fn choose_cut(
     }
 
     let sample_count = config.sample_size.min(entries.len()).max(1);
-    let sample: Vec<usize> = if entries.len() <= sample_count {
+    let sample: Vec<u32> = if entries.len() <= sample_count {
         entries.to_vec()
     } else {
         entries
@@ -312,20 +412,20 @@ fn choose_cut(
     let center = cell.center();
     let mut crossings: Vec<f64> = Vec::with_capacity(sample.len());
     for &i in &sample {
-        let h = &hyperplanes[i];
-        let coeff = h.coeffs()[axis];
+        let row = slab.coeffs_row(i as usize);
+        let coeff = row[axis];
         if coeff.abs() <= EPS {
             continue;
         }
         // Solve h(x) = 0 with all coordinates fixed at the cell centre except
         // `axis`.
         let mut rest = 0.0;
-        for (j, c) in h.coeffs().iter().enumerate() {
+        for (j, c) in row.iter().enumerate() {
             if j != axis {
                 rest += c * center.coord(j);
             }
         }
-        let x = -(rest + h.offset()) / coeff;
+        let x = -(rest + slab.offset(i as usize)) / coeff;
         if x > cell.lo()[axis] + EPS && x < cell.hi()[axis] - EPS {
             crossings.push(x);
         }
@@ -370,6 +470,8 @@ mod tests {
         ];
         let tree = CuttingTree::build(&hs, unit_box(), CuttingTreeConfig::default());
         assert_eq!(tree.len(), 4);
+        assert_eq!(tree.root_cell(), &unit_box());
+        assert_eq!(tree.slab().len(), 4);
         let q = BoundingBox::new(vec![0.0, 0.0], vec![0.5, 0.5]);
         assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
     }
@@ -465,6 +567,19 @@ mod tests {
         assert_eq!(a.depth(), b.depth());
         let q = BoundingBox::new(vec![0.1, 0.1], vec![0.3, 0.3]);
         assert_eq!(a.query(&hs, &q), b.query(&hs, &q));
+    }
+
+    #[test]
+    fn query_into_reuses_scratch_across_probes() {
+        let hs: Vec<Hyperplane> = (0..80).map(|i| line(1.0, -0.7, -0.01 * i as f64)).collect();
+        let tree = CuttingTree::build(&hs, unit_box(), CuttingTreeConfig::default());
+        let mut scratch = TraversalScratch::new();
+        let mut out = Vec::new();
+        for (x0, y0, side) in [(0.0, 0.0, 0.4), (0.5, 0.5, 0.3), (0.9, 0.1, 0.05)] {
+            let q = BoundingBox::new(vec![x0, y0], vec![x0 + side, y0 + side]);
+            tree.query_into(q.lo(), q.hi(), &mut scratch, &mut out);
+            assert_eq!(out, brute_force(&hs, &q), "box {q:?}");
+        }
     }
 
     #[test]

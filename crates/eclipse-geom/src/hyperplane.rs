@@ -184,6 +184,165 @@ impl Hyperplane {
     }
 }
 
+/// A structure-of-arrays slab of hyperplanes sharing one ambient
+/// dimensionality: all coefficient rows in one contiguous buffer plus per-row
+/// offsets and precomputed degeneracy flags.
+///
+/// This is the storage format of the intersection-index hot path: the
+/// box-vs-hyperplane sign tests run over dense `f64` rows with a branchless
+/// min/max accumulation instead of chasing per-[`Hyperplane`] boxed slices,
+/// and the min and max are computed in a single pass.  The accumulation
+/// visits axes in order and adds the offset last, exactly like
+/// [`Hyperplane::min_over_box`] / [`Hyperplane::max_over_box`], so the slab
+/// predicates return the same answers as the per-object ones (up to the sign
+/// of zero, which never changes a sum).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HyperplaneSlab {
+    dim: usize,
+    /// Row-major coefficient rows: row `i` occupies `[i·dim, (i+1)·dim)`.
+    coeffs: Vec<f64>,
+    offsets: Vec<f64>,
+    /// Rows whose coefficients are all within `EPS` of zero, replicating the
+    /// degenerate special case of [`Hyperplane::intersects_box`].
+    degenerate: Vec<bool>,
+}
+
+impl HyperplaneSlab {
+    /// An empty slab for `dim`-dimensional hyperplanes.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1, "a HyperplaneSlab needs at least 1 dimension");
+        HyperplaneSlab {
+            dim,
+            coeffs: Vec::new(),
+            offsets: Vec::new(),
+            degenerate: Vec::new(),
+        }
+    }
+
+    /// An empty slab with capacity for `n` rows.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        let mut slab = HyperplaneSlab::new(dim);
+        slab.coeffs.reserve(n * dim);
+        slab.offsets.reserve(n);
+        slab.degenerate.reserve(n);
+        slab
+    }
+
+    /// Builds a slab from a slice of hyperplanes (an empty slice yields a
+    /// slab of dimension 1 with no rows).
+    ///
+    /// # Panics
+    /// Panics if the hyperplanes have mixed dimensionality.
+    pub fn from_hyperplanes(hyperplanes: &[Hyperplane]) -> Self {
+        let dim = hyperplanes.first().map_or(1, Hyperplane::dim);
+        let mut slab = HyperplaneSlab::with_capacity(dim, hyperplanes.len());
+        for h in hyperplanes {
+            slab.push(h.coeffs(), h.offset());
+        }
+        slab
+    }
+
+    /// Appends one hyperplane row.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len()` differs from the slab dimensionality.
+    pub fn push(&mut self, coeffs: &[f64], offset: f64) {
+        assert_eq!(coeffs.len(), self.dim, "row dimensionality mismatch");
+        self.coeffs.extend_from_slice(coeffs);
+        self.offsets.push(offset);
+        self.degenerate.push(coeffs.iter().all(|c| c.abs() <= EPS));
+    }
+
+    /// Appends all rows of another slab of the same dimensionality.
+    ///
+    /// # Panics
+    /// Panics if the dimensionalities differ.
+    pub fn extend_from(&mut self, other: &HyperplaneSlab) {
+        assert_eq!(other.dim, self.dim, "slab dimensionality mismatch");
+        self.coeffs.extend_from_slice(&other.coeffs);
+        self.offsets.extend_from_slice(&other.offsets);
+        self.degenerate.extend_from_slice(&other.degenerate);
+    }
+
+    /// Number of hyperplane rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` when the slab holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The coefficient row of hyperplane `i`.
+    #[inline]
+    pub fn coeffs_row(&self, i: usize) -> &[f64] {
+        &self.coeffs[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The constant offset of hyperplane `i`.
+    #[inline]
+    pub fn offset(&self, i: usize) -> f64 {
+        self.offsets[i]
+    }
+
+    /// Whether row `i` is degenerate (all coefficients numerically zero).
+    #[inline]
+    pub fn is_degenerate(&self, i: usize) -> bool {
+        self.degenerate[i]
+    }
+
+    /// Minimum and maximum of functional `i` over the box `[lo, hi]`, in one
+    /// branchless pass over the coefficient row.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the corner slices do not match the slab
+    /// dimensionality; release builds index out of bounds instead.
+    #[inline]
+    pub fn min_max_over_box(&self, i: usize, lo: &[f64], hi: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(lo.len(), self.dim, "corner dimensionality mismatch");
+        debug_assert_eq!(hi.len(), self.dim, "corner dimensionality mismatch");
+        let row = &self.coeffs[i * self.dim..(i + 1) * self.dim];
+        let mut min = 0.0f64;
+        let mut max = 0.0f64;
+        for j in 0..row.len() {
+            let a = row[j] * lo[j];
+            let b = row[j] * hi[j];
+            min += a.min(b);
+            max += a.max(b);
+        }
+        (min + self.offsets[i], max + self.offsets[i])
+    }
+
+    /// Whether hyperplane `i` intersects the closed box `[lo, hi]` — the slab
+    /// counterpart of [`Hyperplane::intersects_box`], returning the same
+    /// answer.
+    #[inline]
+    pub fn intersects_box(&self, i: usize, lo: &[f64], hi: &[f64]) -> bool {
+        if self.degenerate[i] {
+            return self.offsets[i].abs() <= EPS;
+        }
+        let (min, max) = self.min_max_over_box(i, lo, hi);
+        min <= EPS && max >= -EPS
+    }
+
+    /// Materializes row `i` as an owned [`Hyperplane`].
+    pub fn hyperplane(&self, i: usize) -> Hyperplane {
+        Hyperplane::new(self.coeffs_row(i).to_vec(), self.offsets[i])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +424,58 @@ mod tests {
         assert!(zero_everywhere.intersects_box(&b));
         assert!(!never_zero.intersects_box(&b));
         assert!(!zero_everywhere.crosses_box_interior(&b));
+    }
+
+    #[test]
+    fn slab_agrees_with_per_object_predicates() {
+        let hs = vec![
+            Hyperplane::new(vec![1.0, -1.0], 0.0),
+            Hyperplane::new(vec![0.0, 1.0], -0.25),
+            Hyperplane::new(vec![2.0, -1.0], 1.0),
+            Hyperplane::new(vec![0.0, 0.0], 0.0), // degenerate, everywhere
+            Hyperplane::new(vec![0.0, 0.0], 2.0), // degenerate, nowhere
+            Hyperplane::new(vec![1.0, 1.0], -10.0),
+        ];
+        let slab = HyperplaneSlab::from_hyperplanes(&hs);
+        assert_eq!(slab.len(), hs.len());
+        assert_eq!(slab.dim(), 2);
+        assert!(!slab.is_empty());
+        assert!(slab.is_degenerate(3) && slab.is_degenerate(4));
+        let boxes = [
+            BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+            BoundingBox::new(vec![0.0, 2.0], vec![1.0, 3.0]),
+            BoundingBox::new(vec![-2.0, -1.5], vec![0.5, 0.25]),
+        ];
+        for b in &boxes {
+            for (i, h) in hs.iter().enumerate() {
+                assert_eq!(
+                    slab.intersects_box(i, b.lo(), b.hi()),
+                    h.intersects_box(b),
+                    "row {i}, box {b:?}"
+                );
+                if !slab.is_degenerate(i) {
+                    let (min, max) = slab.min_max_over_box(i, b.lo(), b.hi());
+                    assert_eq!(min, h.min_over_box(b), "row {i}");
+                    assert_eq!(max, h.max_over_box(b), "row {i}");
+                }
+                assert_eq!(slab.hyperplane(i), *h);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_push_and_extend() {
+        let mut a = HyperplaneSlab::new(2);
+        a.push(&[1.0, 2.0], 3.0);
+        let mut b = HyperplaneSlab::with_capacity(2, 1);
+        b.push(&[0.0, 0.0], 0.5);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.coeffs_row(0), &[1.0, 2.0]);
+        assert_eq!(a.offset(1), 0.5);
+        assert!(!a.is_degenerate(0));
+        assert!(a.is_degenerate(1));
+        // The empty slice yields an empty slab.
+        assert!(HyperplaneSlab::from_hyperplanes(&[]).is_empty());
     }
 }

@@ -34,6 +34,7 @@ pub mod lp;
 pub mod point;
 pub mod quadtree;
 pub mod rtree;
+pub mod traverse;
 
 pub use approx::{approx_eq, approx_ge, approx_le, EPS};
 pub use hyperplane::{DualLine, Hyperplane};

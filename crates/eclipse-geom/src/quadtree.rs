@@ -12,6 +12,18 @@
 //! intersect the box and then filtered with an exact hyperplane-box test, so
 //! the result is never approximate).
 //!
+//! # Arena layout
+//!
+//! The tree is stored as a flat arena rather than boxed nodes: one `Vec` of
+//! fixed-size node records (children referenced as a contiguous index range),
+//! one shared entry slab holding every leaf's hyperplane ids, and one flat
+//! buffer of cell corner coordinates.  The hyperplanes themselves live in a
+//! [`HyperplaneSlab`] (structure-of-arrays coefficient rows), so the query
+//! loop — an iterative descent with an explicit stack, visited-bitmap
+//! deduplication and branchless box sign tests — touches only dense arrays.
+//! Steady-state probes through [`HyperplaneQuadtree::query_into`] perform no
+//! heap allocations.
+//!
 //! As the paper notes, the structure has very good average-case behaviour but
 //! can degenerate to linear depth when all hyperplanes concentrate in the same
 //! quadrant of every cell — exactly the worst case exercised by Figs. 13–14.
@@ -20,8 +32,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::hyperplane::Hyperplane;
+use crate::hyperplane::{Hyperplane, HyperplaneSlab};
 use crate::point::BoundingBox;
+use crate::traverse::{classify_cell, CellRelation, TraversalScratch};
 
 /// Construction parameters for [`HyperplaneQuadtree`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -39,6 +52,13 @@ pub struct QuadtreeConfig {
     /// cells simply stay leaves (queries remain exact, only pruning quality
     /// degrades).
     pub max_nodes: usize,
+    /// Global budget on the shared entry slab (the arena's dominant memory
+    /// cost: every node stores the ids of the hyperplanes crossing its
+    /// cell).  Subdivision stops once the slab reaches the budget; thanks to
+    /// the breadth-first construction the cap degrades pruning uniformly
+    /// (the slab may overshoot by the entries of cells already queued for
+    /// subdivision, a small constant factor).
+    pub max_entries: usize,
 }
 
 impl Default for QuadtreeConfig {
@@ -47,44 +67,54 @@ impl Default for QuadtreeConfig {
             max_capacity: 8,
             max_depth: 16,
             max_nodes: 1 << 15,
+            max_entries: 1 << 22,
         }
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
-enum Node {
-    Leaf {
-        cell: BoundingBox,
-        entries: Vec<usize>,
-    },
-    Internal {
-        cell: BoundingBox,
-        children: Vec<Node>,
-    },
-}
+/// Sentinel marking a leaf node (no children).
+const NO_CHILDREN: u32 = u32::MAX;
 
-impl Node {
-    fn cell(&self) -> &BoundingBox {
-        match self {
-            Node::Leaf { cell, .. } | Node::Internal { cell, .. } => cell,
-        }
-    }
-}
-
-/// A quadtree (2-D) / octree (k-D) over hyperplanes.
+/// One arena node: children as a contiguous index range, entries as a range
+/// into the shared entry slab.
 ///
-/// The tree stores *indices* into the hyperplane slice supplied at
-/// construction time; the caller keeps ownership of the hyperplanes and must
-/// pass the same slice to [`HyperplaneQuadtree::query`].  This keeps the
-/// index lean (the same hyperplane may be referenced from many leaves) and
-/// mirrors how `eclipse-core` stores its intersection hyperplanes once and
-/// indexes them twice (QUAD and CUTTING).
+/// Every node — internal or leaf — records the ids of the hyperplanes
+/// crossing its cell.  Leaves use the range for exact candidate filtering;
+/// internal nodes use it to report their whole (deduplicated) subtree in one
+/// pass when their cell is fully contained in the query box.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct Node {
+    /// Arena index of the first child; [`NO_CHILDREN`] for leaves.
+    first_child: u32,
+    /// Number of children, laid out contiguously from `first_child`.
+    child_count: u32,
+    /// Start of this node's entry range in the shared slab.
+    entries_start: u32,
+    /// One past the end of the entry range.
+    entries_end: u32,
+}
+
+/// A quadtree (2-D) / octree (k-D) over hyperplanes, stored as a flat arena.
+///
+/// The tree owns its hyperplanes in [`HyperplaneSlab`] form; construction
+/// from a `&[Hyperplane]` slice copies the rows once.  [`query`] keeps the
+/// historical slice-taking signature for compatibility (the slice is only
+/// length-checked), while the hot path is [`query_into`], which reuses
+/// caller-provided scratch.
+///
+/// [`query`]: HyperplaneQuadtree::query
+/// [`query_into`]: HyperplaneQuadtree::query_into
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HyperplaneQuadtree {
-    root: Node,
+    slab: HyperplaneSlab,
+    nodes: Vec<Node>,
+    /// Node cells, `2k` values per node: `k` lower corner coordinates, then
+    /// `k` upper.
+    cells: Vec<f64>,
+    /// Shared entry slab: every leaf's hyperplane ids, concatenated.
+    entries: Vec<u32>,
+    root_cell: BoundingBox,
     config: QuadtreeConfig,
-    len: usize,
-    node_count: usize,
     max_depth_reached: usize,
 }
 
@@ -92,80 +122,121 @@ impl HyperplaneQuadtree {
     /// Builds the index over `hyperplanes`, bounded by `cell` (hyperplanes
     /// not intersecting the root cell are simply never reported).
     pub fn build(hyperplanes: &[Hyperplane], cell: BoundingBox, config: QuadtreeConfig) -> Self {
-        let all: Vec<usize> = (0..hyperplanes.len())
-            .filter(|&i| hyperplanes[i].intersects_box(&cell))
-            .collect();
-        let mut node_count = 0usize;
-        let mut max_depth_reached = 0usize;
-        let root = Self::build_node(
-            hyperplanes,
-            cell,
-            all,
-            0,
-            &config,
-            &mut node_count,
-            &mut max_depth_reached,
-        );
-        HyperplaneQuadtree {
-            root,
-            config,
-            len: hyperplanes.len(),
-            node_count,
-            max_depth_reached,
-        }
+        Self::build_from_slab(HyperplaneSlab::from_hyperplanes(hyperplanes), cell, config)
     }
 
-    fn build_node(
-        hyperplanes: &[Hyperplane],
+    /// Builds the index over an already-constructed hyperplane slab, taking
+    /// ownership of it (the cheap path for callers that assemble their rows
+    /// directly, like the n-dimensional eclipse index).
+    pub fn build_from_slab(
+        slab: HyperplaneSlab,
         cell: BoundingBox,
-        entries: Vec<usize>,
-        depth: usize,
-        config: &QuadtreeConfig,
-        node_count: &mut usize,
-        max_depth_reached: &mut usize,
-    ) -> Node {
-        *node_count += 1;
-        *max_depth_reached = (*max_depth_reached).max(depth);
-        if entries.len() <= config.max_capacity
-            || depth >= config.max_depth
-            || *node_count >= config.max_nodes
-        {
-            return Node::Leaf { cell, entries };
-        }
-        let children_cells = subdivide(&cell);
-        // If the cell has become degenerate (zero extent on every axis), stop.
-        if children_cells.is_empty() {
-            return Node::Leaf { cell, entries };
-        }
-        let child_entries: Vec<Vec<usize>> = children_cells
-            .iter()
-            .map(|child_cell| {
-                entries
-                    .iter()
-                    .copied()
-                    .filter(|&i| hyperplanes[i].intersects_box(child_cell))
-                    .collect()
-            })
+        config: QuadtreeConfig,
+    ) -> Self {
+        let all: Vec<u32> = (0..slab.len())
+            .filter(|&i| slab.intersects_box(i, cell.lo(), cell.hi()))
+            .map(|i| i as u32)
             .collect();
-        // No-progress guard: when every child still contains every entry
-        // (all hyperplanes cross all quadrants) further subdivision only
-        // multiplies memory without improving pruning.
-        if child_entries.iter().all(|c| c.len() == entries.len()) {
-            return Node::Leaf { cell, entries };
+        let mut tree = HyperplaneQuadtree {
+            slab,
+            nodes: Vec::new(),
+            cells: Vec::new(),
+            entries: Vec::new(),
+            root_cell: cell.clone(),
+            config,
+            max_depth_reached: 0,
+        };
+        tree.alloc_node(&cell);
+        // Iterative breadth-first construction: each work item finalizes one
+        // already-allocated node.  Children are allocated contiguously when
+        // their parent subdivides, so a node's children form an index range.
+        // Level order matters for the node budget: when `max_nodes` runs out,
+        // a BFS fills every region of the root cell to the same depth, so the
+        // partially built tree prunes uniformly — a depth-first order would
+        // instead spend the whole budget on the first quadrant's subtree and
+        // leave the remaining quadrants as giant unpruned leaves.
+        let mut work: std::collections::VecDeque<(u32, usize, Vec<u32>)> =
+            std::collections::VecDeque::from([(0, 0, all)]);
+        while let Some((idx, depth, node_entries)) = work.pop_front() {
+            tree.max_depth_reached = tree.max_depth_reached.max(depth);
+            // Every node records its (deduplicated) entry list, so queries
+            // can report a fully contained subtree straight from its root.
+            tree.record_entries(idx, &node_entries);
+            if node_entries.len() <= tree.config.max_capacity
+                || depth >= tree.config.max_depth
+                || tree.nodes.len() >= tree.config.max_nodes
+                || tree.entries.len() >= tree.config.max_entries
+            {
+                continue;
+            }
+            let cell = tree.node_cell(idx);
+            let children_cells = subdivide(&cell);
+            // If the cell has become degenerate (zero extent on every axis),
+            // stop.
+            if children_cells.is_empty() {
+                continue;
+            }
+            let child_entries: Vec<Vec<u32>> = children_cells
+                .iter()
+                .map(|child_cell| {
+                    node_entries
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            tree.slab
+                                .intersects_box(i as usize, child_cell.lo(), child_cell.hi())
+                        })
+                        .collect()
+                })
+                .collect();
+            // No-progress guard: when every child still contains every entry
+            // (all hyperplanes cross all quadrants) further subdivision only
+            // multiplies memory without improving pruning.
+            if child_entries.iter().all(|c| c.len() == node_entries.len()) {
+                continue;
+            }
+            let first = tree.nodes.len() as u32;
+            tree.nodes[idx as usize].first_child = first;
+            tree.nodes[idx as usize].child_count = children_cells.len() as u32;
+            for child_cell in &children_cells {
+                tree.alloc_node(child_cell);
+            }
+            for (ci, ce) in child_entries.into_iter().enumerate() {
+                work.push_back((first + ci as u32, depth + 1, ce));
+            }
         }
-        let mut children = Vec::with_capacity(children_cells.len());
-        for (child_cell, child_entry) in children_cells.into_iter().zip(child_entries) {
-            children.push(Self::build_node(
-                hyperplanes,
-                child_cell,
-                child_entry,
-                depth + 1,
-                config,
-                node_count,
-                max_depth_reached,
-            ));
-        }
-        Node::Internal { cell, children }
+        tree
+    }
+
+    /// Appends a leaf placeholder for `cell` to the arena.
+    fn alloc_node(&mut self, cell: &BoundingBox) {
+        self.nodes.push(Node {
+            first_child: NO_CHILDREN,
+            child_count: 0,
+            entries_start: 0,
+            entries_end: 0,
+        });
+        self.cells.extend_from_slice(cell.lo());
+        self.cells.extend_from_slice(cell.hi());
+    }
+
+    /// Stores a node's entries into the shared slab and records the range.
+    fn record_entries(&mut self, idx: u32, node_entries: &[u32]) {
+        let start = self.entries.len() as u32;
+        self.entries.extend_from_slice(node_entries);
+        let node = &mut self.nodes[idx as usize];
+        node.entries_start = start;
+        node.entries_end = self.entries.len() as u32;
+    }
+
+    /// Reconstructs a node's cell as an owned box (build/diagnostics only).
+    fn node_cell(&self, idx: u32) -> BoundingBox {
+        let k = self.root_cell.dim();
+        let base = idx as usize * 2 * k;
+        BoundingBox::new(
+            self.cells[base..base + k].to_vec(),
+            self.cells[base + k..base + 2 * k].to_vec(),
+        )
     }
 
     /// The configuration the tree was built with.
@@ -175,17 +246,23 @@ impl HyperplaneQuadtree {
 
     /// Number of hyperplanes the tree was built over.
     pub fn len(&self) -> usize {
-        self.len
+        self.slab.len()
     }
 
     /// `true` when the tree indexes no hyperplanes.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.slab.is_empty()
     }
 
     /// Total number of tree nodes (diagnostic).
     pub fn node_count(&self) -> usize {
-        self.node_count
+        self.nodes.len()
+    }
+
+    /// Total number of entry-slab slots (diagnostic: the arena's dominant
+    /// memory cost; every node stores the ids crossing its cell).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
     }
 
     /// Deepest level created during construction (diagnostic; the worst-case
@@ -196,47 +273,95 @@ impl HyperplaneQuadtree {
 
     /// The root cell.
     pub fn root_cell(&self) -> &BoundingBox {
-        self.root.cell()
+        &self.root_cell
+    }
+
+    /// The hyperplane rows the tree indexes.
+    pub fn slab(&self) -> &HyperplaneSlab {
+        &self.slab
     }
 
     /// Returns the indices of all hyperplanes intersecting `query`, in
     /// ascending order and without duplicates.
     ///
-    /// `hyperplanes` must be the same slice the tree was built from.
+    /// `hyperplanes` must be the same slice the tree was built from (the tree
+    /// owns a slab copy of the rows; the slice is only length-checked).
+    /// Allocates fresh scratch per call — repeated probing should use
+    /// [`HyperplaneQuadtree::query_into`].
     ///
     /// # Panics
     /// Panics if `hyperplanes.len()` differs from the construction-time count.
     pub fn query(&self, hyperplanes: &[Hyperplane], query: &BoundingBox) -> Vec<usize> {
         assert_eq!(
             hyperplanes.len(),
-            self.len,
+            self.slab.len(),
             "query must use the hyperplane slice the index was built from"
         );
-        let mut seen = vec![false; self.len];
+        let mut scratch = TraversalScratch::new();
         let mut out = Vec::new();
-        let mut stack = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            if !node.cell().intersects(query) {
-                continue;
-            }
-            match node {
-                Node::Leaf { entries, .. } => {
-                    for &i in entries {
-                        if !seen[i] && hyperplanes[i].intersects_box(query) {
-                            seen[i] = true;
-                            out.push(i);
+        self.query_into(query.lo(), query.hi(), &mut scratch, &mut out);
+        out
+    }
+
+    /// The allocation-free query: appends the indices of all hyperplanes
+    /// intersecting the box `[qlo, qhi]` to `out` (cleared first), in
+    /// ascending order and without duplicates.  `scratch` is reused at its
+    /// high-water capacity across probes.
+    ///
+    /// # Panics
+    /// Panics if the corner slices do not match the root cell dimensionality.
+    pub fn query_into(
+        &self,
+        qlo: &[f64],
+        qhi: &[f64],
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            qlo.len(),
+            self.root_cell.dim(),
+            "query dimensionality mismatch"
+        );
+        assert_eq!(
+            qhi.len(),
+            self.root_cell.dim(),
+            "query dimensionality mismatch"
+        );
+        out.clear();
+        scratch.begin(self.slab.len());
+        scratch.stack.push(0);
+        while let Some(idx) = scratch.stack.pop() {
+            let idx = idx as usize;
+            let node = self.nodes[idx];
+            match classify_cell(&self.cells, idx, qlo, qhi) {
+                CellRelation::Disjoint => {}
+                CellRelation::Contained => {
+                    // The cell lies inside the query box, so every hyperplane
+                    // crossing the cell crosses the box: report this node's
+                    // deduplicated entry list without descending or running a
+                    // single sign test.
+                    for &e in &self.entries[node.entries_start as usize..node.entries_end as usize]
+                    {
+                        scratch.mark(e as usize);
+                    }
+                }
+                CellRelation::Overlaps if node.first_child == NO_CHILDREN => {
+                    for &e in &self.entries[node.entries_start as usize..node.entries_end as usize]
+                    {
+                        let e = e as usize;
+                        if !scratch.is_marked(e) && self.slab.intersects_box(e, qlo, qhi) {
+                            scratch.mark(e);
                         }
                     }
                 }
-                Node::Internal { children, .. } => {
-                    for c in children {
-                        stack.push(c);
+                CellRelation::Overlaps => {
+                    for c in node.first_child..node.first_child + node.child_count {
+                        scratch.stack.push(c);
                     }
                 }
             }
         }
-        out.sort_unstable();
-        out
+        scratch.drain_into(out);
     }
 }
 
@@ -311,6 +436,8 @@ mod tests {
         let tree = HyperplaneQuadtree::build(&hs, unit_box(), QuadtreeConfig::default());
         assert_eq!(tree.len(), 4);
         assert!(!tree.is_empty());
+        assert_eq!(tree.root_cell(), &unit_box());
+        assert_eq!(tree.slab().len(), 4);
         let q = BoundingBox::new(vec![0.0, 0.0], vec![0.5, 0.5]);
         let got = tree.query(&hs, &q);
         assert_eq!(got, brute_force(&hs, &q));
@@ -337,6 +464,28 @@ mod tests {
         assert_eq!(got, brute_force(&hs, &unit_box()));
         assert!(tree.node_count() > 1, "tree should have subdivided");
         assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn query_into_reuses_scratch_across_probes() {
+        let hs: Vec<Hyperplane> = (0..60)
+            .map(|i| line(1.0, -1.0, -(i as f64) / 60.0))
+            .collect();
+        let tree = HyperplaneQuadtree::build(
+            &hs,
+            unit_box(),
+            QuadtreeConfig {
+                max_capacity: 4,
+                ..QuadtreeConfig::default()
+            },
+        );
+        let mut scratch = TraversalScratch::new();
+        let mut out = Vec::new();
+        for (x0, y0, side) in [(0.0, 0.0, 0.4), (0.5, 0.5, 0.3), (0.9, 0.1, 0.05)] {
+            let q = BoundingBox::new(vec![x0, y0], vec![x0 + side, y0 + side]);
+            tree.query_into(q.lo(), q.hi(), &mut scratch, &mut out);
+            assert_eq!(out, brute_force(&hs, &q), "box {q:?}");
+        }
     }
 
     #[test]
@@ -426,6 +575,25 @@ mod tests {
         );
         // Queries remain exact even in the degenerate case.
         let q = BoundingBox::new(vec![0.4, 0.4], vec![0.6, 0.6]);
+        assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+    }
+
+    #[test]
+    fn node_budget_caps_the_arena() {
+        let hs: Vec<Hyperplane> = (0..128)
+            .map(|i| line(1.0, -1.0, -(i as f64) / 128.0))
+            .collect();
+        let cfg = QuadtreeConfig {
+            max_capacity: 1,
+            max_depth: 30,
+            max_nodes: 64,
+            ..QuadtreeConfig::default()
+        };
+        let tree = HyperplaneQuadtree::build(&hs, unit_box(), cfg);
+        // The budget may be exceeded by at most one sibling group.
+        assert!(tree.node_count() <= 64 + 4, "got {}", tree.node_count());
+        // Queries are exact regardless of where construction stopped.
+        let q = BoundingBox::new(vec![0.1, 0.1], vec![0.9, 0.9]);
         assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
     }
 

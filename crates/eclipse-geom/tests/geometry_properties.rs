@@ -4,11 +4,14 @@
 
 use proptest::prelude::*;
 
+use eclipse_geom::cutting::{CuttingTree, CuttingTreeConfig};
 use eclipse_geom::dual::{score, score_difference_hyperplane, DualHyperplane};
-use eclipse_geom::hyperplane::{DualLine, Hyperplane};
+use eclipse_geom::hyperplane::{DualLine, Hyperplane, HyperplaneSlab};
 use eclipse_geom::linalg::Matrix;
 use eclipse_geom::lp::{Constraint, LinearProgram, LpOutcome};
 use eclipse_geom::point::{BoundingBox, Point};
+use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig};
+use eclipse_geom::traverse::TraversalScratch;
 
 fn point_strategy(d: usize) -> impl Strategy<Value = Point> {
     proptest::collection::vec(-10.0f64..10.0, d).prop_map(Point::new)
@@ -120,6 +123,87 @@ proptest! {
             // Singular matrices must have deficient rank.
             prop_assert!(m.rank() < 3);
         }
+    }
+
+    /// The slab predicates agree with the per-object [`Hyperplane`] ones on
+    /// arbitrary rows and boxes, degenerate rows included.
+    #[test]
+    fn slab_predicates_match_hyperplane_predicates(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-2.0f64..2.0, 2), -2.0f64..2.0),
+            1..40,
+        ),
+        zero_rows in proptest::collection::vec(-2.0f64..2.0, 0..4),
+        lo in proptest::collection::vec(-3.0f64..3.0, 2),
+        extent in proptest::collection::vec(0.0f64..3.0, 2),
+    ) {
+        let mut hs: Vec<Hyperplane> = rows
+            .into_iter()
+            .map(|(c, o)| Hyperplane::new(c, o))
+            .collect();
+        // Degenerate rows (all-zero coefficients) exercise the special case.
+        hs.extend(zero_rows.into_iter().map(|o| Hyperplane::new(vec![0.0, 0.0], o)));
+        let slab = HyperplaneSlab::from_hyperplanes(&hs);
+        let hi: Vec<f64> = lo.iter().zip(&extent).map(|(l, e)| l + e).collect();
+        let bbox = BoundingBox::new(lo.clone(), hi.clone());
+        for (i, h) in hs.iter().enumerate() {
+            prop_assert_eq!(
+                slab.intersects_box(i, &lo, &hi),
+                h.intersects_box(&bbox),
+                "row {}", i
+            );
+            if !slab.is_degenerate(i) {
+                let (min, max) = slab.min_max_over_box(i, &lo, &hi);
+                prop_assert!((min - h.min_over_box(&bbox)).abs() < 1e-12);
+                prop_assert!((max - h.max_over_box(&bbox)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The arena-backed QUAD and CUTTING trees report exactly the hyperplanes
+    /// a naive `intersects_box` filter reports, for any hyperplane set and
+    /// query box — through both the compatibility `query` and the
+    /// scratch-reusing `query_into` paths.
+    #[test]
+    fn arena_trees_match_naive_filter(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-1.0f64..1.0, 2), -1.0f64..1.0),
+            0..120,
+        ),
+        qlo in proptest::collection::vec(-1.0f64..0.9, 2),
+        side in 0.01f64..0.5,
+        cap in 1usize..8,
+    ) {
+        let hs: Vec<Hyperplane> = rows
+            .into_iter()
+            .map(|(c, o)| Hyperplane::new(c, o))
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let qhi: Vec<f64> = qlo.iter().map(|l| (l + side).min(1.0)).collect();
+        let query = BoundingBox::new(qlo.clone(), qhi.clone());
+        let expected: Vec<usize> = (0..hs.len())
+            .filter(|&i| hs[i].intersects_box(&query))
+            .collect();
+        let quad = HyperplaneQuadtree::build(
+            &hs,
+            root.clone(),
+            QuadtreeConfig { max_capacity: cap, ..QuadtreeConfig::default() },
+        );
+        let cut = CuttingTree::build(
+            &hs,
+            root,
+            CuttingTreeConfig { max_capacity: cap, ..CuttingTreeConfig::default() },
+        );
+        prop_assert_eq!(quad.query(&hs, &query), expected.clone());
+        prop_assert_eq!(cut.query(&hs, &query), expected.clone());
+        // The zero-alloc path returns the same ids, and one scratch serves
+        // both trees back to back.
+        let mut scratch = TraversalScratch::new();
+        let mut out = Vec::new();
+        quad.query_into(&qlo, &qhi, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &expected);
+        cut.query_into(&qlo, &qhi, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &expected);
     }
 
     /// LP solutions are feasible and no corner of a random box beats the optimum.
