@@ -32,6 +32,9 @@ use eclipse_core::relations::RelationReport;
 use eclipse_data::io::ResultTable;
 use eclipse_data::survey::{run_survey, SurveyConfig, SurveySystem};
 use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_serve::client::Client;
+use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::server::Server;
 
 const SEED: u64 = 20210614;
 
@@ -91,6 +94,9 @@ fn main() {
             emit(&opts, &name, table);
         }
     }
+    if want("serve") {
+        emit(&opts, "serve", serve_sweep(&opts));
+    }
 }
 
 fn parse_args() -> Options {
@@ -110,7 +116,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads|probes]..."
+                     threads|probes|serve]..."
                 );
                 std::process::exit(0);
             }
@@ -638,6 +644,95 @@ fn probes_sweep(opts: &Options) -> Vec<(String, (String, ResultTable))> {
             ),
         ),
     ]
+}
+
+/// Serving-layer throughput sweep: an in-process `eclipse-serve` server on
+/// an ephemeral port, one INDE dataset warmed at registration, one blocking
+/// client splitting a fixed probe set into batches of varying size.  Rows
+/// report requests/s and probes/s for `QueryBatch` and probes/s for
+/// `CountBatch` (minimum-latency pass over the repetitions, i.e. maximum
+/// throughput).  Writes BENCH_serve.json next to the CSVs.
+fn serve_sweep(opts: &Options) -> (String, ResultTable) {
+    let n = if opts.quick { 1 << 12 } else { 1 << 14 };
+    let num_probes = if opts.quick { 128usize } else { 512 };
+    let reps = if opts.quick { 2 } else { 5 };
+    let pts = DatasetFamily::Inde.generate(n, 3, SEED);
+    let boxes = probe_ratio_boxes(num_probes, 3, SEED + 3);
+    let mut t = ResultTable::new(&[
+        "threads",
+        "batch",
+        "query_req_s",
+        "query_probe_s",
+        "count_probe_s",
+    ]);
+    let mut json = String::from("{\n  \"pr\": 4,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str(&format!(
+        "  \"dataset\": {{\"family\": \"INDE\", \"n\": {n}, \"d\": 3, \"probes\": {num_probes}}},\n"
+    ));
+    json.push_str("  \"serve\": [\n");
+    let mut first = true;
+    for threads in [1usize, 4] {
+        let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads))
+            .expect("bind ephemeral port");
+        server
+            .register_dataset("inde", pts.clone(), IndexKind::Quadtree)
+            .expect("valid workload");
+        let handle = server.spawn().expect("spawn server");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for batch in [1usize, 16, 128] {
+            let requests = num_probes.div_ceil(batch);
+            let mut best_query = f64::INFINITY;
+            let mut best_count = f64::INFINITY;
+            for _ in 0..reps {
+                let start = std::time::Instant::now();
+                for chunk in boxes.chunks(batch) {
+                    let results = client.query_batch("inde", chunk).expect("query batch");
+                    assert_eq!(results.len(), chunk.len());
+                }
+                best_query = best_query.min(start.elapsed().as_secs_f64());
+                let start = std::time::Instant::now();
+                for chunk in boxes.chunks(batch) {
+                    let counts = client.count_batch("inde", chunk).expect("count batch");
+                    assert_eq!(counts.len(), chunk.len());
+                }
+                best_count = best_count.min(start.elapsed().as_secs_f64());
+            }
+            let query_req_s = requests as f64 / best_query;
+            let query_probe_s = num_probes as f64 / best_query;
+            let count_probe_s = num_probes as f64 / best_count;
+            t.push_row(vec![
+                threads.to_string(),
+                batch.to_string(),
+                format!("{query_req_s:.0}"),
+                format!("{query_probe_s:.0}"),
+                format!("{count_probe_s:.0}"),
+            ]);
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"threads\": {threads}, \"batch\": {batch}, \"requests\": {requests}, \
+                 \"query_requests_per_s\": {query_req_s:.1}, \
+                 \"query_probes_per_s\": {query_probe_s:.1}, \
+                 \"count_probes_per_s\": {count_probe_s:.1}}}"
+            ));
+        }
+        handle.shutdown();
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("[serve sweep written to {}]", path.display());
+    (
+        format!("Serving throughput — eclipse-serve over TCP (INDE, n = {n}, d = 3, {num_probes} probes)"),
+        t,
+    )
 }
 
 /// Table I / Figure 4 — relationship between eclipse and the other operators,

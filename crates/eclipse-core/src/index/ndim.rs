@@ -353,25 +353,7 @@ impl EclipseIndex {
         ratio_box: &WeightRatioBox,
         scratch: &'s mut ProbeScratch,
     ) -> Result<&'s [usize]> {
-        if ratio_box.dim() != self.dim {
-            return Err(EclipseError::DimensionMismatch {
-                expected: self.dim,
-                found: ratio_box.dim(),
-            });
-        }
-        if ratio_box.has_unbounded_range() {
-            return Err(EclipseError::Unsupported(
-                "a BoundingBox in ratio space requires finite ratio ranges".to_string(),
-            ));
-        }
-        scratch.qlo.clear();
-        scratch.qhi.clear();
-        for r in ratio_box.ranges() {
-            scratch.qlo.push(r.lo());
-            scratch.qhi.push(r.hi());
-        }
-        self.candidate_pairs(scratch);
-        self.replay(scratch);
+        self.probe_into(ratio_box, scratch)?;
         let ProbeScratch { ov, out, .. } = scratch;
         out.clear();
         // `skyline_ids` is ascending, so the result needs no sort.
@@ -399,32 +381,18 @@ impl EclipseIndex {
         boxes: &[WeightRatioBox],
         ctx: &ExecutionContext,
     ) -> Result<Vec<Vec<usize>>> {
-        for b in boxes {
-            if b.dim() != self.dim {
-                return Err(EclipseError::DimensionMismatch {
-                    expected: self.dim,
-                    found: b.dim(),
-                });
-            }
-            if b.has_unbounded_range() {
-                return Err(EclipseError::Unsupported(
-                    "a BoundingBox in ratio space requires finite ratio ranges".to_string(),
-                ));
-            }
-        }
+        self.validate_batch(boxes)?;
+        // Degenerate batches never touch the pool: an empty slice returns
+        // immediately and a single probe is answered inline, so tiny serving
+        // requests pay no dispatch overhead.
         if boxes.is_empty() {
             return Ok(Vec::new());
         }
-        let mut order: Vec<usize> = (0..boxes.len()).collect();
-        order.sort_unstable_by(|&x, &y| {
-            boxes[x]
-                .ranges()
-                .iter()
-                .zip(boxes[y].ranges())
-                .map(|(ra, rb)| ra.lo().total_cmp(&rb.lo()))
-                .find(|c| *c != std::cmp::Ordering::Equal)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        if let [only] = boxes {
+            let mut scratch = ProbeScratch::new();
+            return Ok(vec![self.query_with_scratch(only, &mut scratch)?.to_vec()]);
+        }
+        let order = locality_order(boxes);
         let chunk_len = order.len().div_ceil(ctx.threads() * 4).max(1);
         let chunks = ctx.pool().par_chunks(&order, chunk_len, |_, chunk| {
             let mut scratch = ProbeScratch::new();
@@ -444,6 +412,148 @@ impl EclipseIndex {
             }
         }
         Ok(results)
+    }
+
+    /// Answers an eclipse query with only the result **cardinality** — the
+    /// number of eclipse points — computed without materializing a single
+    /// result id (the ROADMAP's count-only probe: the order vector is
+    /// replayed exactly as in [`EclipseIndex::query_with_scratch`], then the
+    /// zero-dominator entries are counted instead of being gathered).
+    ///
+    /// # Errors
+    /// Same as [`EclipseIndex::query`].
+    pub fn count(&self, ratio_box: &WeightRatioBox) -> Result<usize> {
+        self.count_with_scratch(ratio_box, &mut ProbeScratch::new())
+    }
+
+    /// [`EclipseIndex::count`] with caller-provided scratch: the steady-state
+    /// serving flavour.  Once the buffers have reached their high-water
+    /// capacity a count probe performs **no heap allocations**, and it never
+    /// touches the scratch's result buffer.
+    ///
+    /// # Errors
+    /// Same as [`EclipseIndex::query`].
+    pub fn count_with_scratch(
+        &self,
+        ratio_box: &WeightRatioBox,
+        scratch: &mut ProbeScratch,
+    ) -> Result<usize> {
+        self.probe_into(ratio_box, scratch)?;
+        Ok(scratch.ov.iter().filter(|&&count| count == 0).count())
+    }
+
+    /// The shared core of a probe: validate the box, load its corners into
+    /// the scratch, gather the candidate pairs and replay them into the
+    /// order vector.  Callers then read the result (`query_with_scratch`)
+    /// or just count the zeros (`count_with_scratch`).
+    fn probe_into(&self, ratio_box: &WeightRatioBox, scratch: &mut ProbeScratch) -> Result<()> {
+        self.validate_probe(ratio_box)?;
+        scratch.qlo.clear();
+        scratch.qhi.clear();
+        for r in ratio_box.ranges() {
+            scratch.qlo.push(r.lo());
+            scratch.qhi.push(r.hi());
+        }
+        self.candidate_pairs(scratch);
+        self.replay(scratch);
+        Ok(())
+    }
+
+    /// Answers a batch of count-only eclipse queries, fanning the probes out
+    /// over `ctx` exactly like [`EclipseIndex::query_batch`] (locality sort,
+    /// one scratch per worker chunk) but returning only the cardinalities —
+    /// no per-probe result vector is ever allocated.
+    ///
+    /// # Errors
+    /// Validates every box up front; no partial results are returned.
+    pub fn count_batch(
+        &self,
+        boxes: &[WeightRatioBox],
+        ctx: &ExecutionContext,
+    ) -> Result<Vec<usize>> {
+        self.validate_batch(boxes)?;
+        if boxes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let [only] = boxes {
+            return Ok(vec![
+                self.count_with_scratch(only, &mut ProbeScratch::new())?
+            ]);
+        }
+        let order = locality_order(boxes);
+        let chunk_len = order.len().div_ceil(ctx.threads() * 4).max(1);
+        let chunks = ctx.pool().par_chunks(&order, chunk_len, |_, chunk| {
+            let mut scratch = ProbeScratch::new();
+            chunk
+                .iter()
+                .map(|&bi| {
+                    self.count_with_scratch(&boxes[bi], &mut scratch)
+                        .expect("count_batch boxes are validated before dispatch")
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut counts: Vec<usize> = vec![0; boxes.len()];
+        for (chunk_counts, chunk_ids) in chunks.into_iter().zip(order.chunks(chunk_len)) {
+            for (res, &bi) in chunk_counts.into_iter().zip(chunk_ids) {
+                counts[bi] = res;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Diagnostic: the number of indexed intersection hyperplanes crossing
+    /// `ratio_box` — the candidate-set size a probe of that box replays.
+    /// Uses the backend trees' count-only traversal (contained cells are
+    /// popcounted straight from their subtree entry list) when the box lies
+    /// inside the indexed region, and an exact linear scan otherwise.
+    ///
+    /// # Errors
+    /// Same as [`EclipseIndex::query`].
+    pub fn intersections_crossing(&self, ratio_box: &WeightRatioBox) -> Result<usize> {
+        self.validate_probe(ratio_box)?;
+        let qlo = ratio_box.lower_corner();
+        let qhi = ratio_box.upper_corner();
+        let contained = self
+            .root_cell
+            .lo()
+            .iter()
+            .zip(self.root_cell.hi())
+            .zip(qlo.iter().zip(qhi.iter()))
+            .all(|((rl, rh), (ql, qh))| rl <= ql && rh >= qh);
+        if contained {
+            let mut traversal = TraversalScratch::new();
+            Ok(match &self.backend {
+                Backend::Quad(t) => t.count_in_box(&qlo, &qhi, &mut traversal),
+                Backend::Cutting(t) => t.count_in_box(&qlo, &qhi, &mut traversal),
+            })
+        } else {
+            let slab = self.slab();
+            Ok((0..slab.len())
+                .filter(|&i| slab.intersects_box(i, &qlo, &qhi))
+                .count())
+        }
+    }
+
+    /// The validity requirements every probe shares: matching
+    /// dimensionality and finite ratio ranges.
+    fn validate_probe(&self, ratio_box: &WeightRatioBox) -> Result<()> {
+        if ratio_box.dim() != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: ratio_box.dim(),
+            });
+        }
+        if ratio_box.has_unbounded_range() {
+            return Err(EclipseError::Unsupported(
+                "a BoundingBox in ratio space requires finite ratio ranges".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Shared up-front validation of the batch APIs.
+    fn validate_batch(&self, boxes: &[WeightRatioBox]) -> Result<()> {
+        boxes.iter().try_for_each(|b| self.validate_probe(b))
     }
 
     /// Fills `scratch.candidates` with the indices (into `self.pairs`) of the
@@ -543,6 +653,22 @@ impl EclipseIndex {
             }
         }
     }
+}
+
+/// Probe order for the batch APIs: indices sorted lexicographically by lower
+/// corner, so neighbouring probes in a chunk walk the same tree regions.
+fn locality_order(boxes: &[WeightRatioBox]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    order.sort_unstable_by(|&x, &y| {
+        boxes[x]
+            .ranges()
+            .iter()
+            .zip(boxes[y].ranges())
+            .map(|(ra, rb)| ra.lo().total_cmp(&rb.lo()))
+            .find(|c| *c != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
 }
 
 #[cfg(test)]
@@ -783,6 +909,132 @@ mod tests {
                     cfg.kind
                 );
             }
+        }
+    }
+
+    #[test]
+    fn count_queries_match_query_cardinalities() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let pts: Vec<Point> = (0..350)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let boxes: Vec<WeightRatioBox> = (0..20)
+            .map(|_| {
+                let lo = rng.gen_range(0.05..1.5);
+                // Mix of in-region and escaping boxes: the count path must be
+                // exact on the fallback scan too.
+                WeightRatioBox::uniform(3, lo, lo + rng.gen_range(0.05..20.0)).unwrap()
+            })
+            .collect();
+        for cfg in both_kinds() {
+            let idx = EclipseIndex::build(&pts, cfg).unwrap();
+            let expected: Vec<usize> = boxes.iter().map(|b| idx.query(b).unwrap().len()).collect();
+            let mut scratch = ProbeScratch::new();
+            for (b, &want) in boxes.iter().zip(&expected) {
+                assert_eq!(idx.count(b).unwrap(), want, "kind {:?}, box {b}", cfg.kind);
+                assert_eq!(
+                    idx.count_with_scratch(b, &mut scratch).unwrap(),
+                    want,
+                    "kind {:?}, box {b}",
+                    cfg.kind
+                );
+            }
+            for threads in [1usize, 4] {
+                let ctx = ExecutionContext::with_threads(threads);
+                assert_eq!(
+                    idx.count_batch(&boxes, &ctx).unwrap(),
+                    expected,
+                    "kind {:?}, threads {threads}",
+                    cfg.kind
+                );
+            }
+            // Validation mirrors the id-returning APIs.
+            let ctx = ExecutionContext::serial();
+            assert!(idx
+                .count(&WeightRatioBox::uniform(4, 0.5, 1.0).unwrap())
+                .is_err());
+            assert!(idx.count(&WeightRatioBox::skyline(3).unwrap()).is_err());
+            assert!(idx
+                .count_batch(&[WeightRatioBox::skyline(3).unwrap()], &ctx)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn count_scratch_interleaves_with_query_scratch() {
+        // One shared scratch alternating between id probes and count probes
+        // must stay exact in both directions.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(80);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let idx = EclipseIndex::build(&pts, IndexConfig::default()).unwrap();
+        let mut scratch = ProbeScratch::new();
+        for (lo, hi) in [(0.2, 0.8), (0.36, 2.75), (0.9, 1.1), (0.5, 20.0)] {
+            let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+            let ids = idx.query(&b).unwrap();
+            assert_eq!(idx.count_with_scratch(&b, &mut scratch).unwrap(), ids.len());
+            assert_eq!(idx.query_with_scratch(&b, &mut scratch).unwrap(), &ids[..]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_probe_batches_short_circuit() {
+        // Regression (serving-layer PR): an empty batch returns `Ok(vec![])`
+        // and a single probe is answered inline — neither touches the pool
+        // (the allocation test in tests/zero_alloc_probe.rs pins the probe
+        // path itself; here we pin the results at every thread count).
+        let idx = EclipseIndex::build(&paper_points(), IndexConfig::default()).unwrap();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        for threads in [1usize, 4] {
+            let ctx = ExecutionContext::with_threads(threads);
+            assert!(idx.query_batch(&[], &ctx).unwrap().is_empty());
+            assert!(idx.count_batch(&[], &ctx).unwrap().is_empty());
+            assert_eq!(
+                idx.query_batch(std::slice::from_ref(&b), &ctx).unwrap(),
+                vec![idx.query(&b).unwrap()]
+            );
+            assert_eq!(
+                idx.count_batch(std::slice::from_ref(&b), &ctx).unwrap(),
+                vec![idx.query(&b).unwrap().len()]
+            );
+        }
+        // Validation still runs before the short circuits.
+        let ctx = ExecutionContext::serial();
+        let wrong = WeightRatioBox::uniform(3, 0.5, 1.0).unwrap();
+        assert!(idx.query_batch(std::slice::from_ref(&wrong), &ctx).is_err());
+        assert!(idx.count_batch(std::slice::from_ref(&wrong), &ctx).is_err());
+    }
+
+    #[test]
+    fn intersections_crossing_counts_candidates_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        let pts: Vec<Point> = (0..250)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        for cfg in both_kinds() {
+            let idx = EclipseIndex::build(&pts, cfg).unwrap();
+            let slab_count = |b: &WeightRatioBox| {
+                let (qlo, qhi) = (b.lower_corner(), b.upper_corner());
+                (0..idx.num_intersections())
+                    .filter(|&i| idx.slab().intersects_box(i, &qlo, &qhi))
+                    .count()
+            };
+            for (lo, hi) in [(0.36, 2.75), (0.9, 1.1), (0.5, 20.0), (0.0, 16.0)] {
+                let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+                assert_eq!(
+                    idx.intersections_crossing(&b).unwrap(),
+                    slab_count(&b),
+                    "kind {:?}, box {b}",
+                    cfg.kind
+                );
+            }
+            assert!(idx
+                .intersections_crossing(&WeightRatioBox::skyline(3).unwrap())
+                .is_err());
+            assert!(idx
+                .intersections_crossing(&WeightRatioBox::uniform(4, 0.5, 1.0).unwrap())
+                .is_err());
         }
     }
 

@@ -253,19 +253,75 @@ impl EclipseEngine {
         }
     }
 
+    /// Answers a batch of **count-only** eclipse queries: the result
+    /// cardinality of every box, without materializing per-probe result
+    /// vectors.  Index algorithms (and `Auto` over bounded boxes) route
+    /// through [`EclipseIndex::count_batch`] — the same locality-sorted,
+    /// scratch-per-worker fan-out as [`EclipseEngine::eclipse_query_batch`],
+    /// with the order vector counted in place; other algorithms answer per
+    /// box and take the length.  Results are returned in input order.
+    ///
+    /// # Errors
+    /// Validates every box up front; no partial results are returned.
+    pub fn eclipse_count_batch(
+        &self,
+        boxes: &[WeightRatioBox],
+        options: &QueryOptions,
+    ) -> Result<Vec<usize>> {
+        for b in boxes {
+            if b.dim() != self.dim {
+                return Err(EclipseError::DimensionMismatch {
+                    expected: self.dim,
+                    found: b.dim(),
+                });
+            }
+        }
+        if boxes.is_empty() {
+            // Nothing to answer — in particular, do not build an index.
+            return Ok(Vec::new());
+        }
+        match options.algorithm {
+            Algorithm::IndexQuadtree => self
+                .build_index(IntersectionIndexKind::Quadtree)?
+                .count_batch(boxes, &self.exec),
+            Algorithm::IndexCuttingTree => self
+                .build_index(IntersectionIndexKind::CuttingTree)?
+                .count_batch(boxes, &self.exec),
+            Algorithm::Auto if boxes.iter().all(|b| !b.has_unbounded_range()) => {
+                self.auto_index()?.count_batch(boxes, &self.exec)
+            }
+            _ => boxes
+                .iter()
+                .map(|b| self.eclipse_query(b, options).map(|ids| ids.len()))
+                .collect(),
+        }
+    }
+
+    /// The cached index of the given kind, if one has been built (by
+    /// [`EclipseEngine::build_index`] or lazily by a query) — a cheap
+    /// accessor for serving-layer statistics that must not trigger an index
+    /// build.
+    pub fn cached_index(&self, kind: IntersectionIndexKind) -> Option<Arc<EclipseIndex>> {
+        let slot = match kind {
+            IntersectionIndexKind::Quadtree => &self.quad_index,
+            IntersectionIndexKind::CuttingTree => &self.cutting_index,
+        };
+        slot.read().expect("index lock poisoned").clone()
+    }
+
+    /// The index-construction parameters the engine builds indexes with.
+    pub fn index_config(&self) -> &IndexConfig {
+        &self.index_config
+    }
+
     /// The index `Auto` batches route through: an already-built one of either
     /// kind if available, otherwise the engine's configured default kind
     /// (built and cached).
     fn auto_index(&self) -> Result<Arc<EclipseIndex>> {
-        if let Some(idx) = self.quad_index.read().expect("index lock poisoned").clone() {
+        if let Some(idx) = self.cached_index(IntersectionIndexKind::Quadtree) {
             return Ok(idx);
         }
-        if let Some(idx) = self
-            .cutting_index
-            .read()
-            .expect("index lock poisoned")
-            .clone()
-        {
+        if let Some(idx) = self.cached_index(IntersectionIndexKind::CuttingTree) {
             return Ok(idx);
         }
         self.build_index(self.index_config.kind)
@@ -286,15 +342,10 @@ impl EclipseEngine {
             return Ok(eclipse_naive(&self.points, ratio_box));
         }
         // Finite boxes: prefer an already-built index, else TRAN.
-        if let Some(idx) = self.quad_index.read().expect("index lock poisoned").clone() {
+        if let Some(idx) = self.cached_index(IntersectionIndexKind::Quadtree) {
             return idx.query(ratio_box);
         }
-        if let Some(idx) = self
-            .cutting_index
-            .read()
-            .expect("index lock poisoned")
-            .clone()
-        {
+        if let Some(idx) = self.cached_index(IntersectionIndexKind::CuttingTree) {
             return idx.query(ratio_box);
         }
         eclipse_transform_with(&self.points, ratio_box, backend, &self.exec)
@@ -733,6 +784,73 @@ mod tests {
         assert!(e
             .eclipse_query_batch(&[wrong], &QueryOptions::default())
             .is_err());
+    }
+
+    #[test]
+    fn count_batches_agree_with_query_batch_lengths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(105);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let boxes: Vec<WeightRatioBox> = (0..20)
+            .map(|_| {
+                let lo = rng.gen_range(0.05..1.5);
+                WeightRatioBox::uniform(3, lo, lo + rng.gen_range(0.05..2.0)).unwrap()
+            })
+            .collect();
+        let e = EclipseEngine::new(pts).unwrap();
+        let expected: Vec<usize> = boxes.iter().map(|b| e.eclipse(b).unwrap().len()).collect();
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::Baseline,
+            Algorithm::Transform,
+            Algorithm::IndexQuadtree,
+            Algorithm::IndexCuttingTree,
+        ] {
+            let opts = QueryOptions::with_algorithm(alg);
+            assert_eq!(
+                e.eclipse_count_batch(&boxes, &opts).unwrap(),
+                expected,
+                "{alg:?}"
+            );
+        }
+        // Empty / single-probe / mixed-dimension handling mirrors the
+        // id-returning batch API.
+        assert!(e
+            .eclipse_count_batch(&[], &QueryOptions::default())
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            e.eclipse_count_batch(&boxes[..1], &QueryOptions::default())
+                .unwrap(),
+            expected[..1]
+        );
+        let wrong = WeightRatioBox::uniform(4, 0.5, 1.0).unwrap();
+        assert!(e
+            .eclipse_count_batch(&[wrong], &QueryOptions::default())
+            .is_err());
+        // Unbounded boxes fall back to per-probe Auto answering.
+        let sky = WeightRatioBox::skyline(3).unwrap();
+        let got = e
+            .eclipse_count_batch(std::slice::from_ref(&sky), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(got, vec![e.eclipse(&sky).unwrap().len()]);
+    }
+
+    #[test]
+    fn cached_index_accessor_never_builds() {
+        let e = paper_engine();
+        assert!(e.cached_index(IntersectionIndexKind::Quadtree).is_none());
+        assert!(e.cached_index(IntersectionIndexKind::CuttingTree).is_none());
+        assert_eq!(
+            e.index_config().kind,
+            IndexConfig::default().kind,
+            "default config is exposed"
+        );
+        let built = e.build_index(IntersectionIndexKind::Quadtree).unwrap();
+        let cached = e.cached_index(IntersectionIndexKind::Quadtree).unwrap();
+        assert!(Arc::ptr_eq(&built, &cached));
+        assert!(e.cached_index(IntersectionIndexKind::CuttingTree).is_none());
     }
 
     #[test]

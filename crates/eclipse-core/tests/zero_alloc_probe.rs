@@ -87,5 +87,22 @@ fn steady_state_probes_do_not_allocate() {
             0,
             "steady-state probes allocated ({kind:?})"
         );
+
+        // The count-only probe (the CountBatch serving path) shares the same
+        // scratch and allocates nothing either — it never even touches the
+        // result buffer.
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..50 {
+            for (b, want) in boxes.iter().zip(&expected) {
+                let got = index.count_with_scratch(b, &mut scratch).unwrap();
+                assert_eq!(got, want.len());
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state count probes allocated ({kind:?})"
+        );
     }
 }

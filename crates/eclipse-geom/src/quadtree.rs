@@ -317,6 +317,28 @@ impl HyperplaneQuadtree {
         scratch: &mut TraversalScratch,
         out: &mut Vec<usize>,
     ) {
+        out.clear();
+        self.mark_hits(qlo, qhi, scratch);
+        scratch.drain_into(out);
+    }
+
+    /// The count-only query: the number of hyperplanes intersecting the box
+    /// `[qlo, qhi]`, computed with the same traversal (contained cells report
+    /// their deduplicated subtree without a single sign test) but swept out
+    /// of the visited bitmap as a popcount — no id is ever materialized, so
+    /// the query performs no heap allocations at steady state.
+    ///
+    /// # Panics
+    /// Panics if the corner slices do not match the root cell dimensionality.
+    pub fn count_in_box(&self, qlo: &[f64], qhi: &[f64], scratch: &mut TraversalScratch) -> usize {
+        self.mark_hits(qlo, qhi, scratch);
+        scratch.drain_count()
+    }
+
+    /// Shared traversal of [`HyperplaneQuadtree::query_into`] and
+    /// [`HyperplaneQuadtree::count_in_box`]: marks every hyperplane
+    /// intersecting the box in the scratch's visited bitmap.
+    fn mark_hits(&self, qlo: &[f64], qhi: &[f64], scratch: &mut TraversalScratch) {
         assert_eq!(
             qlo.len(),
             self.root_cell.dim(),
@@ -327,7 +349,6 @@ impl HyperplaneQuadtree {
             self.root_cell.dim(),
             "query dimensionality mismatch"
         );
-        out.clear();
         scratch.begin(self.slab.len());
         scratch.stack.push(0);
         while let Some(idx) = scratch.stack.pop() {
@@ -361,7 +382,6 @@ impl HyperplaneQuadtree {
                 }
             }
         }
-        scratch.drain_into(out);
     }
 }
 
@@ -555,6 +575,55 @@ mod tests {
         assert!(tree.is_empty());
         assert_eq!(tree.query(&hs, &unit_box()), Vec::<usize>::new());
         assert_eq!(tree.node_count(), 1);
+        let mut scratch = TraversalScratch::new();
+        assert_eq!(tree.count_in_box(&[0.0, 0.0], &[1.0, 1.0], &mut scratch), 0);
+    }
+
+    #[test]
+    fn count_in_box_matches_query_cardinality() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let hs: Vec<Hyperplane> = (0..200)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let tree = HyperplaneQuadtree::build(
+            &hs,
+            root.clone(),
+            QuadtreeConfig {
+                max_capacity: 6,
+                ..QuadtreeConfig::default()
+            },
+        );
+        let mut scratch = TraversalScratch::new();
+        // One scratch alternates freely between id and count drains; the box
+        // covering the whole root cell takes the contained fast path at the
+        // root node itself.
+        for q in std::iter::once(root).chain((0..25).map(|_| {
+            let x0 = rng.gen_range(-1.0..0.8);
+            let y0 = rng.gen_range(-1.0..0.8);
+            BoundingBox::new(
+                vec![x0, y0],
+                vec![x0 + rng.gen_range(0.01..0.2), y0 + rng.gen_range(0.01..0.2)],
+            )
+        })) {
+            let ids = tree.query(&hs, &q);
+            assert_eq!(
+                tree.count_in_box(q.lo(), q.hi(), &mut scratch),
+                ids.len(),
+                "box {q:?}"
+            );
+            // The count drain left the bitmap clean for the next id query.
+            let mut out = Vec::new();
+            tree.query_into(q.lo(), q.hi(), &mut scratch, &mut out);
+            assert_eq!(out, ids, "box {q:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! A small blocking client for the eclipse-serve protocol — used by the
+//! integration tests, the examples, and the `experiments -- serve`
+//! throughput sweep.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use eclipse_core::point::Point;
+use eclipse_core::WeightRatioBox;
+
+use crate::protocol::{
+    read_frame, write_frame, DatasetSummary, IndexKind, IndexSummary, ProtocolError, Request,
+    Response, StatsReport, WireBox,
+};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Protocol(ProtocolError),
+    /// The server answered with an error response.
+    Server(String),
+    /// The request was rejected client-side before anything was sent.
+    InvalidRequest(String),
+    /// The server answered with a well-formed response of the wrong kind.
+    UnexpectedResponse(&'static str),
+    /// The server closed the connection instead of answering.
+    ConnectionClosed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ClientError::UnexpectedResponse(expected) => {
+                write!(f, "unexpected response (expected {expected})")
+            }
+            ClientError::ConnectionClosed => write!(f, "connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A blocking connection to an eclipse-serve server.  One request is in
+/// flight at a time; responses arrive in request order.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response round trip.  Error responses surface as
+    /// [`ClientError::Server`]; the connection stays usable afterwards.
+    fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            None => Err(ClientError::ConnectionClosed),
+            Some(payload) => match Response::decode(&payload)? {
+                Response::Error(message) => Err(ClientError::Server(message)),
+                response => Ok(response),
+            },
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Pong")),
+        }
+    }
+
+    /// Registers (or replaces) a dataset from in-memory points; the server
+    /// warms the `warm` index before acknowledging.
+    ///
+    /// # Errors
+    /// Mixed dimensionalities are rejected client-side (the flat wire format
+    /// could otherwise silently regroup the coordinates into different
+    /// points); empty datasets and non-finite coordinates are rejected
+    /// server-side.
+    pub fn load_dataset(
+        &mut self,
+        name: &str,
+        points: &[Point],
+        warm: IndexKind,
+    ) -> ClientResult<DatasetSummary> {
+        let dim = points.first().map_or(0, Point::dim);
+        if let Some(p) = points.iter().find(|p| p.dim() != dim) {
+            return Err(ClientError::InvalidRequest(format!(
+                "mixed dimensionalities: first point has {dim}, another has {}",
+                p.dim()
+            )));
+        }
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            coords.extend_from_slice(p.coords());
+        }
+        let request = Request::LoadDataset {
+            name: name.to_string(),
+            dim: dim as u32,
+            coords,
+            warm,
+        };
+        match self.call(&request)? {
+            Response::DatasetLoaded(summary) => Ok(summary),
+            _ => Err(ClientError::UnexpectedResponse("DatasetLoaded")),
+        }
+    }
+
+    /// Eagerly builds (and caches) the index of the given kind.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn build_index(&mut self, name: &str, kind: IndexKind) -> ClientResult<IndexSummary> {
+        let request = Request::BuildIndex {
+            name: name.to_string(),
+            kind,
+        };
+        match self.call(&request)? {
+            Response::IndexBuilt(summary) => Ok(summary),
+            _ => Err(ClientError::UnexpectedResponse("IndexBuilt")),
+        }
+    }
+
+    /// Answers a batch of eclipse queries; results are dataset point indices
+    /// in ascending order, one vector per box, in input order.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn query_batch(
+        &mut self,
+        name: &str,
+        boxes: &[WeightRatioBox],
+    ) -> ClientResult<Vec<Vec<usize>>> {
+        let request = Request::QueryBatch {
+            name: name.to_string(),
+            boxes: wire_boxes(boxes),
+        };
+        match self.call(&request)? {
+            Response::QueryResults(results) => Ok(results
+                .into_iter()
+                .map(|ids| ids.into_iter().map(|i| i as usize).collect())
+                .collect()),
+            _ => Err(ClientError::UnexpectedResponse("QueryResults")),
+        }
+    }
+
+    /// Answers a batch of count-only eclipse queries: one result cardinality
+    /// per box, in input order.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn count_batch(
+        &mut self,
+        name: &str,
+        boxes: &[WeightRatioBox],
+    ) -> ClientResult<Vec<usize>> {
+        let request = Request::CountBatch {
+            name: name.to_string(),
+            boxes: wire_boxes(boxes),
+        };
+        match self.call(&request)? {
+            Response::Counts(counts) => Ok(counts.into_iter().map(|c| c as usize).collect()),
+            _ => Err(ClientError::UnexpectedResponse("Counts")),
+        }
+    }
+
+    /// Fetches server and per-dataset statistics.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn stats(&mut self) -> ClientResult<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.reader.get_ref().peer_addr().ok())
+            .finish()
+    }
+}
+
+/// Lowers weight-ratio boxes to their wire form.
+fn wire_boxes(boxes: &[WeightRatioBox]) -> Vec<WireBox> {
+    boxes
+        .iter()
+        .map(|b| b.ranges().iter().map(|r| (r.lo(), r.hi())).collect())
+        .collect()
+}

@@ -1,0 +1,65 @@
+//! `eclipse-serve` — the batched query-serving layer of the eclipse
+//! workspace.
+//!
+//! The ROADMAP's heavy-traffic north star needs the eclipse operator behind
+//! a network boundary, not just in-process.  This crate provides the three
+//! pieces:
+//!
+//! * [`protocol`] — a length-prefixed binary wire protocol with a tiny
+//!   hand-rolled codec (std only, no serde): `LoadDataset`, `BuildIndex`,
+//!   `QueryBatch`, `CountBatch`, `Ping` and `Stats` requests with their
+//!   responses.  Decoding is total — garbage bytes become
+//!   [`protocol::ProtocolError`] values, never panics or oversized
+//!   allocations;
+//! * [`server`] — a framed-TCP server holding one
+//!   [`eclipse_core::EclipseEngine`] per registered dataset, all sharing one
+//!   `eclipse-exec` pool.  Datasets are warmed (index built) at
+//!   registration, and batches route through the engine's zero-allocation
+//!   batched probe paths (`eclipse_query_batch` / `eclipse_count_batch`);
+//! * [`client`] — a small blocking client used by the integration tests,
+//!   the examples and the `experiments -- serve` throughput sweep.
+//!
+//! The `eclipse-serve` binary (this crate's `src/main.rs`) wraps
+//! [`server::Server`] with address/thread/preload flags.
+//!
+//! # Example (in-process round trip)
+//!
+//! ```
+//! use eclipse_core::exec::ExecutionContext;
+//! use eclipse_core::point::Point;
+//! use eclipse_core::WeightRatioBox;
+//! use eclipse_serve::client::Client;
+//! use eclipse_serve::protocol::IndexKind;
+//! use eclipse_serve::server::Server;
+//!
+//! let server = Server::bind("127.0.0.1:0", ExecutionContext::serial())?;
+//! let handle = server.spawn()?;
+//!
+//! let mut client = Client::connect(handle.addr())?;
+//! let hotels = vec![
+//!     Point::new(vec![1.0, 6.0]),
+//!     Point::new(vec![4.0, 4.0]),
+//!     Point::new(vec![6.0, 1.0]),
+//!     Point::new(vec![8.0, 5.0]),
+//! ];
+//! client.load_dataset("hotels", &hotels, IndexKind::Quadtree)?;
+//! let results = client.query_batch(
+//!     "hotels",
+//!     &[WeightRatioBox::uniform(2, 0.25, 2.0)?],
+//! )?;
+//! assert_eq!(results, vec![vec![0, 1, 2]]);
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{IndexKind, Request, Response, StatsReport};
+pub use server::{Server, ServerHandle};

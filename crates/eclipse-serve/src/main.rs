@@ -1,0 +1,130 @@
+//! The `eclipse-serve` binary: a framed-TCP eclipse query server.
+//!
+//! ```text
+//! eclipse-serve [--addr HOST:PORT] [--threads N] [--preload NAME=FAMILY:N:D:SEED]...
+//! ```
+//!
+//! * `--addr` — listen address, default `127.0.0.1:7878` (use port 0 for an
+//!   ephemeral port; the bound address is printed on startup);
+//! * `--threads` — size of the shared query pool (default: the
+//!   `ECLIPSE_THREADS` environment variable, then the hardware);
+//! * `--preload` — registers a synthetic dataset before serving, e.g.
+//!   `--preload inde=inde:8192:3:42` (families: `corr`, `inde`, `anti`).
+//!   Repeatable.  Remote clients can always register datasets with
+//!   `LoadDataset`.
+
+use std::process::ExitCode;
+
+use eclipse_core::exec::ExecutionContext;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::server::Server;
+
+struct Options {
+    addr: String,
+    threads: Option<usize>,
+    preloads: Vec<(String, Distribution, usize, usize, u64)>,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = match opts.threads {
+        Some(threads) => ExecutionContext::with_threads(threads),
+        None => ExecutionContext::default(),
+    };
+    let threads = exec.threads();
+    let server = match Server::bind(&opts.addr, exec) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("eclipse-serve: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, dist, n, d, seed) in &opts.preloads {
+        let points = SyntheticConfig::new(*n, *d, *dist, *seed).generate();
+        match server.register_dataset(name, points, IndexKind::default()) {
+            Ok(summary) => eprintln!(
+                "eclipse-serve: preloaded {name:?} ({} points, d = {}, u = {}, {} intersections)",
+                summary.points, summary.dim, summary.skyline_len, summary.intersections
+            ),
+            Err(e) => {
+                eprintln!("eclipse-serve: preload {name:?} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match server.local_addr() {
+        Ok(addr) => eprintln!("eclipse-serve: listening on {addr} ({threads} query threads)"),
+        Err(e) => eprintln!("eclipse-serve: listening (address unavailable: {e})"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("eclipse-serve: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        threads: None,
+        preloads: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                opts.addr = args.next().ok_or("--addr needs a HOST:PORT value")?;
+            }
+            "--threads" => {
+                let raw = args.next().ok_or("--threads needs a positive integer")?;
+                let threads: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--threads: {raw:?} is not an integer"))?;
+                if threads == 0 {
+                    return Err("--threads must be positive".to_string());
+                }
+                opts.threads = Some(threads);
+            }
+            "--preload" => {
+                let spec = args.next().ok_or("--preload needs NAME=FAMILY:N:D:SEED")?;
+                opts.preloads.push(parse_preload(&spec)?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: eclipse-serve [--addr HOST:PORT] [--threads N] \
+                     [--preload NAME=FAMILY:N:D:SEED]..."
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_preload(spec: &str) -> Result<(String, Distribution, usize, usize, u64), String> {
+    let bad = || format!("--preload: {spec:?} is not NAME=FAMILY:N:D:SEED");
+    let (name, rest) = spec.split_once('=').ok_or_else(bad)?;
+    let parts: Vec<&str> = rest.split(':').collect();
+    let [family, n, d, seed] = parts[..] else {
+        return Err(bad());
+    };
+    let dist = match family {
+        "corr" => Distribution::Correlated,
+        "inde" => Distribution::Independent,
+        "anti" => Distribution::AntiCorrelated,
+        _ => return Err(format!("--preload: unknown family {family:?}")),
+    };
+    Ok((
+        name.to_string(),
+        dist,
+        n.parse().map_err(|_| bad())?,
+        d.parse().map_err(|_| bad())?,
+        seed.parse().map_err(|_| bad())?,
+    ))
+}

@@ -1,0 +1,837 @@
+//! The wire protocol: length-prefixed binary frames with a hand-rolled
+//! codec (no serde, no external dependencies).
+//!
+//! # Framing
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! frame   := len:u32le payload[len]
+//! payload := tag:u8 body
+//! ```
+//!
+//! `len` counts the payload bytes only and must not exceed
+//! [`MAX_FRAME_LEN`].  Within a payload the primitives are fixed-width
+//! little-endian: `u8`, `u32le`, `u64le`, and `f64` as its IEEE-754 bit
+//! pattern in `u64le` (so infinities and signed zeros round-trip exactly).
+//! A `string` is `u32le` length + UTF-8 bytes; every list is `u32le`
+//! element count + elements.
+//!
+//! # Robustness
+//!
+//! Decoding is total: truncated frames, trailing bytes, unknown tags,
+//! non-UTF-8 strings and absurd element counts all surface as
+//! [`ProtocolError`] values — never a panic, and never an allocation larger
+//! than the received frame (list counts are validated against the bytes
+//! actually remaining before any buffer is reserved).  The property suite in
+//! `tests/protocol_roundtrip.rs` fuzzes both directions.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use eclipse_core::index::IntersectionIndexKind;
+
+/// Hard upper bound on a frame payload (64 MiB): a corrupted or hostile
+/// length prefix is rejected before any buffer is allocated.
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// Everything that can go wrong while framing or decoding a message.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// An underlying socket/stream error.
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The payload ended before a field could be read in full.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes(usize),
+    /// An unrecognized message or enum tag.
+    UnknownTag {
+        /// Which field carried the tag.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A structurally valid but semantically impossible value (bad UTF-8, a
+    /// list count larger than the remaining bytes, …).
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::FrameTooLarge(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN} cap")
+            }
+            ProtocolError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated payload: needed {needed} bytes, {remaining} left"
+                )
+            }
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtocolError::UnknownTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag:#04x}")
+            }
+            ProtocolError::Malformed(reason) => write!(f, "malformed payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Result alias for codec operations.
+pub type ProtocolResult<T> = std::result::Result<T, ProtocolError>;
+
+/// Which Intersection Index backs an engine's warm-up / explicit build, as
+/// spoken on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexKind {
+    /// The line quadtree / hyperplane octree (the paper's QUAD).
+    #[default]
+    Quadtree,
+    /// The randomized cutting tree (the paper's CUTTING).
+    CuttingTree,
+}
+
+impl IndexKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            IndexKind::Quadtree => 0,
+            IndexKind::CuttingTree => 1,
+        }
+    }
+
+    fn from_wire(tag: u8) -> ProtocolResult<Self> {
+        match tag {
+            0 => Ok(IndexKind::Quadtree),
+            1 => Ok(IndexKind::CuttingTree),
+            other => Err(ProtocolError::UnknownTag {
+                context: "index kind",
+                tag: other,
+            }),
+        }
+    }
+}
+
+impl From<IndexKind> for IntersectionIndexKind {
+    fn from(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Quadtree => IntersectionIndexKind::Quadtree,
+            IndexKind::CuttingTree => IntersectionIndexKind::CuttingTree,
+        }
+    }
+}
+
+impl From<IntersectionIndexKind> for IndexKind {
+    fn from(kind: IntersectionIndexKind) -> Self {
+        match kind {
+            IntersectionIndexKind::Quadtree => IndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree => IndexKind::CuttingTree,
+        }
+    }
+}
+
+/// A weight-ratio box on the wire: one `(lo, hi)` pair per ratio.
+pub type WireBox = Vec<(f64, f64)>;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Registers (or replaces) a dataset: `coords` is row-major with `dim`
+    /// values per point.  The server builds an [`eclipse_core::EclipseEngine`]
+    /// and warms the `warm` index before acknowledging, so the first query
+    /// batch already hits a built index.
+    LoadDataset {
+        /// Dataset name (the key of every subsequent request).
+        name: String,
+        /// Dimensionality of every point.
+        dim: u32,
+        /// Row-major coordinates, `dim` per point.
+        coords: Vec<f64>,
+        /// Which Intersection Index to build at registration.
+        warm: IndexKind,
+    },
+    /// Eagerly builds (and caches) the index of the given kind.
+    BuildIndex {
+        /// Dataset name.
+        name: String,
+        /// Which index to build.
+        kind: IndexKind,
+    },
+    /// A batch of eclipse queries, answered through the engine's batched
+    /// probe path; results are dataset point indices in ascending order.
+    QueryBatch {
+        /// Dataset name.
+        name: String,
+        /// One weight-ratio box per probe.
+        boxes: Vec<WireBox>,
+    },
+    /// A batch of count-only eclipse queries: the result cardinality per
+    /// box, with no per-probe result vectors materialized on the server.
+    CountBatch {
+        /// Dataset name.
+        name: String,
+        /// One weight-ratio box per probe.
+        boxes: Vec<WireBox>,
+    },
+    /// Server and per-dataset statistics.
+    Stats,
+}
+
+/// The acknowledgement of a [`Request::LoadDataset`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Number of points registered.
+    pub points: u64,
+    /// Dimensionality.
+    pub dim: u32,
+    /// Skyline size of the warmed index.
+    pub skyline_len: u64,
+    /// Indexed intersection hyperplanes (`C(u, 2)`).
+    pub intersections: u64,
+}
+
+/// The acknowledgement of a [`Request::BuildIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexSummary {
+    /// Which index was built (or found cached).
+    pub kind: IndexKind,
+    /// Skyline size.
+    pub skyline_len: u64,
+    /// Indexed intersection hyperplanes.
+    pub intersections: u64,
+    /// Arena node count of the backing tree.
+    pub nodes: u64,
+    /// Depth of the backing tree.
+    pub depth: u32,
+}
+
+/// Per-dataset statistics inside a [`StatsReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of points.
+    pub points: u64,
+    /// Dimensionality.
+    pub dim: u32,
+    /// Skyline size (0 if no index has been built yet).
+    pub skyline_len: u64,
+    /// Indexed intersection hyperplanes.
+    pub intersections: u64,
+    /// How many of those actually cross the indexed region of ratio space
+    /// (computed with the count-only tree traversal).
+    pub root_crossings: u64,
+    /// Whether the quadtree index is built.
+    pub quad_built: bool,
+    /// Whether the cutting-tree index is built.
+    pub cutting_built: bool,
+}
+
+/// The reply to a [`Request::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// `QueryBatch` requests answered successfully.
+    pub query_batches: u64,
+    /// `CountBatch` requests answered successfully.
+    pub count_batches: u64,
+    /// Total probes (boxes) answered across both batch kinds.
+    pub probes: u64,
+    /// Requests that ended in an error response.
+    pub errors: u64,
+    /// One entry per registered dataset, sorted by name.
+    pub datasets: Vec<DatasetStats>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::LoadDataset`].
+    DatasetLoaded(DatasetSummary),
+    /// Reply to [`Request::BuildIndex`].
+    IndexBuilt(IndexSummary),
+    /// Reply to [`Request::QueryBatch`], in input order.
+    QueryResults(Vec<Vec<u64>>),
+    /// Reply to [`Request::CountBatch`], in input order.
+    Counts(Vec<u64>),
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReport),
+    /// Any request that failed; the connection stays usable.
+    Error(String),
+}
+
+// --- framing ---------------------------------------------------------------
+
+/// Writes one frame (length prefix + payload).  The caller flushes.
+///
+/// # Errors
+/// Propagates stream errors; rejects payloads over [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload of {} bytes exceeds the frame cap", payload.len()),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean end-of-stream (the peer
+/// closed between frames).
+///
+/// # Errors
+/// Surfaces oversized length prefixes as [`ProtocolError::FrameTooLarge`]
+/// and mid-frame stream ends as [`ProtocolError::Io`].
+pub fn read_frame<R: Read>(r: &mut R) -> ProtocolResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_buf.len() {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean close between frames
+            }
+            return Err(ProtocolError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed inside a frame length prefix",
+            )));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// --- encoding --------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    put_u8(buf, u8::from(v));
+}
+
+fn put_boxes(buf: &mut Vec<u8>, boxes: &[WireBox]) {
+    put_u32(buf, boxes.len() as u32);
+    for b in boxes {
+        put_u32(buf, b.len() as u32);
+        for &(lo, hi) in b {
+            put_f64(buf, lo);
+            put_f64(buf, hi);
+        }
+    }
+}
+
+// --- decoding --------------------------------------------------------------
+
+/// Bounds-checked cursor over a received payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> ProtocolResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> ProtocolResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> ProtocolResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ProtocolError::Malformed(format!(
+                "boolean byte must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    fn u32(&mut self) -> ProtocolResult<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> ProtocolResult<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> ProtocolResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> ProtocolResult<String> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("string is not valid UTF-8".to_string()))
+    }
+
+    /// Reads a list count and validates it against the bytes actually left
+    /// (`min_elem_bytes` per element), so a garbage count can never trigger
+    /// an oversized allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> ProtocolResult<usize> {
+        let count = self.u32()? as usize;
+        let needed = count.saturating_mul(min_elem_bytes);
+        if needed > self.remaining() {
+            return Err(ProtocolError::Malformed(format!(
+                "element count {count} needs at least {needed} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    fn boxes(&mut self) -> ProtocolResult<Vec<WireBox>> {
+        let n = self.count(4)?;
+        let mut boxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ranges = self.count(16)?;
+            let mut b = Vec::with_capacity(ranges);
+            for _ in 0..ranges {
+                let lo = self.f64()?;
+                let hi = self.f64()?;
+                b.push((lo, hi));
+            }
+            boxes.push(b);
+        }
+        Ok(boxes)
+    }
+
+    fn finish(self) -> ProtocolResult<()> {
+        if self.remaining() != 0 {
+            return Err(ProtocolError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// --- request codec ---------------------------------------------------------
+
+const REQ_PING: u8 = 0x00;
+const REQ_LOAD_DATASET: u8 = 0x01;
+const REQ_BUILD_INDEX: u8 = 0x02;
+const REQ_QUERY_BATCH: u8 = 0x03;
+const REQ_COUNT_BATCH: u8 = 0x04;
+const REQ_STATS: u8 = 0x05;
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => put_u8(&mut buf, REQ_PING),
+            Request::LoadDataset {
+                name,
+                dim,
+                coords,
+                warm,
+            } => {
+                put_u8(&mut buf, REQ_LOAD_DATASET);
+                put_str(&mut buf, name);
+                put_u32(&mut buf, *dim);
+                put_u32(&mut buf, coords.len() as u32);
+                for &c in coords {
+                    put_f64(&mut buf, c);
+                }
+                put_u8(&mut buf, warm.to_wire());
+            }
+            Request::BuildIndex { name, kind } => {
+                put_u8(&mut buf, REQ_BUILD_INDEX);
+                put_str(&mut buf, name);
+                put_u8(&mut buf, kind.to_wire());
+            }
+            Request::QueryBatch { name, boxes } => {
+                put_u8(&mut buf, REQ_QUERY_BATCH);
+                put_str(&mut buf, name);
+                put_boxes(&mut buf, boxes);
+            }
+            Request::CountBatch { name, boxes } => {
+                put_u8(&mut buf, REQ_COUNT_BATCH);
+                put_str(&mut buf, name);
+                put_boxes(&mut buf, boxes);
+            }
+            Request::Stats => put_u8(&mut buf, REQ_STATS),
+        }
+        buf
+    }
+
+    /// Parses a frame payload into a request.
+    ///
+    /// # Errors
+    /// Any structural defect surfaces as a [`ProtocolError`]; this function
+    /// never panics on arbitrary input.
+    pub fn decode(payload: &[u8]) -> ProtocolResult<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_LOAD_DATASET => {
+                let name = r.str()?;
+                let dim = r.u32()?;
+                let n = r.count(8)?;
+                let mut coords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    coords.push(r.f64()?);
+                }
+                let warm = IndexKind::from_wire(r.u8()?)?;
+                Request::LoadDataset {
+                    name,
+                    dim,
+                    coords,
+                    warm,
+                }
+            }
+            REQ_BUILD_INDEX => Request::BuildIndex {
+                name: r.str()?,
+                kind: IndexKind::from_wire(r.u8()?)?,
+            },
+            REQ_QUERY_BATCH => Request::QueryBatch {
+                name: r.str()?,
+                boxes: r.boxes()?,
+            },
+            REQ_COUNT_BATCH => Request::CountBatch {
+                name: r.str()?,
+                boxes: r.boxes()?,
+            },
+            REQ_STATS => Request::Stats,
+            other => {
+                return Err(ProtocolError::UnknownTag {
+                    context: "request",
+                    tag: other,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// --- response codec --------------------------------------------------------
+
+const RESP_PONG: u8 = 0x80;
+const RESP_DATASET_LOADED: u8 = 0x81;
+const RESP_INDEX_BUILT: u8 = 0x82;
+const RESP_QUERY_RESULTS: u8 = 0x83;
+const RESP_COUNTS: u8 = 0x84;
+const RESP_STATS: u8 = 0x85;
+const RESP_ERROR: u8 = 0xff;
+
+impl Response {
+    /// Serializes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong => put_u8(&mut buf, RESP_PONG),
+            Response::DatasetLoaded(s) => {
+                put_u8(&mut buf, RESP_DATASET_LOADED);
+                put_u64(&mut buf, s.points);
+                put_u32(&mut buf, s.dim);
+                put_u64(&mut buf, s.skyline_len);
+                put_u64(&mut buf, s.intersections);
+            }
+            Response::IndexBuilt(s) => {
+                put_u8(&mut buf, RESP_INDEX_BUILT);
+                put_u8(&mut buf, s.kind.to_wire());
+                put_u64(&mut buf, s.skyline_len);
+                put_u64(&mut buf, s.intersections);
+                put_u64(&mut buf, s.nodes);
+                put_u32(&mut buf, s.depth);
+            }
+            Response::QueryResults(results) => {
+                put_u8(&mut buf, RESP_QUERY_RESULTS);
+                put_u32(&mut buf, results.len() as u32);
+                for ids in results {
+                    put_u32(&mut buf, ids.len() as u32);
+                    for &id in ids {
+                        put_u64(&mut buf, id);
+                    }
+                }
+            }
+            Response::Counts(counts) => {
+                put_u8(&mut buf, RESP_COUNTS);
+                put_u32(&mut buf, counts.len() as u32);
+                for &c in counts {
+                    put_u64(&mut buf, c);
+                }
+            }
+            Response::Stats(report) => {
+                put_u8(&mut buf, RESP_STATS);
+                put_u64(&mut buf, report.query_batches);
+                put_u64(&mut buf, report.count_batches);
+                put_u64(&mut buf, report.probes);
+                put_u64(&mut buf, report.errors);
+                put_u32(&mut buf, report.datasets.len() as u32);
+                for d in &report.datasets {
+                    put_str(&mut buf, &d.name);
+                    put_u64(&mut buf, d.points);
+                    put_u32(&mut buf, d.dim);
+                    put_u64(&mut buf, d.skyline_len);
+                    put_u64(&mut buf, d.intersections);
+                    put_u64(&mut buf, d.root_crossings);
+                    put_bool(&mut buf, d.quad_built);
+                    put_bool(&mut buf, d.cutting_built);
+                }
+            }
+            Response::Error(message) => {
+                put_u8(&mut buf, RESP_ERROR);
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Parses a frame payload into a response.
+    ///
+    /// # Errors
+    /// Any structural defect surfaces as a [`ProtocolError`]; this function
+    /// never panics on arbitrary input.
+    pub fn decode(payload: &[u8]) -> ProtocolResult<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_DATASET_LOADED => Response::DatasetLoaded(DatasetSummary {
+                points: r.u64()?,
+                dim: r.u32()?,
+                skyline_len: r.u64()?,
+                intersections: r.u64()?,
+            }),
+            RESP_INDEX_BUILT => Response::IndexBuilt(IndexSummary {
+                kind: IndexKind::from_wire(r.u8()?)?,
+                skyline_len: r.u64()?,
+                intersections: r.u64()?,
+                nodes: r.u64()?,
+                depth: r.u32()?,
+            }),
+            RESP_QUERY_RESULTS => {
+                let n = r.count(4)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ids = r.count(8)?;
+                    let mut row = Vec::with_capacity(ids);
+                    for _ in 0..ids {
+                        row.push(r.u64()?);
+                    }
+                    results.push(row);
+                }
+                Response::QueryResults(results)
+            }
+            RESP_COUNTS => {
+                let n = r.count(8)?;
+                let mut counts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    counts.push(r.u64()?);
+                }
+                Response::Counts(counts)
+            }
+            RESP_STATS => {
+                let query_batches = r.u64()?;
+                let count_batches = r.u64()?;
+                let probes = r.u64()?;
+                let errors = r.u64()?;
+                let n = r.count(32)?;
+                let mut datasets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    datasets.push(DatasetStats {
+                        name: r.str()?,
+                        points: r.u64()?,
+                        dim: r.u32()?,
+                        skyline_len: r.u64()?,
+                        intersections: r.u64()?,
+                        root_crossings: r.u64()?,
+                        quad_built: r.bool()?,
+                        cutting_built: r.bool()?,
+                    });
+                }
+                Response::Stats(StatsReport {
+                    query_batches,
+                    count_batches,
+                    probes,
+                    errors,
+                    datasets,
+                })
+            }
+            RESP_ERROR => Response::Error(r.str()?),
+            other => {
+                return Err(ProtocolError::UnknownTag {
+                    context: "response",
+                    tag: other,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_messages_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::BuildIndex {
+                name: "hotels".to_string(),
+                kind: IndexKind::CuttingTree,
+            },
+            Request::QueryBatch {
+                name: "n".to_string(),
+                boxes: vec![
+                    vec![(0.25, 2.0)],
+                    vec![],
+                    vec![(0.0, f64::INFINITY), (1.0, 1.0)],
+                ],
+            },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        for resp in [
+            Response::Pong,
+            Response::QueryResults(vec![vec![0, 1, 2], vec![]]),
+            Response::Counts(vec![3, 0, 7]),
+            Response::Error("boom".to_string()),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_oversize() {
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut cursor = &wire[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+
+        // A hostile length prefix is rejected before allocation.
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut cursor = &huge[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+
+        // A stream that dies inside the prefix is an I/O error, not a hang.
+        let mut cursor = &[0x01u8, 0x02][..];
+        assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Io(_))));
+    }
+
+    #[test]
+    fn garbage_counts_do_not_allocate() {
+        // QueryResults claiming u32::MAX rows in a 9-byte payload.
+        let mut payload = vec![RESP_QUERY_RESULTS];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ProtocolError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn kind_conversions_are_inverse() {
+        for kind in [IndexKind::Quadtree, IndexKind::CuttingTree] {
+            assert_eq!(IndexKind::from_wire(kind.to_wire()).unwrap(), kind);
+            assert_eq!(IndexKind::from(IntersectionIndexKind::from(kind)), kind);
+        }
+        assert!(IndexKind::from_wire(7).is_err());
+    }
+
+    #[test]
+    fn errors_render_and_wrap() {
+        let e = ProtocolError::from(io::Error::other("x"));
+        assert!(e.to_string().contains("i/o error"));
+        assert!(ProtocolError::FrameTooLarge(u32::MAX)
+            .to_string()
+            .contains("cap"));
+        assert!(ProtocolError::Truncated {
+            needed: 8,
+            remaining: 2
+        }
+        .to_string()
+        .contains("truncated"));
+        assert!(ProtocolError::UnknownTag {
+            context: "request",
+            tag: 0x42
+        }
+        .to_string()
+        .contains("0x42"));
+    }
+}

@@ -1,0 +1,569 @@
+//! The framed-TCP server: per-dataset [`EclipseEngine`] instances behind one
+//! shared execution context, request dispatch, and connection plumbing.
+//!
+//! Every connection gets its own handler thread, but all engines share one
+//! `eclipse-exec` pool (the [`ExecutionContext`] the server was bound with),
+//! so a `QueryBatch` fans its probes out over the same workers regardless of
+//! which connection it arrived on — the steady-state request path is
+//! [`EclipseEngine::eclipse_query_batch`] (locality-sorted probes, one
+//! `ProbeScratch` per worker, zero allocations per probe) and
+//! [`EclipseEngine::eclipse_count_batch`] for cardinality-only probes.
+//!
+//! Datasets are registered with [`Request::LoadDataset`] (or in-process with
+//! [`Server::register_dataset`]) and warmed at registration: the requested
+//! Intersection Index is built before the acknowledgement is sent, so the
+//! first batch never pays construction latency.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use eclipse_core::exec::{ExecutionContext, QueryOptions};
+use eclipse_core::index::IntersectionIndexKind;
+use eclipse_core::point::Point;
+use eclipse_core::{EclipseEngine, EclipseError, WeightRatioBox};
+
+use crate::protocol::{
+    read_frame, write_frame, DatasetStats, DatasetSummary, IndexKind, IndexSummary, ProtocolError,
+    Request, Response, StatsReport, WireBox, MAX_FRAME_LEN,
+};
+
+/// Shared server state: the dataset registry, the execution context every
+/// engine draws from, and the serving counters.
+pub(crate) struct ServerState {
+    exec: ExecutionContext,
+    datasets: RwLock<HashMap<String, Arc<EclipseEngine>>>,
+    query_batches: AtomicU64,
+    count_batches: AtomicU64,
+    probes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerState {
+    fn new(exec: ExecutionContext) -> Self {
+        ServerState {
+            exec,
+            datasets: RwLock::new(HashMap::new()),
+            query_batches: AtomicU64::new(0),
+            count_batches: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    fn engine(&self, name: &str) -> Result<Arc<EclipseEngine>, EclipseError> {
+        self.datasets
+            .read()
+            .expect("dataset registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EclipseError::Unsupported(format!("unknown dataset {name:?}")))
+    }
+
+    /// Builds an engine over `points`, warms the requested index, and
+    /// registers it under `name` (replacing any previous dataset of that
+    /// name once the new one is fully warm).
+    fn register(
+        &self,
+        name: &str,
+        points: Vec<Point>,
+        warm: IndexKind,
+    ) -> Result<DatasetSummary, EclipseError> {
+        for p in &points {
+            if p.coords().iter().any(|c| !c.is_finite()) {
+                return Err(EclipseError::Unsupported(
+                    "dataset coordinates must be finite".to_string(),
+                ));
+            }
+        }
+        let engine =
+            Arc::new(EclipseEngine::new(points)?.with_execution_context(self.exec.clone()));
+        let index = engine.build_index(warm.into())?;
+        let summary = DatasetSummary {
+            points: engine.len() as u64,
+            dim: engine.dim() as u32,
+            skyline_len: index.skyline_len() as u64,
+            intersections: index.num_intersections() as u64,
+        };
+        self.datasets
+            .write()
+            .expect("dataset registry poisoned")
+            .insert(name.to_string(), engine);
+        Ok(summary)
+    }
+
+    /// Answers one decoded request.  Infallible by construction: every
+    /// failure becomes a [`Response::Error`], so the connection stays alive.
+    pub(crate) fn respond(&self, request: Request) -> Response {
+        let result = match request {
+            Request::Ping => Ok(Response::Pong),
+            Request::LoadDataset {
+                name,
+                dim,
+                coords,
+                warm,
+            } => self.load_dataset(&name, dim, coords, warm),
+            Request::BuildIndex { name, kind } => self.build_index(&name, kind),
+            Request::QueryBatch { name, boxes } => self.query_batch(&name, &boxes),
+            Request::CountBatch { name, boxes } => self.count_batch(&name, &boxes),
+            Request::Stats => Ok(Response::Stats(self.stats())),
+        };
+        result.unwrap_or_else(|e| {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            Response::Error(e.to_string())
+        })
+    }
+
+    fn load_dataset(
+        &self,
+        name: &str,
+        dim: u32,
+        coords: Vec<f64>,
+        warm: IndexKind,
+    ) -> Result<Response, EclipseError> {
+        let dim = dim as usize;
+        if dim == 0 || !coords.len().is_multiple_of(dim) {
+            return Err(EclipseError::Unsupported(format!(
+                "{} coordinates do not form points of dimension {dim}",
+                coords.len()
+            )));
+        }
+        let points: Vec<Point> = coords.chunks_exact(dim).map(Point::from_slice).collect();
+        Ok(Response::DatasetLoaded(self.register(name, points, warm)?))
+    }
+
+    fn build_index(&self, name: &str, kind: IndexKind) -> Result<Response, EclipseError> {
+        let engine = self.engine(name)?;
+        let index = engine.build_index(kind.into())?;
+        Ok(Response::IndexBuilt(IndexSummary {
+            kind,
+            skyline_len: index.skyline_len() as u64,
+            intersections: index.num_intersections() as u64,
+            nodes: index.backend_nodes() as u64,
+            depth: index.backend_depth() as u32,
+        }))
+    }
+
+    fn parse_boxes(wire: &[WireBox]) -> Result<Vec<WeightRatioBox>, EclipseError> {
+        wire.iter()
+            .map(|b| WeightRatioBox::from_bounds(b))
+            .collect()
+    }
+
+    fn query_batch(&self, name: &str, wire: &[WireBox]) -> Result<Response, EclipseError> {
+        let engine = self.engine(name)?;
+        let boxes = Self::parse_boxes(wire)?;
+        let results = engine.eclipse_query_batch(&boxes, &QueryOptions::default())?;
+        self.query_batches.fetch_add(1, Ordering::Relaxed);
+        self.probes.fetch_add(boxes.len() as u64, Ordering::Relaxed);
+        Ok(Response::QueryResults(
+            results
+                .into_iter()
+                .map(|ids| ids.into_iter().map(|i| i as u64).collect())
+                .collect(),
+        ))
+    }
+
+    fn count_batch(&self, name: &str, wire: &[WireBox]) -> Result<Response, EclipseError> {
+        let engine = self.engine(name)?;
+        let boxes = Self::parse_boxes(wire)?;
+        let counts = engine.eclipse_count_batch(&boxes, &QueryOptions::default())?;
+        self.count_batches.fetch_add(1, Ordering::Relaxed);
+        self.probes.fetch_add(boxes.len() as u64, Ordering::Relaxed);
+        Ok(Response::Counts(
+            counts.into_iter().map(|c| c as u64).collect(),
+        ))
+    }
+
+    fn stats(&self) -> StatsReport {
+        // Snapshot the registry first: the per-dataset numbers below walk
+        // whole index trees, which must not happen under the read lock (it
+        // would block concurrent dataset registrations for the duration).
+        let snapshot: Vec<(String, Arc<EclipseEngine>)> = self
+            .datasets
+            .read()
+            .expect("dataset registry poisoned")
+            .iter()
+            .map(|(name, engine)| (name.clone(), Arc::clone(engine)))
+            .collect();
+        let mut datasets: Vec<DatasetStats> = snapshot
+            .iter()
+            .map(|(name, engine)| {
+                let quad = engine.cached_index(IntersectionIndexKind::Quadtree);
+                let cutting = engine.cached_index(IntersectionIndexKind::CuttingTree);
+                let quad_built = quad.is_some();
+                let cutting_built = cutting.is_some();
+                let index = quad.or(cutting);
+                let (skyline_len, intersections, root_crossings) = match &index {
+                    Some(idx) => {
+                        // The whole indexed region of ratio space, counted
+                        // through the count-only tree traversal (the root
+                        // node takes the contained-subtree fast path).
+                        let root = WeightRatioBox::uniform(
+                            engine.dim(),
+                            0.0,
+                            engine.index_config().max_ratio,
+                        )
+                        .and_then(|b| idx.intersections_crossing(&b))
+                        .unwrap_or(0);
+                        (idx.skyline_len(), idx.num_intersections(), root)
+                    }
+                    None => (0, 0, 0),
+                };
+                DatasetStats {
+                    name: name.clone(),
+                    points: engine.len() as u64,
+                    dim: engine.dim() as u32,
+                    skyline_len: skyline_len as u64,
+                    intersections: intersections as u64,
+                    root_crossings: root_crossings as u64,
+                    quad_built,
+                    cutting_built,
+                }
+            })
+            .collect();
+        datasets.sort_by(|a, b| a.name.cmp(&b.name));
+        StatsReport {
+            query_batches: self.query_batches.load(Ordering::Relaxed),
+            count_batches: self.count_batches.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            datasets,
+        }
+    }
+}
+
+/// A bound (but not yet serving) eclipse server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).  All engines
+    /// registered on this server share `exec`'s thread pool.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, exec: ExecutionContext) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(ServerState::new(exec)),
+        })
+    }
+
+    /// The address the server is bound to.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Registers a dataset in-process (the binary's `--preload` and the
+    /// bench harness use this; remote clients use [`Request::LoadDataset`]).
+    ///
+    /// # Errors
+    /// Propagates engine/index construction errors.
+    pub fn register_dataset(
+        &self,
+        name: &str,
+        points: Vec<Point>,
+        warm: IndexKind,
+    ) -> Result<DatasetSummary, EclipseError> {
+        self.state.register(name, points, warm)
+    }
+
+    /// Serves connections forever on the calling thread (the binary's main
+    /// loop).
+    ///
+    /// # Errors
+    /// Propagates accept-loop socket errors.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop)
+    }
+
+    /// Serves connections on a background thread and returns a handle that
+    /// shuts the server down when dropped — the in-process flavour tests and
+    /// benches use.
+    ///
+    /// # Errors
+    /// Propagates socket errors from resolving the local address.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let _ = self.accept_loop(&loop_stop);
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    fn accept_loop(&self, stop: &Arc<AtomicBool>) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Transient accept failures (fd exhaustion under load,
+                    // aborted handshakes) repeat immediately; back off
+                    // briefly instead of spinning a core against them.
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || serve_connection(&state, stream));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+/// Handle to a server spawned with [`Server::spawn`]; shuts the accept loop
+/// down on [`ServerHandle::shutdown`] or drop.  Connections already in
+/// flight finish their current request and exit when the client disconnects.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on its next wake-up; a
+        // throwaway connection provides it.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One connection: read a frame, decode, dispatch, write the response frame.
+///
+/// Malformed *payloads* get an error response and the connection continues
+/// (framing is still intact); broken *framing* (oversized prefix, mid-frame
+/// stream end) gets a best-effort error response and the connection closes,
+/// since the byte stream can no longer be trusted.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let response = match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(payload)) => match Request::decode(&payload) {
+                Ok(request) => state.respond(request),
+                Err(e) => {
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(format!("malformed request: {e}"))
+                }
+            },
+            Err(ProtocolError::FrameTooLarge(len)) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let err = Response::Error(format!("frame of {len} bytes exceeds the cap"));
+                let _ = write_frame(&mut writer, &err.encode());
+                let _ = writer.flush();
+                break;
+            }
+            Err(_) => break,
+        };
+        let mut payload = response.encode();
+        if payload.len() > MAX_FRAME_LEN as usize {
+            // A response that cannot be framed (a batch whose results exceed
+            // the frame cap) must not silently drop the connection: answer
+            // with an error the client can act on instead.
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            payload = Response::Error(format!(
+                "response of {} bytes exceeds the {MAX_FRAME_LEN} byte frame cap; \
+                 split the batch into smaller requests",
+                payload.len()
+            ))
+            .encode();
+        }
+        if write_frame(&mut writer, &payload).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_coords() -> Vec<f64> {
+        vec![1.0, 6.0, 4.0, 4.0, 6.0, 1.0, 8.0, 5.0]
+    }
+
+    fn loaded_state() -> ServerState {
+        let state = ServerState::new(ExecutionContext::serial());
+        let resp = state.respond(Request::LoadDataset {
+            name: "hotels".to_string(),
+            dim: 2,
+            coords: paper_coords(),
+            warm: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::DatasetLoaded(_)), "{resp:?}");
+        state
+    }
+
+    #[test]
+    fn load_warms_the_index_and_reports_sizes() {
+        let state = loaded_state();
+        let Response::Stats(report) = state.respond(Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(report.datasets.len(), 1);
+        let d = &report.datasets[0];
+        assert_eq!((d.points, d.dim), (4, 2));
+        assert_eq!(d.skyline_len, 3);
+        assert_eq!(d.intersections, 3);
+        assert!(d.quad_built && !d.cutting_built);
+        assert!(d.root_crossings <= d.intersections);
+    }
+
+    #[test]
+    fn query_and_count_batches_answer_the_paper_example() {
+        let state = loaded_state();
+        let boxes = vec![vec![(0.25, 2.0)], vec![(2.0, 2.0)]];
+        let resp = state.respond(Request::QueryBatch {
+            name: "hotels".to_string(),
+            boxes: boxes.clone(),
+        });
+        assert_eq!(resp, Response::QueryResults(vec![vec![0, 1, 2], vec![0]]));
+        let resp = state.respond(Request::CountBatch {
+            name: "hotels".to_string(),
+            boxes,
+        });
+        assert_eq!(resp, Response::Counts(vec![3, 1]));
+        let Response::Stats(report) = state.respond(Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(report.query_batches, 1);
+        assert_eq!(report.count_batches, 1);
+        assert_eq!(report.probes, 4);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn failures_become_error_responses_and_count() {
+        let state = loaded_state();
+        // Unknown dataset.
+        let resp = state.respond(Request::QueryBatch {
+            name: "nope".to_string(),
+            boxes: vec![vec![(0.5, 1.0)]],
+        });
+        assert!(matches!(resp, Response::Error(m) if m.contains("unknown dataset")));
+        // Invalid range (lo > hi).
+        let resp = state.respond(Request::QueryBatch {
+            name: "hotels".to_string(),
+            boxes: vec![vec![(2.0, 0.5)]],
+        });
+        assert!(matches!(resp, Response::Error(_)));
+        // Mismatched coordinate count.
+        let resp = state.respond(Request::LoadDataset {
+            name: "bad".to_string(),
+            dim: 3,
+            coords: vec![1.0, 2.0],
+            warm: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::Error(_)));
+        // Non-finite coordinates are rejected at the boundary.
+        let resp = state.respond(Request::LoadDataset {
+            name: "bad".to_string(),
+            dim: 2,
+            coords: vec![1.0, f64::NAN],
+            warm: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::Error(m) if m.contains("finite")));
+        let Response::Stats(report) = state.respond(Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(report.errors, 4);
+        assert_eq!(report.datasets.len(), 1, "failed loads register nothing");
+    }
+
+    #[test]
+    fn build_index_adds_the_second_backend() {
+        let state = loaded_state();
+        let resp = state.respond(Request::BuildIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::CuttingTree,
+        });
+        let Response::IndexBuilt(summary) = resp else {
+            panic!("expected index summary");
+        };
+        assert_eq!(summary.kind, IndexKind::CuttingTree);
+        assert_eq!(summary.skyline_len, 3);
+        assert!(summary.nodes >= 1);
+        let Response::Stats(report) = state.respond(Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(report.datasets[0].cutting_built);
+    }
+
+    #[test]
+    fn reloading_a_dataset_replaces_it() {
+        let state = loaded_state();
+        let resp = state.respond(Request::LoadDataset {
+            name: "hotels".to_string(),
+            dim: 2,
+            coords: vec![1.0, 1.0, 2.0, 2.0],
+            warm: IndexKind::CuttingTree,
+        });
+        let Response::DatasetLoaded(summary) = resp else {
+            panic!("expected load ack");
+        };
+        assert_eq!(summary.points, 2);
+        let resp = state.respond(Request::QueryBatch {
+            name: "hotels".to_string(),
+            boxes: vec![vec![(0.5, 2.0)]],
+        });
+        assert_eq!(resp, Response::QueryResults(vec![vec![0]]));
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let state = ServerState::new(ExecutionContext::serial());
+        assert_eq!(state.respond(Request::Ping), Response::Pong);
+    }
+}

@@ -1,0 +1,254 @@
+//! Property suite for the wire protocol: every request/response value
+//! round-trips bit-exactly through encode → frame → unframe → decode, and
+//! arbitrary garbage — truncations, bit flips, random bytes — decodes to a
+//! clean [`ProtocolError`] without ever panicking or over-allocating.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use eclipse_serve::protocol::{
+    read_frame, write_frame, DatasetStats, DatasetSummary, IndexKind, IndexSummary, ProtocolError,
+    Request, Response, StatsReport,
+};
+
+/// Deterministic pseudo-random request for a seed: every variant, with
+/// string/list sizes swept over the small-to-moderate range the server sees.
+fn arbitrary_request(seed: u64) -> Request {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let name = random_name(&mut rng);
+    match rng.gen_range(0..6u32) {
+        0 => Request::Ping,
+        1 => {
+            let dim = rng.gen_range(2..5u32);
+            let n = rng.gen_range(0..20usize);
+            Request::LoadDataset {
+                name,
+                dim,
+                coords: (0..n * dim as usize)
+                    .map(|_| random_coord(&mut rng))
+                    .collect(),
+                warm: random_kind(&mut rng),
+            }
+        }
+        2 => Request::BuildIndex {
+            name,
+            kind: random_kind(&mut rng),
+        },
+        3 => Request::QueryBatch {
+            name,
+            boxes: random_boxes(&mut rng),
+        },
+        4 => Request::CountBatch {
+            name,
+            boxes: random_boxes(&mut rng),
+        },
+        _ => Request::Stats,
+    }
+}
+
+/// Deterministic pseudo-random response for a seed.
+fn arbitrary_response(seed: u64) -> Response {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    match rng.gen_range(0..7u32) {
+        0 => Response::Pong,
+        1 => Response::DatasetLoaded(DatasetSummary {
+            points: rng.gen_range(0..u64::MAX),
+            dim: rng.gen_range(0..u32::MAX),
+            skyline_len: rng.gen_range(0..u64::MAX),
+            intersections: rng.gen_range(0..u64::MAX),
+        }),
+        2 => Response::IndexBuilt(IndexSummary {
+            kind: random_kind(&mut rng),
+            skyline_len: rng.gen_range(0..u64::MAX),
+            intersections: rng.gen_range(0..u64::MAX),
+            nodes: rng.gen_range(0..u64::MAX),
+            depth: rng.gen_range(0..u32::MAX),
+        }),
+        3 => {
+            let rows = rng.gen_range(0..8usize);
+            Response::QueryResults(
+                (0..rows)
+                    .map(|_| {
+                        let ids = rng.gen_range(0..10usize);
+                        (0..ids).map(|_| rng.gen_range(0..u64::MAX)).collect()
+                    })
+                    .collect(),
+            )
+        }
+        4 => Response::Counts(
+            (0..rng.gen_range(0..12usize))
+                .map(|_| rng.gen_range(0..u64::MAX))
+                .collect(),
+        ),
+        5 => Response::Stats(StatsReport {
+            query_batches: rng.gen_range(0..u64::MAX),
+            count_batches: rng.gen_range(0..u64::MAX),
+            probes: rng.gen_range(0..u64::MAX),
+            errors: rng.gen_range(0..u64::MAX),
+            datasets: (0..rng.gen_range(0..4usize))
+                .map(|_| DatasetStats {
+                    name: random_name(&mut rng),
+                    points: rng.gen_range(0..u64::MAX),
+                    dim: rng.gen_range(0..u32::MAX),
+                    skyline_len: rng.gen_range(0..u64::MAX),
+                    intersections: rng.gen_range(0..u64::MAX),
+                    root_crossings: rng.gen_range(0..u64::MAX),
+                    quad_built: rng.gen_range(0..2u8) == 1,
+                    cutting_built: rng.gen_range(0..2u8) == 1,
+                })
+                .collect(),
+        }),
+        _ => Response::Error(random_name(&mut rng)),
+    }
+}
+
+fn random_name(rng: &mut rand::rngs::StdRng) -> String {
+    // Multi-byte UTF-8 included: the codec counts bytes, not chars.
+    let alphabet = ['a', 'b', 'z', '0', '-', '_', 'é', '∞', '雲'];
+    (0..rng.gen_range(0..12usize))
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn random_coord(rng: &mut rand::rngs::StdRng) -> f64 {
+    match rng.gen_range(0..8u32) {
+        // Edge values must survive the bit-pattern encoding exactly.
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::INFINITY,
+        3 => f64::MIN_POSITIVE,
+        _ => rng.gen_range(-1e9..1e9),
+    }
+}
+
+fn random_kind(rng: &mut rand::rngs::StdRng) -> IndexKind {
+    if rng.gen_range(0..2u32) == 0 {
+        IndexKind::Quadtree
+    } else {
+        IndexKind::CuttingTree
+    }
+}
+
+fn random_boxes(rng: &mut rand::rngs::StdRng) -> Vec<Vec<(f64, f64)>> {
+    (0..rng.gen_range(0..6usize))
+        .map(|_| {
+            (0..rng.gen_range(0..4usize))
+                .map(|_| (random_coord(rng), random_coord(rng)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on requests, and the framing layer
+    /// preserves the payload bytes.
+    #[test]
+    fn requests_round_trip(seed in 0u64..1_000_000) {
+        let request = arbitrary_request(seed);
+        let payload = request.encode();
+        prop_assert_eq!(Request::decode(&payload).unwrap(), request);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut cursor = &wire[..];
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), Some(payload));
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    /// encode → decode is the identity on responses.
+    #[test]
+    fn responses_round_trip(seed in 0u64..1_000_000) {
+        let response = arbitrary_response(seed);
+        let payload = response.encode();
+        prop_assert_eq!(Response::decode(&payload).unwrap(), response);
+    }
+
+    /// Every proper prefix of a valid payload is rejected cleanly: no panic,
+    /// no accidental accept of a shorter message.
+    #[test]
+    fn truncated_payloads_error_cleanly(seed in 0u64..100_000, cut in 0.0f64..1.0) {
+        let payload = arbitrary_request(seed).encode();
+        if payload.len() > 1 {
+            let cut = 1 + (cut * (payload.len() - 1) as f64) as usize;
+            if cut < payload.len() {
+                prop_assert!(Request::decode(&payload[..cut]).is_err());
+            }
+        }
+        let payload = arbitrary_response(seed).encode();
+        if payload.len() > 1 {
+            let cut = 1 + (cut * (payload.len() - 1) as f64) as usize;
+            if cut < payload.len() {
+                prop_assert!(Response::decode(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoders — it either happens to be
+    /// a valid message or produces a ProtocolError.
+    #[test]
+    fn garbage_never_panics(seed in 0u64..100_000, len in 0usize..256) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u32) as u8).collect();
+        let _ = Request::decode(&garbage);
+        let _ = Response::decode(&garbage);
+    }
+
+    /// Single-byte corruption of a valid payload never panics, and a
+    /// corrupted *tag* byte is always rejected or decodes to a different,
+    /// well-formed message (the decoder must never misread lengths into an
+    /// oversized allocation — the counts are validated against remaining
+    /// bytes).
+    #[test]
+    fn bit_flips_never_panic(seed in 0u64..100_000, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut payload = arbitrary_request(seed).encode();
+        let pos = (pos_frac * payload.len() as f64) as usize % payload.len().max(1);
+        if !payload.is_empty() {
+            payload[pos] ^= 1 << bit;
+            let _ = Request::decode(&payload);
+        }
+    }
+}
+
+#[test]
+fn frame_reader_rejects_hostile_lengths_without_allocating() {
+    // A length prefix of u32::MAX would be a 4 GiB allocation if trusted.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    let mut cursor = &wire[..];
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(ProtocolError::FrameTooLarge(u32::MAX))
+    ));
+}
+
+#[test]
+fn mid_frame_eof_is_an_io_error_not_a_hang() {
+    // Length says 100 bytes, stream has 3.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&100u32.to_le_bytes());
+    wire.extend_from_slice(&[1, 2, 3]);
+    let mut cursor = &wire[..];
+    assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Io(_))));
+}
+
+#[test]
+fn claimed_counts_are_bounded_by_remaining_bytes() {
+    // A QueryBatch whose box list claims 2^31 boxes in a tiny payload must
+    // be rejected before any allocation happens (this is the codec-level
+    // guarantee the 64 MiB frame cap composes with).
+    let valid = Request::QueryBatch {
+        name: "d".to_string(),
+        boxes: vec![vec![(0.1, 0.7)]],
+    }
+    .encode();
+    // name = tag(1) + len(4) + 'd'(1); the box count follows at offset 6.
+    let mut hostile = valid.clone();
+    hostile[6..10].copy_from_slice(&(1u32 << 31).to_le_bytes());
+    match Request::decode(&hostile) {
+        Err(ProtocolError::Malformed(m)) => assert!(m.contains("element count")),
+        other => panic!("expected a malformed-count error, got {other:?}"),
+    }
+    assert_eq!(Request::decode(&valid).unwrap().encode(), valid);
+}

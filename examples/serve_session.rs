@@ -1,0 +1,72 @@
+//! A complete eclipse-serve client session, in-process: spin up the server
+//! on an ephemeral port, register the paper's hotel example plus a larger
+//! synthetic dataset, and drive query/count batches and stats over the wire.
+//!
+//! ```text
+//! cargo run --release -p eclipse-examples --example serve_session
+//! ```
+
+use eclipse_core::exec::ExecutionContext;
+use eclipse_core::{Point, WeightRatioBox};
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_examples::format_ids;
+use eclipse_serve::client::Client;
+use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::server::Server;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::bind("127.0.0.1:0", ExecutionContext::default())?;
+    let handle = server.spawn()?;
+    println!("server listening on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr())?;
+    client.ping()?;
+
+    // The paper's running example (Figure 3), served over TCP.
+    let hotels = vec![
+        Point::new(vec![1.0, 6.0]), // p1
+        Point::new(vec![4.0, 4.0]), // p2
+        Point::new(vec![6.0, 1.0]), // p3
+        Point::new(vec![8.0, 5.0]), // p4
+    ];
+    let summary = client.load_dataset("hotels", &hotels, IndexKind::Quadtree)?;
+    println!(
+        "loaded \"hotels\": {} points, d = {}, skyline {}, {} intersections (index warm)",
+        summary.points, summary.dim, summary.skyline_len, summary.intersections
+    );
+    let boxes = [
+        WeightRatioBox::uniform(2, 0.25, 2.0)?, // the Figure-3 eclipse query
+        WeightRatioBox::exact(&[2.0])?,         // the 1NN instantiation
+    ];
+    let results = client.query_batch("hotels", &boxes)?;
+    println!("eclipse(r ∈ [1/4, 2]) = {}", format_ids(&results[0]));
+    println!("1NN(r = 2)           = {}", format_ids(&results[1]));
+
+    // A bigger dataset: batched queries and count-only probes.
+    let inde = SyntheticConfig::new(5_000, 3, Distribution::Independent, 42).generate();
+    let summary = client.load_dataset("inde", &inde, IndexKind::CuttingTree)?;
+    println!(
+        "loaded \"inde\": {} points, d = {}, skyline {}, {} intersections",
+        summary.points, summary.dim, summary.skyline_len, summary.intersections
+    );
+    let sweep: Vec<WeightRatioBox> = [(0.18, 5.67), (0.36, 2.75), (0.58, 1.73), (0.84, 1.19)]
+        .iter()
+        .map(|&(lo, hi)| WeightRatioBox::uniform(3, lo, hi))
+        .collect::<Result<_, _>>()?;
+    let counts = client.count_batch("inde", &sweep)?;
+    for (b, count) in sweep.iter().zip(&counts) {
+        println!("|eclipse({b})| = {count}");
+    }
+
+    let report = client.stats()?;
+    println!(
+        "server stats: {} query batches, {} count batches, {} probes, {} errors, {} datasets",
+        report.query_batches,
+        report.count_batches,
+        report.probes,
+        report.errors,
+        report.datasets.len()
+    );
+    handle.shutdown();
+    Ok(())
+}

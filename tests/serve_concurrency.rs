@@ -1,0 +1,98 @@
+//! Serving-layer concurrency: many client threads hammering one dataset
+//! with interleaved query and count batches must each see exactly the
+//! answers a serial replay of their request stream produces (extends the
+//! engine-level `engine_concurrency.rs` suite across the network boundary).
+
+use std::sync::Arc;
+
+use eclipse_core::exec::{ExecutionContext, QueryOptions};
+use eclipse_core::index::IntersectionIndexKind;
+use eclipse_core::{EclipseEngine, WeightRatioBox};
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_serve::client::Client;
+use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::server::Server;
+
+/// The batch a given (thread, round) pair issues: deterministic, so the
+/// serial replay below reproduces every request exactly.
+fn batch_for(t: usize, round: usize) -> Vec<WeightRatioBox> {
+    let ranges = [
+        (0.18, 5.67),
+        (0.36, 2.75),
+        (0.58, 1.73),
+        (0.84, 1.19),
+        (0.25, 2.0),
+        (0.9, 1.1),
+    ];
+    (0..1 + (t + round) % 4)
+        .map(|i| {
+            let (lo, hi) = ranges[(t + round + i) % ranges.len()];
+            WeightRatioBox::uniform(3, lo, hi).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_serial_replay() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+
+    let points = SyntheticConfig::new(500, 3, Distribution::Independent, 99).generate();
+    let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(4)).unwrap();
+    server
+        .register_dataset("inde", points.clone(), IndexKind::Quadtree)
+        .unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    // Serial replay oracle: the same engine configuration answering the same
+    // batches in-process, one after another.
+    let oracle = EclipseEngine::new(points).unwrap();
+    oracle.build_index(IntersectionIndexKind::Quadtree).unwrap();
+    let oracle = Arc::new(oracle);
+
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let oracle = Arc::clone(&oracle);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for round in 0..ROUNDS {
+                let batch = batch_for(t, round);
+                let expected = oracle
+                    .eclipse_query_batch(&batch, &QueryOptions::default())
+                    .unwrap();
+                if (t + round) % 2 == 0 {
+                    assert_eq!(
+                        client.query_batch("inde", &batch).unwrap(),
+                        expected,
+                        "thread {t}, round {round}"
+                    );
+                } else {
+                    let counts: Vec<usize> = expected.iter().map(Vec::len).collect();
+                    assert_eq!(
+                        client.count_batch("inde", &batch).unwrap(),
+                        counts,
+                        "thread {t}, round {round}"
+                    );
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    // Every request was answered and none errored.
+    let mut client = Client::connect(addr).unwrap();
+    let report = client.stats().unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(
+        report.query_batches + report.count_batches,
+        (THREADS * ROUNDS) as u64
+    );
+    let total_probes: usize = (0..THREADS)
+        .flat_map(|t| (0..ROUNDS).map(move |r| batch_for(t, r).len()))
+        .sum();
+    assert_eq!(report.probes, total_probes as u64);
+    handle.shutdown();
+}
