@@ -97,6 +97,9 @@ fn main() {
     if want("serve") {
         emit(&opts, "serve", serve_sweep(&opts));
     }
+    if want("snapshot") {
+        emit(&opts, "snapshot", snapshot_sweep(&opts));
+    }
 }
 
 fn parse_args() -> Options {
@@ -116,7 +119,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads|probes|serve]..."
+                     threads|probes|serve|snapshot]..."
                 );
                 std::process::exit(0);
             }
@@ -731,6 +734,128 @@ fn serve_sweep(opts: &Options) -> (String, ResultTable) {
     println!("[serve sweep written to {}]", path.display());
     (
         format!("Serving throughput — eclipse-serve over TCP (INDE, n = {n}, d = 3, {num_probes} probes)"),
+        t,
+    )
+}
+
+/// Snapshot cold-start sweep: full index rebuild (skyline, hyperplane slab
+/// and tree construction via `EclipseIndex::build`) vs snapshot restore
+/// (`EclipseEngine::from_snapshot`, which additionally decodes and validates
+/// the whole dataset) at growing n, for both backends.  The restored engine
+/// is asserted query-identical to the rebuilt one on every pass.  Writes
+/// BENCH_snapshot.json next to the CSVs (or into the current directory
+/// without `--out`).
+fn snapshot_sweep(opts: &Options) -> (String, ResultTable) {
+    let ns: &[usize] = if opts.quick {
+        &[1 << 13, 100_000]
+    } else {
+        &[1 << 13, 1 << 15, 100_000]
+    };
+    let reps = if opts.quick { 3 } else { 5 };
+    let boxes = probe_ratio_boxes(32, 3, SEED + 4);
+    let mut t = ResultTable::new(&[
+        "n",
+        "index",
+        "u",
+        "pairs",
+        "rebuild_s",
+        "save_s",
+        "load_s",
+        "bytes",
+        "speedup",
+    ]);
+    let mut json = String::from("{\n  \"pr\": 5,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str("  \"dataset\": {\"family\": \"INDE\", \"d\": 3},\n");
+    json.push_str("  \"snapshot\": [\n");
+    let mut first = true;
+    for &n in ns {
+        let pts = DatasetFamily::Inde.generate(n, 3, SEED);
+        for kind in [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ] {
+            let cfg = IndexConfig::with_kind(kind);
+            let mut rebuild_secs = f64::INFINITY;
+            for _ in 0..reps {
+                let start = std::time::Instant::now();
+                let idx = EclipseIndex::build(&pts, cfg).expect("valid workload");
+                rebuild_secs = rebuild_secs.min(start.elapsed().as_secs_f64());
+                std::hint::black_box(&idx);
+            }
+            let engine = eclipse_core::EclipseEngine::with_index_config(pts.clone(), cfg)
+                .expect("valid workload");
+            let mut save_secs = f64::INFINITY;
+            let mut bytes = Vec::new();
+            for _ in 0..reps {
+                let start = std::time::Instant::now();
+                bytes = engine
+                    .save_snapshot("inde", kind)
+                    .expect("snapshot encodes");
+                save_secs = save_secs.min(start.elapsed().as_secs_f64());
+            }
+            let mut load_secs = f64::INFINITY;
+            let mut restored = None;
+            for _ in 0..reps {
+                let start = std::time::Instant::now();
+                let (_, cold) =
+                    eclipse_core::EclipseEngine::from_snapshot(&bytes).expect("snapshot decodes");
+                load_secs = load_secs.min(start.elapsed().as_secs_f64());
+                restored = Some(cold);
+            }
+            let restored = restored.expect("at least one load pass");
+            // The acceptance gate: a restored index answers identically.
+            let opts_q = eclipse_core::exec::QueryOptions::default();
+            assert_eq!(
+                restored
+                    .eclipse_query_batch(&boxes, &opts_q)
+                    .expect("restored probes"),
+                engine.eclipse_query_batch(&boxes, &opts_q).expect("probes"),
+                "restored index must be query-identical (n = {n}, {kind:?})"
+            );
+            let index = engine.build_index(kind).expect("cached index");
+            let speedup = rebuild_secs / load_secs;
+            t.push_row(vec![
+                n.to_string(),
+                kind_label(kind).to_string(),
+                index.skyline_len().to_string(),
+                index.num_intersections().to_string(),
+                format_secs(rebuild_secs),
+                format_secs(save_secs),
+                format_secs(load_secs),
+                bytes.len().to_string(),
+                format!("{speedup:.1}x"),
+            ]);
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"n\": {}, \"index\": \"{}\", \"u\": {}, \"pairs\": {}, \
+                 \"rebuild_secs\": {:.6}, \"save_secs\": {:.6}, \"load_secs\": {:.6}, \
+                 \"snapshot_bytes\": {}, \"load_speedup_over_rebuild\": {:.2}}}",
+                n,
+                kind_label(kind),
+                index.skyline_len(),
+                index.num_intersections(),
+                rebuild_secs,
+                save_secs,
+                load_secs,
+                bytes.len(),
+                speedup,
+            ));
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_snapshot.json");
+    std::fs::write(&path, json).expect("write BENCH_snapshot.json");
+    println!("[snapshot sweep written to {}]", path.display());
+    (
+        "Snapshot cold start — restore vs full index rebuild (INDE, d = 3)".to_string(),
         t,
     )
 }

@@ -33,6 +33,18 @@ pub enum EclipseError {
     /// The requested operation does not support the supplied configuration
     /// (e.g. an index-based query with unbounded ratio ranges).
     Unsupported(String),
+    /// An index snapshot failed to encode, decode or reach disk: bad magic,
+    /// an unsupported format version, truncation, checksum or structural
+    /// corruption, or an I/O failure on the snapshot file.
+    Snapshot(String),
+    /// A structurally valid snapshot disagrees with the engine it is being
+    /// restored into — different dataset contents or an incompatible index
+    /// configuration.  Loading it anyway would serve wrong results, so it is
+    /// rejected up front.
+    SnapshotMismatch {
+        /// Human-readable description of the disagreement.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EclipseError {
@@ -52,11 +64,21 @@ impl fmt::Display for EclipseError {
             ),
             EclipseError::EmptyDataset => write!(f, "the operation requires a non-empty dataset"),
             EclipseError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            EclipseError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            EclipseError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot mismatch: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for EclipseError {}
+
+impl From<eclipse_persist::PersistError> for EclipseError {
+    fn from(e: eclipse_persist::PersistError) -> Self {
+        EclipseError::Snapshot(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -82,6 +104,20 @@ mod tests {
         assert!(EclipseError::Unsupported("x".into())
             .to_string()
             .contains('x'));
+        assert!(EclipseError::Snapshot("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(EclipseError::SnapshotMismatch {
+            reason: "different dataset".into()
+        }
+        .to_string()
+        .contains("mismatch"));
+    }
+
+    #[test]
+    fn persist_errors_convert_to_snapshot_errors() {
+        let e = EclipseError::from(eclipse_persist::PersistError::BadMagic);
+        assert!(matches!(e, EclipseError::Snapshot(m) if m.contains("magic")));
     }
 
     #[test]

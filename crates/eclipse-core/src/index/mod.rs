@@ -31,4 +31,7 @@ pub mod dual2d;
 pub mod ndim;
 
 pub use dual2d::OrderVectorIndex2d;
-pub use ndim::{EclipseIndex, IndexConfig, IntersectionIndexKind, ProbeScratch};
+pub use ndim::{
+    EclipseIndex, IndexConfig, IntersectionIndexKind, ProbeScratch, SECTION_BACKEND,
+    SECTION_DATASET, SECTION_INDEX_CONFIG, SECTION_INDEX_META, SECTION_SKYLINE,
+};

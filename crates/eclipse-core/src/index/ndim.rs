@@ -34,6 +34,7 @@
 //! itself.  [`EclipseIndex::query_batch`] fans locality-sorted probes out
 //! over an [`ExecutionContext`] with one scratch per worker.
 
+use eclipse_persist::{enc, Cursor, PersistError, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
 
 use eclipse_geom::approx::EPS;
@@ -58,7 +59,7 @@ pub enum IntersectionIndexKind {
 }
 
 /// Construction parameters for [`EclipseIndex`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IndexConfig {
     /// Which spatial structure indexes the intersection hyperplanes.
     pub kind: IntersectionIndexKind,
@@ -99,6 +100,37 @@ impl IndexConfig {
 enum Backend {
     Quad(HyperplaneQuadtree),
     Cutting(CuttingTree),
+}
+
+// --- snapshot format --------------------------------------------------------
+//
+// An index snapshot is an `eclipse_persist` container (magic + format version
+// + checksummed sections) with the sections below.  Engine-level snapshots
+// prepend a dataset section; the index-level codec ignores sections it does
+// not know, so both shapes decode with the same reader.
+
+/// Snapshot section: index metadata (dimensionality, skyline size, pair
+/// count) — decoded first so later sections can be cross-validated.
+pub const SECTION_INDEX_META: u8 = 0x01;
+/// Snapshot section: the full [`IndexConfig`] the index was built with.
+pub const SECTION_INDEX_CONFIG: u8 = 0x02;
+/// Snapshot section: skyline ids (into the original dataset) and the flat
+/// skyline coordinate buffer.
+pub const SECTION_SKYLINE: u8 = 0x03;
+/// Snapshot section: the backend tree arena (kind tag + tree payload).
+pub const SECTION_BACKEND: u8 = 0x04;
+/// Snapshot section: dataset label, dimensionality and row-major coordinates
+/// (written by [`crate::query::EclipseEngine`]-level snapshots only).
+pub const SECTION_DATASET: u8 = 0x05;
+
+/// Wire tag of the quadtree backend inside [`SECTION_BACKEND`].
+const BACKEND_TAG_QUAD: u8 = 0;
+/// Wire tag of the cutting-tree backend inside [`SECTION_BACKEND`].
+const BACKEND_TAG_CUTTING: u8 = 1;
+
+/// Shorthand for a structural snapshot defect found by cross-validation.
+fn snapshot_err(reason: impl Into<String>) -> EclipseError {
+    EclipseError::Snapshot(reason.into())
 }
 
 /// Reusable buffers for the query (probe) path.
@@ -532,6 +564,316 @@ impl EclipseIndex {
                 .filter(|&i| slab.intersects_box(i, &qlo, &qhi))
                 .count())
         }
+    }
+
+    /// Appends the index's snapshot sections (metadata, config, skyline,
+    /// backend arena) to a container under construction — the engine-level
+    /// snapshot composes this with a dataset section.
+    pub fn encode_snapshot_into(&self, writer: &mut SnapshotWriter) {
+        let mut meta = Vec::new();
+        enc::put_u32(&mut meta, self.dim as u32);
+        enc::put_usize(&mut meta, self.skyline_ids.len());
+        enc::put_usize(&mut meta, self.pairs.len());
+        writer.section(SECTION_INDEX_META, meta);
+
+        let mut config = Vec::new();
+        enc::put_u8(
+            &mut config,
+            match self.config.kind {
+                IntersectionIndexKind::Quadtree => BACKEND_TAG_QUAD,
+                IntersectionIndexKind::CuttingTree => BACKEND_TAG_CUTTING,
+            },
+        );
+        enc::put_f64(&mut config, self.config.max_ratio);
+        enc::put_usize(&mut config, self.config.quadtree.max_capacity);
+        enc::put_usize(&mut config, self.config.quadtree.max_depth);
+        enc::put_usize(&mut config, self.config.quadtree.max_nodes);
+        enc::put_usize(&mut config, self.config.quadtree.max_entries);
+        enc::put_usize(&mut config, self.config.cutting.max_capacity);
+        enc::put_usize(&mut config, self.config.cutting.max_depth);
+        enc::put_usize(&mut config, self.config.cutting.sample_size);
+        enc::put_usize(&mut config, self.config.cutting.max_nodes);
+        enc::put_usize(&mut config, self.config.cutting.max_entries);
+        enc::put_u64(&mut config, self.config.cutting.seed);
+        writer.section(SECTION_INDEX_CONFIG, config);
+
+        let mut skyline = Vec::new();
+        enc::put_usize(&mut skyline, self.skyline_ids.len());
+        for &id in &self.skyline_ids {
+            enc::put_usize(&mut skyline, id);
+        }
+        for &c in self.skyline_coords.iter() {
+            enc::put_f64(&mut skyline, c);
+        }
+        writer.section(SECTION_SKYLINE, skyline);
+
+        let mut backend = Vec::new();
+        match &self.backend {
+            Backend::Quad(t) => {
+                enc::put_u8(&mut backend, BACKEND_TAG_QUAD);
+                t.encode_into(&mut backend);
+            }
+            Backend::Cutting(t) => {
+                enc::put_u8(&mut backend, BACKEND_TAG_CUTTING);
+                t.encode_into(&mut backend);
+            }
+        }
+        writer.section(SECTION_BACKEND, backend);
+    }
+
+    /// Serializes the index into a standalone versioned snapshot (magic +
+    /// format version + checksummed sections).  The encoding is byte-stable:
+    /// the same dataset and config always produce the same bytes, which is
+    /// what the committed golden fixtures pin across releases.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        let mut writer = SnapshotWriter::new();
+        self.encode_snapshot_into(&mut writer);
+        writer.finish()
+    }
+
+    /// Decodes an index from the sections of a parsed snapshot container,
+    /// re-validating everything the probe path relies on: section
+    /// cross-consistency (pair count is `C(u, 2)` and matches the slab,
+    /// config matches the backend tree, the tree's root cell is the indexed
+    /// region), plus the arena invariants checked by the tree decoders.
+    ///
+    /// # Errors
+    /// [`EclipseError::Snapshot`] for every structural defect; hostile input
+    /// never panics and never over-allocates.
+    pub(crate) fn from_snapshot_reader(reader: &SnapshotReader<'_>) -> Result<Self> {
+        let mut meta = Cursor::new(reader.section(SECTION_INDEX_META)?);
+        let dim = meta.u32()? as usize;
+        let u = meta.usize64()?;
+        let num_pairs = meta.usize64()?;
+        meta.finish()?;
+        if dim < 2 {
+            return Err(snapshot_err(format!(
+                "index dimensionality {dim} is below the d ≥ 2 minimum"
+            )));
+        }
+        let expected_pairs = (u as u128 * u.saturating_sub(1) as u128) / 2;
+        if num_pairs as u128 != expected_pairs {
+            return Err(snapshot_err(format!(
+                "pair count {num_pairs} is not C({u}, 2)"
+            )));
+        }
+
+        let mut cfg = Cursor::new(reader.section(SECTION_INDEX_CONFIG)?);
+        let kind = match cfg.u8()? {
+            BACKEND_TAG_QUAD => IntersectionIndexKind::Quadtree,
+            BACKEND_TAG_CUTTING => IntersectionIndexKind::CuttingTree,
+            tag => {
+                return Err(PersistError::UnknownTag {
+                    context: "index kind",
+                    tag,
+                }
+                .into())
+            }
+        };
+        let max_ratio = cfg.f64()?;
+        if !max_ratio.is_finite() || max_ratio < 0.0 {
+            return Err(snapshot_err(format!(
+                "indexed-region bound {max_ratio} must be finite and non-negative"
+            )));
+        }
+        let config = IndexConfig {
+            kind,
+            max_ratio,
+            quadtree: QuadtreeConfig {
+                max_capacity: cfg.usize64()?,
+                max_depth: cfg.usize64()?,
+                max_nodes: cfg.usize64()?,
+                max_entries: cfg.usize64()?,
+            },
+            cutting: CuttingTreeConfig {
+                max_capacity: cfg.usize64()?,
+                max_depth: cfg.usize64()?,
+                sample_size: cfg.usize64()?,
+                max_nodes: cfg.usize64()?,
+                max_entries: cfg.usize64()?,
+                seed: cfg.u64()?,
+            },
+        };
+        cfg.finish()?;
+
+        let mut sky = Cursor::new(reader.section(SECTION_SKYLINE)?);
+        let id_count = sky.count(8)?;
+        if id_count != u {
+            return Err(snapshot_err(format!(
+                "skyline section holds {id_count} ids but the metadata says {u}"
+            )));
+        }
+        let mut skyline_ids = Vec::with_capacity(id_count);
+        for _ in 0..id_count {
+            skyline_ids.push(sky.usize64()?);
+        }
+        if !skyline_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(snapshot_err(
+                "skyline ids must be strictly ascending".to_string(),
+            ));
+        }
+        let coord_count = u
+            .checked_mul(dim)
+            .ok_or_else(|| snapshot_err(format!("{u} skyline rows of dimension {dim} overflow")))?;
+        let skyline_coords: Box<[f64]> = sky.f64_vec(coord_count)?.into_boxed_slice();
+        sky.finish()?;
+
+        let mut be = Cursor::new(reader.section(SECTION_BACKEND)?);
+        let backend_tag = be.u8()?;
+        let backend = match backend_tag {
+            BACKEND_TAG_QUAD => Backend::Quad(HyperplaneQuadtree::decode(&mut be)?),
+            BACKEND_TAG_CUTTING => Backend::Cutting(CuttingTree::decode(&mut be)?),
+            tag => {
+                return Err(PersistError::UnknownTag {
+                    context: "backend tree",
+                    tag,
+                }
+                .into())
+            }
+        };
+        be.finish()?;
+        let tag_kind = match backend_tag {
+            BACKEND_TAG_QUAD => IntersectionIndexKind::Quadtree,
+            _ => IntersectionIndexKind::CuttingTree,
+        };
+        if tag_kind != config.kind {
+            return Err(snapshot_err(format!(
+                "backend tree kind {tag_kind:?} disagrees with the config kind {:?}",
+                config.kind
+            )));
+        }
+
+        let k = dim - 1;
+        let (slab, tree_root) = match &backend {
+            Backend::Quad(t) => (t.slab(), t.root_cell()),
+            Backend::Cutting(t) => (t.slab(), t.root_cell()),
+        };
+        if slab.dim() != k {
+            return Err(snapshot_err(format!(
+                "backend slab dimensionality {} does not match the {k}-dimensional ratio space",
+                slab.dim()
+            )));
+        }
+        if slab.len() != num_pairs {
+            return Err(snapshot_err(format!(
+                "backend indexes {} hyperplanes but the metadata says {num_pairs}",
+                slab.len()
+            )));
+        }
+        let root_cell = BoundingBox::new(vec![0.0; k], vec![max_ratio; k]);
+        if *tree_root != root_cell {
+            return Err(snapshot_err(
+                "backend root cell does not match the configured indexed region".to_string(),
+            ));
+        }
+        match &backend {
+            Backend::Quad(t) => {
+                if t.config() != config.quadtree {
+                    return Err(snapshot_err(
+                        "backend tree config disagrees with the index config".to_string(),
+                    ));
+                }
+            }
+            Backend::Cutting(t) => {
+                if t.config() != config.cutting {
+                    return Err(snapshot_err(
+                        "backend tree config disagrees with the index config".to_string(),
+                    ));
+                }
+            }
+        }
+
+        // The pair table is fully determined by the skyline size: pairs are
+        // laid out (a, b) for a < b in row order, exactly as construction
+        // emits them, so it is reconstructed rather than stored.
+        let mut pairs = Vec::with_capacity(num_pairs);
+        for a in 0..u {
+            for b in a + 1..u {
+                pairs.push((a as u32, b as u32));
+            }
+        }
+
+        Ok(EclipseIndex {
+            dim,
+            skyline_ids,
+            skyline_coords,
+            pairs,
+            backend,
+            root_cell,
+            config,
+        })
+    }
+
+    /// Decodes a standalone index snapshot produced by
+    /// [`EclipseIndex::encode_snapshot`] (engine-level snapshots decode too;
+    /// their extra dataset section is simply not consulted).
+    ///
+    /// # Errors
+    /// [`EclipseError::Snapshot`] on any container or structural defect —
+    /// truncation, bit flips, hostile counts and version mismatches all
+    /// surface as typed errors, never panics.
+    pub fn decode_snapshot(bytes: &[u8]) -> Result<Self> {
+        let reader = SnapshotReader::parse(bytes)?;
+        Self::from_snapshot_reader(&reader)
+    }
+
+    /// Writes [`EclipseIndex::encode_snapshot`] to a file.
+    ///
+    /// # Errors
+    /// [`EclipseError::Snapshot`] wrapping the I/O failure.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.encode_snapshot())
+            .map_err(|e| snapshot_err(format!("write {}: {e}", path.display())))
+    }
+
+    /// Reads and decodes a snapshot file written by
+    /// [`EclipseIndex::save_snapshot`].
+    ///
+    /// # Errors
+    /// [`EclipseError::Snapshot`] for I/O and decode failures alike.
+    pub fn load_snapshot(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| snapshot_err(format!("read {}: {e}", path.display())))?;
+        Self::decode_snapshot(&bytes)
+    }
+
+    /// Validates the index against the dataset it claims to cover: every
+    /// skyline id must address a dataset row whose coordinates are
+    /// bit-identical to the stored skyline row.  This is what makes an
+    /// engine-level restore safe — a snapshot paired with the wrong dataset
+    /// is rejected instead of silently serving that dataset wrong results.
+    pub(crate) fn validate_against_dataset(&self, dim: usize, coords: &[f64]) -> Result<()> {
+        if self.dim != dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: dim,
+                found: self.dim,
+            });
+        }
+        let n = coords.len() / dim.max(1);
+        for (row, &id) in self.skyline_ids.iter().enumerate() {
+            if id >= n {
+                return Err(EclipseError::SnapshotMismatch {
+                    reason: format!("skyline id {id} out of range for {n} dataset points"),
+                });
+            }
+            let stored = &self.skyline_coords[row * dim..(row + 1) * dim];
+            let actual = &coords[id * dim..(id + 1) * dim];
+            if stored
+                .iter()
+                .zip(actual.iter())
+                .any(|(s, a)| s.to_bits() != a.to_bits())
+            {
+                return Err(EclipseError::SnapshotMismatch {
+                    reason: format!(
+                        "skyline row for dataset point {id} does not match the registered \
+                         dataset (the snapshot was built over different data)"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The validity requirements every probe shares: matching
@@ -1036,6 +1378,79 @@ mod tests {
                 .intersections_crossing(&WeightRatioBox::uniform(4, 0.5, 1.0).unwrap())
                 .is_err());
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_byte_stable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(82);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        for cfg in both_kinds() {
+            let idx = EclipseIndex::build(&pts, cfg).unwrap();
+            let bytes = idx.encode_snapshot();
+            let back = EclipseIndex::decode_snapshot(&bytes).unwrap();
+            assert_eq!(back.dim(), idx.dim());
+            assert_eq!(back.skyline_ids(), idx.skyline_ids());
+            assert_eq!(back.num_intersections(), idx.num_intersections());
+            assert_eq!(back.config(), idx.config());
+            assert_eq!(back.backend_nodes(), idx.backend_nodes());
+            assert_eq!(back.backend_depth(), idx.backend_depth());
+            // Probe equality, including a box escaping the indexed region.
+            for (lo, hi) in [(0.2, 0.8), (0.36, 2.75), (0.9, 1.1), (0.5, 20.0)] {
+                let b = WeightRatioBox::uniform(3, lo, hi).unwrap();
+                assert_eq!(back.query(&b).unwrap(), idx.query(&b).unwrap(), "box {b}");
+            }
+            // Byte stability: encoding the decoded index reproduces the
+            // snapshot exactly, and rebuilding from the same inputs does too.
+            assert_eq!(back.encode_snapshot(), bytes);
+            assert_eq!(
+                EclipseIndex::build(&pts, cfg).unwrap().encode_snapshot(),
+                bytes
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_files_round_trip_through_disk() {
+        let idx = EclipseIndex::build(&paper_points(), IndexConfig::default()).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("eclipse_ndim_snap_{}.eclsnap", std::process::id()));
+        idx.save_snapshot(&path).unwrap();
+        let back = EclipseIndex::load_snapshot(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(back.query(&b).unwrap(), idx.query(&b).unwrap());
+        // Missing files surface as typed errors, not panics.
+        assert!(matches!(
+            EclipseIndex::load_snapshot(&path),
+            Err(EclipseError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_validation_against_datasets() {
+        let pts = paper_points();
+        let idx = EclipseIndex::build(&pts, IndexConfig::default()).unwrap();
+        let flat: Vec<f64> = pts.iter().flat_map(|p| p.coords().to_vec()).collect();
+        idx.validate_against_dataset(2, &flat).unwrap();
+        // Wrong dimensionality.
+        assert!(matches!(
+            idx.validate_against_dataset(3, &flat),
+            Err(EclipseError::DimensionMismatch { .. })
+        ));
+        // Different data under the same shape.
+        let mut other = flat.clone();
+        other[0] += 1.0;
+        assert!(matches!(
+            idx.validate_against_dataset(2, &other),
+            Err(EclipseError::SnapshotMismatch { .. })
+        ));
+        // Truncated dataset: a skyline id falls out of range.
+        assert!(matches!(
+            idx.validate_against_dataset(2, &flat[..2]),
+            Err(EclipseError::SnapshotMismatch { .. })
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::sync::{Arc, RwLock};
 
 use eclipse_geom::point::Point;
+use eclipse_persist::{enc, Cursor, SnapshotReader, SnapshotWriter};
 use eclipse_skyline::knn::{knn_linear_scan, ratio_to_weights, Neighbor};
 
 use crate::algo::baseline::eclipse_baseline;
@@ -312,6 +313,161 @@ impl EclipseEngine {
     /// The index-construction parameters the engine builds indexes with.
     pub fn index_config(&self) -> &IndexConfig {
         &self.index_config
+    }
+
+    /// Serializes the dataset plus the built index of the given kind into a
+    /// versioned snapshot (building and caching the index first if needed).
+    /// `label` is stored alongside the dataset — servers use it to re-derive
+    /// the dataset name on a warm restart.
+    ///
+    /// # Errors
+    /// Propagates index-construction errors.
+    pub fn save_snapshot(&self, label: &str, kind: IntersectionIndexKind) -> Result<Vec<u8>> {
+        let index = self.build_index(kind)?;
+        let mut writer = SnapshotWriter::new();
+        let mut dataset = Vec::new();
+        enc::put_str(&mut dataset, label);
+        enc::put_u32(&mut dataset, self.dim as u32);
+        enc::put_usize(&mut dataset, self.points.len());
+        for p in &self.points {
+            for &c in p.coords() {
+                enc::put_f64(&mut dataset, c);
+            }
+        }
+        writer.section(crate::index::SECTION_DATASET, dataset);
+        index.encode_snapshot_into(&mut writer);
+        Ok(writer.finish())
+    }
+
+    /// Decodes the dataset section of an engine-level snapshot: the label,
+    /// dimensionality and row-major coordinate buffer.
+    fn decode_dataset_section(reader: &SnapshotReader<'_>) -> Result<(String, usize, Vec<f64>)> {
+        let mut cur = Cursor::new(reader.section(crate::index::SECTION_DATASET)?);
+        let label = cur.str()?;
+        let dim = cur.u32()? as usize;
+        if dim < 2 {
+            return Err(EclipseError::Snapshot(format!(
+                "snapshot dataset dimensionality {dim} is below the d ≥ 2 minimum"
+            )));
+        }
+        let n = cur.count(dim.saturating_mul(8))?;
+        if n == 0 {
+            return Err(EclipseError::Snapshot(
+                "snapshot holds an empty dataset".to_string(),
+            ));
+        }
+        let coords = cur.f64_vec(n.checked_mul(dim).ok_or_else(|| {
+            EclipseError::Snapshot(format!("{n} points of dimension {dim} overflow"))
+        })?)?;
+        cur.finish()?;
+        Ok((label, dim, coords))
+    }
+
+    /// Reads just the dataset label out of an engine-level snapshot —
+    /// container checksums are verified but nothing else is decoded, so
+    /// this is the cheap way to route a snapshot file to its dataset
+    /// before committing to a full restore.
+    ///
+    /// # Errors
+    /// [`EclipseError::Snapshot`] when the container or dataset section is
+    /// malformed.
+    pub fn snapshot_label(bytes: &[u8]) -> Result<String> {
+        let reader = SnapshotReader::parse(bytes)?;
+        let mut cur = Cursor::new(reader.section(crate::index::SECTION_DATASET)?);
+        Ok(cur.str()?)
+    }
+
+    /// Restores a built index from an engine-level snapshot into this
+    /// engine's cache, **after validating the snapshot against the
+    /// registered dataset**: the dimensionality, point count and every
+    /// coordinate bit must match, and the snapshot's index configuration
+    /// must agree with the engine's (apart from which backend kind it is).
+    /// A snapshot of different data or an incompatible configuration is
+    /// rejected with a typed error instead of being installed and serving
+    /// wrong results.
+    ///
+    /// # Errors
+    /// * [`EclipseError::Snapshot`] — the bytes are not a valid snapshot;
+    /// * [`EclipseError::DimensionMismatch`] — the snapshot's dataset
+    ///   dimensionality differs from the engine's;
+    /// * [`EclipseError::SnapshotMismatch`] — dataset contents or index
+    ///   configuration disagree.
+    pub fn restore_index_snapshot(&self, bytes: &[u8]) -> Result<Arc<EclipseIndex>> {
+        let reader = SnapshotReader::parse(bytes)?;
+        let (_label, dim, coords) = Self::decode_dataset_section(&reader)?;
+        if dim != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: dim,
+            });
+        }
+        if coords.len() != self.points.len() * self.dim
+            || !self
+                .points
+                .iter()
+                .flat_map(|p| p.coords().iter())
+                .zip(coords.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        {
+            return Err(EclipseError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot dataset ({} coordinates) differs from the registered dataset \
+                     ({} points of dimension {})",
+                    coords.len(),
+                    self.points.len(),
+                    self.dim
+                ),
+            });
+        }
+        let index = EclipseIndex::from_snapshot_reader(&reader)?;
+        let mut want = self.index_config;
+        want.kind = index.config().kind;
+        if *index.config() != want {
+            return Err(EclipseError::SnapshotMismatch {
+                reason: "snapshot index configuration differs from the engine's".to_string(),
+            });
+        }
+        index.validate_against_dataset(self.dim, &coords)?;
+        let index = Arc::new(index);
+        let slot = match index.config().kind {
+            IntersectionIndexKind::Quadtree => &self.quad_index,
+            IntersectionIndexKind::CuttingTree => &self.cutting_index,
+        };
+        *slot.write().expect("index lock poisoned") = Some(Arc::clone(&index));
+        Ok(index)
+    }
+
+    /// Reconstructs a whole engine — dataset and built index — from an
+    /// engine-level snapshot: the cold-start warm-restore path, paying only
+    /// decode cost instead of skyline + hyperplane + tree construction.
+    /// Returns the stored label alongside the engine; the restored index is
+    /// installed in the engine's cache, and the engine adopts the snapshot's
+    /// index configuration.
+    ///
+    /// # Errors
+    /// [`EclipseError::Snapshot`] / [`EclipseError::SnapshotMismatch`] on
+    /// any structural defect, including a skyline that does not belong to
+    /// the stored dataset.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<(String, EclipseEngine)> {
+        let reader = SnapshotReader::parse(bytes)?;
+        let (label, dim, coords) = Self::decode_dataset_section(&reader)?;
+        let index = EclipseIndex::from_snapshot_reader(&reader)?;
+        if index.dim() != dim {
+            return Err(EclipseError::Snapshot(format!(
+                "index dimensionality {} disagrees with the dataset dimensionality {dim}",
+                index.dim()
+            )));
+        }
+        index.validate_against_dataset(dim, &coords)?;
+        let points: Vec<Point> = coords.chunks_exact(dim).map(Point::from_slice).collect();
+        let engine = EclipseEngine::with_index_config(points, *index.config())?;
+        let index = Arc::new(index);
+        let slot = match index.config().kind {
+            IntersectionIndexKind::Quadtree => &engine.quad_index,
+            IntersectionIndexKind::CuttingTree => &engine.cutting_index,
+        };
+        *slot.write().expect("index lock poisoned") = Some(index);
+        Ok((label, engine))
     }
 
     /// The index `Auto` batches route through: an already-built one of either
@@ -885,6 +1041,103 @@ mod tests {
         let intervals = e.winner_intervals(&b).unwrap();
         assert_eq!(intervals.first().unwrap().winner, 2);
         assert_eq!(intervals.last().unwrap().winner, 0);
+    }
+
+    #[test]
+    fn engine_snapshots_restore_and_cold_start() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(106);
+        let pts: Vec<Point> = (0..250)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let e = EclipseEngine::new(pts.clone()).unwrap();
+        let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
+        let expected = e.eclipse(&b).unwrap();
+        for kind in [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ] {
+            let bytes = e.save_snapshot("inde", kind).unwrap();
+            assert_eq!(EclipseEngine::snapshot_label(&bytes).unwrap(), "inde");
+            assert!(EclipseEngine::snapshot_label(&bytes[..8]).is_err());
+
+            // Warm-restore into a fresh engine over the same dataset.
+            let fresh = EclipseEngine::new(pts.clone()).unwrap();
+            assert!(fresh.cached_index(kind).is_none());
+            let restored = fresh.restore_index_snapshot(&bytes).unwrap();
+            assert_eq!(restored.config().kind, kind);
+            let cached = fresh.cached_index(kind).unwrap();
+            assert!(
+                Arc::ptr_eq(&restored, &cached),
+                "restore installs the index"
+            );
+            assert_eq!(fresh.eclipse(&b).unwrap(), expected);
+
+            // Cold-start: dataset and index both come from the snapshot.
+            let (label, cold) = EclipseEngine::from_snapshot(&bytes).unwrap();
+            assert_eq!(label, "inde");
+            assert_eq!(cold.len(), pts.len());
+            assert!(cold.cached_index(kind).is_some());
+            assert_eq!(cold.eclipse(&b).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn snapshot_mismatches_are_typed_errors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+        let pts: Vec<Point> = (0..100)
+            .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let e = EclipseEngine::new(pts.clone()).unwrap();
+        let bytes = e
+            .save_snapshot("ds", IntersectionIndexKind::Quadtree)
+            .unwrap();
+
+        // A different dataset of the same shape is rejected.
+        let mut other_pts = pts.clone();
+        other_pts[0] = Point::new(vec![9.0, 9.0, 9.0]);
+        let other = EclipseEngine::new(other_pts).unwrap();
+        assert!(matches!(
+            other.restore_index_snapshot(&bytes),
+            Err(EclipseError::SnapshotMismatch { .. })
+        ));
+
+        // A different dimensionality is rejected up front.
+        let flat: Vec<Point> = (0..100)
+            .map(|_| Point::new(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        let e2d = EclipseEngine::new(flat).unwrap();
+        assert!(matches!(
+            e2d.restore_index_snapshot(&bytes),
+            Err(EclipseError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+
+        // An incompatible index configuration is rejected even over the same
+        // dataset.
+        let tweaked = EclipseEngine::with_index_config(
+            pts,
+            IndexConfig {
+                max_ratio: 4.0,
+                ..IndexConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            tweaked.restore_index_snapshot(&bytes),
+            Err(EclipseError::SnapshotMismatch { .. })
+        ));
+
+        // Garbage bytes surface as snapshot errors, not panics.
+        assert!(matches!(
+            e.restore_index_snapshot(b"not a snapshot"),
+            Err(EclipseError::Snapshot(_))
+        ));
+        assert!(matches!(
+            EclipseEngine::from_snapshot(&bytes[..bytes.len() / 2]),
+            Err(EclipseError::Snapshot(_))
+        ));
     }
 
     #[test]

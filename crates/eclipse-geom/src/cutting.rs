@@ -32,6 +32,7 @@
 //! worst-case scenario of Figs. 13–14 where CUTTING must beat QUAD.  See
 //! DESIGN.md §4 for the substitution rationale.
 
+use eclipse_persist::{enc, Cursor, PersistError, PersistResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -397,6 +398,141 @@ impl CuttingTree {
             }
         }
     }
+
+    /// Appends the tree's snapshot encoding: construction config (including
+    /// the sampling seed, so the provenance of the cuts is preserved), root
+    /// cell, reached depth, the hyperplane slab, then the three arena
+    /// buffers.  Construction is deterministic for a seed, so the same input
+    /// data and config always produce the same bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        enc::put_usize(out, self.config.max_capacity);
+        enc::put_usize(out, self.config.max_depth);
+        enc::put_usize(out, self.config.sample_size);
+        enc::put_usize(out, self.config.max_nodes);
+        enc::put_usize(out, self.config.max_entries);
+        enc::put_u64(out, self.config.seed);
+        self.root_cell.encode_into(out);
+        enc::put_usize(out, self.max_depth_reached);
+        self.slab.encode_into(out);
+        enc::put_usize(out, self.nodes.len());
+        for node in &self.nodes {
+            enc::put_u32(out, node.axis);
+            enc::put_f64(out, node.at);
+            enc::put_u32(out, node.low);
+            enc::put_u32(out, node.high);
+            enc::put_u32(out, node.entries_start);
+            enc::put_u32(out, node.entries_end);
+        }
+        // `cells` holds exactly 2k values per node, so no count is stored.
+        for &c in &self.cells {
+            enc::put_f64(out, c);
+        }
+        enc::put_usize(out, self.entries.len());
+        for &e in &self.entries {
+            enc::put_u32(out, e);
+        }
+    }
+
+    /// Decodes a tree previously written by [`CuttingTree::encode_into`],
+    /// consuming exactly its bytes from `cur` and re-validating every arena
+    /// invariant the query loop relies on (counts bounded by the remaining
+    /// bytes, children strictly forward so traversal terminates, cut axes
+    /// inside the ambient dimensionality, entry ranges and ids in bounds).
+    ///
+    /// # Errors
+    /// A typed [`PersistError`] for every defect; arbitrary input never
+    /// panics.
+    pub fn decode(cur: &mut Cursor<'_>) -> PersistResult<Self> {
+        let config = CuttingTreeConfig {
+            max_capacity: cur.usize64()?,
+            max_depth: cur.usize64()?,
+            sample_size: cur.usize64()?,
+            max_nodes: cur.usize64()?,
+            max_entries: cur.usize64()?,
+            seed: cur.u64()?,
+        };
+        let root_cell = BoundingBox::decode(cur)?;
+        let max_depth_reached = cur.usize64()?;
+        let slab = HyperplaneSlab::decode(cur)?;
+        let k = root_cell.dim();
+        if slab.dim() != k {
+            return Err(PersistError::Malformed(format!(
+                "slab dimensionality {} does not match the {k}-dimensional root cell",
+                slab.dim()
+            )));
+        }
+        let node_count = cur.count(24)?;
+        if node_count == 0 {
+            return Err(PersistError::Malformed(
+                "a cutting-tree arena needs at least its root node".to_string(),
+            ));
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            nodes.push(Node {
+                axis: cur.u32()?,
+                at: cur.f64()?,
+                low: cur.u32()?,
+                high: cur.u32()?,
+                entries_start: cur.u32()?,
+                entries_end: cur.u32()?,
+            });
+        }
+        let cells = cur.f64_vec(node_count.checked_mul(2 * k).ok_or_else(|| {
+            PersistError::Malformed(format!("{node_count} cells of dimension {k} overflow"))
+        })?)?;
+        let entry_count = cur.count(4)?;
+        let entries = cur.u32_vec(entry_count)?;
+        if let Some(&bad) = entries.iter().find(|&&e| e as usize >= slab.len()) {
+            return Err(PersistError::Malformed(format!(
+                "entry id {bad} out of range for {} hyperplanes",
+                slab.len()
+            )));
+        }
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.entries_start > node.entries_end || node.entries_end as usize > entries.len() {
+                return Err(PersistError::Malformed(format!(
+                    "node {idx} entry range {}..{} escapes the {}-slot entry slab",
+                    node.entries_start,
+                    node.entries_end,
+                    entries.len()
+                )));
+            }
+            if node.low == NO_CHILD {
+                if node.high != NO_CHILD {
+                    return Err(PersistError::Malformed(format!(
+                        "node {idx} is half-leaf (low unset, high {})",
+                        node.high
+                    )));
+                }
+            } else if node.axis as usize >= k
+                || node.low as usize <= idx
+                || node.high as usize <= idx
+                || node.low as usize >= node_count
+                || node.high as usize >= node_count
+            {
+                // Children must point strictly forward (the builder allocates
+                // them after their parent), which is also what guarantees the
+                // iterative traversal terminates on decoded arenas; the cut
+                // axis must index the ambient space or the descent would
+                // read out of bounds.
+                return Err(PersistError::Malformed(format!(
+                    "node {idx} cut (axis {}, children {}/{}) is invalid for \
+                     {node_count} nodes of dimension {k}",
+                    node.axis, node.low, node.high
+                )));
+            }
+        }
+        Ok(CuttingTree {
+            slab,
+            nodes,
+            cells,
+            entries,
+            root_cell,
+            config,
+            max_depth_reached,
+        })
+    }
 }
 
 /// Chooses an axis and a cut coordinate for a cell.
@@ -653,6 +789,103 @@ mod tests {
             tree.query_into(q.lo(), q.hi(), &mut scratch, &mut out);
             assert_eq!(out, ids, "box {q:?}");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_exactly() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2027);
+        let hs: Vec<Hyperplane> = (0..200)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let tree = CuttingTree::build(
+            &hs,
+            root,
+            CuttingTreeConfig {
+                max_capacity: 5,
+                ..CuttingTreeConfig::default()
+            },
+        );
+        let mut bytes = Vec::new();
+        tree.encode_into(&mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let back = CuttingTree::decode(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back.config(), tree.config());
+        assert_eq!(back.root_cell(), tree.root_cell());
+        assert_eq!(back.node_count(), tree.node_count());
+        assert_eq!(back.entry_count(), tree.entry_count());
+        assert_eq!(back.depth(), tree.depth());
+        for _ in 0..20 {
+            let x0 = rng.gen_range(-1.0..0.8);
+            let y0 = rng.gen_range(-1.0..0.8);
+            let q = BoundingBox::new(
+                vec![x0, y0],
+                vec![x0 + rng.gen_range(0.01..0.3), y0 + rng.gen_range(0.01..0.3)],
+            );
+            assert_eq!(back.query(&hs, &q), tree.query(&hs, &q), "box {q:?}");
+        }
+        let mut again = Vec::new();
+        back.encode_into(&mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_is_total_on_hostile_input() {
+        // Kept deliberately tiny: the truncation sweep below decodes every
+        // proper prefix, which is quadratic in the snapshot size.  Horizontal
+        // lines separate cleanly under axis-aligned cuts, so the root
+        // subdivides even at this size.
+        let hs: Vec<Hyperplane> = (0..8).map(|i| line(0.0, 1.0, -0.1 * i as f64)).collect();
+        let tree = CuttingTree::build(
+            &hs,
+            unit_box(),
+            CuttingTreeConfig {
+                max_capacity: 2,
+                ..CuttingTreeConfig::default()
+            },
+        );
+        let mut bytes = Vec::new();
+        tree.encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(
+                CuttingTree::decode(&mut Cursor::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Backward-pointing children (a traversal cycle) are refused.
+        let mut evil = Vec::new();
+        let evil_tree = {
+            let mut t = tree.clone();
+            assert!(t.nodes[0].low != NO_CHILD, "root subdivided");
+            t.nodes[0].low = 0;
+            t
+        };
+        evil_tree.encode_into(&mut evil);
+        assert!(matches!(
+            CuttingTree::decode(&mut Cursor::new(&evil)),
+            Err(PersistError::Malformed(m)) if m.contains("invalid")
+        ));
+        // A cut axis outside the ambient space is refused (the descent would
+        // index the query corners out of bounds).
+        let mut evil = Vec::new();
+        let evil_tree = {
+            let mut t = tree.clone();
+            t.nodes[0].axis = 7;
+            t
+        };
+        evil_tree.encode_into(&mut evil);
+        assert!(matches!(
+            CuttingTree::decode(&mut Cursor::new(&evil)),
+            Err(PersistError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! The [`crate::cutting`] module provides the counterpart with a bounded
 //! worst case.
 
+use eclipse_persist::{enc, Cursor, PersistError, PersistResult};
 use serde::{Deserialize, Serialize};
 
 use crate::hyperplane::{Hyperplane, HyperplaneSlab};
@@ -383,6 +384,135 @@ impl HyperplaneQuadtree {
             }
         }
     }
+
+    /// Appends the tree's snapshot encoding: construction config, root cell,
+    /// reached depth, the hyperplane slab, then the three arena buffers
+    /// (node records, flat cell corners, shared entry slab).  The encoding
+    /// is byte-stable: construction is deterministic, so the same input data
+    /// and config always produce the same bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        enc::put_usize(out, self.config.max_capacity);
+        enc::put_usize(out, self.config.max_depth);
+        enc::put_usize(out, self.config.max_nodes);
+        enc::put_usize(out, self.config.max_entries);
+        self.root_cell.encode_into(out);
+        enc::put_usize(out, self.max_depth_reached);
+        self.slab.encode_into(out);
+        enc::put_usize(out, self.nodes.len());
+        for node in &self.nodes {
+            enc::put_u32(out, node.first_child);
+            enc::put_u32(out, node.child_count);
+            enc::put_u32(out, node.entries_start);
+            enc::put_u32(out, node.entries_end);
+        }
+        // `cells` holds exactly 2k values per node, so no count is stored.
+        for &c in &self.cells {
+            enc::put_f64(out, c);
+        }
+        enc::put_usize(out, self.entries.len());
+        for &e in &self.entries {
+            enc::put_u32(out, e);
+        }
+    }
+
+    /// Decodes a tree previously written by
+    /// [`HyperplaneQuadtree::encode_into`], consuming exactly its bytes from
+    /// `cur` and re-validating every arena invariant the query loop relies
+    /// on, so a crafted payload can neither panic a probe nor hang it:
+    ///
+    /// * element counts are checked against the remaining bytes before any
+    ///   buffer is reserved;
+    /// * child ranges stay inside the arena and point strictly forward
+    ///   (guaranteeing traversal termination);
+    /// * entry ranges stay inside the entry slab and every entry id indexes
+    ///   a slab row;
+    /// * the root cell and slab dimensionalities agree.
+    ///
+    /// # Errors
+    /// A typed [`PersistError`] for every defect; arbitrary input never
+    /// panics.
+    pub fn decode(cur: &mut Cursor<'_>) -> PersistResult<Self> {
+        let config = QuadtreeConfig {
+            max_capacity: cur.usize64()?,
+            max_depth: cur.usize64()?,
+            max_nodes: cur.usize64()?,
+            max_entries: cur.usize64()?,
+        };
+        let root_cell = BoundingBox::decode(cur)?;
+        let max_depth_reached = cur.usize64()?;
+        let slab = HyperplaneSlab::decode(cur)?;
+        let k = root_cell.dim();
+        if slab.dim() != k {
+            return Err(PersistError::Malformed(format!(
+                "slab dimensionality {} does not match the {k}-dimensional root cell",
+                slab.dim()
+            )));
+        }
+        let node_count = cur.count(16)?;
+        if node_count == 0 {
+            return Err(PersistError::Malformed(
+                "a quadtree arena needs at least its root node".to_string(),
+            ));
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            nodes.push(Node {
+                first_child: cur.u32()?,
+                child_count: cur.u32()?,
+                entries_start: cur.u32()?,
+                entries_end: cur.u32()?,
+            });
+        }
+        let cells = cur.f64_vec(node_count.checked_mul(2 * k).ok_or_else(|| {
+            PersistError::Malformed(format!("{node_count} cells of dimension {k} overflow"))
+        })?)?;
+        let entry_count = cur.count(4)?;
+        let entries = cur.u32_vec(entry_count)?;
+        if let Some(&bad) = entries.iter().find(|&&e| e as usize >= slab.len()) {
+            return Err(PersistError::Malformed(format!(
+                "entry id {bad} out of range for {} hyperplanes",
+                slab.len()
+            )));
+        }
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.entries_start > node.entries_end || node.entries_end as usize > entries.len() {
+                return Err(PersistError::Malformed(format!(
+                    "node {idx} entry range {}..{} escapes the {}-slot entry slab",
+                    node.entries_start,
+                    node.entries_end,
+                    entries.len()
+                )));
+            }
+            if node.first_child == NO_CHILDREN {
+                if node.child_count != 0 {
+                    return Err(PersistError::Malformed(format!(
+                        "leaf node {idx} claims {} children",
+                        node.child_count
+                    )));
+                }
+            } else if node.child_count == 0
+                || node.first_child as usize <= idx
+                || u64::from(node.first_child) + u64::from(node.child_count) > node_count as u64
+            {
+                // Children must point strictly forward (the builder allocates
+                // them after their parent), which is also what guarantees the
+                // iterative traversal terminates on decoded arenas.
+                return Err(PersistError::Malformed(format!(
+                    "node {idx} child range {}+{} is invalid for {node_count} nodes",
+                    node.first_child, node.child_count
+                )));
+            }
+        }
+        Ok(HyperplaneQuadtree {
+            slab,
+            nodes,
+            cells,
+            entries,
+            root_cell,
+            config,
+            max_depth_reached,
+        })
+    }
 }
 
 /// Splits a cell into its `2^k` children by halving every axis.  Axes with
@@ -664,6 +794,102 @@ mod tests {
         // Queries are exact regardless of where construction stopped.
         let q = BoundingBox::new(vec![0.1, 0.1], vec![0.9, 0.9]);
         assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_exactly() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+        let hs: Vec<Hyperplane> = (0..150)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let tree = HyperplaneQuadtree::build(
+            &hs,
+            root,
+            QuadtreeConfig {
+                max_capacity: 4,
+                ..QuadtreeConfig::default()
+            },
+        );
+        let mut bytes = Vec::new();
+        tree.encode_into(&mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let back = HyperplaneQuadtree::decode(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(back.config(), tree.config());
+        assert_eq!(back.root_cell(), tree.root_cell());
+        assert_eq!(back.node_count(), tree.node_count());
+        assert_eq!(back.entry_count(), tree.entry_count());
+        assert_eq!(back.depth(), tree.depth());
+        // The decoded tree answers every probe identically.
+        for _ in 0..20 {
+            let x0 = rng.gen_range(-1.0..0.8);
+            let y0 = rng.gen_range(-1.0..0.8);
+            let q = BoundingBox::new(
+                vec![x0, y0],
+                vec![x0 + rng.gen_range(0.01..0.3), y0 + rng.gen_range(0.01..0.3)],
+            );
+            assert_eq!(back.query(&hs, &q), tree.query(&hs, &q), "box {q:?}");
+        }
+        // Re-encoding reproduces the bytes exactly (the golden-file property).
+        let mut again = Vec::new();
+        back.encode_into(&mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_is_total_on_hostile_input() {
+        let hs = vec![line(1.0, -1.0, 0.0), line(0.0, 1.0, -0.25)];
+        let tree = HyperplaneQuadtree::build(&hs, unit_box(), QuadtreeConfig::default());
+        let mut bytes = Vec::new();
+        tree.encode_into(&mut bytes);
+        // Every truncation errors cleanly.
+        for cut in 0..bytes.len() {
+            assert!(
+                HyperplaneQuadtree::decode(&mut Cursor::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // A forward-pointing child range is required: rewire the root to
+        // reference itself and the decoder must refuse (this is what keeps
+        // traversal of decoded arenas terminating).
+        let mut evil = Vec::new();
+        let evil_tree = {
+            let mut t = tree.clone();
+            t.nodes[0].first_child = 0;
+            t.nodes[0].child_count = 1;
+            t
+        };
+        evil_tree.encode_into(&mut evil);
+        assert!(matches!(
+            HyperplaneQuadtree::decode(&mut Cursor::new(&evil)),
+            Err(PersistError::Malformed(m)) if m.contains("child range")
+        ));
+        // An entry id beyond the slab is rejected.
+        let mut evil = Vec::new();
+        let evil_tree = {
+            let mut t = tree.clone();
+            if t.entries.is_empty() {
+                t.entries.push(99);
+                t.nodes[0].entries_start = 0;
+                t.nodes[0].entries_end = 1;
+            } else {
+                t.entries[0] = 99;
+            }
+            t
+        };
+        evil_tree.encode_into(&mut evil);
+        assert!(matches!(
+            HyperplaneQuadtree::decode(&mut Cursor::new(&evil)),
+            Err(PersistError::Malformed(m)) if m.contains("out of range")
+        ));
     }
 
     #[test]

@@ -1,0 +1,654 @@
+//! `eclipse-persist` — the versioned binary snapshot format shared by every
+//! persistable structure in the eclipse workspace.
+//!
+//! The ROADMAP's heavy-traffic north star needs warm restarts: rebuilding
+//! every intersection index from raw points on a process bounce pays the full
+//! construction cost per dataset.  The flat-arena index representation is a
+//! byte-stable layout, so snapshotting it is mostly a framing problem — and
+//! this crate is that framing, kept deliberately tiny and std-only (no serde):
+//!
+//! * a **container**: magic + format version + a section table, every section
+//!   tagged, length-prefixed and protected by an FNV-1a checksum over its tag
+//!   and payload ([`SnapshotWriter`] / [`SnapshotReader`]);
+//! * **primitives**: fixed-width little-endian integers, `f64` as its IEEE-754
+//!   bit pattern (so infinities and signed zeros round-trip exactly), and
+//!   `u32`-length-prefixed UTF-8 strings ([`enc`] / [`Cursor`]);
+//! * a **total decoder**: truncations, bit flips, garbage headers, hostile
+//!   element counts and trailing bytes all surface as typed [`PersistError`]
+//!   values — never a panic, and never an allocation larger than the bytes
+//!   actually present (element counts are validated against the remaining
+//!   payload before any buffer is reserved, exactly like the serve codec).
+//!
+//! # Container layout
+//!
+//! ```text
+//! snapshot := magic[8] version:u32le section_count:u32le section*
+//! section  := tag:u8 len:u64le checksum:u64le payload[len]
+//! ```
+//!
+//! `checksum` is [`section_checksum`] over the tag byte followed by the
+//! payload, so a bit flip anywhere in a section — including its tag — fails
+//! verification.  Unknown section tags are preserved and ignored by readers
+//! (consumers look sections up by tag), which lets future format minor
+//! additions coexist with old readers; a bumped [`FORMAT_VERSION`] is
+//! rejected outright.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt;
+
+/// The 8-byte magic prefix of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"ECLSNAP\0";
+
+/// The format version this crate writes and the only one it accepts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything that can go wrong while decoding a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The header names a format version this reader does not speak.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The buffer ended before a field could be read in full.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// The container decoded cleanly but bytes were left over.
+    TrailingBytes(usize),
+    /// A section's stored checksum does not match its bytes.
+    ChecksumMismatch {
+        /// Tag of the corrupted section.
+        section: u8,
+    },
+    /// A section the consumer requires is absent.
+    MissingSection {
+        /// Tag of the absent section.
+        section: u8,
+    },
+    /// An unrecognized enum tag inside a section payload.
+    UnknownTag {
+        /// Which field carried the tag.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A structurally valid but semantically impossible value (an element
+    /// count larger than the remaining bytes, bad UTF-8, an inconsistent
+    /// cross-reference, …).
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not an eclipse snapshot (bad magic)"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {found} (this reader speaks {FORMAT_VERSION})"
+                )
+            }
+            PersistError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated snapshot: needed {needed} bytes, {remaining} left"
+                )
+            }
+            PersistError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot"),
+            PersistError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section:#04x}")
+            }
+            PersistError::MissingSection { section } => {
+                write!(f, "required section {section:#04x} is missing")
+            }
+            PersistError::UnknownTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag:#04x}")
+            }
+            PersistError::Malformed(reason) => write!(f, "malformed snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Result alias for decode operations.
+pub type PersistResult<T> = std::result::Result<T, PersistError>;
+
+/// FNV-1a over a byte slice — the (non-cryptographic) integrity check of
+/// every snapshot section.  Deliberately simple: it catches the accidental
+/// corruption this format defends against (truncated writes, bit rot, stray
+/// edits), while crafted-but-checksummed input is handled by the consumers'
+/// structural validation.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a hash over more bytes (`state` is a previous return
+/// value, or the FNV offset basis to start).
+pub fn fnv1a_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The checksum stored with a section: FNV-1a over the tag byte followed by
+/// the payload, so tag flips are caught too.
+pub fn section_checksum(tag: u8, payload: &[u8]) -> u64 {
+    fnv1a_extend(fnv1a(&[tag]), payload)
+}
+
+/// Little-endian encoding primitives (the writer side of [`Cursor`]).
+pub mod enc {
+    /// Appends one byte.
+    pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+        buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` little-endian.
+    pub fn put_usize(buf: &mut Vec<u8>, v: usize) {
+        put_u64(buf, v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern in `u64le` — infinities,
+    /// NaN payloads and signed zeros round-trip bit-exactly.
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        put_u64(buf, v.to_bits());
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    /// Panics if the string is longer than `u32::MAX` bytes.
+    pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_u32(
+            buf,
+            u32::try_from(s.len()).expect("string fits a u32 length"),
+        );
+        buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over a section payload.  Every read either returns
+/// the decoded value or a typed [`PersistError`]; nothing panics and no read
+/// allocates more than the bytes actually present.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes the next `n` bytes.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> PersistResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u8(&mut self) -> PersistResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32le`.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u32(&mut self) -> PersistResult<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a `u64le`.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn u64(&mut self) -> PersistResult<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `u64le` and converts it to `usize`.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] at end of payload;
+    /// [`PersistError::Malformed`] when the value exceeds `usize`.
+    pub fn usize64(&mut self) -> PersistResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| {
+            PersistError::Malformed(format!("value {v} exceeds usize on this platform"))
+        })
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] at end of payload.
+    pub fn f64(&mut self) -> PersistResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an element count (`u64le`) and validates it against the bytes
+    /// actually remaining (`min_elem_bytes` per element, which must be ≥ 1),
+    /// so a hostile count can never trigger an oversized allocation.
+    ///
+    /// # Errors
+    /// [`PersistError::Malformed`] when the claimed count cannot fit in the
+    /// remaining payload.
+    pub fn count(&mut self, min_elem_bytes: usize) -> PersistResult<usize> {
+        debug_assert!(min_elem_bytes >= 1, "elements occupy at least one byte");
+        let count = self.u64()?;
+        let needed = count.saturating_mul(min_elem_bytes as u64);
+        if needed > self.remaining() as u64 {
+            return Err(PersistError::Malformed(format!(
+                "element count {count} needs at least {needed} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        Ok(count as usize)
+    }
+
+    /// Reads exactly `n` `f64`s.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] when fewer than `8·n` bytes remain.
+    pub fn f64_vec(&mut self, n: usize) -> PersistResult<Vec<f64>> {
+        let bytes = self.take(n.checked_mul(8).ok_or_else(|| {
+            PersistError::Malformed(format!("f64 run of {n} elements overflows"))
+        })?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+            .collect())
+    }
+
+    /// Reads exactly `n` `u32`s.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] when fewer than `4·n` bytes remain.
+    pub fn u32_vec(&mut self, n: usize) -> PersistResult<Vec<u32>> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| {
+            PersistError::Malformed(format!("u32 run of {n} elements overflows"))
+        })?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] / [`PersistError::Malformed`] on short or
+    /// non-UTF-8 payloads.
+    pub fn str(&mut self) -> PersistResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("string is not valid UTF-8".to_string()))
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    /// [`PersistError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> PersistResult<()> {
+        if self.remaining() != 0 {
+            return Err(PersistError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a snapshot container: sections are appended with
+/// [`SnapshotWriter::section`] and the finished byte buffer (magic, version,
+/// section table) is produced by [`SnapshotWriter::finish`].
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u8, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Appends one section.  Tags should be unique within a snapshot —
+    /// [`SnapshotReader::parse`] rejects duplicates.
+    pub fn section(&mut self, tag: u8, payload: Vec<u8>) {
+        self.sections.push((tag, payload));
+    }
+
+    /// Serializes the container.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        enc::put_u32(&mut out, FORMAT_VERSION);
+        enc::put_u32(
+            &mut out,
+            u32::try_from(self.sections.len()).expect("section count fits a u32"),
+        );
+        for (tag, payload) in &self.sections {
+            enc::put_u8(&mut out, *tag);
+            enc::put_u64(&mut out, payload.len() as u64);
+            enc::put_u64(&mut out, section_checksum(*tag, payload));
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// Minimum serialized size of one section (tag + length + checksum), used to
+/// validate the header's section count before walking the table.
+const SECTION_HEADER_BYTES: usize = 1 + 8 + 8;
+
+/// A parsed snapshot container: magic, version and every checksum verified,
+/// section payloads exposed as zero-copy slices looked up by tag.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SnapshotReader<'a> {
+    sections: Vec<(u8, &'a [u8])>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parses and fully verifies a container: magic, format version, the
+    /// section table (every length validated against the bytes actually
+    /// present before it is used), every section checksum, no duplicate
+    /// tags, and exact consumption of the buffer.
+    ///
+    /// # Errors
+    /// A typed [`PersistError`] for every possible defect; arbitrary input
+    /// never panics and never allocates beyond the section table.
+    pub fn parse(bytes: &'a [u8]) -> PersistResult<Self> {
+        let mut cur = Cursor::new(bytes);
+        let magic = cur.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion { found: version });
+        }
+        let count = cur.u32()? as usize;
+        if count.saturating_mul(SECTION_HEADER_BYTES) > cur.remaining() {
+            return Err(PersistError::Malformed(format!(
+                "section count {count} cannot fit in {} remaining bytes",
+                cur.remaining()
+            )));
+        }
+        let mut sections: Vec<(u8, &'a [u8])> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = cur.u8()?;
+            let len = cur.u64()?;
+            let checksum = cur.u64()?;
+            if len > cur.remaining() as u64 {
+                return Err(PersistError::Truncated {
+                    needed: len.min(usize::MAX as u64) as usize,
+                    remaining: cur.remaining(),
+                });
+            }
+            let payload = cur.take(len as usize)?;
+            if section_checksum(tag, payload) != checksum {
+                return Err(PersistError::ChecksumMismatch { section: tag });
+            }
+            if sections.iter().any(|&(t, _)| t == tag) {
+                return Err(PersistError::Malformed(format!(
+                    "duplicate section tag {tag:#04x}"
+                )));
+            }
+            sections.push((tag, payload));
+        }
+        cur.finish()?;
+        Ok(SnapshotReader { sections })
+    }
+
+    /// The payload of the section with the given tag.
+    ///
+    /// # Errors
+    /// [`PersistError::MissingSection`] when absent.
+    pub fn section(&self, tag: u8) -> PersistResult<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, payload)| payload)
+            .ok_or(PersistError::MissingSection { section: tag })
+    }
+
+    /// Whether a section with the given tag is present.
+    pub fn has(&self, tag: u8) -> bool {
+        self.sections.iter().any(|&(t, _)| t == tag)
+    }
+
+    /// All sections in file order (unknown tags included).
+    pub fn sections(&self) -> impl Iterator<Item = (u8, &'a [u8])> + '_ {
+        self.sections.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        let mut a = Vec::new();
+        enc::put_u32(&mut a, 7);
+        enc::put_f64(&mut a, -0.0);
+        enc::put_f64(&mut a, f64::INFINITY);
+        enc::put_str(&mut a, "véctor ∞");
+        w.section(0x01, a);
+        w.section(0x7f, vec![1, 2, 3]);
+        w.finish()
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let bytes = sample();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert!(r.has(0x01) && r.has(0x7f) && !r.has(0x02));
+        assert_eq!(r.sections().count(), 2);
+        let mut cur = Cursor::new(r.section(0x01).unwrap());
+        assert_eq!(cur.u32().unwrap(), 7);
+        let z = cur.f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero survives");
+        assert_eq!(cur.f64().unwrap(), f64::INFINITY);
+        assert_eq!(cur.str().unwrap(), "véctor ∞");
+        cur.finish().unwrap();
+        assert_eq!(r.section(0x7f).unwrap(), &[1, 2, 3]);
+        assert_eq!(
+            r.section(0x02),
+            Err(PersistError::MissingSection { section: 0x02 })
+        );
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::parse(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[pos] ^= 1 << bit;
+                assert!(
+                    SnapshotReader::parse(&flipped).is_err(),
+                    "flip at byte {pos} bit {bit} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_versions_are_rejected() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        assert_eq!(SnapshotReader::parse(&bytes), Err(PersistError::BadMagic));
+
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::parse(&bytes),
+            Err(PersistError::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn hostile_section_counts_and_lengths_are_rejected_before_allocation() {
+        // A header claiming u32::MAX sections in a tiny buffer.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        enc::put_u32(&mut bytes, FORMAT_VERSION);
+        enc::put_u32(&mut bytes, u32::MAX);
+        assert!(matches!(
+            SnapshotReader::parse(&bytes),
+            Err(PersistError::Malformed(_))
+        ));
+
+        // A section claiming u64::MAX payload bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        enc::put_u32(&mut bytes, FORMAT_VERSION);
+        enc::put_u32(&mut bytes, 1);
+        enc::put_u8(&mut bytes, 0x01);
+        enc::put_u64(&mut bytes, u64::MAX);
+        enc::put_u64(&mut bytes, 0);
+        assert!(matches!(
+            SnapshotReader::parse(&bytes),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_tags_and_trailing_bytes_are_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.section(0x01, vec![]);
+        w.section(0x01, vec![]);
+        assert!(matches!(
+            SnapshotReader::parse(&w.finish()),
+            Err(PersistError::Malformed(m)) if m.contains("duplicate")
+        ));
+
+        let mut bytes = SnapshotWriter::new().finish();
+        bytes.push(0);
+        assert_eq!(
+            SnapshotReader::parse(&bytes),
+            Err(PersistError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn cursor_counts_are_bounded_by_remaining_bytes() {
+        let mut payload = Vec::new();
+        enc::put_u64(&mut payload, u64::MAX); // hostile element count
+        let mut cur = Cursor::new(&payload);
+        assert!(matches!(cur.count(8), Err(PersistError::Malformed(_))));
+
+        let mut payload = Vec::new();
+        enc::put_u64(&mut payload, 2);
+        enc::put_f64(&mut payload, 1.0);
+        enc::put_f64(&mut payload, 2.0);
+        let mut cur = Cursor::new(&payload);
+        let n = cur.count(8).unwrap();
+        assert_eq!(cur.f64_vec(n).unwrap(), vec![1.0, 2.0]);
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn cursor_reads_are_total() {
+        let mut cur = Cursor::new(&[1, 2]);
+        assert!(matches!(cur.u32(), Err(PersistError::Truncated { .. })));
+        let mut cur = Cursor::new(&[0xff, 0xff, 0xff, 0xff, b'a']);
+        // String length far beyond the buffer.
+        assert!(matches!(cur.str(), Err(PersistError::Truncated { .. })));
+        // Non-UTF-8 string bytes.
+        let mut payload = Vec::new();
+        enc::put_u32(&mut payload, 2);
+        payload.extend_from_slice(&[0xc3, 0x28]);
+        let mut cur = Cursor::new(&payload);
+        assert!(matches!(cur.str(), Err(PersistError::Malformed(_))));
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference vectors for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(section_checksum(0x01, b"xy"), {
+            fnv1a_extend(fnv1a(&[0x01]), b"xy")
+        });
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            PersistError::BadMagic,
+            PersistError::UnsupportedVersion { found: 9 },
+            PersistError::Truncated {
+                needed: 8,
+                remaining: 1,
+            },
+            PersistError::TrailingBytes(3),
+            PersistError::ChecksumMismatch { section: 2 },
+            PersistError::MissingSection { section: 4 },
+            PersistError::UnknownTag {
+                context: "backend",
+                tag: 0x42,
+            },
+            PersistError::Malformed("x".to_string()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        fn is_std_error(_: &dyn std::error::Error) {}
+        is_std_error(&PersistError::BadMagic);
+    }
+}

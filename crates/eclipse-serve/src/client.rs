@@ -205,6 +205,42 @@ impl Client {
         }
     }
 
+    /// Persists the named dataset plus its built index of the given kind
+    /// into the server's snapshot directory, returning the snapshot size in
+    /// bytes.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] when the server runs without a snapshot
+    /// directory; transport errors otherwise.
+    pub fn save_index(&mut self, name: &str, kind: IndexKind) -> ClientResult<u64> {
+        let request = Request::SaveIndex {
+            name: name.to_string(),
+            kind,
+        };
+        match self.call(&request)? {
+            Response::SnapshotSaved { bytes } => Ok(bytes),
+            _ => Err(ClientError::UnexpectedResponse("SnapshotSaved")),
+        }
+    }
+
+    /// Restores a previously saved index of the given kind from the
+    /// server's snapshot directory into the named dataset's engine.  The
+    /// server validates the snapshot against the registered dataset; a
+    /// mismatch is a server error, not wrong results.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn restore_index(&mut self, name: &str, kind: IndexKind) -> ClientResult<IndexSummary> {
+        let request = Request::RestoreIndex {
+            name: name.to_string(),
+            kind,
+        };
+        match self.call(&request)? {
+            Response::IndexBuilt(summary) => Ok(summary),
+            _ => Err(ClientError::UnexpectedResponse("IndexBuilt")),
+        }
+    }
+
     /// Fetches server and per-dataset statistics.
     ///
     /// # Errors

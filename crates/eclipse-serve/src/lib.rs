@@ -7,15 +7,18 @@
 //!
 //! * [`protocol`] — a length-prefixed binary wire protocol with a tiny
 //!   hand-rolled codec (std only, no serde): `LoadDataset`, `BuildIndex`,
-//!   `QueryBatch`, `CountBatch`, `Ping` and `Stats` requests with their
-//!   responses.  Decoding is total — garbage bytes become
-//!   [`protocol::ProtocolError`] values, never panics or oversized
-//!   allocations;
+//!   `QueryBatch`, `CountBatch`, `SaveIndex`, `RestoreIndex`, `Ping` and
+//!   `Stats` requests with their responses.  Decoding is total — garbage
+//!   bytes become [`protocol::ProtocolError`] values, never panics or
+//!   oversized allocations;
 //! * [`server`] — a framed-TCP server holding one
 //!   [`eclipse_core::EclipseEngine`] per registered dataset, all sharing one
 //!   `eclipse-exec` pool.  Datasets are warmed (index built) at
 //!   registration, and batches route through the engine's zero-allocation
-//!   batched probe paths (`eclipse_query_batch` / `eclipse_count_batch`);
+//!   batched probe paths (`eclipse_query_batch` / `eclipse_count_batch`).
+//!   With a snapshot directory configured (`--snapshot-dir`), `SaveIndex`
+//!   persists versioned dataset+index snapshots and a restarted server
+//!   warm-loads them instead of rebuilding;
 //! * [`client`] — a small blocking client used by the integration tests,
 //!   the examples and the `experiments -- serve` throughput sweep.
 //!
@@ -62,4 +65,4 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{IndexKind, Request, Response, StatsReport};
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, SnapshotScan};

@@ -1,13 +1,18 @@
 //! The `eclipse-serve` binary: a framed-TCP eclipse query server.
 //!
 //! ```text
-//! eclipse-serve [--addr HOST:PORT] [--threads N] [--preload NAME=FAMILY:N:D:SEED]...
+//! eclipse-serve [--addr HOST:PORT] [--threads N] [--snapshot-dir DIR]
+//!               [--preload NAME=FAMILY:N:D:SEED]...
 //! ```
 //!
 //! * `--addr` — listen address, default `127.0.0.1:7878` (use port 0 for an
 //!   ephemeral port; the bound address is printed on startup);
 //! * `--threads` — size of the shared query pool (default: the
 //!   `ECLIPSE_THREADS` environment variable, then the hardware);
+//! * `--snapshot-dir` — enables the snapshot surface: `SaveIndex` persists
+//!   dataset+index snapshots into DIR, and at startup every `*.eclsnap`
+//!   file found there is warm-loaded (dataset registered, index restored)
+//!   instead of rebuilt, so a process bounce skips construction cost;
 //! * `--preload` — registers a synthetic dataset before serving, e.g.
 //!   `--preload inde=inde:8192:3:42` (families: `corr`, `inde`, `anti`).
 //!   Repeatable.  Remote clients can always register datasets with
@@ -23,6 +28,7 @@ use eclipse_serve::server::Server;
 struct Options {
     addr: String,
     threads: Option<usize>,
+    snapshot_dir: Option<std::path::PathBuf>,
     preloads: Vec<(String, Distribution, usize, usize, u64)>,
 }
 
@@ -46,6 +52,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &opts.snapshot_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("eclipse-serve: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        server.set_snapshot_dir(dir);
+        match server.load_snapshots() {
+            Ok(scan) => {
+                for (name, summary) in &scan.restored {
+                    eprintln!(
+                        "eclipse-serve: warm-loaded {name:?} from snapshot \
+                         ({} points, d = {}, u = {}, {} intersections)",
+                        summary.points, summary.dim, summary.skyline_len, summary.intersections
+                    );
+                }
+                for (path, e) in &scan.skipped {
+                    eprintln!("eclipse-serve: skipped snapshot {}: {e}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("eclipse-serve: snapshot warm-load failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     for (name, dist, n, d, seed) in &opts.preloads {
         let points = SyntheticConfig::new(*n, *d, *dist, *seed).generate();
         match server.register_dataset(name, points, IndexKind::default()) {
@@ -74,6 +105,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         addr: "127.0.0.1:7878".to_string(),
         threads: None,
+        snapshot_dir: None,
         preloads: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -92,13 +124,17 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.threads = Some(threads);
             }
+            "--snapshot-dir" => {
+                let dir = args.next().ok_or("--snapshot-dir needs a directory")?;
+                opts.snapshot_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--preload" => {
                 let spec = args.next().ok_or("--preload needs NAME=FAMILY:N:D:SEED")?;
                 opts.preloads.push(parse_preload(&spec)?);
             }
             "--help" | "-h" => {
                 return Err("usage: eclipse-serve [--addr HOST:PORT] [--threads N] \
-                     [--preload NAME=FAMILY:N:D:SEED]..."
+                     [--snapshot-dir DIR] [--preload NAME=FAMILY:N:D:SEED]..."
                     .to_string());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),

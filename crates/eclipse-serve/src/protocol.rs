@@ -190,6 +190,28 @@ pub enum Request {
         /// One weight-ratio box per probe.
         boxes: Vec<WireBox>,
     },
+    /// Writes a versioned snapshot of the dataset plus its built index of
+    /// the given kind into the server's `--snapshot-dir` (building the
+    /// index first if needed).  Answered with [`Response::SnapshotSaved`];
+    /// an error if the server has no snapshot directory.
+    SaveIndex {
+        /// Dataset name.
+        name: String,
+        /// Which index to snapshot.
+        kind: IndexKind,
+    },
+    /// Restores a previously saved index of the given kind from the
+    /// server's `--snapshot-dir` into the named dataset's engine.  The
+    /// snapshot is validated against the registered dataset first — a
+    /// snapshot of different data or an incompatible configuration is
+    /// answered with an [`Response::Error`] instead of serving wrong
+    /// results.  Answered with [`Response::IndexBuilt`].
+    RestoreIndex {
+        /// Dataset name.
+        name: String,
+        /// Which index to restore.
+        kind: IndexKind,
+    },
     /// Server and per-dataset statistics.
     Stats,
 }
@@ -272,6 +294,11 @@ pub enum Response {
     QueryResults(Vec<Vec<u64>>),
     /// Reply to [`Request::CountBatch`], in input order.
     Counts(Vec<u64>),
+    /// Reply to [`Request::SaveIndex`].
+    SnapshotSaved {
+        /// Size of the written snapshot file in bytes.
+        bytes: u64,
+    },
     /// Reply to [`Request::Stats`].
     Stats(StatsReport),
     /// Any request that failed; the connection stays usable.
@@ -478,6 +505,8 @@ const REQ_BUILD_INDEX: u8 = 0x02;
 const REQ_QUERY_BATCH: u8 = 0x03;
 const REQ_COUNT_BATCH: u8 = 0x04;
 const REQ_STATS: u8 = 0x05;
+const REQ_SAVE_INDEX: u8 = 0x06;
+const REQ_RESTORE_INDEX: u8 = 0x07;
 
 impl Request {
     /// Serializes the request into a frame payload.
@@ -514,6 +543,16 @@ impl Request {
                 put_u8(&mut buf, REQ_COUNT_BATCH);
                 put_str(&mut buf, name);
                 put_boxes(&mut buf, boxes);
+            }
+            Request::SaveIndex { name, kind } => {
+                put_u8(&mut buf, REQ_SAVE_INDEX);
+                put_str(&mut buf, name);
+                put_u8(&mut buf, kind.to_wire());
+            }
+            Request::RestoreIndex { name, kind } => {
+                put_u8(&mut buf, REQ_RESTORE_INDEX);
+                put_str(&mut buf, name);
+                put_u8(&mut buf, kind.to_wire());
             }
             Request::Stats => put_u8(&mut buf, REQ_STATS),
         }
@@ -557,6 +596,14 @@ impl Request {
                 name: r.str()?,
                 boxes: r.boxes()?,
             },
+            REQ_SAVE_INDEX => Request::SaveIndex {
+                name: r.str()?,
+                kind: IndexKind::from_wire(r.u8()?)?,
+            },
+            REQ_RESTORE_INDEX => Request::RestoreIndex {
+                name: r.str()?,
+                kind: IndexKind::from_wire(r.u8()?)?,
+            },
             REQ_STATS => Request::Stats,
             other => {
                 return Err(ProtocolError::UnknownTag {
@@ -578,6 +625,7 @@ const RESP_INDEX_BUILT: u8 = 0x82;
 const RESP_QUERY_RESULTS: u8 = 0x83;
 const RESP_COUNTS: u8 = 0x84;
 const RESP_STATS: u8 = 0x85;
+const RESP_SNAPSHOT_SAVED: u8 = 0x86;
 const RESP_ERROR: u8 = 0xff;
 
 impl Response {
@@ -617,6 +665,10 @@ impl Response {
                 for &c in counts {
                     put_u64(&mut buf, c);
                 }
+            }
+            Response::SnapshotSaved { bytes } => {
+                put_u8(&mut buf, RESP_SNAPSHOT_SAVED);
+                put_u64(&mut buf, *bytes);
             }
             Response::Stats(report) => {
                 put_u8(&mut buf, RESP_STATS);
@@ -687,6 +739,7 @@ impl Response {
                 }
                 Response::Counts(counts)
             }
+            RESP_SNAPSHOT_SAVED => Response::SnapshotSaved { bytes: r.u64()? },
             RESP_STATS => {
                 let query_batches = r.u64()?;
                 let count_batches = r.u64()?;
@@ -748,6 +801,14 @@ mod tests {
                     vec![(0.0, f64::INFINITY), (1.0, 1.0)],
                 ],
             },
+            Request::SaveIndex {
+                name: "hotels".to_string(),
+                kind: IndexKind::Quadtree,
+            },
+            Request::RestoreIndex {
+                name: "hotels".to_string(),
+                kind: IndexKind::CuttingTree,
+            },
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -755,6 +816,7 @@ mod tests {
             Response::Pong,
             Response::QueryResults(vec![vec![0, 1, 2], vec![]]),
             Response::Counts(vec![3, 0, 7]),
+            Response::SnapshotSaved { bytes: 4096 },
             Response::Error("boom".to_string()),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
@@ -36,6 +37,9 @@ use crate::protocol::{
 pub(crate) struct ServerState {
     exec: ExecutionContext,
     datasets: RwLock<HashMap<String, Arc<EclipseEngine>>>,
+    /// Where `SaveIndex`/`RestoreIndex` persist snapshots; `None` disables
+    /// the snapshot surface (requests answer with an error response).
+    snapshot_dir: RwLock<Option<PathBuf>>,
     query_batches: AtomicU64,
     count_batches: AtomicU64,
     probes: AtomicU64,
@@ -47,11 +51,24 @@ impl ServerState {
         ServerState {
             exec,
             datasets: RwLock::new(HashMap::new()),
+            snapshot_dir: RwLock::new(None),
             query_batches: AtomicU64::new(0),
             count_batches: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         }
+    }
+
+    fn snapshot_dir(&self) -> Result<PathBuf, EclipseError> {
+        self.snapshot_dir
+            .read()
+            .expect("snapshot dir lock poisoned")
+            .clone()
+            .ok_or_else(|| {
+                EclipseError::Unsupported(
+                    "this server was started without --snapshot-dir".to_string(),
+                )
+            })
     }
 
     fn engine(&self, name: &str) -> Result<Arc<EclipseEngine>, EclipseError> {
@@ -109,6 +126,8 @@ impl ServerState {
             Request::BuildIndex { name, kind } => self.build_index(&name, kind),
             Request::QueryBatch { name, boxes } => self.query_batch(&name, &boxes),
             Request::CountBatch { name, boxes } => self.count_batch(&name, &boxes),
+            Request::SaveIndex { name, kind } => self.save_index(&name, kind),
+            Request::RestoreIndex { name, kind } => self.restore_index(&name, kind),
             Request::Stats => Ok(Response::Stats(self.stats())),
         };
         result.unwrap_or_else(|e| {
@@ -178,6 +197,169 @@ impl ServerState {
         ))
     }
 
+    /// The on-disk file a dataset/kind pair snapshots to.  The dataset name
+    /// is sanitized for the filesystem — and when sanitization had to change
+    /// anything, a hash of the raw name is appended so distinct names (e.g.
+    /// `a/b` vs `a_b`) can never collide onto one file.  The authoritative
+    /// name lives inside the snapshot and is re-read on
+    /// [`ServerState::load_snapshots`].
+    fn snapshot_path(dir: &std::path::Path, name: &str, kind: IndexKind) -> PathBuf {
+        let safe: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let disambiguator = if safe == name {
+            String::new()
+        } else {
+            format!("-{:08x}", eclipse_persist::fnv1a(name.as_bytes()) as u32)
+        };
+        let suffix = match kind {
+            IndexKind::Quadtree => "quad",
+            IndexKind::CuttingTree => "cutting",
+        };
+        dir.join(format!("{safe}{disambiguator}-{suffix}.eclsnap"))
+    }
+
+    fn save_index(&self, name: &str, kind: IndexKind) -> Result<Response, EclipseError> {
+        let engine = self.engine(name)?;
+        let dir = self.snapshot_dir()?;
+        let bytes = engine.save_snapshot(name, kind.into())?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EclipseError::Snapshot(format!("create {}: {e}", dir.display())))?;
+        let path = Self::snapshot_path(&dir, name, kind);
+        // Write-then-rename so a crash mid-save can never leave a truncated
+        // file at the canonical name (a torn snapshot would otherwise be
+        // skipped — loudly — by every later warm restart).  The temp name is
+        // unique per save so concurrent SaveIndex calls cannot interleave
+        // into each other's half-written file.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| EclipseError::Snapshot(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| EclipseError::Snapshot(format!("rename to {}: {e}", path.display())))?;
+        Ok(Response::SnapshotSaved {
+            bytes: bytes.len() as u64,
+        })
+    }
+
+    fn restore_index(&self, name: &str, kind: IndexKind) -> Result<Response, EclipseError> {
+        let engine = self.engine(name)?;
+        let dir = self.snapshot_dir()?;
+        let path = Self::snapshot_path(&dir, name, kind);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| EclipseError::Snapshot(format!("read {}: {e}", path.display())))?;
+        let index = engine.restore_index_snapshot(&bytes)?;
+        if IndexKind::from(index.config().kind) != kind {
+            return Err(EclipseError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot at {} holds a {:?} index, {kind:?} was requested",
+                    path.display(),
+                    index.config().kind
+                ),
+            });
+        }
+        Ok(Response::IndexBuilt(IndexSummary {
+            kind,
+            skyline_len: index.skyline_len() as u64,
+            intersections: index.num_intersections() as u64,
+            nodes: index.backend_nodes() as u64,
+            depth: index.backend_depth() as u32,
+        }))
+    }
+
+    /// Scans the snapshot directory and registers every `*.eclsnap` file —
+    /// the warm-restart path: datasets and their built indexes come back
+    /// without paying construction cost or needing `LoadDataset` traffic.
+    /// A second snapshot of an already-restored dataset (the other backend
+    /// kind) is restored into the existing engine after the same
+    /// dataset-identity validation the wire path uses; the label is peeked
+    /// cheaply first so each file is fully decoded exactly once.
+    ///
+    /// Restoration is per-file fault-tolerant: a corrupt, stale or
+    /// inconsistent snapshot is **skipped** (reported in
+    /// [`SnapshotScan::skipped`]) instead of aborting the scan — one bad
+    /// file must not keep every healthy dataset from coming back.
+    fn load_snapshots(&self) -> Result<SnapshotScan, EclipseError> {
+        let dir = self.snapshot_dir()?;
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| EclipseError::Snapshot(format!("read {}: {e}", dir.display())))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "eclsnap"))
+            .collect();
+        paths.sort();
+        let mut scan = SnapshotScan::default();
+        for path in paths {
+            match self.load_one_snapshot(&path) {
+                Ok(entry) => scan.restored.push(entry),
+                Err(e) => scan.skipped.push((path, e)),
+            }
+        }
+        Ok(scan)
+    }
+
+    /// Restores one snapshot file into the registry (see
+    /// [`ServerState::load_snapshots`]).
+    fn load_one_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<(String, DatasetSummary), EclipseError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| EclipseError::Snapshot(format!("read {}: {e}", path.display())))?;
+        let label = EclipseEngine::snapshot_label(&bytes)?;
+        let existing = self
+            .datasets
+            .read()
+            .expect("dataset registry poisoned")
+            .get(&label)
+            .cloned();
+        let engine = match existing {
+            Some(engine) => {
+                // A second snapshot of a known dataset (the other backend
+                // kind) restores into its engine instead of replacing it,
+                // after the same identity validation the wire path uses.
+                engine.restore_index_snapshot(&bytes)?;
+                engine
+            }
+            None => {
+                let (_, decoded) = EclipseEngine::from_snapshot(&bytes)?;
+                let engine = Arc::new(decoded.with_execution_context(self.exec.clone()));
+                self.datasets
+                    .write()
+                    .expect("dataset registry poisoned")
+                    .insert(label.clone(), Arc::clone(&engine));
+                engine
+            }
+        };
+        let kind = engine.index_config().kind;
+        let index = engine
+            .cached_index(kind)
+            .or_else(|| engine.cached_index(IntersectionIndexKind::Quadtree))
+            .or_else(|| engine.cached_index(IntersectionIndexKind::CuttingTree))
+            .expect("a restored engine has a cached index");
+        Ok((
+            label,
+            DatasetSummary {
+                points: engine.len() as u64,
+                dim: engine.dim() as u32,
+                skyline_len: index.skyline_len() as u64,
+                intersections: index.num_intersections() as u64,
+            },
+        ))
+    }
+
     fn stats(&self) -> StatsReport {
         // Snapshot the registry first: the per-dataset numbers below walk
         // whole index trees, which must not happen under the read lock (it
@@ -236,6 +418,20 @@ impl ServerState {
     }
 }
 
+/// Outcome of a snapshot-directory scan ([`Server::load_snapshots`]): what
+/// came back, and which files were skipped with which error.
+#[derive(Debug, Default)]
+pub struct SnapshotScan {
+    /// `(dataset name, summary)` per successfully restored snapshot, in
+    /// deterministic (path-sorted) order.
+    pub restored: Vec<(String, DatasetSummary)>,
+    /// Snapshot files that could not be restored — corrupt, stale, or
+    /// inconsistent with an already-restored dataset — each with its typed
+    /// error.  Skipping them keeps one bad file from taking every healthy
+    /// dataset down with it.
+    pub skipped: Vec<(PathBuf, EclipseError)>,
+}
+
 /// A bound (but not yet serving) eclipse server.
 pub struct Server {
     listener: TcpListener,
@@ -261,6 +457,31 @@ impl Server {
     /// Propagates socket errors.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// Points the snapshot surface (`SaveIndex`/`RestoreIndex` and
+    /// [`Server::load_snapshots`]) at a directory.  Without one, snapshot
+    /// requests answer with an error response.
+    pub fn set_snapshot_dir(&self, dir: impl Into<PathBuf>) {
+        *self
+            .state
+            .snapshot_dir
+            .write()
+            .expect("snapshot dir lock poisoned") = Some(dir.into());
+    }
+
+    /// Scans the snapshot directory and registers every stored dataset with
+    /// its built index — the warm-restart path, paying decode cost instead
+    /// of index construction.  Unrestorable files (corrupt, stale,
+    /// inconsistent) are skipped and reported in [`SnapshotScan::skipped`]
+    /// rather than aborting the scan, so one bad file cannot keep the
+    /// healthy datasets from coming back.
+    ///
+    /// # Errors
+    /// [`EclipseError::Unsupported`] without a snapshot directory;
+    /// [`EclipseError::Snapshot`] when the directory itself is unreadable.
+    pub fn load_snapshots(&self) -> Result<SnapshotScan, EclipseError> {
+        self.state.load_snapshots()
     }
 
     /// Registers a dataset in-process (the binary's `--preload` and the
@@ -565,5 +786,190 @@ mod tests {
     fn ping_pongs() {
         let state = ServerState::new(ExecutionContext::serial());
         assert_eq!(state.respond(Request::Ping), Response::Pong);
+    }
+
+    /// RAII temp directory for the snapshot tests.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!("eclipse_serve_{}_{name}", std::process::id()));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn save_and_restore_round_trip_through_the_state() {
+        let dir = TempDir::new("roundtrip");
+        let state = loaded_state();
+        // Without a snapshot dir, the surface answers errors.
+        let resp = state.respond(Request::SaveIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::Error(m) if m.contains("--snapshot-dir")),);
+        *state.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+
+        let resp = state.respond(Request::SaveIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::Quadtree,
+        });
+        let Response::SnapshotSaved { bytes } = resp else {
+            panic!("expected a snapshot ack, got {resp:?}");
+        };
+        assert!(bytes > 0);
+        assert!(dir.0.join("hotels-quad.eclsnap").exists());
+
+        // Restore into a fresh state that re-registered the same dataset.
+        let fresh = loaded_state();
+        *fresh.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        let resp = fresh.respond(Request::RestoreIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::Quadtree,
+        });
+        let Response::IndexBuilt(summary) = resp else {
+            panic!("expected an index ack, got {resp:?}");
+        };
+        assert_eq!(summary.kind, IndexKind::Quadtree);
+        assert_eq!(summary.skyline_len, 3);
+
+        // Cold start: an empty state warm-loads the dataset from disk.
+        let cold = ServerState::new(ExecutionContext::serial());
+        *cold.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        let scan = cold.load_snapshots().unwrap();
+        assert!(scan.skipped.is_empty(), "{:?}", scan.skipped);
+        assert_eq!(scan.restored.len(), 1);
+        assert_eq!(scan.restored[0].0, "hotels");
+        assert_eq!(scan.restored[0].1.points, 4);
+        let resp = cold.respond(Request::QueryBatch {
+            name: "hotels".to_string(),
+            boxes: vec![vec![(0.25, 2.0)]],
+        });
+        assert_eq!(resp, Response::QueryResults(vec![vec![0, 1, 2]]));
+    }
+
+    #[test]
+    fn restoring_into_a_different_dataset_is_a_typed_wire_error() {
+        let dir = TempDir::new("mismatch");
+        let state = loaded_state();
+        *state.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        let resp = state.respond(Request::SaveIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::SnapshotSaved { .. }));
+
+        // Replace the dataset under the same name with different points.
+        let resp = state.respond(Request::LoadDataset {
+            name: "hotels".to_string(),
+            dim: 2,
+            coords: vec![1.0, 1.0, 2.0, 2.0],
+            warm: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::DatasetLoaded(_)));
+        let resp = state.respond(Request::RestoreIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::Quadtree,
+        });
+        assert!(
+            matches!(&resp, Response::Error(m) if m.contains("mismatch")),
+            "a stale snapshot must be rejected, got {resp:?}"
+        );
+        // The connection-level state still answers correctly afterwards.
+        let resp = state.respond(Request::QueryBatch {
+            name: "hotels".to_string(),
+            boxes: vec![vec![(0.5, 2.0)]],
+        });
+        assert_eq!(resp, Response::QueryResults(vec![vec![0]]));
+        // A missing snapshot file is an error response, not a panic.
+        let resp = state.respond(Request::RestoreIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::CuttingTree,
+        });
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn load_snapshots_merges_both_kinds_of_one_dataset() {
+        let dir = TempDir::new("merge");
+        let state = loaded_state();
+        *state.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        for kind in [IndexKind::Quadtree, IndexKind::CuttingTree] {
+            let resp = state.respond(Request::SaveIndex {
+                name: "hotels".to_string(),
+                kind,
+            });
+            assert!(matches!(resp, Response::SnapshotSaved { .. }), "{kind:?}");
+        }
+        let cold = ServerState::new(ExecutionContext::serial());
+        *cold.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        let scan = cold.load_snapshots().unwrap();
+        assert!(scan.skipped.is_empty(), "{:?}", scan.skipped);
+        assert_eq!(scan.restored.len(), 2, "one entry per snapshot file");
+        let Response::Stats(report) = cold.respond(Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(report.datasets.len(), 1, "both files restore one dataset");
+        assert!(report.datasets[0].quad_built && report.datasets[0].cutting_built);
+    }
+
+    #[test]
+    fn a_corrupt_snapshot_is_skipped_without_taking_healthy_ones_down() {
+        let dir = TempDir::new("skip");
+        let state = loaded_state();
+        *state.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        let resp = state.respond(Request::SaveIndex {
+            name: "hotels".to_string(),
+            kind: IndexKind::Quadtree,
+        });
+        assert!(matches!(resp, Response::SnapshotSaved { .. }));
+        // A torn/garbage file next to the healthy one.
+        std::fs::write(dir.0.join("broken.eclsnap"), b"not a snapshot").unwrap();
+
+        let cold = ServerState::new(ExecutionContext::serial());
+        *cold.snapshot_dir.write().unwrap() = Some(dir.0.clone());
+        let scan = cold.load_snapshots().unwrap();
+        assert_eq!(scan.restored.len(), 1, "the healthy dataset comes back");
+        assert_eq!(scan.restored[0].0, "hotels");
+        assert_eq!(scan.skipped.len(), 1, "the bad file is reported");
+        assert!(scan.skipped[0].0.ends_with("broken.eclsnap"));
+        assert!(matches!(scan.skipped[0].1, EclipseError::Snapshot(_)));
+    }
+
+    #[test]
+    fn sanitized_name_collisions_cannot_overwrite_each_other() {
+        let dir = PathBuf::from("/snapshots");
+        let a = ServerState::snapshot_path(&dir, "a/b", IndexKind::Quadtree);
+        let b = ServerState::snapshot_path(&dir, "a_b", IndexKind::Quadtree);
+        assert_ne!(a, b, "distinct raw names must map to distinct files");
+        // Deterministic: the same raw name always maps to the same file.
+        assert_eq!(
+            a,
+            ServerState::snapshot_path(&dir, "a/b", IndexKind::Quadtree)
+        );
+    }
+
+    #[test]
+    fn snapshot_paths_are_sanitized() {
+        let dir = PathBuf::from("/snapshots");
+        // A name needing sanitization gets a hash disambiguator appended.
+        let raw = "data/../set name";
+        let path = ServerState::snapshot_path(&dir, raw, IndexKind::Quadtree);
+        let expected = format!(
+            "data_.._set_name-{:08x}-quad.eclsnap",
+            eclipse_persist::fnv1a(raw.as_bytes()) as u32
+        );
+        assert_eq!(path, dir.join(expected));
+        // Already-safe names stay readable, with no disambiguator.
+        let path = ServerState::snapshot_path(&dir, "ok-1.2_x", IndexKind::CuttingTree);
+        assert_eq!(path, dir.join("ok-1.2_x-cutting.eclsnap"));
     }
 }

@@ -16,7 +16,7 @@ use eclipse_serve::protocol::{
 fn arbitrary_request(seed: u64) -> Request {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let name = random_name(&mut rng);
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..8u32) {
         0 => Request::Ping,
         1 => {
             let dim = rng.gen_range(2..5u32);
@@ -42,6 +42,14 @@ fn arbitrary_request(seed: u64) -> Request {
             name,
             boxes: random_boxes(&mut rng),
         },
+        5 => Request::SaveIndex {
+            name,
+            kind: random_kind(&mut rng),
+        },
+        6 => Request::RestoreIndex {
+            name,
+            kind: random_kind(&mut rng),
+        },
         _ => Request::Stats,
     }
 }
@@ -49,7 +57,7 @@ fn arbitrary_request(seed: u64) -> Request {
 /// Deterministic pseudo-random response for a seed.
 fn arbitrary_response(seed: u64) -> Response {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..8u32) {
         0 => Response::Pong,
         1 => Response::DatasetLoaded(DatasetSummary {
             points: rng.gen_range(0..u64::MAX),
@@ -80,6 +88,9 @@ fn arbitrary_response(seed: u64) -> Response {
                 .map(|_| rng.gen_range(0..u64::MAX))
                 .collect(),
         ),
+        6 => Response::SnapshotSaved {
+            bytes: rng.gen_range(0..u64::MAX),
+        },
         5 => Response::Stats(StatsReport {
             query_batches: rng.gen_range(0..u64::MAX),
             count_batches: rng.gen_range(0..u64::MAX),

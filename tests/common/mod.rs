@@ -48,3 +48,32 @@ impl Drop for TempPath {
         let _ = std::fs::remove_file(&self.path);
     }
 }
+
+/// A directory in the system temp dir that is unique to this process and is
+/// removed (recursively) when the value is dropped, even if the owning test
+/// panics — the snapshot suites use one per server lifetime.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// A fresh temp directory for fixture `name`, suffixed with the process
+    /// id; created eagerly.
+    pub fn new(name: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!("eclipse_e2e_dir_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The underlying directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

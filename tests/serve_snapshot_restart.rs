@@ -1,0 +1,152 @@
+//! End-to-end warm-restart test: a dataset served by one `eclipse-serve`
+//! server is snapshotted over the wire (`SaveIndex`), the server goes away,
+//! and a second server started over the same `--snapshot-dir` warm-loads the
+//! dataset and answers `QueryBatch`/`CountBatch` with byte-identical wire
+//! results — at one and at four query threads (the CI thread-parity matrix
+//! additionally re-runs this file under `ECLIPSE_THREADS=1` and `4`).
+
+mod common;
+
+use common::TempDir;
+use eclipse_core::exec::ExecutionContext;
+use eclipse_core::WeightRatioBox;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_serve::client::{Client, ClientError};
+use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::server::Server;
+
+fn probe_boxes() -> Vec<WeightRatioBox> {
+    [
+        (0.18, 5.67),
+        (0.36, 2.75),
+        (0.84, 1.19),
+        (1.0, 1.0),
+        // Escapes the indexed region: the restored index must fall back to
+        // the exact linear scan just like the rebuilt one.
+        (0.5, 20.0),
+    ]
+    .into_iter()
+    .map(|(lo, hi)| WeightRatioBox::uniform(3, lo, hi).unwrap())
+    .collect()
+}
+
+#[test]
+fn wire_results_survive_a_server_restart_at_1_and_4_threads() {
+    let points = SyntheticConfig::new(500, 3, Distribution::Independent, 4242).generate();
+    let boxes = probe_boxes();
+    for threads in [1usize, 4] {
+        for warm in [IndexKind::Quadtree, IndexKind::CuttingTree] {
+            let dir = TempDir::new(&format!("restart_{threads}_{warm:?}"));
+
+            // First life: load, query, snapshot, shut down.
+            let server =
+                Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads)).unwrap();
+            server.set_snapshot_dir(dir.path());
+            let handle = server.spawn().unwrap();
+            let mut client = Client::connect(handle.addr()).unwrap();
+            client.load_dataset("inde", &points, warm).unwrap();
+            let expected = client.query_batch("inde", &boxes).unwrap();
+            let expected_counts = client.count_batch("inde", &boxes).unwrap();
+            let bytes = client.save_index("inde", warm).unwrap();
+            assert!(bytes > 0);
+            handle.shutdown();
+
+            // Second life: same snapshot dir, no LoadDataset traffic — the
+            // dataset and its index come back from disk.
+            let server =
+                Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads)).unwrap();
+            server.set_snapshot_dir(dir.path());
+            let scan = server.load_snapshots().unwrap();
+            assert!(scan.skipped.is_empty(), "{:?}", scan.skipped);
+            assert_eq!(scan.restored.len(), 1, "threads {threads}, warm {warm:?}");
+            assert_eq!(scan.restored[0].0, "inde");
+            assert_eq!(scan.restored[0].1.points, 500);
+            let handle = server.spawn().unwrap();
+            let mut client = Client::connect(handle.addr()).unwrap();
+            assert_eq!(
+                client.query_batch("inde", &boxes).unwrap(),
+                expected,
+                "threads {threads}, warm {warm:?}"
+            );
+            assert_eq!(
+                client.count_batch("inde", &boxes).unwrap(),
+                expected_counts,
+                "threads {threads}, warm {warm:?}"
+            );
+            let report = client.stats().unwrap();
+            assert_eq!(report.datasets.len(), 1);
+            assert_eq!(report.datasets[0].points, 500);
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn restoring_a_stale_snapshot_is_an_error_response_over_the_wire() {
+    // Regression for the mismatch satellite: a snapshot taken over one
+    // dataset must not serve results for different data registered later
+    // under the same name — the server answers a typed error and the
+    // connection stays usable.
+    let dir = TempDir::new("stale");
+    let old = SyntheticConfig::new(300, 3, Distribution::Independent, 7).generate();
+    let new = SyntheticConfig::new(300, 3, Distribution::AntiCorrelated, 8).generate();
+    let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(2)).unwrap();
+    server.set_snapshot_dir(dir.path());
+    let handle = server.spawn().unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client
+        .load_dataset("ds", &old, IndexKind::Quadtree)
+        .unwrap();
+    client.save_index("ds", IndexKind::Quadtree).unwrap();
+    client
+        .load_dataset("ds", &new, IndexKind::Quadtree)
+        .unwrap();
+    match client.restore_index("ds", IndexKind::Quadtree) {
+        Err(ClientError::Server(m)) => assert!(m.contains("mismatch"), "{m}"),
+        other => panic!("expected a mismatch error, got {other:?}"),
+    }
+
+    // Same connection, correct answers for the *new* dataset afterwards.
+    let b = [WeightRatioBox::uniform(3, 0.36, 2.75).unwrap()];
+    let engine = eclipse_core::EclipseEngine::new(new).unwrap();
+    assert_eq!(
+        client.query_batch("ds", &b).unwrap(),
+        vec![engine.eclipse(&b[0]).unwrap()]
+    );
+
+    // A dimensionality change is caught the same way.
+    let flat = SyntheticConfig::new(200, 2, Distribution::Independent, 9).generate();
+    client
+        .load_dataset("ds", &flat, IndexKind::Quadtree)
+        .unwrap();
+    match client.restore_index("ds", IndexKind::Quadtree) {
+        Err(ClientError::Server(m)) => assert!(m.contains("dimension"), "{m}"),
+        other => panic!("expected a dimension error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn snapshot_requests_without_a_snapshot_dir_are_clean_errors() {
+    let points = SyntheticConfig::new(100, 3, Distribution::Independent, 11).generate();
+    let handle = Server::bind("127.0.0.1:0", ExecutionContext::serial())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client
+        .load_dataset("inde", &points, IndexKind::Quadtree)
+        .unwrap();
+    match client.save_index("inde", IndexKind::Quadtree) {
+        Err(ClientError::Server(m)) => assert!(m.contains("--snapshot-dir"), "{m}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    match client.restore_index("inde", IndexKind::Quadtree) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    // The connection is still usable.
+    client.ping().unwrap();
+    handle.shutdown();
+}

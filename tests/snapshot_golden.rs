@@ -1,0 +1,150 @@
+//! Golden-file suite for the snapshot format: small committed snapshot
+//! fixtures (per index backend, 2-D and 3-D) pin the byte-exact encoding
+//! across PRs, and decoding each fixture must answer queries identically to
+//! an index rebuilt from scratch.
+//!
+//! If the format changes **deliberately** (bump
+//! [`eclipse_persist::FORMAT_VERSION`] and document the change in the README
+//! compatibility policy), regenerate the fixtures with:
+//!
+//! ```text
+//! ECLIPSE_UPDATE_FIXTURES=1 cargo test -p eclipse-examples --test snapshot_golden
+//! ```
+
+mod common;
+
+use std::path::PathBuf;
+
+use common::paper_hotels;
+use eclipse_core::index::IntersectionIndexKind;
+use eclipse_core::{EclipseEngine, Point, WeightRatioBox};
+use rand::{Rng, SeedableRng};
+
+/// A deterministic 12-point 3-D dataset (fixed seed, vendored RNG), small
+/// enough that its snapshots stay a few KiB in the repository.
+fn inde3d() -> Vec<Point> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20210614);
+    (0..12)
+        .map(|_| Point::new((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+/// The fixture matrix: label, dataset, backend kind, fixture file name.
+fn cases() -> Vec<(
+    &'static str,
+    Vec<Point>,
+    IntersectionIndexKind,
+    &'static str,
+)> {
+    vec![
+        (
+            "hotels",
+            paper_hotels(),
+            IntersectionIndexKind::Quadtree,
+            "hotels-2d-quad.eclsnap",
+        ),
+        (
+            "hotels",
+            paper_hotels(),
+            IntersectionIndexKind::CuttingTree,
+            "hotels-2d-cutting.eclsnap",
+        ),
+        (
+            "inde",
+            inde3d(),
+            IntersectionIndexKind::Quadtree,
+            "inde-3d-quad.eclsnap",
+        ),
+        (
+            "inde",
+            inde3d(),
+            IntersectionIndexKind::CuttingTree,
+            "inde-3d-cutting.eclsnap",
+        ),
+    ]
+}
+
+fn fixture_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(file)
+}
+
+fn probe_boxes(dim: usize) -> Vec<WeightRatioBox> {
+    [(0.25, 2.0), (0.36, 2.75), (1.0, 1.0), (0.5, 20.0)]
+        .into_iter()
+        .map(|(lo, hi)| WeightRatioBox::uniform(dim, lo, hi).unwrap())
+        .collect()
+}
+
+/// Encoding is pinned byte-for-byte by the committed fixtures: any change to
+/// the container layout, a section payload, index construction or the
+/// underlying float semantics fails this test loudly instead of silently
+/// orphaning every snapshot in the field.
+#[test]
+fn encode_is_byte_identical_to_the_committed_fixtures() {
+    let update = std::env::var_os("ECLIPSE_UPDATE_FIXTURES").is_some();
+    for (label, points, kind, file) in cases() {
+        let engine = EclipseEngine::new(points).unwrap();
+        let bytes = engine.save_snapshot(label, kind).unwrap();
+        let path = fixture_path(file);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let golden = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+        assert_eq!(
+            bytes, golden,
+            "snapshot encoding of {label}/{kind:?} no longer matches {file}; if this is a \
+             deliberate format change, bump FORMAT_VERSION and regenerate with \
+             ECLIPSE_UPDATE_FIXTURES=1"
+        );
+    }
+}
+
+/// Decoding a committed fixture yields an engine that answers every probe —
+/// ids and counts, inside and outside the indexed region — identically to an
+/// engine rebuilt from the raw points.
+#[test]
+fn decoded_fixtures_answer_identically_to_fresh_rebuilds() {
+    for (label, points, kind, file) in cases() {
+        let golden = std::fs::read(fixture_path(file))
+            .unwrap_or_else(|e| panic!("fixture {file} unreadable: {e}"));
+        let (stored_label, restored) = EclipseEngine::from_snapshot(&golden).unwrap();
+        assert_eq!(stored_label, label);
+        assert!(restored.cached_index(kind).is_some(), "{file} warm-loads");
+
+        let rebuilt = EclipseEngine::new(points).unwrap();
+        rebuilt.build_index(kind).unwrap();
+        assert_eq!(restored.len(), rebuilt.len());
+        assert_eq!(restored.dim(), rebuilt.dim());
+        for b in probe_boxes(rebuilt.dim()) {
+            assert_eq!(
+                restored.eclipse(&b).unwrap(),
+                rebuilt.eclipse(&b).unwrap(),
+                "{file}, box {b}"
+            );
+        }
+        // The fixture also restores into an engine already holding the same
+        // dataset (the serve-layer warm path).
+        let warm = EclipseEngine::new(rebuilt.points().to_vec()).unwrap();
+        warm.restore_index_snapshot(&golden).unwrap();
+        let b = probe_boxes(rebuilt.dim()).remove(0);
+        assert_eq!(warm.eclipse(&b).unwrap(), rebuilt.eclipse(&b).unwrap());
+    }
+}
+
+/// The fixtures themselves re-encode byte-exactly after a decode cycle —
+/// decode → encode is the identity on the on-disk representation.
+#[test]
+fn fixtures_re_encode_byte_exactly() {
+    for (label, _points, kind, file) in cases() {
+        let golden = std::fs::read(fixture_path(file))
+            .unwrap_or_else(|e| panic!("fixture {file} unreadable: {e}"));
+        let (stored_label, restored) = EclipseEngine::from_snapshot(&golden).unwrap();
+        assert_eq!(restored.save_snapshot(&stored_label, kind).unwrap(), golden);
+        assert_eq!(stored_label, label);
+    }
+}
