@@ -32,7 +32,7 @@ use eclipse_core::relations::RelationReport;
 use eclipse_data::io::ResultTable;
 use eclipse_data::survey::{run_survey, SurveyConfig, SurveySystem};
 use eclipse_data::synthetic::{Distribution, SyntheticConfig};
-use eclipse_serve::client::Client;
+use eclipse_serve::client::{Client, PipelinedClient};
 use eclipse_serve::protocol::IndexKind;
 use eclipse_serve::server::Server;
 
@@ -97,6 +97,9 @@ fn main() {
     if want("serve") {
         emit(&opts, "serve", serve_sweep(&opts));
     }
+    if want("serve_pipeline") {
+        emit(&opts, "serve_pipeline", serve_pipeline_sweep(&opts));
+    }
     if want("snapshot") {
         emit(&opts, "snapshot", snapshot_sweep(&opts));
     }
@@ -119,7 +122,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads|probes|serve|snapshot]..."
+                     threads|probes|serve|serve_pipeline|snapshot]..."
                 );
                 std::process::exit(0);
             }
@@ -734,6 +737,153 @@ fn serve_sweep(opts: &Options) -> (String, ResultTable) {
     println!("[serve sweep written to {}]", path.display());
     (
         format!("Serving throughput — eclipse-serve over TCP (INDE, n = {n}, d = 3, {num_probes} probes)"),
+        t,
+    )
+}
+
+/// Pipeline-depth sweep over the protocol-v2 serving path: single-probe
+/// requests (the per-request-overhead-dominated regime) through a
+/// [`PipelinedClient`] at depth 1, 8 and 64, against the blocking depth-1
+/// v1 client as the baseline.  Every pipelined pass is asserted identical
+/// to the blocking client's results, so the speedup column is for the
+/// *same* answers.  Writes BENCH_serve_pipeline.json next to the CSVs.
+fn serve_pipeline_sweep(opts: &Options) -> (String, ResultTable) {
+    let n = if opts.quick { 1 << 12 } else { 1 << 14 };
+    let num_probes = if opts.quick { 256usize } else { 1024 };
+    let reps = if opts.quick { 2 } else { 5 };
+    let pts = DatasetFamily::Inde.generate(n, 3, SEED);
+    let boxes = probe_ratio_boxes(num_probes, 3, SEED + 5);
+    let mut t = ResultTable::new(&[
+        "threads",
+        "depth",
+        "query_req_s",
+        "count_req_s",
+        "speedup_vs_blocking",
+    ]);
+    let mut json = String::from("{\n  \"pr\": 7,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str(&format!(
+        "  \"dataset\": {{\"family\": \"INDE\", \"n\": {n}, \"d\": 3, \"probes\": {num_probes}}},\n"
+    ));
+    json.push_str("  \"serve_pipeline\": [\n");
+    let mut first = true;
+    for threads in [1usize, 4] {
+        let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads))
+            .expect("bind ephemeral port");
+        server
+            .register_dataset("inde", pts.clone(), IndexKind::Quadtree)
+            .expect("valid workload");
+        let handle = server.spawn().expect("spawn server");
+
+        // Blocking baseline: one single-probe request per box, depth 1, v1.
+        let mut blocking = Client::connect(handle.addr()).expect("connect");
+        let mut expected_rows = Vec::with_capacity(num_probes);
+        let mut expected_counts = Vec::with_capacity(num_probes);
+        for b in &boxes {
+            expected_rows.extend(
+                blocking
+                    .query_batch("inde", std::slice::from_ref(b))
+                    .expect("query"),
+            );
+            expected_counts.extend(
+                blocking
+                    .count_batch("inde", std::slice::from_ref(b))
+                    .expect("count"),
+            );
+        }
+        let mut blocking_query = f64::INFINITY;
+        let mut blocking_count = f64::INFINITY;
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            for b in &boxes {
+                blocking
+                    .query_batch("inde", std::slice::from_ref(b))
+                    .expect("query");
+            }
+            blocking_query = blocking_query.min(start.elapsed().as_secs_f64());
+            let start = std::time::Instant::now();
+            for b in &boxes {
+                blocking
+                    .count_batch("inde", std::slice::from_ref(b))
+                    .expect("count");
+            }
+            blocking_count = blocking_count.min(start.elapsed().as_secs_f64());
+        }
+        let base_query_req_s = num_probes as f64 / blocking_query;
+        let base_count_req_s = num_probes as f64 / blocking_count;
+        t.push_row(vec![
+            threads.to_string(),
+            "blocking".to_string(),
+            format!("{base_query_req_s:.0}"),
+            format!("{base_count_req_s:.0}"),
+            "1.000".to_string(),
+        ]);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"mode\": \"blocking\", \"depth\": 1, \
+             \"query_requests_per_s\": {base_query_req_s:.1}, \
+             \"count_requests_per_s\": {base_count_req_s:.1}, \"speedup_query\": 1.0}}"
+        ));
+
+        for depth in [1u32, 8, 64] {
+            let mut piped =
+                PipelinedClient::connect(handle.addr(), depth).expect("handshake connect");
+            // Correctness first: pipelined answers must equal blocking ones.
+            assert_eq!(
+                piped.query_many("inde", &boxes, 1).expect("query_many"),
+                expected_rows,
+                "pipelined depth {depth} diverged from blocking queries"
+            );
+            assert_eq!(
+                piped.count_many("inde", &boxes, 1).expect("count_many"),
+                expected_counts,
+                "pipelined depth {depth} diverged from blocking counts"
+            );
+            let mut best_query = f64::INFINITY;
+            let mut best_count = f64::INFINITY;
+            for _ in 0..reps {
+                let start = std::time::Instant::now();
+                piped.query_many("inde", &boxes, 1).expect("query_many");
+                best_query = best_query.min(start.elapsed().as_secs_f64());
+                let start = std::time::Instant::now();
+                piped.count_many("inde", &boxes, 1).expect("count_many");
+                best_count = best_count.min(start.elapsed().as_secs_f64());
+            }
+            let query_req_s = num_probes as f64 / best_query;
+            let count_req_s = num_probes as f64 / best_count;
+            let speedup = query_req_s / base_query_req_s;
+            t.push_row(vec![
+                threads.to_string(),
+                depth.to_string(),
+                format!("{query_req_s:.0}"),
+                format!("{count_req_s:.0}"),
+                format!("{speedup:.3}"),
+            ]);
+            json.push_str(&format!(
+                ",\n    {{\"threads\": {threads}, \"mode\": \"pipelined\", \"depth\": {depth}, \
+                 \"query_requests_per_s\": {query_req_s:.1}, \
+                 \"count_requests_per_s\": {count_req_s:.1}, \
+                 \"speedup_query\": {speedup:.3}}}"
+            ));
+        }
+        handle.shutdown();
+    }
+    json.push_str("\n  ]\n}\n");
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_serve_pipeline.json");
+    std::fs::write(&path, json).expect("write BENCH_serve_pipeline.json");
+    println!("[serve pipeline sweep written to {}]", path.display());
+    (
+        format!(
+            "Serving throughput vs pipeline depth — protocol v2, single-probe requests \
+             (INDE, n = {n}, d = 3, {num_probes} probes)"
+        ),
         t,
     )
 }

@@ -1,0 +1,373 @@
+//! [`Dispatcher`] — persistent worker threads behind a shared job queue.
+//!
+//! [`ThreadPool`](crate::ThreadPool) is scoped: its workers exist for the
+//! duration of one `scope`/`par_map` call and tasks may borrow from the
+//! caller's stack.  That is the right shape for data parallelism *inside* a
+//! query, but a serving event loop needs the opposite: fire-and-forget
+//! `'static` jobs submitted from one thread and executed on long-lived
+//! workers, with completion reported back through whatever channel the job
+//! captured (the eclipse-serve event loop passes a completion queue plus an
+//! unpark handle into every job).  The dispatcher supplies that substrate —
+//! std only, no `unsafe`:
+//!
+//! * [`Dispatcher::submit`] enqueues a boxed job; workers drain the queue in
+//!   FIFO order, each worker running jobs back to back without re-parking
+//!   while work is available;
+//! * a panicking job is caught and counted ([`Dispatcher::panicked`]) —
+//!   workers survive, the queue keeps draining;
+//! * [`Dispatcher::shutdown`] drains every queued job before joining the
+//!   workers (graceful); [`Dispatcher::shutdown_now`] drops queued jobs and
+//!   joins after the in-flight ones finish (abort).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What the workers share: the queue, its condvar, and lifecycle flags.
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on submit and on shutdown.
+    work_ready: Condvar,
+    /// Signalled whenever a job finishes or the queue empties (for
+    /// [`Dispatcher::drain`]).
+    quiesced: Condvar,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Jobs currently executing on a worker.
+    active: usize,
+    /// Jobs whose closure panicked (caught; the worker survived).
+    panicked: u64,
+    shutdown: bool,
+    /// With `shutdown`, tells workers whether to drain the queue first
+    /// (graceful) or drop it (abort).
+    discard_queue: bool,
+}
+
+/// Persistent worker threads executing `'static` jobs in FIFO order.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use eclipse_exec::Dispatcher;
+///
+/// let dispatcher = Dispatcher::new(2);
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let done = Arc::clone(&done);
+///     dispatcher.submit(move || {
+///         done.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// dispatcher.shutdown(); // drains the queue, then joins the workers
+/// assert_eq!(done.load(Ordering::Relaxed), 100);
+/// ```
+pub struct Dispatcher {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Starts `workers` worker threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Dispatcher {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                active: 0,
+                panicked: 0,
+                shutdown: false,
+                discard_queue: false,
+            }),
+            work_ready: Condvar::new(),
+            quiesced: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || run_worker(&shared))
+            })
+            .collect();
+        Dispatcher { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job.  Returns `false` (dropping the job) if the dispatcher
+    /// is shutting down — the caller decides whether that is an error.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.shared.state.lock().expect("dispatcher state poisoned");
+        if state.shutdown {
+            return false;
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+        true
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("dispatcher state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Jobs whose closure panicked (the panic was caught, the worker lived).
+    pub fn panicked(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("dispatcher state poisoned")
+            .panicked
+    }
+
+    /// Blocks until the queue is empty and no job is executing.
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("dispatcher state poisoned");
+        while !(state.queue.is_empty() && state.active == 0) {
+            state = self
+                .shared
+                .quiesced
+                .wait(state)
+                .expect("dispatcher state poisoned");
+        }
+    }
+
+    /// Graceful shutdown: refuses new jobs, lets the workers drain every
+    /// queued job, then joins them.
+    pub fn shutdown(self) {
+        self.stop(false);
+    }
+
+    /// Abort: refuses new jobs, **drops** the queued ones, and joins the
+    /// workers once their in-flight jobs finish.
+    pub fn shutdown_now(self) {
+        self.stop(true);
+    }
+
+    fn stop(mut self, discard_queue: bool) {
+        {
+            let mut state = self.shared.state.lock().expect("dispatcher state poisoned");
+            state.shutdown = true;
+            state.discard_queue = discard_queue;
+            if discard_queue {
+                state.queue.clear();
+            }
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        // A dropped (not shut down) dispatcher still stops its workers;
+        // queued jobs are dropped, matching `shutdown_now`.
+        if self.workers.is_empty() {
+            return;
+        }
+        {
+            let mut state = self.shared.state.lock().expect("dispatcher state poisoned");
+            state.shutdown = true;
+            state.discard_queue = true;
+            state.queue.clear();
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.state.lock().expect("dispatcher state poisoned");
+        f.debug_struct("Dispatcher")
+            .field("workers", &self.workers.len())
+            .field("queued", &state.queue.len())
+            .field("active", &state.active)
+            .field("panicked", &state.panicked)
+            .finish()
+    }
+}
+
+fn run_worker(shared: &Shared) {
+    let mut state = shared.state.lock().expect("dispatcher state poisoned");
+    loop {
+        // Run jobs back to back while any are queued: no re-park between
+        // jobs, so a burst of N submissions costs one wakeup, not N.
+        while let Some(job) = state.queue.pop_front() {
+            state.active += 1;
+            drop(state);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            state = shared.state.lock().expect("dispatcher state poisoned");
+            state.active -= 1;
+            if outcome.is_err() {
+                state.panicked += 1;
+            }
+            if state.queue.is_empty() && state.active == 0 {
+                shared.quiesced.notify_all();
+            }
+        }
+        if state.shutdown {
+            return;
+        }
+        state = shared
+            .work_ready
+            .wait(state)
+            .expect("dispatcher state poisoned");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let dispatcher = Dispatcher::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let done = Arc::clone(&done);
+            assert!(dispatcher.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        dispatcher.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 500);
+        dispatcher.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_reported() {
+        assert_eq!(Dispatcher::new(0).workers(), 1);
+        assert_eq!(Dispatcher::new(4).workers(), 4);
+    }
+
+    #[test]
+    fn jobs_run_concurrently_across_workers() {
+        // Two jobs that each wait for the other to start can only finish if
+        // two workers execute them at the same time.
+        let dispatcher = Dispatcher::new(2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let met = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let met = Arc::clone(&met);
+            dispatcher.submit(move || {
+                barrier.wait();
+                met.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        dispatcher.drain();
+        assert_eq!(met.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_the_queue() {
+        let dispatcher = Dispatcher::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            dispatcher.submit(move || {
+                std::thread::sleep(Duration::from_micros(50));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        dispatcher.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn shutdown_now_drops_queued_jobs_but_finishes_in_flight_ones() {
+        let dispatcher = Dispatcher::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let started = Arc::new(AtomicUsize::new(0));
+        // The first job signals that it is in flight and then holds the
+        // single worker long enough for the rest to still be queued when
+        // shutdown_now fires.
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            let started = Arc::clone(&started);
+            dispatcher.submit(move || {
+                started.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(20));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Only call shutdown_now once a job is actually in flight —
+        // otherwise the whole queue (including the "in-flight" job) could
+        // legitimately be dropped.
+        while started.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        dispatcher.shutdown_now();
+        let ran = done.load(Ordering::Relaxed);
+        assert!(ran < 64, "queued jobs must be dropped, {ran} ran");
+        assert!(ran >= 1, "the in-flight job must finish");
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let dispatcher = Dispatcher::new(1);
+        {
+            let mut state = dispatcher.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        assert!(!dispatcher.submit(|| {}));
+        // Undo so drop can join cleanly.
+        {
+            let mut state = dispatcher.shared.state.lock().unwrap();
+            state.shutdown = false;
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_counted_and_the_worker_survives() {
+        let dispatcher = Dispatcher::new(1);
+        dispatcher.submit(|| panic!("job boom"));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            dispatcher.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        dispatcher.drain();
+        assert_eq!(dispatcher.panicked(), 1);
+        assert_eq!(done.load(Ordering::Relaxed), 1, "the worker kept going");
+        dispatcher.shutdown();
+    }
+
+    #[test]
+    fn drain_on_an_idle_dispatcher_returns_immediately() {
+        let dispatcher = Dispatcher::new(2);
+        dispatcher.drain();
+        assert_eq!(dispatcher.queued(), 0);
+    }
+
+    #[test]
+    fn debug_reports_shape() {
+        let dispatcher = Dispatcher::new(2);
+        let s = format!("{dispatcher:?}");
+        assert!(s.contains("workers: 2"), "{s}");
+    }
+}

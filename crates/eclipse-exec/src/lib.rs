@@ -15,7 +15,12 @@
 //! * [`ThreadPool::join`] — budgeted fork-join for recursive
 //!   divide-and-conquer;
 //! * panic propagation everywhere: a panic inside a task or branch is
-//!   re-raised on the calling thread, exactly like serial code.
+//!   re-raised on the calling thread, exactly like serial code;
+//! * [`Dispatcher`] — the complementary *persistent* substrate: long-lived
+//!   workers draining a FIFO queue of `'static` jobs, used by the
+//!   eclipse-serve event loop to execute requests off the socket thread and
+//!   notify completion back through a captured completion queue.  Jobs that
+//!   panic are caught and counted; the workers survive.
 //!
 //! Sizing: [`ThreadPool::new`] honours the `ECLIPSE_THREADS` environment
 //! variable (a positive integer) and otherwise uses the hardware parallelism;
@@ -63,9 +68,11 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod dispatch;
 mod pool;
 mod scope;
 
+pub use dispatch::Dispatcher;
 pub use pool::{default_threads, ThreadPool, ThreadPoolBuilder, THREADS_ENV};
 pub use scope::Scope;
 

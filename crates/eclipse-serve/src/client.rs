@@ -1,7 +1,11 @@
-//! A small blocking client for the eclipse-serve protocol — used by the
-//! integration tests, the examples, and the `experiments -- serve`
-//! throughput sweep.
+//! Clients for the eclipse-serve protocol: the pipelining
+//! [`PipelinedClient`] (protocol v2, up to `pipe_size` requests in flight,
+//! replies correlated by request id) and the original blocking [`Client`],
+//! now a depth-1 v1 wrapper over the same machinery — every pre-pipelining
+//! test and example keeps compiling and keeps exercising the server's v1
+//! fallback path.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -10,8 +14,8 @@ use eclipse_core::point::Point;
 use eclipse_core::WeightRatioBox;
 
 use crate::protocol::{
-    read_frame, write_frame, DatasetSummary, IndexKind, IndexSummary, ProtocolError, Request,
-    Response, StatsReport, WireBox,
+    read_frame, write_frame, DatasetSummary, FrameHeader, IndexKind, IndexSummary, ProtocolError,
+    Request, Response, StatsReport, WireBox, MAX_PROTOCOL_VERSION, PROTOCOL_V1, PROTOCOL_V2,
 };
 
 /// Everything a client call can fail with.
@@ -27,8 +31,24 @@ pub enum ClientError {
     InvalidRequest(String),
     /// The server answered with a well-formed response of the wrong kind.
     UnexpectedResponse(&'static str),
-    /// The server closed the connection instead of answering.
+    /// The server closed the connection instead of answering — covers a
+    /// clean EOF between frames, a mid-frame EOF, and a reset socket (the
+    /// mid-batch server-death cases).
     ConnectionClosed,
+    /// The request's deadline passed server-side before execution started;
+    /// it was not executed and the connection stays usable.
+    TimedOut {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u32,
+    },
+    /// The server's admission control rejected the request; nothing was
+    /// executed and the connection stays usable — back off and resubmit.
+    Overloaded {
+        /// In-flight requests counted against the breached cap.
+        in_flight: u32,
+        /// The cap that was breached.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -42,6 +62,18 @@ impl fmt::Display for ClientError {
                 write!(f, "unexpected response (expected {expected})")
             }
             ClientError::ConnectionClosed => write!(f, "connection closed by server"),
+            ClientError::TimedOut { deadline_ms } => {
+                write!(
+                    f,
+                    "request timed out server-side ({deadline_ms} ms deadline)"
+                )
+            }
+            ClientError::Overloaded { in_flight, limit } => {
+                write!(
+                    f,
+                    "server overloaded ({in_flight} in flight, limit {limit})"
+                )
+            }
         }
     }
 }
@@ -50,53 +82,376 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => ClientError::ConnectionClosed,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
 impl From<ProtocolError> for ClientError {
     fn from(e: ProtocolError) -> Self {
-        ClientError::Protocol(e)
+        match e {
+            ProtocolError::Io(io) => ClientError::from(io),
+            other => ClientError::Protocol(other),
+        }
     }
 }
 
 /// Result alias for client calls.
 pub type ClientResult<T> = std::result::Result<T, ClientError>;
 
-/// A blocking connection to an eclipse-serve server.  One request is in
-/// flight at a time; responses arrive in request order.
-pub struct Client {
+/// A pipelining connection: up to `pipe_size` requests in flight before the
+/// first response is read, replies correlated by request id.
+///
+/// [`PipelinedClient::connect`] performs the `Hello` handshake and speaks
+/// protocol v2 (out-of-order responses, per-request deadlines);
+/// [`PipelinedClient::connect_v1`] skips the handshake and pipelines over
+/// protocol v1, correlating FIFO — the server guarantees v1 responses in
+/// request order.
+///
+/// # Example
+///
+/// ```no_run
+/// use eclipse_serve::client::PipelinedClient;
+/// use eclipse_serve::protocol::Request;
+///
+/// let mut client = PipelinedClient::connect("127.0.0.1:7878", 8)?;
+/// let a = client.submit(&Request::Ping)?;
+/// let b = client.submit(&Request::Ping)?; // in flight alongside `a`
+/// client.recv(b)?; // out-of-order receipt is fine
+/// client.recv(a)?;
+/// # Ok::<(), eclipse_serve::ClientError>(())
+/// ```
+pub struct PipelinedClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    version: u32,
+    pipe_size: u32,
+    next_id: u64,
+    /// Ids in flight, in send order (v1 correlates FIFO against this).
+    pending: VecDeque<u64>,
+    /// Responses read while waiting for a different id.
+    ready: HashMap<u64, Response>,
+    /// Frames written but not yet flushed.
+    needs_flush: bool,
+}
+
+impl PipelinedClient {
+    /// Connects and performs the `Hello` handshake, requesting `pipe_size`
+    /// in-flight requests.  The server may clamp the depth; the granted
+    /// value is [`PipelinedClient::pipe_size`].
+    ///
+    /// # Errors
+    /// Propagates socket errors; [`ClientError::UnexpectedResponse`] when
+    /// the peer does not acknowledge the handshake.
+    pub fn connect(addr: impl ToSocketAddrs, pipe_size: u32) -> ClientResult<PipelinedClient> {
+        let mut client = Self::raw_connect(addr, PROTOCOL_V1, 1)?;
+        write_frame(
+            &mut client.writer,
+            &Request::Hello {
+                max_version: MAX_PROTOCOL_VERSION,
+                pipe_size,
+            }
+            .encode(),
+        )?;
+        client.writer.flush()?;
+        match read_frame(&mut client.reader).map_err(ClientError::from)? {
+            None => return Err(ClientError::ConnectionClosed),
+            Some(payload) => match Response::decode(&payload)? {
+                Response::HelloAck {
+                    version,
+                    pipe_size: granted,
+                    ..
+                } => {
+                    client.version = version;
+                    client.pipe_size = granted.max(1);
+                }
+                Response::Error(m) => return Err(ClientError::Server(m)),
+                _ => return Err(ClientError::UnexpectedResponse("HelloAck")),
+            },
+        }
+        Ok(client)
+    }
+
+    /// Connects without a handshake: protocol v1, FIFO correlation, still
+    /// pipelined up to `pipe_size` — exercises the server's v1 fallback.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect_v1(addr: impl ToSocketAddrs, pipe_size: u32) -> ClientResult<PipelinedClient> {
+        Self::raw_connect(addr, PROTOCOL_V1, pipe_size.max(1))
+    }
+
+    fn raw_connect(
+        addr: impl ToSocketAddrs,
+        version: u32,
+        pipe_size: u32,
+    ) -> ClientResult<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(PipelinedClient {
+            reader,
+            writer: BufWriter::new(stream),
+            version,
+            pipe_size,
+            next_id: 0,
+            pending: VecDeque::new(),
+            ready: HashMap::new(),
+            needs_flush: false,
+        })
+    }
+
+    /// The negotiated protocol version ([`PROTOCOL_V1`] or [`PROTOCOL_V2`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The granted pipeline depth.
+    pub fn pipe_size(&self) -> u32 {
+        self.pipe_size
+    }
+
+    /// Requests submitted but not yet received.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len() + self.ready.len()
+    }
+
+    /// Submits a request without reading its response, returning the id to
+    /// [`PipelinedClient::recv`] later.  When the pipeline is full, blocks
+    /// until one in-flight response arrives (stashed for its own `recv`).
+    ///
+    /// # Errors
+    /// Propagates transport errors.
+    pub fn submit(&mut self, request: &Request) -> ClientResult<u64> {
+        self.submit_with_deadline(request, 0)
+    }
+
+    /// [`PipelinedClient::submit`] with a relative server-side deadline in
+    /// milliseconds (0 = none): a request still queued server-side when the
+    /// deadline passes is answered with a typed timeout instead of running.
+    ///
+    /// # Errors
+    /// [`ClientError::InvalidRequest`] on a v1 connection with a nonzero
+    /// deadline (v1 frames have no deadline field); transport errors.
+    pub fn submit_with_deadline(
+        &mut self,
+        request: &Request,
+        deadline_ms: u32,
+    ) -> ClientResult<u64> {
+        if deadline_ms > 0 && self.version < PROTOCOL_V2 {
+            return Err(ClientError::InvalidRequest(
+                "deadlines need protocol v2 (connect with a handshake)".to_string(),
+            ));
+        }
+        while self.pending.len() >= self.pipe_size as usize {
+            let (id, response) = self.read_one()?;
+            self.ready.insert(id, response);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = if self.version >= PROTOCOL_V2 {
+            FrameHeader {
+                request_id: id,
+                deadline_ms,
+            }
+            .with_body(&request.encode())
+        } else {
+            request.encode()
+        };
+        write_frame(&mut self.writer, &payload)?;
+        self.needs_flush = true;
+        self.pending.push_back(id);
+        Ok(id)
+    }
+
+    /// Pushes buffered request frames to the socket without reading
+    /// anything.  [`PipelinedClient::recv`] flushes implicitly; this is for
+    /// getting requests onto the wire before doing something else.
+    ///
+    /// # Errors
+    /// Propagates transport errors.
+    pub fn flush(&mut self) -> ClientResult<()> {
+        self.writer.flush()?;
+        self.needs_flush = false;
+        Ok(())
+    }
+
+    /// Blocks until the response for `id` is available and returns it.
+    /// Typed failure responses surface as their [`ClientError`] variants
+    /// ([`ClientError::Server`], [`ClientError::TimedOut`],
+    /// [`ClientError::Overloaded`]); the connection stays usable after any
+    /// of them.
+    ///
+    /// # Errors
+    /// As above, plus transport errors.
+    pub fn recv(&mut self, id: u64) -> ClientResult<Response> {
+        let response = loop {
+            if let Some(response) = self.ready.remove(&id) {
+                break response;
+            }
+            if !self.pending.contains(&id) {
+                return Err(ClientError::InvalidRequest(format!(
+                    "request id {id} is not in flight"
+                )));
+            }
+            let (got, response) = self.read_one()?;
+            if got == id {
+                break response;
+            }
+            self.ready.insert(got, response);
+        };
+        match response {
+            Response::Error(m) => Err(ClientError::Server(m)),
+            Response::Timeout { deadline_ms } => Err(ClientError::TimedOut { deadline_ms }),
+            Response::Overloaded { in_flight, limit } => {
+                Err(ClientError::Overloaded { in_flight, limit })
+            }
+            response => Ok(response),
+        }
+    }
+
+    /// Reads the next response frame off the socket (flushing pending
+    /// writes first) and removes its id from the in-flight queue.
+    fn read_one(&mut self) -> ClientResult<(u64, Response)> {
+        if self.needs_flush {
+            self.writer.flush()?;
+            self.needs_flush = false;
+        }
+        match read_frame(&mut self.reader).map_err(ClientError::from)? {
+            None => Err(ClientError::ConnectionClosed),
+            Some(payload) => {
+                let (id, response) = if self.version >= PROTOCOL_V2 {
+                    let (header, body) = FrameHeader::split(&payload)?;
+                    (header.request_id, Response::decode(body)?)
+                } else {
+                    let id = self.pending.front().copied().ok_or_else(|| {
+                        ClientError::InvalidRequest(
+                            "response received with no request in flight".to_string(),
+                        )
+                    })?;
+                    (id, Response::decode(&payload)?)
+                };
+                if let Some(pos) = self.pending.iter().position(|&p| p == id) {
+                    self.pending.remove(pos);
+                }
+                Ok((id, response))
+            }
+        }
+    }
+
+    /// One request/response round trip through the pipeline machinery.
+    ///
+    /// # Errors
+    /// As [`PipelinedClient::recv`].
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        let id = self.submit(request)?;
+        self.recv(id)
+    }
+
+    /// Answers eclipse queries for every box, pipelining `chunk`-sized
+    /// `QueryBatch` requests up to the connection's depth; results come
+    /// back in input order regardless of server-side completion order.
+    ///
+    /// # Errors
+    /// As [`PipelinedClient::recv`].
+    pub fn query_many(
+        &mut self,
+        name: &str,
+        boxes: &[WeightRatioBox],
+        chunk: usize,
+    ) -> ClientResult<Vec<Vec<usize>>> {
+        let chunk = chunk.max(1);
+        let mut ids = Vec::with_capacity(boxes.len().div_ceil(chunk));
+        for probe_chunk in boxes.chunks(chunk) {
+            ids.push(self.submit(&Request::QueryBatch {
+                name: name.to_string(),
+                boxes: wire_boxes(probe_chunk),
+            })?);
+        }
+        let mut out = Vec::with_capacity(boxes.len());
+        for id in ids {
+            match self.recv(id)? {
+                Response::QueryResults(results) => out.extend(
+                    results
+                        .into_iter()
+                        .map(|ids| ids.into_iter().map(|i| i as usize).collect::<Vec<_>>()),
+                ),
+                _ => return Err(ClientError::UnexpectedResponse("QueryResults")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count-only sibling of [`PipelinedClient::query_many`].
+    ///
+    /// # Errors
+    /// As [`PipelinedClient::recv`].
+    pub fn count_many(
+        &mut self,
+        name: &str,
+        boxes: &[WeightRatioBox],
+        chunk: usize,
+    ) -> ClientResult<Vec<usize>> {
+        let chunk = chunk.max(1);
+        let mut ids = Vec::with_capacity(boxes.len().div_ceil(chunk));
+        for probe_chunk in boxes.chunks(chunk) {
+            ids.push(self.submit(&Request::CountBatch {
+                name: name.to_string(),
+                boxes: wire_boxes(probe_chunk),
+            })?);
+        }
+        let mut out = Vec::with_capacity(boxes.len());
+        for id in ids {
+            match self.recv(id)? {
+                Response::Counts(counts) => {
+                    out.extend(counts.into_iter().map(|c| c as usize));
+                }
+                _ => return Err(ClientError::UnexpectedResponse("Counts")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for PipelinedClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelinedClient")
+            .field("peer", &self.reader.get_ref().peer_addr().ok())
+            .field("version", &self.version)
+            .field("pipe_size", &self.pipe_size)
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+/// A blocking connection to an eclipse-serve server: one request in flight
+/// at a time, responses in request order — a depth-1 protocol-v1 wrapper
+/// over [`PipelinedClient`], kept so every pre-pipelining caller compiles
+/// unchanged (and keeps the server's v1 fallback path covered).
+pub struct Client {
+    inner: PipelinedClient,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server (no handshake: the connection speaks v1).
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
+            inner: PipelinedClient::connect_v1(addr, 1)?,
         })
     }
 
     /// One request/response round trip.  Error responses surface as
     /// [`ClientError::Server`]; the connection stays usable afterwards.
     fn call(&mut self, request: &Request) -> ClientResult<Response> {
-        write_frame(&mut self.writer, &request.encode())?;
-        self.writer.flush()?;
-        match read_frame(&mut self.reader)? {
-            None => Err(ClientError::ConnectionClosed),
-            Some(payload) => match Response::decode(&payload)? {
-                Response::Error(message) => Err(ClientError::Server(message)),
-                response => Ok(response),
-            },
-        }
+        self.inner.call(request)
     }
 
     /// Liveness check.
@@ -256,7 +611,7 @@ impl Client {
 impl fmt::Debug for Client {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Client")
-            .field("peer", &self.reader.get_ref().peer_addr().ok())
+            .field("peer", &self.inner.reader.get_ref().peer_addr().ok())
             .finish()
     }
 }

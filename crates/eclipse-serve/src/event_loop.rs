@@ -1,0 +1,730 @@
+//! The readiness-driven server core: one thread owning every socket,
+//! non-blocking I/O, and a completion queue fed by dispatcher workers.
+//!
+//! The previous serving core was thread-per-connection with strictly
+//! serialized request/response pairs — pipelining was structurally
+//! impossible.  This loop replaces it:
+//!
+//! * the listener and every connection socket are **non-blocking**; the loop
+//!   polls them round-robin, with an adaptive backoff (spin → yield →
+//!   `park_timeout`) when nothing is ready, and dispatcher workers `unpark`
+//!   the loop the moment a response is ready (std only — no `epoll`, no
+//!   external crates, no `unsafe`);
+//! * decoded requests are handed to an [`eclipse_exec::Dispatcher`] whose
+//!   workers run [`ServerState::respond`] and push the fully framed response
+//!   bytes onto a [`Completions`] queue; the loop drains that queue into the
+//!   per-connection write buffers.  When the server is otherwise idle, a
+//!   cheap request (`Ping`/`QueryBatch`/`CountBatch`) is answered **inline**
+//!   on the loop thread instead, so the unpipelined round trip pays no
+//!   handoff latency;
+//! * **admission control**: a per-connection in-flight cap (the negotiated
+//!   pipeline depth) and a global cap; a request over either limit is
+//!   answered immediately with [`Response::Overloaded`] — typed, counted,
+//!   connection stays usable;
+//! * **deadlines**: a v2 frame's `deadline_ms` is measured from the read
+//!   that delivered its bytes; a request whose deadline has passed when
+//!   execution would start (inline, at admission, or on the worker) is
+//!   answered with [`Response::Timeout`] instead of being run;
+//! * **v1 ordering**: v1 clients are promised responses in request order, so
+//!   each v1 request carries an internal sequence number and completions
+//!   pass through a reorder buffer before entering the write buffer.  v2
+//!   responses are written in completion order and correlated by the echoed
+//!   request id;
+//! * **graceful drain**: on shutdown the loop closes the listener, stops
+//!   reading, lets every admitted request complete, flushes the write
+//!   buffers, and only then exits (bounded by the configured drain timeout).
+//!   The hard-stop path (`abort`) skips the drain.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use eclipse_exec::Dispatcher;
+
+use crate::protocol::{
+    FrameHeader, Request, Response, MAX_FRAME_LEN, MAX_PROTOCOL_VERSION, PROTOCOL_V2,
+};
+use crate::server::{ServerConfig, ServerState};
+
+/// Idle iterations spent on `yield_now` before the loop starts parking.
+/// Yields keep wake-up latency in the microseconds while any peer thread is
+/// runnable; parking only kicks in once the server has been genuinely idle.
+const IDLE_SPINS_BEFORE_PARK: u32 = 4096;
+
+/// Longest single park; completions `unpark` the loop early, so this bounds
+/// only the latency of events with no waker (new connections, new request
+/// bytes).
+const MAX_PARK: Duration = Duration::from_millis(1);
+
+/// Stop reading from a connection whose un-flushed responses exceed this —
+/// natural backpressure against a peer that sends but does not read.
+const WBUF_SOFT_CAP: usize = 4 << 20;
+
+/// Compact a buffer once its consumed prefix exceeds this.
+const COMPACT_AT: usize = 64 << 10;
+
+/// A finished request: the fully framed wire bytes plus enough routing to
+/// deliver them (connection, v1 sequence number, v2 request id).
+struct Completion {
+    conn_id: u64,
+    seq: u64,
+    request_id: u64,
+    wire: Vec<u8>,
+}
+
+/// The queue dispatcher workers push finished responses onto, plus the
+/// loop's thread handle so a push can `unpark` it out of its backoff.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    loop_thread: Mutex<Option<std::thread::Thread>>,
+}
+
+impl Completions {
+    fn new() -> Completions {
+        Completions {
+            queue: Mutex::new(Vec::new()),
+            loop_thread: Mutex::new(None),
+        }
+    }
+
+    fn push(&self, done: Completion) {
+        self.queue
+            .lock()
+            .expect("completion queue poisoned")
+            .push(done);
+        if let Some(thread) = &*self.loop_thread.lock().expect("loop thread slot poisoned") {
+            thread.unpark();
+        }
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+    }
+}
+
+/// Which framing a connection has settled on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// No frame seen yet: the first frame decides (a `Hello` negotiates,
+    /// anything else locks the connection to v1).
+    Fresh,
+    /// Bare bodies, responses strictly in request order.
+    V1,
+    /// 12-byte [`FrameHeader`] per frame, responses in completion order.
+    V2,
+}
+
+/// Per-connection state owned by the loop thread.
+struct Conn {
+    stream: TcpStream,
+    mode: Mode,
+    /// Negotiated per-connection in-flight cap.
+    pipe_limit: u32,
+    /// Read buffer: bytes `[rpos..]` are un-parsed.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Timestamp of the read that most recently appended to `rbuf`; v2
+    /// deadlines are measured from here.
+    read_at: Instant,
+    /// Write buffer: bytes `[wpos..]` are un-sent.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Requests admitted but not yet answered into `wbuf`.
+    in_flight: u32,
+    /// Mirror of `in_flight` readable by `Stats` workers.
+    depth_gauge: Arc<AtomicU32>,
+    /// v2: ids currently in flight (duplicates are rejected).
+    live_ids: HashSet<u64>,
+    /// v1: next sequence number to assign to an arriving request.
+    next_seq: u64,
+    /// v1: next sequence number the write buffer is waiting for.
+    next_to_send: u64,
+    /// v1: completions that finished ahead of their turn.
+    reorder: BTreeMap<u64, Vec<u8>>,
+    /// No more requests will be read (EOF, broken framing, or drain).
+    closed_read: bool,
+    /// Remove the connection at the next sweep.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, depth_gauge: Arc<AtomicU32>) -> Conn {
+        Conn {
+            stream,
+            mode: Mode::Fresh,
+            pipe_limit: 1,
+            rbuf: Vec::new(),
+            rpos: 0,
+            read_at: Instant::now(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            in_flight: 0,
+            depth_gauge,
+            live_ids: HashSet::new(),
+            next_seq: 0,
+            next_to_send: 0,
+            reorder: BTreeMap::new(),
+            closed_read: false,
+            dead: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    /// True once nothing can ever be written to this connection again.
+    fn finished(&self) -> bool {
+        self.closed_read && self.in_flight == 0 && self.reorder.is_empty() && self.flushed()
+    }
+
+    fn set_in_flight(&mut self, n: u32) {
+        self.in_flight = n;
+        self.depth_gauge.store(n, Ordering::Relaxed);
+    }
+}
+
+/// How to frame a response for its connection.
+#[derive(Clone, Copy)]
+enum Route {
+    /// v1 (and handshake) frames: bare body, delivered through the sequence
+    /// reorder buffer when `seq` ordering applies.
+    V1,
+    /// v2 frames: prepend a [`FrameHeader`] echoing the request id.
+    V2 { request_id: u64 },
+}
+
+/// Frames one response into complete wire bytes (length prefix included).
+/// A response too large for one frame is replaced by a typed error — the
+/// client must not lose the connection over an oversized batch result.
+fn encode_wire(route: Route, response: &Response, state: &ServerState) -> Vec<u8> {
+    let header_len = match route {
+        Route::V1 => 0,
+        Route::V2 { .. } => crate::protocol::V2_HEADER_LEN,
+    };
+    let mut body = response.encode();
+    if header_len + body.len() > MAX_FRAME_LEN as usize {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+        body = Response::Error(format!(
+            "response of {} bytes exceeds the {MAX_FRAME_LEN} byte frame cap; \
+             split the batch into smaller requests",
+            body.len()
+        ))
+        .encode();
+    }
+    let payload_len = (header_len + body.len()) as u32;
+    let mut wire = Vec::with_capacity(4 + payload_len as usize);
+    wire.extend_from_slice(&payload_len.to_le_bytes());
+    if let Route::V2 { request_id } = route {
+        FrameHeader {
+            request_id,
+            deadline_ms: 0,
+        }
+        .encode_into(&mut wire);
+    }
+    wire.extend_from_slice(&body);
+    wire
+}
+
+/// Appends a v1 completion in sequence order: the frame for `seq` enters the
+/// write buffer only after every earlier sequence number has.
+fn push_in_order(conn: &mut Conn, seq: u64, wire: Vec<u8>) {
+    if seq == conn.next_to_send {
+        conn.wbuf.extend_from_slice(&wire);
+        conn.next_to_send += 1;
+        while let Some(next) = conn.reorder.remove(&conn.next_to_send) {
+            conn.wbuf.extend_from_slice(&next);
+            conn.next_to_send += 1;
+        }
+    } else {
+        conn.reorder.insert(seq, wire);
+    }
+}
+
+/// Delivers a response produced on the loop thread (handshakes, rejections,
+/// inline executions): v1 responses consume the next sequence number so they
+/// stay ordered relative to dispatched requests, v2 responses append.
+fn deliver_now(conn: &mut Conn, route: Route, response: &Response, state: &ServerState) {
+    let wire = encode_wire(route, response, state);
+    match route {
+        Route::V1 if conn.mode != Mode::Fresh => {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            push_in_order(conn, seq, wire);
+        }
+        _ => conn.wbuf.extend_from_slice(&wire),
+    }
+}
+
+/// Everything the per-connection handlers need besides the connection map —
+/// split out so the loop can borrow `conns` mutably alongside it.
+struct LoopCtx {
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    dispatcher: Dispatcher,
+    completions: Arc<Completions>,
+}
+
+/// The server core: owns the listener, every connection, and the dispatcher.
+pub(crate) struct EventLoop {
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    ctx: LoopCtx,
+}
+
+impl EventLoop {
+    pub(crate) fn new(
+        listener: TcpListener,
+        state: Arc<ServerState>,
+        config: ServerConfig,
+    ) -> EventLoop {
+        let workers = if config.workers == 0 {
+            state.exec().threads()
+        } else {
+            config.workers
+        };
+        EventLoop {
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_conn_id: 0,
+            ctx: LoopCtx {
+                state,
+                config,
+                dispatcher: Dispatcher::new(workers),
+                completions: Arc::new(Completions::new()),
+            },
+        }
+    }
+
+    /// Runs until `stop` (graceful drain) or `hard_stop` (abort) is set.
+    pub(crate) fn run(mut self, stop: &AtomicBool, hard_stop: &AtomicBool) {
+        *self
+            .ctx
+            .completions
+            .loop_thread
+            .lock()
+            .expect("loop thread slot poisoned") = Some(std::thread::current());
+        let mut scratch = vec![0u8; 64 << 10];
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        let mut idle_iters: u32 = 0;
+        let mut park = Duration::from_micros(50);
+        loop {
+            if hard_stop.load(Ordering::Acquire) {
+                break;
+            }
+            if !draining && stop.load(Ordering::Acquire) {
+                draining = true;
+                drain_deadline = Instant::now() + self.ctx.config.drain_timeout;
+                // Closing the listener refuses new connections at the OS
+                // level; existing connections stop being read below.
+                self.listener = None;
+                for conn in self.conns.values_mut() {
+                    conn.closed_read = true;
+                }
+            }
+            let mut progress = false;
+
+            // 1. Finished requests → write buffers (v1 via the reorder
+            //    buffer, v2 straight through).
+            for done in self.ctx.completions.take() {
+                progress = true;
+                self.ctx.state.in_flight.fetch_sub(1, Ordering::Relaxed);
+                if let Some(conn) = self.conns.get_mut(&done.conn_id) {
+                    conn.set_in_flight(conn.in_flight.saturating_sub(1));
+                    match conn.mode {
+                        Mode::V2 => {
+                            conn.live_ids.remove(&done.request_id);
+                            conn.wbuf.extend_from_slice(&done.wire);
+                        }
+                        _ => push_in_order(conn, done.seq, done.wire),
+                    }
+                }
+            }
+
+            // 2. New connections.
+            if let Some(listener) = &self.listener {
+                while self.conns.len() < self.ctx.config.max_connections {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            progress = true;
+                            if stream.set_nonblocking(true).is_err()
+                                || stream.set_nodelay(true).is_err()
+                            {
+                                continue;
+                            }
+                            let id = self.next_conn_id;
+                            self.next_conn_id += 1;
+                            let gauge = self.ctx.state.register_conn(id);
+                            self.conns.insert(id, Conn::new(stream, gauge));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            // 3. Per-connection I/O: read + parse + admit, then flush.
+            let ctx = &self.ctx;
+            for (&id, conn) in self.conns.iter_mut() {
+                progress |= service_conn(ctx, id, conn, &mut scratch);
+            }
+
+            // 4. Reap connections with nothing left to do.
+            let state = &self.ctx.state;
+            self.conns.retain(|id, conn| {
+                let keep = !conn.dead && !conn.finished();
+                if !keep {
+                    state.unregister_conn(*id);
+                }
+                keep
+            });
+
+            // 5. Drain exit: every admitted request answered and flushed.
+            if draining {
+                let quiet = self.ctx.state.in_flight.load(Ordering::Relaxed) == 0
+                    && self.conns.values().all(Conn::flushed);
+                if quiet || Instant::now() >= drain_deadline {
+                    break;
+                }
+            }
+
+            // 6. Backoff: spin while traffic is hot, park when idle.
+            if progress {
+                idle_iters = 0;
+                park = Duration::from_micros(50);
+            } else {
+                idle_iters = idle_iters.saturating_add(1);
+                if idle_iters < IDLE_SPINS_BEFORE_PARK {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::park_timeout(park);
+                    park = (park * 2).min(MAX_PARK);
+                }
+            }
+        }
+        // Teardown: close sockets first so clients see EOF promptly, then
+        // stop the workers (graceful drain already emptied the queue; the
+        // hard path drops whatever is left).
+        self.conns.clear();
+        self.ctx.dispatcher.shutdown_now();
+    }
+}
+
+/// One connection's turn: pull bytes, parse complete frames, admit or
+/// reject each request, then push out whatever is writable.  Returns
+/// whether anything happened (for the loop's backoff).
+fn service_conn(ctx: &LoopCtx, id: u64, conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    let mut progress = false;
+    if !conn.closed_read && !conn.dead && conn.wbuf.len() - conn.wpos < WBUF_SOFT_CAP {
+        progress |= read_some(conn, scratch);
+        loop {
+            match take_frame(conn) {
+                Ok(Some(payload)) => handle_frame(ctx, id, conn, &payload),
+                Ok(None) => break,
+                Err(len) => {
+                    // The length prefix itself is garbage: the byte stream
+                    // can no longer be trusted.  Best-effort typed error,
+                    // then close once it (and any pending work) flushes.
+                    ctx.state.errors.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::Error(format!("frame of {len} bytes exceeds the cap"));
+                    let route = match conn.mode {
+                        Mode::V2 => Route::V2 { request_id: 0 },
+                        _ => Route::V1,
+                    };
+                    deliver_now(conn, route, &response, &ctx.state);
+                    conn.closed_read = true;
+                    break;
+                }
+            }
+        }
+    }
+    progress |= flush_some(conn);
+    progress
+}
+
+/// Non-blocking read into the connection's buffer until the socket would
+/// block.  EOF and errors mark the read side closed.
+fn read_some(conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    let mut any = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.closed_read = true;
+                break;
+            }
+            Ok(n) => {
+                any = true;
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if any {
+        conn.read_at = Instant::now();
+    }
+    any
+}
+
+/// Writes as much of the pending output as the socket accepts.
+fn flush_some(conn: &mut Conn) -> bool {
+    let mut any = false;
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                any = true;
+                conn.wpos += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > COMPACT_AT {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    any
+}
+
+/// Extracts the next complete frame payload, or `Err(len)` when the length
+/// prefix exceeds the cap (framing is broken beyond recovery).
+fn take_frame(conn: &mut Conn) -> Result<Option<Vec<u8>>, u64> {
+    let avail = conn.rbuf.len() - conn.rpos;
+    if avail < 4 {
+        return Ok(None);
+    }
+    let len_bytes: [u8; 4] = conn.rbuf[conn.rpos..conn.rpos + 4]
+        .try_into()
+        .expect("4-byte slice");
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(u64::from(len));
+    }
+    let len = len as usize;
+    if avail < 4 + len {
+        return Ok(None);
+    }
+    let start = conn.rpos + 4;
+    let payload = conn.rbuf[start..start + len].to_vec();
+    conn.rpos = start + len;
+    if conn.rpos == conn.rbuf.len() {
+        conn.rbuf.clear();
+        conn.rpos = 0;
+    } else if conn.rpos > COMPACT_AT {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+    Ok(Some(payload))
+}
+
+/// Decodes one frame under the connection's mode and admits the request.
+fn handle_frame(ctx: &LoopCtx, id: u64, conn: &mut Conn, payload: &[u8]) {
+    match conn.mode {
+        Mode::Fresh => match Request::decode(payload) {
+            Ok(Request::Hello {
+                max_version,
+                pipe_size,
+            }) => {
+                let version = max_version.clamp(1, MAX_PROTOCOL_VERSION);
+                let granted = pipe_size.clamp(1, ctx.config.max_pipeline);
+                conn.mode = if version >= PROTOCOL_V2 {
+                    Mode::V2
+                } else {
+                    Mode::V1
+                };
+                conn.pipe_limit = granted;
+                let ack = Response::HelloAck {
+                    version,
+                    pipe_size: granted,
+                    max_frame_len: MAX_FRAME_LEN,
+                };
+                // The ack itself is always v1-framed: the client only
+                // switches framing after reading it.
+                conn.wbuf
+                    .extend_from_slice(&encode_wire(Route::V1, &ack, &ctx.state));
+            }
+            decoded => {
+                // Any non-Hello first frame locks the connection to v1.
+                conn.mode = Mode::V1;
+                conn.pipe_limit = ctx.config.max_pipeline;
+                finish_decoded(ctx, id, conn, decoded, Route::V1, 0);
+            }
+        },
+        Mode::V1 => finish_decoded(ctx, id, conn, Request::decode(payload), Route::V1, 0),
+        Mode::V2 => match FrameHeader::split(payload) {
+            Ok((header, body)) => {
+                if !conn.live_ids.is_empty() && conn.live_ids.contains(&header.request_id) {
+                    ctx.state.errors.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::Error(format!(
+                        "request id {} is already in flight on this connection",
+                        header.request_id
+                    ));
+                    deliver_now(
+                        conn,
+                        Route::V2 {
+                            request_id: header.request_id,
+                        },
+                        &response,
+                        &ctx.state,
+                    );
+                    return;
+                }
+                finish_decoded(
+                    ctx,
+                    id,
+                    conn,
+                    Request::decode(body),
+                    Route::V2 {
+                        request_id: header.request_id,
+                    },
+                    header.deadline_ms,
+                );
+            }
+            Err(_) => {
+                // Shorter than a v2 header: framing is out of sync; close.
+                ctx.state.errors.fetch_add(1, Ordering::Relaxed);
+                let response =
+                    Response::Error("v2 frame shorter than its 12-byte header".to_string());
+                deliver_now(conn, Route::V2 { request_id: 0 }, &response, &ctx.state);
+                conn.closed_read = true;
+            }
+        },
+    }
+}
+
+/// Admission for one decoded request: malformed → typed error; over a cap →
+/// `Overloaded`; expired → `Timeout`; otherwise run inline (idle fast path)
+/// or dispatch to a worker.
+fn finish_decoded(
+    ctx: &LoopCtx,
+    id: u64,
+    conn: &mut Conn,
+    decoded: Result<Request, crate::protocol::ProtocolError>,
+    route: Route,
+    deadline_ms: u32,
+) {
+    let request = match decoded {
+        Ok(request) => request,
+        Err(e) => {
+            ctx.state.errors.fetch_add(1, Ordering::Relaxed);
+            let response = Response::Error(format!("malformed request: {e}"));
+            deliver_now(conn, route, &response, &ctx.state);
+            return;
+        }
+    };
+    // Per-connection, then global admission control.
+    if conn.in_flight >= conn.pipe_limit {
+        ctx.state.rejected.fetch_add(1, Ordering::Relaxed);
+        let response = Response::Overloaded {
+            in_flight: conn.in_flight,
+            limit: conn.pipe_limit,
+        };
+        deliver_now(conn, route, &response, &ctx.state);
+        return;
+    }
+    let global = ctx.state.in_flight.load(Ordering::Relaxed);
+    if global >= u64::from(ctx.config.max_in_flight) {
+        ctx.state.rejected.fetch_add(1, Ordering::Relaxed);
+        let response = Response::Overloaded {
+            in_flight: global.min(u64::from(u32::MAX)) as u32,
+            limit: ctx.config.max_in_flight,
+        };
+        deliver_now(conn, route, &response, &ctx.state);
+        return;
+    }
+    let deadline =
+        (deadline_ms > 0).then(|| conn.read_at + Duration::from_millis(u64::from(deadline_ms)));
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        ctx.state.timeouts.fetch_add(1, Ordering::Relaxed);
+        let response = Response::Timeout { deadline_ms };
+        deliver_now(conn, route, &response, &ctx.state);
+        return;
+    }
+    // Idle fast path: with nothing in flight anywhere, answering on the
+    // loop thread skips two thread handoffs — this is what keeps the
+    // unpipelined (depth-1) round trip as fast as the old blocking core.
+    if ctx.config.inline_fast_path
+        && global == 0
+        && matches!(
+            request,
+            Request::Ping | Request::QueryBatch { .. } | Request::CountBatch { .. }
+        )
+    {
+        let response = ctx.state.respond(request);
+        deliver_now(conn, route, &response, &ctx.state);
+        return;
+    }
+    // Dispatch: the worker frames the response and pushes it onto the
+    // completion queue, which unparks the loop.
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let request_id = match route {
+        Route::V1 => 0,
+        Route::V2 { request_id } => {
+            conn.live_ids.insert(request_id);
+            request_id
+        }
+    };
+    conn.set_in_flight(conn.in_flight + 1);
+    ctx.state.in_flight.fetch_add(1, Ordering::Relaxed);
+    let state = Arc::clone(&ctx.state);
+    let completions = Arc::clone(&ctx.completions);
+    let submitted = ctx.dispatcher.submit(move || {
+        let response = match deadline {
+            Some(d) if Instant::now() >= d => {
+                state.timeouts.fetch_add(1, Ordering::Relaxed);
+                Response::Timeout { deadline_ms }
+            }
+            _ => state.respond(request),
+        };
+        let wire = encode_wire(route, &response, &state);
+        completions.push(Completion {
+            conn_id: id,
+            seq,
+            request_id,
+            wire,
+        });
+    });
+    if !submitted {
+        // Shutting down between the drain decision and this frame: answer
+        // typed instead of going silent.
+        ctx.state.in_flight.fetch_sub(1, Ordering::Relaxed);
+        conn.set_in_flight(conn.in_flight.saturating_sub(1));
+        if let Route::V2 { request_id } = route {
+            conn.live_ids.remove(&request_id);
+        }
+        ctx.state.errors.fetch_add(1, Ordering::Relaxed);
+        let wire = encode_wire(
+            route,
+            &Response::Error("server is shutting down".to_string()),
+            &ctx.state,
+        );
+        match route {
+            Route::V1 => push_in_order(conn, seq, wire),
+            Route::V2 { .. } => conn.wbuf.extend_from_slice(&wire),
+        }
+    }
+}

@@ -8,22 +8,34 @@
 //! * [`protocol`] — a length-prefixed binary wire protocol with a tiny
 //!   hand-rolled codec (std only, no serde): `LoadDataset`, `BuildIndex`,
 //!   `QueryBatch`, `CountBatch`, `SaveIndex`, `RestoreIndex`, `Ping` and
-//!   `Stats` requests with their responses.  Decoding is total — garbage
-//!   bytes become [`protocol::ProtocolError`] values, never panics or
-//!   oversized allocations;
-//! * [`server`] — a framed-TCP server holding one
-//!   [`eclipse_core::EclipseEngine`] per registered dataset, all sharing one
-//!   `eclipse-exec` pool.  Datasets are warmed (index built) at
-//!   registration, and batches route through the engine's zero-allocation
-//!   batched probe paths (`eclipse_query_batch` / `eclipse_count_batch`).
+//!   `Stats` requests with their responses.  Two framings share the
+//!   envelope: v1 (bare body, responses in request order) and v2 (a
+//!   `request_id`/`deadline_ms` header per frame, responses multiplexed
+//!   out of order), negotiated by a `Hello` handshake on the first frame —
+//!   connections that skip it stay on v1 unchanged.  Decoding is total —
+//!   garbage bytes become [`protocol::ProtocolError`] values, never panics
+//!   or oversized allocations;
+//! * [`server`] — a readiness-driven event-loop server (non-blocking
+//!   sockets, one loop thread, a FIFO worker pool; std only, no async
+//!   runtime) holding one [`eclipse_core::EclipseEngine`] per registered
+//!   dataset, all sharing one `eclipse-exec` pool.  Datasets are warmed
+//!   (index built) at registration, and batches route through the engine's
+//!   zero-allocation batched probe paths (`eclipse_query_batch` /
+//!   `eclipse_count_batch`).  Flow control is typed end to end: per-request
+//!   deadlines answered with `Timeout`, per-connection and global in-flight
+//!   caps answered with `Overloaded`, and graceful shutdown that drains
+//!   admitted requests before closing ([`ServerConfig`] holds the knobs).
 //!   With a snapshot directory configured (`--snapshot-dir`), `SaveIndex`
 //!   persists versioned dataset+index snapshots and a restarted server
 //!   warm-loads them instead of rebuilding;
-//! * [`client`] — a small blocking client used by the integration tests,
-//!   the examples and the `experiments -- serve` throughput sweep.
+//! * [`client`] — the pipelining [`PipelinedClient`] (protocol v2, up to
+//!   `pipe_size` requests in flight, replies correlated by request id) and
+//!   the blocking [`Client`], a depth-1 v1 wrapper over the same machinery
+//!   used by the integration tests, the examples and the
+//!   `experiments -- serve` throughput sweeps.
 //!
 //! The `eclipse-serve` binary (this crate's `src/main.rs`) wraps
-//! [`server::Server`] with address/thread/preload flags.
+//! [`server::Server`] with address/thread/flow-control/preload flags.
 //!
 //! # Example (in-process round trip)
 //!
@@ -60,9 +72,10 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod client;
+mod event_loop;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, PipelinedClient};
 pub use protocol::{IndexKind, Request, Response, StatsReport};
-pub use server::{Server, ServerHandle, SnapshotScan};
+pub use server::{Server, ServerConfig, ServerHandle, SnapshotScan};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eclipse-serve [--addr HOST:PORT] [--threads N] [--snapshot-dir DIR]
+//!               [--max-pipeline N] [--max-inflight N]
 //!               [--preload NAME=FAMILY:N:D:SEED]...
 //! ```
 //!
@@ -16,19 +17,26 @@
 //! * `--preload` — registers a synthetic dataset before serving, e.g.
 //!   `--preload inde=inde:8192:3:42` (families: `corr`, `inde`, `anti`).
 //!   Repeatable.  Remote clients can always register datasets with
-//!   `LoadDataset`.
+//!   `LoadDataset`;
+//! * `--max-pipeline` — per-connection in-flight cap (the largest pipeline
+//!   depth a `Hello` can negotiate; default 128);
+//! * `--max-inflight` — global in-flight cap across all connections
+//!   (default 1024).  Requests over either cap are rejected with a typed
+//!   `Overloaded` response instead of queueing unboundedly.
 
 use std::process::ExitCode;
 
 use eclipse_core::exec::ExecutionContext;
 use eclipse_data::synthetic::{Distribution, SyntheticConfig};
 use eclipse_serve::protocol::IndexKind;
-use eclipse_serve::server::Server;
+use eclipse_serve::server::{Server, ServerConfig};
 
 struct Options {
     addr: String,
     threads: Option<usize>,
     snapshot_dir: Option<std::path::PathBuf>,
+    max_pipeline: Option<u32>,
+    max_in_flight: Option<u32>,
     preloads: Vec<(String, Distribution, usize, usize, u64)>,
 }
 
@@ -45,7 +53,14 @@ fn main() -> ExitCode {
         None => ExecutionContext::default(),
     };
     let threads = exec.threads();
-    let server = match Server::bind(&opts.addr, exec) {
+    let mut config = ServerConfig::default();
+    if let Some(cap) = opts.max_pipeline {
+        config.max_pipeline = cap;
+    }
+    if let Some(cap) = opts.max_in_flight {
+        config.max_in_flight = cap;
+    }
+    let server = match Server::bind_with_config(&opts.addr, exec, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("eclipse-serve: cannot bind {}: {e}", opts.addr);
@@ -106,6 +121,8 @@ fn parse_args() -> Result<Options, String> {
         addr: "127.0.0.1:7878".to_string(),
         threads: None,
         snapshot_dir: None,
+        max_pipeline: None,
+        max_in_flight: None,
         preloads: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -128,13 +145,38 @@ fn parse_args() -> Result<Options, String> {
                 let dir = args.next().ok_or("--snapshot-dir needs a directory")?;
                 opts.snapshot_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--max-pipeline" => {
+                let raw = args
+                    .next()
+                    .ok_or("--max-pipeline needs a positive integer")?;
+                let cap: u32 = raw
+                    .parse()
+                    .map_err(|_| format!("--max-pipeline: {raw:?} is not an integer"))?;
+                if cap == 0 {
+                    return Err("--max-pipeline must be positive".to_string());
+                }
+                opts.max_pipeline = Some(cap);
+            }
+            "--max-inflight" => {
+                let raw = args
+                    .next()
+                    .ok_or("--max-inflight needs a positive integer")?;
+                let cap: u32 = raw
+                    .parse()
+                    .map_err(|_| format!("--max-inflight: {raw:?} is not an integer"))?;
+                if cap == 0 {
+                    return Err("--max-inflight must be positive".to_string());
+                }
+                opts.max_in_flight = Some(cap);
+            }
             "--preload" => {
                 let spec = args.next().ok_or("--preload needs NAME=FAMILY:N:D:SEED")?;
                 opts.preloads.push(parse_preload(&spec)?);
             }
             "--help" | "-h" => {
                 return Err("usage: eclipse-serve [--addr HOST:PORT] [--threads N] \
-                     [--snapshot-dir DIR] [--preload NAME=FAMILY:N:D:SEED]..."
+                     [--snapshot-dir DIR] [--max-pipeline N] [--max-inflight N] \
+                     [--preload NAME=FAMILY:N:D:SEED]..."
                     .to_string());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),

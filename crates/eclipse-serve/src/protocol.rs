@@ -6,8 +6,10 @@
 //! Every message — request or response — travels as one frame:
 //!
 //! ```text
-//! frame   := len:u32le payload[len]
-//! payload := tag:u8 body
+//! frame      := len:u32le payload[len]
+//! payload    := body                                        (protocol v1)
+//! payload    := request_id:u64le deadline_ms:u32le body     (protocol v2)
+//! body       := tag:u8 fields
 //! ```
 //!
 //! `len` counts the payload bytes only and must not exceed
@@ -16,6 +18,30 @@
 //! pattern in `u64le` (so infinities and signed zeros round-trip exactly).
 //! A `string` is `u32le` length + UTF-8 bytes; every list is `u32le`
 //! element count + elements.
+//!
+//! # Versions and the handshake
+//!
+//! A connection starts in **protocol v1**: frames carry a bare body, one
+//! request is answered by one response, and responses arrive in request
+//! order.  A client that wants to pipeline sends [`Request::Hello`] as its
+//! **first** frame (still v1-framed); the server answers
+//! [`Response::HelloAck`] with the negotiated version and pipeline depth.
+//! When the negotiated version is [`PROTOCOL_V2`], every subsequent frame in
+//! both directions carries a 12-byte [`FrameHeader`] before the body:
+//!
+//! * `request_id` — chosen by the client, echoed verbatim in the response,
+//!   so responses may return **out of order** and the client correlates by
+//!   id (ids must be unique among a connection's in-flight requests);
+//! * `deadline_ms` — a relative per-request deadline in milliseconds
+//!   (0 = none), measured from frame receipt and enforced server-side: a
+//!   request still waiting when its deadline passes is answered with
+//!   [`Response::Timeout`] instead of being executed.  Responses always
+//!   carry 0.
+//!
+//! A client that never sends `Hello` keeps speaking v1 indefinitely — the
+//! server detects the mode from the first frame, and v1 responses are
+//! delivered strictly in request order even when the server completes them
+//! out of order internally.
 //!
 //! # Robustness
 //!
@@ -34,6 +60,69 @@ use eclipse_core::index::IntersectionIndexKind;
 /// Hard upper bound on a frame payload (64 MiB): a corrupted or hostile
 /// length prefix is rejected before any buffer is allocated.
 pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// The original protocol: bare bodies, strictly ordered responses.
+pub const PROTOCOL_V1: u32 = 1;
+
+/// The pipelined protocol: every frame carries a [`FrameHeader`]
+/// (request id + deadline) and responses may return out of order.
+pub const PROTOCOL_V2: u32 = 2;
+
+/// The newest protocol version this build speaks.
+pub const MAX_PROTOCOL_VERSION: u32 = PROTOCOL_V2;
+
+/// Byte length of the v2 per-frame header.
+pub const V2_HEADER_LEN: usize = 12;
+
+/// The per-frame header of a [`PROTOCOL_V2`] payload: the client-chosen
+/// request id (echoed in the response) and the relative request deadline in
+/// milliseconds (0 = no deadline; always 0 in responses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Relative deadline in milliseconds from frame receipt; 0 disables.
+    pub deadline_ms: u32,
+}
+
+impl FrameHeader {
+    /// Appends the 12 header bytes to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.request_id.to_le_bytes());
+        buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+    }
+
+    /// Splits a v2 payload into its header and the body bytes.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Truncated`] when the payload is shorter than the
+    /// header.
+    pub fn split(payload: &[u8]) -> ProtocolResult<(FrameHeader, &[u8])> {
+        if payload.len() < V2_HEADER_LEN {
+            return Err(ProtocolError::Truncated {
+                needed: V2_HEADER_LEN,
+                remaining: payload.len(),
+            });
+        }
+        let request_id = u64::from_le_bytes(payload[..8].try_into().expect("8-byte slice"));
+        let deadline_ms = u32::from_le_bytes(payload[8..12].try_into().expect("4-byte slice"));
+        Ok((
+            FrameHeader {
+                request_id,
+                deadline_ms,
+            },
+            &payload[V2_HEADER_LEN..],
+        ))
+    }
+
+    /// Encodes a full v2 payload: this header followed by `body`.
+    pub fn with_body(&self, body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(V2_HEADER_LEN + body.len());
+        self.encode_into(&mut buf);
+        buf.extend_from_slice(body);
+        buf
+    }
+}
 
 /// Everything that can go wrong while framing or decoding a message.
 #[derive(Debug)]
@@ -151,6 +240,19 @@ pub type WireBox = Vec<(f64, f64)>;
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
+    /// Version/pipelining handshake; must be the **first** frame of a
+    /// connection (v1-framed).  The server answers [`Response::HelloAck`]
+    /// with `version = min(max_version, MAX_PROTOCOL_VERSION)` and the
+    /// granted pipeline depth; every later frame then uses the negotiated
+    /// framing.  A `Hello` after the first frame is answered with an error
+    /// and the connection keeps its established mode.
+    Hello {
+        /// Highest protocol version the client speaks.
+        max_version: u32,
+        /// Pipeline depth (in-flight requests) the client would like; the
+        /// server clamps it to its own per-connection limit.
+        pipe_size: u32,
+    },
     /// Liveness check.
     Ping,
     /// Registers (or replaces) a dataset: `coords` is row-major with `dim`
@@ -277,6 +379,18 @@ pub struct StatsReport {
     pub probes: u64,
     /// Requests that ended in an error response.
     pub errors: u64,
+    /// Requests admitted but not yet answered at the time of the stats call
+    /// (includes the stats request itself when it went through the queue).
+    pub in_flight: u64,
+    /// Requests answered with [`Response::Timeout`] because their deadline
+    /// passed before execution started.
+    pub timeouts: u64,
+    /// Requests rejected with [`Response::Overloaded`] by the per-connection
+    /// or global in-flight caps.
+    pub rejected: u64,
+    /// In-flight queue depth of every open connection at the time of the
+    /// stats call, sorted descending.
+    pub conn_queue_depths: Vec<u32>,
     /// One entry per registered dataset, sorted by name.
     pub datasets: Vec<DatasetStats>,
 }
@@ -284,6 +398,16 @@ pub struct StatsReport {
 /// A server response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
+    /// Reply to [`Request::Hello`]: the negotiated protocol version, the
+    /// granted pipeline depth, and the server's frame cap.
+    HelloAck {
+        /// Negotiated version: `min(client max, MAX_PROTOCOL_VERSION)`.
+        version: u32,
+        /// Granted per-connection pipeline depth (in-flight requests).
+        pipe_size: u32,
+        /// The server's [`MAX_FRAME_LEN`].
+        max_frame_len: u32,
+    },
     /// Reply to [`Request::Ping`].
     Pong,
     /// Reply to [`Request::LoadDataset`].
@@ -301,6 +425,21 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(StatsReport),
+    /// The request's `deadline_ms` passed before execution started; the
+    /// request was **not** executed and the connection stays usable.
+    Timeout {
+        /// The deadline the request carried.
+        deadline_ms: u32,
+    },
+    /// The request was rejected by admission control (per-connection or
+    /// global in-flight cap); nothing was executed and the connection stays
+    /// usable — back off and resubmit.
+    Overloaded {
+        /// In-flight requests counted against the breached cap.
+        in_flight: u32,
+        /// The cap that was breached.
+        limit: u32,
+    },
     /// Any request that failed; the connection stays usable.
     Error(String),
 }
@@ -507,12 +646,21 @@ const REQ_COUNT_BATCH: u8 = 0x04;
 const REQ_STATS: u8 = 0x05;
 const REQ_SAVE_INDEX: u8 = 0x06;
 const REQ_RESTORE_INDEX: u8 = 0x07;
+const REQ_HELLO: u8 = 0x08;
 
 impl Request {
     /// Serializes the request into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
+            Request::Hello {
+                max_version,
+                pipe_size,
+            } => {
+                put_u8(&mut buf, REQ_HELLO);
+                put_u32(&mut buf, *max_version);
+                put_u32(&mut buf, *pipe_size);
+            }
             Request::Ping => put_u8(&mut buf, REQ_PING),
             Request::LoadDataset {
                 name,
@@ -567,6 +715,10 @@ impl Request {
     pub fn decode(payload: &[u8]) -> ProtocolResult<Request> {
         let mut r = Reader::new(payload);
         let req = match r.u8()? {
+            REQ_HELLO => Request::Hello {
+                max_version: r.u32()?,
+                pipe_size: r.u32()?,
+            },
             REQ_PING => Request::Ping,
             REQ_LOAD_DATASET => {
                 let name = r.str()?;
@@ -626,6 +778,9 @@ const RESP_QUERY_RESULTS: u8 = 0x83;
 const RESP_COUNTS: u8 = 0x84;
 const RESP_STATS: u8 = 0x85;
 const RESP_SNAPSHOT_SAVED: u8 = 0x86;
+const RESP_HELLO_ACK: u8 = 0x87;
+const RESP_TIMEOUT: u8 = 0x88;
+const RESP_OVERLOADED: u8 = 0x89;
 const RESP_ERROR: u8 = 0xff;
 
 impl Response {
@@ -633,6 +788,16 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
+            Response::HelloAck {
+                version,
+                pipe_size,
+                max_frame_len,
+            } => {
+                put_u8(&mut buf, RESP_HELLO_ACK);
+                put_u32(&mut buf, *version);
+                put_u32(&mut buf, *pipe_size);
+                put_u32(&mut buf, *max_frame_len);
+            }
             Response::Pong => put_u8(&mut buf, RESP_PONG),
             Response::DatasetLoaded(s) => {
                 put_u8(&mut buf, RESP_DATASET_LOADED);
@@ -670,12 +835,28 @@ impl Response {
                 put_u8(&mut buf, RESP_SNAPSHOT_SAVED);
                 put_u64(&mut buf, *bytes);
             }
+            Response::Timeout { deadline_ms } => {
+                put_u8(&mut buf, RESP_TIMEOUT);
+                put_u32(&mut buf, *deadline_ms);
+            }
+            Response::Overloaded { in_flight, limit } => {
+                put_u8(&mut buf, RESP_OVERLOADED);
+                put_u32(&mut buf, *in_flight);
+                put_u32(&mut buf, *limit);
+            }
             Response::Stats(report) => {
                 put_u8(&mut buf, RESP_STATS);
                 put_u64(&mut buf, report.query_batches);
                 put_u64(&mut buf, report.count_batches);
                 put_u64(&mut buf, report.probes);
                 put_u64(&mut buf, report.errors);
+                put_u64(&mut buf, report.in_flight);
+                put_u64(&mut buf, report.timeouts);
+                put_u64(&mut buf, report.rejected);
+                put_u32(&mut buf, report.conn_queue_depths.len() as u32);
+                for &depth in &report.conn_queue_depths {
+                    put_u32(&mut buf, depth);
+                }
                 put_u32(&mut buf, report.datasets.len() as u32);
                 for d in &report.datasets {
                     put_str(&mut buf, &d.name);
@@ -704,6 +885,18 @@ impl Response {
     pub fn decode(payload: &[u8]) -> ProtocolResult<Response> {
         let mut r = Reader::new(payload);
         let resp = match r.u8()? {
+            RESP_HELLO_ACK => Response::HelloAck {
+                version: r.u32()?,
+                pipe_size: r.u32()?,
+                max_frame_len: r.u32()?,
+            },
+            RESP_TIMEOUT => Response::Timeout {
+                deadline_ms: r.u32()?,
+            },
+            RESP_OVERLOADED => Response::Overloaded {
+                in_flight: r.u32()?,
+                limit: r.u32()?,
+            },
             RESP_PONG => Response::Pong,
             RESP_DATASET_LOADED => Response::DatasetLoaded(DatasetSummary {
                 points: r.u64()?,
@@ -745,6 +938,14 @@ impl Response {
                 let count_batches = r.u64()?;
                 let probes = r.u64()?;
                 let errors = r.u64()?;
+                let in_flight = r.u64()?;
+                let timeouts = r.u64()?;
+                let rejected = r.u64()?;
+                let depths = r.count(4)?;
+                let mut conn_queue_depths = Vec::with_capacity(depths);
+                for _ in 0..depths {
+                    conn_queue_depths.push(r.u32()?);
+                }
                 let n = r.count(32)?;
                 let mut datasets = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -764,6 +965,10 @@ impl Response {
                     count_batches,
                     probes,
                     errors,
+                    in_flight,
+                    timeouts,
+                    rejected,
+                    conn_queue_depths,
                     datasets,
                 })
             }
@@ -789,6 +994,10 @@ mod tests {
         for req in [
             Request::Ping,
             Request::Stats,
+            Request::Hello {
+                max_version: MAX_PROTOCOL_VERSION,
+                pipe_size: 64,
+            },
             Request::BuildIndex {
                 name: "hotels".to_string(),
                 kind: IndexKind::CuttingTree,
@@ -817,10 +1026,63 @@ mod tests {
             Response::QueryResults(vec![vec![0, 1, 2], vec![]]),
             Response::Counts(vec![3, 0, 7]),
             Response::SnapshotSaved { bytes: 4096 },
+            Response::HelloAck {
+                version: PROTOCOL_V2,
+                pipe_size: 32,
+                max_frame_len: MAX_FRAME_LEN,
+            },
+            Response::Timeout { deadline_ms: 25 },
+            Response::Overloaded {
+                in_flight: 64,
+                limit: 64,
+            },
             Response::Error("boom".to_string()),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn v2_headers_round_trip_and_reject_short_payloads() {
+        let header = FrameHeader {
+            request_id: 0xdead_beef_0042,
+            deadline_ms: 1500,
+        };
+        let body = Request::Ping.encode();
+        let payload = header.with_body(&body);
+        assert_eq!(payload.len(), V2_HEADER_LEN + body.len());
+        let (decoded, rest) = FrameHeader::split(&payload).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(rest, &body[..]);
+
+        // Shorter than the header: a typed truncation, never a panic.
+        for cut in 0..V2_HEADER_LEN {
+            assert!(matches!(
+                FrameHeader::split(&payload[..cut]),
+                Err(ProtocolError::Truncated { .. })
+            ));
+        }
+        // Header with an empty body splits cleanly (the body decode then
+        // reports its own truncation).
+        let (decoded, rest) = FrameHeader::split(&payload[..V2_HEADER_LEN]).unwrap();
+        assert_eq!(decoded, header);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn stats_report_round_trips_flow_control_fields() {
+        let resp = Response::Stats(StatsReport {
+            query_batches: 10,
+            count_batches: 3,
+            probes: 999,
+            errors: 2,
+            in_flight: 17,
+            timeouts: 4,
+            rejected: 9,
+            conn_queue_depths: vec![16, 5, 0],
+            datasets: vec![],
+        });
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The framed-TCP server: per-dataset [`EclipseEngine`] instances behind one
 //! shared execution context, request dispatch, and connection plumbing.
 //!
-//! Every connection gets its own handler thread, but all engines share one
-//! `eclipse-exec` pool (the [`ExecutionContext`] the server was bound with),
-//! so a `QueryBatch` fans its probes out over the same workers regardless of
-//! which connection it arrived on — the steady-state request path is
-//! [`EclipseEngine::eclipse_query_batch`] (locality-sorted probes, one
-//! `ProbeScratch` per worker, zero allocations per probe) and
-//! [`EclipseEngine::eclipse_count_batch`] for cardinality-only probes.
+//! All sockets are owned by one readiness-driven event loop (see the
+//! `event_loop` module) that parses frames, enforces admission control and
+//! deadlines, and hands decoded requests to a pool of dispatcher workers.
+//! Every engine shares one `eclipse-exec` pool (the [`ExecutionContext`] the
+//! server was bound with), so a `QueryBatch` fans its probes out over the
+//! same workers regardless of which connection it arrived on — the
+//! steady-state request path is [`EclipseEngine::eclipse_query_batch`]
+//! (locality-sorted probes, one `ProbeScratch` per worker, zero allocations
+//! per probe) and [`EclipseEngine::eclipse_count_batch`] for cardinality-only
+//! probes.
 //!
 //! Datasets are registered with [`Request::LoadDataset`] (or in-process with
 //! [`Server::register_dataset`]) and warmed at registration: the requested
@@ -15,21 +18,22 @@
 //! first batch never pays construction latency.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use eclipse_core::exec::{ExecutionContext, QueryOptions};
 use eclipse_core::index::IntersectionIndexKind;
 use eclipse_core::point::Point;
 use eclipse_core::{EclipseEngine, EclipseError, WeightRatioBox};
 
+use crate::event_loop::EventLoop;
 use crate::protocol::{
-    read_frame, write_frame, DatasetStats, DatasetSummary, IndexKind, IndexSummary, ProtocolError,
-    Request, Response, StatsReport, WireBox, MAX_FRAME_LEN,
+    DatasetStats, DatasetSummary, IndexKind, IndexSummary, Request, Response, StatsReport, WireBox,
 };
 
 /// Shared server state: the dataset registry, the execution context every
@@ -43,7 +47,16 @@ pub(crate) struct ServerState {
     query_batches: AtomicU64,
     count_batches: AtomicU64,
     probes: AtomicU64,
-    errors: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    /// Requests admitted by the event loop but not yet answered.
+    pub(crate) in_flight: AtomicU64,
+    /// Requests answered with [`Response::Timeout`].
+    pub(crate) timeouts: AtomicU64,
+    /// Requests rejected with [`Response::Overloaded`].
+    pub(crate) rejected: AtomicU64,
+    /// Per-connection in-flight gauges, registered by the event loop so
+    /// `Stats` (answered on a worker) can report live queue depths.
+    conn_gauges: Mutex<HashMap<u64, Arc<AtomicU32>>>,
 }
 
 impl ServerState {
@@ -56,7 +69,31 @@ impl ServerState {
             count_batches: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            conn_gauges: Mutex::new(HashMap::new()),
         }
+    }
+
+    pub(crate) fn exec(&self) -> &ExecutionContext {
+        &self.exec
+    }
+
+    pub(crate) fn register_conn(&self, id: u64) -> Arc<AtomicU32> {
+        let gauge = Arc::new(AtomicU32::new(0));
+        self.conn_gauges
+            .lock()
+            .expect("conn gauge registry poisoned")
+            .insert(id, Arc::clone(&gauge));
+        gauge
+    }
+
+    pub(crate) fn unregister_conn(&self, id: u64) {
+        self.conn_gauges
+            .lock()
+            .expect("conn gauge registry poisoned")
+            .remove(&id);
     }
 
     fn snapshot_dir(&self) -> Result<PathBuf, EclipseError> {
@@ -116,6 +153,9 @@ impl ServerState {
     /// failure becomes a [`Response::Error`], so the connection stays alive.
     pub(crate) fn respond(&self, request: Request) -> Response {
         let result = match request {
+            Request::Hello { .. } => Err(EclipseError::Unsupported(
+                "Hello must be the first frame of a connection".to_string(),
+            )),
             Request::Ping => Ok(Response::Pong),
             Request::LoadDataset {
                 name,
@@ -408,11 +448,23 @@ impl ServerState {
             })
             .collect();
         datasets.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut conn_queue_depths: Vec<u32> = self
+            .conn_gauges
+            .lock()
+            .expect("conn gauge registry poisoned")
+            .values()
+            .map(|gauge| gauge.load(Ordering::Relaxed))
+            .collect();
+        conn_queue_depths.sort_unstable_by(|a, b| b.cmp(a));
         StatsReport {
             query_batches: self.query_batches.load(Ordering::Relaxed),
             count_batches: self.count_batches.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            conn_queue_depths,
             datasets,
         }
     }
@@ -432,22 +484,75 @@ pub struct SnapshotScan {
     pub skipped: Vec<(PathBuf, EclipseError)>,
 }
 
+/// Tuning knobs of the serving core ([`Server::bind_with_config`]).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Per-connection in-flight cap: the largest pipeline depth a `Hello`
+    /// can negotiate (v1 connections get the full cap).  Requests over the
+    /// cap are answered with [`Response::Overloaded`].
+    pub max_pipeline: u32,
+    /// Global in-flight cap across all connections; requests over it are
+    /// answered with [`Response::Overloaded`].
+    pub max_in_flight: u32,
+    /// Most connections held open at once; beyond it, accepting pauses.
+    pub max_connections: usize,
+    /// Dispatcher worker threads executing requests (0 = one per thread of
+    /// the server's [`ExecutionContext`]).
+    pub workers: usize,
+    /// How long a graceful shutdown waits for admitted requests to finish
+    /// and their responses to flush before giving up.
+    pub drain_timeout: Duration,
+    /// Answer cheap requests on the loop thread when the server is
+    /// otherwise idle (skips two thread handoffs per round trip).  On by
+    /// default; tests disable it to force every request through the
+    /// dispatcher queue.
+    pub inline_fast_path: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_pipeline: 128,
+            max_in_flight: 1024,
+            max_connections: 1024,
+            workers: 0,
+            drain_timeout: Duration::from_secs(5),
+            inline_fast_path: true,
+        }
+    }
+}
+
 /// A bound (but not yet serving) eclipse server.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port).  All engines
-    /// registered on this server share `exec`'s thread pool.
+    /// Binds to `addr` (use port 0 for an ephemeral port) with the default
+    /// [`ServerConfig`].  All engines registered on this server share
+    /// `exec`'s thread pool.
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs, exec: ExecutionContext) -> io::Result<Server> {
+        Server::bind_with_config(addr, exec, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit flow-control tuning.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        exec: ExecutionContext,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             state: Arc::new(ServerState::new(exec)),
+            config,
         })
     }
 
@@ -502,51 +607,36 @@ impl Server {
     /// loop).
     ///
     /// # Errors
-    /// Propagates accept-loop socket errors.
+    /// Propagates socket setup errors.
     pub fn run(self) -> io::Result<()> {
-        let stop = Arc::new(AtomicBool::new(false));
-        self.accept_loop(&stop)
+        self.listener.set_nonblocking(true)?;
+        let event_loop = EventLoop::new(self.listener, self.state, self.config);
+        event_loop.run(&AtomicBool::new(false), &AtomicBool::new(false));
+        Ok(())
     }
 
-    /// Serves connections on a background thread and returns a handle that
-    /// shuts the server down when dropped — the in-process flavour tests and
-    /// benches use.
+    /// Serves connections on a background event-loop thread and returns a
+    /// handle that drains and shuts the server down when dropped — the
+    /// in-process flavour tests and benches use.
     ///
     /// # Errors
-    /// Propagates socket errors from resolving the local address.
+    /// Propagates socket setup errors.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        self.listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let loop_stop = Arc::clone(&stop);
-        let thread = std::thread::spawn(move || {
-            let _ = self.accept_loop(&loop_stop);
-        });
+        let hard_stop = Arc::new(AtomicBool::new(false));
+        let event_loop = EventLoop::new(self.listener, self.state, self.config);
+        let (loop_stop, loop_hard) = (Arc::clone(&stop), Arc::clone(&hard_stop));
+        let thread = std::thread::spawn(move || event_loop.run(&loop_stop, &loop_hard));
+        let loop_thread = thread.thread().clone();
         Ok(ServerHandle {
             addr,
             stop,
+            hard_stop,
+            loop_thread,
             thread: Some(thread),
         })
-    }
-
-    fn accept_loop(&self, stop: &Arc<AtomicBool>) -> io::Result<()> {
-        for stream in self.listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => {
-                    // Transient accept failures (fd exhaustion under load,
-                    // aborted handshakes) repeat immediately; back off
-                    // briefly instead of spinning a core against them.
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                    continue;
-                }
-            };
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || serve_connection(&state, stream));
-        }
-        Ok(())
     }
 }
 
@@ -558,13 +648,19 @@ impl std::fmt::Debug for Server {
     }
 }
 
-/// Handle to a server spawned with [`Server::spawn`]; shuts the accept loop
-/// down on [`ServerHandle::shutdown`] or drop.  Connections already in
-/// flight finish their current request and exit when the client disconnects.
+/// Handle to a server spawned with [`Server::spawn`].
+///
+/// [`ServerHandle::shutdown`] (and drop) stop the server **gracefully**: the
+/// listener closes, admitted requests finish, their responses flush, and
+/// only then does the event loop exit (bounded by
+/// [`ServerConfig::drain_timeout`]).  [`ServerHandle::abort`] skips the
+/// drain — sockets close immediately and queued work is dropped.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    hard_stop: Arc<AtomicBool>,
+    loop_thread: std::thread::Thread,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -574,76 +670,37 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread.
+    /// Gracefully stops the server: stop accepting, drain in-flight
+    /// requests, flush responses, then join the event-loop thread.
     pub fn shutdown(mut self) {
-        self.stop_and_join();
+        self.stop_and_join(false);
     }
 
-    fn stop_and_join(&mut self) {
+    /// Hard-stops the server: close every socket immediately, dropping
+    /// queued requests and un-flushed responses.  Clients observe the
+    /// connection closing mid-conversation — the failure-injection path the
+    /// disconnect tests use.
+    pub fn abort(mut self) {
+        self.stop_and_join(true);
+    }
+
+    fn stop_and_join(&mut self, hard: bool) {
         let Some(thread) = self.thread.take() else {
             return;
         };
+        if hard {
+            self.hard_stop.store(true, Ordering::SeqCst);
+        }
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop only observes the flag on its next wake-up; a
-        // throwaway connection provides it.
-        let _ = TcpStream::connect(self.addr);
+        // The loop may be parked in its idle backoff; wake it.
+        self.loop_thread.unpark();
         let _ = thread.join();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-/// One connection: read a frame, decode, dispatch, write the response frame.
-///
-/// Malformed *payloads* get an error response and the connection continues
-/// (framing is still intact); broken *framing* (oversized prefix, mid-frame
-/// stream end) gets a best-effort error response and the connection closes,
-/// since the byte stream can no longer be trusted.
-fn serve_connection(state: &ServerState, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let response = match read_frame(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(payload)) => match Request::decode(&payload) {
-                Ok(request) => state.respond(request),
-                Err(e) => {
-                    state.errors.fetch_add(1, Ordering::Relaxed);
-                    Response::Error(format!("malformed request: {e}"))
-                }
-            },
-            Err(ProtocolError::FrameTooLarge(len)) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                let err = Response::Error(format!("frame of {len} bytes exceeds the cap"));
-                let _ = write_frame(&mut writer, &err.encode());
-                let _ = writer.flush();
-                break;
-            }
-            Err(_) => break,
-        };
-        let mut payload = response.encode();
-        if payload.len() > MAX_FRAME_LEN as usize {
-            // A response that cannot be framed (a batch whose results exceed
-            // the frame cap) must not silently drop the connection: answer
-            // with an error the client can act on instead.
-            state.errors.fetch_add(1, Ordering::Relaxed);
-            payload = Response::Error(format!(
-                "response of {} bytes exceeds the {MAX_FRAME_LEN} byte frame cap; \
-                 split the batch into smaller requests",
-                payload.len()
-            ))
-            .encode();
-        }
-        if write_frame(&mut writer, &payload).is_err() || writer.flush().is_err() {
-            break;
-        }
+        self.stop_and_join(false);
     }
 }
 

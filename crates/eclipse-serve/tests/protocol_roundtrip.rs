@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
 use eclipse_serve::protocol::{
-    read_frame, write_frame, DatasetStats, DatasetSummary, IndexKind, IndexSummary, ProtocolError,
-    Request, Response, StatsReport,
+    read_frame, write_frame, DatasetStats, DatasetSummary, FrameHeader, IndexKind, IndexSummary,
+    ProtocolError, Request, Response, StatsReport, V2_HEADER_LEN,
 };
 
 /// Deterministic pseudo-random request for a seed: every variant, with
@@ -16,8 +16,12 @@ use eclipse_serve::protocol::{
 fn arbitrary_request(seed: u64) -> Request {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let name = random_name(&mut rng);
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..9u32) {
         0 => Request::Ping,
+        8 => Request::Hello {
+            max_version: rng.gen_range(0..u32::MAX),
+            pipe_size: rng.gen_range(0..u32::MAX),
+        },
         1 => {
             let dim = rng.gen_range(2..5u32);
             let n = rng.gen_range(0..20usize);
@@ -57,8 +61,20 @@ fn arbitrary_request(seed: u64) -> Request {
 /// Deterministic pseudo-random response for a seed.
 fn arbitrary_response(seed: u64) -> Response {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..11u32) {
         0 => Response::Pong,
+        8 => Response::HelloAck {
+            version: rng.gen_range(0..u32::MAX),
+            pipe_size: rng.gen_range(0..u32::MAX),
+            max_frame_len: rng.gen_range(0..u32::MAX),
+        },
+        9 => Response::Timeout {
+            deadline_ms: rng.gen_range(0..u32::MAX),
+        },
+        10 => Response::Overloaded {
+            in_flight: rng.gen_range(0..u32::MAX),
+            limit: rng.gen_range(0..u32::MAX),
+        },
         1 => Response::DatasetLoaded(DatasetSummary {
             points: rng.gen_range(0..u64::MAX),
             dim: rng.gen_range(0..u32::MAX),
@@ -96,6 +112,12 @@ fn arbitrary_response(seed: u64) -> Response {
             count_batches: rng.gen_range(0..u64::MAX),
             probes: rng.gen_range(0..u64::MAX),
             errors: rng.gen_range(0..u64::MAX),
+            in_flight: rng.gen_range(0..u64::MAX),
+            timeouts: rng.gen_range(0..u64::MAX),
+            rejected: rng.gen_range(0..u64::MAX),
+            conn_queue_depths: (0..rng.gen_range(0..6usize))
+                .map(|_| rng.gen_range(0..u32::MAX))
+                .collect(),
             datasets: (0..rng.gen_range(0..4usize))
                 .map(|_| DatasetStats {
                     name: random_name(&mut rng),
@@ -217,6 +239,52 @@ proptest! {
         if !payload.is_empty() {
             payload[pos] ^= 1 << bit;
             let _ = Request::decode(&payload);
+        }
+    }
+
+    /// A v2 payload (header + body) splits back into exactly the header and
+    /// body it was built from, for every request id and deadline.
+    #[test]
+    fn v2_frames_round_trip(seed in 0u64..1_000_000, request_id in 0u64..u64::MAX, deadline_ms in 0u32..u32::MAX) {
+        let request = arbitrary_request(seed);
+        let header = FrameHeader { request_id, deadline_ms };
+        let payload = header.with_body(&request.encode());
+        let (decoded_header, body) = FrameHeader::split(&payload).unwrap();
+        prop_assert_eq!(decoded_header, header);
+        prop_assert_eq!(Request::decode(body).unwrap(), request);
+    }
+
+    /// Every truncation of a v2 payload is rejected cleanly: cuts inside the
+    /// 12-byte header surface as a header-level Truncated error, cuts inside
+    /// the body as a body decode error — never a panic, never a false accept.
+    #[test]
+    fn truncated_v2_frames_error_cleanly(seed in 0u64..100_000, request_id in 0u64..u64::MAX, cut_frac in 0.0f64..1.0) {
+        let payload = FrameHeader { request_id, deadline_ms: seed as u32 }
+            .with_body(&arbitrary_request(seed).encode());
+        let cut = (cut_frac * payload.len() as f64) as usize % payload.len();
+        if cut < V2_HEADER_LEN {
+            prop_assert!(matches!(
+                FrameHeader::split(&payload[..cut]),
+                Err(ProtocolError::Truncated { .. })
+            ));
+        } else if cut < payload.len() {
+            let (header, body) = FrameHeader::split(&payload[..cut]).unwrap();
+            prop_assert_eq!(header.request_id, request_id);
+            prop_assert!(Request::decode(body).is_err());
+        }
+    }
+
+    /// Single-bit corruption anywhere in a v2 payload — request id bytes,
+    /// deadline bytes, or body — never panics the header split or the body
+    /// decoder.
+    #[test]
+    fn v2_bit_flips_never_panic(seed in 0u64..100_000, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut payload = FrameHeader { request_id: seed, deadline_ms: seed as u32 }
+            .with_body(&arbitrary_request(seed).encode());
+        let pos = (pos_frac * payload.len() as f64) as usize % payload.len();
+        payload[pos] ^= 1 << bit;
+        if let Ok((_, body)) = FrameHeader::split(&payload) {
+            let _ = Request::decode(body);
         }
     }
 }

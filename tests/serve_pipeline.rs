@@ -1,0 +1,458 @@
+//! Protocol-v2 serving: pipelined clients must agree byte-for-byte with the
+//! blocking client at every depth, the `Hello` handshake must negotiate and
+//! clamp, and the flow-control surface (deadlines, admission control,
+//! graceful drain, mid-batch server death) must fail *typed* — never with a
+//! panic, a wedged connection, or an opaque i/o error.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use eclipse_core::exec::{ExecutionContext, QueryOptions};
+use eclipse_core::index::IntersectionIndexKind;
+use eclipse_core::{EclipseEngine, WeightRatioBox};
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_serve::client::{Client, ClientError, PipelinedClient};
+use eclipse_serve::protocol::{
+    read_frame, write_frame, FrameHeader, IndexKind, Request, Response, PROTOCOL_V2,
+};
+use eclipse_serve::server::{Server, ServerConfig, ServerHandle};
+
+/// Probes big enough that one request occupies the (single) worker for many
+/// milliseconds — the lever every flow-control test below leans on.
+const HEAVY_PROBES: usize = 1024;
+
+fn dataset() -> Vec<eclipse_core::Point> {
+    SyntheticConfig::new(400, 3, Distribution::Independent, 77).generate()
+}
+
+/// Deterministic light probe `i` (the same generator everywhere, so oracle
+/// and server replay identical request streams).
+fn probe(i: usize) -> WeightRatioBox {
+    let ranges = [
+        (0.18, 5.67),
+        (0.36, 2.75),
+        (0.58, 1.73),
+        (0.84, 1.19),
+        (0.25, 2.0),
+        (0.9, 1.1),
+    ];
+    let (lo, hi) = ranges[i % ranges.len()];
+    WeightRatioBox::uniform(3, lo, hi).unwrap()
+}
+
+/// A `CountBatch` request heavy enough to hold a worker busy.
+fn heavy_count(name: &str) -> Request {
+    heavy_count_n(name, HEAVY_PROBES)
+}
+
+fn heavy_count_n(name: &str, probes: usize) -> Request {
+    Request::CountBatch {
+        name: name.to_string(),
+        // d − 1 = 2 ratio ranges for the 3-dimensional dataset.
+        boxes: vec![vec![(0.01, 100.0); 2]; probes],
+    }
+}
+
+/// One dispatcher worker and no inline fast path: every request goes
+/// through the queue, so a heavy request in front deterministically delays
+/// everything behind it.
+fn queued_config() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        inline_fast_path: false,
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn_server(exec: ExecutionContext, config: ServerConfig) -> (ServerHandle, SocketAddr) {
+    let server = Server::bind_with_config("127.0.0.1:0", exec, config).unwrap();
+    server
+        .register_dataset("inde", dataset(), IndexKind::Quadtree)
+        .unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+/// Satellite e2e: pipelined results at depth 1/8/64 are identical to the
+/// blocking client's, at 1 and at 4 executor threads.
+#[test]
+fn pipelined_depths_match_blocking_at_1_and_4_threads() {
+    let probes: Vec<WeightRatioBox> = (0..96).map(probe).collect();
+    for threads in [1usize, 4] {
+        let (handle, addr) = spawn_server(
+            ExecutionContext::with_threads(threads),
+            ServerConfig::default(),
+        );
+
+        // Blocking oracle: one request per probe, strictly serial.
+        let mut blocking = Client::connect(addr).unwrap();
+        let mut expected_rows = Vec::with_capacity(probes.len());
+        let mut expected_counts = Vec::with_capacity(probes.len());
+        for p in &probes {
+            let rows = blocking
+                .query_batch("inde", std::slice::from_ref(p))
+                .unwrap();
+            expected_rows.extend(rows);
+            expected_counts.extend(
+                blocking
+                    .count_batch("inde", std::slice::from_ref(p))
+                    .unwrap(),
+            );
+        }
+
+        for depth in [1u32, 8, 64] {
+            let mut piped = PipelinedClient::connect(addr, depth).unwrap();
+            assert_eq!(piped.version(), PROTOCOL_V2);
+            assert_eq!(piped.pipe_size(), depth);
+            assert_eq!(
+                piped.query_many("inde", &probes, 1).unwrap(),
+                expected_rows,
+                "query_many, depth {depth}, {threads} threads"
+            );
+            assert_eq!(
+                piped.count_many("inde", &probes, 1).unwrap(),
+                expected_counts,
+                "count_many, depth {depth}, {threads} threads"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+/// v1 clients may pipeline too: the server guarantees response order even
+/// when four dispatcher workers finish requests out of submission order
+/// (the per-connection reorder buffer).  Interleaving query and count
+/// requests makes any ordering slip show up as an `UnexpectedResponse`.
+#[test]
+fn v1_pipelining_preserves_request_order() {
+    let points = dataset();
+    let (handle, addr) = spawn_server(
+        ExecutionContext::with_threads(4),
+        ServerConfig {
+            workers: 4,
+            inline_fast_path: false,
+            ..ServerConfig::default()
+        },
+    );
+
+    let oracle = EclipseEngine::new(points).unwrap();
+    oracle.build_index(IntersectionIndexKind::Quadtree).unwrap();
+    let oracle = Arc::new(oracle);
+
+    let mut client = PipelinedClient::connect_v1(addr, 8).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..40usize {
+        // Even slots are heavy counts, odd slots light queries — the light
+        // ones complete first server-side, so FIFO delivery is doing work.
+        let request = if i % 2 == 0 {
+            Request::CountBatch {
+                name: "inde".to_string(),
+                boxes: vec![vec![(0.01, 100.0); 2]; 64],
+            }
+        } else {
+            Request::QueryBatch {
+                name: "inde".to_string(),
+                boxes: vec![probe(i).ranges().iter().map(|r| (r.lo(), r.hi())).collect()],
+            }
+        };
+        ids.push((i, client.submit(&request).unwrap()));
+    }
+    for (i, id) in ids {
+        match client.recv(id).unwrap() {
+            Response::Counts(counts) if i % 2 == 0 => {
+                let batch = vec![WeightRatioBox::uniform(3, 0.01, 100.0).unwrap(); 64];
+                let expected: Vec<u64> = oracle
+                    .eclipse_query_batch(&batch, &QueryOptions::default())
+                    .unwrap()
+                    .iter()
+                    .map(|ids| ids.len() as u64)
+                    .collect();
+                assert_eq!(counts, expected, "slot {i}");
+            }
+            Response::QueryResults(rows) if i % 2 == 1 => {
+                let expected: Vec<Vec<u64>> = oracle
+                    .eclipse_query_batch(&[probe(i)], &QueryOptions::default())
+                    .unwrap()
+                    .iter()
+                    .map(|ids| ids.iter().map(|&p| p as u64).collect())
+                    .collect();
+                assert_eq!(rows, expected, "slot {i}");
+            }
+            other => panic!("slot {i}: response out of order: {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+/// The handshake clamps the requested depth to the server's cap, and a
+/// `Hello` after the first frame is a typed error that leaves the
+/// connection in its established mode.
+#[test]
+fn hello_negotiation_clamps_depth_and_rejects_midstream_hello() {
+    let (handle, addr) = spawn_server(
+        ExecutionContext::serial(),
+        ServerConfig {
+            max_pipeline: 4,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut client = PipelinedClient::connect(addr, 64).unwrap();
+    assert_eq!(client.version(), PROTOCOL_V2);
+    assert_eq!(client.pipe_size(), 4, "requested 64, server cap is 4");
+
+    let err = client
+        .call(&Request::Hello {
+            max_version: PROTOCOL_V2,
+            pipe_size: 8,
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ref m) if m.contains("first frame")),
+        "mid-stream Hello should be a typed server error, got {err:?}"
+    );
+    // The connection survived the rejected Hello.
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    handle.shutdown();
+}
+
+/// A request whose deadline passes while it waits behind a heavy request is
+/// answered with a typed `Timeout`, never executed, and the connection (and
+/// the `timeouts` stats counter) reflect exactly that.
+#[test]
+fn deadline_expiry_is_typed_and_connection_survives() {
+    let (handle, addr) = spawn_server(ExecutionContext::serial(), queued_config());
+
+    let mut client = PipelinedClient::connect(addr, 8).unwrap();
+    let heavy = client.submit(&heavy_count("inde")).unwrap();
+    // 1 ms deadline behind a many-millisecond request on the only worker:
+    // guaranteed to expire before execution starts.
+    let doomed = client.submit_with_deadline(&Request::Ping, 1).unwrap();
+    client.flush().unwrap();
+
+    assert!(matches!(client.recv(heavy).unwrap(), Response::Counts(_)));
+    let err = client.recv(doomed).unwrap_err();
+    assert!(
+        matches!(err, ClientError::TimedOut { deadline_ms: 1 }),
+        "expected typed timeout, got {err:?}"
+    );
+
+    // The connection is still usable, and the counter recorded the timeout.
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    match client.call(&Request::Stats).unwrap() {
+        Response::Stats(report) => {
+            assert_eq!(report.timeouts, 1);
+            assert_eq!(report.rejected, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Deadlines are a v2 feature: a v1 connection rejects them client-side
+/// before anything reaches the wire.
+#[test]
+fn v1_connection_rejects_deadlines_client_side() {
+    let (handle, addr) = spawn_server(ExecutionContext::serial(), ServerConfig::default());
+    let mut client = PipelinedClient::connect_v1(addr, 4).unwrap();
+    let err = client.submit_with_deadline(&Request::Ping, 5).unwrap_err();
+    assert!(matches!(err, ClientError::InvalidRequest(_)));
+    // Nothing was sent; the connection still works.
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    handle.shutdown();
+}
+
+/// Blasting past the negotiated pipeline depth gets typed `Overloaded`
+/// rejections (echoing the breached cap), the admitted requests still
+/// complete, the connection stays usable, and the `rejected` counter adds
+/// up.  Drives the wire directly so the client-side depth limiter cannot
+/// get in the way.
+#[test]
+fn overload_rejection_is_typed_counted_and_recoverable() {
+    let (handle, addr) = spawn_server(
+        ExecutionContext::serial(),
+        ServerConfig {
+            max_pipeline: 2,
+            workers: 1,
+            inline_fast_path: false,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            max_version: PROTOCOL_V2,
+            pipe_size: 8,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let ack = read_frame(&mut stream).unwrap().expect("HelloAck frame");
+    match Response::decode(&ack).unwrap() {
+        Response::HelloAck {
+            version, pipe_size, ..
+        } => {
+            assert_eq!(version, PROTOCOL_V2);
+            assert_eq!(pipe_size, 2, "requested 8, server cap is 2");
+        }
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    // Eight heavy requests back to back: the first two are admitted (cap
+    // 2), the other six must be rejected before execution.
+    let body = heavy_count("inde").encode();
+    for id in 1..=8u64 {
+        let header = FrameHeader {
+            request_id: id,
+            deadline_ms: 0,
+        };
+        write_frame(&mut stream, &header.with_body(&body)).unwrap();
+    }
+
+    let (mut admitted, mut rejected) = (0, 0);
+    for _ in 0..8 {
+        let payload = read_frame(&mut stream).unwrap().expect("response frame");
+        let (header, body) = FrameHeader::split(&payload).unwrap();
+        match Response::decode(body).unwrap() {
+            Response::Counts(counts) => {
+                assert_eq!(counts.len(), HEAVY_PROBES);
+                admitted += 1;
+            }
+            Response::Overloaded { in_flight, limit } => {
+                assert_eq!((in_flight, limit), (2, 2), "request {}", header.request_id);
+                rejected += 1;
+            }
+            other => panic!("request {}: unexpected {other:?}", header.request_id),
+        }
+    }
+    assert_eq!((admitted, rejected), (2, 6));
+
+    // The connection shrugged it off.
+    let header = FrameHeader {
+        request_id: 99,
+        deadline_ms: 0,
+    };
+    write_frame(&mut stream, &header.with_body(&Request::Ping.encode())).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("pong frame");
+    let (header, body) = FrameHeader::split(&payload).unwrap();
+    assert_eq!(header.request_id, 99);
+    assert!(matches!(Response::decode(body).unwrap(), Response::Pong));
+
+    let mut observer = Client::connect(addr).unwrap();
+    let report = observer.stats().unwrap();
+    assert_eq!(report.rejected, 6);
+    assert_eq!(report.timeouts, 0);
+    handle.shutdown();
+}
+
+/// `Stats` answers with live flow-control state: the stats request itself
+/// is in flight while it is being answered, and its connection shows up in
+/// the per-connection queue depths.
+#[test]
+fn stats_reports_in_flight_and_queue_depths() {
+    let (handle, addr) = spawn_server(ExecutionContext::serial(), queued_config());
+    let mut client = Client::connect(addr).unwrap();
+    let report = client.stats().unwrap();
+    assert!(report.in_flight >= 1, "stats call counts itself in flight");
+    assert!(
+        report.conn_queue_depths.iter().sum::<u32>() >= 1,
+        "this connection's queue depth includes the stats call: {:?}",
+        report.conn_queue_depths
+    );
+    handle.shutdown();
+}
+
+/// Graceful shutdown: admitted requests are drained and answered; only then
+/// does the connection close.
+#[test]
+fn graceful_shutdown_drains_admitted_requests() {
+    let (handle, addr) = spawn_server(ExecutionContext::serial(), queued_config());
+
+    let mut client = PipelinedClient::connect(addr, 8).unwrap();
+    let ids: Vec<u64> = (0..3)
+        .map(|_| client.submit(&heavy_count("inde")).unwrap())
+        .collect();
+    client.flush().unwrap();
+    // Give the server time to read and admit all three before the drain
+    // begins (the loop parses within microseconds of the flush).
+    std::thread::sleep(Duration::from_millis(30));
+
+    let drainer = std::thread::spawn(move || handle.shutdown());
+    for id in ids {
+        assert!(
+            matches!(client.recv(id).unwrap(), Response::Counts(_)),
+            "admitted request {id} must be answered during the drain"
+        );
+    }
+    drainer.join().unwrap();
+
+    // After the drain the server is gone: the next call fails typed.
+    let err = client.call(&Request::Ping).unwrap_err();
+    assert!(
+        matches!(err, ClientError::ConnectionClosed),
+        "expected ConnectionClosed after drain, got {err:?}"
+    );
+}
+
+/// Satellite regression: killing the server mid-batch surfaces as the typed
+/// `ConnectionClosed` on a pipelined connection — not a panic, not an
+/// opaque i/o error.
+#[test]
+fn abort_mid_pipeline_is_typed_connection_closed() {
+    let (handle, addr) = spawn_server(ExecutionContext::serial(), queued_config());
+
+    let mut client = PipelinedClient::connect(addr, 8).unwrap();
+    // The first request is big enough that the single worker cannot finish
+    // it before the abort fires even in release builds, so the requests
+    // queued behind it are deterministically cut short.
+    let mut ids = vec![client
+        .submit(&heavy_count_n("inde", 64 * HEAVY_PROBES))
+        .unwrap()];
+    ids.extend((0..3).map(|_| client.submit(&heavy_count("inde")).unwrap()));
+    client.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    handle.abort();
+
+    let mut closed = 0;
+    for id in ids {
+        match client.recv(id) {
+            Ok(Response::Counts(_)) => {} // raced ahead of the abort
+            Err(ClientError::ConnectionClosed) => closed += 1,
+            other => panic!("expected Counts or ConnectionClosed, got {other:?}"),
+        }
+    }
+    assert!(closed >= 1, "the abort must cut at least one request short");
+}
+
+/// The same regression through the blocking client (the original
+/// mid-batch-death repro): `count_batch` against a dead server returns
+/// `ConnectionClosed`.  `abort()` joins the loop thread (sockets closed on
+/// return), so issuing the call afterwards is deterministic in both debug
+/// and release — the genuinely mid-flight race is covered by
+/// `abort_mid_pipeline_is_typed_connection_closed` above.
+#[test]
+fn abort_mid_blocking_call_is_typed_connection_closed() {
+    let (handle, addr) = spawn_server(ExecutionContext::serial(), queued_config());
+
+    let mut client = Client::connect(addr).unwrap();
+    handle.abort();
+    let boxes = vec![WeightRatioBox::uniform(3, 0.01, 100.0).unwrap(); HEAVY_PROBES];
+    let err = client.count_batch("inde", &boxes).unwrap_err();
+    assert!(
+        matches!(err, ClientError::ConnectionClosed),
+        "expected ConnectionClosed, got {err:?}"
+    );
+}
