@@ -18,7 +18,8 @@ use std::path::PathBuf;
 
 use eclipse_bench::harness::{
     format_secs, run_competitor_repeated, run_index_probes, run_index_probes_batched,
-    run_skyline_executor, run_tran_at_threads, run_tree_probes, skyline_executors, Competitor,
+    run_skyline_executor, run_tran_at_threads, run_tree_probes, run_tree_probes_configured,
+    skyline_executors, Competitor,
 };
 use eclipse_bench::workloads::{
     default_ratio_box, hyperplane_workload, probe_boxes, probe_ratio_boxes, probe_root_cell,
@@ -32,6 +33,10 @@ use eclipse_core::relations::RelationReport;
 use eclipse_data::io::ResultTable;
 use eclipse_data::survey::{run_survey, SurveyConfig, SurveySystem};
 use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_exec::ThreadPool;
+use eclipse_geom::cutting::{CutRule, CuttingTree, CuttingTreeConfig};
+use eclipse_geom::hyperplane::HyperplaneSlab;
+use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig, SplitRule};
 use eclipse_serve::client::{Client, PipelinedClient};
 use eclipse_serve::protocol::IndexKind;
 use eclipse_serve::server::Server;
@@ -103,6 +108,11 @@ fn main() {
     if want("snapshot") {
         emit(&opts, "snapshot", snapshot_sweep(&opts));
     }
+    if want("build") {
+        for (name, table) in build_sweep(&opts) {
+            emit(&opts, &name, table);
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -122,7 +132,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads|probes|serve|serve_pipeline|snapshot]..."
+                     threads|probes|serve|serve_pipeline|snapshot|build]..."
                 );
                 std::process::exit(0);
             }
@@ -173,17 +183,32 @@ fn table5() -> (String, ResultTable) {
     )
 }
 
-/// Average number of eclipse points over a few INDE datasets.
-fn average_eclipse_count(n: usize, d: usize, ratio: (f64, f64), repetitions: u64) -> f64 {
+/// The INDE repetition datasets for Tables VI–VIII: one dataset per
+/// repetition seed.  Generated once per (n, d) and shared across every ratio
+/// range that probes them — regenerating the identical datasets inside each
+/// sweep pass was pure waste.
+fn inde_rep_datasets(n: usize, d: usize, repetitions: u64) -> Vec<Vec<eclipse_core::Point>> {
+    (0..repetitions)
+        .map(|rep| SyntheticConfig::new(n, d, Distribution::Independent, SEED + rep).generate())
+        .collect()
+}
+
+/// Average number of eclipse points over pre-generated INDE datasets.
+fn average_eclipse_count(
+    datasets: &[Vec<eclipse_core::Point>],
+    d: usize,
+    ratio: (f64, f64),
+) -> f64 {
     let b = ratio_box(d, ratio.0, ratio.1);
-    let mut total = 0usize;
-    for rep in 0..repetitions {
-        let pts = SyntheticConfig::new(n, d, Distribution::Independent, SEED + rep).generate();
-        total += eclipse_transform(&pts, &b, SkylineBackend::Auto)
-            .expect("valid workload")
-            .len();
-    }
-    total as f64 / repetitions as f64
+    let total: usize = datasets
+        .iter()
+        .map(|pts| {
+            eclipse_transform(pts, &b, SkylineBackend::Auto)
+                .expect("valid workload")
+                .len()
+        })
+        .sum();
+    total as f64 / datasets.len() as f64
 }
 
 /// Table VI — expected number of eclipse points vs n.
@@ -195,7 +220,8 @@ fn table6(opts: &Options) -> (String, ResultTable) {
     };
     let mut t = ResultTable::new(&["n", "eclipse_points"]);
     for n in ns {
-        let avg = average_eclipse_count(n, DEFAULT_D, (0.36, 2.75), 5);
+        let datasets = inde_rep_datasets(n, DEFAULT_D, 5);
+        let avg = average_eclipse_count(&datasets, DEFAULT_D, (0.36, 2.75));
         t.push_row(vec![
             format!("2^{}", n.trailing_zeros()),
             format!("{avg:.2}"),
@@ -211,7 +237,8 @@ fn table6(opts: &Options) -> (String, ResultTable) {
 fn table7() -> (String, ResultTable) {
     let mut t = ResultTable::new(&["d", "eclipse_points"]);
     for d in PAPER_D_VALUES {
-        let avg = average_eclipse_count(DEFAULT_N, d, (0.36, 2.75), 5);
+        let datasets = inde_rep_datasets(DEFAULT_N, d, 5);
+        let avg = average_eclipse_count(&datasets, d, (0.36, 2.75));
         t.push_row(vec![d.to_string(), format!("{avg:.2}")]);
     }
     (
@@ -220,11 +247,14 @@ fn table7() -> (String, ResultTable) {
     )
 }
 
-/// Table VIII — expected number of eclipse points vs ratio range.
+/// Table VIII — expected number of eclipse points vs ratio range.  The five
+/// repetition datasets are identical for every range, so they are generated
+/// once up front instead of once per range.
 fn table8() -> (String, ResultTable) {
+    let datasets = inde_rep_datasets(DEFAULT_N, DEFAULT_D, 5);
     let mut t = ResultTable::new(&["r", "eclipse_points"]);
     for (lo, hi) in PAPER_RATIO_RANGES {
-        let avg = average_eclipse_count(DEFAULT_N, DEFAULT_D, (lo, hi), 5);
+        let avg = average_eclipse_count(&datasets, DEFAULT_D, (lo, hi));
         t.push_row(vec![format!("[{lo},{hi}]"), format!("{avg:.2}")]);
     }
     (
@@ -1008,6 +1038,259 @@ fn snapshot_sweep(opts: &Options) -> (String, ResultTable) {
         "Snapshot cold start — restore vs full index rebuild (INDE, d = 3)".to_string(),
         t,
     )
+}
+
+/// Frozen serial tree construction times at the PR-3 cut (same container,
+/// same workloads, legacy midpoint/sampled-crossings split rules — the only
+/// rules that existed then), from the committed BENCH_pr3.json.  The build
+/// sweep reports the current construction time against these.
+const PRE_PARALLEL_BUILD_SECS: [(&str, &str, usize, f64); 8] = [
+    ("uniform", "QUAD", 10_000, 0.137_486),
+    ("uniform", "QUAD", 100_000, 0.337_150),
+    ("uniform", "CUTTING", 10_000, 0.172_157),
+    ("uniform", "CUTTING", 100_000, 0.120_884),
+    ("clustered", "QUAD", 10_000, 0.146_526),
+    ("clustered", "QUAD", 100_000, 0.319_927),
+    ("clustered", "CUTTING", 10_000, 0.152_482),
+    ("clustered", "CUTTING", 100_000, 0.124_445),
+];
+
+/// Construction sweep for the arena intersection indexes: serial vs
+/// pool-parallel builds (asserted byte-identical via the snapshot encoding)
+/// and legacy vs adaptive split/cut rules, on the uniform and clustered
+/// hyperplane workloads.  The workload for each (family, n) is generated
+/// once and shared across every tree/thread/repetition pass.  Writes
+/// BENCH_build.json next to the CSVs (or into the current directory without
+/// `--out`).
+fn build_sweep(opts: &Options) -> Vec<(String, (String, ResultTable))> {
+    let sizes: &[usize] = if opts.quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    let reps = if opts.quick { 2 } else { 5 };
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    enum Tree {
+        Quad(HyperplaneQuadtree),
+        Cutting(CuttingTree),
+    }
+    impl Tree {
+        fn encode(&self) -> Vec<u8> {
+            let mut bytes = Vec::new();
+            match self {
+                Tree::Quad(t) => t.encode_into(&mut bytes),
+                Tree::Cutting(t) => t.encode_into(&mut bytes),
+            }
+            bytes
+        }
+    }
+    // Minimum wall-clock over `reps` full builds (slab + tree) on `pool`,
+    // plus the snapshot bytes of the last build for the identity check.
+    let timed_build = |kind: IntersectionIndexKind,
+                       planes: &[eclipse_geom::hyperplane::Hyperplane],
+                       pool: &ThreadPool,
+                       reps: usize|
+     -> (f64, Vec<u8>) {
+        let cell = probe_root_cell(2);
+        let mut best = f64::INFINITY;
+        let mut tree = None;
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            let built = match kind {
+                IntersectionIndexKind::Quadtree => {
+                    Tree::Quad(HyperplaneQuadtree::build_from_slab_with(
+                        HyperplaneSlab::from_hyperplanes(planes),
+                        cell.clone(),
+                        QuadtreeConfig::default(),
+                        Some(pool),
+                    ))
+                }
+                IntersectionIndexKind::CuttingTree => {
+                    Tree::Cutting(CuttingTree::build_from_slab_with(
+                        HyperplaneSlab::from_hyperplanes(planes),
+                        cell.clone(),
+                        CuttingTreeConfig::default(),
+                        Some(pool),
+                    ))
+                }
+            };
+            best = best.min(start.elapsed().as_secs_f64());
+            tree = Some(built);
+        }
+        (best, tree.expect("at least one build pass").encode())
+    };
+
+    let mut build_table = ResultTable::new(&[
+        "family",
+        "n",
+        "tree",
+        "build_t1_s",
+        "build_t4_s",
+        "t4_identical",
+        "pr3_build_s",
+        "speedup_vs_pr3",
+    ]);
+    let mut probe_table = ResultTable::new(&[
+        "family",
+        "n",
+        "tree",
+        "rule",
+        "probe_s",
+        "depth",
+        "nodes",
+        "speedup_vs_pre_arena",
+    ]);
+    let mut json = String::from("{\n  \"pr\": 8,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str("  \"build\": [\n");
+    let mut build_first = true;
+    let mut probe_json = String::new();
+    let mut probe_first = true;
+    let tree_probes = probe_boxes(200, 2, 0.05, SEED + 1);
+    let pool1 = ThreadPool::with_threads(1);
+    let pool4 = ThreadPool::with_threads(4);
+
+    for family in [HyperplaneFamily::Uniform, HyperplaneFamily::Clustered] {
+        for &n in sizes {
+            // Generated once, shared across both trees, both pools and every
+            // repetition — the dataset is identical for all of them.
+            let planes = hyperplane_workload(family, n, 2, SEED);
+            for kind in [
+                IntersectionIndexKind::Quadtree,
+                IntersectionIndexKind::CuttingTree,
+            ] {
+                let (serial_secs, serial_bytes) = timed_build(kind, &planes, &pool1, reps);
+                let (par_secs, par_bytes) = timed_build(kind, &planes, &pool4, reps);
+                assert_eq!(
+                    serial_bytes,
+                    par_bytes,
+                    "parallel build must be byte-identical ({} n={n} {:?})",
+                    family.label(),
+                    kind
+                );
+                let pre = PRE_PARALLEL_BUILD_SECS
+                    .iter()
+                    .find(|(f, t, pn, _)| {
+                        *f == family.label() && *t == kind_label(kind) && *pn == n
+                    })
+                    .map(|(_, _, _, secs)| *secs);
+                let speedup = pre.map(|p| p / serial_secs.min(par_secs));
+                build_table.push_row(vec![
+                    family.label().to_string(),
+                    n.to_string(),
+                    kind_label(kind).to_string(),
+                    format_secs(serial_secs),
+                    format_secs(par_secs),
+                    "yes".to_string(),
+                    pre.map_or("-".to_string(), format_secs),
+                    speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+                ]);
+                if !build_first {
+                    json.push_str(",\n");
+                }
+                build_first = false;
+                json.push_str(&format!(
+                    "    {{\"family\": \"{}\", \"n\": {}, \"tree\": \"{}\", \
+                     \"build_secs_t1\": {:.6}, \"build_secs_t4\": {:.6}, \
+                     \"parallel_identical\": true, \"pr3_build_secs\": {}, \
+                     \"speedup_vs_pr3\": {}}}",
+                    family.label(),
+                    n,
+                    kind_label(kind),
+                    serial_secs,
+                    par_secs,
+                    pre.map_or("null".to_string(), |p| format!("{p:.6}")),
+                    speedup.map_or("null".to_string(), |s| format!("{s:.3}")),
+                ));
+
+                // Probe latency with the adaptive defaults vs the legacy
+                // fixed rules, against the frozen pre-arena baseline.
+                let legacy = run_tree_probes_configured(
+                    kind,
+                    &planes,
+                    probe_root_cell(2),
+                    &tree_probes,
+                    reps,
+                    QuadtreeConfig {
+                        split: SplitRule::Midpoint,
+                        ..QuadtreeConfig::default()
+                    },
+                    CuttingTreeConfig {
+                        cut: CutRule::SampledCrossings,
+                        ..CuttingTreeConfig::default()
+                    },
+                );
+                let adaptive =
+                    run_tree_probes(kind, &planes, probe_root_cell(2), &tree_probes, reps);
+                let pre_probe = PRE_ARENA_TREE_PROBE_SECS
+                    .iter()
+                    .find(|(f, t, pn, _)| {
+                        *f == family.label() && *t == kind_label(kind) && *pn == n
+                    })
+                    .map(|(_, _, _, secs)| *secs);
+                for (rule, m) in [("legacy", &legacy), ("adaptive", &adaptive)] {
+                    let probe_speedup = pre_probe.map(|p| p / m.probe_secs);
+                    probe_table.push_row(vec![
+                        family.label().to_string(),
+                        n.to_string(),
+                        kind_label(kind).to_string(),
+                        rule.to_string(),
+                        format_secs(m.probe_secs),
+                        m.depth.to_string(),
+                        m.nodes.to_string(),
+                        probe_speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+                    ]);
+                    if !probe_first {
+                        probe_json.push_str(",\n");
+                    }
+                    probe_first = false;
+                    probe_json.push_str(&format!(
+                        "    {{\"family\": \"{}\", \"n\": {}, \"tree\": \"{}\", \
+                         \"rule\": \"{rule}\", \"probe_secs\": {:.9}, \"depth\": {}, \
+                         \"nodes\": {}, \"pre_arena_probe_secs\": {}, \"speedup\": {}}}",
+                        family.label(),
+                        n,
+                        kind_label(kind),
+                        m.probe_secs,
+                        m.depth,
+                        m.nodes,
+                        pre_probe.map_or("null".to_string(), |p| format!("{p:.9}")),
+                        probe_speedup.map_or("null".to_string(), |s| format!("{s:.3}")),
+                    ));
+                }
+            }
+        }
+    }
+    json.push_str("\n  ],\n  \"adaptive_probes\": [\n");
+    json.push_str(&probe_json);
+    json.push_str("\n  ]\n}\n");
+
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_build.json");
+    std::fs::write(&path, json).expect("write BENCH_build.json");
+    println!("[build sweep written to {}]", path.display());
+
+    vec![
+        (
+            "build_construction".to_string(),
+            (
+                "Arena construction — serial vs 4-thread pool (byte-identity asserted)".to_string(),
+                build_table,
+            ),
+        ),
+        (
+            "build_probes".to_string(),
+            (
+                "Probe latency — legacy vs adaptive split rules (200 boxes, side 5%)".to_string(),
+                probe_table,
+            ),
+        ),
+    ]
 }
 
 /// Table I / Figure 4 — relationship between eclipse and the other operators,

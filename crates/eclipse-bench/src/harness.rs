@@ -271,14 +271,38 @@ pub struct TreeProbeMeasurement {
     pub depth: usize,
 }
 
-/// Builds a QUAD or CUTTING tree over `planes` and times `repetitions`
-/// passes over `probes` through the zero-alloc `query_into` path.
+/// Builds a QUAD or CUTTING tree over `planes` with the default configs and
+/// times `repetitions` passes over `probes` through the zero-alloc
+/// `query_into` path.
 pub fn run_tree_probes(
     kind: IntersectionIndexKind,
     planes: &[Hyperplane],
     cell: BoundingBox,
     probes: &[BoundingBox],
     repetitions: usize,
+) -> TreeProbeMeasurement {
+    run_tree_probes_configured(
+        kind,
+        planes,
+        cell,
+        probes,
+        repetitions,
+        QuadtreeConfig::default(),
+        CuttingTreeConfig::default(),
+    )
+}
+
+/// [`run_tree_probes`] with explicit tree configs, so sweeps can compare
+/// split/cut strategies (e.g. the legacy midpoint rules vs the adaptive
+/// defaults) on the same workload.
+pub fn run_tree_probes_configured(
+    kind: IntersectionIndexKind,
+    planes: &[Hyperplane],
+    cell: BoundingBox,
+    probes: &[BoundingBox],
+    repetitions: usize,
+    quad_config: QuadtreeConfig,
+    cutting_config: CuttingTreeConfig,
 ) -> TreeProbeMeasurement {
     assert!(repetitions > 0, "repetitions must be positive");
     assert!(!probes.is_empty(), "probe set must be non-empty");
@@ -288,16 +312,12 @@ pub fn run_tree_probes(
     }
     let build_start = Instant::now();
     let tree = match kind {
-        IntersectionIndexKind::Quadtree => Tree::Quad(HyperplaneQuadtree::build(
-            planes,
-            cell,
-            QuadtreeConfig::default(),
-        )),
-        IntersectionIndexKind::CuttingTree => Tree::Cutting(CuttingTree::build(
-            planes,
-            cell,
-            CuttingTreeConfig::default(),
-        )),
+        IntersectionIndexKind::Quadtree => {
+            Tree::Quad(HyperplaneQuadtree::build(planes, cell, quad_config))
+        }
+        IntersectionIndexKind::CuttingTree => {
+            Tree::Cutting(CuttingTree::build(planes, cell, cutting_config))
+        }
     };
     let build_secs = build_start.elapsed().as_secs_f64();
     let (nodes, depth) = match &tree {

@@ -42,7 +42,6 @@
 //!   the per-point corner recomputation from the hot path.
 
 use eclipse_geom::point::Point;
-use eclipse_skyline::exec::{ParallelBnl, ParallelDc, ParallelSfs, SkylineExecutor};
 
 use crate::error::{EclipseError, Result};
 use crate::exec::ExecutionContext;
@@ -316,12 +315,21 @@ pub(crate) fn run_skyline(
         SkylineBackend::BlockNestedLoop => eclipse_skyline::bnl::skyline_bnl(mapped),
         SkylineBackend::SortFilter => eclipse_skyline::sfs::skyline_sfs(mapped),
         SkylineBackend::DivideConquer => eclipse_skyline::dc::skyline_dc(mapped),
-        SkylineBackend::ParallelBlockNestedLoop => {
-            ParallelBnl::new(ctx.pool().clone()).skyline(mapped)
-        }
-        SkylineBackend::ParallelSortFilter => ParallelSfs::new(ctx.pool().clone()).skyline(mapped),
+        // The pooled entry points borrow the context's pool handle directly:
+        // one handle serves every dispatch, with no per-call `Arc` clone or
+        // executor construction.
+        SkylineBackend::ParallelBlockNestedLoop => eclipse_skyline::exec::skyline_bnl_pooled(
+            mapped,
+            ctx.pool(),
+            eclipse_skyline::exec::DEFAULT_SEQUENTIAL_CUTOFF,
+        ),
+        SkylineBackend::ParallelSortFilter => eclipse_skyline::exec::skyline_sfs_pooled(
+            mapped,
+            ctx.pool(),
+            eclipse_skyline::exec::DEFAULT_SEQUENTIAL_CUTOFF,
+        ),
         SkylineBackend::ParallelDivideConquer => {
-            ParallelDc::new(ctx.pool().clone()).skyline(mapped)
+            eclipse_skyline::dc::skyline_dc_parallel(mapped, ctx.pool())
         }
     }
 }

@@ -38,10 +38,10 @@ use eclipse_persist::{enc, Cursor, PersistError, SnapshotReader, SnapshotWriter}
 use serde::{Deserialize, Serialize};
 
 use eclipse_geom::approx::EPS;
-use eclipse_geom::cutting::{CuttingTree, CuttingTreeConfig};
+use eclipse_geom::cutting::{CutRule, CuttingTree, CuttingTreeConfig};
 use eclipse_geom::hyperplane::HyperplaneSlab;
 use eclipse_geom::point::{BoundingBox, Point};
-use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig};
+use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig, SplitRule};
 use eclipse_geom::traverse::TraversalScratch;
 
 use crate::error::{EclipseError, Result};
@@ -287,16 +287,27 @@ impl EclipseIndex {
 
         // 3. Spatial index over the hyperplanes (the tree takes ownership of
         // the slab; the replay phase reads it back through the backend).
+        // The same pool handle that ran phases 1–2 drives the level-parallel
+        // tree builders; their output is byte-identical to a serial build.
         let root_cell = BoundingBox::new(vec![0.0; k], vec![config.max_ratio; k]);
-        let backend =
-            match config.kind {
-                IntersectionIndexKind::Quadtree => Backend::Quad(
-                    HyperplaneQuadtree::build_from_slab(slab, root_cell.clone(), config.quadtree),
-                ),
-                IntersectionIndexKind::CuttingTree => Backend::Cutting(
-                    CuttingTree::build_from_slab(slab, root_cell.clone(), config.cutting),
-                ),
-            };
+        let backend = match config.kind {
+            IntersectionIndexKind::Quadtree => {
+                Backend::Quad(HyperplaneQuadtree::build_from_slab_with(
+                    slab,
+                    root_cell.clone(),
+                    config.quadtree,
+                    Some(ctx.pool()),
+                ))
+            }
+            IntersectionIndexKind::CuttingTree => {
+                Backend::Cutting(CuttingTree::build_from_slab_with(
+                    slab,
+                    root_cell.clone(),
+                    config.cutting,
+                    Some(ctx.pool()),
+                ))
+            }
+        };
 
         Ok(EclipseIndex {
             dim,
@@ -595,6 +606,10 @@ impl EclipseIndex {
         enc::put_usize(&mut config, self.config.cutting.max_nodes);
         enc::put_usize(&mut config, self.config.cutting.max_entries);
         enc::put_u64(&mut config, self.config.cutting.seed);
+        // Format v2: one strategy tag per backend config.  v1 readers never
+        // see these bytes (they reject v2 containers up front).
+        enc::put_u8(&mut config, self.config.quadtree.split.tag());
+        enc::put_u8(&mut config, self.config.cutting.cut.tag());
         writer.section(SECTION_INDEX_CONFIG, config);
 
         let mut skyline = Vec::new();
@@ -676,23 +691,33 @@ impl EclipseIndex {
                 "indexed-region bound {max_ratio} must be finite and non-negative"
             )));
         }
+        let mut quadtree = QuadtreeConfig {
+            max_capacity: cfg.usize64()?,
+            max_depth: cfg.usize64()?,
+            max_nodes: cfg.usize64()?,
+            max_entries: cfg.usize64()?,
+            split: SplitRule::Midpoint,
+        };
+        let mut cutting = CuttingTreeConfig {
+            max_capacity: cfg.usize64()?,
+            max_depth: cfg.usize64()?,
+            sample_size: cfg.usize64()?,
+            max_nodes: cfg.usize64()?,
+            max_entries: cfg.usize64()?,
+            seed: cfg.u64()?,
+            cut: CutRule::SampledCrossings,
+        };
+        // v1 snapshots predate split/cut strategies and always used the
+        // legacy rules assigned above; v2 records the strategy explicitly.
+        if reader.version() >= 2 {
+            quadtree.split = SplitRule::from_tag(cfg.u8()?)?;
+            cutting.cut = CutRule::from_tag(cfg.u8()?)?;
+        }
         let config = IndexConfig {
             kind,
             max_ratio,
-            quadtree: QuadtreeConfig {
-                max_capacity: cfg.usize64()?,
-                max_depth: cfg.usize64()?,
-                max_nodes: cfg.usize64()?,
-                max_entries: cfg.usize64()?,
-            },
-            cutting: CuttingTreeConfig {
-                max_capacity: cfg.usize64()?,
-                max_depth: cfg.usize64()?,
-                sample_size: cfg.usize64()?,
-                max_nodes: cfg.usize64()?,
-                max_entries: cfg.usize64()?,
-                seed: cfg.u64()?,
-            },
+            quadtree,
+            cutting,
         };
         cfg.finish()?;
 
@@ -721,8 +746,13 @@ impl EclipseIndex {
         let mut be = Cursor::new(reader.section(SECTION_BACKEND)?);
         let backend_tag = be.u8()?;
         let backend = match backend_tag {
-            BACKEND_TAG_QUAD => Backend::Quad(HyperplaneQuadtree::decode(&mut be)?),
-            BACKEND_TAG_CUTTING => Backend::Cutting(CuttingTree::decode(&mut be)?),
+            BACKEND_TAG_QUAD => Backend::Quad(HyperplaneQuadtree::decode_versioned(
+                &mut be,
+                reader.version(),
+            )?),
+            BACKEND_TAG_CUTTING => {
+                Backend::Cutting(CuttingTree::decode_versioned(&mut be, reader.version())?)
+            }
             tag => {
                 return Err(PersistError::UnknownTag {
                     context: "backend tree",

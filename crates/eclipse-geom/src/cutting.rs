@@ -32,6 +32,7 @@
 //! worst-case scenario of Figs. 13–14 where CUTTING must beat QUAD.  See
 //! DESIGN.md §4 for the substitution rationale.
 
+use eclipse_exec::ThreadPool;
 use eclipse_persist::{enc, Cursor, PersistError, PersistResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -41,7 +42,47 @@ use serde::{Deserialize, Serialize};
 use crate::approx::EPS;
 use crate::hyperplane::{Hyperplane, HyperplaneSlab};
 use crate::point::BoundingBox;
+use crate::quadtree::{crossing_sample, PARALLEL_BUILD_MIN_ENTRIES};
 use crate::traverse::{classify_cell, CellRelation, TraversalScratch};
+
+/// How the cut coordinate of an overfull cell is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CutRule {
+    /// The historical randomized rule: widest axis, median zero-crossing of
+    /// a `sample_size`-element random sample of the cell's entries, jittered
+    /// midpoint fallback.  The only rule format-v1 snapshots can carry.
+    SampledCrossings,
+    /// Deterministic adaptive rule: per axis, the in-cell zero-crossings of
+    /// a strided entry sample (every entry up to 256, then every
+    /// `len/256`-th) are measured; the cut axis is the one carrying the most
+    /// crossings (ties to the wider extent, then the earlier axis) and the
+    /// cut lands on the median crossing, so dense clusters are split through
+    /// their mass instead of through a 16-element random guess.  Falls back
+    /// to the widest axis's midpoint (no jitter) when nothing crosses the
+    /// cell interior.  Consumes no randomness.
+    MedianExtents,
+}
+
+impl CutRule {
+    /// Stable one-byte snapshot tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            CutRule::SampledCrossings => 0,
+            CutRule::MedianExtents => 1,
+        }
+    }
+
+    /// Inverse of [`CutRule::tag`]; rejects unknown tags.
+    pub fn from_tag(tag: u8) -> PersistResult<Self> {
+        match tag {
+            0 => Ok(CutRule::SampledCrossings),
+            1 => Ok(CutRule::MedianExtents),
+            other => Err(PersistError::Malformed(format!(
+                "unknown cutting-tree cut-rule tag {other}"
+            ))),
+        }
+    }
+}
 
 /// Construction parameters for [`CuttingTree`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -61,8 +102,11 @@ pub struct CuttingTreeConfig {
     /// the hyperplanes crossing its cell); see
     /// [`crate::quadtree::QuadtreeConfig::max_entries`].
     pub max_entries: usize,
-    /// Seed for the sampling RNG so index construction is reproducible.
+    /// Seed for the sampling RNG so index construction is reproducible
+    /// (consumed only under [`CutRule::SampledCrossings`]).
     pub seed: u64,
+    /// How cut coordinates are chosen; see [`CutRule`].
+    pub cut: CutRule,
 }
 
 impl Default for CuttingTreeConfig {
@@ -74,6 +118,7 @@ impl Default for CuttingTreeConfig {
             max_nodes: 1 << 16,
             max_entries: 1 << 22,
             seed: 0x5eed_cafe,
+            cut: CutRule::MedianExtents,
         }
     }
 }
@@ -127,16 +172,57 @@ impl CuttingTree {
     }
 
     /// Builds the index over an already-constructed hyperplane slab, taking
-    /// ownership of it.
+    /// ownership of it.  Serial; see
+    /// [`CuttingTree::build_from_slab_with`] for the pool-aware entry point
+    /// (both produce byte-identical arenas).
     pub fn build_from_slab(
         slab: HyperplaneSlab,
         cell: BoundingBox,
         config: CuttingTreeConfig,
     ) -> Self {
-        let all: Vec<u32> = (0..slab.len())
-            .filter(|&i| slab.intersects_box(i, cell.lo(), cell.hi()))
-            .map(|i| i as u32)
-            .collect();
+        Self::build_from_slab_with(slab, cell, config, None)
+    }
+
+    /// Builds the index, optionally spreading per-node entry partitioning
+    /// over `pool`.
+    ///
+    /// Construction is level-synchronous breadth-first, in three phases per
+    /// level: cut *selection* runs serially in frontier order (this is where
+    /// [`CutRule::SampledCrossings`] consumes its RNG, so the draw sequence
+    /// is independent of the thread count), entry *partitioning* — the
+    /// expensive sign tests — runs in parallel when a pool is supplied, and
+    /// the *stitch* (entry recording, budget checks, adjacent child-pair
+    /// allocation) replays the exact serial frontier order.  The arena, and
+    /// therefore the snapshot encoding, is byte-identical for any thread
+    /// count.
+    ///
+    /// Levels are processed in budget-sized *chunks* (each cut allocates
+    /// exactly two children, so a chunk never overruns `max_nodes` by more
+    /// than one node's pair): early levels form one chunk — maximal
+    /// parallelism — while the level where a budget fills shrinks its chunks
+    /// so at most one chunk of planning is thrown away.
+    ///
+    /// One historical wrinkle: the old one-node-at-a-time builder skipped
+    /// the RNG draw for nodes it rejected because a *global* budget
+    /// (`max_nodes`/`max_entries`) had just filled mid-level, so the draws
+    /// of later same-level nodes shifted with the budget state.  Selecting
+    /// cuts a chunk at a time consumes the RNG for every locally splittable
+    /// node of the chunk instead — the only divergence from the historical
+    /// arenas, bounded to the final chunk of budget-truncated trees.
+    /// Exactness and budget caps are unaffected.
+    ///
+    /// Level order also matters for the node budget: when `max_nodes` runs
+    /// out, a BFS fills every region of the root cell to the same depth, so
+    /// the partially built tree prunes uniformly instead of spending the
+    /// whole budget on the first child's subtree.
+    pub fn build_from_slab_with(
+        slab: HyperplaneSlab,
+        cell: BoundingBox,
+        config: CuttingTreeConfig,
+        pool: Option<&ThreadPool>,
+    ) -> Self {
+        let mut all = Vec::new();
+        slab.filter_all_intersecting_into(cell.lo(), cell.hi(), &mut all);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut tree = CuttingTree {
             slab,
@@ -148,68 +234,150 @@ impl CuttingTree {
             max_depth_reached: 0,
         };
         tree.alloc_node(&cell);
-        // Iterative breadth-first construction (cuts chosen level by level,
-        // which is also the order the sampling RNG is consumed in).  Level
-        // order matters for the node budget: when `max_nodes` runs out, a BFS
-        // fills every region of the root cell to the same depth, so the
-        // partially built tree prunes uniformly instead of spending the whole
-        // budget on the first child's subtree.
-        let mut work: std::collections::VecDeque<(u32, usize, Vec<u32>)> =
-            std::collections::VecDeque::from([(0, 0, all)]);
-        while let Some((idx, depth, node_entries)) = work.pop_front() {
+        let mut frontier: Vec<(u32, Vec<u32>)> = vec![(0, all)];
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
             tree.max_depth_reached = tree.max_depth_reached.max(depth);
-            // Every node records its (deduplicated) entry list, so queries
-            // can report a fully contained subtree straight from its root.
-            tree.record_entries(idx, &node_entries);
-            if node_entries.len() <= tree.config.max_capacity
-                || depth >= tree.config.max_depth
-                || tree.nodes.len() >= tree.config.max_nodes
-                || tree.entries.len() >= tree.config.max_entries
-            {
-                continue;
+            let depth_open = depth < tree.config.max_depth;
+            let mut next = Vec::new();
+            let mut i = 0usize;
+            while i < frontier.len() {
+                if !depth_open
+                    || tree.nodes.len() >= tree.config.max_nodes
+                    || tree.entries.len() >= tree.config.max_entries
+                {
+                    // No node from here on can split (depth and budget
+                    // exhaustion only ever grow); record the remaining entry
+                    // lists and finish the level without planning them.
+                    for (idx, node_entries) in &frontier[i..] {
+                        tree.record_entries(*idx, node_entries);
+                    }
+                    break;
+                }
+                // Chunk sizing: each cut allocates exactly two children.
+                let node_room = (tree.config.max_nodes - tree.nodes.len()) / 2;
+                let entry_room = tree.config.max_entries - tree.entries.len();
+                let mut end = i;
+                let mut chunk_entries = 0usize;
+                while end < frontier.len()
+                    && end - i < node_room.max(1)
+                    && chunk_entries < entry_room
+                {
+                    chunk_entries += frontier[end].1.len();
+                    end += 1;
+                }
+                // Phase A — cut selection, serial in frontier order (this is
+                // where [`CutRule::SampledCrossings`] consumes its RNG, so
+                // the draw sequence is independent of the thread count).
+                let cuts: Vec<Option<(usize, f64)>> = frontier[i..end]
+                    .iter()
+                    .map(|(idx, node_entries)| {
+                        if node_entries.len() <= tree.config.max_capacity {
+                            return None;
+                        }
+                        let cell = tree.node_cell(*idx);
+                        match tree.config.cut {
+                            CutRule::SampledCrossings => {
+                                choose_cut(&tree.slab, &cell, node_entries, &tree.config, &mut rng)
+                            }
+                            CutRule::MedianExtents => {
+                                choose_cut_median(&tree.slab, &cell, node_entries)
+                            }
+                        }
+                    })
+                    .collect();
+                // Phase B — partition the entries of every cut node, in
+                // parallel when the chunk carries enough work.
+                let jobs: Vec<CutJob> = frontier[i..end].iter().zip(cuts).collect();
+                let plans: Vec<Option<CutPlan>> = {
+                    let tree = &tree;
+                    let slab = &tree.slab;
+                    let plan_one = |&((idx, node_entries), cut): &CutJob| -> Option<CutPlan> {
+                        let (axis, at) = cut?;
+                        let cell = tree.node_cell(*idx);
+                        let (low_cell, high_cell) = cell.split_at(axis, at);
+                        // Guard against non-progress cuts (degenerate halves).
+                        if low_cell.extent(axis) <= EPS || high_cell.extent(axis) <= EPS {
+                            return None;
+                        }
+                        let mut low_entries = Vec::new();
+                        slab.filter_intersecting_into(
+                            node_entries,
+                            low_cell.lo(),
+                            low_cell.hi(),
+                            &mut low_entries,
+                        );
+                        let mut high_entries = Vec::new();
+                        slab.filter_intersecting_into(
+                            node_entries,
+                            high_cell.lo(),
+                            high_cell.hi(),
+                            &mut high_entries,
+                        );
+                        // If the cut failed to separate anything, stop to
+                        // avoid infinite recursion (every hyperplane crosses
+                        // both halves).
+                        if low_entries.len() == node_entries.len()
+                            && high_entries.len() == node_entries.len()
+                        {
+                            return None;
+                        }
+                        Some(CutPlan {
+                            axis,
+                            at,
+                            low_cell,
+                            high_cell,
+                            low_entries,
+                            high_entries,
+                        })
+                    };
+                    let cut_entries: usize = jobs
+                        .iter()
+                        .filter(|(_, cut)| cut.is_some())
+                        .map(|((_, e), _)| e.len())
+                        .sum();
+                    match pool {
+                        Some(pool)
+                            if pool.threads() > 1 && cut_entries >= PARALLEL_BUILD_MIN_ENTRIES =>
+                        {
+                            pool.par_map(&jobs, plan_one)
+                        }
+                        _ => jobs.iter().map(plan_one).collect(),
+                    }
+                };
+                // Phase C — stitch, serially and in frontier order
+                // (identical to the historical one-node-at-a-time BFS pop
+                // order).  The checks below observe the live arena exactly
+                // as the serial builder did.
+                for (j, plan) in plans.into_iter().enumerate() {
+                    let (idx, node_entries) = &frontier[i + j];
+                    // Every node records its (deduplicated) entry list, so
+                    // queries can report a fully contained subtree straight
+                    // from its root.
+                    tree.record_entries(*idx, node_entries);
+                    if node_entries.len() <= tree.config.max_capacity
+                        || depth >= tree.config.max_depth
+                        || tree.nodes.len() >= tree.config.max_nodes
+                        || tree.entries.len() >= tree.config.max_entries
+                    {
+                        continue;
+                    }
+                    let Some(plan) = plan else { continue };
+                    let low = tree.nodes.len() as u32;
+                    tree.alloc_node(&plan.low_cell);
+                    tree.alloc_node(&plan.high_cell);
+                    let node = &mut tree.nodes[*idx as usize];
+                    node.axis = plan.axis as u32;
+                    node.at = plan.at;
+                    node.low = low;
+                    node.high = low + 1;
+                    next.push((low, plan.low_entries));
+                    next.push((low + 1, plan.high_entries));
+                }
+                i = end;
             }
-            let cell = tree.node_cell(idx);
-            let Some((axis, at)) =
-                choose_cut(&tree.slab, &cell, &node_entries, &tree.config, &mut rng)
-            else {
-                continue;
-            };
-            let (low_cell, high_cell) = cell.split_at(axis, at);
-            // Guard against non-progress cuts (degenerate halves).
-            if low_cell.extent(axis) <= EPS || high_cell.extent(axis) <= EPS {
-                continue;
-            }
-            let low_entries: Vec<u32> = node_entries
-                .iter()
-                .copied()
-                .filter(|&i| {
-                    tree.slab
-                        .intersects_box(i as usize, low_cell.lo(), low_cell.hi())
-                })
-                .collect();
-            let high_entries: Vec<u32> = node_entries
-                .iter()
-                .copied()
-                .filter(|&i| {
-                    tree.slab
-                        .intersects_box(i as usize, high_cell.lo(), high_cell.hi())
-                })
-                .collect();
-            // If the cut failed to separate anything, stop to avoid infinite
-            // recursion (every hyperplane crosses both halves).
-            if low_entries.len() == node_entries.len() && high_entries.len() == node_entries.len() {
-                continue;
-            }
-            let low = tree.nodes.len() as u32;
-            tree.alloc_node(&low_cell);
-            tree.alloc_node(&high_cell);
-            let node = &mut tree.nodes[idx as usize];
-            node.axis = axis as u32;
-            node.at = at;
-            node.low = low;
-            node.high = low + 1;
-            work.push_back((low, depth + 1, low_entries));
-            work.push_back((low + 1, depth + 1, high_entries));
+            frontier = next;
+            depth += 1;
         }
         tree
     }
@@ -374,13 +542,27 @@ impl CuttingTree {
                     }
                 }
                 CellRelation::Overlaps if node.low == NO_CHILD => {
-                    for &e in &self.entries[node.entries_start as usize..node.entries_end as usize]
-                    {
-                        let e = e as usize;
-                        if !scratch.is_marked(e) && self.slab.intersects_box(e, qlo, qhi) {
-                            scratch.mark(e);
-                        }
+                    // Gather the not-yet-marked entries and sign-test them
+                    // four at a time through the batched kernel; the buffers
+                    // are taken out of the scratch for the duration (no
+                    // allocation at steady state, same bit-exact decisions).
+                    let mut pending = std::mem::take(&mut scratch.pending);
+                    let mut filtered = std::mem::take(&mut scratch.filtered);
+                    pending.clear();
+                    pending.extend(
+                        self.entries[node.entries_start as usize..node.entries_end as usize]
+                            .iter()
+                            .copied()
+                            .filter(|&e| !scratch.is_marked(e as usize)),
+                    );
+                    filtered.clear();
+                    self.slab
+                        .filter_intersecting_into(&pending, qlo, qhi, &mut filtered);
+                    for &e in &filtered {
+                        scratch.mark(e as usize);
                     }
+                    scratch.pending = pending;
+                    scratch.filtered = filtered;
                 }
                 CellRelation::Overlaps => {
                     // Descend through the cut plane: a child strictly on the
@@ -402,8 +584,12 @@ impl CuttingTree {
     /// Appends the tree's snapshot encoding: construction config (including
     /// the sampling seed, so the provenance of the cuts is preserved), root
     /// cell, reached depth, the hyperplane slab, then the three arena
-    /// buffers.  Construction is deterministic for a seed, so the same input
-    /// data and config always produce the same bytes.
+    /// buffers.  Construction is deterministic for a seed (and for any
+    /// thread count), so the same input data and config always produce the
+    /// same bytes.
+    ///
+    /// Always writes the current container format; the cut-rule tag after
+    /// the seed is the format-v2 addition.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         enc::put_usize(out, self.config.max_capacity);
         enc::put_usize(out, self.config.max_depth);
@@ -411,6 +597,7 @@ impl CuttingTree {
         enc::put_usize(out, self.config.max_nodes);
         enc::put_usize(out, self.config.max_entries);
         enc::put_u64(out, self.config.seed);
+        enc::put_u8(out, self.config.cut.tag());
         self.root_cell.encode_into(out);
         enc::put_usize(out, self.max_depth_reached);
         self.slab.encode_into(out);
@@ -443,6 +630,14 @@ impl CuttingTree {
     /// A typed [`PersistError`] for every defect; arbitrary input never
     /// panics.
     pub fn decode(cur: &mut Cursor<'_>) -> PersistResult<Self> {
+        Self::decode_versioned(cur, eclipse_persist::FORMAT_VERSION)
+    }
+
+    /// Version-aware decode: format-v1 payloads predate [`CutRule`] (no tag
+    /// byte; every v1 tree was built with the sampled-crossings rule), v2
+    /// carries the rule tag.  Callers reading a snapshot container pass
+    /// `SnapshotReader::version`.
+    pub fn decode_versioned(cur: &mut Cursor<'_>, version: u32) -> PersistResult<Self> {
         let config = CuttingTreeConfig {
             max_capacity: cur.usize64()?,
             max_depth: cur.usize64()?,
@@ -450,6 +645,11 @@ impl CuttingTree {
             max_nodes: cur.usize64()?,
             max_entries: cur.usize64()?,
             seed: cur.u64()?,
+            cut: if version >= 2 {
+                CutRule::from_tag(cur.u8()?)?
+            } else {
+                CutRule::SampledCrossings
+            },
         };
         let root_cell = BoundingBox::decode(cur)?;
         let max_depth_reached = cur.usize64()?;
@@ -535,7 +735,93 @@ impl CuttingTree {
     }
 }
 
-/// Chooses an axis and a cut coordinate for a cell.
+/// One planning job: a frontier node (arena index + entry ids) paired with
+/// its pre-selected cut, if the node is to be split at all.
+type CutJob<'a> = (&'a (u32, Vec<u32>), Option<(usize, f64)>);
+
+/// A planned cut of one overfull node: the chosen cut, the two child cells,
+/// and the entry subsets crossing each.  Partitioning is a pure function of
+/// (slab, cell, cut, entries), which is what lets it run on any thread while
+/// cut selection and stitching stay serial and deterministic.
+struct CutPlan {
+    axis: usize,
+    at: f64,
+    low_cell: BoundingBox,
+    high_cell: BoundingBox,
+    low_entries: Vec<u32>,
+    high_entries: Vec<u32>,
+}
+
+/// The deterministic [`CutRule::MedianExtents`] cut: measures the in-cell
+/// zero-crossings of a strided entry sample along every axis (through the
+/// cell centre — see [`crate::quadtree::crossing_sample`]), cuts the axis
+/// carrying the most crossings — ties broken towards the wider extent, then
+/// the earlier axis — at their median.  With no
+/// interior crossings at all, falls back to the midpoint of the widest axis
+/// (no jitter; a fruitless midpoint cut is caught by the builder's
+/// no-progress guard, so termination does not need it).  Returns `None` only
+/// when the cell is degenerate on every axis.
+fn choose_cut_median(
+    slab: &HyperplaneSlab,
+    cell: &BoundingBox,
+    entries: &[u32],
+) -> Option<(usize, f64)> {
+    let k = cell.dim();
+    let center = cell.center();
+    let mut crossings: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for i in crossing_sample(entries) {
+        let row = slab.coeffs_row(i as usize);
+        let offset = slab.offset(i as usize);
+        for axis in 0..k {
+            let coeff = row[axis];
+            if coeff.abs() <= EPS {
+                continue;
+            }
+            let mut rest = 0.0;
+            for (j, c) in row.iter().enumerate() {
+                if j != axis {
+                    rest += c * center.coord(j);
+                }
+            }
+            let x = -(rest + offset) / coeff;
+            if x > cell.lo()[axis] + EPS && x < cell.hi()[axis] - EPS {
+                crossings[axis].push(x);
+            }
+        }
+    }
+    let mut best: Option<usize> = None;
+    for axis in 0..k {
+        if crossings[axis].is_empty() {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => {
+                crossings[axis].len() > crossings[b].len()
+                    || (crossings[axis].len() == crossings[b].len()
+                        && cell.extent(axis) > cell.extent(b))
+            }
+        };
+        if better {
+            best = Some(axis);
+        }
+    }
+    if let Some(axis) = best {
+        let xs = &mut crossings[axis];
+        let mid = xs.len() / 2;
+        let at = *xs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b)).1;
+        return Some((axis, at));
+    }
+    // No interior crossing anywhere: midpoint of the widest axis.
+    let axis = (0..k).max_by(|&a, &b| cell.extent(a).total_cmp(&cell.extent(b)))?;
+    if cell.extent(axis) <= EPS {
+        return None;
+    }
+    Some((axis, 0.5 * (cell.lo()[axis] + cell.hi()[axis])))
+}
+
+/// Chooses an axis and a cut coordinate for a cell under
+/// [`CutRule::SampledCrossings`].
 ///
 /// The axis is the widest axis of the cell; the coordinate is the median of
 /// the zero-crossings (along that axis, through the cell centre) of a random
@@ -886,6 +1172,95 @@ mod tests {
             CuttingTree::decode(&mut Cursor::new(&evil)),
             Err(PersistError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn median_rule_agrees_with_brute_force_and_tracks_clusters() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        // Clustered diagonals plus random lines and degenerate rows.
+        let mut hs: Vec<Hyperplane> = (0..128)
+            .map(|i| line(1.0, -1.0, -1e-4 * i as f64))
+            .collect();
+        for _ in 0..64 {
+            hs.push(line(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ));
+        }
+        hs.push(Hyperplane::new(vec![0.0, 0.0], 0.0));
+        hs.push(Hyperplane::new(vec![0.0, 0.0], 1.0));
+        let mk = |cut| {
+            CuttingTree::build(
+                &hs,
+                unit_box(),
+                CuttingTreeConfig {
+                    max_capacity: 4,
+                    max_depth: 40,
+                    cut,
+                    ..CuttingTreeConfig::default()
+                },
+            )
+        };
+        let median = mk(CutRule::MedianExtents);
+        let sampled = mk(CutRule::SampledCrossings);
+        // The 256-element strided median can only balance better than the
+        // 16-element sampled guess.
+        assert!(
+            median.depth() <= sampled.depth(),
+            "median depth {} vs sampled depth {}",
+            median.depth(),
+            sampled.depth()
+        );
+        for _ in 0..30 {
+            let x0 = rng.gen_range(0.0..0.9);
+            let y0 = rng.gen_range(0.0..0.9);
+            let q = BoundingBox::new(
+                vec![x0, y0],
+                vec![x0 + rng.gen_range(0.01..0.1), y0 + rng.gen_range(0.01..0.1)],
+            );
+            assert_eq!(median.query(&hs, &q), brute_force(&hs, &q), "box {q:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        use eclipse_exec::ThreadPool;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(424242);
+        // Enough hyperplanes that the root frontier crosses the parallel
+        // partitioning threshold.
+        let hs: Vec<Hyperplane> = (0..5000)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        for cut in [CutRule::SampledCrossings, CutRule::MedianExtents] {
+            let cfg = CuttingTreeConfig {
+                max_capacity: 16,
+                max_depth: 14,
+                cut,
+                ..CuttingTreeConfig::default()
+            };
+            let serial = CuttingTree::build(&hs, root.clone(), cfg);
+            let pool = ThreadPool::with_threads(4);
+            let parallel = CuttingTree::build_from_slab_with(
+                HyperplaneSlab::from_hyperplanes(&hs),
+                root.clone(),
+                cfg,
+                Some(&pool),
+            );
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            serial.encode_into(&mut a);
+            parallel.encode_into(&mut b);
+            assert_eq!(a, b, "cut rule {cut:?}");
+        }
     }
 
     #[test]

@@ -30,12 +30,54 @@
 //! The [`crate::cutting`] module provides the counterpart with a bounded
 //! worst case.
 
+use eclipse_exec::ThreadPool;
 use eclipse_persist::{enc, Cursor, PersistError, PersistResult};
 use serde::{Deserialize, Serialize};
 
+use crate::approx::EPS;
 use crate::hyperplane::{Hyperplane, HyperplaneSlab};
 use crate::point::BoundingBox;
 use crate::traverse::{classify_cell, CellRelation, TraversalScratch};
+
+/// How an overfull cell is partitioned into children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitRule {
+    /// The classic quadtree rule: halve every non-degenerate axis at its
+    /// midpoint, producing `2^k` congruent children.  This is the only rule
+    /// format-v1 snapshots can carry.
+    Midpoint,
+    /// Data-adaptive rule: per node, the in-cell zero-crossings of the
+    /// entries are measured along every axis.  When one axis carries nearly
+    /// all of the crossing signal the cell is cut once, on that axis, at the
+    /// median crossing (a cutting-tree-style split that tracks clustered,
+    /// near-axis-perpendicular bundles instead of blindly halving space);
+    /// otherwise every splittable axis is split at its median crossing
+    /// (falling back to the midpoint on axes without crossings), so
+    /// quadrant-style splits still land where the hyperplanes actually are.
+    /// Deterministic — no randomness is consumed.
+    Hybrid,
+}
+
+impl SplitRule {
+    /// Stable one-byte snapshot tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            SplitRule::Midpoint => 0,
+            SplitRule::Hybrid => 1,
+        }
+    }
+
+    /// Inverse of [`SplitRule::tag`]; rejects unknown tags.
+    pub fn from_tag(tag: u8) -> PersistResult<Self> {
+        match tag {
+            0 => Ok(SplitRule::Midpoint),
+            1 => Ok(SplitRule::Hybrid),
+            other => Err(PersistError::Malformed(format!(
+                "unknown quadtree split-rule tag {other}"
+            ))),
+        }
+    }
+}
 
 /// Construction parameters for [`HyperplaneQuadtree`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -60,6 +102,8 @@ pub struct QuadtreeConfig {
     /// (the slab may overshoot by the entries of cells already queued for
     /// subdivision, a small constant factor).
     pub max_entries: usize,
+    /// How overfull cells are partitioned; see [`SplitRule`].
+    pub split: SplitRule,
 }
 
 impl Default for QuadtreeConfig {
@@ -69,6 +113,7 @@ impl Default for QuadtreeConfig {
             max_depth: 16,
             max_nodes: 1 << 15,
             max_entries: 1 << 22,
+            split: SplitRule::Hybrid,
         }
     }
 }
@@ -128,16 +173,42 @@ impl HyperplaneQuadtree {
 
     /// Builds the index over an already-constructed hyperplane slab, taking
     /// ownership of it (the cheap path for callers that assemble their rows
-    /// directly, like the n-dimensional eclipse index).
+    /// directly, like the n-dimensional eclipse index).  Serial; see
+    /// [`HyperplaneQuadtree::build_from_slab_with`] for the pool-aware entry
+    /// point (both produce byte-identical arenas).
     pub fn build_from_slab(
         slab: HyperplaneSlab,
         cell: BoundingBox,
         config: QuadtreeConfig,
     ) -> Self {
-        let all: Vec<u32> = (0..slab.len())
-            .filter(|&i| slab.intersects_box(i, cell.lo(), cell.hi()))
-            .map(|i| i as u32)
-            .collect();
+        Self::build_from_slab_with(slab, cell, config, None)
+    }
+
+    /// Builds the index, optionally spreading per-node split planning over
+    /// `pool`.
+    ///
+    /// Construction is level-synchronous breadth-first: each level's node
+    /// frontier is *planned* first (per-node child cells and entry
+    /// partitions — the expensive sign tests — computed independently, in
+    /// parallel when a pool is supplied), then *stitched* serially in
+    /// frontier order (entry recording, budget checks, contiguous child
+    /// allocation).  Planning is pure per node and the stitch replays the
+    /// exact serial order, so the arena — and therefore the snapshot
+    /// encoding — is byte-identical for any thread count.
+    ///
+    /// Level order also matters for the node budget: when `max_nodes` runs
+    /// out, a BFS fills every region of the root cell to the same depth, so
+    /// the partially built tree prunes uniformly — a depth-first order would
+    /// instead spend the whole budget on the first quadrant's subtree and
+    /// leave the remaining quadrants as giant unpruned leaves.
+    pub fn build_from_slab_with(
+        slab: HyperplaneSlab,
+        cell: BoundingBox,
+        config: QuadtreeConfig,
+        pool: Option<&ThreadPool>,
+    ) -> Self {
+        let mut all = Vec::new();
+        slab.filter_all_intersecting_into(cell.lo(), cell.hi(), &mut all);
         let mut tree = HyperplaneQuadtree {
             slab,
             nodes: Vec::new(),
@@ -148,63 +219,103 @@ impl HyperplaneQuadtree {
             max_depth_reached: 0,
         };
         tree.alloc_node(&cell);
-        // Iterative breadth-first construction: each work item finalizes one
-        // already-allocated node.  Children are allocated contiguously when
-        // their parent subdivides, so a node's children form an index range.
-        // Level order matters for the node budget: when `max_nodes` runs out,
-        // a BFS fills every region of the root cell to the same depth, so the
-        // partially built tree prunes uniformly — a depth-first order would
-        // instead spend the whole budget on the first quadrant's subtree and
-        // leave the remaining quadrants as giant unpruned leaves.
-        let mut work: std::collections::VecDeque<(u32, usize, Vec<u32>)> =
-            std::collections::VecDeque::from([(0, 0, all)]);
-        while let Some((idx, depth, node_entries)) = work.pop_front() {
+        // Upper bound on the children one split allocates (a full quadrant
+        // split on every axis); sizes the planning chunks below.
+        let max_children = 1usize << tree.root_cell.dim().min(16);
+        let mut frontier: Vec<(u32, Vec<u32>)> = vec![(0, all)];
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
             tree.max_depth_reached = tree.max_depth_reached.max(depth);
-            // Every node records its (deduplicated) entry list, so queries
-            // can report a fully contained subtree straight from its root.
-            tree.record_entries(idx, &node_entries);
-            if node_entries.len() <= tree.config.max_capacity
-                || depth >= tree.config.max_depth
-                || tree.nodes.len() >= tree.config.max_nodes
-                || tree.entries.len() >= tree.config.max_entries
-            {
-                continue;
+            let depth_open = depth < tree.config.max_depth;
+            let mut next = Vec::new();
+            let mut i = 0usize;
+            while i < frontier.len() {
+                if !depth_open
+                    || tree.nodes.len() >= tree.config.max_nodes
+                    || tree.entries.len() >= tree.config.max_entries
+                {
+                    // No node from here on can split (depth and budget
+                    // exhaustion only ever grow); record the remaining entry
+                    // lists and finish the level without planning them.
+                    for (idx, node_entries) in &frontier[i..] {
+                        tree.record_entries(*idx, node_entries);
+                    }
+                    break;
+                }
+                // Phase A — plan: child cells + entry partitions, one chunk
+                // of frontier nodes at a time.  The chunk is sized so that
+                // stitching it cannot overrun a budget by more than one
+                // node's children: on early levels with plenty of room the
+                // chunk is the whole level (maximal parallelism), while on
+                // the level where a budget fills the chunks shrink and at
+                // most one chunk of planning is ever thrown away.
+                let node_room = (tree.config.max_nodes - tree.nodes.len()) / max_children;
+                let entry_room = tree.config.max_entries - tree.entries.len();
+                let mut end = i;
+                let mut chunk_entries = 0usize;
+                while end < frontier.len()
+                    && end - i < node_room.max(1)
+                    && chunk_entries < entry_room
+                {
+                    chunk_entries += frontier[end].1.len();
+                    end += 1;
+                }
+                let chunk = &frontier[i..end];
+                let plans: Vec<Option<SplitPlan>> = {
+                    let tree = &tree;
+                    let plan_one = |(idx, node_entries): &(u32, Vec<u32>)| -> Option<SplitPlan> {
+                        if node_entries.len() <= tree.config.max_capacity {
+                            return None;
+                        }
+                        let cell = tree.node_cell(*idx);
+                        plan_split(&tree.slab, &cell, node_entries, &tree.config)
+                    };
+                    match pool {
+                        Some(pool)
+                            if pool.threads() > 1
+                                && chunk_entries >= PARALLEL_BUILD_MIN_ENTRIES =>
+                        {
+                            pool.par_map(chunk, plan_one)
+                        }
+                        _ => chunk.iter().map(plan_one).collect(),
+                    }
+                };
+                // Phase B — stitch, serially and in frontier order
+                // (identical to the historical one-node-at-a-time BFS pop
+                // order).  The checks below observe the live arena exactly
+                // as the serial builder did, so the result is unchanged.
+                for (j, plan) in plans.into_iter().enumerate() {
+                    let (idx, node_entries) = &frontier[i + j];
+                    // Every node records its (deduplicated) entry list, so
+                    // queries can report a fully contained subtree straight
+                    // from its root.
+                    tree.record_entries(*idx, node_entries);
+                    if node_entries.len() <= tree.config.max_capacity
+                        || depth >= tree.config.max_depth
+                        || tree.nodes.len() >= tree.config.max_nodes
+                        || tree.entries.len() >= tree.config.max_entries
+                    {
+                        continue;
+                    }
+                    // `plan` is `None` when the cell is degenerate on every
+                    // axis or no child partition made progress (all
+                    // hyperplanes cross all children) — further subdivision
+                    // would only multiply memory without improving pruning.
+                    let Some(plan) = plan else { continue };
+                    let first = tree.nodes.len() as u32;
+                    tree.nodes[*idx as usize].first_child = first;
+                    tree.nodes[*idx as usize].child_count = plan.cells.len() as u32;
+                    for child_cell in &plan.cells {
+                        tree.alloc_node(child_cell);
+                    }
+                    for (ci, ce) in plan.child_entries.into_iter().enumerate() {
+                        next.push((first + ci as u32, ce));
+                    }
+                }
+                i = end;
             }
-            let cell = tree.node_cell(idx);
-            let children_cells = subdivide(&cell);
-            // If the cell has become degenerate (zero extent on every axis),
-            // stop.
-            if children_cells.is_empty() {
-                continue;
-            }
-            let child_entries: Vec<Vec<u32>> = children_cells
-                .iter()
-                .map(|child_cell| {
-                    node_entries
-                        .iter()
-                        .copied()
-                        .filter(|&i| {
-                            tree.slab
-                                .intersects_box(i as usize, child_cell.lo(), child_cell.hi())
-                        })
-                        .collect()
-                })
-                .collect();
-            // No-progress guard: when every child still contains every entry
-            // (all hyperplanes cross all quadrants) further subdivision only
-            // multiplies memory without improving pruning.
-            if child_entries.iter().all(|c| c.len() == node_entries.len()) {
-                continue;
-            }
-            let first = tree.nodes.len() as u32;
-            tree.nodes[idx as usize].first_child = first;
-            tree.nodes[idx as usize].child_count = children_cells.len() as u32;
-            for child_cell in &children_cells {
-                tree.alloc_node(child_cell);
-            }
-            for (ci, ce) in child_entries.into_iter().enumerate() {
-                work.push_back((first + ci as u32, depth + 1, ce));
-            }
+            frontier = next;
+            depth += 1;
         }
         tree
     }
@@ -368,13 +479,27 @@ impl HyperplaneQuadtree {
                     }
                 }
                 CellRelation::Overlaps if node.first_child == NO_CHILDREN => {
-                    for &e in &self.entries[node.entries_start as usize..node.entries_end as usize]
-                    {
-                        let e = e as usize;
-                        if !scratch.is_marked(e) && self.slab.intersects_box(e, qlo, qhi) {
-                            scratch.mark(e);
-                        }
+                    // Gather the not-yet-marked entries and sign-test them
+                    // four at a time through the batched kernel; the buffers
+                    // are taken out of the scratch for the duration (no
+                    // allocation at steady state, same bit-exact decisions).
+                    let mut pending = std::mem::take(&mut scratch.pending);
+                    let mut filtered = std::mem::take(&mut scratch.filtered);
+                    pending.clear();
+                    pending.extend(
+                        self.entries[node.entries_start as usize..node.entries_end as usize]
+                            .iter()
+                            .copied()
+                            .filter(|&e| !scratch.is_marked(e as usize)),
+                    );
+                    filtered.clear();
+                    self.slab
+                        .filter_intersecting_into(&pending, qlo, qhi, &mut filtered);
+                    for &e in &filtered {
+                        scratch.mark(e as usize);
                     }
+                    scratch.pending = pending;
+                    scratch.filtered = filtered;
                 }
                 CellRelation::Overlaps => {
                     for c in node.first_child..node.first_child + node.child_count {
@@ -388,13 +513,17 @@ impl HyperplaneQuadtree {
     /// Appends the tree's snapshot encoding: construction config, root cell,
     /// reached depth, the hyperplane slab, then the three arena buffers
     /// (node records, flat cell corners, shared entry slab).  The encoding
-    /// is byte-stable: construction is deterministic, so the same input data
-    /// and config always produce the same bytes.
+    /// is byte-stable: construction is deterministic (for any thread count),
+    /// so the same input data and config always produce the same bytes.
+    ///
+    /// Always writes the current container format; the split-rule tag after
+    /// the numeric config fields is the format-v2 addition.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         enc::put_usize(out, self.config.max_capacity);
         enc::put_usize(out, self.config.max_depth);
         enc::put_usize(out, self.config.max_nodes);
         enc::put_usize(out, self.config.max_entries);
+        enc::put_u8(out, self.config.split.tag());
         self.root_cell.encode_into(out);
         enc::put_usize(out, self.max_depth_reached);
         self.slab.encode_into(out);
@@ -432,11 +561,24 @@ impl HyperplaneQuadtree {
     /// A typed [`PersistError`] for every defect; arbitrary input never
     /// panics.
     pub fn decode(cur: &mut Cursor<'_>) -> PersistResult<Self> {
+        Self::decode_versioned(cur, eclipse_persist::FORMAT_VERSION)
+    }
+
+    /// Version-aware decode: format-v1 payloads predate [`SplitRule`] (no
+    /// tag byte; every v1 tree was built with the midpoint rule), v2 carries
+    /// the rule tag.  Callers reading a snapshot container pass
+    /// `SnapshotReader::version`.
+    pub fn decode_versioned(cur: &mut Cursor<'_>, version: u32) -> PersistResult<Self> {
         let config = QuadtreeConfig {
             max_capacity: cur.usize64()?,
             max_depth: cur.usize64()?,
             max_nodes: cur.usize64()?,
             max_entries: cur.usize64()?,
+            split: if version >= 2 {
+                SplitRule::from_tag(cur.u8()?)?
+            } else {
+                SplitRule::Midpoint
+            },
         };
         let root_cell = BoundingBox::decode(cur)?;
         let max_depth_reached = cur.usize64()?;
@@ -513,6 +655,154 @@ impl HyperplaneQuadtree {
             max_depth_reached,
         })
     }
+}
+
+/// Minimum number of entries across a level's frontier before split planning
+/// is farmed out to the pool — below this the sign-test work cannot amortize
+/// the dispatch overhead.  Shared with [`crate::cutting`].
+pub(crate) const PARALLEL_BUILD_MIN_ENTRIES: usize = 4096;
+
+/// Cap on the entries whose crossings the adaptive rules measure per node: a
+/// deterministic strided subset (every `len/256`-th entry), plenty for a
+/// robust median while keeping cut selection O(1) per node instead of O(n) —
+/// without it, adaptive construction on large dense nodes costs more than
+/// the probe time it saves.  Shared with [`crate::cutting`].
+pub(crate) const CROSSING_SAMPLE_CAP: usize = 256;
+
+/// The deterministic crossing-statistics sample: every `stride`-th entry,
+/// capped at [`CROSSING_SAMPLE_CAP`] elements.  Thread-count independent, so
+/// parallel and serial builds measure identical samples.
+pub(crate) fn crossing_sample(entries: &[u32]) -> impl Iterator<Item = u32> + '_ {
+    let stride = entries.len().div_ceil(CROSSING_SAMPLE_CAP).max(1);
+    entries.iter().step_by(stride).copied()
+}
+
+/// A planned subdivision of one overfull node: the child cells and, for each
+/// child, the subset of the parent's entries crossing it.  Pure function of
+/// (slab, cell, entries, config), which is what lets planning run on any
+/// thread while stitching stays serial and deterministic.
+struct SplitPlan {
+    cells: Vec<BoundingBox>,
+    child_entries: Vec<Vec<u32>>,
+}
+
+/// Plans the subdivision of one node, or `None` when the cell cannot split
+/// (degenerate on every axis) or no partition makes progress (every child
+/// would inherit every entry).
+fn plan_split(
+    slab: &HyperplaneSlab,
+    cell: &BoundingBox,
+    node_entries: &[u32],
+    config: &QuadtreeConfig,
+) -> Option<SplitPlan> {
+    let cells = match config.split {
+        SplitRule::Midpoint => subdivide(cell),
+        SplitRule::Hybrid => hybrid_subdivide(slab, cell, node_entries),
+    };
+    if cells.is_empty() {
+        return None;
+    }
+    let mut child_entries = Vec::with_capacity(cells.len());
+    for child_cell in &cells {
+        let mut ce = Vec::new();
+        slab.filter_intersecting_into(node_entries, child_cell.lo(), child_cell.hi(), &mut ce);
+        child_entries.push(ce);
+    }
+    if child_entries.iter().all(|c| c.len() == node_entries.len()) {
+        return None;
+    }
+    Some(SplitPlan {
+        cells,
+        child_entries,
+    })
+}
+
+/// The [`SplitRule::Hybrid`] partition of a cell.
+///
+/// Collects, per axis, the in-cell zero-crossings of a strided entry sample
+/// ([`crossing_sample`]; solved along the axis through the cell centre — the
+/// same measurement the cutting tree's [`crate::cutting`] cut selection
+/// uses).  When a single axis carries at least 90% of all crossings *and* at
+/// least half the sampled entries cross it, the bundle is effectively
+/// perpendicular to that axis and one median cut
+/// separates it best (2 children); otherwise every splittable axis splits at
+/// its own median crossing — midpoint when the axis saw no crossings — which
+/// keeps the quadrant structure (needed to separate diagonal bundles, which
+/// no single-axis cut can) while placing the split planes where the data is.
+/// With no crossings anywhere this degrades to the classic midpoint rule.
+fn hybrid_subdivide(
+    slab: &HyperplaneSlab,
+    cell: &BoundingBox,
+    entries: &[u32],
+) -> Vec<BoundingBox> {
+    let k = cell.dim();
+    let center = cell.center();
+    let mut crossings: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut sampled = 0usize;
+    for e in crossing_sample(entries) {
+        sampled += 1;
+        let row = slab.coeffs_row(e as usize);
+        let offset = slab.offset(e as usize);
+        for axis in 0..k {
+            let coeff = row[axis];
+            if coeff.abs() <= EPS {
+                continue;
+            }
+            let mut rest = 0.0;
+            for (j, c) in row.iter().enumerate() {
+                if j != axis {
+                    rest += c * center.coord(j);
+                }
+            }
+            let x = -(rest + offset) / coeff;
+            if x > cell.lo()[axis] + EPS && x < cell.hi()[axis] - EPS {
+                crossings[axis].push(x);
+            }
+        }
+    }
+    let total: usize = crossings.iter().map(|c| c.len()).sum();
+    if total == 0 {
+        return subdivide(cell);
+    }
+    let mut dominant = 0;
+    for axis in 1..k {
+        if crossings[axis].len() > crossings[dominant].len() {
+            dominant = axis;
+        }
+    }
+    let dominant_count = crossings[dominant].len();
+    if dominant_count * 10 >= total * 9 && dominant_count * 2 >= sampled {
+        // Crossings are strictly interior (EPS margin), so both halves keep
+        // positive extent and the no-progress guard sees a genuine cut.
+        let at = median_inplace(&mut crossings[dominant]);
+        let (low, high) = cell.split_at(dominant, at);
+        return vec![low, high];
+    }
+    let mut cells = vec![cell.clone()];
+    for (axis, axis_crossings) in crossings.iter_mut().enumerate() {
+        if cell.extent(axis) <= 0.0 {
+            continue;
+        }
+        let at = if axis_crossings.is_empty() {
+            0.5 * (cell.lo()[axis] + cell.hi()[axis])
+        } else {
+            median_inplace(axis_crossings)
+        };
+        let mut split = Vec::with_capacity(cells.len() * 2);
+        for c in cells {
+            let (a, b) = c.split_at(axis, at);
+            split.push(a);
+            split.push(b);
+        }
+        cells = split;
+    }
+    cells
+}
+
+/// The (upper) median by `total_cmp`, found by in-place selection.
+fn median_inplace(xs: &mut [f64]) -> f64 {
+    let mid = xs.len() / 2;
+    *xs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b)).1
 }
 
 /// Splits a cell into its `2^k` children by halving every axis.  Axes with
@@ -758,12 +1048,14 @@ mod tests {
 
     #[test]
     fn clustered_lines_drive_depth_up() {
-        // All lines pass very close to the same corner: the quadtree keeps
-        // subdividing towards that corner (the paper's worst case).
+        // All lines pass very close to the same corner: under the classic
+        // midpoint rule the quadtree keeps subdividing towards that corner
+        // (the paper's worst case — pinned here to the rule it describes).
         let hs: Vec<Hyperplane> = (0..64).map(|i| line(1.0, -1.0, -1e-4 * i as f64)).collect();
         let cfg = QuadtreeConfig {
             max_capacity: 2,
             max_depth: 20,
+            split: SplitRule::Midpoint,
             ..QuadtreeConfig::default()
         };
         let tree = HyperplaneQuadtree::build(&hs, unit_box(), cfg);
@@ -775,6 +1067,143 @@ mod tests {
         // Queries remain exact even in the degenerate case.
         let q = BoundingBox::new(vec![0.4, 0.4], vec![0.6, 0.6]);
         assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+    }
+
+    #[test]
+    fn hybrid_split_tames_axis_aligned_clusters() {
+        // A tight bundle of near-vertical lines at x ≈ 0.3: the midpoint
+        // rule needs to bisect its way down to the 1e-4 spacing before
+        // leaves thin out, while the hybrid rule sees all crossings on one
+        // axis and cuts straight through the bundle's median every level.
+        let hs: Vec<Hyperplane> = (0..64)
+            .map(|i| line(1.0, 0.0, -0.3 - 1e-4 * i as f64))
+            .collect();
+        let build = |split| {
+            HyperplaneQuadtree::build(
+                &hs,
+                unit_box(),
+                QuadtreeConfig {
+                    max_capacity: 2,
+                    max_depth: 20,
+                    split,
+                    ..QuadtreeConfig::default()
+                },
+            )
+        };
+        let midpoint = build(SplitRule::Midpoint);
+        let hybrid = build(SplitRule::Hybrid);
+        assert!(
+            hybrid.depth() < midpoint.depth(),
+            "hybrid depth {} should undercut midpoint depth {}",
+            hybrid.depth(),
+            midpoint.depth()
+        );
+        for q in [
+            BoundingBox::new(vec![0.29, 0.4], vec![0.31, 0.6]),
+            BoundingBox::new(vec![0.0, 0.0], vec![0.01, 0.01]),
+            unit_box(),
+        ] {
+            assert_eq!(hybrid.query(&hs, &q), brute_force(&hs, &q), "box {q:?}");
+        }
+        // The diagonal worst case stays exact under the hybrid rule too
+        // (no axis-aligned rule can separate a diagonal bundle faster, but
+        // correctness must not depend on the split geometry).
+        let diag: Vec<Hyperplane> = (0..64).map(|i| line(1.0, -1.0, -1e-4 * i as f64)).collect();
+        let tree = HyperplaneQuadtree::build(
+            &diag,
+            unit_box(),
+            QuadtreeConfig {
+                max_capacity: 2,
+                max_depth: 20,
+                split: SplitRule::Hybrid,
+                ..QuadtreeConfig::default()
+            },
+        );
+        let q = BoundingBox::new(vec![0.4, 0.4], vec![0.6, 0.6]);
+        assert_eq!(tree.query(&diag, &q), brute_force(&diag, &q));
+    }
+
+    #[test]
+    fn hybrid_split_agrees_with_brute_force_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        // Mix of diagonal, near-vertical and degenerate rows.
+        let mut hs: Vec<Hyperplane> = (0..200)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        hs.push(Hyperplane::new(vec![0.0, 0.0], 0.0));
+        hs.push(Hyperplane::new(vec![0.0, 0.0], 1.0));
+        for i in 0..40 {
+            hs.push(line(1.0, 1e-6, -0.3 - 1e-5 * i as f64));
+        }
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let tree = HyperplaneQuadtree::build(
+            &hs,
+            root,
+            QuadtreeConfig {
+                max_capacity: 4,
+                max_depth: 12,
+                split: SplitRule::Hybrid,
+                ..QuadtreeConfig::default()
+            },
+        );
+        for _ in 0..40 {
+            // Query boxes stay inside the root cell: hyperplanes crossing a
+            // box only outside the indexed region are by contract never
+            // reported.
+            let x0 = rng.gen_range(-1.0..0.7);
+            let y0 = rng.gen_range(-1.0..0.7);
+            let q = BoundingBox::new(
+                vec![x0, y0],
+                vec![x0 + rng.gen_range(0.01..0.3), y0 + rng.gen_range(0.01..0.3)],
+            );
+            assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q), "box {q:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        use eclipse_exec::ThreadPool;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+        // Enough hyperplanes that the root frontier crosses the parallel
+        // planning threshold.
+        let hs: Vec<Hyperplane> = (0..5000)
+            .map(|_| {
+                line(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        for split in [SplitRule::Midpoint, SplitRule::Hybrid] {
+            let cfg = QuadtreeConfig {
+                max_capacity: 16,
+                max_depth: 10,
+                split,
+                ..QuadtreeConfig::default()
+            };
+            let serial = HyperplaneQuadtree::build(&hs, root.clone(), cfg);
+            let pool = ThreadPool::with_threads(4);
+            let parallel = HyperplaneQuadtree::build_from_slab_with(
+                HyperplaneSlab::from_hyperplanes(&hs),
+                root.clone(),
+                cfg,
+                Some(&pool),
+            );
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            serial.encode_into(&mut a);
+            parallel.encode_into(&mut b);
+            assert_eq!(a, b, "split rule {split:?}");
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct TraversalScratch {
     pub(crate) stack: Vec<u32>,
     /// Visited bitmap over hyperplane ids; all-zero between queries.
     visited: Vec<u64>,
+    /// Gather buffer for a leaf's not-yet-marked entries, handed to the
+    /// batched sign-test kernel
+    /// ([`crate::hyperplane::HyperplaneSlab::filter_intersecting_into`]).
+    pub(crate) pending: Vec<u32>,
+    /// The kernel's output buffer (ids surviving the sign test).
+    pub(crate) filtered: Vec<u32>,
 }
 
 /// How a node's cell relates to the query box.

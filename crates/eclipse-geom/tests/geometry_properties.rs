@@ -4,13 +4,14 @@
 
 use proptest::prelude::*;
 
-use eclipse_geom::cutting::{CuttingTree, CuttingTreeConfig};
+use eclipse_exec::ThreadPool;
+use eclipse_geom::cutting::{CutRule, CuttingTree, CuttingTreeConfig};
 use eclipse_geom::dual::{score, score_difference_hyperplane, DualHyperplane};
 use eclipse_geom::hyperplane::{DualLine, Hyperplane, HyperplaneSlab};
 use eclipse_geom::linalg::Matrix;
 use eclipse_geom::lp::{Constraint, LinearProgram, LpOutcome};
 use eclipse_geom::point::{BoundingBox, Point};
-use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig};
+use eclipse_geom::quadtree::{HyperplaneQuadtree, QuadtreeConfig, SplitRule};
 use eclipse_geom::traverse::TraversalScratch;
 
 fn point_strategy(d: usize) -> impl Strategy<Value = Point> {
@@ -204,6 +205,82 @@ proptest! {
         prop_assert_eq!(&out, &expected);
         cut.query_into(&qlo, &qhi, &mut scratch, &mut out);
         prop_assert_eq!(&out, &expected);
+    }
+
+    /// Parallel construction is byte-identical to serial construction: for
+    /// random hyperplane sets — including a clustered bundle dense enough to
+    /// push deep levels past the parallel-dispatch threshold, and degenerate
+    /// all-zero rows — building on a 1-thread and a 4-thread pool yields the
+    /// same snapshot bytes under every split/cut rule.
+    #[test]
+    fn parallel_build_matches_serial_bytes(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-1.0f64..1.0, 2), -1.0f64..1.0),
+            0..60,
+        ),
+        cluster_n in 60usize..110,
+        cluster_x in -0.8f64..0.8,
+        zero_rows in 0usize..3,
+        cap in 1usize..3,
+    ) {
+        let mut hs: Vec<Hyperplane> = rows
+            .into_iter()
+            .map(|(c, o)| Hyperplane::new(c, o))
+            .collect();
+        // A tight vertical bundle: every line crosses O(2^depth) cells per
+        // level, so level-entry totals blow past the dispatch threshold.
+        for i in 0..cluster_n {
+            hs.push(Hyperplane::new(
+                vec![1.0, 0.0],
+                -cluster_x - 1e-4 * i as f64,
+            ));
+        }
+        for _ in 0..zero_rows {
+            hs.push(Hyperplane::new(vec![0.0, 0.0], 0.5));
+        }
+        let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
+        let single = ThreadPool::with_threads(1);
+        let quad_pool = ThreadPool::with_threads(4);
+        for split in [SplitRule::Midpoint, SplitRule::Hybrid] {
+            let config = QuadtreeConfig { max_capacity: cap, split, ..QuadtreeConfig::default() };
+            let mut bytes = Vec::new();
+            HyperplaneQuadtree::build_from_slab_with(
+                HyperplaneSlab::from_hyperplanes(&hs),
+                root.clone(),
+                config,
+                Some(&single),
+            )
+            .encode_into(&mut bytes);
+            let mut par_bytes = Vec::new();
+            HyperplaneQuadtree::build_from_slab_with(
+                HyperplaneSlab::from_hyperplanes(&hs),
+                root.clone(),
+                config,
+                Some(&quad_pool),
+            )
+            .encode_into(&mut par_bytes);
+            prop_assert_eq!(&bytes, &par_bytes, "quadtree {:?}", split);
+        }
+        for cut in [CutRule::SampledCrossings, CutRule::MedianExtents] {
+            let config = CuttingTreeConfig { max_capacity: cap, cut, ..CuttingTreeConfig::default() };
+            let mut bytes = Vec::new();
+            CuttingTree::build_from_slab_with(
+                HyperplaneSlab::from_hyperplanes(&hs),
+                root.clone(),
+                config,
+                Some(&single),
+            )
+            .encode_into(&mut bytes);
+            let mut par_bytes = Vec::new();
+            CuttingTree::build_from_slab_with(
+                HyperplaneSlab::from_hyperplanes(&hs),
+                root.clone(),
+                config,
+                Some(&quad_pool),
+            )
+            .encode_into(&mut par_bytes);
+            prop_assert_eq!(&bytes, &par_bytes, "cutting {:?}", cut);
+        }
     }
 
     /// LP solutions are feasible and no corner of a random box beats the optimum.

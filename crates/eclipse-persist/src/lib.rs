@@ -30,8 +30,11 @@
 //! payload, so a bit flip anywhere in a section — including its tag — fails
 //! verification.  Unknown section tags are preserved and ignored by readers
 //! (consumers look sections up by tag), which lets future format minor
-//! additions coexist with old readers; a bumped [`FORMAT_VERSION`] is
-//! rejected outright.
+//! additions coexist with old readers.  Writers always emit
+//! [`FORMAT_VERSION`]; readers accept every version from
+//! [`MIN_SUPPORTED_VERSION`] up to it (the parsed version is exposed via
+//! [`SnapshotReader::version`] so consumers can decode older section
+//! payloads), and anything newer is rejected outright.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,8 +45,17 @@ use std::fmt;
 /// The 8-byte magic prefix of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"ECLSNAP\0";
 
-/// The format version this crate writes and the only one it accepts.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this crate writes.
+///
+/// Version history:
+/// * **1** — initial container; tree configs carry no split-strategy fields
+///   (builders always used midpoint quadrant splits / sampled-crossing cuts).
+/// * **2** — tree configs gained explicit split-strategy fields (hybrid
+///   adaptive splits); version-1 payloads decode with the legacy strategies.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version readers still accept.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Everything that can go wrong while decoding a snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -390,6 +402,7 @@ const SECTION_HEADER_BYTES: usize = 1 + 8 + 8;
 /// section payloads exposed as zero-copy slices looked up by tag.
 #[derive(Debug, PartialEq, Eq)]
 pub struct SnapshotReader<'a> {
+    version: u32,
     sections: Vec<(u8, &'a [u8])>,
 }
 
@@ -409,7 +422,7 @@ impl<'a> SnapshotReader<'a> {
             return Err(PersistError::BadMagic);
         }
         let version = cur.u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion { found: version });
         }
         let count = cur.u32()? as usize;
@@ -442,7 +455,14 @@ impl<'a> SnapshotReader<'a> {
             sections.push((tag, payload));
         }
         cur.finish()?;
-        Ok(SnapshotReader { sections })
+        Ok(SnapshotReader { version, sections })
+    }
+
+    /// The format version the container was written with (between
+    /// [`MIN_SUPPORTED_VERSION`] and [`FORMAT_VERSION`] inclusive), so
+    /// consumers can decode section payloads of older snapshots.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The payload of the section with the given tag.
@@ -540,6 +560,30 @@ mod tests {
             SnapshotReader::parse(&bytes),
             Err(PersistError::UnsupportedVersion { found: 99 })
         );
+
+        // Version 0 predates the format entirely.
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::parse(&bytes),
+            Err(PersistError::UnsupportedVersion { found: 0 })
+        );
+    }
+
+    #[test]
+    fn every_supported_version_parses_and_is_reported() {
+        for version in MIN_SUPPORTED_VERSION..=FORMAT_VERSION {
+            let mut bytes = sample();
+            bytes[8..12].copy_from_slice(&version.to_le_bytes());
+            let r = SnapshotReader::parse(&bytes)
+                .unwrap_or_else(|e| panic!("version {version} must parse: {e}"));
+            assert_eq!(r.version(), version);
+            assert!(r.has(0x01));
+        }
+        // A freshly written container reports the current version.
+        let bytes = sample();
+        let r = SnapshotReader::parse(&bytes).unwrap();
+        assert_eq!(r.version(), FORMAT_VERSION);
     }
 
     #[test]

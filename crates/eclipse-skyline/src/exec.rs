@@ -93,7 +93,10 @@ impl SkylineExecutor for SerialDc {
 }
 
 /// Inputs at or below this size are not worth parallelising.
-const DEFAULT_SEQUENTIAL_CUTOFF: usize = 2048;
+/// Default input size below which the partition-based parallel executors run
+/// the serial algorithm instead (also the default for the `_pooled` free
+/// functions).
+pub const DEFAULT_SEQUENTIAL_CUTOFF: usize = 2048;
 
 /// Partition length: a couple of blocks per pool thread so work stealing can
 /// even out skew without shrinking the per-block windows too much.
@@ -146,21 +149,28 @@ impl SkylineExecutor for ParallelBnl {
     }
 
     fn skyline(&self, points: &[Point]) -> Vec<usize> {
-        if points.len() <= self.sequential_cutoff || self.pool.threads() <= 1 {
-            return bnl::skyline_bnl(points);
-        }
-        let locals = self.pool.par_chunks(
-            points,
-            block_len(points.len(), &self.pool),
-            |offset, block| {
-                bnl::skyline_bnl(block)
-                    .into_iter()
-                    .map(|i| i + offset)
-                    .collect::<Vec<usize>>()
-            },
-        );
-        merge_filter(points, locals.concat())
+        skyline_bnl_pooled(points, &self.pool, self.sequential_cutoff)
     }
+}
+
+/// The [`ParallelBnl`] algorithm over a *borrowed* pool — the entry point
+/// for callers that already hold a pool handle and dispatch per call, so no
+/// `Arc` traffic or executor construction is needed.
+pub fn skyline_bnl_pooled(
+    points: &[Point],
+    pool: &ThreadPool,
+    sequential_cutoff: usize,
+) -> Vec<usize> {
+    if points.len() <= sequential_cutoff || pool.threads() <= 1 {
+        return bnl::skyline_bnl(points);
+    }
+    let locals = pool.par_chunks(points, block_len(points.len(), pool), |offset, block| {
+        bnl::skyline_bnl(block)
+            .into_iter()
+            .map(|i| i + offset)
+            .collect::<Vec<usize>>()
+    });
+    merge_filter(points, locals.concat())
 }
 
 /// Parallel sort-filter executor: one global presort by coordinate sum, then
@@ -192,32 +202,41 @@ impl SkylineExecutor for ParallelSfs {
     }
 
     fn skyline(&self, points: &[Point]) -> Vec<usize> {
-        if points.len() <= self.sequential_cutoff || self.pool.threads() <= 1 {
-            return sfs::skyline_sfs(points);
-        }
-        let order = sfs::sum_order(points);
-        // Deal the presorted order round-robin across the blocks: every
-        // block is then a sum-sorted *sample of the whole dataset*, so its
-        // local filter pass prunes as aggressively as global SFS would.
-        // (Contiguous slices of the sum order would make the tail blocks
-        // internally anti-correlated — equal-sum points rarely dominate each
-        // other — and their local passes quadratic.)  Within a block the
-        // pass is exact; cross-block dominators are handled by the merge
-        // filter, since a dominator chain always ends at a block-local
-        // survivor.
-        let num_blocks = (self.pool.threads() * 2).min(order.len().max(1));
-        // (`vec![Vec::with_capacity(..); n]` would clone away the capacity.)
-        let mut blocks: Vec<Vec<usize>> = (0..num_blocks)
-            .map(|_| Vec::with_capacity(order.len() / num_blocks + 1))
-            .collect();
-        for (k, &i) in order.iter().enumerate() {
-            blocks[k % num_blocks].push(i);
-        }
-        let locals = self
-            .pool
-            .par_map(&blocks, |block| sfs::filter_pass(points, block));
-        merge_filter(points, locals.concat())
+        skyline_sfs_pooled(points, &self.pool, self.sequential_cutoff)
     }
+}
+
+/// The [`ParallelSfs`] algorithm over a *borrowed* pool — the entry point
+/// for callers that already hold a pool handle and dispatch per call, so no
+/// `Arc` traffic or executor construction is needed.
+pub fn skyline_sfs_pooled(
+    points: &[Point],
+    pool: &ThreadPool,
+    sequential_cutoff: usize,
+) -> Vec<usize> {
+    if points.len() <= sequential_cutoff || pool.threads() <= 1 {
+        return sfs::skyline_sfs(points);
+    }
+    let order = sfs::sum_order(points);
+    // Deal the presorted order round-robin across the blocks: every
+    // block is then a sum-sorted *sample of the whole dataset*, so its
+    // local filter pass prunes as aggressively as global SFS would.
+    // (Contiguous slices of the sum order would make the tail blocks
+    // internally anti-correlated — equal-sum points rarely dominate each
+    // other — and their local passes quadratic.)  Within a block the
+    // pass is exact; cross-block dominators are handled by the merge
+    // filter, since a dominator chain always ends at a block-local
+    // survivor.
+    let num_blocks = (pool.threads() * 2).min(order.len().max(1));
+    // (`vec![Vec::with_capacity(..); n]` would clone away the capacity.)
+    let mut blocks: Vec<Vec<usize>> = (0..num_blocks)
+        .map(|_| Vec::with_capacity(order.len() / num_blocks + 1))
+        .collect();
+    for (k, &i) in order.iter().enumerate() {
+        blocks[k % num_blocks].push(i);
+    }
+    let locals = pool.par_map(&blocks, |block| sfs::filter_pass(points, block));
+    merge_filter(points, locals.concat())
 }
 
 /// Parallel divide-and-conquer executor: the divide step runs as budgeted
