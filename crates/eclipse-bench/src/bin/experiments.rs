@@ -113,6 +113,9 @@ fn main() {
             emit(&opts, &name, table);
         }
     }
+    if want("shard") {
+        emit(&opts, "shard", shard_sweep(&opts));
+    }
 }
 
 fn parse_args() -> Options {
@@ -132,7 +135,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads|probes|serve|serve_pipeline|snapshot|build]..."
+                     threads|probes|serve|serve_pipeline|snapshot|build|shard]..."
                 );
                 std::process::exit(0);
             }
@@ -1339,6 +1342,239 @@ fn relations() -> (String, ResultTable) {
     ]);
     (
         format!("Relationships (INDE, n = {DEFAULT_N}, d = {DEFAULT_D}, {b})"),
+        t,
+    )
+}
+
+/// Sharded-serving sweep over the fault-tolerant router: a replicated
+/// dataset probe-space-partitioned across 1, 2 and 4 `eclipse-serve`
+/// backends (throughput rows), then a timed failover — one shard killed
+/// mid-workload, a standby re-warmed from the shared snapshot directory
+/// and promoted.  **Every** routed pass is asserted byte-identical to the
+/// unsharded single-process reference, so the throughput and recovery
+/// numbers are for provably unchanged answers.  Writes BENCH_shard.json
+/// next to the CSVs.
+fn shard_sweep(opts: &Options) -> (String, ResultTable) {
+    use eclipse_router::fault::{FaultPlan, FaultProxy};
+    use eclipse_router::router::{Router, RouterConfig};
+
+    let n = if opts.quick { 1 << 12 } else { 1 << 14 };
+    let num_probes = if opts.quick { 96usize } else { 384 };
+    let reps = if opts.quick { 2 } else { 3 };
+    let batch = 32usize;
+    let pts = DatasetFamily::Inde.generate(n, 3, SEED);
+    let boxes = probe_ratio_boxes(num_probes, 3, SEED + 9);
+
+    // The unsharded reference: every routed pass must reproduce these
+    // results byte for byte.
+    let reference =
+        Server::bind("127.0.0.1:0", ExecutionContext::with_threads(1)).expect("bind reference");
+    reference
+        .register_dataset("rep", pts.clone(), IndexKind::Quadtree)
+        .expect("valid workload");
+    let ref_handle = reference.spawn().expect("spawn reference");
+    let mut ref_client = Client::connect(ref_handle.addr()).expect("connect reference");
+    let mut expected: Vec<Vec<Vec<usize>>> = Vec::new();
+    let mut expected_counts: Vec<Vec<usize>> = Vec::new();
+    for chunk in boxes.chunks(batch) {
+        expected.push(
+            ref_client
+                .query_batch("rep", chunk)
+                .expect("reference query"),
+        );
+        expected_counts.push(
+            ref_client
+                .count_batch("rep", chunk)
+                .expect("reference count"),
+        );
+    }
+    ref_handle.shutdown();
+
+    let mut t = ResultTable::new(&["shards", "query_probe_s", "count_probe_s"]);
+    let mut json = String::from("{\n  \"pr\": 8,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str(&format!(
+        "  \"dataset\": {{\"family\": \"INDE\", \"n\": {n}, \"d\": 3, \"probes\": {num_probes}, \
+         \"batch\": {batch}}},\n"
+    ));
+    json.push_str("  \"shard\": [\n");
+    let mut first = true;
+    for shards in [1usize, 2, 4] {
+        let backends: Vec<_> = (0..shards)
+            .map(|_| {
+                let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(1))
+                    .expect("bind shard");
+                server
+                    .register_dataset("rep", pts.clone(), IndexKind::Quadtree)
+                    .expect("valid workload");
+                server.spawn().expect("spawn shard")
+            })
+            .collect();
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig {
+                backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+                replicated: vec!["rep".to_string()],
+                ..RouterConfig::default()
+            },
+        )
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+        let mut client = Client::connect(router.addr()).expect("connect router");
+        let mut best_query = f64::INFINITY;
+        let mut best_count = f64::INFINITY;
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            for (i, chunk) in boxes.chunks(batch).enumerate() {
+                let results = client.query_batch("rep", chunk).expect("routed query");
+                assert_eq!(
+                    results, expected[i],
+                    "routed results diverged at {shards} shards"
+                );
+            }
+            best_query = best_query.min(start.elapsed().as_secs_f64());
+            let start = std::time::Instant::now();
+            for (i, chunk) in boxes.chunks(batch).enumerate() {
+                let counts = client.count_batch("rep", chunk).expect("routed count");
+                assert_eq!(
+                    counts, expected_counts[i],
+                    "routed counts diverged at {shards} shards"
+                );
+            }
+            best_count = best_count.min(start.elapsed().as_secs_f64());
+        }
+        let query_probe_s = num_probes as f64 / best_query;
+        let count_probe_s = num_probes as f64 / best_count;
+        t.push_row(vec![
+            shards.to_string(),
+            format!("{query_probe_s:.0}"),
+            format!("{count_probe_s:.0}"),
+        ]);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"query_probes_per_s\": {query_probe_s:.1}, \
+             \"count_probes_per_s\": {count_probe_s:.1}}}"
+        ));
+        router.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+    }
+    json.push_str("\n  ],\n");
+
+    // Failover: two shards behind fault proxies, a hash-placed dataset on
+    // slot 0, a standby sharing the snapshot directory.  Kill slot 0
+    // mid-workload and measure the client-observed gap until results are
+    // byte-identical again, plus the router-measured re-warm.
+    let hashed: String = (0..)
+        .map(|i| format!("ds{i}"))
+        .find(|name| eclipse_persist::fnv1a(name.as_bytes()).is_multiple_of(2))
+        .expect("some name hashes onto slot 0");
+    let snap_dir = std::env::temp_dir().join(format!("eclipse_bench_shard_{}", std::process::id()));
+    std::fs::create_dir_all(&snap_dir).expect("create snapshot dir");
+    let spawn_member = |load: bool| {
+        let server =
+            Server::bind("127.0.0.1:0", ExecutionContext::with_threads(1)).expect("bind member");
+        server.set_snapshot_dir(&snap_dir);
+        if load {
+            server
+                .register_dataset(&hashed, pts.clone(), IndexKind::Quadtree)
+                .expect("valid workload");
+        }
+        server.spawn().expect("spawn member")
+    };
+    let backend0 = spawn_member(true);
+    let backend1 = spawn_member(false);
+    let standby = spawn_member(false);
+    let mut owner_client = Client::connect(backend0.addr()).expect("connect owner");
+    assert!(
+        owner_client
+            .save_index(&hashed, IndexKind::Quadtree)
+            .expect("snapshot")
+            > 0
+    );
+    let expected_h = owner_client
+        .query_batch(&hashed, &boxes[..batch])
+        .expect("owner query");
+    let proxy0 = FaultProxy::spawn(backend0.addr(), FaultPlan::default()).expect("spawn proxy");
+    let proxy1 = FaultProxy::spawn(backend1.addr(), FaultPlan::default()).expect("spawn proxy");
+    let router = Router::bind(
+        "127.0.0.1:0",
+        RouterConfig {
+            backends: vec![proxy0.addr().to_string(), proxy1.addr().to_string()],
+            standbys: vec![standby.addr().to_string()],
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router")
+    .spawn()
+    .expect("spawn router");
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    assert!(client.allow_partial(true).expect("opt in"));
+    assert_eq!(
+        client
+            .query_batch(&hashed, &boxes[..batch])
+            .expect("routed query"),
+        expected_h,
+        "routed results diverged before the kill"
+    );
+    proxy0.set_offline(true);
+    let killed_at = std::time::Instant::now();
+    let mut degraded_replies = 0u64;
+    let recovery_ms = loop {
+        let rows = client
+            .query_batch_degraded(&hashed, &boxes[..batch])
+            .expect("degraded query");
+        if rows.iter().all(Option::is_some) {
+            let rows: Vec<Vec<usize>> = rows.into_iter().map(Option::unwrap).collect();
+            assert_eq!(rows, expected_h, "post-failover results diverged");
+            break killed_at.elapsed().as_millis() as u64;
+        }
+        degraded_replies += 1;
+        assert!(
+            killed_at.elapsed() < std::time::Duration::from_secs(60),
+            "failover never completed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let events = router.failovers();
+    assert_eq!(events.len(), 1, "expected exactly one failover: {events:?}");
+    let event = &events[0];
+    println!(
+        "[failover: recovery {recovery_ms} ms client-observed, re-warm {} ms, \
+         {} datasets restored, {degraded_replies} degraded replies]",
+        event.rewarm_ms, event.datasets_restored
+    );
+    json.push_str(&format!(
+        "  \"failover\": {{\"recovery_ms\": {recovery_ms}, \"rewarm_ms\": {}, \
+         \"datasets_restored\": {}, \"snapshots_skipped\": {}, \"degraded_replies\": {degraded_replies}}}\n",
+        event.rewarm_ms, event.datasets_restored, event.snapshots_skipped
+    ));
+    json.push_str("}\n");
+    router.shutdown();
+    proxy0.shutdown();
+    proxy1.shutdown();
+    backend0.shutdown();
+    backend1.shutdown();
+    standby.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_shard.json");
+    std::fs::write(&path, json).expect("write BENCH_shard.json");
+    println!("[shard sweep written to {}]", path.display());
+    (
+        format!(
+            "Sharded serving — eclipse-router over 1/2/4 shards + timed failover \
+             (INDE, n = {n}, d = 3, {num_probes} probes)"
+        ),
         t,
     )
 }

@@ -1,0 +1,268 @@
+//! Member health: a per-member state machine with consecutive-failure
+//! thresholds and half-open probation.
+//!
+//! The machine is deliberately pure (no clocks, no sockets): the router's
+//! health-check loop and the per-request passive failure path both feed it
+//! observations, and unit tests drive every transition directly.
+//!
+//! ```text
+//!          fail_threshold consecutive failures
+//!   Up ──────────────────────────────────────────▶ Down
+//!    ▲                                              │
+//!    │ probation_successes consecutive successes    │ ping answers
+//!    │                                              ▼ (+ re-warm)
+//!    └────────────────────────────────────────── Probation
+//!              any failure sends Probation straight back to Down
+//! ```
+//!
+//! Probation is the half-open state: the member answers health pings again
+//! but takes **no routed traffic** until it has proven itself with
+//! [`HealthPolicy::probation_successes`] consecutive successes — a member
+//! that flaps cannot be readmitted by a single lucky ping.
+
+use std::time::Duration;
+
+/// Thresholds and cadence of the health machinery.
+#[derive(Clone, Debug)]
+pub struct HealthPolicy {
+    /// Consecutive failures (active checks and passive per-request
+    /// failures combined) that take an `Up` member `Down`.
+    pub fail_threshold: u32,
+    /// Consecutive successful checks a `Probation` member must bank before
+    /// it is readmitted to routing.
+    pub probation_successes: u32,
+    /// Pause between active health-check rounds.
+    pub check_interval: Duration,
+    /// Socket timeout of one active check (connect + ping).
+    pub check_timeout: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            fail_threshold: 3,
+            probation_successes: 2,
+            check_interval: Duration::from_millis(50),
+            check_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Where a member currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Routable.
+    Up,
+    /// Not routable; the health loop is trying to recover or replace it.
+    Down,
+    /// Half-open: answering checks, excluded from routing until it banks
+    /// enough consecutive successes.
+    Probation,
+}
+
+/// A state change worth acting on, returned by the observation methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// `Up` → `Down`: the failure threshold was crossed.
+    WentDown,
+    /// `Down` → `Probation`: the member answered again (re-warm happens
+    /// before this is recorded).
+    EnteredProbation,
+    /// `Probation` → `Up`: enough consecutive successes banked.
+    Readmitted,
+}
+
+/// The per-member machine.
+#[derive(Clone, Debug)]
+pub struct HealthMachine {
+    state: HealthState,
+    consecutive_failures: u32,
+    banked_successes: u32,
+}
+
+impl Default for HealthMachine {
+    fn default() -> HealthMachine {
+        HealthMachine::new()
+    }
+}
+
+impl HealthMachine {
+    /// A fresh member starts `Up` with a clean slate.
+    pub fn new() -> HealthMachine {
+        HealthMachine {
+            state: HealthState::Up,
+            consecutive_failures: 0,
+            banked_successes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether routed traffic may be sent to this member.
+    pub fn is_routable(&self) -> bool {
+        self.state == HealthState::Up
+    }
+
+    /// Consecutive failures observed since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Records a successful observation (an answered check, or an answered
+    /// routed request).
+    pub fn on_success(&mut self, policy: &HealthPolicy) -> Transition {
+        self.consecutive_failures = 0;
+        match self.state {
+            HealthState::Up | HealthState::Down => Transition::None,
+            HealthState::Probation => {
+                self.banked_successes += 1;
+                if self.banked_successes >= policy.probation_successes {
+                    self.state = HealthState::Up;
+                    self.banked_successes = 0;
+                    Transition::Readmitted
+                } else {
+                    Transition::None
+                }
+            }
+        }
+    }
+
+    /// Records a failed observation (a check that timed out, a connection
+    /// that died mid-request, …).  Deterministic server-side errors are
+    /// *not* failures — the caller filters those out.
+    pub fn on_failure(&mut self, policy: &HealthPolicy) -> Transition {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            HealthState::Up => {
+                if self.consecutive_failures >= policy.fail_threshold {
+                    self.state = HealthState::Down;
+                    self.banked_successes = 0;
+                    Transition::WentDown
+                } else {
+                    Transition::None
+                }
+            }
+            // One bad check undoes all probation progress: back to Down.
+            HealthState::Probation => {
+                self.state = HealthState::Down;
+                self.banked_successes = 0;
+                Transition::None
+            }
+            HealthState::Down => Transition::None,
+        }
+    }
+
+    /// Moves a `Down` member into half-open `Probation` — called by the
+    /// health loop *after* it has pinged the member and re-warmed it from
+    /// snapshots.  No-op from any other state.
+    pub fn enter_probation(&mut self) -> Transition {
+        if self.state == HealthState::Down {
+            self.state = HealthState::Probation;
+            self.consecutive_failures = 0;
+            self.banked_successes = 0;
+            Transition::EnteredProbation
+        } else {
+            Transition::None
+        }
+    }
+
+    /// Resets to `Up` with a clean slate — used when a standby is promoted
+    /// into this member's slot (the new process was just pinged and
+    /// re-warmed, and probation would only delay recovery the fault
+    /// machinery has already verified).
+    pub fn reset_up(&mut self) {
+        self.state = HealthState::Up;
+        self.consecutive_failures = 0;
+        self.banked_successes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            fail_threshold: 3,
+            probation_successes: 2,
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn failures_below_threshold_keep_member_up() {
+        let policy = policy();
+        let mut m = HealthMachine::new();
+        assert_eq!(m.on_failure(&policy), Transition::None);
+        assert_eq!(m.on_failure(&policy), Transition::None);
+        assert!(m.is_routable());
+        // A success resets the streak: two more failures still aren't three.
+        assert_eq!(m.on_success(&policy), Transition::None);
+        assert_eq!(m.on_failure(&policy), Transition::None);
+        assert_eq!(m.on_failure(&policy), Transition::None);
+        assert!(m.is_routable());
+        assert_eq!(m.on_failure(&policy), Transition::WentDown);
+        assert_eq!(m.state(), HealthState::Down);
+        assert!(!m.is_routable());
+    }
+
+    #[test]
+    fn probation_requires_consecutive_successes() {
+        let policy = policy();
+        let mut m = HealthMachine::new();
+        for _ in 0..3 {
+            m.on_failure(&policy);
+        }
+        assert_eq!(m.enter_probation(), Transition::EnteredProbation);
+        assert_eq!(m.state(), HealthState::Probation);
+        assert!(!m.is_routable(), "half-open members take no routed traffic");
+        assert_eq!(m.on_success(&policy), Transition::None);
+        assert_eq!(m.on_success(&policy), Transition::Readmitted);
+        assert!(m.is_routable());
+    }
+
+    #[test]
+    fn a_probation_failure_goes_straight_back_down() {
+        let policy = policy();
+        let mut m = HealthMachine::new();
+        for _ in 0..3 {
+            m.on_failure(&policy);
+        }
+        m.enter_probation();
+        m.on_success(&policy);
+        assert_eq!(m.on_failure(&policy), Transition::None);
+        assert_eq!(m.state(), HealthState::Down);
+        // Progress was wiped: readmission needs the full streak again.
+        m.enter_probation();
+        assert_eq!(m.on_success(&policy), Transition::None);
+        assert_eq!(m.on_success(&policy), Transition::Readmitted);
+    }
+
+    #[test]
+    fn enter_probation_is_a_noop_unless_down() {
+        let policy = policy();
+        let mut m = HealthMachine::new();
+        assert_eq!(m.enter_probation(), Transition::None);
+        assert_eq!(m.state(), HealthState::Up);
+        m.on_failure(&policy);
+        assert_eq!(m.enter_probation(), Transition::None);
+        assert_eq!(m.state(), HealthState::Up);
+    }
+
+    #[test]
+    fn reset_up_clears_everything() {
+        let policy = policy();
+        let mut m = HealthMachine::new();
+        for _ in 0..3 {
+            m.on_failure(&policy);
+        }
+        m.reset_up();
+        assert!(m.is_routable());
+        assert_eq!(m.consecutive_failures(), 0);
+    }
+}

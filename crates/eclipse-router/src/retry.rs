@@ -1,0 +1,228 @@
+//! Retry policy: capped exponential backoff with deterministic jitter,
+//! idempotent-only retry rules, and a global retry *budget* so retries can
+//! never amplify an overload.
+//!
+//! The budget is a token bucket counted in milli-tokens: every first
+//! attempt deposits [`RetryPolicy::budget_deposit_millis`], every retry
+//! spends a full token (1000 milli-tokens).  With the default deposit of
+//! 100 that caps cluster-wide retry volume at ~10% of request volume — when
+//! a backend browns out, the router fails fast instead of doubling the
+//! load on whatever is still standing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use eclipse_serve::protocol::Request;
+
+/// One retry token, in the bucket's milli-token unit.
+const TOKEN_MILLIS: u64 = 1000;
+
+/// Knobs of the per-request retry loop.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request, the first included (so 3 = up to two
+    /// retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound the exponential backoff is capped at.
+    pub max_backoff: Duration,
+    /// Milli-tokens deposited into the retry budget per first attempt
+    /// (1000 buys one retry; 100 means retries may be ~10% of traffic).
+    pub budget_deposit_millis: u64,
+    /// Bucket cap in milli-tokens: how far the budget can save up during
+    /// quiet periods (default 10 tokens — one small burst, not a storm).
+    pub budget_cap_millis: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            budget_deposit_millis: 100,
+            budget_cap_millis: 10 * TOKEN_MILLIS,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `retry` (1-based): capped exponential
+    /// base, with deterministic jitter in the `[50%, 100%]` band derived
+    /// from `seed` — concurrent retries against one recovering backend
+    /// spread out instead of stampeding in lockstep, and a fixed seed
+    /// reproduces the exact schedule.
+    pub fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let exp = retry.saturating_sub(1).min(16);
+        let uncapped = self
+            .base_backoff
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.max_backoff);
+        let nanos = uncapped.as_nanos() as u64;
+        // Jitter keeps at least half the backoff: long enough to matter,
+        // spread enough to avoid synchronization.
+        let jittered = nanos / 2 + splitmix64(seed ^ u64::from(retry)) % (nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+/// The global token bucket gating retries.
+#[derive(Debug)]
+pub struct RetryBudget {
+    millis: AtomicU64,
+    deposit: u64,
+    cap: u64,
+}
+
+impl RetryBudget {
+    /// A bucket starting at `policy.budget_cap_millis` (full: the first
+    /// failure of a quiet router may retry immediately).
+    pub fn new(policy: &RetryPolicy) -> RetryBudget {
+        RetryBudget {
+            millis: AtomicU64::new(policy.budget_cap_millis),
+            deposit: policy.budget_deposit_millis,
+            cap: policy.budget_cap_millis,
+        }
+    }
+
+    /// Credits one first attempt.
+    pub fn deposit(&self) {
+        self.millis
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some((v + self.deposit).min(self.cap))
+            })
+            .ok();
+    }
+
+    /// Tries to pay for one retry; `false` means the budget is exhausted
+    /// and the caller must fail fast instead of retrying.
+    pub fn try_spend(&self) -> bool {
+        self.millis
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                v.checked_sub(TOKEN_MILLIS)
+            })
+            .is_ok()
+    }
+
+    /// Tokens currently available (whole tokens, for observability).
+    pub fn available(&self) -> u64 {
+        self.millis.load(Ordering::Relaxed) / TOKEN_MILLIS
+    }
+}
+
+/// Whether a request may be transparently retried after a transport
+/// failure.  Only reads and liveness checks qualify: a `LoadDataset` or
+/// `SaveIndex` whose connection died may have executed server-side, and
+/// replaying it could double-apply (cheap for these ops today, but the
+/// rule is what keeps adding mutating ops safe).
+pub fn is_idempotent(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Ping
+            | Request::QueryBatch { .. }
+            | Request::CountBatch { .. }
+            | Request::Stats
+            | Request::AllowPartial { .. }
+    )
+}
+
+/// SplitMix64: a tiny, well-distributed bijection used for jitter — no RNG
+/// state, no clock, fully deterministic from the seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_within_jitter_band() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        for retry in 1..10u32 {
+            for seed in 0..50u64 {
+                let d = policy.backoff(retry, seed);
+                let base = Duration::from_millis(10 << (retry - 1).min(3)).min(policy.max_backoff);
+                assert!(d >= base / 2, "retry {retry} seed {seed}: {d:?} < half");
+                assert!(d <= base, "retry {retry} seed {seed}: {d:?} > cap");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_varies_across_seeds() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(2, 7), policy.backoff(2, 7));
+        let distinct: std::collections::HashSet<Duration> =
+            (0..32).map(|seed| policy.backoff(3, seed)).collect();
+        assert!(distinct.len() > 16, "jitter should spread schedules");
+    }
+
+    #[test]
+    fn budget_limits_retry_volume() {
+        let policy = RetryPolicy {
+            budget_deposit_millis: 100,
+            budget_cap_millis: 2000,
+            ..RetryPolicy::default()
+        };
+        let budget = RetryBudget::new(&policy);
+        // Starts full: two tokens.
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend(), "empty bucket must refuse");
+        // Ten first attempts buy exactly one more retry.
+        for _ in 0..9 {
+            budget.deposit();
+            assert!(!budget.try_spend());
+        }
+        budget.deposit();
+        assert!(budget.try_spend());
+    }
+
+    #[test]
+    fn budget_caps_at_its_ceiling() {
+        let policy = RetryPolicy {
+            budget_deposit_millis: 1000,
+            budget_cap_millis: 3000,
+            ..RetryPolicy::default()
+        };
+        let budget = RetryBudget::new(&policy);
+        for _ in 0..100 {
+            budget.deposit();
+        }
+        assert_eq!(budget.available(), 3);
+    }
+
+    #[test]
+    fn only_reads_are_idempotent() {
+        assert!(is_idempotent(&Request::Ping));
+        assert!(is_idempotent(&Request::Stats));
+        assert!(is_idempotent(&Request::QueryBatch {
+            name: "x".into(),
+            boxes: vec![],
+        }));
+        assert!(is_idempotent(&Request::CountBatch {
+            name: "x".into(),
+            boxes: vec![],
+        }));
+        assert!(!is_idempotent(&Request::LoadSnapshots));
+        assert!(!is_idempotent(&Request::LoadDataset {
+            name: "x".into(),
+            dim: 2,
+            coords: vec![],
+            warm: Default::default(),
+        }));
+        assert!(!is_idempotent(&Request::SaveIndex {
+            name: "x".into(),
+            kind: Default::default(),
+        }));
+    }
+}

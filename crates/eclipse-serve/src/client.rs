@@ -9,6 +9,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use eclipse_core::point::Point;
 use eclipse_core::WeightRatioBox;
@@ -35,6 +36,11 @@ pub enum ClientError {
     /// clean EOF between frames, a mid-frame EOF, and a reset socket (the
     /// mid-batch server-death cases).
     ConnectionClosed,
+    /// A socket-level timeout fired (connect, read or write) before the
+    /// peer answered.  After a *read* timeout the connection must be
+    /// discarded: the reply may still arrive later and would desynchronize
+    /// the framing if the stream were reused.
+    SocketTimeout,
     /// The request's deadline passed server-side before execution started;
     /// it was not executed and the connection stays usable.
     TimedOut {
@@ -62,6 +68,7 @@ impl fmt::Display for ClientError {
                 write!(f, "unexpected response (expected {expected})")
             }
             ClientError::ConnectionClosed => write!(f, "connection closed by server"),
+            ClientError::SocketTimeout => write!(f, "socket timed out waiting for the peer"),
             ClientError::TimedOut { deadline_ms } => {
                 write!(
                     f,
@@ -87,6 +94,9 @@ impl From<io::Error> for ClientError {
             | io::ErrorKind::ConnectionReset
             | io::ErrorKind::ConnectionAborted
             | io::ErrorKind::BrokenPipe => ClientError::ConnectionClosed,
+            // Both kinds occur in the wild for an expired socket timeout
+            // (unix reports WouldBlock, windows TimedOut).
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::SocketTimeout,
             _ => ClientError::Io(e),
         }
     }
@@ -149,31 +159,29 @@ impl PipelinedClient {
     /// Propagates socket errors; [`ClientError::UnexpectedResponse`] when
     /// the peer does not acknowledge the handshake.
     pub fn connect(addr: impl ToSocketAddrs, pipe_size: u32) -> ClientResult<PipelinedClient> {
-        let mut client = Self::raw_connect(addr, PROTOCOL_V1, 1)?;
-        write_frame(
-            &mut client.writer,
-            &Request::Hello {
-                max_version: MAX_PROTOCOL_VERSION,
-                pipe_size,
-            }
-            .encode(),
-        )?;
-        client.writer.flush()?;
-        match read_frame(&mut client.reader).map_err(ClientError::from)? {
-            None => return Err(ClientError::ConnectionClosed),
-            Some(payload) => match Response::decode(&payload)? {
-                Response::HelloAck {
-                    version,
-                    pipe_size: granted,
-                    ..
-                } => {
-                    client.version = version;
-                    client.pipe_size = granted.max(1);
-                }
-                Response::Error(m) => return Err(ClientError::Server(m)),
-                _ => return Err(ClientError::UnexpectedResponse("HelloAck")),
-            },
-        }
+        let mut client = Self::from_stream(TcpStream::connect(addr)?, 1)?;
+        client.handshake(pipe_size)?;
+        Ok(client)
+    }
+
+    /// [`PipelinedClient::connect`] with timeouts: the TCP connect itself,
+    /// the `Hello` handshake, and every subsequent read/write give up after
+    /// `timeout` with [`ClientError::SocketTimeout`] instead of blocking
+    /// indefinitely on an unresponsive peer (clear the I/O deadline
+    /// afterwards with [`PipelinedClient::set_io_timeout`] if unwanted).
+    ///
+    /// # Errors
+    /// As [`PipelinedClient::connect`], plus
+    /// [`ClientError::SocketTimeout`]; an address that does not resolve is
+    /// [`ClientError::Io`].
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        pipe_size: u32,
+        timeout: Duration,
+    ) -> ClientResult<PipelinedClient> {
+        let mut client = Self::from_stream(connect_stream_timeout(addr, timeout)?, 1)?;
+        client.set_io_timeout(Some(timeout))?;
+        client.handshake(pipe_size)?;
         Ok(client)
     }
 
@@ -183,27 +191,83 @@ impl PipelinedClient {
     /// # Errors
     /// Propagates socket errors.
     pub fn connect_v1(addr: impl ToSocketAddrs, pipe_size: u32) -> ClientResult<PipelinedClient> {
-        Self::raw_connect(addr, PROTOCOL_V1, pipe_size.max(1))
+        Self::from_stream(TcpStream::connect(addr)?, pipe_size.max(1))
     }
 
-    fn raw_connect(
+    /// [`PipelinedClient::connect_v1`] with connect + read/write timeouts
+    /// (see [`PipelinedClient::connect_timeout`]).
+    ///
+    /// # Errors
+    /// As [`PipelinedClient::connect_v1`], plus
+    /// [`ClientError::SocketTimeout`].
+    pub fn connect_v1_timeout(
         addr: impl ToSocketAddrs,
-        version: u32,
         pipe_size: u32,
+        timeout: Duration,
     ) -> ClientResult<PipelinedClient> {
-        let stream = TcpStream::connect(addr)?;
+        let mut client =
+            Self::from_stream(connect_stream_timeout(addr, timeout)?, pipe_size.max(1))?;
+        client.set_io_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    fn from_stream(stream: TcpStream, pipe_size: u32) -> ClientResult<PipelinedClient> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(PipelinedClient {
             reader,
             writer: BufWriter::new(stream),
-            version,
+            version: PROTOCOL_V1,
             pipe_size,
             next_id: 0,
             pending: VecDeque::new(),
             ready: HashMap::new(),
             needs_flush: false,
         })
+    }
+
+    /// Performs the `Hello` exchange on a fresh connection, upgrading it to
+    /// the negotiated version and granted depth.
+    fn handshake(&mut self, pipe_size: u32) -> ClientResult<()> {
+        write_frame(
+            &mut self.writer,
+            &Request::Hello {
+                max_version: MAX_PROTOCOL_VERSION,
+                pipe_size,
+            }
+            .encode(),
+        )?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader).map_err(ClientError::from)? {
+            None => Err(ClientError::ConnectionClosed),
+            Some(payload) => match Response::decode(&payload)? {
+                Response::HelloAck {
+                    version,
+                    pipe_size: granted,
+                    ..
+                } => {
+                    self.version = version;
+                    self.pipe_size = granted.max(1);
+                    Ok(())
+                }
+                Response::Error(m) => Err(ClientError::Server(m)),
+                _ => Err(ClientError::UnexpectedResponse("HelloAck")),
+            },
+        }
+    }
+
+    /// Sets (or with `None` clears) the read/write timeout on the
+    /// underlying socket.  A read that expires surfaces as
+    /// [`ClientError::SocketTimeout`] — after which the connection must be
+    /// dropped, because a late reply would desynchronize the framing.
+    ///
+    /// # Errors
+    /// Propagates socket errors (`Some(Duration::ZERO)` is rejected by the
+    /// OS).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.get_ref().set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// The negotiated protocol version ([`PROTOCOL_V1`] or [`PROTOCOL_V2`]).
@@ -448,6 +512,28 @@ impl Client {
         })
     }
 
+    /// [`Client::connect`] with timeouts: the TCP connect and every
+    /// subsequent read/write give up after `timeout` with
+    /// [`ClientError::SocketTimeout`] instead of blocking indefinitely on
+    /// an unresponsive peer.
+    ///
+    /// # Errors
+    /// Propagates socket errors, plus [`ClientError::SocketTimeout`].
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> ClientResult<Client> {
+        Ok(Client {
+            inner: PipelinedClient::connect_v1_timeout(addr, 1, timeout)?,
+        })
+    }
+
+    /// Sets (or clears) the read/write timeout on the underlying socket —
+    /// see [`PipelinedClient::set_io_timeout`].
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.inner.set_io_timeout(timeout)
+    }
+
     /// One request/response round trip.  Error responses surface as
     /// [`ClientError::Server`]; the connection stays usable afterwards.
     fn call(&mut self, request: &Request) -> ClientResult<Response> {
@@ -596,6 +682,91 @@ impl Client {
         }
     }
 
+    /// Directs the server to scan its snapshot directory and restore every
+    /// snapshot in it (the failover re-warm primitive).  Returns the
+    /// restored `(name, summary)` pairs and the `(path, error)` pairs of
+    /// files that were skipped as corrupt/stale — a skip is not an error,
+    /// so one bad file cannot block a re-warm.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] when the server runs without a snapshot
+    /// directory; transport errors otherwise.
+    #[allow(clippy::type_complexity)]
+    pub fn load_snapshots(
+        &mut self,
+    ) -> ClientResult<(Vec<(String, DatasetSummary)>, Vec<(String, String)>)> {
+        match self.call(&Request::LoadSnapshots)? {
+            Response::SnapshotsLoaded { restored, skipped } => Ok((restored, skipped)),
+            _ => Err(ClientError::UnexpectedResponse("SnapshotsLoaded")),
+        }
+    }
+
+    /// Opts this connection into degraded reads: when the serving side
+    /// cannot reach every shard, it may answer probes with
+    /// per-box-nullable partial results instead of a hard error.  A
+    /// single-process server acknowledges but always serves complete
+    /// results.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn allow_partial(&mut self, enabled: bool) -> ClientResult<bool> {
+        match self.call(&Request::AllowPartial { enabled })? {
+            Response::PartialAck { enabled } => Ok(enabled),
+            _ => Err(ClientError::UnexpectedResponse("PartialAck")),
+        }
+    }
+
+    /// [`Client::query_batch`] for degraded-opted-in connections: each box
+    /// answers `Some(ids)`, or `None` when every shard owning it was down.
+    /// A complete [`Response::QueryResults`] answer is accepted too (all
+    /// `Some`), so the same helper works against plain servers.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn query_batch_degraded(
+        &mut self,
+        name: &str,
+        boxes: &[WeightRatioBox],
+    ) -> ClientResult<Vec<Option<Vec<usize>>>> {
+        let request = Request::QueryBatch {
+            name: name.to_string(),
+            boxes: wire_boxes(boxes),
+        };
+        match self.call(&request)? {
+            Response::QueryResults(results) => Ok(results
+                .into_iter()
+                .map(|ids| Some(ids.into_iter().map(|i| i as usize).collect()))
+                .collect()),
+            Response::PartialResults(results) => Ok(results
+                .into_iter()
+                .map(|row| row.map(|ids| ids.into_iter().map(|i| i as usize).collect()))
+                .collect()),
+            _ => Err(ClientError::UnexpectedResponse("QueryResults")),
+        }
+    }
+
+    /// Count-only sibling of [`Client::query_batch_degraded`].
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn count_batch_degraded(
+        &mut self,
+        name: &str,
+        boxes: &[WeightRatioBox],
+    ) -> ClientResult<Vec<Option<usize>>> {
+        let request = Request::CountBatch {
+            name: name.to_string(),
+            boxes: wire_boxes(boxes),
+        };
+        match self.call(&request)? {
+            Response::Counts(counts) => Ok(counts.into_iter().map(|c| Some(c as usize)).collect()),
+            Response::PartialCounts(counts) => {
+                Ok(counts.into_iter().map(|c| c.map(|c| c as usize)).collect())
+            }
+            _ => Err(ClientError::UnexpectedResponse("Counts")),
+        }
+    }
+
     /// Fetches server and per-dataset statistics.
     ///
     /// # Errors
@@ -614,6 +785,23 @@ impl fmt::Debug for Client {
             .field("peer", &self.inner.reader.get_ref().peer_addr().ok())
             .finish()
     }
+}
+
+/// Resolves `addr` and makes a timed TCP connect to each candidate in turn,
+/// returning the first stream that comes up (std's plain `connect` does the
+/// same sweep, but `TcpStream::connect_timeout` only takes one resolved
+/// address).
+fn connect_stream_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> ClientResult<TcpStream> {
+    let mut last: Option<io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.map(ClientError::from).unwrap_or_else(|| {
+        ClientError::InvalidRequest("address resolved to no socket addresses".to_string())
+    }))
 }
 
 /// Lowers weight-ratio boxes to their wire form.

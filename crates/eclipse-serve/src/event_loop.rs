@@ -129,6 +129,9 @@ struct Conn {
     /// Timestamp of the read that most recently appended to `rbuf`; v2
     /// deadlines are measured from here.
     read_at: Instant,
+    /// When the connection was accepted; half-open hygiene measures the
+    /// first-frame idle window from here.
+    created: Instant,
     /// Write buffer: bytes `[wpos..]` are un-sent.
     wbuf: Vec<u8>,
     wpos: usize,
@@ -159,6 +162,7 @@ impl Conn {
             rbuf: Vec::new(),
             rpos: 0,
             read_at: Instant::now(),
+            created: Instant::now(),
             wbuf: Vec::new(),
             wpos: 0,
             in_flight: 0,
@@ -374,10 +378,19 @@ impl EventLoop {
                 progress |= service_conn(ctx, id, conn, &mut scratch);
             }
 
-            // 4. Reap connections with nothing left to do.
+            // 4. Reap connections with nothing left to do — plus half-open
+            //    hygiene: a connection still waiting for its *first*
+            //    complete frame past the idle window is dropped so a peer
+            //    that accepts and goes silent cannot hold a slot (of
+            //    max_connections) forever.  A connection past its first
+            //    frame (mode settled) is never idle-reaped.
             let state = &self.ctx.state;
+            let idle_timeout = self.ctx.config.idle_timeout;
+            let now = Instant::now();
             self.conns.retain(|id, conn| {
-                let keep = !conn.dead && !conn.finished();
+                let half_open_expired = conn.mode == Mode::Fresh
+                    && idle_timeout.is_some_and(|t| now.duration_since(conn.created) >= t);
+                let keep = !conn.dead && !conn.finished() && !half_open_expired;
                 if !keep {
                     state.unregister_conn(*id);
                 }
@@ -663,16 +676,24 @@ fn finish_decoded(
         deliver_now(conn, route, &response, &ctx.state);
         return;
     }
-    // Idle fast path: with nothing in flight anywhere, answering on the
-    // loop thread skips two thread handoffs — this is what keeps the
-    // unpipelined (depth-1) round trip as fast as the old blocking core.
-    if ctx.config.inline_fast_path
-        && global == 0
-        && matches!(
-            request,
-            Request::Ping | Request::QueryBatch { .. } | Request::CountBatch { .. }
-        )
-    {
+    // Liveness fast path: a Ping on a connection with nothing in flight is
+    // always answered on the loop thread — per-connection FIFO is trivially
+    // preserved, and a health probe measures *liveness* instead of queueing
+    // behind a multi-second LoadDataset on a saturated worker pool (which
+    // would read as a dead member to a fail-fast health checker).
+    //
+    // Idle fast path: with nothing in flight anywhere, answering cheap
+    // probes on the loop thread skips two thread handoffs — this is what
+    // keeps the unpipelined (depth-1) round trip as fast as the old
+    // blocking core.
+    let inline = match request {
+        Request::Ping => conn.in_flight == 0,
+        Request::QueryBatch { .. } | Request::CountBatch { .. } => {
+            ctx.config.inline_fast_path && global == 0
+        }
+        _ => false,
+    };
+    if inline {
         let response = ctx.state.respond(request);
         deliver_now(conn, route, &response, &ctx.state);
         return;

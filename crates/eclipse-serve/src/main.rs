@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! eclipse-serve [--addr HOST:PORT] [--threads N] [--snapshot-dir DIR]
-//!               [--max-pipeline N] [--max-inflight N]
+//!               [--max-pipeline N] [--max-inflight N] [--idle-timeout-ms N]
 //!               [--preload NAME=FAMILY:N:D:SEED]...
 //! ```
 //!
@@ -22,7 +22,11 @@
 //!   depth a `Hello` can negotiate; default 128);
 //! * `--max-inflight` — global in-flight cap across all connections
 //!   (default 1024).  Requests over either cap are rejected with a typed
-//!   `Overloaded` response instead of queueing unboundedly.
+//!   `Overloaded` response instead of queueing unboundedly;
+//! * `--idle-timeout-ms` — how long a freshly accepted connection may sit
+//!   without sending a single complete frame before it is reaped (default
+//!   30000; 0 disables reaping).  Connections that have spoken are never
+//!   idle-reaped.
 
 use std::process::ExitCode;
 
@@ -37,6 +41,7 @@ struct Options {
     snapshot_dir: Option<std::path::PathBuf>,
     max_pipeline: Option<u32>,
     max_in_flight: Option<u32>,
+    idle_timeout_ms: Option<u64>,
     preloads: Vec<(String, Distribution, usize, usize, u64)>,
 }
 
@@ -59,6 +64,9 @@ fn main() -> ExitCode {
     }
     if let Some(cap) = opts.max_in_flight {
         config.max_in_flight = cap;
+    }
+    if let Some(ms) = opts.idle_timeout_ms {
+        config.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
     }
     let server = match Server::bind_with_config(&opts.addr, exec, config) {
         Ok(server) => server,
@@ -123,6 +131,7 @@ fn parse_args() -> Result<Options, String> {
         snapshot_dir: None,
         max_pipeline: None,
         max_in_flight: None,
+        idle_timeout_ms: None,
         preloads: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -169,6 +178,15 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.max_in_flight = Some(cap);
             }
+            "--idle-timeout-ms" => {
+                let raw = args
+                    .next()
+                    .ok_or("--idle-timeout-ms needs a millisecond count")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--idle-timeout-ms: {raw:?} is not an integer"))?;
+                opts.idle_timeout_ms = Some(ms);
+            }
             "--preload" => {
                 let spec = args.next().ok_or("--preload needs NAME=FAMILY:N:D:SEED")?;
                 opts.preloads.push(parse_preload(&spec)?);
@@ -176,7 +194,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: eclipse-serve [--addr HOST:PORT] [--threads N] \
                      [--snapshot-dir DIR] [--max-pipeline N] [--max-inflight N] \
-                     [--preload NAME=FAMILY:N:D:SEED]..."
+                     [--idle-timeout-ms N] [--preload NAME=FAMILY:N:D:SEED]..."
                     .to_string());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),

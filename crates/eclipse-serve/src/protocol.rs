@@ -314,6 +314,22 @@ pub enum Request {
         /// Which index to restore.
         kind: IndexKind,
     },
+    /// Scans the server's `--snapshot-dir` and restores **every** stored
+    /// dataset + index found there — the re-warm operation a router issues
+    /// against a standby (or restarted) backend before readmitting it.
+    /// Per-file fault-tolerant: a corrupt or stale snapshot is skipped and
+    /// reported in [`Response::SnapshotsLoaded`], never aborting the scan.
+    LoadSnapshots,
+    /// Opts this connection in (or out) of **degraded reads**: when the
+    /// answering process is a shard router and some shards are down, an
+    /// opted-in connection receives typed [`Response::PartialResults`] /
+    /// [`Response::PartialCounts`] from the surviving shards instead of a
+    /// hard error.  A single-process server acknowledges the flag but always
+    /// serves complete answers.  Answered with [`Response::PartialAck`].
+    AllowPartial {
+        /// Whether degraded reads are acceptable on this connection.
+        enabled: bool,
+    },
     /// Server and per-dataset statistics.
     Stats,
 }
@@ -423,6 +439,28 @@ pub enum Response {
         /// Size of the written snapshot file in bytes.
         bytes: u64,
     },
+    /// Reply to [`Request::LoadSnapshots`]: what the snapshot-directory scan
+    /// restored and which files it had to skip (corrupt, stale, or
+    /// inconsistent — each with its rendered error).
+    SnapshotsLoaded {
+        /// `(dataset name, summary)` per successfully restored snapshot, in
+        /// deterministic (path-sorted) order.
+        restored: Vec<(String, DatasetSummary)>,
+        /// `(path, error)` per snapshot file that could not be restored.
+        skipped: Vec<(String, String)>,
+    },
+    /// Reply to [`Request::AllowPartial`], echoing the granted setting.
+    PartialAck {
+        /// Whether degraded reads are now enabled on this connection.
+        enabled: bool,
+    },
+    /// Degraded reply to a `QueryBatch` when some shards are unavailable:
+    /// one entry per probe in input order, `None` where every responsible
+    /// shard was down.  Sent only on connections that opted in with
+    /// [`Request::AllowPartial`].
+    PartialResults(Vec<Option<Vec<u64>>>),
+    /// Degraded reply to a `CountBatch`; see [`Response::PartialResults`].
+    PartialCounts(Vec<Option<u64>>),
     /// Reply to [`Request::Stats`].
     Stats(StatsReport),
     /// The request's `deadline_ms` passed before execution started; the
@@ -647,6 +685,8 @@ const REQ_STATS: u8 = 0x05;
 const REQ_SAVE_INDEX: u8 = 0x06;
 const REQ_RESTORE_INDEX: u8 = 0x07;
 const REQ_HELLO: u8 = 0x08;
+const REQ_LOAD_SNAPSHOTS: u8 = 0x09;
+const REQ_ALLOW_PARTIAL: u8 = 0x0a;
 
 impl Request {
     /// Serializes the request into a frame payload.
@@ -702,6 +742,11 @@ impl Request {
                 put_str(&mut buf, name);
                 put_u8(&mut buf, kind.to_wire());
             }
+            Request::LoadSnapshots => put_u8(&mut buf, REQ_LOAD_SNAPSHOTS),
+            Request::AllowPartial { enabled } => {
+                put_u8(&mut buf, REQ_ALLOW_PARTIAL);
+                put_bool(&mut buf, *enabled);
+            }
             Request::Stats => put_u8(&mut buf, REQ_STATS),
         }
         buf
@@ -756,6 +801,8 @@ impl Request {
                 name: r.str()?,
                 kind: IndexKind::from_wire(r.u8()?)?,
             },
+            REQ_LOAD_SNAPSHOTS => Request::LoadSnapshots,
+            REQ_ALLOW_PARTIAL => Request::AllowPartial { enabled: r.bool()? },
             REQ_STATS => Request::Stats,
             other => {
                 return Err(ProtocolError::UnknownTag {
@@ -781,6 +828,10 @@ const RESP_SNAPSHOT_SAVED: u8 = 0x86;
 const RESP_HELLO_ACK: u8 = 0x87;
 const RESP_TIMEOUT: u8 = 0x88;
 const RESP_OVERLOADED: u8 = 0x89;
+const RESP_SNAPSHOTS_LOADED: u8 = 0x8a;
+const RESP_PARTIAL_ACK: u8 = 0x8b;
+const RESP_PARTIAL_QUERY: u8 = 0x8c;
+const RESP_PARTIAL_COUNTS: u8 = 0x8d;
 const RESP_ERROR: u8 = 0xff;
 
 impl Response {
@@ -834,6 +885,55 @@ impl Response {
             Response::SnapshotSaved { bytes } => {
                 put_u8(&mut buf, RESP_SNAPSHOT_SAVED);
                 put_u64(&mut buf, *bytes);
+            }
+            Response::SnapshotsLoaded { restored, skipped } => {
+                put_u8(&mut buf, RESP_SNAPSHOTS_LOADED);
+                put_u32(&mut buf, restored.len() as u32);
+                for (name, s) in restored {
+                    put_str(&mut buf, name);
+                    put_u64(&mut buf, s.points);
+                    put_u32(&mut buf, s.dim);
+                    put_u64(&mut buf, s.skyline_len);
+                    put_u64(&mut buf, s.intersections);
+                }
+                put_u32(&mut buf, skipped.len() as u32);
+                for (path, error) in skipped {
+                    put_str(&mut buf, path);
+                    put_str(&mut buf, error);
+                }
+            }
+            Response::PartialAck { enabled } => {
+                put_u8(&mut buf, RESP_PARTIAL_ACK);
+                put_bool(&mut buf, *enabled);
+            }
+            Response::PartialResults(results) => {
+                put_u8(&mut buf, RESP_PARTIAL_QUERY);
+                put_u32(&mut buf, results.len() as u32);
+                for row in results {
+                    match row {
+                        None => put_bool(&mut buf, false),
+                        Some(ids) => {
+                            put_bool(&mut buf, true);
+                            put_u32(&mut buf, ids.len() as u32);
+                            for &id in ids {
+                                put_u64(&mut buf, id);
+                            }
+                        }
+                    }
+                }
+            }
+            Response::PartialCounts(counts) => {
+                put_u8(&mut buf, RESP_PARTIAL_COUNTS);
+                put_u32(&mut buf, counts.len() as u32);
+                for c in counts {
+                    match c {
+                        None => put_bool(&mut buf, false),
+                        Some(c) => {
+                            put_bool(&mut buf, true);
+                            put_u64(&mut buf, *c);
+                        }
+                    }
+                }
             }
             Response::Timeout { deadline_ms } => {
                 put_u8(&mut buf, RESP_TIMEOUT);
@@ -933,6 +1033,60 @@ impl Response {
                 Response::Counts(counts)
             }
             RESP_SNAPSHOT_SAVED => Response::SnapshotSaved { bytes: r.u64()? },
+            RESP_SNAPSHOTS_LOADED => {
+                let n = r.count(32)?;
+                let mut restored = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?;
+                    restored.push((
+                        name,
+                        DatasetSummary {
+                            points: r.u64()?,
+                            dim: r.u32()?,
+                            skyline_len: r.u64()?,
+                            intersections: r.u64()?,
+                        },
+                    ));
+                }
+                let n = r.count(8)?;
+                let mut skipped = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let path = r.str()?;
+                    let error = r.str()?;
+                    skipped.push((path, error));
+                }
+                Response::SnapshotsLoaded { restored, skipped }
+            }
+            RESP_PARTIAL_ACK => Response::PartialAck { enabled: r.bool()? },
+            RESP_PARTIAL_QUERY => {
+                let n = r.count(1)?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if r.bool()? {
+                        let ids = r.count(8)?;
+                        let mut row = Vec::with_capacity(ids);
+                        for _ in 0..ids {
+                            row.push(r.u64()?);
+                        }
+                        results.push(Some(row));
+                    } else {
+                        results.push(None);
+                    }
+                }
+                Response::PartialResults(results)
+            }
+            RESP_PARTIAL_COUNTS => {
+                let n = r.count(1)?;
+                let mut counts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if r.bool()? {
+                        counts.push(Some(r.u64()?));
+                    } else {
+                        counts.push(None);
+                    }
+                }
+                Response::PartialCounts(counts)
+            }
             RESP_STATS => {
                 let query_batches = r.u64()?;
                 let count_batches = r.u64()?;
@@ -1018,6 +1172,8 @@ mod tests {
                 name: "hotels".to_string(),
                 kind: IndexKind::CuttingTree,
             },
+            Request::LoadSnapshots,
+            Request::AllowPartial { enabled: true },
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -1026,6 +1182,21 @@ mod tests {
             Response::QueryResults(vec![vec![0, 1, 2], vec![]]),
             Response::Counts(vec![3, 0, 7]),
             Response::SnapshotSaved { bytes: 4096 },
+            Response::SnapshotsLoaded {
+                restored: vec![(
+                    "hotels".to_string(),
+                    DatasetSummary {
+                        points: 10,
+                        dim: 2,
+                        skyline_len: 4,
+                        intersections: 6,
+                    },
+                )],
+                skipped: vec![("bad.eclsnap".to_string(), "checksum mismatch".to_string())],
+            },
+            Response::PartialAck { enabled: true },
+            Response::PartialResults(vec![Some(vec![1, 2]), None, Some(vec![])]),
+            Response::PartialCounts(vec![Some(5), None, Some(0)]),
             Response::HelloAck {
                 version: PROTOCOL_V2,
                 pipe_size: 32,

@@ -168,6 +168,18 @@ impl ServerState {
             Request::CountBatch { name, boxes } => self.count_batch(&name, &boxes),
             Request::SaveIndex { name, kind } => self.save_index(&name, kind),
             Request::RestoreIndex { name, kind } => self.restore_index(&name, kind),
+            Request::LoadSnapshots => self.load_snapshots().map(|scan| Response::SnapshotsLoaded {
+                restored: scan.restored,
+                skipped: scan
+                    .skipped
+                    .into_iter()
+                    .map(|(path, e)| (path.display().to_string(), e.to_string()))
+                    .collect(),
+            }),
+            // A single-process server always answers with complete results;
+            // the ack still matters so a router (which *can* degrade) and a
+            // plain server present one contract to opted-in clients.
+            Request::AllowPartial { enabled } => Ok(Response::PartialAck { enabled }),
             Request::Stats => Ok(Response::Stats(self.stats())),
         };
         result.unwrap_or_else(|e| {
@@ -507,6 +519,14 @@ pub struct ServerConfig {
     /// default; tests disable it to force every request through the
     /// dispatcher queue.
     pub inline_fast_path: bool,
+    /// Half-open hygiene: a connection that completes the TCP accept but
+    /// never delivers its *first* frame within this window is reaped, so a
+    /// peer that connects and goes silent cannot hold an event-loop slot
+    /// (of [`ServerConfig::max_connections`]) forever.  Connections that
+    /// have sent at least one complete frame are never idle-reaped — a
+    /// quiet but established client keeps its connection.  `None` disables
+    /// reaping.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -518,6 +538,7 @@ impl Default for ServerConfig {
             workers: 0,
             drain_timeout: Duration::from_secs(5),
             inline_fast_path: true,
+            idle_timeout: Some(Duration::from_secs(30)),
         }
     }
 }

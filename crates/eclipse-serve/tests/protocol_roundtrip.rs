@@ -16,11 +16,15 @@ use eclipse_serve::protocol::{
 fn arbitrary_request(seed: u64) -> Request {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let name = random_name(&mut rng);
-    match rng.gen_range(0..9u32) {
+    match rng.gen_range(0..11u32) {
         0 => Request::Ping,
         8 => Request::Hello {
             max_version: rng.gen_range(0..u32::MAX),
             pipe_size: rng.gen_range(0..u32::MAX),
+        },
+        9 => Request::LoadSnapshots,
+        10 => Request::AllowPartial {
+            enabled: rng.gen_range(0..2u8) == 1,
         },
         1 => {
             let dim = rng.gen_range(2..5u32);
@@ -61,8 +65,52 @@ fn arbitrary_request(seed: u64) -> Request {
 /// Deterministic pseudo-random response for a seed.
 fn arbitrary_response(seed: u64) -> Response {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
-    match rng.gen_range(0..11u32) {
+    match rng.gen_range(0..15u32) {
         0 => Response::Pong,
+        11 => Response::SnapshotsLoaded {
+            restored: (0..rng.gen_range(0..4usize))
+                .map(|_| {
+                    (
+                        random_name(&mut rng),
+                        DatasetSummary {
+                            points: rng.gen_range(0..u64::MAX),
+                            dim: rng.gen_range(0..u32::MAX),
+                            skyline_len: rng.gen_range(0..u64::MAX),
+                            intersections: rng.gen_range(0..u64::MAX),
+                        },
+                    )
+                })
+                .collect(),
+            skipped: (0..rng.gen_range(0..4usize))
+                .map(|_| (random_name(&mut rng), random_name(&mut rng)))
+                .collect(),
+        },
+        12 => Response::PartialAck {
+            enabled: rng.gen_range(0..2u8) == 1,
+        },
+        13 => Response::PartialResults(
+            (0..rng.gen_range(0..8usize))
+                .map(|_| {
+                    if rng.gen_range(0..3u8) == 0 {
+                        None
+                    } else {
+                        let ids = rng.gen_range(0..10usize);
+                        Some((0..ids).map(|_| rng.gen_range(0..u64::MAX)).collect())
+                    }
+                })
+                .collect(),
+        ),
+        14 => Response::PartialCounts(
+            (0..rng.gen_range(0..12usize))
+                .map(|_| {
+                    if rng.gen_range(0..3u8) == 0 {
+                        None
+                    } else {
+                        Some(rng.gen_range(0..u64::MAX))
+                    }
+                })
+                .collect(),
+        ),
         8 => Response::HelloAck {
             version: rng.gen_range(0..u32::MAX),
             pipe_size: rng.gen_range(0..u32::MAX),

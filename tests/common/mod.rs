@@ -8,8 +8,26 @@
 #![allow(dead_code)]
 
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use eclipse_core::Point;
+
+/// Polls `cond` every 10 ms until it holds or `timeout` elapses; returns
+/// whether it held.  Use this instead of bare sleeps: a passing run costs
+/// one poll interval, not the worst-case pause, and a hung condition fails
+/// with a bounded wait instead of wedging the suite.
+pub fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
 
 /// The four-hotel dataset of the paper's running example (Figures 1–3):
 /// (distance in miles, price in $100), smaller is better.

@@ -1,0 +1,253 @@
+//! End-to-end tests of the healthy-path shard router: hash placement,
+//! replicated probe-space partitioning, merged stats/snapshot surfaces,
+//! and both protocol generations on the client side — always asserting
+//! the routed results are byte-identical to a single-process run.
+
+mod common;
+
+use common::TempDir;
+use eclipse_core::exec::ExecutionContext;
+use eclipse_core::WeightRatioBox;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_persist::fnv1a;
+use eclipse_router::router::{Router, RouterConfig};
+use eclipse_serve::client::{Client, PipelinedClient};
+use eclipse_serve::protocol::{IndexKind, Request, Response};
+use eclipse_serve::server::{Server, ServerHandle};
+
+/// A dataset name that hash-places onto `slot` of a `members`-wide ring.
+fn owned_name(slot: usize, members: usize) -> String {
+    (0..)
+        .map(|i| format!("ds{i}"))
+        .find(|name| (fnv1a(name.as_bytes()) % members as u64) as usize == slot)
+        .expect("some name hashes onto every slot")
+}
+
+fn probe_boxes(n: usize) -> Vec<WeightRatioBox> {
+    (0..n)
+        .map(|i| {
+            let lo = 0.2 + 0.07 * i as f64;
+            WeightRatioBox::uniform(3, lo, lo + 2.5).unwrap()
+        })
+        .collect()
+}
+
+fn spawn_backends(n: usize, threads: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| {
+            Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads))
+                .unwrap()
+                .spawn()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn router_over(backends: &[ServerHandle], config: RouterConfig) -> eclipse_router::RouterHandle {
+    let config = RouterConfig {
+        backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+        ..config
+    };
+    Router::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn hashed_placement_shards_datasets_and_merges_identically_to_one_server() {
+    let backends = spawn_backends(2, 2);
+    let router = router_over(&backends, RouterConfig::default());
+
+    let name0 = owned_name(0, 2);
+    let name1 = owned_name(1, 2);
+    let points0 = SyntheticConfig::new(400, 3, Distribution::Independent, 11).generate();
+    let points1 = SyntheticConfig::new(400, 3, Distribution::AntiCorrelated, 12).generate();
+    let boxes = probe_boxes(7);
+
+    // The unsharded reference: one process holding both datasets.
+    let reference = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(2))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut ref_client = Client::connect(reference.addr()).unwrap();
+    ref_client
+        .load_dataset(&name0, &points0, IndexKind::Quadtree)
+        .unwrap();
+    ref_client
+        .load_dataset(&name1, &points1, IndexKind::Quadtree)
+        .unwrap();
+
+    let mut client = Client::connect(router.addr()).unwrap();
+    client.ping().unwrap();
+    client
+        .load_dataset(&name0, &points0, IndexKind::Quadtree)
+        .unwrap();
+    client
+        .load_dataset(&name1, &points1, IndexKind::Quadtree)
+        .unwrap();
+
+    // Placement is real: each backend holds exactly its own dataset.
+    for (i, expected_name) in [(0, &name0), (1, &name1)] {
+        let mut direct = Client::connect(backends[i].addr()).unwrap();
+        let report = direct.stats().unwrap();
+        let held: Vec<&str> = report.datasets.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(held, vec![expected_name.as_str()], "backend {i}");
+    }
+
+    // Routed results are byte-identical to the single-process run.
+    for name in [&name0, &name1] {
+        assert_eq!(
+            client.query_batch(name, &boxes).unwrap(),
+            ref_client.query_batch(name, &boxes).unwrap(),
+            "{name}"
+        );
+        assert_eq!(
+            client.count_batch(name, &boxes).unwrap(),
+            ref_client.count_batch(name, &boxes).unwrap(),
+            "{name}"
+        );
+    }
+
+    // Merged stats see both datasets and the summed probe counters.
+    let report = client.stats().unwrap();
+    assert_eq!(report.datasets.len(), 2);
+    assert_eq!(report.probes, 4 * boxes.len() as u64);
+
+    // The same answers over a pipelined v2 connection through the router.
+    let mut pipelined = PipelinedClient::connect(router.addr(), 8).unwrap();
+    let request = Request::QueryBatch {
+        name: name0.clone(),
+        boxes: boxes
+            .iter()
+            .map(|b| b.ranges().iter().map(|r| (r.lo(), r.hi())).collect())
+            .collect(),
+    };
+    let expected: Vec<Vec<u64>> = ref_client
+        .query_batch(&name0, &boxes)
+        .unwrap()
+        .into_iter()
+        .map(|ids| ids.into_iter().map(|i| i as u64).collect())
+        .collect();
+    match pipelined.call(&request).unwrap() {
+        Response::QueryResults(rows) => assert_eq!(rows, expected),
+        other => panic!("expected QueryResults, got {other:?}"),
+    }
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+    reference.shutdown();
+}
+
+#[test]
+fn replicated_probe_partitioning_merges_in_probe_order() {
+    let backends = spawn_backends(3, 2);
+    let router = router_over(
+        &backends,
+        RouterConfig {
+            replicated: vec!["rep".to_string()],
+            ..RouterConfig::default()
+        },
+    );
+
+    let points = SyntheticConfig::new(600, 3, Distribution::Independent, 21).generate();
+    let reference = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(2))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut ref_client = Client::connect(reference.addr()).unwrap();
+    ref_client
+        .load_dataset("rep", &points, IndexKind::Quadtree)
+        .unwrap();
+
+    let mut client = Client::connect(router.addr()).unwrap();
+    client
+        .load_dataset("rep", &points, IndexKind::Quadtree)
+        .unwrap();
+
+    // Replication is real: every backend holds the dataset.
+    for (i, backend) in backends.iter().enumerate() {
+        let mut direct = Client::connect(backend.addr()).unwrap();
+        let report = direct.stats().unwrap();
+        assert_eq!(report.datasets.len(), 1, "backend {i}");
+        assert_eq!(report.datasets[0].name, "rep", "backend {i}");
+    }
+
+    // Batches around the chunking edges: fewer probes than members, an
+    // exact multiple, a remainder, and the empty batch.
+    for n in [0usize, 1, 2, 3, 10] {
+        let boxes = probe_boxes(n);
+        assert_eq!(
+            client.query_batch("rep", &boxes).unwrap(),
+            ref_client.query_batch("rep", &boxes).unwrap(),
+            "batch of {n}"
+        );
+        assert_eq!(
+            client.count_batch("rep", &boxes).unwrap(),
+            ref_client.count_batch("rep", &boxes).unwrap(),
+            "batch of {n}"
+        );
+    }
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+    reference.shutdown();
+}
+
+#[test]
+fn router_snapshot_surface_saves_once_and_restores_everywhere() {
+    let dir = TempDir::new("router_snapshots");
+    let backends: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(2)).unwrap();
+            server.set_snapshot_dir(dir.path());
+            server.spawn().unwrap()
+        })
+        .collect();
+    let router = router_over(&backends, RouterConfig::default());
+
+    let name0 = owned_name(0, 2);
+    let name1 = owned_name(1, 2);
+    let points0 = SyntheticConfig::new(300, 3, Distribution::Independent, 31).generate();
+    let points1 = SyntheticConfig::new(300, 3, Distribution::Correlated, 32).generate();
+    let boxes = probe_boxes(5);
+
+    let mut client = Client::connect(router.addr()).unwrap();
+    client
+        .load_dataset(&name0, &points0, IndexKind::Quadtree)
+        .unwrap();
+    client
+        .load_dataset(&name1, &points1, IndexKind::Quadtree)
+        .unwrap();
+    let expected0 = client.query_batch(&name0, &boxes).unwrap();
+    let expected1 = client.query_batch(&name1, &boxes).unwrap();
+
+    // SaveIndex routes to each dataset's owner; the shared directory ends
+    // up holding one snapshot per dataset.
+    assert!(client.save_index(&name0, IndexKind::Quadtree).unwrap() > 0);
+    assert!(client.save_index(&name1, IndexKind::Quadtree).unwrap() > 0);
+    let snapshots = std::fs::read_dir(dir.path()).unwrap().count();
+    assert_eq!(snapshots, 2);
+
+    // LoadSnapshots fans to every member and reports the merged scan.
+    let (restored, skipped) = client.load_snapshots().unwrap();
+    assert!(skipped.is_empty(), "{skipped:?}");
+    let mut names: Vec<&str> = restored.iter().map(|(n, _)| n.as_str()).collect();
+    names.sort_unstable();
+    let mut expected_names = vec![name0.as_str(), name1.as_str()];
+    expected_names.sort_unstable();
+    assert_eq!(names, expected_names);
+
+    // Results are unchanged after the restore round-trip.
+    assert_eq!(client.query_batch(&name0, &boxes).unwrap(), expected0);
+    assert_eq!(client.query_batch(&name1, &boxes).unwrap(), expected1);
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}

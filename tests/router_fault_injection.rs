@@ -1,0 +1,432 @@
+//! Fault-injection tests of the shard router, driven by the deterministic
+//! frame-aware [`FaultProxy`]: a shard killed mid-workload fails over to a
+//! re-warmed standby with byte-identical results; without a standby the
+//! router degrades to typed partial results while the connection stays
+//! usable; torn, corrupted, black-holed, and mid-batch-killed backend
+//! connections are contained and transparently retried.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{wait_until, TempDir};
+use eclipse_core::exec::ExecutionContext;
+use eclipse_core::WeightRatioBox;
+use eclipse_data::synthetic::{Distribution, SyntheticConfig};
+use eclipse_persist::fnv1a;
+use eclipse_router::fault::{FaultPlan, FaultProxy};
+use eclipse_router::router::{Router, RouterConfig, RouterHandle};
+use eclipse_serve::client::{Client, ClientError};
+use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::server::{Server, ServerHandle};
+
+/// A dataset name that hash-places onto `slot` of a `members`-wide ring.
+fn owned_name(slot: usize, members: usize) -> String {
+    (0..)
+        .map(|i| format!("ds{i}"))
+        .find(|name| (fnv1a(name.as_bytes()) % members as u64) as usize == slot)
+        .expect("some name hashes onto every slot")
+}
+
+fn probe_boxes(n: usize) -> Vec<WeightRatioBox> {
+    (0..n)
+        .map(|i| {
+            let lo = 0.2 + 0.07 * i as f64;
+            WeightRatioBox::uniform(3, lo, lo + 2.5).unwrap()
+        })
+        .collect()
+}
+
+fn spawn_router(
+    backends: Vec<String>,
+    standbys: Vec<String>,
+    replicated: Vec<String>,
+) -> RouterHandle {
+    Router::bind(
+        "127.0.0.1:0",
+        RouterConfig {
+            backends,
+            standbys,
+            replicated,
+            io_timeout: Duration::from_millis(500),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+#[test]
+fn killed_shard_fails_over_to_rewarmed_standby_with_identical_results() {
+    for threads in [1usize, 4] {
+        let dir = TempDir::new(&format!("failover_{threads}"));
+        let spawn_backend = || {
+            let server =
+                Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads)).unwrap();
+            server.set_snapshot_dir(dir.path());
+            server.spawn().unwrap()
+        };
+        let backend0 = spawn_backend();
+        let backend1 = spawn_backend();
+        let standby = spawn_backend();
+        let proxy0 = FaultProxy::spawn(backend0.addr(), FaultPlan::default()).unwrap();
+        let proxy1 = FaultProxy::spawn(backend1.addr(), FaultPlan::default()).unwrap();
+        let router = spawn_router(
+            vec![proxy0.addr().to_string(), proxy1.addr().to_string()],
+            vec![standby.addr().to_string()],
+            vec!["rep".to_string()],
+        );
+
+        let name0 = owned_name(0, 2);
+        let name1 = owned_name(1, 2);
+        let points0 = SyntheticConfig::new(400, 3, Distribution::Independent, 41).generate();
+        let points1 = SyntheticConfig::new(400, 3, Distribution::AntiCorrelated, 42).generate();
+        let rep = SyntheticConfig::new(500, 3, Distribution::Correlated, 43).generate();
+        let boxes = probe_boxes(6);
+
+        let mut client = Client::connect(router.addr()).unwrap();
+        assert!(client.allow_partial(true).unwrap());
+        for (name, points) in [(&name0, &points0), (&name1, &points1)] {
+            client
+                .load_dataset(name, points, IndexKind::Quadtree)
+                .unwrap();
+        }
+        client
+            .load_dataset("rep", &rep, IndexKind::Quadtree)
+            .unwrap();
+        for name in [name0.as_str(), name1.as_str(), "rep"] {
+            assert!(client.save_index(name, IndexKind::Quadtree).unwrap() > 0);
+        }
+        let expected0 = client.query_batch(&name0, &boxes).unwrap();
+        let expected1 = client.query_batch(&name1, &boxes).unwrap();
+        let expected_rep = client.query_batch("rep", &boxes).unwrap();
+        let expected_rep_counts = client.count_batch("rep", &boxes).unwrap();
+
+        // Kill shard 0 mid-workload: a few queries in, the member behind
+        // proxy0 goes dark without any goodbye.
+        for _ in 0..3 {
+            assert_eq!(client.query_batch("rep", &boxes).unwrap(), expected_rep);
+        }
+        proxy0.set_offline(true);
+
+        // The replicated dataset never degrades: its chunks reroute to the
+        // surviving member (retries included), results still identical.
+        for _ in 0..5 {
+            let rows = client.query_batch_degraded("rep", &boxes).unwrap();
+            let rows: Vec<Vec<usize>> = rows.into_iter().map(|r| r.expect("rep row")).collect();
+            assert_eq!(rows, expected_rep, "threads {threads}");
+            let counts = client.count_batch_degraded("rep", &boxes).unwrap();
+            let counts: Vec<usize> = counts.into_iter().map(|c| c.expect("rep count")).collect();
+            assert_eq!(counts, expected_rep_counts, "threads {threads}");
+        }
+
+        // The health loop promotes the standby into slot 0 (snapshot
+        // re-warm included) and the hashed dataset comes back with
+        // byte-identical results.
+        let recovered = wait_until(
+            || {
+                client
+                    .query_batch_degraded(&name0, &boxes)
+                    .is_ok_and(|rows| {
+                        rows.into_iter().collect::<Option<Vec<Vec<usize>>>>()
+                            == Some(expected0.clone())
+                    })
+            },
+            Duration::from_secs(30),
+        );
+        assert!(recovered, "threads {threads}: failover never completed");
+
+        let events = router.failovers();
+        assert_eq!(events.len(), 1, "threads {threads}: {events:?}");
+        assert_eq!(events[0].slot, 0);
+        assert_eq!(events[0].from_addr, proxy0.addr().to_string());
+        assert_eq!(events[0].to_addr, standby.addr().to_string());
+        // The shared snapshot dir held all three datasets.
+        assert_eq!(events[0].datasets_restored, 3);
+        assert_eq!(events[0].snapshots_skipped, 0);
+
+        // Full workload, byte-identical to the pre-kill answers.
+        assert_eq!(client.query_batch(&name0, &boxes).unwrap(), expected0);
+        assert_eq!(client.query_batch(&name1, &boxes).unwrap(), expected1);
+        assert_eq!(client.query_batch("rep", &boxes).unwrap(), expected_rep);
+
+        router.shutdown();
+        proxy0.shutdown();
+        proxy1.shutdown();
+        for b in [backend0, backend1, standby] {
+            b.shutdown();
+        }
+    }
+}
+
+#[test]
+fn without_standby_reads_degrade_to_typed_partials_and_recover_in_place() {
+    for threads in [1usize, 4] {
+        let spawn_backend = || {
+            Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads))
+                .unwrap()
+                .spawn()
+                .unwrap()
+        };
+        let backend0 = spawn_backend();
+        let backend1 = spawn_backend();
+        let proxy0 = FaultProxy::spawn(backend0.addr(), FaultPlan::default()).unwrap();
+        let proxy1 = FaultProxy::spawn(backend1.addr(), FaultPlan::default()).unwrap();
+        let router = spawn_router(
+            vec![proxy0.addr().to_string(), proxy1.addr().to_string()],
+            Vec::new(),
+            Vec::new(),
+        );
+
+        let name0 = owned_name(0, 2);
+        let name1 = owned_name(1, 2);
+        let points0 = SyntheticConfig::new(300, 3, Distribution::Independent, 51).generate();
+        let points1 = SyntheticConfig::new(300, 3, Distribution::AntiCorrelated, 52).generate();
+        let boxes = probe_boxes(5);
+
+        let mut degraded = Client::connect(router.addr()).unwrap();
+        assert!(degraded.allow_partial(true).unwrap());
+        degraded
+            .load_dataset(&name0, &points0, IndexKind::Quadtree)
+            .unwrap();
+        degraded
+            .load_dataset(&name1, &points1, IndexKind::Quadtree)
+            .unwrap();
+        let expected0 = degraded.query_batch(&name0, &boxes).unwrap();
+        let expected1 = degraded.query_batch(&name1, &boxes).unwrap();
+        let mut strict = Client::connect(router.addr()).unwrap();
+
+        proxy0.set_offline(true);
+
+        // The opted-in connection gets typed per-box `None`s for the dead
+        // shard's dataset — and stays fully usable.
+        let went_partial = wait_until(
+            || {
+                degraded
+                    .query_batch_degraded(&name0, &boxes)
+                    .is_ok_and(|rows| rows.iter().all(Option::is_none))
+            },
+            Duration::from_secs(15),
+        );
+        assert!(went_partial, "threads {threads}: no typed partials");
+        let counts = degraded.count_batch_degraded(&name0, &boxes).unwrap();
+        assert!(counts.iter().all(Option::is_none));
+        degraded.ping().unwrap();
+        assert_eq!(degraded.query_batch(&name1, &boxes).unwrap(), expected1);
+
+        // A connection that did not opt in gets a hard typed error naming
+        // the opt-in — and stays usable too.
+        match strict.query_batch(&name0, &boxes) {
+            Err(ClientError::Server(m)) => {
+                assert!(m.contains("AllowPartial"), "threads {threads}: {m}")
+            }
+            other => panic!("threads {threads}: expected a server error, got {other:?}"),
+        }
+        strict.ping().unwrap();
+        assert_eq!(strict.query_batch(&name1, &boxes).unwrap(), expected1);
+
+        // The shard comes back on the same address: the health loop walks
+        // it through half-open probation and reads complete again.
+        proxy0.set_offline(false);
+        let recovered = wait_until(
+            || {
+                degraded
+                    .query_batch_degraded(&name0, &boxes)
+                    .is_ok_and(|rows| {
+                        rows.into_iter().collect::<Option<Vec<Vec<usize>>>>()
+                            == Some(expected0.clone())
+                    })
+            },
+            Duration::from_secs(15),
+        );
+        assert!(recovered, "threads {threads}: no in-place recovery");
+        let events = router.failovers();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.slot == 0 && e.from_addr == e.to_addr),
+            "threads {threads}: in-place recovery not recorded: {events:?}"
+        );
+
+        router.shutdown();
+        proxy0.shutdown();
+        proxy1.shutdown();
+        backend0.shutdown();
+        backend1.shutdown();
+    }
+}
+
+/// One backend behind a misbehaving proxy; the dataset is loaded directly
+/// (bypassing the proxy) so the planned fault ordinals land on probe
+/// traffic only.  Returns everything the fault tests share.
+fn solo_setup(
+    plan: FaultPlan,
+) -> (
+    ServerHandle,
+    FaultProxy,
+    RouterHandle,
+    Vec<WeightRatioBox>,
+    Vec<Vec<usize>>,
+) {
+    let backend = Server::bind("127.0.0.1:0", ExecutionContext::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let points = SyntheticConfig::new(400, 3, Distribution::Independent, 61).generate();
+    let boxes = probe_boxes(4);
+    let mut direct = Client::connect(backend.addr()).unwrap();
+    direct
+        .load_dataset("solo", &points, IndexKind::Quadtree)
+        .unwrap();
+    let expected = direct.query_batch("solo", &boxes).unwrap();
+    let proxy = FaultProxy::spawn(backend.addr(), plan).unwrap();
+    let router = spawn_router(vec![proxy.addr().to_string()], Vec::new(), Vec::new());
+    (backend, proxy, router, boxes, expected)
+}
+
+#[test]
+fn mid_batch_connection_kills_are_retried_transparently() {
+    // Every router→backend connection dies when its 5th request frame
+    // arrives (Hello + three probes in), the in-flight probe unanswered.
+    let (backend, proxy, router, boxes, expected) = solo_setup(FaultPlan {
+        kill_at_request: Some(5),
+        ..FaultPlan::default()
+    });
+    let mut client = Client::connect(router.addr()).unwrap();
+    for round in 0..10 {
+        assert_eq!(
+            client.query_batch("solo", &boxes).unwrap(),
+            expected,
+            "round {round}"
+        );
+    }
+    router.shutdown();
+    proxy.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn garbage_response_frames_are_contained_and_retried() {
+    // The 3rd response frame of every router→backend connection decodes to
+    // garbage: the router must discard that connection and retry, never
+    // forwarding garbage to the client.
+    let (backend, proxy, router, boxes, expected) = solo_setup(FaultPlan {
+        garbage_response_at: Some(3),
+        ..FaultPlan::default()
+    });
+    let mut client = Client::connect(router.addr()).unwrap();
+    for round in 0..6 {
+        assert_eq!(
+            client.query_batch("solo", &boxes).unwrap(),
+            expected,
+            "round {round}"
+        );
+    }
+    router.shutdown();
+    proxy.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn mid_frame_resets_are_contained_and_retried() {
+    // The 3rd response frame is torn in half and the connection reset: the
+    // partial frame must not desynchronize anything client-visible.
+    let (backend, proxy, router, boxes, expected) = solo_setup(FaultPlan {
+        reset_mid_frame_at: Some(3),
+        ..FaultPlan::default()
+    });
+    let mut client = Client::connect(router.addr()).unwrap();
+    for round in 0..6 {
+        assert_eq!(
+            client.query_batch("solo", &boxes).unwrap(),
+            expected,
+            "round {round}"
+        );
+    }
+    router.shutdown();
+    proxy.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn black_holed_responses_hit_the_io_timeout_and_retry() {
+    // After two responses each connection goes silent (requests still
+    // reach the backend): the router's socket timeout must fire and the
+    // probe must be retried on a fresh connection.
+    let (backend, proxy, router, boxes, expected) = solo_setup(FaultPlan {
+        black_hole_after: Some(2),
+        ..FaultPlan::default()
+    });
+    let mut client = Client::connect(router.addr()).unwrap();
+    for round in 0..5 {
+        assert_eq!(
+            client.query_batch("solo", &boxes).unwrap(),
+            expected,
+            "round {round}"
+        );
+    }
+    router.shutdown();
+    proxy.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn corrupt_snapshots_are_skipped_during_failover_rewarm() {
+    let dir = TempDir::new("corrupt_rewarm");
+    let spawn_backend = || {
+        let server = Server::bind("127.0.0.1:0", ExecutionContext::default()).unwrap();
+        server.set_snapshot_dir(dir.path());
+        server.spawn().unwrap()
+    };
+    let backend = spawn_backend();
+    let standby = spawn_backend();
+    let proxy = FaultProxy::spawn(backend.addr(), FaultPlan::default()).unwrap();
+    let router = spawn_router(
+        vec![proxy.addr().to_string()],
+        vec![standby.addr().to_string()],
+        Vec::new(),
+    );
+
+    let points = SyntheticConfig::new(300, 3, Distribution::Independent, 71).generate();
+    let boxes = probe_boxes(5);
+    let mut client = Client::connect(router.addr()).unwrap();
+    client.allow_partial(true).unwrap();
+    client
+        .load_dataset("solo", &points, IndexKind::Quadtree)
+        .unwrap();
+    client.save_index("solo", IndexKind::Quadtree).unwrap();
+    let expected = client.query_batch("solo", &boxes).unwrap();
+
+    // A corrupt snapshot lands in the shared dir before the failover.
+    std::fs::write(
+        dir.path().join("junk.eclsnap"),
+        b"definitely not a snapshot",
+    )
+    .unwrap();
+
+    proxy.set_offline(true);
+    let recovered = wait_until(
+        || {
+            client
+                .query_batch_degraded("solo", &boxes)
+                .is_ok_and(|rows| {
+                    rows.into_iter().collect::<Option<Vec<Vec<usize>>>>() == Some(expected.clone())
+                })
+        },
+        Duration::from_secs(30),
+    );
+    assert!(recovered, "failover never completed");
+
+    // The re-warm restored the good snapshot and skipped the corrupt one
+    // instead of aborting the promotion.
+    let events = router.failovers();
+    assert_eq!(events.len(), 1, "{events:?}");
+    assert_eq!(events[0].datasets_restored, 1);
+    assert_eq!(events[0].snapshots_skipped, 1);
+
+    router.shutdown();
+    proxy.shutdown();
+    backend.shutdown();
+    standby.shutdown();
+}

@@ -1,0 +1,84 @@
+//! Socket-timeout regression tests: clients must fail fast against a peer
+//! that accepts connections but never replies, and the server must reap
+//! accepted connections that never send a first frame (half-open hygiene)
+//! without ever reaping an established connection.
+
+mod common;
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use common::wait_until;
+use eclipse_core::exec::ExecutionContext;
+use eclipse_serve::client::{Client, ClientError, PipelinedClient};
+use eclipse_serve::server::{Server, ServerConfig};
+
+#[test]
+fn clients_time_out_against_an_accepting_but_silent_peer() {
+    // A listener whose backlog completes TCP handshakes but that never
+    // reads or writes: connects succeed, replies never come.
+    let silent = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = silent.local_addr().unwrap();
+
+    // Plain client: connect succeeds, the read times out as a typed error.
+    let started = Instant::now();
+    let mut client = Client::connect_timeout(addr, Duration::from_millis(500)).unwrap();
+    client
+        .set_io_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    match client.ping() {
+        Err(ClientError::SocketTimeout) => {}
+        other => panic!("expected SocketTimeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "a silent peer must not hang the client: {:?}",
+        started.elapsed()
+    );
+
+    // Pipelined client: the Hello handshake itself is covered by the
+    // timeout, so even connection setup cannot hang.
+    let started = Instant::now();
+    match PipelinedClient::connect_timeout(addr, 8, Duration::from_millis(200)) {
+        Err(ClientError::SocketTimeout) => {}
+        other => panic!("expected SocketTimeout from the handshake, got {other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn first_frame_less_connections_are_reaped_but_established_ones_are_not() {
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind_with_config("127.0.0.1:0", ExecutionContext::serial(), config)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    // An established connection (one that sent its first frame) lives far
+    // beyond the idle window.
+    let mut established = Client::connect(handle.addr()).unwrap();
+    established.ping().unwrap();
+
+    // A connection that never sends anything is reaped: the server closes
+    // it and our read observes EOF.
+    let mut idle = TcpStream::connect(handle.addr()).unwrap();
+    idle.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let reaped = wait_until(
+        || {
+            let mut buf = [0u8; 16];
+            matches!(idle.read(&mut buf), Ok(0))
+        },
+        Duration::from_secs(5),
+    );
+    assert!(reaped, "a first-frame-less connection was never reaped");
+
+    // Well past the idle window, the established connection still answers.
+    std::thread::sleep(Duration::from_millis(400));
+    established.ping().unwrap();
+    handle.shutdown();
+}
