@@ -215,6 +215,16 @@ impl EclipseIndex {
         config: IndexConfig,
         ctx: &ExecutionContext,
     ) -> Result<Self> {
+        Self::validate_dataset(points)?;
+        // 1. Skyline points (forked divide step when the context has lanes).
+        // Only the ids and one flat coordinate buffer are kept: no `Point`
+        // clones.
+        let skyline_ids = eclipse_skyline::dc::skyline_dc_parallel(points, ctx.pool());
+        Self::build_from_skyline(points, skyline_ids, config, ctx)
+    }
+
+    /// The shared dataset validity requirements of every build entry point.
+    fn validate_dataset(points: &[Point]) -> Result<usize> {
         let Some(first) = points.first() else {
             return Err(EclipseError::EmptyDataset);
         };
@@ -232,11 +242,38 @@ impl EclipseIndex {
                 });
             }
         }
+        Ok(dim)
+    }
 
-        // 1. Skyline points (forked divide step when the context has lanes).
-        // Only the ids and one flat coordinate buffer are kept: no `Point`
-        // clones.
-        let skyline_ids = eclipse_skyline::dc::skyline_dc_parallel(points, ctx.pool());
+    /// [`EclipseIndex::build_with`] with the skyline pass already done:
+    /// `skyline_ids` must be exactly what
+    /// [`eclipse_skyline::dc::skyline_dc_parallel`] would return for
+    /// `points` (the strictly ascending, duplicate-deduplicated skyline).
+    /// Incremental maintenance derives the post-mutation skyline from the
+    /// pre-mutation one and hands it here, skipping the full-dataset skyline
+    /// recomputation; everything downstream is the plain build path, so equal
+    /// skyline id sets produce **byte-identical** arenas to a full build
+    /// (asserted by the mutation suites and every `experiments -- mutate`
+    /// pass).
+    ///
+    /// # Errors
+    /// Same dataset validation as [`EclipseIndex::build`], plus
+    /// [`EclipseError::Snapshot`]-free structural checks on the id list
+    /// (ascending, in range) surfaced as [`EclipseError::Unsupported`].
+    pub fn build_from_skyline(
+        points: &[Point],
+        skyline_ids: Vec<usize>,
+        config: IndexConfig,
+        ctx: &ExecutionContext,
+    ) -> Result<Self> {
+        let dim = Self::validate_dataset(points)?;
+        if !skyline_ids.windows(2).all(|w| w[0] < w[1])
+            || skyline_ids.last().is_some_and(|&id| id >= points.len())
+        {
+            return Err(EclipseError::Unsupported(
+                "skyline ids must be strictly ascending indices into the dataset".to_string(),
+            ));
+        }
         let u = skyline_ids.len();
         let mut coords = Vec::with_capacity(u * dim);
         for &i in &skyline_ids {
@@ -338,6 +375,25 @@ impl EclipseIndex {
     /// Number of indexed intersection hyperplanes (`C(u, 2)`).
     pub fn num_intersections(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// A copy of the index re-targeted at the dataset with row `deleted`
+    /// removed: ids above the deleted row shift down by one.  Only valid when
+    /// the deleted row is **not** a skyline member — the skyline point-set
+    /// (and with it every hyperplane and arena byte) is then unchanged, so
+    /// the copy is byte-identical to a fresh build over the mutated dataset.
+    pub(crate) fn with_deleted_id(&self, deleted: usize) -> Self {
+        debug_assert!(
+            !self.skyline_ids.contains(&deleted),
+            "id remap is only sound for non-skyline deletes"
+        );
+        let mut out = self.clone();
+        for id in &mut out.skyline_ids {
+            if *id > deleted {
+                *id -= 1;
+            }
+        }
+        out
     }
 
     /// The configuration used to build the index.

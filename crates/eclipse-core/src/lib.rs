@@ -72,7 +72,7 @@ pub mod weights;
 
 pub use error::{EclipseError, Result};
 pub use exec::{ExecutionContext, QueryOptions};
-pub use query::EclipseEngine;
+pub use query::{EclipseEngine, MutationOutcome, MutationSummary};
 pub use weights::{RatioRange, WeightRatioBox};
 
 /// Re-export of the point types shared across the workspace.

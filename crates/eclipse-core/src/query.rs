@@ -5,11 +5,40 @@
 //! an explicit choice), the classic 1NN / kNN and skyline operators, the
 //! convex-hull query, preference-specification lowering, and lazily built,
 //! thread-shareable index structures for repeated eclipse queries.
+//!
+//! # Mutability and epochs
+//!
+//! The dataset is mutable through [`EclipseEngine::insert`] and
+//! [`EclipseEngine::delete`].  Every mutation bumps a monotonically
+//! increasing **epoch**; the point vector and every built index slot are
+//! tagged with the epoch they belong to, and probes read whatever consistent
+//! `(points, index)` version is installed when they start — an in-flight
+//! probe holding the old `Arc`s keeps answering from the pre-mutation
+//! snapshot while the post-mutation version swaps in atomically behind it.
+//!
+//! Mutations maintain the skyline (and the built intersection indexes)
+//! **incrementally** instead of rebuilding from scratch:
+//!
+//! * an insert dominated by a skyline member changes nothing — the arenas
+//!   are re-tagged with the new epoch as-is;
+//! * a skyline-entering insert evicts exactly the members it dominates and
+//!   rebuilds the built indexes from the updated skyline (the full-dataset
+//!   skyline pass is skipped);
+//! * a delete of a non-skyline row leaves the skyline point-set untouched —
+//!   the indexes are copied with ids above the deleted row shifted down,
+//!   every arena byte unchanged;
+//! * a delete of a skyline member promotes exactly the points it exclusively
+//!   dominated (an `O(n·d)` candidate scan, not a full skyline recompute).
+//!
+//! In every case the maintained index is **byte-identical** to a fresh
+//! rebuild over the mutated dataset (asserted by the mutation property
+//! suites and on every `experiments -- mutate` pass).
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use eclipse_geom::point::Point;
 use eclipse_persist::{enc, Cursor, SnapshotReader, SnapshotWriter};
+use eclipse_skyline::dominance::dominates;
 use eclipse_skyline::knn::{knn_linear_scan, ratio_to_weights, Neighbor};
 
 use crate::algo::baseline::eclipse_baseline;
@@ -41,15 +70,71 @@ pub enum Algorithm {
     IndexCuttingTree,
 }
 
+/// How a mutation changed the skyline (and with it the index maintenance
+/// work it required).  Reported over the wire by the serving layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationOutcome {
+    /// The inserted point is dominated by a skyline member: the skyline and
+    /// every built index are unchanged (re-tagged with the new epoch).
+    InsertedDominated,
+    /// The inserted point entered the skyline, evicting the members it
+    /// dominates; built indexes were rebuilt from the updated skyline.
+    InsertedSkyline,
+    /// The deleted row was not a skyline member: the skyline point-set is
+    /// unchanged and the built indexes were copied with remapped ids.
+    DeletedNonSkyline,
+    /// The deleted row was a skyline member: its exclusively-dominated
+    /// points were promoted and built indexes rebuilt.
+    DeletedSkyline,
+}
+
+/// What a successful [`EclipseEngine::insert`] / [`EclipseEngine::delete`]
+/// did: the classification, the dataset epoch it produced, and the
+/// post-mutation point count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationSummary {
+    /// How the mutation changed the skyline.
+    pub outcome: MutationOutcome,
+    /// The dataset epoch after the mutation (starts at 0, +1 per mutation).
+    pub epoch: u64,
+    /// The number of points after the mutation.
+    pub len: usize,
+}
+
+/// One immutable version of the dataset: the points and the epoch they
+/// belong to.  Probes clone the `Arc` under a brief read lock; mutations
+/// install the successor version atomically.
+#[derive(Clone)]
+struct DatasetVersion {
+    points: Arc<Vec<Point>>,
+    epoch: u64,
+}
+
+/// A built index tagged with the dataset epoch it covers.  A slot whose
+/// epoch is behind the dataset's is stale — it is never served, and the next
+/// build (or mutation) replaces it.
+#[derive(Clone)]
+struct IndexSlot {
+    epoch: u64,
+    index: Arc<EclipseIndex>,
+}
+
 /// A dataset plus cached index structures, answering all queries from the
 /// paper.  Cheap to share across threads (`&self` queries only).
 pub struct EclipseEngine {
-    points: Vec<Point>,
+    dataset: RwLock<DatasetVersion>,
     dim: usize,
-    quad_index: RwLock<Option<Arc<EclipseIndex>>>,
-    cutting_index: RwLock<Option<Arc<EclipseIndex>>>,
+    quad_index: RwLock<Option<IndexSlot>>,
+    cutting_index: RwLock<Option<IndexSlot>>,
+    /// Epoch-tagged skyline ids of the current dataset version, maintained
+    /// incrementally by mutations so consecutive mutations never recompute
+    /// the skyline from scratch.
+    skyline_cache: RwLock<Option<(u64, Arc<Vec<usize>>)>>,
     index_config: IndexConfig,
     exec: ExecutionContext,
+    /// Serializes mutations (and snapshot writes) so each computes against a
+    /// stable pre-image.  Probes never take this lock.
+    mutation: Mutex<()>,
 }
 
 impl EclipseEngine {
@@ -86,13 +171,31 @@ impl EclipseEngine {
             }
         }
         Ok(EclipseEngine {
-            points,
+            dataset: RwLock::new(DatasetVersion {
+                points: Arc::new(points),
+                epoch: 0,
+            }),
             dim,
             quad_index: RwLock::new(None),
             cutting_index: RwLock::new(None),
+            skyline_cache: RwLock::new(None),
             index_config,
             exec: ExecutionContext::default(),
+            mutation: Mutex::new(()),
         })
+    }
+
+    /// A consistent `(points, epoch)` snapshot of the current dataset.
+    fn version(&self) -> DatasetVersion {
+        self.dataset.read().expect("dataset lock poisoned").clone()
+    }
+
+    /// The cache slot of the given index kind.
+    fn slot(&self, kind: IntersectionIndexKind) -> &RwLock<Option<IndexSlot>> {
+        match kind {
+            IntersectionIndexKind::Quadtree => &self.quad_index,
+            IntersectionIndexKind::CuttingTree => &self.cutting_index,
+        }
     }
 
     /// Replaces the engine's execution context (builder style): the thread
@@ -109,44 +212,79 @@ impl EclipseEngine {
         &self.exec
     }
 
-    /// Number of points in the dataset.
+    /// Number of points in the current dataset version.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.dataset
+            .read()
+            .expect("dataset lock poisoned")
+            .points
+            .len()
     }
 
-    /// `true` when the dataset is empty (never true after construction).
+    /// `true` when the dataset is empty (never true — construction rejects
+    /// empty datasets and deletes refuse to remove the last point).
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.len() == 0
     }
 
-    /// Dataset dimensionality.
+    /// Dataset dimensionality (fixed for the lifetime of the engine;
+    /// mutations cannot change it).
     pub fn dim(&self) -> usize {
         self.dim
     }
 
-    /// The underlying points.
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    /// The current dataset version's points — a cheap `Arc` clone, so the
+    /// returned snapshot stays valid (and unchanged) across concurrent
+    /// mutations.
+    pub fn points(&self) -> Arc<Vec<Point>> {
+        self.dataset
+            .read()
+            .expect("dataset lock poisoned")
+            .points
+            .clone()
     }
 
-    /// Eagerly builds (and caches) the index of the given kind, returning a
-    /// shared handle.  Subsequent `Auto` queries will use it.
+    /// The current dataset epoch: 0 at construction, +1 per mutation.
+    /// Snapshots record it and stale-epoch restores are rejected.
+    pub fn epoch(&self) -> u64 {
+        self.dataset.read().expect("dataset lock poisoned").epoch
+    }
+
+    /// Eagerly builds (and caches) the index of the given kind **for the
+    /// current dataset epoch**, returning a shared handle.  Subsequent
+    /// `Auto` queries will use it; a cached index left behind by an older
+    /// epoch is ignored and rebuilt.
     ///
     /// # Errors
     /// Propagates index-construction errors.
     pub fn build_index(&self, kind: IntersectionIndexKind) -> Result<Arc<EclipseIndex>> {
-        let slot = match kind {
-            IntersectionIndexKind::Quadtree => &self.quad_index,
-            IntersectionIndexKind::CuttingTree => &self.cutting_index,
-        };
-        if let Some(existing) = slot.read().expect("index lock poisoned").clone() {
-            return Ok(existing);
+        let slot = self.slot(kind);
+        loop {
+            let version = self.version();
+            if let Some(s) = slot.read().expect("index lock poisoned").as_ref() {
+                if s.epoch == version.epoch {
+                    return Ok(Arc::clone(&s.index));
+                }
+            }
+            let mut config = self.index_config;
+            config.kind = kind;
+            let built = Arc::new(EclipseIndex::build_with(
+                &version.points,
+                config,
+                &self.exec,
+            )?);
+            // Install only if the dataset has not moved on while we built; a
+            // racing mutation installs its own maintained index for the new
+            // epoch, so a stale build is discarded and retried.
+            let dataset = self.dataset.read().expect("dataset lock poisoned");
+            if dataset.epoch == version.epoch {
+                *slot.write().expect("index lock poisoned") = Some(IndexSlot {
+                    epoch: version.epoch,
+                    index: Arc::clone(&built),
+                });
+                return Ok(built);
+            }
         }
-        let mut config = self.index_config;
-        config.kind = kind;
-        let built = Arc::new(EclipseIndex::build_with(&self.points, config, &self.exec)?);
-        *slot.write().expect("index lock poisoned") = Some(built.clone());
-        Ok(built)
     }
 
     /// Answers an eclipse query with automatic algorithm selection.
@@ -190,9 +328,9 @@ impl EclipseEngine {
             });
         }
         match options.algorithm {
-            Algorithm::Baseline => eclipse_baseline(&self.points, ratio_box),
+            Algorithm::Baseline => eclipse_baseline(&self.points(), ratio_box),
             Algorithm::Transform => {
-                eclipse_transform_with(&self.points, ratio_box, options.backend, &self.exec)
+                eclipse_transform_with(&self.points(), ratio_box, options.backend, &self.exec)
             }
             Algorithm::IndexQuadtree => self
                 .build_index(IntersectionIndexKind::Quadtree)?
@@ -299,15 +437,17 @@ impl EclipseEngine {
     }
 
     /// The cached index of the given kind, if one has been built (by
-    /// [`EclipseEngine::build_index`] or lazily by a query) — a cheap
-    /// accessor for serving-layer statistics that must not trigger an index
-    /// build.
+    /// [`EclipseEngine::build_index`] or lazily by a query) **and it covers
+    /// the current dataset epoch** — a cheap accessor for serving-layer
+    /// statistics that must not trigger an index build.
     pub fn cached_index(&self, kind: IntersectionIndexKind) -> Option<Arc<EclipseIndex>> {
-        let slot = match kind {
-            IntersectionIndexKind::Quadtree => &self.quad_index,
-            IntersectionIndexKind::CuttingTree => &self.cutting_index,
-        };
-        slot.read().expect("index lock poisoned").clone()
+        let epoch = self.epoch();
+        self.slot(kind)
+            .read()
+            .expect("index lock poisoned")
+            .as_ref()
+            .filter(|s| s.epoch == epoch)
+            .map(|s| Arc::clone(&s.index))
     }
 
     /// The index-construction parameters the engine builds indexes with.
@@ -318,30 +458,42 @@ impl EclipseEngine {
     /// Serializes the dataset plus the built index of the given kind into a
     /// versioned snapshot (building and caching the index first if needed).
     /// `label` is stored alongside the dataset — servers use it to re-derive
-    /// the dataset name on a warm restart.
+    /// the dataset name on a warm restart — and so is the dataset **epoch**,
+    /// so a restore can tell a snapshot of the same bytes at an older epoch
+    /// apart from a current one.
     ///
     /// # Errors
     /// Propagates index-construction errors.
     pub fn save_snapshot(&self, label: &str, kind: IntersectionIndexKind) -> Result<Vec<u8>> {
+        // Hold the mutation lock so the encoded (points, epoch, index)
+        // triple is one consistent version.
+        let _guard = self.mutation.lock().expect("mutation lock poisoned");
         let index = self.build_index(kind)?;
+        let version = self.version();
         let mut writer = SnapshotWriter::new();
         let mut dataset = Vec::new();
         enc::put_str(&mut dataset, label);
         enc::put_u32(&mut dataset, self.dim as u32);
-        enc::put_usize(&mut dataset, self.points.len());
-        for p in &self.points {
+        enc::put_usize(&mut dataset, version.points.len());
+        for p in version.points.iter() {
             for &c in p.coords() {
                 enc::put_f64(&mut dataset, c);
             }
         }
+        // Format v3: the dataset epoch rides at the end of the section (v1/v2
+        // snapshots predate mutability and decode as epoch 0).
+        enc::put_u64(&mut dataset, version.epoch);
         writer.section(crate::index::SECTION_DATASET, dataset);
         index.encode_snapshot_into(&mut writer);
         Ok(writer.finish())
     }
 
     /// Decodes the dataset section of an engine-level snapshot: the label,
-    /// dimensionality and row-major coordinate buffer.
-    fn decode_dataset_section(reader: &SnapshotReader<'_>) -> Result<(String, usize, Vec<f64>)> {
+    /// dimensionality, row-major coordinate buffer and dataset epoch (0 for
+    /// pre-v3 snapshots, which predate mutability).
+    fn decode_dataset_section(
+        reader: &SnapshotReader<'_>,
+    ) -> Result<(String, usize, Vec<f64>, u64)> {
         let mut cur = Cursor::new(reader.section(crate::index::SECTION_DATASET)?);
         let label = cur.str()?;
         let dim = cur.u32()? as usize;
@@ -359,8 +511,9 @@ impl EclipseEngine {
         let coords = cur.f64_vec(n.checked_mul(dim).ok_or_else(|| {
             EclipseError::Snapshot(format!("{n} points of dimension {dim} overflow"))
         })?)?;
+        let epoch = if reader.version() >= 3 { cur.u64()? } else { 0 };
         cur.finish()?;
-        Ok((label, dim, coords))
+        Ok((label, dim, coords, epoch))
     }
 
     /// Reads just the dataset label out of an engine-level snapshot —
@@ -394,15 +547,16 @@ impl EclipseEngine {
     ///   configuration disagree.
     pub fn restore_index_snapshot(&self, bytes: &[u8]) -> Result<Arc<EclipseIndex>> {
         let reader = SnapshotReader::parse(bytes)?;
-        let (_label, dim, coords) = Self::decode_dataset_section(&reader)?;
+        let (_label, dim, coords, epoch) = Self::decode_dataset_section(&reader)?;
         if dim != self.dim {
             return Err(EclipseError::DimensionMismatch {
                 expected: self.dim,
                 found: dim,
             });
         }
-        if coords.len() != self.points.len() * self.dim
-            || !self
+        let version = self.version();
+        if coords.len() != version.points.len() * self.dim
+            || !version
                 .points
                 .iter()
                 .flat_map(|p| p.coords().iter())
@@ -414,8 +568,17 @@ impl EclipseEngine {
                     "snapshot dataset ({} coordinates) differs from the registered dataset \
                      ({} points of dimension {})",
                     coords.len(),
-                    self.points.len(),
+                    version.points.len(),
                     self.dim
+                ),
+            });
+        }
+        if epoch != version.epoch {
+            return Err(EclipseError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot dataset epoch {epoch} differs from the engine's epoch {} \
+                     (the snapshot predates or postdates a mutation)",
+                    version.epoch
                 ),
             });
         }
@@ -429,11 +592,13 @@ impl EclipseEngine {
         }
         index.validate_against_dataset(self.dim, &coords)?;
         let index = Arc::new(index);
-        let slot = match index.config().kind {
-            IntersectionIndexKind::Quadtree => &self.quad_index,
-            IntersectionIndexKind::CuttingTree => &self.cutting_index,
-        };
-        *slot.write().expect("index lock poisoned") = Some(Arc::clone(&index));
+        *self
+            .slot(index.config().kind)
+            .write()
+            .expect("index lock poisoned") = Some(IndexSlot {
+            epoch: version.epoch,
+            index: Arc::clone(&index),
+        });
         Ok(index)
     }
 
@@ -450,7 +615,7 @@ impl EclipseEngine {
     /// the stored dataset.
     pub fn from_snapshot(bytes: &[u8]) -> Result<(String, EclipseEngine)> {
         let reader = SnapshotReader::parse(bytes)?;
-        let (label, dim, coords) = Self::decode_dataset_section(&reader)?;
+        let (label, dim, coords, epoch) = Self::decode_dataset_section(&reader)?;
         let index = EclipseIndex::from_snapshot_reader(&reader)?;
         if index.dim() != dim {
             return Err(EclipseError::Snapshot(format!(
@@ -461,12 +626,12 @@ impl EclipseEngine {
         index.validate_against_dataset(dim, &coords)?;
         let points: Vec<Point> = coords.chunks_exact(dim).map(Point::from_slice).collect();
         let engine = EclipseEngine::with_index_config(points, *index.config())?;
+        // Adopt the stored epoch so subsequent saves/restores line up with
+        // the mutation history the snapshot captured.
+        engine.dataset.write().expect("dataset lock poisoned").epoch = epoch;
+        let kind = index.config().kind;
         let index = Arc::new(index);
-        let slot = match index.config().kind {
-            IntersectionIndexKind::Quadtree => &engine.quad_index,
-            IntersectionIndexKind::CuttingTree => &engine.cutting_index,
-        };
-        *slot.write().expect("index lock poisoned") = Some(index);
+        *engine.slot(kind).write().expect("index lock poisoned") = Some(IndexSlot { epoch, index });
         Ok((label, engine))
     }
 
@@ -495,7 +660,7 @@ impl EclipseEngine {
         // Other unbounded ranges: the analytic pairwise predicate is the only
         // exact option (O(n²) but fully general).
         if ratio_box.has_unbounded_range() {
-            return Ok(eclipse_naive(&self.points, ratio_box));
+            return Ok(eclipse_naive(&self.points(), ratio_box));
         }
         // Finite boxes: prefer an already-built index, else TRAN.
         if let Some(idx) = self.cached_index(IntersectionIndexKind::Quadtree) {
@@ -504,7 +669,7 @@ impl EclipseEngine {
         if let Some(idx) = self.cached_index(IntersectionIndexKind::CuttingTree) {
             return idx.query(ratio_box);
         }
-        eclipse_transform_with(&self.points, ratio_box, backend, &self.exec)
+        eclipse_transform_with(&self.points(), ratio_box, backend, &self.exec)
     }
 
     /// Eclipse query returning the points themselves instead of indices.
@@ -512,10 +677,11 @@ impl EclipseEngine {
     /// # Errors
     /// Same as [`EclipseEngine::eclipse`].
     pub fn eclipse_points(&self, ratio_box: &WeightRatioBox) -> Result<Vec<Point>> {
+        let points = self.points();
         Ok(self
             .eclipse(ratio_box)?
             .into_iter()
-            .map(|i| self.points[i].clone())
+            .map(|i| points[i].clone())
             .collect())
     }
 
@@ -545,7 +711,7 @@ impl EclipseEngine {
                 found: center_ratios.len() + 1,
             });
         }
-        crate::algo::keclipse::eclipse_top_k(&self.points, center_ratios, k)
+        crate::algo::keclipse::eclipse_top_k(&self.points(), center_ratios, k)
     }
 
     /// Eclipse query with a result budget: returns the eclipse points of
@@ -565,7 +731,7 @@ impl EclipseEngine {
                 found: ratio_box.dim(),
             });
         }
-        crate::algo::keclipse::eclipse_with_budget(&self.points, ratio_box, k)
+        crate::algo::keclipse::eclipse_with_budget(&self.points(), ratio_box, k)
     }
 
     /// The skyline of the dataset (indices, ascending), computed with the
@@ -573,14 +739,51 @@ impl EclipseEngine {
     /// execution context when it has more than one lane (results are
     /// identical at every thread count).
     pub fn skyline(&self) -> Vec<usize> {
-        eclipse_skyline::dc::skyline_dc_parallel(&self.points, self.exec.pool())
+        let version = self.version();
+        self.current_skyline(&version).to_vec()
     }
 
     /// The skyline of the dataset computed with an explicit backend, running
     /// on the engine's execution context.  [`SkylineBackend::Auto`] picks the
     /// 2-D sweep for planar data and sort-filter otherwise.
     pub fn skyline_with(&self, backend: SkylineBackend) -> Vec<usize> {
-        run_skyline(&self.points, backend, &self.exec)
+        run_skyline(&self.points(), backend, &self.exec)
+    }
+
+    /// The skyline of `version`, from (in preference order) the epoch-tagged
+    /// cache, the skyline ids of an already-built index slot at the same
+    /// epoch, or a fresh divide-and-conquer run.  The result is cached under
+    /// `version.epoch` so consecutive mutations never recompute it.
+    fn current_skyline(&self, version: &DatasetVersion) -> Arc<Vec<usize>> {
+        if let Some((epoch, sky)) = self
+            .skyline_cache
+            .read()
+            .expect("skyline cache poisoned")
+            .as_ref()
+        {
+            if *epoch == version.epoch {
+                return Arc::clone(sky);
+            }
+        }
+        let from_slot = [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ]
+        .iter()
+        .find_map(|&kind| {
+            self.slot(kind)
+                .read()
+                .expect("index lock poisoned")
+                .as_ref()
+                .filter(|s| s.epoch == version.epoch)
+                .map(|s| s.index.skyline_ids().to_vec())
+        });
+        let sky = Arc::new(from_slot.unwrap_or_else(|| {
+            eclipse_skyline::dc::skyline_dc_parallel(&version.points, self.exec.pool())
+        }));
+        *self.skyline_cache.write().expect("skyline cache poisoned") =
+            Some((version.epoch, Arc::clone(&sky)));
+        sky
     }
 
     /// Explains why `target` is (or is not) in the eclipse result: the
@@ -598,18 +801,14 @@ impl EclipseEngine {
                 found: ratio_box.dim(),
             });
         }
-        if target >= self.points.len() {
+        let points = self.points();
+        if target >= points.len() {
             return Err(EclipseError::Unsupported(format!(
                 "explain target {target} out of range for {} points",
-                self.points.len()
+                points.len()
             )));
         }
-        Ok(dominators_of_with(
-            &self.points,
-            target,
-            ratio_box,
-            &self.exec,
-        ))
+        Ok(dominators_of_with(&points, target, ratio_box, &self.exec))
     }
 
     /// For 2-D data: the partition of the query ratio range into maximal
@@ -619,12 +818,12 @@ impl EclipseEngine {
     /// # Errors
     /// Propagates the validation errors of the underlying computation.
     pub fn winner_intervals(&self, ratio_box: &WeightRatioBox) -> Result<Vec<WinnerInterval>> {
-        winner_intervals_2d_with(&self.points, ratio_box, &self.exec)
+        winner_intervals_2d_with(&self.points(), ratio_box, &self.exec)
     }
 
     /// The convex-hull-query points of the dataset (origin's view).
     pub fn convex_hull(&self) -> Vec<usize> {
-        eclipse_skyline::hull::hull_query_lp(&self.points)
+        eclipse_skyline::hull::hull_query_lp(&self.points())
     }
 
     /// Top-k points under the linear scoring function induced by a ratio
@@ -639,7 +838,11 @@ impl EclipseEngine {
                 found: ratios.len() + 1,
             });
         }
-        Ok(knn_linear_scan(&self.points, &ratio_to_weights(ratios), k))
+        Ok(knn_linear_scan(
+            &self.points(),
+            &ratio_to_weights(ratios),
+            k,
+        ))
     }
 
     /// The single nearest neighbour under a ratio vector (1NN).
@@ -655,14 +858,285 @@ impl EclipseEngine {
     /// # Errors
     /// Propagates eclipse-query errors.
     pub fn relations(&self, ratio_box: &WeightRatioBox) -> Result<RelationReport> {
-        RelationReport::compute(&self.points, ratio_box)
+        RelationReport::compute(&self.points(), ratio_box)
+    }
+
+    /// Inserts a point, incrementally maintaining the skyline and any built
+    /// index arenas, and bumps the dataset epoch.  In-flight probes holding
+    /// the previous dataset/index `Arc`s keep reading the old version; the
+    /// new one swaps in atomically.
+    ///
+    /// Maintenance rules (exact, duplicate-inclusive skyline):
+    /// * some skyline member dominates `p` → the skyline is unchanged
+    ///   ([`MutationOutcome::InsertedDominated`]); built arenas are re-tagged
+    ///   at the new epoch without rebuilding.
+    /// * otherwise `p` enters the skyline and evicts exactly the members it
+    ///   dominates ([`MutationOutcome::InsertedSkyline`]); built index kinds
+    ///   are reconstructed from the maintained skyline (byte-identical to a
+    ///   from-scratch build, which recomputes the skyline too).
+    ///
+    /// # Errors
+    /// [`EclipseError::DimensionMismatch`] when the point's dimensionality
+    /// differs from the engine's; index-construction errors propagate.
+    pub fn insert(&self, point: Point) -> Result<MutationSummary> {
+        if point.dim() != self.dim {
+            return Err(EclipseError::DimensionMismatch {
+                expected: self.dim,
+                found: point.dim(),
+            });
+        }
+        let _guard = self.mutation.lock().expect("mutation lock poisoned");
+        let version = self.version();
+        let sky = self.current_skyline(&version);
+        let new_id = version.points.len();
+        if sky.iter().any(|&id| dominates(&version.points[id], &point)) {
+            // Dominated insert: skyline and arenas are unchanged — re-tag the
+            // built slots at the new epoch so probes keep hitting them.
+            let slots = self.built_slots(version.epoch);
+            let mut dataset = self.dataset.write().expect("dataset lock poisoned");
+            Arc::make_mut(&mut dataset.points).push(point);
+            dataset.epoch += 1;
+            let epoch = dataset.epoch;
+            let len = dataset.points.len();
+            self.install_slots(epoch, slots);
+            *self.skyline_cache.write().expect("skyline cache poisoned") =
+                Some((epoch, Arc::clone(&sky)));
+            drop(dataset);
+            return Ok(MutationSummary {
+                outcome: MutationOutcome::InsertedDominated,
+                epoch,
+                len,
+            });
+        }
+        // Skyline-entering insert: evict the members the new point dominates
+        // and rebuild the built index kinds from the maintained skyline.
+        let mut new_sky: Vec<usize> = sky
+            .iter()
+            .copied()
+            .filter(|&id| !dominates(&point, &version.points[id]))
+            .collect();
+        new_sky.push(new_id);
+        let mut new_points: Vec<Point> = (*version.points).clone();
+        new_points.push(point);
+        let rebuilt = self.rebuild_built_slots(&new_points, &new_sky, version.epoch)?;
+        let mut dataset = self.dataset.write().expect("dataset lock poisoned");
+        dataset.points = Arc::new(new_points);
+        dataset.epoch += 1;
+        let epoch = dataset.epoch;
+        let len = dataset.points.len();
+        self.install_slots(epoch, rebuilt);
+        *self.skyline_cache.write().expect("skyline cache poisoned") =
+            Some((epoch, Arc::new(new_sky)));
+        drop(dataset);
+        Ok(MutationSummary {
+            outcome: MutationOutcome::InsertedSkyline,
+            epoch,
+            len,
+        })
+    }
+
+    /// Deletes the point with index `id`, incrementally maintaining the
+    /// skyline and any built index arenas, and bumps the dataset epoch.
+    /// Point ids above `id` shift down by one, exactly as if the engine had
+    /// been rebuilt from the mutated dataset.
+    ///
+    /// Maintenance rules (exact, duplicate-inclusive skyline):
+    /// * `id` is not a skyline member → the skyline *point set* is unchanged
+    ///   ([`MutationOutcome::DeletedNonSkyline`]); built arenas are patched
+    ///   by remapping stored ids, byte-identical to a rebuild.
+    /// * `id` is a skyline member → exactly its exclusively-dominated points
+    ///   are promoted ([`MutationOutcome::DeletedSkyline`]): candidates are
+    ///   the points `id` dominates, survivors those no remaining skyline
+    ///   member dominates, and the promoted set is the skyline of the
+    ///   survivors.  A remaining bit-identical duplicate promotes nothing.
+    ///
+    /// # Errors
+    /// [`EclipseError::Unsupported`] for an out-of-range `id` or when the
+    /// delete would empty the dataset; index-construction errors propagate.
+    pub fn delete(&self, id: usize) -> Result<MutationSummary> {
+        let _guard = self.mutation.lock().expect("mutation lock poisoned");
+        let version = self.version();
+        if id >= version.points.len() {
+            return Err(EclipseError::Unsupported(format!(
+                "delete id {id} out of range for {} points",
+                version.points.len()
+            )));
+        }
+        if version.points.len() == 1 {
+            return Err(EclipseError::Unsupported(
+                "deleting the last point would empty the dataset".to_string(),
+            ));
+        }
+        let sky = self.current_skyline(&version);
+        match sky.binary_search(&id) {
+            Err(_) => {
+                // Non-skyline delete: everything `id` dominated is still
+                // dominated by `id`'s own dominator, so the skyline point set
+                // is unchanged — patch the stored ids in the built arenas.
+                let slots = self.built_slots(version.epoch);
+                let patched: Vec<(IntersectionIndexKind, Arc<EclipseIndex>)> = slots
+                    .into_iter()
+                    .map(|(kind, index)| (kind, Arc::new(index.with_deleted_id(id))))
+                    .collect();
+                let remapped: Vec<usize> = sky
+                    .iter()
+                    .map(|&s| if s > id { s - 1 } else { s })
+                    .collect();
+                let mut dataset = self.dataset.write().expect("dataset lock poisoned");
+                Arc::make_mut(&mut dataset.points).remove(id);
+                dataset.epoch += 1;
+                let epoch = dataset.epoch;
+                let len = dataset.points.len();
+                self.install_slots(epoch, patched);
+                *self.skyline_cache.write().expect("skyline cache poisoned") =
+                    Some((epoch, Arc::new(remapped)));
+                drop(dataset);
+                Ok(MutationSummary {
+                    outcome: MutationOutcome::DeletedNonSkyline,
+                    epoch,
+                    len,
+                })
+            }
+            Ok(pos) => {
+                let removed = &version.points[id];
+                // A remaining bit-identical duplicate still dominates every
+                // candidate the removed member dominated: nothing promotes.
+                let has_duplicate = sky.iter().any(|&s| {
+                    s != id
+                        && version.points[s]
+                            .coords()
+                            .iter()
+                            .zip(removed.coords().iter())
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                });
+                let promoted: Vec<usize> = if has_duplicate {
+                    Vec::new()
+                } else {
+                    // Candidates: the points the removed member dominated
+                    // (skyline members are never dominated, so they are
+                    // excluded automatically).  Survivors: candidates no
+                    // remaining skyline member dominates — a non-candidate
+                    // non-skyline dominator is itself dominated by a skyline
+                    // member, so checking the skyline suffices.
+                    let survivors: Vec<usize> = (0..version.points.len())
+                        .filter(|&q| q != id && dominates(removed, &version.points[q]))
+                        .filter(|&q| {
+                            !sky.iter().any(|&s| {
+                                s != id && dominates(&version.points[s], &version.points[q])
+                            })
+                        })
+                        .collect();
+                    let survivor_points: Vec<Point> = survivors
+                        .iter()
+                        .map(|&q| version.points[q].clone())
+                        .collect();
+                    eclipse_skyline::dc::skyline_dc_parallel(&survivor_points, self.exec.pool())
+                        .into_iter()
+                        .map(|local| survivors[local])
+                        .collect()
+                };
+                let mut new_sky: Vec<usize> = sky
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, &s)| s)
+                    .chain(promoted)
+                    .collect();
+                new_sky.sort_unstable();
+                for s in &mut new_sky {
+                    if *s > id {
+                        *s -= 1;
+                    }
+                }
+                let mut new_points: Vec<Point> = (*version.points).clone();
+                new_points.remove(id);
+                let rebuilt = self.rebuild_built_slots(&new_points, &new_sky, version.epoch)?;
+                let mut dataset = self.dataset.write().expect("dataset lock poisoned");
+                dataset.points = Arc::new(new_points);
+                dataset.epoch += 1;
+                let epoch = dataset.epoch;
+                let len = dataset.points.len();
+                self.install_slots(epoch, rebuilt);
+                *self.skyline_cache.write().expect("skyline cache poisoned") =
+                    Some((epoch, Arc::new(new_sky)));
+                drop(dataset);
+                Ok(MutationSummary {
+                    outcome: MutationOutcome::DeletedSkyline,
+                    epoch,
+                    len,
+                })
+            }
+        }
+    }
+
+    /// The index slots currently built at `epoch`, as (kind, index) pairs.
+    fn built_slots(&self, epoch: u64) -> Vec<(IntersectionIndexKind, Arc<EclipseIndex>)> {
+        [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ]
+        .iter()
+        .filter_map(|&kind| {
+            self.slot(kind)
+                .read()
+                .expect("index lock poisoned")
+                .as_ref()
+                .filter(|s| s.epoch == epoch)
+                .map(|s| (kind, Arc::clone(&s.index)))
+        })
+        .collect()
+    }
+
+    /// Rebuilds each currently-built index kind from the maintained skyline
+    /// of the mutated dataset.  Because equal skyline id sets produce
+    /// byte-identical arenas, the result is exactly what a from-scratch
+    /// build would install.
+    fn rebuild_built_slots(
+        &self,
+        points: &[Point],
+        skyline_ids: &[usize],
+        epoch: u64,
+    ) -> Result<Vec<(IntersectionIndexKind, Arc<EclipseIndex>)>> {
+        self.built_slots(epoch)
+            .into_iter()
+            .map(|(kind, _)| {
+                let mut config = self.index_config;
+                config.kind = kind;
+                EclipseIndex::build_from_skyline(points, skyline_ids.to_vec(), config, &self.exec)
+                    .map(|idx| (kind, Arc::new(idx)))
+            })
+            .collect()
+    }
+
+    /// Installs `slots` at `epoch`, clearing built slots of kinds not in the
+    /// list (their arenas are stale).  Callers hold the dataset write lock,
+    /// so probes observe the dataset and its index slots move together.
+    fn install_slots(&self, epoch: u64, slots: Vec<(IntersectionIndexKind, Arc<EclipseIndex>)>) {
+        for kind in [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ] {
+            let replacement = slots
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, index)| IndexSlot {
+                    epoch,
+                    index: Arc::clone(index),
+                });
+            let mut slot = self.slot(kind).write().expect("index lock poisoned");
+            if replacement.is_some() || slot.is_some() {
+                *slot = replacement;
+            }
+        }
     }
 }
 
 impl std::fmt::Debug for EclipseEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let version = self.version();
         f.debug_struct("EclipseEngine")
-            .field("points", &self.points.len())
+            .field("points", &version.points.len())
+            .field("epoch", &version.epoch)
             .field("dim", &self.dim)
             .field(
                 "quad_index_built",
@@ -763,7 +1237,7 @@ mod tests {
         // and score at r=1: 7 ≤ 8 — yes, with strictness ⇒ p2 is dominated).
         assert!(got.contains(&0));
         assert!(!got.contains(&3));
-        assert_eq!(got, crate::dominance::eclipse_naive(e.points(), &b));
+        assert_eq!(got, crate::dominance::eclipse_naive(&e.points(), &b));
     }
 
     #[test]
@@ -1138,6 +1612,185 @@ mod tests {
             EclipseEngine::from_snapshot(&bytes[..bytes.len() / 2]),
             Err(EclipseError::Snapshot(_))
         ));
+    }
+
+    /// The snapshot bytes of the engine's cached index of `kind` — the
+    /// strictest observable identity between two indexes.
+    fn cached_index_bytes(e: &EclipseEngine, kind: IntersectionIndexKind) -> Vec<u8> {
+        e.cached_index(kind)
+            .expect("index must be cached")
+            .encode_snapshot()
+    }
+
+    #[test]
+    fn dominated_insert_is_absorbed_without_rebuilding() {
+        let e = paper_engine();
+        let before = e.build_index(IntersectionIndexKind::Quadtree).unwrap();
+        let summary = e.insert(p(&[5.0, 5.0])).unwrap();
+        assert_eq!(summary.outcome, MutationOutcome::InsertedDominated);
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(summary.len, 5);
+        assert_eq!(e.epoch(), 1);
+        // The arena was re-tagged, not rebuilt: same allocation.
+        let after = e
+            .cached_index(IntersectionIndexKind::Quadtree)
+            .expect("index stays cached across an absorbed insert");
+        assert!(Arc::ptr_eq(&before, &after));
+        // Results agree with a from-scratch engine on the mutated dataset.
+        let rebuilt = EclipseEngine::new(e.points().to_vec()).unwrap();
+        let b = WeightRatioBox::uniform(2, 0.25, 2.0).unwrap();
+        assert_eq!(
+            e.eclipse_with(&b, Algorithm::IndexQuadtree).unwrap(),
+            rebuilt.eclipse_with(&b, Algorithm::IndexQuadtree).unwrap()
+        );
+        assert_eq!(e.skyline(), rebuilt.skyline());
+    }
+
+    #[test]
+    fn skyline_entering_insert_matches_rebuild_bytes() {
+        let e = paper_engine();
+        e.build_index(IntersectionIndexKind::Quadtree).unwrap();
+        e.build_index(IntersectionIndexKind::CuttingTree).unwrap();
+        // (2.0, 3.0) dominates (4.0, 4.0) and enters the skyline.
+        let summary = e.insert(p(&[2.0, 3.0])).unwrap();
+        assert_eq!(summary.outcome, MutationOutcome::InsertedSkyline);
+        assert_eq!(summary.epoch, 1);
+        let rebuilt = EclipseEngine::new(e.points().to_vec()).unwrap();
+        assert_eq!(e.skyline(), rebuilt.skyline());
+        for kind in [
+            IntersectionIndexKind::Quadtree,
+            IntersectionIndexKind::CuttingTree,
+        ] {
+            rebuilt.build_index(kind).unwrap();
+            assert_eq!(
+                cached_index_bytes(&e, kind),
+                cached_index_bytes(&rebuilt, kind),
+                "maintained {kind:?} arena must be byte-identical to a rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_match_rebuild_bytes() {
+        // id 3 = (8.0, 5.0) is dominated (non-skyline delete); id 1 =
+        // (4.0, 4.0) is a skyline member whose eviction promotes nothing
+        // ((8.0, 5.0) is still dominated by (6.0, 1.0)... by (1.0, 6.0)? no —
+        // by remaining member (6.0, 1.0)).
+        for (id, outcome) in [
+            (3, MutationOutcome::DeletedNonSkyline),
+            (1, MutationOutcome::DeletedSkyline),
+        ] {
+            let e = paper_engine();
+            e.build_index(IntersectionIndexKind::Quadtree).unwrap();
+            e.build_index(IntersectionIndexKind::CuttingTree).unwrap();
+            let summary = e.delete(id).unwrap();
+            assert_eq!(summary.outcome, outcome);
+            assert_eq!(summary.epoch, 1);
+            assert_eq!(summary.len, 3);
+            let rebuilt = EclipseEngine::new(e.points().to_vec()).unwrap();
+            assert_eq!(e.skyline(), rebuilt.skyline());
+            for kind in [
+                IntersectionIndexKind::Quadtree,
+                IntersectionIndexKind::CuttingTree,
+            ] {
+                rebuilt.build_index(kind).unwrap();
+                assert_eq!(
+                    cached_index_bytes(&e, kind),
+                    cached_index_bytes(&rebuilt, kind),
+                    "delete({id}) {kind:?} arena must be byte-identical to a rebuild"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_delete_promotes_exclusively_dominated_points() {
+        // (3.0, 3.0) exclusively dominates (3.5, 3.5); deleting it must
+        // promote exactly that point, while (9.0, 9.0) (also dominated by
+        // the surviving member (1.0, 6.0)? no — dominated by (3.5, 3.5))
+        // stays out because its dominator (3.5, 3.5) is promoted.
+        let e = EclipseEngine::new(vec![
+            p(&[3.0, 3.0]),
+            p(&[3.5, 3.5]),
+            p(&[9.0, 9.0]),
+            p(&[1.0, 6.0]),
+        ])
+        .unwrap();
+        assert_eq!(e.skyline(), vec![0, 3]);
+        let summary = e.delete(0).unwrap();
+        assert_eq!(summary.outcome, MutationOutcome::DeletedSkyline);
+        // After the remap (ids shift down): (3.5, 3.5) is id 0, (1.0, 6.0)
+        // is id 2.
+        assert_eq!(e.skyline(), vec![0, 2]);
+        assert_eq!(
+            e.skyline(),
+            EclipseEngine::new(e.points().to_vec()).unwrap().skyline()
+        );
+    }
+
+    #[test]
+    fn duplicate_points_mutate_exactly_like_a_rebuild() {
+        let e = paper_engine();
+        // A bit-identical duplicate of skyline member (4.0, 4.0) enters the
+        // skyline (duplicates are mutually non-dominating).
+        let summary = e.insert(p(&[4.0, 4.0])).unwrap();
+        assert_eq!(summary.outcome, MutationOutcome::InsertedSkyline);
+        assert_eq!(e.skyline(), vec![0, 1, 2, 4]);
+        assert_eq!(
+            e.skyline(),
+            EclipseEngine::new(e.points().to_vec()).unwrap().skyline()
+        );
+        // Deleting one duplicate promotes nothing: its twin still covers
+        // everything it dominated.
+        let summary = e.delete(1).unwrap();
+        assert_eq!(summary.outcome, MutationOutcome::DeletedSkyline);
+        assert_eq!(e.skyline(), vec![0, 1, 3]);
+        assert_eq!(
+            e.skyline(),
+            EclipseEngine::new(e.points().to_vec()).unwrap().skyline()
+        );
+    }
+
+    #[test]
+    fn mutation_validation_errors() {
+        let e = paper_engine();
+        assert!(matches!(
+            e.insert(p(&[1.0, 2.0, 3.0])),
+            Err(EclipseError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(e.delete(4), Err(EclipseError::Unsupported(_))));
+        let tiny = EclipseEngine::new(vec![p(&[1.0, 2.0]), p(&[2.0, 1.0])]).unwrap();
+        tiny.delete(0).unwrap();
+        assert!(matches!(tiny.delete(0), Err(EclipseError::Unsupported(_))));
+    }
+
+    #[test]
+    fn snapshot_epochs_gate_restores() {
+        let e = paper_engine();
+        let stale = e
+            .save_snapshot("epochs", IntersectionIndexKind::Quadtree)
+            .unwrap();
+        // Insert then delete the same trailing point: dataset bits return to
+        // the original, but the epoch advances to 2 — the stale snapshot no
+        // longer matches.
+        e.insert(p(&[9.0, 9.0])).unwrap();
+        e.delete(4).unwrap();
+        assert_eq!(e.points().to_vec(), paper_points());
+        assert_eq!(e.epoch(), 2);
+        assert!(matches!(
+            e.restore_index_snapshot(&stale),
+            Err(EclipseError::SnapshotMismatch { reason }) if reason.contains("epoch")
+        ));
+        // A snapshot taken now restores, and a cold start adopts the epoch.
+        let fresh = e
+            .save_snapshot("epochs", IntersectionIndexKind::Quadtree)
+            .unwrap();
+        e.restore_index_snapshot(&fresh).unwrap();
+        let (label, cold) = EclipseEngine::from_snapshot(&fresh).unwrap();
+        assert_eq!(label, "epochs");
+        assert_eq!(cold.epoch(), 2);
+        // ...and the adopted epoch round-trips through the cold engine.
+        cold.restore_index_snapshot(&fresh).unwrap();
     }
 
     #[test]

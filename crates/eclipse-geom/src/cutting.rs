@@ -187,14 +187,12 @@ impl CuttingTree {
     /// over `pool`.
     ///
     /// Construction is level-synchronous breadth-first, in three phases per
-    /// level: cut *selection* runs serially in frontier order (this is where
-    /// [`CutRule::SampledCrossings`] consumes its RNG, so the draw sequence
-    /// is independent of the thread count), entry *partitioning* — the
-    /// expensive sign tests — runs in parallel when a pool is supplied, and
-    /// the *stitch* (entry recording, budget checks, adjacent child-pair
-    /// allocation) replays the exact serial frontier order.  The arena, and
-    /// therefore the snapshot encoding, is byte-identical for any thread
-    /// count.
+    /// level: cut *selection* runs serially in frontier order, entry
+    /// *partitioning* — the expensive sign tests — runs in parallel when a
+    /// pool is supplied, and the *stitch* (entry recording, budget checks,
+    /// adjacent child-pair allocation) replays the exact serial frontier
+    /// order.  The arena, and therefore the snapshot encoding, is
+    /// byte-identical for any thread count.
     ///
     /// Levels are processed in budget-sized *chunks* (each cut allocates
     /// exactly two children, so a chunk never overruns `max_nodes` by more
@@ -202,14 +200,16 @@ impl CuttingTree {
     /// parallelism — while the level where a budget fills shrinks its chunks
     /// so at most one chunk of planning is thrown away.
     ///
-    /// One historical wrinkle: the old one-node-at-a-time builder skipped
-    /// the RNG draw for nodes it rejected because a *global* budget
-    /// (`max_nodes`/`max_entries`) had just filled mid-level, so the draws
-    /// of later same-level nodes shifted with the budget state.  Selecting
-    /// cuts a chunk at a time consumes the RNG for every locally splittable
-    /// node of the chunk instead — the only divergence from the historical
-    /// arenas, bounded to the final chunk of budget-truncated trees.
-    /// Exactness and budget caps are unaffected.
+    /// The random draws of [`CutRule::SampledCrossings`] are a pure function
+    /// of `(config.seed, node id)` (`node_rng`): every node streams from
+    /// its own splitmix64-derived RNG, so chunk boundaries, budget
+    /// truncation, and thread count cannot shift the draws of any other
+    /// node.  (The historical single sequential stream made the final chunk
+    /// of budget-truncated builds depend on how many earlier nodes had
+    /// consumed draws — arenas differed across `max_nodes`/`max_entries`
+    /// settings even for the nodes both builds shared, and planning-only
+    /// draws for cuts later discarded by the stitch shifted everything
+    /// after them.)
     ///
     /// Level order also matters for the node budget: when `max_nodes` runs
     /// out, a BFS fills every region of the root cell to the same depth, so
@@ -223,7 +223,6 @@ impl CuttingTree {
     ) -> Self {
         let mut all = Vec::new();
         slab.filter_all_intersecting_into(cell.lo(), cell.hi(), &mut all);
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let mut tree = CuttingTree {
             slab,
             nodes: Vec::new(),
@@ -266,9 +265,10 @@ impl CuttingTree {
                     chunk_entries += frontier[end].1.len();
                     end += 1;
                 }
-                // Phase A — cut selection, serial in frontier order (this is
-                // where [`CutRule::SampledCrossings`] consumes its RNG, so
-                // the draw sequence is independent of the thread count).
+                // Phase A — cut selection, serial in frontier order; the
+                // [`CutRule::SampledCrossings`] draws come from a per-node
+                // RNG ([`node_rng`]), so neither chunking nor budget state
+                // can shift another node's sample.
                 let cuts: Vec<Option<(usize, f64)>> = frontier[i..end]
                     .iter()
                     .map(|(idx, node_entries)| {
@@ -278,6 +278,7 @@ impl CuttingTree {
                         let cell = tree.node_cell(*idx);
                         match tree.config.cut {
                             CutRule::SampledCrossings => {
+                                let mut rng = node_rng(tree.config.seed, *idx);
                                 choose_cut(&tree.slab, &cell, node_entries, &tree.config, &mut rng)
                             }
                             CutRule::MedianExtents => {
@@ -818,6 +819,28 @@ fn choose_cut_median(
         return None;
     }
     Some((axis, 0.5 * (cell.lo()[axis] + cell.hi()[axis])))
+}
+
+/// The [`CutRule::SampledCrossings`] RNG of one node: seeded purely from
+/// `(config seed, arena node id)` via splitmix64, so a node's draws are
+/// reproducible no matter how the build was chunked, how much of a budget
+/// was left, or how many other nodes drew before it.  Node ids are
+/// allocated in deterministic BFS stitch order, so two builds that agree
+/// on a node's id agree on its sample.
+fn node_rng(seed: u64, node: u32) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(
+        seed ^ u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
+}
+
+/// SplitMix64: a tiny, well-distributed bijection — the standard way to
+/// spread correlated seeds (`seed ^ f(node)`) across the u64 space before
+/// feeding a stream RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Chooses an axis and a cut coordinate for a cell under

@@ -201,7 +201,45 @@ impl HyperplaneQuadtree {
     /// the partially built tree prunes uniformly — a depth-first order would
     /// instead spend the whole budget on the first quadrant's subtree and
     /// leave the remaining quadrants as giant unpruned leaves.
+    ///
+    /// # Per-build midpoint fallback for [`SplitRule::Hybrid`]
+    ///
+    /// When most entries pass near one shared point (the clustered worst
+    /// case), the census medians land on that point and every child of
+    /// every cut inherits most of its parent's entries.  Each such split
+    /// looks locally fine — it makes progress — but the duplication
+    /// compounds level over level and exhausts `max_entries` well before
+    /// the midpoint rule would, leaving a shallower, slower arena.  No
+    /// per-node heuristic can see this (the damage is global), so the
+    /// builder checks the *finished* tree instead: if a Hybrid build ran
+    /// out of entry budget, the midpoint tree is built too and the arena
+    /// with more nodes — the one whose budget went into pruning rather
+    /// than duplication — wins (ties keep the census tree).  The fallback
+    /// arena still advertises `SplitRule::Hybrid`, since this check is part
+    /// of the rule: rebuilding from the carried config reproduces it
+    /// byte-for-byte.  Builds that stay within budget never pay for it.
     pub fn build_from_slab_with(
+        slab: HyperplaneSlab,
+        cell: BoundingBox,
+        config: QuadtreeConfig,
+        pool: Option<&ThreadPool>,
+    ) -> Self {
+        let tree = Self::build_arena(slab, cell.clone(), config, pool);
+        if tree.config.split == SplitRule::Hybrid && tree.entries.len() >= tree.config.max_entries {
+            let mut midpoint_config = tree.config;
+            midpoint_config.split = SplitRule::Midpoint;
+            let mut midpoint = Self::build_arena(tree.slab.clone(), cell, midpoint_config, pool);
+            if midpoint.nodes.len() > tree.nodes.len() {
+                midpoint.config.split = SplitRule::Hybrid;
+                return midpoint;
+            }
+        }
+        tree
+    }
+
+    /// One budget-bounded level-synchronous arena build with the configured
+    /// split rule, no fallback; see [`HyperplaneQuadtree::build_from_slab_with`].
+    fn build_arena(
         slab: HyperplaneSlab,
         cell: BoundingBox,
         config: QuadtreeConfig,
@@ -689,32 +727,45 @@ struct SplitPlan {
 /// Plans the subdivision of one node, or `None` when the cell cannot split
 /// (degenerate on every axis) or no partition makes progress (every child
 /// would inherit every entry).
+///
+/// Under [`SplitRule::Hybrid`] a census partition that makes no progress —
+/// every median landing exactly on a point shared by all entries, so every
+/// child inherits every entry — is retried with the midpoint partition
+/// before the node is frozen into an oversized leaf.  Censuses that make
+/// *poor* progress (medians merely *near* a shared point, each child
+/// keeping most of the parent) are not second-guessed here: no per-node
+/// greedy rule can see that such cuts starve the whole build of entry
+/// budget, so that pathology is handled a level up by the per-build
+/// midpoint fallback in [`HyperplaneQuadtree::build_from_slab_with`].
 fn plan_split(
     slab: &HyperplaneSlab,
     cell: &BoundingBox,
     node_entries: &[u32],
     config: &QuadtreeConfig,
 ) -> Option<SplitPlan> {
-    let cells = match config.split {
-        SplitRule::Midpoint => subdivide(cell),
-        SplitRule::Hybrid => hybrid_subdivide(slab, cell, node_entries),
+    let partition = |cells: Vec<BoundingBox>| -> Option<SplitPlan> {
+        if cells.is_empty() {
+            return None;
+        }
+        let mut child_entries = Vec::with_capacity(cells.len());
+        for child_cell in &cells {
+            let mut ce = Vec::new();
+            slab.filter_intersecting_into(node_entries, child_cell.lo(), child_cell.hi(), &mut ce);
+            child_entries.push(ce);
+        }
+        if child_entries.iter().all(|c| c.len() == node_entries.len()) {
+            return None;
+        }
+        Some(SplitPlan {
+            cells,
+            child_entries,
+        })
     };
-    if cells.is_empty() {
-        return None;
+    match config.split {
+        SplitRule::Midpoint => partition(subdivide(cell)),
+        SplitRule::Hybrid => partition(hybrid_subdivide(slab, cell, node_entries))
+            .or_else(|| partition(subdivide(cell))),
     }
-    let mut child_entries = Vec::with_capacity(cells.len());
-    for child_cell in &cells {
-        let mut ce = Vec::new();
-        slab.filter_intersecting_into(node_entries, child_cell.lo(), child_cell.hi(), &mut ce);
-        child_entries.push(ce);
-    }
-    if child_entries.iter().all(|c| c.len() == node_entries.len()) {
-        return None;
-    }
-    Some(SplitPlan {
-        cells,
-        child_entries,
-    })
 }
 
 /// The [`SplitRule::Hybrid`] partition of a cell.
@@ -729,7 +780,10 @@ fn plan_split(
 /// its own median crossing — midpoint when the axis saw no crossings — which
 /// keeps the quadrant structure (needed to separate diagonal bundles, which
 /// no single-axis cut can) while placing the split planes where the data is.
-/// With no crossings anywhere this degrades to the classic midpoint rule.
+/// With no crossings anywhere this degrades to the classic midpoint rule,
+/// and when the measured cuts fail to separate anything — a bundle through
+/// one shared point puts every median on that point — [`plan_split`]
+/// retries the node with the midpoint partition before giving up.
 fn hybrid_subdivide(
     slab: &HyperplaneSlab,
     cell: &BoundingBox,
@@ -884,6 +938,47 @@ mod tests {
         assert!(got.contains(&0));
         assert!(got.contains(&1));
         assert!(!got.contains(&3));
+    }
+
+    #[test]
+    fn hybrid_census_falls_back_to_midpoint_on_shared_point_bundles() {
+        // A pencil of lines through the single interior point (1.6, 1.6):
+        // three vertical, three horizontal, two diagonal.  The crossing
+        // census measures both per-axis medians at exactly 1.6, so the
+        // hybrid quadrant corner lands on the shared point and every child
+        // inherits every line — the clustered worst case.  The rule must
+        // fall back to the midpoint partition (which sheds the axis-aligned
+        // lines immediately) instead of freezing the root into one leaf.
+        let hs = vec![
+            line(1.0, 0.0, -1.6),
+            line(1.0, 0.0, -1.6),
+            line(1.0, 0.0, -1.6),
+            line(0.0, 1.0, -1.6),
+            line(0.0, 1.0, -1.6),
+            line(0.0, 1.0, -1.6),
+            line(1.0, -1.0, 0.0),
+            line(1.0, 1.0, -3.2),
+        ];
+        let cell = BoundingBox::new(vec![0.0, 0.0], vec![4.0, 4.0]);
+        let config = QuadtreeConfig {
+            split: SplitRule::Hybrid,
+            max_capacity: 2,
+            ..QuadtreeConfig::default()
+        };
+        let tree = HyperplaneQuadtree::build(&hs, cell.clone(), config);
+        assert!(
+            tree.node_count() > 1,
+            "inconclusive census must fall back to midpoint, not freeze the root"
+        );
+        // Probes stay exact, and a probe away from the pencil point no
+        // longer scans the whole slab.
+        for q in [
+            BoundingBox::new(vec![0.1, 0.1], vec![0.4, 0.4]),
+            BoundingBox::new(vec![3.0, 0.1], vec![3.4, 0.5]),
+            BoundingBox::new(vec![1.5, 1.5], vec![1.7, 1.7]),
+        ] {
+            assert_eq!(tree.query(&hs, &q), brute_force(&hs, &q));
+        }
     }
 
     #[test]

@@ -211,7 +211,10 @@ proptest! {
     /// random hyperplane sets — including a clustered bundle dense enough to
     /// push deep levels past the parallel-dispatch threshold, and degenerate
     /// all-zero rows — building on a 1-thread and a 4-thread pool yields the
-    /// same snapshot bytes under every split/cut rule.
+    /// same snapshot bytes under every split/cut rule, both unbounded and
+    /// with node/entry budgets small enough to truncate a frontier level
+    /// mid-chunk (the final-chunk case where `SampledCrossings` draws used
+    /// to depend on how much budget earlier nodes had consumed).
     #[test]
     fn parallel_build_matches_serial_bytes(
         rows in proptest::collection::vec(
@@ -222,6 +225,8 @@ proptest! {
         cluster_x in -0.8f64..0.8,
         zero_rows in 0usize..3,
         cap in 1usize..3,
+        max_nodes in 9usize..41,
+        max_entries in 300usize..2000,
     ) {
         let mut hs: Vec<Hyperplane> = rows
             .into_iter()
@@ -241,45 +246,58 @@ proptest! {
         let root = BoundingBox::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
         let single = ThreadPool::with_threads(1);
         let quad_pool = ThreadPool::with_threads(4);
-        for split in [SplitRule::Midpoint, SplitRule::Hybrid] {
-            let config = QuadtreeConfig { max_capacity: cap, split, ..QuadtreeConfig::default() };
-            let mut bytes = Vec::new();
-            HyperplaneQuadtree::build_from_slab_with(
-                HyperplaneSlab::from_hyperplanes(&hs),
-                root.clone(),
-                config,
-                Some(&single),
-            )
-            .encode_into(&mut bytes);
-            let mut par_bytes = Vec::new();
-            HyperplaneQuadtree::build_from_slab_with(
-                HyperplaneSlab::from_hyperplanes(&hs),
-                root.clone(),
-                config,
-                Some(&quad_pool),
-            )
-            .encode_into(&mut par_bytes);
-            prop_assert_eq!(&bytes, &par_bytes, "quadtree {:?}", split);
-        }
-        for cut in [CutRule::SampledCrossings, CutRule::MedianExtents] {
-            let config = CuttingTreeConfig { max_capacity: cap, cut, ..CuttingTreeConfig::default() };
-            let mut bytes = Vec::new();
-            CuttingTree::build_from_slab_with(
-                HyperplaneSlab::from_hyperplanes(&hs),
-                root.clone(),
-                config,
-                Some(&single),
-            )
-            .encode_into(&mut bytes);
-            let mut par_bytes = Vec::new();
-            CuttingTree::build_from_slab_with(
-                HyperplaneSlab::from_hyperplanes(&hs),
-                root.clone(),
-                config,
-                Some(&quad_pool),
-            )
-            .encode_into(&mut par_bytes);
-            prop_assert_eq!(&bytes, &par_bytes, "cutting {:?}", cut);
+        // (usize::MAX, usize::MAX) leaves the default budgets in place; the
+        // drawn pair is tight enough that the clustered bundle truncates a
+        // level mid-chunk.
+        for (nodes_budget, entries_budget) in [(usize::MAX, usize::MAX), (max_nodes, max_entries)] {
+            for split in [SplitRule::Midpoint, SplitRule::Hybrid] {
+                let mut config =
+                    QuadtreeConfig { max_capacity: cap, split, ..QuadtreeConfig::default() };
+                config.max_nodes = config.max_nodes.min(nodes_budget);
+                config.max_entries = config.max_entries.min(entries_budget);
+                let mut bytes = Vec::new();
+                HyperplaneQuadtree::build_from_slab_with(
+                    HyperplaneSlab::from_hyperplanes(&hs),
+                    root.clone(),
+                    config,
+                    Some(&single),
+                )
+                .encode_into(&mut bytes);
+                let mut par_bytes = Vec::new();
+                HyperplaneQuadtree::build_from_slab_with(
+                    HyperplaneSlab::from_hyperplanes(&hs),
+                    root.clone(),
+                    config,
+                    Some(&quad_pool),
+                )
+                .encode_into(&mut par_bytes);
+                prop_assert_eq!(&bytes, &par_bytes, "quadtree {:?} budgets {:?}",
+                    split, (nodes_budget, entries_budget));
+            }
+            for cut in [CutRule::SampledCrossings, CutRule::MedianExtents] {
+                let mut config =
+                    CuttingTreeConfig { max_capacity: cap, cut, ..CuttingTreeConfig::default() };
+                config.max_nodes = config.max_nodes.min(nodes_budget);
+                config.max_entries = config.max_entries.min(entries_budget);
+                let mut bytes = Vec::new();
+                CuttingTree::build_from_slab_with(
+                    HyperplaneSlab::from_hyperplanes(&hs),
+                    root.clone(),
+                    config,
+                    Some(&single),
+                )
+                .encode_into(&mut bytes);
+                let mut par_bytes = Vec::new();
+                CuttingTree::build_from_slab_with(
+                    HyperplaneSlab::from_hyperplanes(&hs),
+                    root.clone(),
+                    config,
+                    Some(&quad_pool),
+                )
+                .encode_into(&mut par_bytes);
+                prop_assert_eq!(&bytes, &par_bytes, "cutting {:?} budgets {:?}",
+                    cut, (nodes_budget, entries_budget));
+            }
         }
     }
 

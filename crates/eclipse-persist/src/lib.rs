@@ -52,7 +52,11 @@ pub const MAGIC: [u8; 8] = *b"ECLSNAP\0";
 ///   (builders always used midpoint quadrant splits / sampled-crossing cuts).
 /// * **2** — tree configs gained explicit split-strategy fields (hybrid
 ///   adaptive splits); version-1 payloads decode with the legacy strategies.
-pub const FORMAT_VERSION: u32 = 2;
+/// * **3** — engine dataset sections gained a trailing mutation-epoch
+///   counter (version-1/2 payloads decode with epoch 0: they predate
+///   mutability), and section checksums became version-bound so header
+///   version flips are detected (see [`section_checksum_versioned`]).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version readers still accept.
 pub const MIN_SUPPORTED_VERSION: u32 = 1;
@@ -159,6 +163,19 @@ pub fn fnv1a_extend(state: u64, bytes: &[u8]) -> u64 {
 /// the payload, so tag flips are caught too.
 pub fn section_checksum(tag: u8, payload: &[u8]) -> u64 {
     fnv1a_extend(fnv1a(&[tag]), payload)
+}
+
+/// The version-bound section checksum used from format version 3 on: the
+/// container version is hashed ahead of the tag and payload, so a bit flip
+/// in the header's version field (which would otherwise silently re-route
+/// decoding through an older layout) fails verification on every section.
+/// Versions 1 and 2 keep the historical version-free checksum.
+pub fn section_checksum_versioned(version: u32, tag: u8, payload: &[u8]) -> u64 {
+    if version >= 3 {
+        fnv1a_extend(fnv1a_extend(fnv1a(&version.to_le_bytes()), &[tag]), payload)
+    } else {
+        section_checksum(tag, payload)
+    }
 }
 
 /// Little-endian encoding primitives (the writer side of [`Cursor`]).
@@ -387,7 +404,10 @@ impl SnapshotWriter {
         for (tag, payload) in &self.sections {
             enc::put_u8(&mut out, *tag);
             enc::put_u64(&mut out, payload.len() as u64);
-            enc::put_u64(&mut out, section_checksum(*tag, payload));
+            enc::put_u64(
+                &mut out,
+                section_checksum_versioned(FORMAT_VERSION, *tag, payload),
+            );
             out.extend_from_slice(payload);
         }
         out
@@ -444,7 +464,7 @@ impl<'a> SnapshotReader<'a> {
                 });
             }
             let payload = cur.take(len as usize)?;
-            if section_checksum(tag, payload) != checksum {
+            if section_checksum_versioned(version, tag, payload) != checksum {
                 return Err(PersistError::ChecksumMismatch { section: tag });
             }
             if sections.iter().any(|&(t, _)| t == tag) {
@@ -570,11 +590,28 @@ mod tests {
         );
     }
 
+    /// Re-stamps a container at `version`, recomputing every section
+    /// checksum under that version's rule (checksums are version-bound from
+    /// v3 on, so a bare header edit would no longer verify).
+    fn restamp(bytes: &[u8], version: u32) -> Vec<u8> {
+        let r = SnapshotReader::parse(bytes).unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        enc::put_u32(&mut out, version);
+        enc::put_u32(&mut out, r.sections.len() as u32);
+        for &(tag, payload) in &r.sections {
+            enc::put_u8(&mut out, tag);
+            enc::put_u64(&mut out, payload.len() as u64);
+            enc::put_u64(&mut out, section_checksum_versioned(version, tag, payload));
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
     #[test]
     fn every_supported_version_parses_and_is_reported() {
         for version in MIN_SUPPORTED_VERSION..=FORMAT_VERSION {
-            let mut bytes = sample();
-            bytes[8..12].copy_from_slice(&version.to_le_bytes());
+            let bytes = restamp(&sample(), version);
             let r = SnapshotReader::parse(&bytes)
                 .unwrap_or_else(|e| panic!("version {version} must parse: {e}"));
             assert_eq!(r.version(), version);
@@ -584,6 +621,25 @@ mod tests {
         let bytes = sample();
         let r = SnapshotReader::parse(&bytes).unwrap();
         assert_eq!(r.version(), FORMAT_VERSION);
+    }
+
+    #[test]
+    fn version_field_flips_fail_section_checksums() {
+        // From v3 on the version participates in every section checksum, so
+        // rewriting the header version without re-checksumming must fail —
+        // this is what keeps single-bit flips of the version byte detectable
+        // now that 3 has in-range single-bit neighbours (1 and 2).
+        for other in MIN_SUPPORTED_VERSION..FORMAT_VERSION {
+            let mut bytes = sample();
+            bytes[8..12].copy_from_slice(&other.to_le_bytes());
+            assert!(
+                matches!(
+                    SnapshotReader::parse(&bytes),
+                    Err(PersistError::ChecksumMismatch { .. })
+                ),
+                "re-stamping v{FORMAT_VERSION} as v{other} without re-checksumming must fail"
+            );
+        }
     }
 
     #[test]

@@ -114,8 +114,11 @@ impl RetryBudget {
 /// Whether a request may be transparently retried after a transport
 /// failure.  Only reads and liveness checks qualify: a `LoadDataset` or
 /// `SaveIndex` whose connection died may have executed server-side, and
-/// replaying it could double-apply (cheap for these ops today, but the
-/// rule is what keeps adding mutating ops safe).
+/// replaying it could double-apply — and for `Insert`/`Delete` the hazard
+/// is no longer hypothetical: an insert replayed after an ambiguous
+/// failure appends the point twice, and a delete replayed after the id
+/// space shifted removes the *wrong* point.  Mutations therefore always
+/// surface transport failures to the caller instead of retrying.
 pub fn is_idempotent(request: &Request) -> bool {
     matches!(
         request,
@@ -223,6 +226,17 @@ mod tests {
         assert!(!is_idempotent(&Request::SaveIndex {
             name: "x".into(),
             kind: Default::default(),
+        }));
+        // Mutations must never be silently replayed: an ambiguous transport
+        // failure mid-insert would double-apply, and a replayed delete can
+        // hit a different point once ids have shifted.
+        assert!(!is_idempotent(&Request::Insert {
+            name: "x".into(),
+            coords: vec![1.0, 2.0],
+        }));
+        assert!(!is_idempotent(&Request::Delete {
+            name: "x".into(),
+            id: 0,
         }));
     }
 }

@@ -740,9 +740,15 @@ fn handle_request(
             ref name,
             ref boxes,
         } => route_probes(shared, conns, *allow_partial, &request, name, boxes.len()),
+        // Mutations route exactly like the other placement-scoped dataset
+        // operations, but are classified non-idempotent by the retry layer:
+        // a transport failure mid-mutation surfaces as a typed error instead
+        // of a silent replay that could double-apply.
         Request::LoadDataset { ref name, .. }
         | Request::BuildIndex { ref name, .. }
-        | Request::RestoreIndex { ref name, .. } => {
+        | Request::RestoreIndex { ref name, .. }
+        | Request::Insert { ref name, .. }
+        | Request::Delete { ref name, .. } => {
             let name = name.clone();
             fan_to_placement(shared, conns, &name, &request)
         }

@@ -15,8 +15,9 @@ use eclipse_core::point::Point;
 use eclipse_core::WeightRatioBox;
 
 use crate::protocol::{
-    read_frame, write_frame, DatasetSummary, FrameHeader, IndexKind, IndexSummary, ProtocolError,
-    Request, Response, StatsReport, WireBox, MAX_PROTOCOL_VERSION, PROTOCOL_V1, PROTOCOL_V2,
+    read_frame, write_frame, DatasetSummary, FrameHeader, IndexKind, IndexSummary, MutationAck,
+    ProtocolError, Request, Response, StatsReport, WireBox, MAX_PROTOCOL_VERSION, PROTOCOL_V1,
+    PROTOCOL_V2,
 };
 
 /// Everything a client call can fail with.
@@ -600,6 +601,41 @@ impl Client {
         match self.call(&request)? {
             Response::IndexBuilt(summary) => Ok(summary),
             _ => Err(ClientError::UnexpectedResponse("IndexBuilt")),
+        }
+    }
+
+    /// Appends one point to the named dataset; the skyline and any built
+    /// indexes are maintained incrementally and the dataset epoch advances.
+    ///
+    /// Inserts are **not idempotent**: after an ambiguous transport failure
+    /// the caller must check `Stats` (dataset epoch/size) before resending.
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn insert(&mut self, name: &str, coords: &[f64]) -> ClientResult<MutationAck> {
+        let request = Request::Insert {
+            name: name.to_string(),
+            coords: coords.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::Mutated { kind, epoch, len } => Ok(MutationAck { kind, epoch, len }),
+            _ => Err(ClientError::UnexpectedResponse("Mutated")),
+        }
+    }
+
+    /// Deletes the point with the given id from the named dataset (ids above
+    /// it shift down by one).  Not idempotent — see [`Client::insert`].
+    ///
+    /// # Errors
+    /// Propagates transport and server errors.
+    pub fn delete(&mut self, name: &str, id: u64) -> ClientResult<MutationAck> {
+        let request = Request::Delete {
+            name: name.to_string(),
+            id,
+        };
+        match self.call(&request)? {
+            Response::Mutated { kind, epoch, len } => Ok(MutationAck { kind, epoch, len }),
+            _ => Err(ClientError::UnexpectedResponse("Mutated")),
         }
     }
 

@@ -77,5 +77,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, PipelinedClient};
-pub use protocol::{IndexKind, Request, Response, StatsReport};
+pub use protocol::{IndexKind, MutationAck, MutationKind, Request, Response, StatsReport};
 pub use server::{Server, ServerConfig, ServerHandle, SnapshotScan};

@@ -332,6 +332,89 @@ pub enum Request {
     },
     /// Server and per-dataset statistics.
     Stats,
+    /// Appends one point to the named dataset, maintaining the skyline and
+    /// any built indexes incrementally and bumping the dataset epoch.
+    /// **Not idempotent**: a retry after an ambiguous transport failure
+    /// could apply the insert twice, so routers never auto-retry it.
+    /// Answered with [`Response::Mutated`].
+    Insert {
+        /// Dataset name.
+        name: String,
+        /// Coordinates of the new point (must match the dataset's `dim`).
+        coords: Vec<f64>,
+    },
+    /// Deletes the point with the given id from the named dataset (ids above
+    /// it shift down by one, exactly as if the dataset had been reloaded
+    /// without the point).  **Not idempotent**: a blind retry could delete a
+    /// different point once ids have shifted.  Answered with
+    /// [`Response::Mutated`].
+    Delete {
+        /// Dataset name.
+        name: String,
+        /// Index of the point to delete.
+        id: u64,
+    },
+}
+
+/// How a mutation changed the skyline, as spoken on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// An inserted point was dominated by the skyline: absorbed in place.
+    InsertedDominated,
+    /// An inserted point entered the skyline (possibly evicting members).
+    InsertedSkyline,
+    /// A deleted point was not a skyline member.
+    DeletedNonSkyline,
+    /// A deleted point was a skyline member (exclusively-dominated points
+    /// were promoted).
+    DeletedSkyline,
+}
+
+impl MutationKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            MutationKind::InsertedDominated => 0,
+            MutationKind::InsertedSkyline => 1,
+            MutationKind::DeletedNonSkyline => 2,
+            MutationKind::DeletedSkyline => 3,
+        }
+    }
+
+    fn from_wire(tag: u8) -> ProtocolResult<Self> {
+        match tag {
+            0 => Ok(MutationKind::InsertedDominated),
+            1 => Ok(MutationKind::InsertedSkyline),
+            2 => Ok(MutationKind::DeletedNonSkyline),
+            3 => Ok(MutationKind::DeletedSkyline),
+            other => Err(ProtocolError::UnknownTag {
+                context: "mutation kind",
+                tag: other,
+            }),
+        }
+    }
+}
+
+/// The decoded contents of a [`Response::Mutated`], as returned by the
+/// client's `insert`/`delete` helpers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationAck {
+    /// How the skyline changed.
+    pub kind: MutationKind,
+    /// The dataset epoch after the mutation.
+    pub epoch: u64,
+    /// The dataset size after the mutation.
+    pub len: u64,
+}
+
+impl From<eclipse_core::MutationOutcome> for MutationKind {
+    fn from(outcome: eclipse_core::MutationOutcome) -> Self {
+        match outcome {
+            eclipse_core::MutationOutcome::InsertedDominated => MutationKind::InsertedDominated,
+            eclipse_core::MutationOutcome::InsertedSkyline => MutationKind::InsertedSkyline,
+            eclipse_core::MutationOutcome::DeletedNonSkyline => MutationKind::DeletedNonSkyline,
+            eclipse_core::MutationOutcome::DeletedSkyline => MutationKind::DeletedSkyline,
+        }
+    }
 }
 
 /// The acknowledgement of a [`Request::LoadDataset`].
@@ -382,6 +465,9 @@ pub struct DatasetStats {
     pub quad_built: bool,
     /// Whether the cutting-tree index is built.
     pub cutting_built: bool,
+    /// Mutation epoch of the dataset: 0 at registration, +1 per applied
+    /// insert/delete.
+    pub epoch: u64,
 }
 
 /// The reply to a [`Request::Stats`].
@@ -477,6 +563,16 @@ pub enum Response {
         in_flight: u32,
         /// The cap that was breached.
         limit: u32,
+    },
+    /// Reply to [`Request::Insert`] / [`Request::Delete`]: what the mutation
+    /// did to the skyline, plus the dataset's new epoch and size.
+    Mutated {
+        /// How the skyline changed.
+        kind: MutationKind,
+        /// The dataset epoch after the mutation.
+        epoch: u64,
+        /// The dataset size after the mutation.
+        len: u64,
     },
     /// Any request that failed; the connection stays usable.
     Error(String),
@@ -687,6 +783,8 @@ const REQ_RESTORE_INDEX: u8 = 0x07;
 const REQ_HELLO: u8 = 0x08;
 const REQ_LOAD_SNAPSHOTS: u8 = 0x09;
 const REQ_ALLOW_PARTIAL: u8 = 0x0a;
+const REQ_INSERT: u8 = 0x0b;
+const REQ_DELETE: u8 = 0x0c;
 
 impl Request {
     /// Serializes the request into a frame payload.
@@ -748,6 +846,19 @@ impl Request {
                 put_bool(&mut buf, *enabled);
             }
             Request::Stats => put_u8(&mut buf, REQ_STATS),
+            Request::Insert { name, coords } => {
+                put_u8(&mut buf, REQ_INSERT);
+                put_str(&mut buf, name);
+                put_u32(&mut buf, coords.len() as u32);
+                for &c in coords {
+                    put_f64(&mut buf, c);
+                }
+            }
+            Request::Delete { name, id } => {
+                put_u8(&mut buf, REQ_DELETE);
+                put_str(&mut buf, name);
+                put_u64(&mut buf, *id);
+            }
         }
         buf
     }
@@ -804,6 +915,19 @@ impl Request {
             REQ_LOAD_SNAPSHOTS => Request::LoadSnapshots,
             REQ_ALLOW_PARTIAL => Request::AllowPartial { enabled: r.bool()? },
             REQ_STATS => Request::Stats,
+            REQ_INSERT => {
+                let name = r.str()?;
+                let n = r.count(8)?;
+                let mut coords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    coords.push(r.f64()?);
+                }
+                Request::Insert { name, coords }
+            }
+            REQ_DELETE => Request::Delete {
+                name: r.str()?,
+                id: r.u64()?,
+            },
             other => {
                 return Err(ProtocolError::UnknownTag {
                     context: "request",
@@ -832,6 +956,7 @@ const RESP_SNAPSHOTS_LOADED: u8 = 0x8a;
 const RESP_PARTIAL_ACK: u8 = 0x8b;
 const RESP_PARTIAL_QUERY: u8 = 0x8c;
 const RESP_PARTIAL_COUNTS: u8 = 0x8d;
+const RESP_MUTATED: u8 = 0x8e;
 const RESP_ERROR: u8 = 0xff;
 
 impl Response {
@@ -967,7 +1092,14 @@ impl Response {
                     put_u64(&mut buf, d.root_crossings);
                     put_bool(&mut buf, d.quad_built);
                     put_bool(&mut buf, d.cutting_built);
+                    put_u64(&mut buf, d.epoch);
                 }
+            }
+            Response::Mutated { kind, epoch, len } => {
+                put_u8(&mut buf, RESP_MUTATED);
+                put_u8(&mut buf, kind.to_wire());
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *len);
             }
             Response::Error(message) => {
                 put_u8(&mut buf, RESP_ERROR);
@@ -1112,6 +1244,7 @@ impl Response {
                         root_crossings: r.u64()?,
                         quad_built: r.bool()?,
                         cutting_built: r.bool()?,
+                        epoch: r.u64()?,
                     });
                 }
                 Response::Stats(StatsReport {
@@ -1126,6 +1259,11 @@ impl Response {
                     datasets,
                 })
             }
+            RESP_MUTATED => Response::Mutated {
+                kind: MutationKind::from_wire(r.u8()?)?,
+                epoch: r.u64()?,
+                len: r.u64()?,
+            },
             RESP_ERROR => Response::Error(r.str()?),
             other => {
                 return Err(ProtocolError::UnknownTag {

@@ -181,6 +181,8 @@ impl ServerState {
             // plain server present one contract to opted-in clients.
             Request::AllowPartial { enabled } => Ok(Response::PartialAck { enabled }),
             Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Insert { name, coords } => self.insert(&name, coords),
+            Request::Delete { name, id } => self.delete(&name, id),
         };
         result.unwrap_or_else(|e| {
             self.errors.fetch_add(1, Ordering::Relaxed);
@@ -216,6 +218,33 @@ impl ServerState {
             nodes: index.backend_nodes() as u64,
             depth: index.backend_depth() as u32,
         }))
+    }
+
+    fn insert(&self, name: &str, coords: Vec<f64>) -> Result<Response, EclipseError> {
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(EclipseError::Unsupported(
+                "inserted coordinates must be finite".to_string(),
+            ));
+        }
+        let engine = self.engine(name)?;
+        let summary = engine.insert(Point::new(coords))?;
+        Ok(Response::Mutated {
+            kind: summary.outcome.into(),
+            epoch: summary.epoch,
+            len: summary.len as u64,
+        })
+    }
+
+    fn delete(&self, name: &str, id: u64) -> Result<Response, EclipseError> {
+        let engine = self.engine(name)?;
+        let id = usize::try_from(id)
+            .map_err(|_| EclipseError::Unsupported(format!("delete id {id} overflows usize")))?;
+        let summary = engine.delete(id)?;
+        Ok(Response::Mutated {
+            kind: summary.outcome.into(),
+            epoch: summary.epoch,
+            len: summary.len as u64,
+        })
     }
 
     fn parse_boxes(wire: &[WireBox]) -> Result<Vec<WeightRatioBox>, EclipseError> {
@@ -456,6 +485,7 @@ impl ServerState {
                     root_crossings: root_crossings as u64,
                     quad_built,
                     cutting_built,
+                    epoch: engine.epoch(),
                 }
             })
             .collect();
@@ -819,6 +849,72 @@ mod tests {
         };
         assert_eq!(report.errors, 4);
         assert_eq!(report.datasets.len(), 1, "failed loads register nothing");
+    }
+
+    #[test]
+    fn mutations_maintain_results_and_bump_the_stats_epoch() {
+        let state = loaded_state();
+        // A skyline-entering insert: (2.0, 3.0) dominates (4.0, 4.0).
+        let resp = state.respond(Request::Insert {
+            name: "hotels".to_string(),
+            coords: vec![2.0, 3.0],
+        });
+        assert_eq!(
+            resp,
+            Response::Mutated {
+                kind: crate::protocol::MutationKind::InsertedSkyline,
+                epoch: 1,
+                len: 5,
+            }
+        );
+        // Delete the evicted point (id 1 = (4.0, 4.0), now non-skyline).
+        let resp = state.respond(Request::Delete {
+            name: "hotels".to_string(),
+            id: 1,
+        });
+        assert_eq!(
+            resp,
+            Response::Mutated {
+                kind: crate::protocol::MutationKind::DeletedNonSkyline,
+                epoch: 2,
+                len: 4,
+            }
+        );
+        // Queries answer over the mutated dataset (ids shifted down): the
+        // inserted (2.0, 3.0) eclipse-dominates (1.0, 6.0) over the whole
+        // box, leaving (6.0, 1.0) (id 1) and itself (id 3).
+        let resp = state.respond(Request::QueryBatch {
+            name: "hotels".to_string(),
+            boxes: vec![vec![(0.25, 2.0)]],
+        });
+        assert_eq!(resp, Response::QueryResults(vec![vec![1, 3]]));
+        let Response::Stats(report) = state.respond(Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(report.datasets[0].epoch, 2);
+        assert_eq!(report.datasets[0].points, 4);
+        // Mutation failures are error responses: bad dim, bad id, NaN.
+        for req in [
+            Request::Insert {
+                name: "hotels".to_string(),
+                coords: vec![1.0, 2.0, 3.0],
+            },
+            Request::Insert {
+                name: "hotels".to_string(),
+                coords: vec![1.0, f64::NAN],
+            },
+            Request::Delete {
+                name: "hotels".to_string(),
+                id: 99,
+            },
+            Request::Delete {
+                name: "nope".to_string(),
+                id: 0,
+            },
+        ] {
+            let resp = state.respond(req);
+            assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        }
     }
 
     #[test]

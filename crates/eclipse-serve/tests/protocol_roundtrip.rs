@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use eclipse_serve::protocol::{
     read_frame, write_frame, DatasetStats, DatasetSummary, FrameHeader, IndexKind, IndexSummary,
-    ProtocolError, Request, Response, StatsReport, V2_HEADER_LEN,
+    MutationKind, ProtocolError, Request, Response, StatsReport, V2_HEADER_LEN,
 };
 
 /// Deterministic pseudo-random request for a seed: every variant, with
@@ -16,8 +16,18 @@ use eclipse_serve::protocol::{
 fn arbitrary_request(seed: u64) -> Request {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let name = random_name(&mut rng);
-    match rng.gen_range(0..11u32) {
+    match rng.gen_range(0..13u32) {
         0 => Request::Ping,
+        11 => Request::Insert {
+            name,
+            coords: (0..rng.gen_range(0..8usize))
+                .map(|_| random_coord(&mut rng))
+                .collect(),
+        },
+        12 => Request::Delete {
+            name,
+            id: rng.gen_range(0..u64::MAX),
+        },
         8 => Request::Hello {
             max_version: rng.gen_range(0..u32::MAX),
             pipe_size: rng.gen_range(0..u32::MAX),
@@ -65,8 +75,18 @@ fn arbitrary_request(seed: u64) -> Request {
 /// Deterministic pseudo-random response for a seed.
 fn arbitrary_response(seed: u64) -> Response {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
-    match rng.gen_range(0..15u32) {
+    match rng.gen_range(0..16u32) {
         0 => Response::Pong,
+        15 => Response::Mutated {
+            kind: match rng.gen_range(0..4u8) {
+                0 => MutationKind::InsertedDominated,
+                1 => MutationKind::InsertedSkyline,
+                2 => MutationKind::DeletedNonSkyline,
+                _ => MutationKind::DeletedSkyline,
+            },
+            epoch: rng.gen_range(0..u64::MAX),
+            len: rng.gen_range(0..u64::MAX),
+        },
         11 => Response::SnapshotsLoaded {
             restored: (0..rng.gen_range(0..4usize))
                 .map(|_| {
@@ -176,6 +196,7 @@ fn arbitrary_response(seed: u64) -> Response {
                     root_crossings: rng.gen_range(0..u64::MAX),
                     quad_built: rng.gen_range(0..2u8) == 1,
                     cutting_built: rng.gen_range(0..2u8) == 1,
+                    epoch: rng.gen_range(0..u64::MAX),
                 })
                 .collect(),
         }),

@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Explanation: which preference in [1/4, 2] picks which hotel? -------
-    let intervals = eclipse_core::explain::winner_intervals_2d(engine.points(), &ratio_box)?;
+    let intervals = eclipse_core::explain::winner_intervals_2d(&engine.points(), &ratio_box)?;
     println!("\nWho wins where (1NN winner per ratio sub-interval):");
     for iv in intervals {
         println!(

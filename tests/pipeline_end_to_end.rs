@@ -25,7 +25,7 @@ fn generate_persist_reload_query() {
     let engine = EclipseEngine::new(reloaded).unwrap();
     let b = WeightRatioBox::uniform(3, 0.36, 2.75).unwrap();
     let via_engine = engine.eclipse(&b).unwrap();
-    let via_baseline = eclipse_baseline(engine.points(), &b).unwrap();
+    let via_baseline = eclipse_baseline(&engine.points(), &b).unwrap();
     assert_eq!(via_engine, via_baseline);
 }
 

@@ -17,7 +17,7 @@ use eclipse_persist::fnv1a;
 use eclipse_router::fault::{FaultPlan, FaultProxy};
 use eclipse_router::router::{Router, RouterConfig, RouterHandle};
 use eclipse_serve::client::{Client, ClientError};
-use eclipse_serve::protocol::IndexKind;
+use eclipse_serve::protocol::{IndexKind, MutationKind};
 use eclipse_serve::server::{Server, ServerHandle};
 
 /// A dataset name that hash-places onto `slot` of a `members`-wide ring.
@@ -301,6 +301,77 @@ fn mid_batch_connection_kills_are_retried_transparently() {
             "round {round}"
         );
     }
+    router.shutdown();
+    proxy.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn transport_failure_mid_insert_surfaces_typed_error_and_never_double_applies() {
+    // Every router→backend connection dies when its 3rd request frame
+    // arrives (Hello + one probe in) — which this test arranges to be an
+    // `Insert`.  Mutations are excluded from the idempotent-only retry
+    // allowlist, so the router must surface a typed error instead of
+    // silently replaying a request that may (or may not) have executed
+    // server-side.
+    let (backend, proxy, router, boxes, expected) = solo_setup(FaultPlan {
+        kill_at_request: Some(3),
+        ..FaultPlan::default()
+    });
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // Connection #1: Hello (frame 1) plus one healthy probe (frame 2).
+    assert_eq!(
+        client.query_batch("solo", &boxes[..1]).unwrap(),
+        expected[..1].to_vec()
+    );
+
+    // Frame 3 is the Insert: the connection dies with the frame
+    // unforwarded.  A read here would be retried transparently; the
+    // mutation must fail loudly instead.
+    match client.insert("solo", &[2.0, 2.0, 2.0]) {
+        Err(ClientError::Server(m)) => assert!(m.contains("unavailable"), "{m}"),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+
+    // Direct look at the backend (bypassing the proxy): the killed insert
+    // was never applied — and never replayed behind our back.
+    let mut direct = Client::connect(backend.addr()).unwrap();
+    let solo_stats = |direct: &mut Client| {
+        let report = direct.stats().unwrap();
+        let ds = report
+            .datasets
+            .iter()
+            .find(|d| d.name == "solo")
+            .expect("solo dataset")
+            .clone();
+        (ds.epoch, ds.points)
+    };
+    assert_eq!(
+        solo_stats(&mut direct),
+        (0, 400),
+        "a killed insert must not apply"
+    );
+
+    // The client connection survives the typed error, and the same insert
+    // re-issued deliberately lands as frame 2 of a fresh backend
+    // connection: applied exactly once.
+    let ack = client.insert("solo", &[2.0, 2.0, 2.0]).unwrap();
+    assert_eq!(ack.kind, MutationKind::InsertedDominated);
+    assert_eq!((ack.epoch, ack.len), (1, 401));
+    assert_eq!(
+        solo_stats(&mut direct),
+        (1, 401),
+        "a re-issued insert applies exactly once"
+    );
+
+    // Reads still retry transparently across further kills, and the
+    // dominated insert left every probe answer unchanged.
+    assert_eq!(
+        client.query_batch("solo", &boxes[..1]).unwrap(),
+        expected[..1].to_vec()
+    );
+
     router.shutdown();
     proxy.shutdown();
     backend.shutdown();

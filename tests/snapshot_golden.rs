@@ -167,7 +167,10 @@ fn v1_fixtures_still_decode_probe_and_upgrade() {
         // Upgrade path: re-encoding writes the current version and the
         // upgraded snapshot answers exactly like the original.
         let upgraded = restored.save_snapshot(&stored_label, kind).unwrap();
-        assert_ne!(upgraded, golden, "{v1_file} should re-encode as v2");
+        assert_ne!(
+            upgraded, golden,
+            "{v1_file} should re-encode as the current format"
+        );
         let (_, reopened) = EclipseEngine::from_snapshot(&upgraded).unwrap();
         for b in probe_boxes(rebuilt.dim()) {
             assert_eq!(
