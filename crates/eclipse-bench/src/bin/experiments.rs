@@ -119,6 +119,9 @@ fn main() {
     if want("shard") {
         emit(&opts, "shard", shard_sweep(&opts));
     }
+    if want("memory") {
+        emit(&opts, "memory", memory_sweep(&opts));
+    }
 }
 
 fn parse_args() -> Options {
@@ -138,7 +141,7 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: experiments [--full] [--quick] [--out DIR] \
                      [all|table5|table6|table7|table8|fig10|fig11|fig12|fig13|fig14|relations|\
-                     threads|probes|serve|serve_pipeline|snapshot|mutate|build|shard]..."
+                     threads|probes|serve|serve_pipeline|snapshot|mutate|build|shard|memory]..."
                 );
                 std::process::exit(0);
             }
@@ -1817,6 +1820,198 @@ fn shard_sweep(opts: &Options) -> (String, ResultTable) {
         format!(
             "Sharded serving — eclipse-router over 1/2/4 shards + timed failover \
              (INDE, n = {n}, d = 3, {num_probes} probes)"
+        ),
+        t,
+    )
+}
+
+/// Memory-governance sweep: a budgeted server whose working set is ~2x its
+/// byte budget, cycled round-robin so the LRU tier keeps evicting cold
+/// datasets to their snapshots and transparently restoring them on the next
+/// touch.  **Every** pass is asserted byte-identical to an unbounded
+/// reference server, the accounted total is asserted to stay within
+/// budget + one dataset after every touch, and the final rows time a
+/// snapshot reload against a cold from-points rebuild.  Writes
+/// BENCH_memory.json next to the CSVs.
+fn memory_sweep(opts: &Options) -> (String, ResultTable) {
+    use eclipse_serve::server::ServerConfig;
+
+    let n = if opts.quick { 1 << 11 } else { 1 << 13 };
+    let num_datasets = 6usize;
+    let num_probes = if opts.quick { 48usize } else { 192 };
+    let passes = if opts.quick { 2 } else { 3 };
+    let names: Vec<String> = (0..num_datasets).map(|i| format!("ds{i}")).collect();
+    let datasets: Vec<Vec<eclipse_core::Point>> = (0..num_datasets)
+        .map(|i| DatasetFamily::Inde.generate(n, 3, SEED + i as u64))
+        .collect();
+    let boxes = probe_ratio_boxes(num_probes, 3, SEED + 11);
+
+    // The unbounded reference: answers are ground truth, and its stats give
+    // the true working-set size the budget is derived from.
+    let reference =
+        Server::bind("127.0.0.1:0", ExecutionContext::with_threads(1)).expect("bind reference");
+    for (name, pts) in names.iter().zip(&datasets) {
+        reference
+            .register_dataset(name, pts.clone(), IndexKind::Quadtree)
+            .expect("valid workload");
+    }
+    let ref_handle = reference.spawn().expect("spawn reference");
+    let mut ref_client = Client::connect(ref_handle.addr()).expect("connect reference");
+    let ref_stats = ref_client.stats().expect("reference stats");
+    let working_set: u64 = ref_stats.datasets.iter().map(|d| d.bytes).sum();
+    let largest: u64 = ref_stats.datasets.iter().map(|d| d.bytes).max().unwrap();
+    let budget = working_set / 2;
+    let expected: Vec<Vec<Vec<usize>>> = names
+        .iter()
+        .map(|name| {
+            ref_client
+                .query_batch(name, &boxes)
+                .expect("reference query")
+        })
+        .collect();
+
+    // The budgeted server under test: same datasets, half the bytes.
+    let snap_dir =
+        std::env::temp_dir().join(format!("eclipse_bench_memory_{}", std::process::id()));
+    std::fs::create_dir_all(&snap_dir).expect("create snapshot dir");
+    let server = Server::bind_with_config(
+        "127.0.0.1:0",
+        ExecutionContext::with_threads(1),
+        ServerConfig {
+            max_memory_bytes: Some(budget),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind budgeted server");
+    server.set_snapshot_dir(&snap_dir);
+    for (name, pts) in names.iter().zip(&datasets) {
+        server
+            .register_dataset(name, pts.clone(), IndexKind::Quadtree)
+            .expect("valid workload");
+    }
+    let handle = server.spawn().expect("spawn budgeted server");
+    let mut client = Client::connect(handle.addr()).expect("connect budgeted server");
+
+    let mut t = ResultTable::new(&[
+        "pass",
+        "accounted_kib",
+        "budget_kib",
+        "evictions",
+        "reloads",
+        "identical",
+    ]);
+    let mut json = String::from("{\n  \"pr\": 10,\n");
+    json.push_str(&format!("  \"quick\": {},\n", opts.quick));
+    json.push_str(&format!(
+        "  \"dataset\": {{\"family\": \"INDE\", \"n\": {n}, \"d\": 3, \
+         \"datasets\": {num_datasets}, \"probes\": {num_probes}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"working_set_bytes\": {working_set}, \"budget_bytes\": {budget}, \
+         \"largest_dataset_bytes\": {largest},\n"
+    ));
+    json.push_str("  \"passes\": [\n");
+    for pass in 0..passes {
+        for (i, name) in names.iter().enumerate() {
+            let rows = client.query_batch(name, &boxes).expect("budgeted query");
+            assert_eq!(
+                rows, expected[i],
+                "budgeted server diverged from reference on {name} (pass {pass})"
+            );
+            let stats = client.stats().expect("budgeted stats");
+            assert!(
+                stats.total_bytes <= budget + largest,
+                "accounted {} exceeds budget {budget} + one dataset {largest} (pass {pass})",
+                stats.total_bytes
+            );
+        }
+        let stats = client.stats().expect("budgeted stats");
+        t.push_row(vec![
+            pass.to_string(),
+            (stats.total_bytes / 1024).to_string(),
+            (budget / 1024).to_string(),
+            stats.evictions.to_string(),
+            stats.reloads.to_string(),
+            "yes".to_string(),
+        ]);
+        if pass > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"pass\": {pass}, \"accounted_bytes\": {}, \"evictions\": {}, \
+             \"reloads\": {}, \"identical\": true}}",
+            stats.total_bytes, stats.evictions, stats.reloads
+        ));
+    }
+    json.push_str("\n  ],\n");
+    let final_stats = client.stats().expect("final stats");
+    assert!(
+        final_stats.evictions > 0 && final_stats.reloads > 0,
+        "cycling a 2x-budget working set must evict and reload \
+         (evictions {}, reloads {})",
+        final_stats.evictions,
+        final_stats.reloads
+    );
+
+    // Reload latency: find an evicted dataset and time the first query that
+    // touches it (snapshot decode, not a rebuild), against the cold
+    // from-points build the snapshot skips.
+    let evicted = final_stats
+        .datasets
+        .iter()
+        .find(|d| !d.resident)
+        .expect("a 2x-budget working set leaves someone evicted")
+        .name
+        .clone();
+    let idx = names.iter().position(|name| *name == evicted).unwrap();
+    let start = std::time::Instant::now();
+    let rows = client.query_batch(&evicted, &boxes).expect("reload query");
+    let reload_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        rows, expected[idx],
+        "reloaded dataset diverged on {evicted}"
+    );
+    let start = std::time::Instant::now();
+    let engine = eclipse_core::EclipseEngine::new(datasets[idx].clone())
+        .expect("valid workload")
+        .with_execution_context(ExecutionContext::serial());
+    engine
+        .build_index(IntersectionIndexKind::Quadtree)
+        .expect("build index");
+    let cold_s = start.elapsed().as_secs_f64();
+    drop(engine);
+    println!(
+        "[memory: reload {:.1} ms vs cold build {:.1} ms ({:.1}x), \
+         {} evictions, {} reloads]",
+        reload_s * 1e3,
+        cold_s * 1e3,
+        cold_s / reload_s,
+        final_stats.evictions,
+        final_stats.reloads
+    );
+    json.push_str(&format!(
+        "  \"reload\": {{\"dataset\": \"{evicted}\", \"reload_ms\": {:.3}, \
+         \"cold_build_ms\": {:.3}}}\n",
+        reload_s * 1e3,
+        cold_s * 1e3
+    ));
+    json.push_str("}\n");
+
+    handle.shutdown();
+    ref_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    let dir = opts.out_dir.clone().unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+    }
+    let path = dir.join("BENCH_memory.json");
+    std::fs::write(&path, json).expect("write BENCH_memory.json");
+    println!("[memory sweep written to {}]", path.display());
+    (
+        format!(
+            "Memory governance — {num_datasets} datasets cycled under a half-working-set \
+             budget (INDE, n = {n}, d = 3, {num_probes} probes)"
         ),
         t,
     )

@@ -409,6 +409,23 @@ impl EclipseIndex {
         }
     }
 
+    /// Heap bytes owned by the index: the skyline id/coordinate buffers, the
+    /// pair list, the root cell's corners and the whole backend arena
+    /// (hyperplane slab, nodes, cells, entries).  Buffers with spare
+    /// capacity are counted at capacity; allocator headers and the inline
+    /// struct itself are not included.
+    pub fn heap_bytes(&self) -> usize {
+        let backend = match &self.backend {
+            Backend::Quad(t) => t.heap_bytes(),
+            Backend::Cutting(t) => t.heap_bytes(),
+        };
+        self.skyline_ids.capacity() * std::mem::size_of::<usize>()
+            + self.skyline_coords.len() * std::mem::size_of::<f64>()
+            + self.pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.root_cell.heap_bytes()
+            + backend
+    }
+
     /// Diagnostic: node count of the underlying spatial structure.
     pub fn backend_nodes(&self) -> usize {
         match &self.backend {

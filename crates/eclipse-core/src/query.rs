@@ -250,6 +250,40 @@ impl EclipseEngine {
         self.dataset.read().expect("dataset lock poisoned").epoch
     }
 
+    /// Heap bytes owned by the current dataset version: the point vector
+    /// (at capacity) plus every point's boxed coordinate slice.  Points all
+    /// share the engine's dimensionality, so the coordinate payload is
+    /// `len · dim · 8` without walking the points.
+    pub fn dataset_heap_bytes(&self) -> usize {
+        let guard = self.dataset.read().expect("dataset lock poisoned");
+        guard.points.capacity() * std::mem::size_of::<Point>()
+            + guard.points.len() * self.dim * std::mem::size_of::<f64>()
+    }
+
+    /// Heap bytes owned by the engine: the dataset, any cached index (both
+    /// backend kinds, stale or current — a stale slot still occupies memory
+    /// until the next build replaces it) and the cached skyline id list.
+    /// This is the per-dataset figure the serving layer's memory budget
+    /// accounts against; exact up to allocator headers and `Arc`/lock
+    /// control blocks.
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.dataset_heap_bytes();
+        for slot in [&self.quad_index, &self.cutting_index] {
+            if let Some(slot) = slot.read().expect("index lock poisoned").as_ref() {
+                total += slot.index.heap_bytes();
+            }
+        }
+        if let Some((_, ids)) = self
+            .skyline_cache
+            .read()
+            .expect("skyline cache poisoned")
+            .as_ref()
+        {
+            total += ids.capacity() * std::mem::size_of::<usize>();
+        }
+        total
+    }
+
     /// Eagerly builds (and caches) the index of the given kind **for the
     /// current dataset epoch**, returning a shared handle.  Subsequent
     /// `Auto` queries will use it; a cached index left behind by an older

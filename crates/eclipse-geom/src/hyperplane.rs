@@ -286,6 +286,14 @@ impl HyperplaneSlab {
         self.dim
     }
 
+    /// Heap bytes owned by the slab's three buffers, counted at their
+    /// *capacity* (what the allocator actually handed out), not their length.
+    pub fn heap_bytes(&self) -> usize {
+        self.coeffs.capacity() * std::mem::size_of::<f64>()
+            + self.offsets.capacity() * std::mem::size_of::<f64>()
+            + self.degenerate.capacity() * std::mem::size_of::<bool>()
+    }
+
     /// The coefficient row of hyperplane `i`.
     #[inline]
     pub fn coeffs_row(&self, i: usize) -> &[f64] {

@@ -258,6 +258,14 @@ impl BoundingBox {
         &self.hi
     }
 
+    /// Heap bytes owned by the box: the two boxed corner slices.  Exact for
+    /// the buffers themselves (boxed slices carry no spare capacity); the
+    /// allocator's per-allocation header is not included.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        (self.lo.len() + self.hi.len()) * std::mem::size_of::<f64>()
+    }
+
     /// Side length on axis `i`.
     #[inline]
     pub fn extent(&self, i: usize) -> f64 {

@@ -421,6 +421,18 @@ impl HyperplaneQuadtree {
         self.max_depth_reached
     }
 
+    /// Heap bytes owned by the arena: the hyperplane slab plus the node,
+    /// cell-corner and entry buffers (counted at capacity) and the root
+    /// cell's corners.  Exact up to allocator headers; used by the serving
+    /// layer's memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.slab.heap_bytes()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.cells.capacity() * std::mem::size_of::<f64>()
+            + self.entries.capacity() * std::mem::size_of::<u32>()
+            + self.root_cell.heap_bytes()
+    }
+
     /// The root cell.
     pub fn root_cell(&self) -> &BoundingBox {
         &self.root_cell

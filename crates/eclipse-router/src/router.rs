@@ -599,6 +599,10 @@ enum Failure {
     /// Transport-level (timeout, closed, garbage): health penalty, the
     /// connection is discarded, retryable.
     Transport(String),
+    /// Typed `DatasetUnavailable`: the backend is alive and answered, but
+    /// could not restore an evicted dataset from its snapshot. Deterministic
+    /// for that member (retrying it cannot help), no health penalty.
+    DatasetUnavailable { name: String, reason: String },
 }
 
 fn classify(e: &ClientError) -> Failure {
@@ -609,6 +613,10 @@ fn classify(e: &ClientError) -> Failure {
         ClientError::Overloaded { .. } | ClientError::TimedOut { .. } => {
             Failure::FlowControl(e.to_string())
         }
+        ClientError::DatasetUnavailable { name, reason } => Failure::DatasetUnavailable {
+            name: name.clone(),
+            reason: reason.clone(),
+        },
         ClientError::SocketTimeout
         | ClientError::ConnectionClosed
         | ClientError::Io(_)
@@ -620,6 +628,10 @@ fn classify(e: &ClientError) -> Failure {
 enum RouteError {
     /// A backend's own (deterministic) error response.
     Deterministic(String),
+    /// A backend answered the typed `DatasetUnavailable` response: it is
+    /// healthy but cannot restore the named evicted dataset. Re-emitted
+    /// typed so clients can distinguish it from a routing failure.
+    DatasetUnavailable { name: String, reason: String },
     /// No member could serve it: every candidate down, retries exhausted,
     /// or the retry budget refused.
     Unavailable(String),
@@ -694,6 +706,9 @@ fn call_with_retry(
             }
             Err(e) => match classify(&e) {
                 Failure::Deterministic(m) => return Err(RouteError::Deterministic(m)),
+                Failure::DatasetUnavailable { name, reason } => {
+                    return Err(RouteError::DatasetUnavailable { name, reason })
+                }
                 Failure::FlowControl(m) => last = m,
                 Failure::Transport(m) => {
                     shared.note_failure(slot);
@@ -766,6 +781,9 @@ fn handle_request(
             match call_with_retry(shared, conns, &[slot], &request) {
                 Ok(response) => response,
                 Err(RouteError::Deterministic(m)) => Response::Error(m),
+                Err(RouteError::DatasetUnavailable { name, reason }) => {
+                    Response::DatasetUnavailable { name, reason }
+                }
                 Err(RouteError::Unavailable(m)) => {
                     Response::Error(format!("shard unavailable: {m}"))
                 }
@@ -776,6 +794,11 @@ fn handle_request(
 
 /// Non-probe dataset operations fan to every placement slot (owner, or all
 /// routable members for replicated datasets); the first summary answers.
+///
+/// The fan is all-or-typed-error: every slot is attempted even after a
+/// failure (aborting mid-loop would leave replicas desynced with the caller
+/// none the wiser), and if any member missed the operation the caller gets
+/// an error naming exactly which members applied it and which did not.
 fn fan_to_placement(
     shared: &Shared,
     conns: &mut BackendConns,
@@ -786,19 +809,49 @@ fn fan_to_placement(
     if slots.is_empty() {
         return Response::Error("no routable member".to_string());
     }
+    let total = slots.len();
     let mut first: Option<Response> = None;
+    let mut failures: Vec<(usize, RouteError)> = Vec::new();
     for slot in slots {
         match call_with_retry(shared, conns, &[slot], request) {
             Ok(response) => {
                 first.get_or_insert(response);
             }
-            Err(RouteError::Deterministic(m)) => return Response::Error(m),
-            Err(RouteError::Unavailable(m)) => {
-                return Response::Error(format!("shard {slot} unavailable: {m}"))
-            }
+            Err(e) => failures.push((slot, e)),
         }
     }
-    first.expect("at least one slot answered")
+    if failures.is_empty() {
+        return first.expect("at least one slot answered");
+    }
+    // Single-member placement: nothing was partially applied, so the lone
+    // failure passes through with its original shape (typed stays typed).
+    if total == 1 {
+        return match failures.remove(0) {
+            (_, RouteError::Deterministic(m)) => Response::Error(m),
+            (_, RouteError::DatasetUnavailable { name, reason }) => {
+                Response::DatasetUnavailable { name, reason }
+            }
+            (slot, RouteError::Unavailable(m)) => {
+                Response::Error(format!("shard {slot} unavailable: {m}"))
+            }
+        };
+    }
+    let applied = total - failures.len();
+    let detail: Vec<String> = failures
+        .iter()
+        .map(|(slot, e)| match e {
+            RouteError::Deterministic(m) => format!("shard {slot}: {m}"),
+            RouteError::DatasetUnavailable { reason, .. } => {
+                format!("shard {slot}: dataset unavailable: {reason}")
+            }
+            RouteError::Unavailable(m) => format!("shard {slot}: unavailable: {m}"),
+        })
+        .collect();
+    Response::Error(format!(
+        "replicated operation on {name:?} applied to {applied}/{total} members; \
+         failed: {}",
+        detail.join("; ")
+    ))
 }
 
 /// `LoadSnapshots` fans to every routable member and merges the scans.
@@ -828,6 +881,9 @@ fn fan_load_snapshots(shared: &Shared, conns: &mut BackendConns) -> Response {
             }
             Ok(_) => return Response::Error("unexpected response to LoadSnapshots".to_string()),
             Err(RouteError::Deterministic(m)) => return Response::Error(m),
+            Err(RouteError::DatasetUnavailable { name, reason }) => {
+                return Response::DatasetUnavailable { name, reason }
+            }
             Err(RouteError::Unavailable(m)) => {
                 return Response::Error(format!("shard unavailable: {m}"))
             }
@@ -848,6 +904,10 @@ fn merged_stats(shared: &Shared, conns: &mut BackendConns) -> Response {
         timeouts: 0,
         rejected: 0,
         conn_queue_depths: Vec::new(),
+        total_bytes: 0,
+        memory_budget: 0,
+        evictions: 0,
+        reloads: 0,
         datasets: Vec::new(),
     };
     for slot in shared.routable_slots() {
@@ -862,13 +922,36 @@ fn merged_stats(shared: &Shared, conns: &mut BackendConns) -> Response {
             merged.timeouts += report.timeouts;
             merged.rejected += report.rejected;
             merged.conn_queue_depths.extend(report.conn_queue_depths);
+            merged.total_bytes += report.total_bytes;
+            merged.memory_budget += report.memory_budget;
+            merged.evictions += report.evictions;
+            merged.reloads += report.reloads;
             for dataset in report.datasets {
-                if !merged.datasets.iter().any(|d| d.name == dataset.name) {
-                    merged.datasets.push(dataset);
+                match merged.datasets.iter_mut().find(|d| d.name == dataset.name) {
+                    None => merged.datasets.push(dataset),
+                    // Replicated datasets report once per member: one row
+                    // per name, the highest-epoch member authoritative for
+                    // the engine shape, capacity and residency aggregated
+                    // across members.
+                    Some(existing) => {
+                        if dataset.epoch > existing.epoch {
+                            existing.epoch = dataset.epoch;
+                            existing.points = dataset.points;
+                            existing.dim = dataset.dim;
+                            existing.skyline_len = dataset.skyline_len;
+                            existing.intersections = dataset.intersections;
+                            existing.root_crossings = dataset.root_crossings;
+                        }
+                        existing.bytes += dataset.bytes;
+                        existing.quad_built |= dataset.quad_built;
+                        existing.cutting_built |= dataset.cutting_built;
+                        existing.resident |= dataset.resident;
+                    }
                 }
             }
         }
     }
+    merged.datasets.sort_by(|a, b| a.name.cmp(&b.name));
     Response::Stats(merged)
 }
 
@@ -926,6 +1009,9 @@ fn route_probes(
         return match call_with_retry(shared, conns, &candidates, request) {
             Ok(response) => response,
             Err(RouteError::Deterministic(m)) => Response::Error(m),
+            Err(RouteError::DatasetUnavailable { name, reason }) => {
+                Response::DatasetUnavailable { name, reason }
+            }
             Err(RouteError::Unavailable(m)) => {
                 degraded_or_error(allow_partial, is_query, n_boxes, &m)
             }
@@ -1014,6 +1100,9 @@ fn route_probes(
             },
             Some(Err(e)) => match classify(&e) {
                 Failure::Deterministic(m) => return Response::Error(m),
+                Failure::DatasetUnavailable { name, reason } => {
+                    return Response::DatasetUnavailable { name, reason }
+                }
                 Failure::FlowControl(_) => rows.push(None),
                 Failure::Transport(_) => {
                     shared.note_failure(*slot);
@@ -1038,6 +1127,9 @@ fn route_probes(
                 Err(m) => return Response::Error(m),
             },
             Err(RouteError::Deterministic(m)) => return Response::Error(m),
+            Err(RouteError::DatasetUnavailable { name, reason }) => {
+                return Response::DatasetUnavailable { name, reason }
+            }
             Err(RouteError::Unavailable(_)) => {}
         }
     }

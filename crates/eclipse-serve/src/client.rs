@@ -56,6 +56,15 @@ pub enum ClientError {
         /// The cap that was breached.
         limit: u32,
     },
+    /// The dataset is registered but evicted under the server's memory
+    /// budget and could not be restored from its snapshot; nothing was
+    /// executed and the connection stays usable.
+    DatasetUnavailable {
+        /// The dataset that could not be made resident.
+        name: String,
+        /// Why the restore failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -81,6 +90,9 @@ impl fmt::Display for ClientError {
                     f,
                     "server overloaded ({in_flight} in flight, limit {limit})"
                 )
+            }
+            ClientError::DatasetUnavailable { name, reason } => {
+                write!(f, "dataset {name:?} unavailable: {reason}")
             }
         }
     }
@@ -375,6 +387,9 @@ impl PipelinedClient {
             Response::Timeout { deadline_ms } => Err(ClientError::TimedOut { deadline_ms }),
             Response::Overloaded { in_flight, limit } => {
                 Err(ClientError::Overloaded { in_flight, limit })
+            }
+            Response::DatasetUnavailable { name, reason } => {
+                Err(ClientError::DatasetUnavailable { name, reason })
             }
             response => Ok(response),
         }

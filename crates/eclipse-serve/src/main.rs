@@ -3,7 +3,7 @@
 //! ```text
 //! eclipse-serve [--addr HOST:PORT] [--threads N] [--snapshot-dir DIR]
 //!               [--max-pipeline N] [--max-inflight N] [--idle-timeout-ms N]
-//!               [--preload NAME=FAMILY:N:D:SEED]...
+//!               [--max-memory-mb N] [--preload NAME=FAMILY:N:D:SEED]...
 //! ```
 //!
 //! * `--addr` — listen address, default `127.0.0.1:7878` (use port 0 for an
@@ -26,7 +26,11 @@
 //! * `--idle-timeout-ms` — how long a freshly accepted connection may sit
 //!   without sending a single complete frame before it is reaped (default
 //!   30000; 0 disables reaping).  Connections that have spoken are never
-//!   idle-reaped.
+//!   idle-reaped;
+//! * `--max-memory-mb` — global memory budget for dataset engines (default:
+//!   unbounded).  When accounted bytes exceed the budget the least-recently
+//!   used datasets are snapshotted (requires `--snapshot-dir`) and evicted;
+//!   the next request touching an evicted dataset restores it transparently.
 
 use std::process::ExitCode;
 
@@ -42,6 +46,7 @@ struct Options {
     max_pipeline: Option<u32>,
     max_in_flight: Option<u32>,
     idle_timeout_ms: Option<u64>,
+    max_memory_mb: Option<u64>,
     preloads: Vec<(String, Distribution, usize, usize, u64)>,
 }
 
@@ -67,6 +72,13 @@ fn main() -> ExitCode {
     }
     if let Some(ms) = opts.idle_timeout_ms {
         config.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(mb) = opts.max_memory_mb {
+        if opts.snapshot_dir.is_none() {
+            eprintln!("eclipse-serve: --max-memory-mb requires --snapshot-dir (eviction persists datasets as snapshots)");
+            return ExitCode::FAILURE;
+        }
+        config.max_memory_bytes = Some(mb * 1024 * 1024);
     }
     let server = match Server::bind_with_config(&opts.addr, exec, config) {
         Ok(server) => server,
@@ -132,6 +144,7 @@ fn parse_args() -> Result<Options, String> {
         max_pipeline: None,
         max_in_flight: None,
         idle_timeout_ms: None,
+        max_memory_mb: None,
         preloads: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -187,6 +200,18 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("--idle-timeout-ms: {raw:?} is not an integer"))?;
                 opts.idle_timeout_ms = Some(ms);
             }
+            "--max-memory-mb" => {
+                let raw = args
+                    .next()
+                    .ok_or("--max-memory-mb needs a positive integer")?;
+                let mb: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--max-memory-mb: {raw:?} is not an integer"))?;
+                if mb == 0 {
+                    return Err("--max-memory-mb must be positive".to_string());
+                }
+                opts.max_memory_mb = Some(mb);
+            }
             "--preload" => {
                 let spec = args.next().ok_or("--preload needs NAME=FAMILY:N:D:SEED")?;
                 opts.preloads.push(parse_preload(&spec)?);
@@ -194,7 +219,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: eclipse-serve [--addr HOST:PORT] [--threads N] \
                      [--snapshot-dir DIR] [--max-pipeline N] [--max-inflight N] \
-                     [--idle-timeout-ms N] [--preload NAME=FAMILY:N:D:SEED]..."
+                     [--idle-timeout-ms N] [--max-memory-mb N] \
+                     [--preload NAME=FAMILY:N:D:SEED]..."
                     .to_string());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),

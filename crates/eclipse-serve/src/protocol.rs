@@ -468,6 +468,13 @@ pub struct DatasetStats {
     /// Mutation epoch of the dataset: 0 at registration, +1 per applied
     /// insert/delete.
     pub epoch: u64,
+    /// Accounted heap bytes of the dataset's engine (points, cached indexes,
+    /// skyline cache); 0 while evicted.
+    pub bytes: u64,
+    /// `false` when the dataset is currently evicted to its snapshot under
+    /// the server's memory budget (the next request touching it restores it
+    /// transparently).
+    pub resident: bool,
 }
 
 /// The reply to a [`Request::Stats`].
@@ -493,6 +500,16 @@ pub struct StatsReport {
     /// In-flight queue depth of every open connection at the time of the
     /// stats call, sorted descending.
     pub conn_queue_depths: Vec<u32>,
+    /// Accounted heap bytes across all *resident* datasets (the figure the
+    /// memory budget is enforced against).
+    pub total_bytes: u64,
+    /// The configured memory budget in bytes; 0 when unbounded.
+    pub memory_budget: u64,
+    /// Datasets evicted to their snapshots since the server started.
+    pub evictions: u64,
+    /// Evicted datasets transparently restored from their snapshots since
+    /// the server started.
+    pub reloads: u64,
     /// One entry per registered dataset, sorted by name.
     pub datasets: Vec<DatasetStats>,
 }
@@ -563,6 +580,18 @@ pub enum Response {
         in_flight: u32,
         /// The cap that was breached.
         limit: u32,
+    },
+    /// The named dataset is registered but currently **evicted** under the
+    /// server's memory budget, and could not be restored from its snapshot
+    /// (missing or unreadable snapshot file, or no snapshot directory).
+    /// Nothing was executed and the connection stays usable — like
+    /// [`Response::Overloaded`], this is a typed condition, not a protocol
+    /// failure.
+    DatasetUnavailable {
+        /// The dataset that could not be made resident.
+        name: String,
+        /// Why the restore failed.
+        reason: String,
     },
     /// Reply to [`Request::Insert`] / [`Request::Delete`]: what the mutation
     /// did to the skyline, plus the dataset's new epoch and size.
@@ -957,6 +986,7 @@ const RESP_PARTIAL_ACK: u8 = 0x8b;
 const RESP_PARTIAL_QUERY: u8 = 0x8c;
 const RESP_PARTIAL_COUNTS: u8 = 0x8d;
 const RESP_MUTATED: u8 = 0x8e;
+const RESP_DATASET_UNAVAILABLE: u8 = 0x8f;
 const RESP_ERROR: u8 = 0xff;
 
 impl Response {
@@ -1082,6 +1112,10 @@ impl Response {
                 for &depth in &report.conn_queue_depths {
                     put_u32(&mut buf, depth);
                 }
+                put_u64(&mut buf, report.total_bytes);
+                put_u64(&mut buf, report.memory_budget);
+                put_u64(&mut buf, report.evictions);
+                put_u64(&mut buf, report.reloads);
                 put_u32(&mut buf, report.datasets.len() as u32);
                 for d in &report.datasets {
                     put_str(&mut buf, &d.name);
@@ -1093,6 +1127,8 @@ impl Response {
                     put_bool(&mut buf, d.quad_built);
                     put_bool(&mut buf, d.cutting_built);
                     put_u64(&mut buf, d.epoch);
+                    put_u64(&mut buf, d.bytes);
+                    put_bool(&mut buf, d.resident);
                 }
             }
             Response::Mutated { kind, epoch, len } => {
@@ -1100,6 +1136,11 @@ impl Response {
                 put_u8(&mut buf, kind.to_wire());
                 put_u64(&mut buf, *epoch);
                 put_u64(&mut buf, *len);
+            }
+            Response::DatasetUnavailable { name, reason } => {
+                put_u8(&mut buf, RESP_DATASET_UNAVAILABLE);
+                put_str(&mut buf, name);
+                put_str(&mut buf, reason);
             }
             Response::Error(message) => {
                 put_u8(&mut buf, RESP_ERROR);
@@ -1232,6 +1273,10 @@ impl Response {
                 for _ in 0..depths {
                     conn_queue_depths.push(r.u32()?);
                 }
+                let total_bytes = r.u64()?;
+                let memory_budget = r.u64()?;
+                let evictions = r.u64()?;
+                let reloads = r.u64()?;
                 let n = r.count(32)?;
                 let mut datasets = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -1245,6 +1290,8 @@ impl Response {
                         quad_built: r.bool()?,
                         cutting_built: r.bool()?,
                         epoch: r.u64()?,
+                        bytes: r.u64()?,
+                        resident: r.bool()?,
                     });
                 }
                 Response::Stats(StatsReport {
@@ -1256,6 +1303,10 @@ impl Response {
                     timeouts,
                     rejected,
                     conn_queue_depths,
+                    total_bytes,
+                    memory_budget,
+                    evictions,
+                    reloads,
                     datasets,
                 })
             }
@@ -1263,6 +1314,10 @@ impl Response {
                 kind: MutationKind::from_wire(r.u8()?)?,
                 epoch: r.u64()?,
                 len: r.u64()?,
+            },
+            RESP_DATASET_UNAVAILABLE => Response::DatasetUnavailable {
+                name: r.str()?,
+                reason: r.str()?,
             },
             RESP_ERROR => Response::Error(r.str()?),
             other => {
@@ -1389,6 +1444,10 @@ mod tests {
             timeouts: 4,
             rejected: 9,
             conn_queue_depths: vec![16, 5, 0],
+            total_bytes: 123_456_789,
+            memory_budget: 1 << 30,
+            evictions: 12,
+            reloads: 11,
             datasets: vec![],
         });
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

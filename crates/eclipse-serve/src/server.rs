@@ -36,14 +36,100 @@ use crate::protocol::{
     DatasetStats, DatasetSummary, IndexKind, IndexSummary, Request, Response, StatsReport, WireBox,
 };
 
+/// One registered dataset in the residency tier: its engine while resident,
+/// or a summary of it while evicted to its snapshot files.
+struct DatasetSlot {
+    name: String,
+    /// Logical LRU stamp: the value of [`ServerState::lru_clock`] at the
+    /// last request that touched this dataset.
+    last_used: AtomicU64,
+    state: Mutex<Residency>,
+}
+
+/// Residency state of a [`DatasetSlot`].
+enum Residency {
+    Resident(ResidentDataset),
+    /// Evicted under the memory budget; the summary describes the dataset
+    /// as it was at eviction so `Stats` can report it without restoring.
+    Evicted(EvictedStats),
+}
+
+/// The resident half of a slot: the live engine plus what the snapshot
+/// directory already holds for it.
+struct ResidentDataset {
+    engine: Arc<EclipseEngine>,
+    /// The dataset epoch the on-disk snapshot of each index kind covers
+    /// (`None`: no file written during this residency).  Eviction re-writes
+    /// a built kind's snapshot unless its entry matches the current epoch —
+    /// the snapshot-if-dirty check.
+    saved_quad: Option<u64>,
+    saved_cutting: Option<u64>,
+}
+
+impl ResidentDataset {
+    fn fresh(engine: Arc<EclipseEngine>) -> Self {
+        ResidentDataset {
+            engine,
+            saved_quad: None,
+            saved_cutting: None,
+        }
+    }
+
+    fn saved_mut(&mut self, kind: IndexKind) -> &mut Option<u64> {
+        match kind {
+            IndexKind::Quadtree => &mut self.saved_quad,
+            IndexKind::CuttingTree => &mut self.saved_cutting,
+        }
+    }
+}
+
+/// What `Stats` reports about an evicted dataset.
+#[derive(Clone)]
+struct EvictedStats {
+    points: u64,
+    dim: u32,
+    skyline_len: u64,
+    intersections: u64,
+    quad_built: bool,
+    cutting_built: bool,
+    epoch: u64,
+}
+
+/// Internal error type of the request handlers: either an engine error
+/// (answered as [`Response::Error`]) or an already-typed response such as
+/// [`Response::DatasetUnavailable`].
+enum ServeError {
+    Typed(Box<Response>),
+    Engine(EclipseError),
+}
+
+impl From<EclipseError> for ServeError {
+    fn from(e: EclipseError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
 /// Shared server state: the dataset registry, the execution context every
 /// engine draws from, and the serving counters.
 pub(crate) struct ServerState {
     exec: ExecutionContext,
-    datasets: RwLock<HashMap<String, Arc<EclipseEngine>>>,
+    datasets: RwLock<HashMap<String, Arc<DatasetSlot>>>,
     /// Where `SaveIndex`/`RestoreIndex` persist snapshots; `None` disables
-    /// the snapshot surface (requests answer with an error response).
+    /// the snapshot surface (requests answer with an error response) — and
+    /// with it budget eviction, which needs somewhere to put cold datasets.
     snapshot_dir: RwLock<Option<PathBuf>>,
+    /// Global budget on accounted dataset bytes ([`EclipseEngine::heap_bytes`]
+    /// summed over resident datasets); `None` disables eviction.
+    memory_budget: Option<u64>,
+    /// Logical clock stamping [`DatasetSlot::last_used`] on every touch.
+    lru_clock: AtomicU64,
+    /// Datasets evicted to their snapshots since the server started.
+    evictions: AtomicU64,
+    /// Evicted datasets transparently restored since the server started.
+    reloads: AtomicU64,
+    /// Serializes budget-enforcement passes so concurrent admissions cannot
+    /// race each other into evicting more than the overshoot.
+    evict_guard: Mutex<()>,
     query_batches: AtomicU64,
     count_batches: AtomicU64,
     probes: AtomicU64,
@@ -65,6 +151,11 @@ impl ServerState {
             exec,
             datasets: RwLock::new(HashMap::new()),
             snapshot_dir: RwLock::new(None),
+            memory_budget: None,
+            lru_clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            evict_guard: Mutex::new(()),
             query_batches: AtomicU64::new(0),
             count_batches: AtomicU64::new(0),
             probes: AtomicU64::new(0),
@@ -108,13 +199,235 @@ impl ServerState {
             })
     }
 
-    fn engine(&self, name: &str) -> Result<Arc<EclipseEngine>, EclipseError> {
+    fn slot(&self, name: &str) -> Result<Arc<DatasetSlot>, EclipseError> {
         self.datasets
             .read()
             .expect("dataset registry poisoned")
             .get(name)
             .cloned()
             .ok_or_else(|| EclipseError::Unsupported(format!("unknown dataset {name:?}")))
+    }
+
+    /// Stamps the slot as most-recently-used.
+    fn touch(&self, slot: &DatasetSlot) {
+        let stamp = self.lru_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(stamp, Ordering::Relaxed);
+    }
+
+    /// The slot's engine, transparently restoring an evicted dataset from
+    /// its snapshot files.  The caller must hold the slot's state lock —
+    /// which is exactly what makes eviction safe against concurrent
+    /// mutations (both sides take the same lock).
+    fn make_resident(
+        &self,
+        slot: &DatasetSlot,
+        st: &mut Residency,
+    ) -> Result<Arc<EclipseEngine>, ServeError> {
+        if let Residency::Resident(r) = st {
+            return Ok(Arc::clone(&r.engine));
+        }
+        let restored = self.restore_evicted(&slot.name).map_err(|reason| {
+            ServeError::Typed(Box::new(Response::DatasetUnavailable {
+                name: slot.name.clone(),
+                reason,
+            }))
+        })?;
+        let engine = Arc::clone(&restored.engine);
+        *st = Residency::Resident(restored);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(engine)
+    }
+
+    /// Rebuilds a [`ResidentDataset`] for an evicted dataset from its
+    /// snapshot files (both index kinds when both exist).  Failing this —
+    /// no snapshot directory, no file, or undecodable bytes — is the one
+    /// condition the residency tier cannot hide, reported as the `Err`
+    /// reason of a [`Response::DatasetUnavailable`].
+    fn restore_evicted(&self, name: &str) -> Result<ResidentDataset, String> {
+        let Some(dir) = self
+            .snapshot_dir
+            .read()
+            .expect("snapshot dir lock poisoned")
+            .clone()
+        else {
+            return Err("evicted, and this server has no --snapshot-dir to restore from".into());
+        };
+        let mut resident: Option<ResidentDataset> = None;
+        let mut attempts: Vec<String> = Vec::new();
+        for kind in [IndexKind::Quadtree, IndexKind::CuttingTree] {
+            let path = Self::snapshot_path(&dir, name, kind);
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    attempts.push(format!("{}: {e}", path.display()));
+                    continue;
+                }
+            };
+            match &mut resident {
+                None => match EclipseEngine::from_snapshot(&bytes) {
+                    Ok((label, engine)) if label == name => {
+                        let engine = engine.with_execution_context(self.exec.clone());
+                        let epoch = engine.epoch();
+                        let mut r = ResidentDataset::fresh(Arc::new(engine));
+                        *r.saved_mut(kind) = Some(epoch);
+                        resident = Some(r);
+                    }
+                    Ok((label, _)) => {
+                        attempts.push(format!(
+                            "{}: holds dataset {label:?}, not {name:?}",
+                            path.display()
+                        ));
+                    }
+                    Err(e) => attempts.push(format!("{}: {e}", path.display())),
+                },
+                Some(r) => {
+                    // The second kind is best-effort: a stale companion file
+                    // must not fail the restore of a healthy dataset.
+                    if r.engine.restore_index_snapshot(&bytes).is_ok() {
+                        *r.saved_mut(kind) = Some(r.engine.epoch());
+                    }
+                }
+            }
+        }
+        resident.ok_or_else(|| format!("no restorable snapshot ({})", attempts.join("; ")))
+    }
+
+    /// Runs `f` against the named dataset's resident state, restoring it
+    /// first when evicted; the slot's state lock is held across `f`, so use
+    /// this for operations that must exclude eviction (mutations, snapshot
+    /// writes) and [`ServerState::engine`] for read-only query traffic.
+    fn with_resident<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Residency, Arc<EclipseEngine>) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let slot = self.slot(name)?;
+        self.touch(&slot);
+        let (result, reloaded) = {
+            let mut st = slot.state.lock().expect("dataset slot poisoned");
+            let reloaded = matches!(&*st, Residency::Evicted(_));
+            let engine = self.make_resident(&slot, &mut st)?;
+            (f(&mut st, engine), reloaded)
+        };
+        if reloaded {
+            self.enforce_budget(Some(name));
+        }
+        result
+    }
+
+    /// The named dataset's engine for query traffic: touches the LRU stamp,
+    /// restores the dataset if evicted, and holds the slot lock only long
+    /// enough to clone the engine handle.
+    fn engine(&self, name: &str) -> Result<Arc<EclipseEngine>, ServeError> {
+        self.with_resident(name, |_, engine| Ok(engine))
+    }
+
+    /// Evicts resident datasets — coldest first, never `protect` — until the
+    /// accounted total fits the budget or nothing evictable remains.  Dirty
+    /// datasets (mutated or re-indexed since their last snapshot) are
+    /// snapshotted before the engine is dropped, so eviction never loses an
+    /// acknowledged mutation; a dataset that cannot be snapshotted (no
+    /// snapshot directory, disk error) stops the pass rather than discarding
+    /// state.
+    ///
+    /// Callers must not hold any slot's state lock (the pass takes them).
+    fn enforce_budget(&self, protect: Option<&str>) {
+        let Some(budget) = self.memory_budget else {
+            return;
+        };
+        let _guard = self.evict_guard.lock().expect("evict guard poisoned");
+        loop {
+            let slots: Vec<Arc<DatasetSlot>> = self
+                .datasets
+                .read()
+                .expect("dataset registry poisoned")
+                .values()
+                .cloned()
+                .collect();
+            let mut total: u64 = 0;
+            let mut victim: Option<(u64, Arc<DatasetSlot>)> = None;
+            for slot in &slots {
+                let st = slot.state.lock().expect("dataset slot poisoned");
+                if let Residency::Resident(r) = &*st {
+                    total += r.engine.heap_bytes() as u64;
+                    if protect != Some(slot.name.as_str()) {
+                        let stamp = slot.last_used.load(Ordering::Relaxed);
+                        if victim.as_ref().is_none_or(|(s, _)| stamp < *s) {
+                            victim = Some((stamp, Arc::clone(slot)));
+                        }
+                    }
+                }
+            }
+            if total <= budget {
+                return;
+            }
+            let Some((_, victim)) = victim else {
+                return;
+            };
+            if self.evict_slot(&victim).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Snapshots (if dirty) and evicts one dataset.  Holding the slot's
+    /// state lock across save-and-swap excludes concurrent mutations, so the
+    /// file on disk is guaranteed to hold the dataset's final epoch.
+    fn evict_slot(&self, slot: &DatasetSlot) -> Result<(), EclipseError> {
+        let mut st = slot.state.lock().expect("dataset slot poisoned");
+        let Residency::Resident(r) = &mut *st else {
+            return Ok(());
+        };
+        let epoch = r.engine.epoch();
+        let quad_built = r
+            .engine
+            .cached_index(IntersectionIndexKind::Quadtree)
+            .is_some();
+        let cutting_built = r
+            .engine
+            .cached_index(IntersectionIndexKind::CuttingTree)
+            .is_some();
+        if quad_built && r.saved_quad != Some(epoch) {
+            self.write_snapshot(&r.engine, &slot.name, IndexKind::Quadtree)?;
+            r.saved_quad = Some(epoch);
+        }
+        if cutting_built && r.saved_cutting != Some(epoch) {
+            self.write_snapshot(&r.engine, &slot.name, IndexKind::CuttingTree)?;
+            r.saved_cutting = Some(epoch);
+        }
+        if !quad_built && !cutting_built {
+            // No index is warm for the current epoch (possible after
+            // mutations left only stale slots): snapshot the engine's
+            // default kind — `save_snapshot` builds it as needed.
+            let kind = IndexKind::from(r.engine.index_config().kind);
+            self.write_snapshot(&r.engine, &slot.name, kind)?;
+            *r.saved_mut(kind) = Some(epoch);
+        }
+        let index = r
+            .engine
+            .cached_index(IntersectionIndexKind::Quadtree)
+            .or_else(|| r.engine.cached_index(IntersectionIndexKind::CuttingTree));
+        let (skyline_len, intersections) = index
+            .map(|i| (i.skyline_len() as u64, i.num_intersections() as u64))
+            .unwrap_or((0, 0));
+        let stats = EvictedStats {
+            points: r.engine.len() as u64,
+            dim: r.engine.dim() as u32,
+            skyline_len,
+            intersections,
+            quad_built: r
+                .engine
+                .cached_index(IntersectionIndexKind::Quadtree)
+                .is_some(),
+            cutting_built: r
+                .engine
+                .cached_index(IntersectionIndexKind::CuttingTree)
+                .is_some(),
+            epoch,
+        };
+        *st = Residency::Evicted(stats);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Builds an engine over `points`, warms the requested index, and
@@ -142,10 +455,17 @@ impl ServerState {
             skyline_len: index.skyline_len() as u64,
             intersections: index.num_intersections() as u64,
         };
+        let slot = Arc::new(DatasetSlot {
+            name: name.to_string(),
+            last_used: AtomicU64::new(0),
+            state: Mutex::new(Residency::Resident(ResidentDataset::fresh(engine))),
+        });
+        self.touch(&slot);
         self.datasets
             .write()
             .expect("dataset registry poisoned")
-            .insert(name.to_string(), engine);
+            .insert(name.to_string(), slot);
+        self.enforce_budget(Some(name));
         Ok(summary)
     }
 
@@ -153,9 +473,9 @@ impl ServerState {
     /// failure becomes a [`Response::Error`], so the connection stays alive.
     pub(crate) fn respond(&self, request: Request) -> Response {
         let result = match request {
-            Request::Hello { .. } => Err(EclipseError::Unsupported(
+            Request::Hello { .. } => Err(ServeError::Engine(EclipseError::Unsupported(
                 "Hello must be the first frame of a connection".to_string(),
-            )),
+            ))),
             Request::Ping => Ok(Response::Pong),
             Request::LoadDataset {
                 name,
@@ -168,14 +488,17 @@ impl ServerState {
             Request::CountBatch { name, boxes } => self.count_batch(&name, &boxes),
             Request::SaveIndex { name, kind } => self.save_index(&name, kind),
             Request::RestoreIndex { name, kind } => self.restore_index(&name, kind),
-            Request::LoadSnapshots => self.load_snapshots().map(|scan| Response::SnapshotsLoaded {
-                restored: scan.restored,
-                skipped: scan
-                    .skipped
-                    .into_iter()
-                    .map(|(path, e)| (path.display().to_string(), e.to_string()))
-                    .collect(),
-            }),
+            Request::LoadSnapshots => self
+                .load_snapshots()
+                .map(|scan| Response::SnapshotsLoaded {
+                    restored: scan.restored,
+                    skipped: scan
+                        .skipped
+                        .into_iter()
+                        .map(|(path, e)| (path.display().to_string(), e.to_string()))
+                        .collect(),
+                })
+                .map_err(ServeError::from),
             // A single-process server always answers with complete results;
             // the ack still matters so a router (which *can* degrade) and a
             // plain server present one contract to opted-in clients.
@@ -186,7 +509,10 @@ impl ServerState {
         };
         result.unwrap_or_else(|e| {
             self.errors.fetch_add(1, Ordering::Relaxed);
-            Response::Error(e.to_string())
+            match e {
+                ServeError::Typed(response) => *response,
+                ServeError::Engine(e) => Response::Error(e.to_string()),
+            }
         })
     }
 
@@ -196,21 +522,25 @@ impl ServerState {
         dim: u32,
         coords: Vec<f64>,
         warm: IndexKind,
-    ) -> Result<Response, EclipseError> {
+    ) -> Result<Response, ServeError> {
         let dim = dim as usize;
         if dim == 0 || !coords.len().is_multiple_of(dim) {
             return Err(EclipseError::Unsupported(format!(
                 "{} coordinates do not form points of dimension {dim}",
                 coords.len()
-            )));
+            ))
+            .into());
         }
         let points: Vec<Point> = coords.chunks_exact(dim).map(Point::from_slice).collect();
         Ok(Response::DatasetLoaded(self.register(name, points, warm)?))
     }
 
-    fn build_index(&self, name: &str, kind: IndexKind) -> Result<Response, EclipseError> {
+    fn build_index(&self, name: &str, kind: IndexKind) -> Result<Response, ServeError> {
         let engine = self.engine(name)?;
         let index = engine.build_index(kind.into())?;
+        // A second backend can double the dataset's footprint; re-check the
+        // budget (the fresh build is protected as most-recently-used).
+        self.enforce_budget(Some(name));
         Ok(Response::IndexBuilt(IndexSummary {
             kind,
             skyline_len: index.skyline_len() as u64,
@@ -220,14 +550,19 @@ impl ServerState {
         }))
     }
 
-    fn insert(&self, name: &str, coords: Vec<f64>) -> Result<Response, EclipseError> {
+    fn insert(&self, name: &str, coords: Vec<f64>) -> Result<Response, ServeError> {
         if coords.iter().any(|c| !c.is_finite()) {
             return Err(EclipseError::Unsupported(
                 "inserted coordinates must be finite".to_string(),
-            ));
+            )
+            .into());
         }
-        let engine = self.engine(name)?;
-        let summary = engine.insert(Point::new(coords))?;
+        // Mutations run under the slot's state lock so eviction can never
+        // snapshot-and-drop a dataset between a mutation's apply and its
+        // acknowledgement.
+        let summary = self.with_resident(name, |_, engine| {
+            engine.insert(Point::new(coords)).map_err(ServeError::from)
+        })?;
         Ok(Response::Mutated {
             kind: summary.outcome.into(),
             epoch: summary.epoch,
@@ -235,11 +570,12 @@ impl ServerState {
         })
     }
 
-    fn delete(&self, name: &str, id: u64) -> Result<Response, EclipseError> {
-        let engine = self.engine(name)?;
+    fn delete(&self, name: &str, id: u64) -> Result<Response, ServeError> {
         let id = usize::try_from(id)
             .map_err(|_| EclipseError::Unsupported(format!("delete id {id} overflows usize")))?;
-        let summary = engine.delete(id)?;
+        let summary = self.with_resident(name, |_, engine| {
+            engine.delete(id).map_err(ServeError::from)
+        })?;
         Ok(Response::Mutated {
             kind: summary.outcome.into(),
             epoch: summary.epoch,
@@ -253,7 +589,7 @@ impl ServerState {
             .collect()
     }
 
-    fn query_batch(&self, name: &str, wire: &[WireBox]) -> Result<Response, EclipseError> {
+    fn query_batch(&self, name: &str, wire: &[WireBox]) -> Result<Response, ServeError> {
         let engine = self.engine(name)?;
         let boxes = Self::parse_boxes(wire)?;
         let results = engine.eclipse_query_batch(&boxes, &QueryOptions::default())?;
@@ -267,7 +603,7 @@ impl ServerState {
         ))
     }
 
-    fn count_batch(&self, name: &str, wire: &[WireBox]) -> Result<Response, EclipseError> {
+    fn count_batch(&self, name: &str, wire: &[WireBox]) -> Result<Response, ServeError> {
         let engine = self.engine(name)?;
         let boxes = Self::parse_boxes(wire)?;
         let counts = engine.eclipse_count_batch(&boxes, &QueryOptions::default())?;
@@ -307,8 +643,13 @@ impl ServerState {
         dir.join(format!("{safe}{disambiguator}-{suffix}.eclsnap"))
     }
 
-    fn save_index(&self, name: &str, kind: IndexKind) -> Result<Response, EclipseError> {
-        let engine = self.engine(name)?;
+    /// Encodes and atomically writes one snapshot file, returning its size.
+    fn write_snapshot(
+        &self,
+        engine: &EclipseEngine,
+        name: &str,
+        kind: IndexKind,
+    ) -> Result<u64, EclipseError> {
         let dir = self.snapshot_dir()?;
         let bytes = engine.save_snapshot(name, kind.into())?;
         std::fs::create_dir_all(&dir)
@@ -329,34 +670,51 @@ impl ServerState {
             .map_err(|e| EclipseError::Snapshot(format!("write {}: {e}", tmp.display())))?;
         std::fs::rename(&tmp, &path)
             .map_err(|e| EclipseError::Snapshot(format!("rename to {}: {e}", path.display())))?;
-        Ok(Response::SnapshotSaved {
-            bytes: bytes.len() as u64,
+        Ok(bytes.len() as u64)
+    }
+
+    fn save_index(&self, name: &str, kind: IndexKind) -> Result<Response, ServeError> {
+        // Under the state lock mutations are excluded, so the epoch recorded
+        // against the written file is exactly the epoch inside it.
+        self.with_resident(name, |st, engine| {
+            let bytes = self.write_snapshot(&engine, name, kind)?;
+            if let Residency::Resident(r) = st {
+                *r.saved_mut(kind) = Some(engine.epoch());
+            }
+            Ok(Response::SnapshotSaved { bytes })
         })
     }
 
-    fn restore_index(&self, name: &str, kind: IndexKind) -> Result<Response, EclipseError> {
-        let engine = self.engine(name)?;
-        let dir = self.snapshot_dir()?;
-        let path = Self::snapshot_path(&dir, name, kind);
-        let bytes = std::fs::read(&path)
-            .map_err(|e| EclipseError::Snapshot(format!("read {}: {e}", path.display())))?;
-        let index = engine.restore_index_snapshot(&bytes)?;
-        if IndexKind::from(index.config().kind) != kind {
-            return Err(EclipseError::SnapshotMismatch {
-                reason: format!(
-                    "snapshot at {} holds a {:?} index, {kind:?} was requested",
-                    path.display(),
-                    index.config().kind
-                ),
-            });
-        }
-        Ok(Response::IndexBuilt(IndexSummary {
-            kind,
-            skyline_len: index.skyline_len() as u64,
-            intersections: index.num_intersections() as u64,
-            nodes: index.backend_nodes() as u64,
-            depth: index.backend_depth() as u32,
-        }))
+    fn restore_index(&self, name: &str, kind: IndexKind) -> Result<Response, ServeError> {
+        self.with_resident(name, |st, engine| {
+            let dir = self.snapshot_dir()?;
+            let path = Self::snapshot_path(&dir, name, kind);
+            let bytes = std::fs::read(&path)
+                .map_err(|e| EclipseError::Snapshot(format!("read {}: {e}", path.display())))?;
+            let index = engine.restore_index_snapshot(&bytes)?;
+            if IndexKind::from(index.config().kind) != kind {
+                return Err(EclipseError::SnapshotMismatch {
+                    reason: format!(
+                        "snapshot at {} holds a {:?} index, {kind:?} was requested",
+                        path.display(),
+                        index.config().kind
+                    ),
+                }
+                .into());
+            }
+            // The file just proved it matches the current dataset bits and
+            // epoch, so the on-disk copy of this kind is clean.
+            if let Residency::Resident(r) = st {
+                *r.saved_mut(kind) = Some(engine.epoch());
+            }
+            Ok(Response::IndexBuilt(IndexSummary {
+                kind,
+                skyline_len: index.skyline_len() as u64,
+                intersections: index.num_intersections() as u64,
+                nodes: index.backend_nodes() as u64,
+                depth: index.backend_depth() as u32,
+            }))
+        })
     }
 
     /// Scans the snapshot directory and registers every `*.eclsnap` file —
@@ -388,6 +746,9 @@ impl ServerState {
                 Err(e) => scan.skipped.push((path, e)),
             }
         }
+        // The scan may have restored far more than the budget holds; evict
+        // back down (everything just restored is clean, so no re-writes).
+        self.enforce_budget(None);
         Ok(scan)
     }
 
@@ -406,21 +767,63 @@ impl ServerState {
             .expect("dataset registry poisoned")
             .get(&label)
             .cloned();
+        let decode_fresh = |bytes: &[u8]| -> Result<ResidentDataset, EclipseError> {
+            let (_, decoded) = EclipseEngine::from_snapshot(bytes)?;
+            let engine = Arc::new(decoded.with_execution_context(self.exec.clone()));
+            let epoch = engine.epoch();
+            let mut r = ResidentDataset::fresh(engine);
+            // Whatever kinds the file warm-loaded are, by construction, the
+            // on-disk state for this epoch.
+            if r.engine
+                .cached_index(IntersectionIndexKind::Quadtree)
+                .is_some()
+            {
+                r.saved_quad = Some(epoch);
+            }
+            if r.engine
+                .cached_index(IntersectionIndexKind::CuttingTree)
+                .is_some()
+            {
+                r.saved_cutting = Some(epoch);
+            }
+            Ok(r)
+        };
         let engine = match existing {
-            Some(engine) => {
-                // A second snapshot of a known dataset (the other backend
-                // kind) restores into its engine instead of replacing it,
-                // after the same identity validation the wire path uses.
-                engine.restore_index_snapshot(&bytes)?;
-                engine
+            Some(slot) => {
+                self.touch(&slot);
+                let mut st = slot.state.lock().expect("dataset slot poisoned");
+                match &mut *st {
+                    Residency::Resident(r) => {
+                        // A second snapshot of a known dataset (the other
+                        // backend kind) restores into its engine instead of
+                        // replacing it, after the same identity validation
+                        // the wire path uses.
+                        let index = r.engine.restore_index_snapshot(&bytes)?;
+                        *r.saved_mut(IndexKind::from(index.config().kind)) = Some(r.engine.epoch());
+                        Arc::clone(&r.engine)
+                    }
+                    Residency::Evicted(_) => {
+                        let restored = decode_fresh(&bytes)?;
+                        let engine = Arc::clone(&restored.engine);
+                        *st = Residency::Resident(restored);
+                        self.reloads.fetch_add(1, Ordering::Relaxed);
+                        engine
+                    }
+                }
             }
             None => {
-                let (_, decoded) = EclipseEngine::from_snapshot(&bytes)?;
-                let engine = Arc::new(decoded.with_execution_context(self.exec.clone()));
+                let restored = decode_fresh(&bytes)?;
+                let engine = Arc::clone(&restored.engine);
+                let slot = Arc::new(DatasetSlot {
+                    name: label.clone(),
+                    last_used: AtomicU64::new(0),
+                    state: Mutex::new(Residency::Resident(restored)),
+                });
+                self.touch(&slot);
                 self.datasets
                     .write()
                     .expect("dataset registry poisoned")
-                    .insert(label.clone(), Arc::clone(&engine));
+                    .insert(label.clone(), slot);
                 engine
             }
         };
@@ -445,50 +848,89 @@ impl ServerState {
         // Snapshot the registry first: the per-dataset numbers below walk
         // whole index trees, which must not happen under the read lock (it
         // would block concurrent dataset registrations for the duration).
-        let snapshot: Vec<(String, Arc<EclipseEngine>)> = self
+        // Stats never restores an evicted dataset (it reports the summary
+        // captured at eviction) and never touches the LRU stamps — a
+        // monitoring poll must not perturb eviction order.
+        let snapshot: Vec<Arc<DatasetSlot>> = self
             .datasets
             .read()
             .expect("dataset registry poisoned")
-            .iter()
-            .map(|(name, engine)| (name.clone(), Arc::clone(engine)))
+            .values()
+            .cloned()
             .collect();
-        let mut datasets: Vec<DatasetStats> = snapshot
-            .iter()
-            .map(|(name, engine)| {
-                let quad = engine.cached_index(IntersectionIndexKind::Quadtree);
-                let cutting = engine.cached_index(IntersectionIndexKind::CuttingTree);
-                let quad_built = quad.is_some();
-                let cutting_built = cutting.is_some();
-                let index = quad.or(cutting);
-                let (skyline_len, intersections, root_crossings) = match &index {
-                    Some(idx) => {
-                        // The whole indexed region of ratio space, counted
-                        // through the count-only tree traversal (the root
-                        // node takes the contained-subtree fast path).
-                        let root = WeightRatioBox::uniform(
-                            engine.dim(),
-                            0.0,
-                            engine.index_config().max_ratio,
-                        )
-                        .and_then(|b| idx.intersections_crossing(&b))
-                        .unwrap_or(0);
-                        (idx.skyline_len(), idx.num_intersections(), root)
-                    }
-                    None => (0, 0, 0),
-                };
-                DatasetStats {
-                    name: name.clone(),
-                    points: engine.len() as u64,
-                    dim: engine.dim() as u32,
-                    skyline_len: skyline_len as u64,
-                    intersections: intersections as u64,
-                    root_crossings: root_crossings as u64,
-                    quad_built,
-                    cutting_built,
-                    epoch: engine.epoch(),
+        let mut total_bytes: u64 = 0;
+        let mut datasets: Vec<DatasetStats> = Vec::with_capacity(snapshot.len());
+        for slot in &snapshot {
+            // Clone what we need under the slot lock, then compute outside
+            // it so a long tree walk never blocks mutations or eviction.
+            enum Row {
+                Engine(Arc<EclipseEngine>),
+                Summary(EvictedStats),
+            }
+            let row = {
+                let st = slot.state.lock().expect("dataset slot poisoned");
+                match &*st {
+                    Residency::Resident(r) => Row::Engine(Arc::clone(&r.engine)),
+                    Residency::Evicted(stats) => Row::Summary(stats.clone()),
                 }
-            })
-            .collect();
+            };
+            datasets.push(match row {
+                Row::Engine(engine) => {
+                    let quad = engine.cached_index(IntersectionIndexKind::Quadtree);
+                    let cutting = engine.cached_index(IntersectionIndexKind::CuttingTree);
+                    let quad_built = quad.is_some();
+                    let cutting_built = cutting.is_some();
+                    let index = quad.or(cutting);
+                    let (skyline_len, intersections, root_crossings) = match &index {
+                        Some(idx) => {
+                            // The whole indexed region of ratio space,
+                            // counted through the count-only tree traversal
+                            // (the root node takes the contained-subtree
+                            // fast path).
+                            let root = WeightRatioBox::uniform(
+                                engine.dim(),
+                                0.0,
+                                engine.index_config().max_ratio,
+                            )
+                            .and_then(|b| idx.intersections_crossing(&b))
+                            .unwrap_or(0);
+                            (idx.skyline_len(), idx.num_intersections(), root)
+                        }
+                        None => (0, 0, 0),
+                    };
+                    let bytes = engine.heap_bytes() as u64;
+                    total_bytes += bytes;
+                    DatasetStats {
+                        name: slot.name.clone(),
+                        points: engine.len() as u64,
+                        dim: engine.dim() as u32,
+                        skyline_len: skyline_len as u64,
+                        intersections: intersections as u64,
+                        root_crossings: root_crossings as u64,
+                        quad_built,
+                        cutting_built,
+                        epoch: engine.epoch(),
+                        bytes,
+                        resident: true,
+                    }
+                }
+                Row::Summary(s) => DatasetStats {
+                    name: slot.name.clone(),
+                    points: s.points,
+                    dim: s.dim,
+                    skyline_len: s.skyline_len,
+                    intersections: s.intersections,
+                    // Computing crossings needs the tree; evicted rows
+                    // report 0 rather than paying a restore.
+                    root_crossings: 0,
+                    quad_built: s.quad_built,
+                    cutting_built: s.cutting_built,
+                    epoch: s.epoch,
+                    bytes: 0,
+                    resident: false,
+                },
+            });
+        }
         datasets.sort_by(|a, b| a.name.cmp(&b.name));
         let mut conn_queue_depths: Vec<u32> = self
             .conn_gauges
@@ -507,6 +949,10 @@ impl ServerState {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             conn_queue_depths,
+            total_bytes,
+            memory_budget: self.memory_budget.unwrap_or(0),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
             datasets,
         }
     }
@@ -557,6 +1003,14 @@ pub struct ServerConfig {
     /// quiet but established client keeps its connection.  `None` disables
     /// reaping.
     pub idle_timeout: Option<Duration>,
+    /// Global memory budget, in bytes, over the accounted heap bytes of all
+    /// resident datasets.  When an admission (load, snapshot restore, index
+    /// build, eviction reload) pushes the total over the budget, the
+    /// coldest datasets are snapshotted-if-dirty and evicted until it fits
+    /// again; evicted datasets restore transparently on their next request.
+    /// Eviction requires a snapshot directory.  `None` (default) disables
+    /// the budget.
+    pub max_memory_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -569,6 +1023,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             inline_fast_path: true,
             idle_timeout: Some(Duration::from_secs(30)),
+            max_memory_bytes: None,
         }
     }
 }
@@ -600,9 +1055,11 @@ impl Server {
         exec: ExecutionContext,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        let mut state = ServerState::new(exec);
+        state.memory_budget = config.max_memory_bytes;
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            state: Arc::new(ServerState::new(exec)),
+            state: Arc::new(state),
             config,
         })
     }

@@ -75,8 +75,12 @@ fn arbitrary_request(seed: u64) -> Request {
 /// Deterministic pseudo-random response for a seed.
 fn arbitrary_response(seed: u64) -> Response {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
-    match rng.gen_range(0..16u32) {
+    match rng.gen_range(0..17u32) {
         0 => Response::Pong,
+        16 => Response::DatasetUnavailable {
+            name: random_name(&mut rng),
+            reason: random_name(&mut rng),
+        },
         15 => Response::Mutated {
             kind: match rng.gen_range(0..4u8) {
                 0 => MutationKind::InsertedDominated,
@@ -186,6 +190,10 @@ fn arbitrary_response(seed: u64) -> Response {
             conn_queue_depths: (0..rng.gen_range(0..6usize))
                 .map(|_| rng.gen_range(0..u32::MAX))
                 .collect(),
+            total_bytes: rng.gen_range(0..u64::MAX),
+            memory_budget: rng.gen_range(0..u64::MAX),
+            evictions: rng.gen_range(0..u64::MAX),
+            reloads: rng.gen_range(0..u64::MAX),
             datasets: (0..rng.gen_range(0..4usize))
                 .map(|_| DatasetStats {
                     name: random_name(&mut rng),
@@ -197,6 +205,8 @@ fn arbitrary_response(seed: u64) -> Response {
                     quad_built: rng.gen_range(0..2u8) == 1,
                     cutting_built: rng.gen_range(0..2u8) == 1,
                     epoch: rng.gen_range(0..u64::MAX),
+                    bytes: rng.gen_range(0..u64::MAX),
+                    resident: rng.gen_range(0..2u8) == 1,
                 })
                 .collect(),
         }),

@@ -199,6 +199,166 @@ fn replicated_probe_partitioning_merges_in_probe_order() {
 }
 
 #[test]
+fn replicated_mutations_fan_to_every_member_and_stats_merge_by_name() {
+    let backends = spawn_backends(3, 2);
+    let router = router_over(
+        &backends,
+        RouterConfig {
+            replicated: vec!["rep".to_string()],
+            ..RouterConfig::default()
+        },
+    );
+
+    let points = SyntheticConfig::new(300, 3, Distribution::Independent, 41).generate();
+    let mut client = Client::connect(router.addr()).unwrap();
+    client
+        .load_dataset("rep", &points, IndexKind::Quadtree)
+        .unwrap();
+
+    // Interleaved inserts and deletes through the router, mirrored on a
+    // local reference engine.
+    let engine = eclipse_core::EclipseEngine::new(points).unwrap();
+    for i in 0..4 {
+        let coords = [0.15 + 0.1 * i as f64, 0.2, 0.25];
+        client.insert("rep", &coords).unwrap();
+        engine
+            .insert(eclipse_core::Point::new(coords.to_vec()))
+            .unwrap();
+    }
+    for id in [7u64, 301, 3] {
+        client.delete("rep", id).unwrap();
+        engine.delete(id as usize).unwrap();
+    }
+
+    // Every member applied every mutation: replicas answer byte-identically
+    // to the reference engine and agree on the epoch.
+    let boxes = probe_boxes(6);
+    let expected: Vec<Vec<usize>> = boxes.iter().map(|b| engine.eclipse(b).unwrap()).collect();
+    let mut member_bytes = 0u64;
+    for (i, backend) in backends.iter().enumerate() {
+        let mut direct = Client::connect(backend.addr()).unwrap();
+        assert_eq!(
+            direct.query_batch("rep", &boxes).unwrap(),
+            expected,
+            "replica {i} diverged after the mutation fan"
+        );
+        let report = direct.stats().unwrap();
+        assert_eq!(report.datasets.len(), 1, "replica {i}");
+        assert_eq!(report.datasets[0].epoch, 7, "replica {i}");
+        member_bytes += report.datasets[0].bytes;
+    }
+
+    // Merged stats answer ONE row per dataset name (regression: the merge
+    // used to keep the first member's row and drop the rest), with the
+    // member bytes aggregated and the shared epoch preserved.
+    let report = client.stats().unwrap();
+    let rep_rows: Vec<_> = report.datasets.iter().filter(|d| d.name == "rep").collect();
+    assert_eq!(rep_rows.len(), 1, "one merged row per dataset name");
+    assert_eq!(rep_rows[0].epoch, 7);
+    assert_eq!(rep_rows[0].bytes, member_bytes);
+    assert!(rep_rows[0].resident);
+    assert_eq!(report.total_bytes, member_bytes);
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn backend_eviction_reloads_preserve_epochs_and_cause_no_failovers() {
+    use eclipse_core::index::IntersectionIndexKind;
+    use eclipse_serve::server::ServerConfig;
+
+    let warm_bytes = |points: &[eclipse_core::Point]| -> u64 {
+        let engine = eclipse_core::EclipseEngine::new(points.to_vec())
+            .unwrap()
+            .with_execution_context(ExecutionContext::serial());
+        engine.build_index(IntersectionIndexKind::Quadtree).unwrap();
+        engine.skyline();
+        engine.heap_bytes() as u64
+    };
+    let points0 = SyntheticConfig::new(400, 3, Distribution::Independent, 51).generate();
+    let points1 = SyntheticConfig::new(400, 3, Distribution::Independent, 52).generate();
+    let (b0, b1) = (warm_bytes(&points0), warm_bytes(&points1));
+
+    // A single budgeted backend that can hold one dataset but not both, so
+    // alternating datasets through the router keeps evicting and reloading.
+    let dir = TempDir::new("router_memory");
+    let server = Server::bind_with_config(
+        "127.0.0.1:0",
+        ExecutionContext::with_threads(2),
+        ServerConfig {
+            max_memory_bytes: Some(b0.max(b1) + b0.min(b1) / 2),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    server.set_snapshot_dir(dir.path());
+    let backends = vec![server.spawn().unwrap()];
+    let router = router_over(&backends, RouterConfig::default());
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    client
+        .load_dataset("ds0", &points0, IndexKind::Quadtree)
+        .unwrap();
+    let inserted = [0.4, 0.4, 0.4];
+    assert_eq!(client.insert("ds0", &inserted).unwrap().epoch, 1);
+    client
+        .load_dataset("ds1", &points1, IndexKind::Quadtree)
+        .unwrap();
+
+    let engine0 = eclipse_core::EclipseEngine::new(points0).unwrap();
+    engine0
+        .insert(eclipse_core::Point::new(inserted.to_vec()))
+        .unwrap();
+    let engine1 = eclipse_core::EclipseEngine::new(points1).unwrap();
+    let boxes = probe_boxes(5);
+    let expected0: Vec<Vec<usize>> = boxes.iter().map(|b| engine0.eclipse(b).unwrap()).collect();
+    let expected1: Vec<Vec<usize>> = boxes.iter().map(|b| engine1.eclipse(b).unwrap()).collect();
+
+    // Thrash: every round trips an eviction and a snapshot reload on the
+    // backend, yet routed answers never change and the mutation epoch
+    // survives every round trip through disk.
+    for round in 0..3 {
+        assert_eq!(
+            client.query_batch("ds0", &boxes).unwrap(),
+            expected0,
+            "round {round}"
+        );
+        assert_eq!(
+            client.query_batch("ds1", &boxes).unwrap(),
+            expected1,
+            "round {round}"
+        );
+    }
+    let report = client.stats().unwrap();
+    assert!(
+        report.evictions > 0,
+        "the budget must have forced evictions"
+    );
+    assert!(
+        report.reloads > 0,
+        "touches must have reloaded from snapshots"
+    );
+    let ds0 = report.datasets.iter().find(|d| d.name == "ds0").unwrap();
+    assert_eq!(ds0.epoch, 1, "epoch must survive eviction round trips");
+
+    // Reload latency is flow control, not ill health: the router saw a
+    // healthy member throughout and never promoted a standby.
+    assert!(
+        router.failovers().is_empty(),
+        "reloads must not read as member failures: {:?}",
+        router.failovers()
+    );
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
 fn router_snapshot_surface_saves_once_and_restores_everywhere() {
     let dir = TempDir::new("router_snapshots");
     let backends: Vec<ServerHandle> = (0..2)

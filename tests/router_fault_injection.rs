@@ -501,3 +501,96 @@ fn corrupt_snapshots_are_skipped_during_failover_rewarm() {
     backend.shutdown();
     standby.shutdown();
 }
+
+#[test]
+fn killing_one_replica_mid_insert_is_typed_and_leaves_survivors_identical() {
+    // Regression for the replicated-mutation fan: with one of three
+    // replicas dead, an `Insert` through the router must still reach every
+    // *surviving* member (the fan used to abort on the first failure,
+    // leaving replicas behind the failed slot unmutated), and the caller
+    // must get a typed error naming the partial application instead of a
+    // silent first-member ack.
+    let backends: Vec<ServerHandle> = (0..3)
+        .map(|_| {
+            Server::bind("127.0.0.1:0", ExecutionContext::with_threads(2))
+                .unwrap()
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    // The router's connection to replica 1 dies exactly when its 4th frame
+    // arrives, unforwarded — which this test arranges to be the second
+    // `Insert` (Hello, LoadDataset, and the first Insert come before it).
+    let proxy = FaultProxy::spawn(
+        backends[1].addr(),
+        FaultPlan {
+            kill_at_request: Some(4),
+            ..FaultPlan::default()
+        },
+    )
+    .unwrap();
+    let router = spawn_router(
+        vec![
+            backends[0].addr().to_string(),
+            proxy.addr().to_string(),
+            backends[2].addr().to_string(),
+        ],
+        Vec::new(),
+        vec!["rep".to_string()],
+    );
+
+    let points = SyntheticConfig::new(300, 3, Distribution::Independent, 81).generate();
+    let boxes = probe_boxes(5);
+    let mut client = Client::connect(router.addr()).unwrap();
+    client
+        .load_dataset("rep", &points, IndexKind::Quadtree)
+        .unwrap();
+    let healthy = [0.3, 0.3, 0.3];
+    assert_eq!(client.insert("rep", &healthy).unwrap().epoch, 1);
+
+    // The killed mutation: the fan must report exactly which share of the
+    // membership applied it.
+    let killed = [0.6, 0.2, 0.4];
+    match client.insert("rep", &killed) {
+        Err(ClientError::Server(m)) => {
+            assert!(m.contains("applied to 2/3"), "{m}");
+            assert!(m.contains("shard 1"), "{m}");
+        }
+        other => panic!("expected a partial-application error, got {other:?}"),
+    }
+
+    // Both survivors hold both inserts and answer byte-identically to a
+    // reference engine that applied the same mutations.
+    let engine = eclipse_core::EclipseEngine::new(points).unwrap();
+    engine
+        .insert(eclipse_core::Point::new(healthy.to_vec()))
+        .unwrap();
+    engine
+        .insert(eclipse_core::Point::new(killed.to_vec()))
+        .unwrap();
+    let expected: Vec<Vec<usize>> = boxes.iter().map(|b| engine.eclipse(b).unwrap()).collect();
+    for slot in [0usize, 2] {
+        let mut direct = Client::connect(backends[slot].addr()).unwrap();
+        let report = direct.stats().unwrap();
+        assert_eq!(report.datasets[0].epoch, 2, "survivor {slot}");
+        assert_eq!(report.datasets[0].points, 302, "survivor {slot}");
+        assert_eq!(
+            direct.query_batch("rep", &boxes).unwrap(),
+            expected,
+            "survivor {slot} diverged"
+        );
+    }
+    // The dead replica (reached directly, not through the proxy) saw only
+    // the pre-kill mutation.
+    let mut direct = Client::connect(backends[1].addr()).unwrap();
+    assert_eq!(direct.stats().unwrap().datasets[0].epoch, 1);
+
+    // The router connection survives the typed error.
+    client.ping().unwrap();
+
+    router.shutdown();
+    proxy.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}

@@ -128,6 +128,52 @@ fn restoring_a_stale_snapshot_is_an_error_response_over_the_wire() {
 }
 
 #[test]
+fn pre_v3_snapshot_over_a_mutated_dataset_is_an_epoch_mismatch() {
+    // A pre-v3 (epoch-less) snapshot decodes at epoch 0.  If the registered
+    // dataset has since been mutated — even back to the exact same bits —
+    // restoring that snapshot must answer the typed `SnapshotMismatch`
+    // (epoch 0 vs epoch 2), not silently serve pre-mutation index state,
+    // and the connection must stay usable.
+    let fixture = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/hotels-2d-quad-v1.eclsnap");
+    for threads in [1usize, 4] {
+        let dir = TempDir::new(&format!("pre_v3_epoch_{threads}"));
+        std::fs::copy(&fixture, dir.path().join("hotels-quad.eclsnap")).unwrap();
+
+        let server = Server::bind("127.0.0.1:0", ExecutionContext::with_threads(threads)).unwrap();
+        server.set_snapshot_dir(dir.path());
+        let handle = server.spawn().unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .load_dataset("hotels", &common::paper_hotels(), IndexKind::Quadtree)
+            .unwrap();
+
+        // Mutate to epoch 2, ending on byte-identical dataset contents: the
+        // epoch check must fire even though the points match.
+        let ack = client.insert("hotels", &[9.0, 9.0]).unwrap();
+        client.delete("hotels", ack.len - 1).unwrap();
+
+        match client.restore_index("hotels", IndexKind::Quadtree) {
+            Err(ClientError::Server(m)) => {
+                assert!(m.contains("mismatch"), "threads {threads}: {m}");
+                assert!(m.contains("epoch"), "threads {threads}: {m}");
+            }
+            other => panic!("threads {threads}: expected an epoch mismatch, got {other:?}"),
+        }
+
+        // Same connection, still correct answers from the live engine.
+        let b = [WeightRatioBox::uniform(2, 0.5, 2.0).unwrap()];
+        let engine = eclipse_core::EclipseEngine::new(common::paper_hotels()).unwrap();
+        assert_eq!(
+            client.query_batch("hotels", &b).unwrap(),
+            vec![engine.eclipse(&b[0]).unwrap()],
+            "threads {threads}"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
 fn snapshot_requests_without_a_snapshot_dir_are_clean_errors() {
     let points = SyntheticConfig::new(100, 3, Distribution::Independent, 11).generate();
     let handle = Server::bind("127.0.0.1:0", ExecutionContext::serial())
